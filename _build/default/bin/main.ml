@@ -1,0 +1,375 @@
+(* incdb — command-line driver.
+
+   Subcommands:
+     demo      replay the paper's Figure 1 scenario
+     eval      evaluate a SQL query on a database under a chosen
+               answer semantics
+     compare   evaluate a SQL query under all semantics side by side
+     prob      0-1-law classification of a candidate answer + µ_k series
+     classify  annotate every candidate answer certain/possible
+     fo        evaluate a first-order formula (3VL + certain answers)
+     datalog   run a positive Datalog program (fixpoint = certain)
+
+   Databases: fig1 (the paper's bookstore, optionally with the
+   Section 1 NULL), tpch (the TPC-H-mini workload at a given scale and
+   null rate), or any directory of CSV files via --data. *)
+
+open Incdb
+
+let fig1_schema =
+  Schema.of_list
+    [ ("Orders", [ "oid"; "title"; "price" ]);
+      ("Payments", [ "cid"; "oid" ]);
+      ("Customers", [ "cid"; "name" ]) ]
+
+let fig1_db ~with_null =
+  let payments =
+    if with_null then
+      [ Tuple.of_list [ Value.str "c1"; Value.str "o1" ];
+        Tuple.of_list [ Value.str "c2"; Value.null 0 ] ]
+    else
+      [ Tuple.of_list [ Value.str "c1"; Value.str "o1" ];
+        Tuple.of_list [ Value.str "c2"; Value.str "o2" ] ]
+  in
+  Database.of_list fig1_schema
+    [ ("Orders",
+       [ Tuple.of_list [ Value.str "o1"; Value.str "Big Data"; Value.int 30 ];
+         Tuple.of_list [ Value.str "o2"; Value.str "SQL"; Value.int 35 ];
+         Tuple.of_list [ Value.str "o3"; Value.str "Logic"; Value.int 50 ] ]);
+      ("Payments", payments);
+      ("Customers",
+       [ Tuple.of_list [ Value.str "c1"; Value.str "John" ];
+         Tuple.of_list [ Value.str "c2"; Value.str "Mary" ] ]) ]
+
+let load_db ?data which ~scale ~null_rate ~seed =
+  match data with
+  | Some dir ->
+    let db = Csv_io.load_dir dir in
+    (Database.schema db, db)
+  | None ->
+  match which with
+  | "fig1" -> (fig1_schema, fig1_db ~with_null:(null_rate > 0.0))
+  | "tpch" ->
+    let rng = Workload.Generator.make_rng ~seed in
+    let db = Workload.Tpch_mini.generate rng ~scale in
+    let db =
+      if null_rate > 0.0 then
+        Workload.Tpch_mini.with_nulls
+          (Workload.Generator.make_rng ~seed:(seed + 1))
+          ~rate:null_rate db
+      else db
+    in
+    (Workload.Tpch_mini.schema, db)
+  | other -> raise (Invalid_argument (Printf.sprintf "unknown database %s" other))
+
+type mode =
+  | Sql_3vl
+  | Naive
+  | Certain
+  | Plus
+  | Maybe
+  | Aware
+
+let mode_of_string = function
+  | "sql" -> Ok Sql_3vl
+  | "naive" -> Ok Naive
+  | "certain" -> Ok Certain
+  | "plus" -> Ok Plus
+  | "maybe" -> Ok Maybe
+  | "aware" -> Ok Aware
+  | other -> Error (Printf.sprintf "unknown mode %s" other)
+
+let run_mode ?(optimize = false) mode schema db sql =
+  let algebra () =
+    let q = Sql.To_algebra.translate_string schema sql in
+    if optimize then Optimize.optimize schema q else q
+  in
+  match mode with
+  | Sql_3vl -> Sql.Three_valued.run db sql
+  | Naive -> Naive.run db (algebra ())
+  | Certain -> Certainty.cert_with_nulls_ra db (algebra ())
+  | Plus -> Scheme_pm.certain_sub db (algebra ())
+  | Maybe -> Scheme_pm.possible_sup db (algebra ())
+  | Aware -> Ctables.Ceval.certain Ctables.Ceval.Aware db (algebra ())
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner plumbing                                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let db_arg =
+  let doc = "Built-in database: fig1 or tpch." in
+  Arg.(value & opt string "fig1" & info [ "d"; "database" ] ~docv:"DB" ~doc)
+
+let scale_arg =
+  let doc = "Scale factor for the tpch database." in
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc)
+
+let null_rate_arg =
+  let doc =
+    "Null rate: for fig1, any positive value installs the Section 1 NULL; \
+     for tpch, the per-cell probability of a null in non-key columns."
+  in
+  Arg.(value & opt float 0.0 & info [ "null-rate" ] ~docv:"R" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for generated databases." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let data_arg =
+  let doc =
+    "Load the database from a directory of .csv files (one per relation; \
+     marked nulls written _0, _1, …; NULL/empty cells are fresh nulls).  \
+     Overrides --database."
+  in
+  Arg.(value & opt (some dir) None & info [ "data" ] ~docv:"DIR" ~doc)
+
+let optimize_arg =
+  let doc = "Run the algebraic optimizer on translated queries." in
+  Arg.(value & flag & info [ "O"; "optimize" ] ~doc)
+
+let sql_arg =
+  let doc = "The SQL query to evaluate." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+
+let mode_arg =
+  let doc =
+    "Answer semantics: sql (3-valued SQL evaluation), naive, certain \
+     (exact, exponential), plus (the sound Q+ approximation), maybe (the \
+     possible-answer bound Q?), aware (the aware c-table strategy)."
+  in
+  let parse s = Result.map_error (fun e -> `Msg e) (mode_of_string s) in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with
+       | Sql_3vl -> "sql"
+       | Naive -> "naive"
+       | Certain -> "certain"
+       | Plus -> "plus"
+       | Maybe -> "maybe"
+       | Aware -> "aware")
+  in
+  Arg.(value
+       & opt (conv (parse, print)) Sql_3vl
+       & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+
+let handle_errors f =
+  try f (); 0 with
+  | Sql.Parser.Parse_error msg | Sql.Lexer.Lex_error msg
+  | Sql.Three_valued.Sql_error msg | Sql.To_algebra.Unsupported msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Invalid_argument msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+
+let demo_cmd =
+  let run () =
+    handle_errors (fun () ->
+        let queries =
+          [ ("unpaid orders",
+             "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM \
+              Payments)");
+            ("customers without a paid order",
+             "SELECT C.cid FROM Customers C WHERE NOT EXISTS (SELECT * FROM \
+              Orders O, Payments P WHERE C.cid = P.cid AND P.oid = O.oid)") ]
+        in
+        List.iter
+          (fun with_null ->
+            let db = fig1_db ~with_null in
+            Format.printf "=== %s ===@.%a@.@."
+              (if with_null then "with NULL" else "complete")
+              Database.pp db;
+            List.iter
+              (fun (name, sql) ->
+                Format.printf "%-33s SQL: %a" name Relation.pp
+                  (Sql.Three_valued.run db sql);
+                let q = Sql.To_algebra.translate_string fig1_schema sql in
+                Format.printf "   certain: %a@." Relation.pp
+                  (Certainty.cert_with_nulls_ra db q))
+              queries;
+            Format.printf "@.")
+          [ false; true ])
+  in
+  let doc = "replay the paper's Figure 1 scenario" in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ const ())
+
+let eval_cmd =
+  let run db_name data scale null_rate seed mode optimize sql =
+    handle_errors (fun () ->
+        let schema, db = load_db ?data db_name ~scale ~null_rate ~seed in
+        let answers = run_mode ~optimize mode schema db sql in
+        Format.printf "%a@." Relation.pp answers)
+  in
+  let doc = "evaluate a SQL query under a chosen answer semantics" in
+  Cmd.v (Cmd.info "eval" ~doc)
+    Term.(
+      const run $ db_arg $ data_arg $ scale_arg $ null_rate_arg $ seed_arg
+      $ mode_arg $ optimize_arg $ sql_arg)
+
+let compare_cmd =
+  let run db_name data scale null_rate seed optimize sql =
+    handle_errors (fun () ->
+        let schema, db = load_db ?data db_name ~scale ~null_rate ~seed in
+        List.iter
+          (fun (name, mode) ->
+            match run_mode ~optimize mode schema db sql with
+            | answers -> Format.printf "%-8s %a@." name Relation.pp answers
+            | exception e ->
+              Format.printf "%-8s (failed: %s)@." name (Printexc.to_string e))
+          [ ("sql", Sql_3vl); ("naive", Naive); ("plus", Plus);
+            ("maybe", Maybe); ("aware", Aware); ("certain", Certain) ])
+  in
+  let doc = "evaluate a SQL query under every answer semantics" in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(
+      const run $ db_arg $ data_arg $ scale_arg $ null_rate_arg $ seed_arg
+      $ optimize_arg $ sql_arg)
+
+let tuple_arg =
+  let doc =
+    "The candidate answer tuple, as comma-separated cells in CSV value \
+     syntax (e.g. \"1,_0,'x'\" without the quotes around the whole)."
+  in
+  Arg.(required & opt (some string) None & info [ "t"; "tuple" ] ~docv:"CELLS" ~doc)
+
+let prob_cmd =
+  let run db_name data scale null_rate seed sql cells =
+    handle_errors (fun () ->
+        let schema, db = load_db ?data db_name ~scale ~null_rate ~seed in
+        let q = Sql.To_algebra.translate_string schema sql in
+        let next_null = ref 1_000_000 in
+        let tuple =
+          Tuple.of_list
+            (List.map
+               (Csv_io.parse_value ~next_null)
+               (String.split_on_char ',' cells))
+        in
+        Format.printf "almost certainly true: %b@."
+          (Prob.Zero_one.almost_certainly_true_ra db q tuple);
+        Format.printf "mu = %s@."
+          (Prob.Rational.to_string (Prob.Zero_one.mu_ra db q tuple));
+        let ks = [ 2; 4; 8; 16 ] in
+        let series =
+          Prob.Zero_one.mu_series
+            ~run:(fun d -> Eval.run d q)
+            ~query_consts:(Algebra.consts q) db tuple ks
+        in
+        List.iter2
+          (fun k mu ->
+            Format.printf "mu_%d = %s@." k (Prob.Rational.to_string mu))
+          ks series)
+  in
+  let doc =
+    "probabilistic classification of a candidate answer (0-1 law + the \
+     mu_k series)"
+  in
+  Cmd.v (Cmd.info "prob" ~doc)
+    Term.(
+      const run $ db_arg $ data_arg $ scale_arg $ null_rate_arg $ seed_arg
+      $ sql_arg $ tuple_arg)
+
+let classify_cmd =
+  let run db_name data scale null_rate seed sql =
+    handle_errors (fun () ->
+        let schema, db = load_db ?data db_name ~scale ~null_rate ~seed in
+        let q = Sql.To_algebra.translate_string schema sql in
+        List.iter
+          (fun (t, v) ->
+            Format.printf "%-12s %s@."
+              (Classify.verdict_to_string v)
+              (Format.asprintf "%a" Tuple.pp t))
+          (Classify.report db q))
+  in
+  let doc =
+    "classify every candidate answer as certain or merely possible      (uncertainty-annotated output)"
+  in
+  Cmd.v (Cmd.info "classify" ~doc)
+    Term.(
+      const run $ db_arg $ data_arg $ scale_arg $ null_rate_arg $ seed_arg
+      $ sql_arg)
+
+let fo_cmd =
+  let formula_arg =
+    let doc =
+      "The first-order formula, e.g. \"exists y. R(x, y) & ~(y = 'paris')\";        see the Fo_parser grammar."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
+  in
+  let run db_name data scale null_rate seed text =
+    handle_errors (fun () ->
+        let schema, db = load_db ?data db_name ~scale ~null_rate ~seed in
+        match Fo_parser.parse text with
+        | exception Fo_parser.Parse_error msg ->
+          Format.eprintf "parse error: %s@." msg;
+          raise (Invalid_argument "invalid formula")
+        | phi ->
+          Format.printf "φ = %s   (free: %s)@.@." (Fo.to_string phi)
+            (String.concat ", " (Fo.free_vars phi));
+          Format.printf "three-valued answers under SQL's semantics:@.";
+          List.iter
+            (fun (t, v) ->
+              if v <> Logic.Kleene.F then
+                Format.printf "  %-12s %s@."
+                  (Format.asprintf "%a" Tuple.pp t)
+                  (Logic.Kleene.to_string v))
+            (Semantics.answers Semantics.sql db phi);
+          let q = Bridge.algebra_of_fo schema phi in
+          Format.printf "@.as algebra: %s@." (Algebra.to_string q);
+          Format.printf "certain answers: %a@." Relation.pp
+            (Certainty.cert_with_nulls_ra db q))
+  in
+  let doc =
+    "evaluate a first-order formula under the three-valued SQL semantics      and compute its certain answers via the active-domain translation"
+  in
+  Cmd.v (Cmd.info "fo" ~doc)
+    Term.(
+      const run $ db_arg $ data_arg $ scale_arg $ null_rate_arg $ seed_arg
+      $ formula_arg)
+
+let datalog_cmd =
+  let program_arg =
+    let doc =
+      "The Datalog program, e.g. \"path(x,y) :- edge(x,y). path(x,z) :-        edge(x,y), path(y,z).\""
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+  in
+  let pred_arg =
+    let doc = "The IDB predicate whose fixpoint instance to print." in
+    Arg.(required & opt (some string) None & info [ "p"; "predicate" ] ~docv:"PRED" ~doc)
+  in
+  let run db_name data scale null_rate seed text pred =
+    handle_errors (fun () ->
+        let _, db = load_db ?data db_name ~scale ~null_rate ~seed in
+        match Datalog.Parser.parse text with
+        | exception Datalog.Parser.Parse_error msg ->
+          Format.eprintf "parse error: %s@." msg;
+          raise (Invalid_argument "invalid program")
+        | program ->
+          (match Datalog.Eval.run db program pred with
+           | answers ->
+             Format.printf "%a@." Relation.pp answers;
+             Format.printf
+               "(positive Datalog is monotone: this fixpoint IS the certain                 answer)@."
+           | exception Datalog.Syntax.Ill_formed msg ->
+             Format.eprintf "ill-formed program: %s@." msg;
+             raise (Invalid_argument "invalid program")
+           | exception Datalog.Eval.Eval_error msg ->
+             Format.eprintf "error: %s@." msg;
+             raise (Invalid_argument "invalid predicate")))
+  in
+  let doc =
+    "run a positive Datalog program; the fixpoint is exactly the certain      answer set"
+  in
+  Cmd.v (Cmd.info "datalog" ~doc)
+    Term.(
+      const run $ db_arg $ data_arg $ scale_arg $ null_rate_arg $ seed_arg
+      $ program_arg $ pred_arg)
+
+let () =
+  let doc = "certain answers over incomplete databases" in
+  let info = Cmd.info "incdb" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval' (Cmd.group info [ demo_cmd; eval_cmd; compare_cmd; prob_cmd; classify_cmd; fo_cmd;
+          datalog_cmd ]))

@@ -1,0 +1,1 @@
+examples/bag_inventory.ml: Algebra Bag_eval Bag_relation Certainty Database Format Incdb List Schema Scheme_pm Tuple Valuation Value

@@ -1,0 +1,1 @@
+examples/bag_inventory.mli:

@@ -1,0 +1,1 @@
+examples/csv_workflow.ml: Algebra Certainty Codd Csv_io Database Eval Filename Format Incdb Optimize Relation Scheme_pm Sql Sys

@@ -1,0 +1,1 @@
+examples/logic_playground.ml: Algebra Bridge Database Eval Fo Format Incdb List Logic Relation Schema Semantics String Tuple Value

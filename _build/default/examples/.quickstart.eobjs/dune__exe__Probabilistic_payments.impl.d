@@ -1,0 +1,1 @@
+examples/probabilistic_payments.ml: Algebra Certainty Database Eval Format Incdb List Prob Relation Schema Tuple Value

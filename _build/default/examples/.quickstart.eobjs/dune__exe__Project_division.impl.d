@@ -1,0 +1,1 @@
+examples/project_division.ml: Algebra Certainty Classes Database Format Incdb Naive Relation Schema Scheme_pm Tuple Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algebra Certainty Condition Database Format Incdb Naive Prob Relation Schema Scheme_pm Sql Tuple Value

@@ -1,0 +1,1 @@
+examples/supply_chain.ml: Database Datalog Format Incdb Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+examples/unpaid_orders.ml: Certainty Ctables Database Format Incdb List Relation Schema Scheme_pm Sql Tuple Value

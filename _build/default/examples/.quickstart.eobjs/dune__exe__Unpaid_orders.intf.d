@@ -1,0 +1,1 @@
+examples/unpaid_orders.mli:

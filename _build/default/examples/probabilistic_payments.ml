@@ -1,0 +1,79 @@
+(* Probabilistic answer classification (Section 4.3): the 0-1 law, the
+   convergent sequence mu_k, and exact conditional probabilities under
+   integrity constraints.
+
+     dune exec examples/probabilistic_payments.exe
+*)
+
+open Incdb
+
+let schema =
+  Schema.of_list [ ("stock", [ "item" ]); ("sold", [ "item" ]) ]
+
+(* stock = {1}, sold = {_0}: the running example of Section 4.3 *)
+let db =
+  Database.of_list schema
+    [ ("stock", [ Tuple.of_list [ Value.int 1 ] ]);
+      ("sold", [ Tuple.of_list [ Value.null 0 ] ]) ]
+
+let q = Algebra.Diff (Algebra.Rel "stock", Algebra.Rel "sold")
+
+let one = Tuple.of_list [ Value.int 1 ]
+
+let () =
+  Format.printf "Database:@.%a@.@." Database.pp db;
+  Format.printf "Query: %a  (unsold stock)@.@." Algebra.pp q;
+
+  (* certain answers are empty — the null might be item 1 *)
+  Format.printf "Certain answers: %a@." Relation.pp
+    (Certainty.cert_with_nulls_ra db q);
+
+  (* but (1) is an answer unless the null hits exactly item 1: the
+     finite-range probabilities mu_k converge to 1 *)
+  let run d = Eval.run d q in
+  let series =
+    Prob.Zero_one.mu_series ~run ~query_consts:[] db one
+      [ 2; 4; 8; 16; 64 ]
+  in
+  Format.printf "@.mu_k for k = 2, 4, 8, 16, 64:@.";
+  List.iter (fun r -> Format.printf "  %s@." (Prob.Rational.to_string r)) series;
+
+  (* Theorem 4.10: the limit is 1 iff the tuple is in the naive answer *)
+  Format.printf "@.0-1 law verdict for (1): mu = %s@."
+    (Prob.Rational.to_string (Prob.Zero_one.mu_ra db q one));
+
+  (* now add the constraint sold <= stock (an inclusion dependency):
+     the null is forced into {1}, and the probability drops to 0 *)
+  let sigma = [ Prob.Constraints.ind "sold" [ 0 ] "stock" [ 0 ] ] in
+  Format.printf "@.With the constraint sold[item] <= stock[item]:@.";
+  Format.printf "  mu((1) | Sigma) = %s@."
+    (Prob.Rational.to_string (Prob.Conditional.mu_ra ~sigma db q one));
+
+  (* the paper's half-and-half example: stock = {1, 2} *)
+  let db2 = Database.add_tuple db "stock" (Tuple.of_list [ Value.int 2 ]) in
+  let mu = Prob.Conditional.mu_ra ~sigma db2 q in
+  Format.printf "@.With stock = {1, 2} and the same constraint:@.";
+  Format.printf "  mu((1) | Sigma) = %s@."
+    (Prob.Rational.to_string (mu one));
+  Format.printf "  mu((2) | Sigma) = %s@."
+    (Prob.Rational.to_string (mu (Tuple.of_list [ Value.int 2 ])));
+  Format.printf
+    "Exactly 1/2 each — Theorem 4.11: the limit exists and is rational.@.";
+
+  (* functional dependencies go through the chase instead *)
+  let schema3 = Schema.of_list [ ("price", [ "item"; "amount" ]) ] in
+  let db3 =
+    Database.of_list schema3
+      [ ("price",
+         [ Tuple.of_list [ Value.int 1; Value.null 0 ];
+           Tuple.of_list [ Value.int 1; Value.int 99 ] ]) ]
+  in
+  let fds = [ { Prob.Constraints.fd_relation = "price"; lhs = [ 0 ]; rhs = [ 1 ] } ] in
+  let q3 = Algebra.Rel "price" in
+  let t3 = Tuple.of_list [ Value.int 1; Value.int 99 ] in
+  Format.printf "@.FD example: price: item -> amount on %a@." Database.pp db3;
+  Format.printf "  mu((1,99) | FD) = %s  (the chase equates _0 with 99)@."
+    (Prob.Rational.to_string
+       (Prob.Conditional.mu_fd_via_chase
+          ~run:(fun d -> Eval.run d q3)
+          ~fds db3 t3))

@@ -1,0 +1,70 @@
+(* Quickstart: build an incomplete database, run a query under every
+   answer semantics the library provides, and compare.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Incdb
+
+let () =
+  (* a tiny schema: people and the cities they work in *)
+  let schema =
+    Schema.of_list
+      [ ("employee", [ "name"; "city" ]); ("office", [ "city" ]) ]
+  in
+
+  (* marked nulls: _0 is the same unknown city in both tuples *)
+  let db =
+    Database.of_list schema
+      [ ("employee",
+         [ Tuple.of_list [ Value.str "ann"; Value.str "paris" ];
+           Tuple.of_list [ Value.str "bob"; Value.null 0 ];
+           Tuple.of_list [ Value.str "cyd"; Value.null 0 ] ]);
+        ("office", [ Tuple.of_list [ Value.str "paris" ] ]) ]
+  in
+  Format.printf "Database:@.%a@.@." Database.pp db;
+
+  (* employees without an office in their city:
+     π_name(employee) − π_name(σ_{city = office.city}(employee × office)) *)
+  let q =
+    Algebra.Diff
+      ( Algebra.Project ([ 0 ], Algebra.Rel "employee"),
+        Algebra.Project
+          ( [ 0 ],
+            Algebra.Select
+              (Condition.eq_col 1 2,
+               Algebra.Product (Algebra.Rel "employee", Algebra.Rel "office"))
+          ) )
+  in
+  Format.printf "Query: %a@.@." Algebra.pp q;
+
+  (* 1. naive evaluation: nulls as plain values — fast but unsound *)
+  Format.printf "Naive evaluation:      %a@." Relation.pp (Naive.run db q);
+
+  (* 2. exact certain answers (exponential, ground truth) *)
+  Format.printf "Certain answers:       %a@." Relation.pp
+    (Certainty.cert_with_nulls_ra db q);
+
+  (* 3. polynomial approximations of Figure 2(b): sound under- and
+     over-approximations *)
+  Format.printf "Q+ (certainly in):     %a@." Relation.pp
+    (Scheme_pm.certain_sub db q);
+  Format.printf "Q? (possibly in):      %a@." Relation.pp
+    (Scheme_pm.possible_sup db q);
+
+  (* 4. probabilistic classification: which answers hold with
+     probability 1 in a random possible world? *)
+  let acid t =
+    if Prob.Zero_one.almost_certainly_true_ra db q t then "yes" else "no"
+  in
+  Format.printf "Almost certainly ann?  %s@."
+    (acid (Tuple.of_list [ Value.str "ann" ]));
+  Format.printf "Almost certainly bob?  %s@.@."
+    (acid (Tuple.of_list [ Value.str "bob" ]));
+
+  (* 5. what SQL would do, three-valued logic and all *)
+  let sql =
+    "SELECT name FROM employee WHERE city NOT IN (SELECT city FROM office)"
+  in
+  Format.printf "SQL 3VL answer to %s:@.  %a@." sql Relation.pp
+    (Sql.Three_valued.run db sql)

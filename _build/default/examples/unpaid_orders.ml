@@ -1,0 +1,92 @@
+(* The paper's running example (Figure 1 and Section 1): a bookstore
+   database where a single NULL makes SQL both miss answers and invent
+   answers — and how the library's sound evaluation avoids both.
+
+     dune exec examples/unpaid_orders.exe
+*)
+
+open Incdb
+
+let schema =
+  Schema.of_list
+    [ ("Orders", [ "oid"; "title"; "price" ]);
+      ("Payments", [ "cid"; "oid" ]);
+      ("Customers", [ "cid"; "name" ]) ]
+
+let orders =
+  [ Tuple.of_list [ Value.str "o1"; Value.str "Big Data"; Value.int 30 ];
+    Tuple.of_list [ Value.str "o2"; Value.str "SQL"; Value.int 35 ];
+    Tuple.of_list [ Value.str "o3"; Value.str "Logic"; Value.int 50 ] ]
+
+let customers =
+  [ Tuple.of_list [ Value.str "c1"; Value.str "John" ];
+    Tuple.of_list [ Value.str "c2"; Value.str "Mary" ] ]
+
+let complete_db =
+  Database.of_list schema
+    [ ("Orders", orders);
+      ("Payments",
+       [ Tuple.of_list [ Value.str "c1"; Value.str "o1" ];
+         Tuple.of_list [ Value.str "c2"; Value.str "o2" ] ]);
+      ("Customers", customers) ]
+
+(* the oid of Mary's payment is lost *)
+let null_db =
+  Database.of_list schema
+    [ ("Orders", orders);
+      ("Payments",
+       [ Tuple.of_list [ Value.str "c1"; Value.str "o1" ];
+         Tuple.of_list [ Value.str "c2"; Value.null 0 ] ]);
+      ("Customers", customers) ]
+
+let queries =
+  [ ("unpaid orders",
+     "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)");
+    ("customers without a paid order",
+     "SELECT C.cid FROM Customers C WHERE NOT EXISTS (SELECT * FROM Orders \
+      O, Payments P WHERE C.cid = P.cid AND P.oid = O.oid)");
+    ("trivially true filter",
+     "SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'") ]
+
+let () =
+  Format.printf "=== Figure 1: complete database ===@.%a@.@." Database.pp
+    complete_db;
+  List.iter
+    (fun (name, sql) ->
+      Format.printf "%-33s -> %a@." name Relation.pp
+        (Sql.Three_valued.run complete_db sql))
+    queries;
+
+  Format.printf
+    "@.=== Now the oid of Mary's payment becomes NULL ===@.%a@.@." Database.pp
+    null_db;
+  List.iter
+    (fun (name, sql) ->
+      let sql_answer = Sql.Three_valued.run null_db sql in
+      let q = Sql.To_algebra.translate_string schema sql in
+      let certain = Certainty.cert_with_nulls_ra null_db q in
+      let sound = Scheme_pm.certain_sub null_db q in
+      Format.printf "%-33s@." name;
+      Format.printf "  SQL (3VL) says:        %a@." Relation.pp sql_answer;
+      Format.printf "  certain answers:       %a@." Relation.pp certain;
+      Format.printf "  sound approximation:   %a@." Relation.pp sound;
+      let fp =
+        Relation.diff (Relation.filter Tuple.is_complete sql_answer) certain
+      in
+      if not (Relation.is_empty fp) then
+        Format.printf "  !! SQL invented:       %a@." Relation.pp fp;
+      let fn = Relation.diff (Relation.filter Tuple.is_complete certain) sql_answer in
+      if not (Relation.is_empty fn) then
+        Format.printf "  !! SQL missed:         %a@." Relation.pp fn;
+      Format.printf "@.")
+    queries;
+
+  (* the aware c-table strategy recovers the tautology answers that the
+     rewriting-based approximation misses *)
+  let taut =
+    Sql.To_algebra.translate_string schema
+      "SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'"
+  in
+  Format.printf "aware c-table strategy on the tautology query: %a@."
+    Relation.pp
+    (Ctables.Ceval.certain Ctables.Ceval.Aware null_db taut)

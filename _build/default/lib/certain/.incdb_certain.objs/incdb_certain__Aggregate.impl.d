@@ -1,0 +1,1 @@
+lib/certain/aggregate.ml: Algebra Array Certainty Database Eval Format Fun Int List Printf Relation Scheme_pm Tuple Value

@@ -1,0 +1,1 @@
+lib/certain/aggregate.mli: Algebra Database Format

@@ -1,0 +1,1 @@
+lib/certain/bag_bounds.ml: Algebra Bag_eval Bag_relation Certainty Database List Scheme_pm Valuation

@@ -1,0 +1,1 @@
+lib/certain/bag_bounds.mli: Algebra Bag_relation Database Tuple

@@ -1,0 +1,1 @@
+lib/certain/certainty.ml: Algebra Classes Database Eval Fo Homomorphism Incdb_logic List Naive Printf Relation Schema Tuple Valuation Value

@@ -1,0 +1,1 @@
+lib/certain/certainty.mli: Algebra Database Fo Relation Valuation Value

@@ -1,0 +1,1 @@
+lib/certain/classes.ml: Algebra Condition List

@@ -1,0 +1,1 @@
+lib/certain/classes.mli: Algebra Condition Schema

@@ -1,0 +1,1 @@
+lib/certain/classify.ml: Algebra Certainty Eval Fun List Relation Scheme_pm Tuple Valuation

@@ -1,0 +1,1 @@
+lib/certain/classify.mli: Algebra Database Tuple

@@ -1,0 +1,1 @@
+lib/certain/naive.ml: Array Database Eval Incdb_logic Relation Valuation

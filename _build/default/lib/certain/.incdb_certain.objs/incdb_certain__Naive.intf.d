@@ -1,0 +1,1 @@
+lib/certain/naive.mli: Algebra Database Fo Relation

@@ -1,0 +1,1 @@
+lib/certain/owa.ml: Classes Database Eval Homomorphism Naive

@@ -1,0 +1,1 @@
+lib/certain/owa.mli: Algebra Database Homomorphism Relation

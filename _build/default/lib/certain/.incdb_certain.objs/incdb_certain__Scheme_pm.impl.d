@@ -1,0 +1,1 @@
+lib/certain/scheme_pm.ml: Algebra Classes Condition Database Eval

@@ -1,0 +1,1 @@
+lib/certain/scheme_pm.mli: Algebra Database Relation Schema

@@ -1,0 +1,1 @@
+lib/certain/scheme_tf.ml: Algebra Classes Condition Database Eval

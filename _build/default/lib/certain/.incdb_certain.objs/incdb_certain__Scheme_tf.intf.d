@@ -1,0 +1,1 @@
+lib/certain/scheme_tf.mli: Algebra Database Relation Schema

@@ -1,0 +1,64 @@
+(** Aggregation over incomplete databases (Section 6, "Value-inventing
+    queries", and [23]).
+
+    Aggregates invent values, so certain answers with nulls cannot
+    describe them; the natural notion — used by [23] and by the bag
+    section's □/◇ bounds — is the {e range} an aggregate can take
+    across possible worlds.  This module computes:
+
+    - {b exact ranges} by canonical-world enumeration (exponential, the
+      ground truth; by genericity, cardinalities and integer-column
+      aggregates are collision-pattern invariants);
+    - {b polynomial bounds} for COUNT from the (Q⁺, Q?) scheme: a
+      greedy pairwise-non-unifiable subset of Q⁺(D) survives as
+      distinct tuples in every world (sound lower bound), and |Q?(D)|
+      bounds every world's answer size from above.
+
+    SUM/MIN/MAX ranges are finite only when no possible answer carries
+    a null in the aggregated column — otherwise the unknown value can
+    be an arbitrary integer and the range is reported as unbounded on
+    the corresponding side(s). *)
+
+type bound =
+  | Neg_inf
+  | Fin of int
+  | Pos_inf
+
+val compare_bound : bound -> bound -> int
+val pp_bound : Format.formatter -> bound -> unit
+
+(** The range of an aggregate across possible worlds.  For MIN/MAX,
+    [empty_possible] signals worlds where the answer is empty and SQL
+    would return NULL (the numeric bounds then describe the non-empty
+    worlds). *)
+type range = {
+  lo : bound;
+  hi : bound;
+  empty_possible : bool;
+}
+
+val pp_range : Format.formatter -> range -> unit
+
+(** [count_range db q] — exact (min, max) of |Q(v(D))| over possible
+    worlds. *)
+val count_range : Database.t -> Algebra.t -> int * int
+
+(** [count_bounds db q] — polynomial-time sound bounds:
+    [fst] ≤ min count and max count ≤ [snd].
+    @raise Scheme_pm.Unsupported on queries outside the scheme. *)
+val count_bounds : Database.t -> Algebra.t -> int * int
+
+type op =
+  | Sum
+  | Min
+  | Max
+
+exception Unsupported of string
+
+(** [range db q ~col op] — the exact range of the aggregate over the
+    integer column [col] of the query's answers, across possible
+    worlds; unbounded sides when a null can reach the column, per the
+    module description.  SUM of an empty answer is 0 (and
+    [empty_possible] is irrelevant for SUM).
+    @raise Unsupported when the column can hold non-integer constants. *)
+val range : Database.t -> Algebra.t -> col:int -> op -> range

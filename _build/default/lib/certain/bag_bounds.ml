@@ -1,0 +1,41 @@
+type merge = [ `Sum | `Collapse ]
+
+let world_multiplicities ~merge db q tuple =
+  let query_consts = Algebra.consts q in
+  let worlds = Certainty.canonical_worlds ~query_consts db in
+  (* valuations must act on bags: tuples merged by the valuation combine
+     their multiplicities, which the set-level image would lose *)
+  let apply =
+    match merge with
+    | `Sum -> Bag_relation.apply_valuation
+    | `Collapse -> Bag_relation.apply_valuation_collapse
+  in
+  let base_bags =
+    Database.fold
+      (fun name r acc -> (name, Bag_relation.of_relation r) :: acc)
+      db []
+  in
+  List.map
+    (fun (v, world) ->
+      let bags = List.map (fun (name, b) -> (name, apply v b)) base_bags in
+      let answer = Bag_eval.run ~bags world q in
+      Bag_relation.multiplicity (Valuation.apply_tuple v tuple) answer)
+    worlds
+
+let box ?(merge = `Sum) db q tuple =
+  match world_multiplicities ~merge db q tuple with
+  | [] -> assert false
+  | m :: ms -> List.fold_left min m ms
+
+let diamond ?(merge = `Sum) db q tuple =
+  match world_multiplicities ~merge db q tuple with
+  | [] -> assert false
+  | m :: ms -> List.fold_left max m ms
+
+let lower_bound db q =
+  Bag_eval.run db (Scheme_pm.translate_plus (Database.schema db) q)
+
+let upper_bound db q =
+  Bag_eval.run db (Scheme_pm.translate_maybe (Database.schema db) q)
+
+let certain_multiplicity_one db q tuple = box db q tuple >= 1

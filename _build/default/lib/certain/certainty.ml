@@ -1,0 +1,90 @@
+let pattern_consts ~query_consts db =
+  let db_consts = Database.consts db in
+  let extra =
+    List.filter
+      (fun c -> not (List.exists (Value.equal_const c) db_consts))
+      query_consts
+  in
+  db_consts @ extra
+
+let canonical_worlds ~query_consts db =
+  let consts = pattern_consts ~query_consts db in
+  let nulls = Database.nulls db in
+  List.map
+    (fun v -> (v, Valuation.apply_db v db))
+    (Valuation.enumerate_canonical ~nulls ~consts)
+
+let cert_with_nulls ~run ~query_consts db =
+  (* candidates: cert⊥(Q,D) ⊆ Qnaive(D) because a bijective valuation
+     into fresh constants is itself a valuation *)
+  let candidates = Naive.run_with ~run db in
+  let worlds = canonical_worlds ~query_consts db in
+  let answers =
+    List.map (fun (v, world) -> (v, run world)) worlds
+  in
+  Relation.filter
+    (fun t ->
+      List.for_all
+        (fun (v, answer) -> Relation.mem (Valuation.apply_tuple v t) answer)
+        answers)
+    candidates
+
+let keep_complete r = Relation.filter Tuple.is_complete r
+
+let cert_intersection ~run ~query_consts db =
+  keep_complete (cert_with_nulls ~run ~query_consts db)
+
+let cert_intersection_direct ~run ~query_consts db =
+  (* A tuple mentioning an invented (fresh) constant cannot be in the
+     intersection: by genericity some possible world avoids that
+     constant altogether.  So restrict each world's answer to tuples
+     over the constants of D and of the query before intersecting. *)
+  let allowed = pattern_consts ~query_consts db in
+  let over_allowed t =
+    List.for_all
+      (fun c -> List.exists (Value.equal_const c) allowed)
+      (Tuple.consts t)
+  in
+  let world_answer world = Relation.filter over_allowed (keep_complete (run world)) in
+  match canonical_worlds ~query_consts db with
+  | [] -> assert false (* there is always at least the empty valuation *)
+  | (_, first) :: rest ->
+    List.fold_left
+      (fun acc (_, world) ->
+        if Relation.is_empty acc then acc
+        else Relation.inter acc (world_answer world))
+      (world_answer first) rest
+
+let ra_run q db = Eval.run db q
+
+let cert_with_nulls_ra db q =
+  cert_with_nulls ~run:(ra_run q) ~query_consts:(Algebra.consts q) db
+
+let cert_intersection_ra db q =
+  cert_intersection ~run:(ra_run q) ~query_consts:(Algebra.consts q) db
+
+let fo_run phi db =
+  Incdb_logic.Semantics.certain_true Incdb_logic.Semantics.all_bool db phi
+
+let cert_with_nulls_fo db phi =
+  cert_with_nulls ~run:(fo_run phi) ~query_consts:(Fo.consts phi) db
+
+let cert_intersection_fo db phi =
+  cert_intersection ~run:(fo_run phi) ~query_consts:(Fo.consts phi) db
+
+let certain_boolean db q =
+  Eval.boolean (cert_with_nulls_ra db q)
+
+let certain_object_ucq db q =
+  if not (Classes.is_positive q) then
+    invalid_arg
+      "Certainty.certain_object_ucq: the certain-answer object is computed \
+       for unions of conjunctive queries only";
+  let answer = Naive.run db q in
+  (* wrap the answer as a one-relation database and take its core *)
+  let k = Relation.arity answer in
+  let schema = Schema.of_list [ ("ans", List.init k (Printf.sprintf "c%d")) ] in
+  let as_db =
+    Database.set_relation (Database.create schema) "ans" answer
+  in
+  Database.relation (Homomorphism.core as_db) "ans"

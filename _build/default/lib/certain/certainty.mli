@@ -1,0 +1,77 @@
+(** Exact certain answers (Section 3.2): certain answers with nulls
+    cert⊥ and intersection-based certain answers cert∩, both under the
+    closed-world semantics of the source database.
+
+    Both are computed by enumerating {e canonical} valuations
+    ({!Valuation.enumerate_canonical}): by genericity, whether
+    [v(t̄) ∈ Q(v(D))] depends only on which nulls collide with each
+    other and with which constants of [D] and of the query, so it
+    suffices to check one valuation per collision pattern.  This is
+    exponential in the number of nulls — cert⊥ is coNP-complete in data
+    complexity (Theorem 3.12) — and serves as the ground truth against
+    which the polynomial approximation schemes are measured. *)
+
+(** [cert_with_nulls ~run ~query_consts db] is cert⊥(Q, D) for the
+    generic query executed by [run]; [query_consts] must list the
+    constants mentioned by the query (they take part in collision
+    patterns).  The answer may contain nulls of [D] (Definition 3.9). *)
+val cert_with_nulls :
+  run:(Database.t -> Relation.t) ->
+  query_consts:Value.const list ->
+  Database.t ->
+  Relation.t
+
+(** [cert_intersection ~run ~query_consts db] is cert∩(Q, D): the
+    null-free certain answers (Definition 3.7), computed as
+    cert⊥ ∩ Const^m (Proposition 3.10). *)
+val cert_intersection :
+  run:(Database.t -> Relation.t) ->
+  query_consts:Value.const list ->
+  Database.t ->
+  Relation.t
+
+(** [cert_intersection_direct] computes cert∩ from its definition, as
+    the intersection of the query answers over one representative
+    possible world per collision pattern; used to cross-validate
+    Proposition 3.10 in the tests. *)
+val cert_intersection_direct :
+  run:(Database.t -> Relation.t) ->
+  query_consts:Value.const list ->
+  Database.t ->
+  Relation.t
+
+(** Relational algebra front ends. *)
+
+val cert_with_nulls_ra : Database.t -> Algebra.t -> Relation.t
+val cert_intersection_ra : Database.t -> Algebra.t -> Relation.t
+
+(** FO front ends (free variables in {!Fo.free_vars} order). *)
+
+val cert_with_nulls_fo : Database.t -> Fo.t -> Relation.t
+val cert_intersection_fo : Database.t -> Fo.t -> Relation.t
+
+(** [certain_boolean db q] for Boolean (0-ary) algebra queries: [true]
+    iff the query holds in every possible world. *)
+val certain_boolean : Database.t -> Algebra.t -> bool
+
+(** [certain_object_ucq db q] — the {e information-based certain answer
+    as an object} (Definition 3.3, Proposition 3.6(b)): for a union of
+    conjunctive queries under OWA, the greatest lower bound of the
+    query's answers in the information order exists and is realised by
+    the naive-evaluation table read as an incomplete relation; we
+    return its {e core}, the canonical minimal representative (the
+    object is unique up to hom-equivalence, cf. the Theorem 3.11
+    discussion of cores).  The result may keep nulls — unlike cert∩ —
+    and is ⪯-below the answer in every possible world, which the tests
+    verify by exhibiting homomorphisms.
+    @raise Invalid_argument if [q] is not positive. *)
+val certain_object_ucq : Database.t -> Algebra.t -> Relation.t
+
+(** [canonical_worlds ~query_consts db] lists one [(v, v(D))] pair per
+    collision pattern — the finite set of representative possible
+    worlds used throughout; exposed for tests and for the probabilistic
+    module. *)
+val canonical_worlds :
+  query_consts:Value.const list ->
+  Database.t ->
+  (Valuation.t * Database.t) list

@@ -1,0 +1,42 @@
+type verdict =
+  | Certain
+  | Possible
+  | Impossible
+
+let verdict_to_string = function
+  | Certain -> "certain"
+  | Possible -> "possible"
+  | Impossible -> "impossible"
+
+let classify db q tuple =
+  let plus = Scheme_pm.certain_sub db q in
+  if Relation.mem tuple plus then Certain
+  else begin
+    let maybe = Scheme_pm.possible_sup db q in
+    if Relation.exists (Tuple.unifiable tuple) maybe then Possible
+    else Impossible
+  end
+
+let classify_exact db q tuple =
+  let query_consts = Algebra.consts q in
+  let worlds = Certainty.canonical_worlds ~query_consts db in
+  let hits =
+    List.map
+      (fun (v, world) ->
+        Relation.mem (Valuation.apply_tuple v tuple) (Eval.run world q))
+      worlds
+  in
+  if List.for_all Fun.id hits then Certain
+  else if List.exists Fun.id hits then Possible
+  else Impossible
+
+let report db q =
+  let plus = Scheme_pm.certain_sub db q in
+  let maybe = Scheme_pm.possible_sup db q in
+  let candidates = Relation.union plus maybe in
+  Relation.fold
+    (fun t acc ->
+      let verdict = if Relation.mem t plus then Certain else Possible in
+      (t, verdict) :: acc)
+    candidates []
+  |> List.rev

@@ -1,0 +1,36 @@
+(** Three-way classification of candidate answers.
+
+    Section 6 ("Certain answers as knowledge", citing [50]) advocates
+    complementing certain answers with {e negative} and {e possible}
+    answers.  This module classifies any candidate tuple using the
+    polynomial machinery:
+
+    - {b Certain}: the tuple is in Q⁺(D) — an answer in every world;
+    - {b Impossible}: the tuple unifies with no tuple of Q?(D) — an
+      answer in no world (the certainly-false side, without the
+      expensive Qᶠ translation);
+    - {b Possible}: everything in between.
+
+    Both verdict sides are sound but incomplete (the exact versions are
+    coNP-hard); {!classify_exact} gives the ground truth by world
+    enumeration for small instances. *)
+
+type verdict =
+  | Certain
+  | Possible
+  | Impossible
+
+val verdict_to_string : verdict -> string
+
+(** [classify db q tuple] — polynomial, sound on the Certain and
+    Impossible sides. *)
+val classify : Database.t -> Algebra.t -> Tuple.t -> verdict
+
+(** [classify_exact db q tuple] — exponential ground truth: Certain iff
+    an answer in every canonical world, Impossible iff in none. *)
+val classify_exact : Database.t -> Algebra.t -> Tuple.t -> verdict
+
+(** [report db q] classifies every tuple of Q?(D) (the possible
+    answers) plus every certain answer, giving the full annotated
+    answer of [27]-style uncertainty-annotated databases. *)
+val report : Database.t -> Algebra.t -> (Tuple.t * verdict) list

@@ -1,0 +1,29 @@
+type world_semantics =
+  | Cwa
+  | Onto_worlds
+  | Owa
+
+exception Not_supported of string
+
+let kind_of_semantics = function
+  | Cwa -> Homomorphism.Strong_onto
+  | Onto_worlds -> Homomorphism.Onto
+  | Owa -> Homomorphism.Arbitrary
+
+let is_possible_world ~semantics ~of_ candidate =
+  Database.is_complete candidate
+  && Homomorphism.exists ~kind:(kind_of_semantics semantics) ~from_:of_
+       ~to_:candidate ()
+
+let certain_answers_ucq db q =
+  if not (Classes.is_ucq q) then
+    raise
+      (Not_supported
+         "Owa.certain_answers_ucq: query is not a union of conjunctive \
+          queries; OWA certain answers are undecidable beyond UCQs")
+  else Naive.run db q
+
+let preserved_on ~kind q ~from_ ~to_ =
+  if not (Homomorphism.exists ~kind ~from_ ~to_ ()) then true
+  else if not (Eval.boolean (Naive.run from_ q)) then true
+  else Eval.boolean (Naive.run to_ q)

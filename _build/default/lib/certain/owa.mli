@@ -1,0 +1,43 @@
+(** Open-world reasoning (Sections 2, 3.2 and 4.1).
+
+    The closed-world semantics ⟦D⟧ consists of the valuations' images
+    v(D); the open-world semantics ⟦D⟧owa adds arbitrary supersets.
+    Both — and the intermediate semantics of Theorem 4.3 — can be
+    phrased through homomorphism classes: D' ∈ ⟦D⟧_H iff D' is complete
+    and some homomorphism in H maps D to D' fixing constants, with
+    H = all (OWA), strong onto (CWA), or onto.
+
+    Certain answers under OWA are undecidable for FO (Theorem 3.12), so
+    this module exposes exactly what is available: membership tests for
+    possible worlds, and certain answers for the classes where naive
+    evaluation is exact (UCQs — Theorem 4.4). *)
+
+type world_semantics =
+  | Cwa  (** strong onto homomorphisms: D' = h(D) *)
+  | Onto_worlds  (** onto homomorphisms: h(dom D) = dom D' *)
+  | Owa  (** arbitrary homomorphisms *)
+
+(** [is_possible_world ~semantics ~of_:d candidate] decides
+    candidate ∈ ⟦d⟧ under the chosen semantics.  [candidate] must be
+    complete (otherwise [false]). *)
+val is_possible_world :
+  semantics:world_semantics -> of_:Database.t -> Database.t -> bool
+
+exception Not_supported of string
+
+(** [certain_answers_ucq db q] is cert⊥(Q, D) under OWA for a union of
+    conjunctive queries, computed by naive evaluation (Theorem 4.4 —
+    for UCQs the OWA and CWA certain answers coincide with it).
+    @raise Not_supported if [q] is not positive. *)
+val certain_answers_ucq : Database.t -> Algebra.t -> Relation.t
+
+(** [preserved_on ~kind q ~from_ ~to_] — test utility for Theorem 4.3:
+    when a homomorphism of class [kind] exists from [from_] to [to_],
+    checks that a Boolean query satisfied on [from_] is satisfied on
+    [to_] ([true] when no homomorphism exists or the premise fails). *)
+val preserved_on :
+  kind:Homomorphism.kind ->
+  Algebra.t ->
+  from_:Database.t ->
+  to_:Database.t ->
+  bool

@@ -1,0 +1,116 @@
+(** incdb — certain answers over incomplete relational databases.
+
+    This is the umbrella module: it re-exports the full public API of
+    the library, organised as in the paper (Console, Guagliardo, Libkin,
+    Toussaint, {e Coping with Incomplete Data: Recent Advances},
+    PODS 2020).
+
+    {1 Data model (Section 2)}
+
+    Databases mix constants with marked nulls; a valuation turns an
+    incomplete database into one of its possible worlds. *)
+
+module Value = Incdb_relational.Value
+module Tuple = Incdb_relational.Tuple
+module Schema = Incdb_relational.Schema
+module Relation = Incdb_relational.Relation
+module Bag_relation = Incdb_relational.Bag_relation
+module Database = Incdb_relational.Database
+module Valuation = Incdb_relational.Valuation
+module Homomorphism = Incdb_relational.Homomorphism
+
+(** {1 Queries}
+
+    Relational algebra with the paper's selection-condition grammar,
+    evaluated under set or bag semantics; first-order logic with
+    many-valued semantics; and a mini SQL front end. *)
+
+module Condition = Incdb_relational.Condition
+module Algebra = Incdb_relational.Algebra
+module Eval = Incdb_relational.Eval
+module Bag_eval = Incdb_relational.Bag_eval
+module Optimize = Incdb_relational.Optimize
+module Codd = Incdb_relational.Codd
+module Csv_io = Incdb_relational.Csv_io
+
+module Fo = Incdb_logic.Fo
+module Semantics = Incdb_logic.Semantics
+module Bridge = Incdb_logic.Bridge
+module Fo_parser = Incdb_logic.Fo_parser
+
+module Sql = struct
+  module Ast = Incdb_sql.Ast
+  module Lexer = Incdb_sql.Lexer
+  module Parser = Incdb_sql.Parser
+  module Three_valued = Incdb_sql.Three_valued
+  module To_algebra = Incdb_sql.To_algebra
+end
+
+(** {1 Certain answers (Sections 3 and 4)}
+
+    Exact certainty (cert⊥ and cert∩), naive evaluation and the classes
+    on which it is exact, the two polynomial approximation schemes of
+    Figure 2, bag-semantics multiplicity bounds, and the c-table
+    strategies. *)
+
+module Certainty = Incdb_certain.Certainty
+module Naive = Incdb_certain.Naive
+module Owa = Incdb_certain.Owa
+module Classes = Incdb_certain.Classes
+module Scheme_tf = Incdb_certain.Scheme_tf
+module Scheme_pm = Incdb_certain.Scheme_pm
+module Bag_bounds = Incdb_certain.Bag_bounds
+module Aggregate = Incdb_certain.Aggregate
+module Classify = Incdb_certain.Classify
+
+module Ctables = struct
+  module Cond = Incdb_ctables.Cond
+  module Ctable = Incdb_ctables.Ctable
+  module Cdb = Incdb_ctables.Cdb
+  module Ceval = Incdb_ctables.Ceval
+end
+
+(** {1 Probabilistic guarantees (Section 4.3)}
+
+    The 0–1 law, supports and µₖ, integrity constraints, the chase, and
+    exact conditional probabilities µ(Q | Σ, D, ā). *)
+
+module Prob = struct
+  module Rational = Incdb_prob.Rational
+  module Polynomial = Incdb_prob.Polynomial
+  module Support = Incdb_prob.Support
+  module Zero_one = Incdb_prob.Zero_one
+  module Constraints = Incdb_prob.Constraints
+  module Chase = Incdb_prob.Chase
+  module Conditional = Incdb_prob.Conditional
+end
+
+(** {1 Many-valued logics (Section 5)} *)
+
+module Logic = struct
+  module Truth = Incdb_logic.Truth
+  module Boolean = Incdb_logic.Boolean
+  module Kleene = Incdb_logic.Kleene
+  module Sixv = Incdb_logic.Sixv
+  module Belnap = Incdb_logic.Belnap
+  module Assertion = Incdb_logic.Assertion
+  module Laws = Incdb_logic.Laws
+  module Capture = Incdb_logic.Capture
+end
+
+(** {1 Datalog (Section 2's recursive language; monotone, so naive
+    evaluation is exactly certain — Theorem 4.3 beyond FO)} *)
+
+module Datalog = struct
+  module Syntax = Incdb_datalog.Syntax
+  module Parser = Incdb_datalog.Parser
+  module Eval = Incdb_datalog.Eval
+  module Stratified = Incdb_datalog.Stratified
+end
+
+(** {1 Workloads} *)
+
+module Workload = struct
+  module Generator = Incdb_workload.Generator
+  module Tpch_mini = Incdb_workload.Tpch_mini
+end

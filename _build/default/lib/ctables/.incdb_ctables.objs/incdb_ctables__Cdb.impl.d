@@ -1,0 +1,1 @@
+lib/ctables/cdb.ml: Cond Ctable Database Format Int List Map Printf Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/ctables/cdb.mli: Ctable Database Format Schema Valuation Value

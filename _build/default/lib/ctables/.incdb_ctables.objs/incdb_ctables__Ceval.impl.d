@@ -1,0 +1,1 @@
+lib/ctables/ceval.ml: Algebra Cdb Cond Ctable Database Incdb_certain List Relation Tuple

@@ -1,0 +1,1 @@
+lib/ctables/ceval.mli: Algebra Cdb Ctable Database Relation

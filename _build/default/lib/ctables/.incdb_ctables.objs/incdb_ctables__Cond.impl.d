@@ -1,0 +1,1 @@
+lib/ctables/cond.ml: Array Condition Format Hashtbl Int Kleene List Printf Tuple Valuation Value

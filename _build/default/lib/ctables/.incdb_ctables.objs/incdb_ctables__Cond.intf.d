@@ -1,0 +1,1 @@
+lib/ctables/cond.mli: Condition Format Kleene Tuple Valuation Value

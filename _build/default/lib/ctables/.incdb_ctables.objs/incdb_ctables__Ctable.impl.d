@@ -1,0 +1,1 @@
+lib/ctables/ctable.ml: Cond Format Kleene List Printf Relation Tuple Valuation

@@ -1,0 +1,1 @@
+lib/ctables/ctable.mli: Cond Format Relation Tuple Valuation

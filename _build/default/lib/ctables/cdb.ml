@@ -1,0 +1,85 @@
+module String_map = Map.Make (String)
+
+type t = {
+  schema : Schema.t;
+  ctables : Ctable.t String_map.t;
+}
+
+let schema cdb = cdb.schema
+
+let of_database db =
+  let schema = Database.schema db in
+  let ctables =
+    List.fold_left
+      (fun m (d : Schema.relation_decl) ->
+        String_map.add d.name
+          (Ctable.of_relation (Database.relation db d.name))
+          m)
+      String_map.empty (Schema.relations schema)
+  in
+  { schema; ctables }
+
+let of_list schema bindings =
+  let empty =
+    List.fold_left
+      (fun m (d : Schema.relation_decl) ->
+        String_map.add d.name (Ctable.empty (List.length d.attributes)) m)
+      String_map.empty (Schema.relations schema)
+  in
+  let ctables =
+    List.fold_left
+      (fun m (name, ctuples) ->
+        if not (String_map.mem name m) then
+          invalid_arg (Printf.sprintf "Cdb.of_list: unknown relation %s" name);
+        String_map.add name
+          (Ctable.of_list (Schema.arity schema name) ctuples)
+          m)
+      empty bindings
+  in
+  { schema; ctables }
+
+let ctable cdb name =
+  match String_map.find_opt name cdb.ctables with
+  | Some ct -> ct
+  | None -> raise Not_found
+
+let nulls cdb =
+  let acc = ref [] in
+  let add n = if not (List.mem n !acc) then acc := n :: !acc in
+  String_map.iter
+    (fun _ ct ->
+      List.iter
+        (fun (c : Ctable.ctuple) ->
+          List.iter add (Tuple.nulls c.tuple);
+          List.iter add (Cond.nulls c.cond))
+        (Ctable.to_list ct))
+    cdb.ctables;
+  List.sort Int.compare !acc
+
+let consts cdb =
+  let acc = ref [] in
+  let add c =
+    if not (List.exists (Value.equal_const c) !acc) then acc := c :: !acc
+  in
+  String_map.iter
+    (fun _ ct ->
+      List.iter
+        (fun (c : Ctable.ctuple) -> List.iter add (Tuple.consts c.tuple))
+        (Ctable.to_list ct))
+    cdb.ctables;
+  List.rev !acc
+
+let world v cdb =
+  String_map.fold
+    (fun name ct db ->
+      Database.set_relation db name (Ctable.answer_in_world v ct))
+    cdb.ctables
+    (Database.create cdb.schema)
+
+let pp ppf cdb =
+  let pp_binding ppf (name, ct) =
+    Format.fprintf ppf "@[<2>%s =@ %a@]" name Ctable.pp ct
+  in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_binding)
+    (String_map.bindings cdb.ctables)

@@ -1,0 +1,38 @@
+(** Conditional databases: databases whose relations are c-tables.
+
+    The algorithms of [36] (Section 4.2) are defined on conditional
+    databases — the input database is first converted into one where
+    all conditions are true, but evaluation and its intermediate
+    results live in this richer space, and genuinely conditional
+    inputs (e.g. the output of data cleaning or exchange) are equally
+    valid starting points.  {!Ceval.eval_cdb} runs the four strategies
+    directly on a conditional database. *)
+
+type t
+
+val schema : t -> Schema.t
+
+(** [of_database db] — every fact holds unconditionally. *)
+val of_database : Database.t -> t
+
+(** [of_list schema bindings] — build from explicit c-tuples; unlisted
+    relations are empty.
+    @raise Invalid_argument on arity mismatches. *)
+val of_list : Schema.t -> (string * Ctable.ctuple list) list -> t
+
+(** @raise Not_found for relations outside the schema. *)
+val ctable : t -> string -> Ctable.t
+
+(** [nulls cdb] — distinct null labels in tuples and conditions. *)
+val nulls : t -> int list
+
+(** [consts cdb] — distinct constants in tuples (conditions excluded:
+    their constants do not enter answers). *)
+val consts : t -> Value.const list
+
+(** [world v cdb] instantiates the conditional database in the possible
+    world of valuation [v] (total on {!nulls}): conditions decide
+    membership, tuples are instantiated. *)
+val world : Valuation.t -> t -> Database.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,286 @@
+type t =
+  | True
+  | False
+  | Unknown
+  | Eq of Value.t * Value.t
+  | Neq of Value.t * Value.t
+  | Lt of Value.t * Value.t
+  | Le of Value.t * Value.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let rec ground = function
+  | True -> Kleene.T
+  | False -> Kleene.F
+  | Unknown -> Kleene.U
+  | Eq (x, y) ->
+    if Value.equal x y then Kleene.T
+    else if Value.is_const x && Value.is_const y then Kleene.F
+    else Kleene.U
+  | Neq (x, y) ->
+    if Value.equal x y then Kleene.F
+    else if Value.is_const x && Value.is_const y then Kleene.T
+    else Kleene.U
+  | Lt (x, y) ->
+    if Value.equal x y then Kleene.F
+    else if Value.is_const x && Value.is_const y then
+      Kleene.of_bool (Value.compare x y < 0)
+    else Kleene.U
+  | Le (x, y) ->
+    if Value.equal x y then Kleene.T
+    else if Value.is_const x && Value.is_const y then
+      Kleene.of_bool (Value.compare x y <= 0)
+    else Kleene.U
+  | And (a, b) -> Kleene.conj (ground a) (ground b)
+  | Or (a, b) -> Kleene.disj (ground a) (ground b)
+  | Not a -> Kleene.neg (ground a)
+
+let of_kleene = function
+  | Kleene.T -> True
+  | Kleene.F -> False
+  | Kleene.U -> Unknown
+
+(* canonical orientation of an atom's operands, so that complementary
+   pairs are syntactically recognisable *)
+let orient x y = if Value.compare x y <= 0 then (x, y) else (y, x)
+
+(* negation normal form: ¬ pushed to atoms and eliminated *)
+let rec nnf = function
+  | True -> True
+  | False -> False
+  | Unknown -> Unknown
+  | Eq (x, y) -> let x, y = orient x y in Eq (x, y)
+  | Neq (x, y) -> let x, y = orient x y in Neq (x, y)
+  | Lt _ | Le _ as c -> c
+  | And (a, b) -> And (nnf a, nnf b)
+  | Or (a, b) -> Or (nnf a, nnf b)
+  | Not a -> nnf_neg a
+
+and nnf_neg = function
+  | True -> False
+  | False -> True
+  | Unknown -> Unknown
+  | Eq (x, y) -> let x, y = orient x y in Neq (x, y)
+  | Neq (x, y) -> let x, y = orient x y in Eq (x, y)
+  | Lt (x, y) -> Le (y, x)
+  | Le (x, y) -> Lt (y, x)
+  | And (a, b) -> Or (nnf_neg a, nnf_neg b)
+  | Or (a, b) -> And (nnf_neg a, nnf_neg b)
+  | Not a -> nnf a
+
+let rec flatten_or = function
+  | Or (a, b) -> flatten_or a @ flatten_or b
+  | c -> [ c ]
+
+let rec flatten_and = function
+  | And (a, b) -> flatten_and a @ flatten_and b
+  | c -> [ c ]
+
+let complement = function
+  | Eq (x, y) -> Some (Neq (x, y))
+  | Neq (x, y) -> Some (Eq (x, y))
+  | Lt (x, y) -> Some (Le (y, x))
+  | Le (x, y) -> Some (Lt (y, x))
+  | True | False | Unknown | And _ | Or _ | Not _ -> None
+
+let rebuild unit_ op = function
+  | [] -> unit_
+  | c :: cs -> List.fold_left op c cs
+
+let simplify cond =
+  let rec go c =
+    match c with
+    | True | False | Unknown | Eq _ | Neq _ | Lt _ | Le _ ->
+      (match ground c with
+       | Kleene.T -> True
+       | Kleene.F -> False
+       | Kleene.U -> c)
+    | Not _ -> assert false (* eliminated by nnf *)
+    | And _ ->
+      let parts = List.map go (flatten_and c) in
+      if List.exists (fun p -> p = False) parts then False
+      else
+        let parts =
+          List.sort_uniq compare (List.filter (fun p -> p <> True) parts)
+        in
+        let contradictory =
+          List.exists
+            (fun p ->
+              match complement p with
+              | Some q -> List.mem q parts
+              | None -> false)
+            parts
+        in
+        if contradictory then False
+        else rebuild True (fun a b -> And (a, b)) parts
+    | Or _ ->
+      let parts = List.map go (flatten_or c) in
+      if List.exists (fun p -> p = True) parts then True
+      else
+        let parts =
+          List.sort_uniq compare (List.filter (fun p -> p <> False) parts)
+        in
+        let tautological =
+          List.exists
+            (fun p ->
+              match complement p with
+              | Some q -> List.mem q parts
+              | None -> false)
+            parts
+        in
+        if tautological then True
+        else rebuild False (fun a b -> Or (a, b)) parts
+  in
+  go (nnf cond)
+
+let forced_equalities cond =
+  (* union-find over nulls, classes optionally bound to a constant or to
+     a representative null *)
+  let parent : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let binding : (int, Value.const) Hashtbl.t = Hashtbl.create 8 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | None -> x
+    | Some p ->
+      let r = find p in
+      if r <> p then Hashtbl.replace parent x r;
+      r
+  in
+  let bind n c =
+    let r = find n in
+    match Hashtbl.find_opt binding r with
+    | None -> Hashtbl.replace binding r c
+    | Some c' -> if not (Value.equal_const c c') then () (* conflict: skip *)
+  in
+  let union n1 n2 =
+    let r1 = find n1 and r2 = find n2 in
+    if r1 <> r2 then begin
+      Hashtbl.replace parent r1 r2;
+      match Hashtbl.find_opt binding r1 with
+      | None -> ()
+      | Some c -> Hashtbl.remove binding r1; bind r2 c
+    end
+  in
+  let rec collect = function
+    | And (a, b) -> collect a; collect b
+    | Eq (Value.Null n, Value.Const c) | Eq (Value.Const c, Value.Null n) ->
+      bind n c
+    | Eq (Value.Null n1, Value.Null n2) -> union n1 n2
+    | True | False | Unknown | Eq _ | Neq _ | Lt _ | Le _ | Or _ | Not _ ->
+      ()
+  in
+  collect cond;
+  let nulls = Hashtbl.fold (fun n _ acc -> n :: acc) parent [] in
+  let all_nulls =
+    List.sort_uniq Int.compare
+      (nulls @ Hashtbl.fold (fun n _ acc -> n :: acc) binding [])
+  in
+  List.filter_map
+    (fun n ->
+      let r = find n in
+      match Hashtbl.find_opt binding r with
+      | Some c -> Some (n, Value.Const c)
+      | None -> if r <> n then Some (n, Value.Null r) else None)
+    all_nulls
+
+let subst_value subst v =
+  match v with
+  | Value.Const _ -> v
+  | Value.Null n ->
+    (match List.assoc_opt n subst with Some w -> w | None -> v)
+
+let rec substitute subst = function
+  | True -> True
+  | False -> False
+  | Unknown -> Unknown
+  | Eq (x, y) -> Eq (subst_value subst x, subst_value subst y)
+  | Neq (x, y) -> Neq (subst_value subst x, subst_value subst y)
+  | Lt (x, y) -> Lt (subst_value subst x, subst_value subst y)
+  | Le (x, y) -> Le (subst_value subst x, subst_value subst y)
+  | And (a, b) -> And (substitute subst a, substitute subst b)
+  | Or (a, b) -> Or (substitute subst a, substitute subst b)
+  | Not a -> Not (substitute subst a)
+
+let substitute_tuple subst t = Array.map (subst_value subst) t
+
+let eval v cond =
+  let value x =
+    match Valuation.apply_value v x with
+    | Value.Const _ as w -> w
+    | Value.Null n ->
+      invalid_arg (Printf.sprintf "Cond.eval: null _%d unassigned" n)
+  in
+  let rec go = function
+    | True -> true
+    | False -> false
+    | Unknown -> invalid_arg "Cond.eval: Unknown has no two-valued truth"
+    | Eq (x, y) -> Value.equal (value x) (value y)
+    | Neq (x, y) -> not (Value.equal (value x) (value y))
+    | Lt (x, y) -> Value.compare (value x) (value y) < 0
+    | Le (x, y) -> Value.compare (value x) (value y) <= 0
+    | And (a, b) -> go a && go b
+    | Or (a, b) -> go a || go b
+    | Not a -> not (go a)
+  in
+  go cond
+
+let nulls cond =
+  let acc = ref [] in
+  let add = function
+    | Value.Null n -> if not (List.mem n !acc) then acc := n :: !acc
+    | Value.Const _ -> ()
+  in
+  let rec go = function
+    | True | False | Unknown -> ()
+    | Eq (x, y) | Neq (x, y) | Lt (x, y) | Le (x, y) -> add x; add y
+    | And (a, b) | Or (a, b) -> go a; go b
+    | Not a -> go a
+  in
+  go cond;
+  List.rev !acc
+
+let of_selection theta tuple =
+  let value = function
+    | Condition.Col i ->
+      if i < 0 || i >= Tuple.arity tuple then
+        invalid_arg
+          (Printf.sprintf "Cond.of_selection: column %d out of bounds" i)
+      else tuple.(i)
+    | Condition.Lit c -> Value.Const c
+  in
+  let rec go = function
+    | Condition.True -> True
+    | Condition.False -> False
+    | Condition.Is_const i ->
+      if Value.is_const (value (Condition.Col i)) then True else False
+    | Condition.Is_null i ->
+      if Value.is_null (value (Condition.Col i)) then True else False
+    | Condition.Eq (x, y) -> Eq (value x, value y)
+    | Condition.Neq (x, y) -> Neq (value x, value y)
+    | Condition.Lt (x, y) -> Lt (value x, value y)
+    | Condition.Le (x, y) -> Le (value x, value y)
+    | Condition.And (a, b) -> And (go a, go b)
+    | Condition.Or (a, b) -> Or (go a, go b)
+  in
+  go theta
+
+let tuple_eq t1 t2 =
+  if Tuple.arity t1 <> Tuple.arity t2 then False
+  else begin
+    let conds = ref [] in
+    Array.iteri (fun i x -> conds := Eq (x, t2.(i)) :: !conds) t1;
+    rebuild True (fun a b -> And (a, b)) !conds
+  end
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "t"
+  | False -> Format.pp_print_string ppf "f"
+  | Unknown -> Format.pp_print_string ppf "u"
+  | Eq (x, y) -> Format.fprintf ppf "%a = %a" Value.pp x Value.pp y
+  | Neq (x, y) -> Format.fprintf ppf "%a ≠ %a" Value.pp x Value.pp y
+  | Lt (x, y) -> Format.fprintf ppf "%a < %a" Value.pp x Value.pp y
+  | Le (x, y) -> Format.fprintf ppf "%a ≤ %a" Value.pp x Value.pp y
+  | And (a, b) -> Format.fprintf ppf "(%a ∧ %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a ∨ %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "¬(%a)" pp a

@@ -1,0 +1,74 @@
+(** Conditions attached to c-tuples (Section 4.2, "Approximation schemes
+    based on conditional tables").
+
+    A condition constrains the valuations of nulls under which a c-tuple
+    is present: atoms are (dis)equalities between values (constants and
+    nulls), closed under ∧, ∨, ¬.  [Unknown] is the residue left by
+    grounding a condition that can be neither proved nor refuted. *)
+
+type t =
+  | True
+  | False
+  | Unknown
+  | Eq of Value.t * Value.t
+  | Neq of Value.t * Value.t
+  | Lt of Value.t * Value.t
+      (** typed order comparison — grounded like a disequality: decided
+          on constants, u when a null is involved, f when the operands
+          are literally equal *)
+  | Le of Value.t * Value.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+(** [ground c] is the three-valued truth of [c] given only what is known
+    syntactically: [Eq (x, y)] is t when [x = y] literally, f when both
+    are constants (or handled by repeated-null reasoning) and distinct,
+    u otherwise.  No propagation across atoms is attempted — that is the
+    job of {!simplify} and {!propagate}. *)
+val ground : t -> Kleene.t
+
+(** [of_kleene v] is the condition constant representing [v]. *)
+val of_kleene : Kleene.t -> t
+
+(** [simplify c] performs the "minimal rewriting" of the aware strategy:
+    recursively evaluates decidable atoms, absorbs units, removes double
+    negations, pushes ¬ to atoms, and detects complementary pairs —
+    e.g. Eq(x,y) ∨ Neq(x,y) becomes [True] even when the atom itself is
+    undecidable.  The result is equivalent on every valuation. *)
+val simplify : t -> t
+
+(** [forced_equalities c] is the set of equalities that must hold
+    whenever [c] holds: the equality atoms appearing conjunctively
+    (never under ¬ or ∨), as a most-general unifier mapping nulls to
+    values.  Used by the semi-eager strategy's equality propagation. *)
+val forced_equalities : t -> (int * Value.t) list
+
+(** [substitute subst c] replaces nulls by values in all atoms. *)
+val substitute : (int * Value.t) list -> t -> t
+
+(** [substitute_tuple subst t] applies the substitution to a tuple. *)
+val substitute_tuple : (int * Value.t) list -> Tuple.t -> Tuple.t
+
+(** [eval v c] is the two-valued truth of [c] under a valuation total on
+    the nulls of [c]: the reference semantics used in tests.
+    @raise Invalid_argument if some null is unassigned or [c] contains
+    [Unknown]. *)
+val eval : Valuation.t -> t -> bool
+
+(** [nulls c] lists the distinct null labels in [c]. *)
+val nulls : t -> int list
+
+(** [of_selection theta tuple] instantiates a relational-algebra
+    selection condition on the values of a c-tuple.  Column references
+    become the tuple's values; [const]/[null] tests are resolved
+    syntactically (they describe the incomplete database, not its
+    possible worlds). *)
+val of_selection : Condition.t -> Tuple.t -> t
+
+(** [tuple_eq t1 t2] is the condition that the two tuples coincide:
+    the conjunction of componentwise equalities (False on arity
+    mismatch). *)
+val tuple_eq : Tuple.t -> Tuple.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+(** Conditional tables: relations whose tuples carry conditions.
+
+    A c-tuple ⟨t̄, φ⟩ asserts that t̄ is in the relation exactly in the
+    possible worlds whose valuation satisfies φ (cf. Imieliński &
+    Lipski [43]). *)
+
+type ctuple = {
+  tuple : Tuple.t;
+  cond : Cond.t;
+}
+
+type t
+
+val arity : t -> int
+val empty : int -> t
+
+(** [of_list k ctuples] — duplicates are kept (their conditions may
+    differ).  @raise Invalid_argument on arity mismatch. *)
+val of_list : int -> ctuple list -> t
+
+val to_list : t -> ctuple list
+
+(** [of_relation r] attaches the condition [True] to every tuple. *)
+val of_relation : Relation.t -> t
+
+val map : arity:int -> (ctuple -> ctuple) -> t -> t
+val filter : (ctuple -> bool) -> t -> t
+val append : t -> t -> t
+val cardinal : t -> int
+
+(** [normalize ct] drops c-tuples whose condition grounds to f and
+    merges syntactically equal c-tuples (disjoining their conditions
+    would require condition equality; we merge only identical pairs). *)
+val normalize : t -> t
+
+(** [certain ct] is the relation of tuples whose condition grounds to t
+    — the set Evalₜ of (9a). *)
+val certain : t -> Relation.t
+
+(** [possible ct] is the relation of tuples whose condition grounds to t
+    or u — the set Evalₚ of (9b). *)
+val possible : t -> Relation.t
+
+(** [answer_in_world v ct] is the plain relation denoted by [ct] in the
+    possible world given by valuation [v]: the v-images of the tuples
+    whose condition is satisfied by [v].  Reference semantics used in
+    tests. *)
+val answer_in_world : Valuation.t -> t -> Relation.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/datalog/eval.ml: Array Database Format Hashtbl Incdb_certain List Relation Schema Syntax Tuple Value

@@ -1,0 +1,1 @@
+lib/datalog/parser.ml: Format List String Syntax Value

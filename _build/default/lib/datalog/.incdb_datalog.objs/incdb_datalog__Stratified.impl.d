@@ -1,0 +1,1 @@
+lib/datalog/stratified.ml: Array Database Format Hashtbl Incdb_certain List Relation Schema String Syntax Tuple Value

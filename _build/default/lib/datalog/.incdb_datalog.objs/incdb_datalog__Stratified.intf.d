@@ -1,0 +1,1 @@
+lib/datalog/stratified.mli: Database Relation Syntax

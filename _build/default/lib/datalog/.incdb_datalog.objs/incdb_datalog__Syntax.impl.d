@@ -1,0 +1,1 @@
+lib/datalog/syntax.ml: Format Hashtbl List String Value

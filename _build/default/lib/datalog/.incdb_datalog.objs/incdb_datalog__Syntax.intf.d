@@ -1,0 +1,1 @@
+lib/datalog/syntax.mli: Format Value

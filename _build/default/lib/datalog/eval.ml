@@ -1,0 +1,157 @@
+exception Eval_error of string
+
+let eval_error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+type env = (string * Value.t) list
+
+(* extend [env] so that the atom's arguments match the tuple literally
+   (nulls are values: marked nulls only match themselves) *)
+let match_tuple env (args : Syntax.term list) (t : Tuple.t) : env option =
+  let rec go env i = function
+    | [] -> Some env
+    | Syntax.Val v :: rest ->
+      if Value.equal v t.(i) then go env (i + 1) rest else None
+    | Syntax.Var x :: rest ->
+      (match List.assoc_opt x env with
+       | Some v -> if Value.equal v t.(i) then go env (i + 1) rest else None
+       | None -> go ((x, t.(i)) :: env) (i + 1) rest)
+  in
+  if List.length args <> Tuple.arity t then None else go env 0 args
+
+let instantiate_head env (head : Syntax.atom) : Tuple.t =
+  Array.of_list
+    (List.map
+       (function
+         | Syntax.Val v -> v
+         | Syntax.Var x ->
+           (match List.assoc_opt x env with
+            | Some v -> v
+            | None -> assert false (* ruled out by safety *)))
+       head.args)
+
+let run_all db program =
+  let schema = Database.schema db in
+  let edb =
+    List.map
+      (fun (d : Schema.relation_decl) -> (d.name, List.length d.attributes))
+      (Schema.relations schema)
+  in
+  let idb = Syntax.validate ~edb program in
+  let full : (string, Relation.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun (p, k) -> Hashtbl.replace full p (Relation.empty k)) idb;
+  let relation_of p =
+    match Hashtbl.find_opt full p with
+    | Some r -> r
+    | None -> Database.relation db p
+  in
+  let is_idb p = List.mem_assoc p idb in
+  (* match the body left to right; [delta_at] forces one designated body
+     position to range over the delta instead of the full instance *)
+  let fire_rule (r : Syntax.rule) ~delta ~delta_at =
+    let rec go envs i = function
+      | [] -> envs
+      | (a : Syntax.atom) :: rest ->
+        let rel =
+          if Some i = delta_at then
+            match Hashtbl.find_opt delta a.pred with
+            | Some d -> d
+            | None -> Relation.empty (List.length a.args)
+          else relation_of a.pred
+        in
+        let envs' =
+          List.concat_map
+            (fun env ->
+              Relation.fold
+                (fun t acc ->
+                  match match_tuple env a.args t with
+                  | Some env' -> env' :: acc
+                  | None -> acc)
+                rel [])
+            envs
+        in
+        go envs' (i + 1) rest
+    in
+    List.map (fun env -> instantiate_head env r.head) (go [ [] ] 0 r.body)
+  in
+  (* first round: fire every rule against the EDB (IDB still empty) *)
+  let add_new acc_tbl p tuples =
+    let known = Hashtbl.find full p in
+    let fresh =
+      List.filter (fun t -> not (Relation.mem t known)) tuples
+    in
+    if fresh <> [] then begin
+      let current =
+        match Hashtbl.find_opt acc_tbl p with
+        | Some r -> r
+        | None -> Relation.empty (Relation.arity known)
+      in
+      Hashtbl.replace acc_tbl p
+        (List.fold_left (fun r t -> Relation.add t r) current fresh)
+    end
+  in
+  let initial_delta = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Syntax.rule) ->
+      add_new initial_delta r.head.pred (fire_rule r ~delta:initial_delta ~delta_at:None))
+    program;
+  let commit delta =
+    Hashtbl.iter
+      (fun p d -> Hashtbl.replace full p (Relation.union (Hashtbl.find full p) d))
+      delta
+  in
+  commit initial_delta;
+  (* semi-naive iterations: every firing must read at least one delta *)
+  let rec loop delta rounds =
+    if rounds > 100_000 then eval_error "fixpoint did not converge";
+    if Hashtbl.length delta = 0 then ()
+    else begin
+      let next = Hashtbl.create 8 in
+      List.iter
+        (fun (r : Syntax.rule) ->
+          List.iteri
+            (fun i (a : Syntax.atom) ->
+              if is_idb a.pred && Hashtbl.mem delta a.pred then
+                add_new next r.head.pred
+                  (fire_rule r ~delta ~delta_at:(Some i)))
+            r.body)
+        program;
+      commit next;
+      loop next (rounds + 1)
+    end
+  in
+  loop initial_delta 0;
+  List.map (fun (p, _) -> (p, Hashtbl.find full p)) idb
+
+let all_idb db program = run_all db program
+
+let run db program pred =
+  match List.assoc_opt pred (run_all db program) with
+  | Some r -> r
+  | None -> eval_error "%s is not an IDB predicate of the program" pred
+
+let program_consts (program : Syntax.program) =
+  let add c acc =
+    if List.exists (Value.equal_const c) acc then acc else c :: acc
+  in
+  let term_consts acc = function
+    | Syntax.Val (Value.Const c) -> add c acc
+    | Syntax.Val (Value.Null _) | Syntax.Var _ -> acc
+  in
+  List.fold_left
+    (fun acc (r : Syntax.rule) ->
+      List.fold_left term_consts
+        (List.fold_left term_consts acc r.head.args)
+        (List.concat_map (fun (a : Syntax.atom) -> a.args) r.body))
+    [] program
+
+let certain_exact db program pred =
+  Incdb_certain.Certainty.cert_with_nulls
+    ~run:(fun d -> run d program pred)
+    ~query_consts:(program_consts program) db
+
+let transitive_closure ~edge ~path =
+  let x = Syntax.Var "x" and y = Syntax.Var "y" and z = Syntax.Var "z" in
+  [ Syntax.rule (Syntax.atom path [ x; y ]) [ Syntax.atom edge [ x; y ] ];
+    Syntax.rule
+      (Syntax.atom path [ x; z ])
+      [ Syntax.atom edge [ x; y ]; Syntax.atom path [ y; z ] ] ]

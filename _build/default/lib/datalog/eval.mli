@@ -1,0 +1,31 @@
+(** Bottom-up evaluation of positive Datalog on incomplete databases.
+
+    Evaluation is semi-naive: each iteration joins rule bodies against
+    the facts derived so far, feeding newly derived facts into the next
+    round until the fixpoint.  Nulls are treated as ordinary values
+    (naive evaluation in the sense of Section 4.1); because positive
+    Datalog is preserved under homomorphisms, the result {e is} the set
+    of certain answers with nulls, under both CWA and OWA (Theorem 4.3
+    lifted to Datalog).  The exponential cross-check via possible-world
+    enumeration is {!certain_exact}. *)
+
+exception Eval_error of string
+
+(** [run db program pred] evaluates the program with the EDB taken from
+    [db] and returns the fixpoint instance of the IDB predicate [pred].
+    @raise Syntax.Ill_formed on invalid programs.
+    @raise Eval_error if [pred] is not an IDB predicate. *)
+val run : Database.t -> Syntax.program -> string -> Relation.t
+
+(** [all_idb db program] — fixpoint instances of every IDB predicate. *)
+val all_idb : Database.t -> Syntax.program -> (string * Relation.t) list
+
+(** [certain_exact db program pred] — ground truth: cert⊥ of the
+    Datalog query computed by canonical possible-world enumeration
+    (exponential; used by the tests to validate the monotonicity
+    argument). *)
+val certain_exact : Database.t -> Syntax.program -> string -> Relation.t
+
+(** [transitive_closure ~edge ~path] — the canonical two-rule program
+    path(x,y) :- edge(x,y); path(x,z) :- edge(x,y), path(y,z). *)
+val transitive_closure : edge:string -> path:string -> Syntax.program

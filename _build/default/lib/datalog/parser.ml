@@ -1,0 +1,164 @@
+exception Parse_error of string
+
+let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | TIdent of string
+  | TInt of int
+  | TStr of string
+  | TNull of int
+  | TLparen
+  | TRparen
+  | TComma
+  | TDot
+  | TTurnstile
+  | TEof
+
+let pp_token ppf = function
+  | TIdent s -> Format.fprintf ppf "ident(%s)" s
+  | TInt n -> Format.pp_print_int ppf n
+  | TStr s -> Format.fprintf ppf "'%s'" s
+  | TNull n -> Format.fprintf ppf "_%d" n
+  | TLparen -> Format.pp_print_char ppf '('
+  | TRparen -> Format.pp_print_char ppf ')'
+  | TComma -> Format.pp_print_char ppf ','
+  | TDot -> Format.pp_print_char ppf '.'
+  | TTurnstile -> Format.pp_print_string ppf ":-"
+  | TEof -> Format.pp_print_string ppf "<eof>"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let rec scan pos acc =
+    if pos >= n then List.rev (TEof :: acc)
+    else
+      match input.[pos] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (pos + 1) acc
+      | '%' ->
+        let rec eol i = if i < n && input.[i] <> '\n' then eol (i + 1) else i in
+        scan (eol pos) acc
+      | '(' -> scan (pos + 1) (TLparen :: acc)
+      | ')' -> scan (pos + 1) (TRparen :: acc)
+      | ',' -> scan (pos + 1) (TComma :: acc)
+      | '.' -> scan (pos + 1) (TDot :: acc)
+      | ':' ->
+        if pos + 1 < n && input.[pos + 1] = '-' then
+          scan (pos + 2) (TTurnstile :: acc)
+        else parse_error "expected ':-' at offset %d" pos
+      | '\'' ->
+        let rec close i =
+          if i >= n then parse_error "unterminated string at offset %d" pos
+          else if input.[i] = '\'' then i
+          else close (i + 1)
+        in
+        let stop = close (pos + 1) in
+        scan (stop + 1)
+          (TStr (String.sub input (pos + 1) (stop - pos - 1)) :: acc)
+      | c when is_digit c || c = '-' ->
+        let rec stop i =
+          if i < n && is_digit input.[i] then stop (i + 1) else i
+        in
+        let e = stop (pos + 1) in
+        let text = String.sub input pos (e - pos) in
+        (match int_of_string_opt text with
+         | Some v -> scan e (TInt v :: acc)
+         | None -> parse_error "bad number %s" text)
+      | c when is_ident_start c ->
+        let rec stop i =
+          if i < n && is_ident_char input.[i] then stop (i + 1) else i
+        in
+        let e = stop pos in
+        let word = String.sub input pos (e - pos) in
+        let tok =
+          if String.length word >= 2 && word.[0] = '_' then
+            match int_of_string_opt (String.sub word 1 (String.length word - 1))
+            with
+            | Some label -> TNull label
+            | None -> TIdent word
+          else TIdent word
+        in
+        scan e (tok :: acc)
+      | c -> parse_error "illegal character %C at offset %d" c pos
+  in
+  scan 0 []
+
+type state = { mutable tokens : token list }
+
+let peek st = match st.tokens with [] -> TEof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st t =
+  if peek st = t then advance st
+  else parse_error "expected %a, found %a" pp_token t pp_token (peek st)
+
+let parse_term st =
+  match peek st with
+  | TIdent x ->
+    advance st;
+    Syntax.Var x
+  | TInt n ->
+    advance st;
+    Syntax.Val (Value.int n)
+  | TStr s ->
+    advance st;
+    Syntax.Val (Value.str s)
+  | TNull label ->
+    advance st;
+    Syntax.Val (Value.null label)
+  | t -> parse_error "expected a term, found %a" pp_token t
+
+let parse_atom st =
+  match peek st with
+  | TIdent pred ->
+    advance st;
+    expect st TLparen;
+    let rec args acc =
+      let t = parse_term st in
+      if peek st = TComma then begin
+        advance st;
+        args (t :: acc)
+      end
+      else List.rev (t :: acc)
+    in
+    let terms = args [] in
+    expect st TRparen;
+    Syntax.atom pred terms
+  | t -> parse_error "expected a predicate, found %a" pp_token t
+
+let parse_clause st =
+  let head = parse_atom st in
+  match peek st with
+  | TDot ->
+    advance st;
+    Syntax.rule head []
+  | TTurnstile ->
+    advance st;
+    let rec body acc =
+      let a = parse_atom st in
+      if peek st = TComma then begin
+        advance st;
+        body (a :: acc)
+      end
+      else List.rev (a :: acc)
+    in
+    let atoms = body [] in
+    expect st TDot;
+    Syntax.rule head atoms
+  | t -> parse_error "expected '.' or ':-', found %a" pp_token t
+
+let parse input =
+  let st = { tokens = tokenize input } in
+  let rec clauses acc =
+    match peek st with
+    | TEof -> List.rev acc
+    | _ -> clauses (parse_clause st :: acc)
+  in
+  clauses []

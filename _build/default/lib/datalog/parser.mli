@@ -1,0 +1,27 @@
+(** Concrete syntax for Datalog programs.
+
+    {v
+    program ::= clause*
+    clause  ::= atom '.'                          a fact
+              | atom ':-' atom (',' atom)* '.'    a rule
+    atom    ::= ident '(' term (',' term)* ')'
+    term    ::= ident          a variable
+              | integer        an Int constant
+              | '...' quoted   a Str constant
+              | '_' digits     a marked null (in facts)
+    v}
+
+    [%] starts a comment running to the end of the line.
+
+    Example:
+
+    {v
+    % transitive closure
+    path(x, y) :- edge(x, y).
+    path(x, z) :- edge(x, y), path(y, z).
+    v} *)
+
+exception Parse_error of string
+
+(** @raise Parse_error on syntax errors. *)
+val parse : string -> Syntax.program

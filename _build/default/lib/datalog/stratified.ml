@@ -1,0 +1,236 @@
+type literal =
+  | Pos of Syntax.atom
+  | Neg of Syntax.atom
+
+type rule = {
+  head : Syntax.atom;
+  body : literal list;
+}
+
+type program = rule list
+
+exception Ill_formed of string
+
+let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+let atom_vars (a : Syntax.atom) =
+  List.filter_map
+    (function Syntax.Var x -> Some x | Syntax.Val _ -> None)
+    a.args
+
+let idb_predicates (program : program) =
+  List.sort_uniq String.compare
+    (List.map (fun r -> r.head.Syntax.pred) program)
+
+let validate ~edb (program : program) =
+  let idb = idb_predicates program in
+  List.iter
+    (fun p ->
+      if List.mem_assoc p edb then
+        ill_formed "rule head redefines EDB predicate %s" p)
+    idb;
+  let arities : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun (p, k) -> Hashtbl.replace arities p k) edb;
+  let check_atom (a : Syntax.atom) =
+    let k = List.length a.args in
+    match Hashtbl.find_opt arities a.pred with
+    | None -> Hashtbl.replace arities a.pred k
+    | Some k' ->
+      if k <> k' then
+        ill_formed "predicate %s used with arities %d and %d" a.pred k' k
+  in
+  List.iter
+    (fun r ->
+      check_atom r.head;
+      List.iter (function Pos a | Neg a -> check_atom a) r.body;
+      List.iter
+        (function
+          | Pos a | Neg a ->
+            if not (List.mem_assoc a.Syntax.pred edb || List.mem a.Syntax.pred idb)
+            then ill_formed "unknown predicate %s" a.Syntax.pred)
+        r.body;
+      let positive_vars =
+        List.concat_map
+          (function Pos a -> atom_vars a | Neg _ -> [])
+          r.body
+      in
+      let require_bound where x =
+        if not (List.mem x positive_vars) then
+          ill_formed "unsafe rule: %s variable %s not bound positively" where x
+      in
+      List.iter (require_bound "head") (atom_vars r.head);
+      List.iter
+        (function
+          | Neg a -> List.iter (require_bound "negated") (atom_vars a)
+          | Pos _ -> ())
+        r.body)
+    program;
+  idb
+
+let stratify ~edb (program : program) =
+  let idb = validate ~edb program in
+  let stratum : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace stratum p 0) idb;
+  let get p = match Hashtbl.find_opt stratum p with Some s -> s | None -> 0 in
+  let n = List.length idb in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > (n * n) + n + 2 then
+      ill_formed "program is not stratifiable (recursion through negation)";
+    List.iter
+      (fun r ->
+        let h = r.head.Syntax.pred in
+        List.iter
+          (fun lit ->
+            let lower, strict =
+              match lit with
+              | Pos a -> (a.Syntax.pred, false)
+              | Neg a -> (a.Syntax.pred, true)
+            in
+            if List.mem lower idb then begin
+              let need = get lower + if strict then 1 else 0 in
+              if get h < need then begin
+                if need > n then
+                  ill_formed
+                    "program is not stratifiable (recursion through negation)";
+                Hashtbl.replace stratum h need;
+                changed := true
+              end
+            end)
+          r.body)
+      program
+  done;
+  List.map (fun p -> (p, get p)) idb
+
+(* literal matching, nulls as values (as in Eval) *)
+let match_tuple env (args : Syntax.term list) (t : Tuple.t) =
+  let rec go env i = function
+    | [] -> Some env
+    | Syntax.Val v :: rest ->
+      if Value.equal v t.(i) then go env (i + 1) rest else None
+    | Syntax.Var x :: rest ->
+      (match List.assoc_opt x env with
+       | Some v -> if Value.equal v t.(i) then go env (i + 1) rest else None
+       | None -> go ((x, t.(i)) :: env) (i + 1) rest)
+  in
+  if List.length args <> Tuple.arity t then None else go env 0 args
+
+let ground_atom env (a : Syntax.atom) =
+  Array.of_list
+    (List.map
+       (function
+         | Syntax.Val v -> v
+         | Syntax.Var x ->
+           (match List.assoc_opt x env with
+            | Some v -> v
+            | None -> assert false (* safety *)))
+       a.args)
+
+let run db (program : program) pred =
+  let schema = Database.schema db in
+  let edb =
+    List.map
+      (fun (d : Schema.relation_decl) -> (d.name, List.length d.attributes))
+      (Schema.relations schema)
+  in
+  let strata = stratify ~edb program in
+  let idb = List.map fst strata in
+  if not (List.mem pred idb) then
+    ill_formed "%s is not an IDB predicate of the program" pred;
+  let arity_of p =
+    let probe =
+      List.find_map
+        (fun r ->
+          if r.head.Syntax.pred = p then Some (List.length r.head.Syntax.args)
+          else None)
+        program
+    in
+    match probe with Some k -> k | None -> assert false
+  in
+  let full : (string, Relation.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace full p (Relation.empty (arity_of p))) idb;
+  let relation_of p =
+    match Hashtbl.find_opt full p with
+    | Some r -> r
+    | None -> Database.relation db p
+  in
+  (* positive literals extend the environments; negative ones filter *)
+  let fire_rule (r : rule) =
+    let step envs = function
+      | Pos a ->
+        List.concat_map
+          (fun env ->
+            Relation.fold
+              (fun t acc ->
+                match match_tuple env a.Syntax.args t with
+                | Some env' -> env' :: acc
+                | None -> acc)
+              (relation_of a.Syntax.pred) [])
+          envs
+      | Neg a ->
+        List.filter
+          (fun env ->
+            not (Relation.mem (ground_atom env a) (relation_of a.Syntax.pred)))
+          envs
+    in
+    (* evaluate positive literals first so negated variables are bound *)
+    let pos, neg = List.partition (function Pos _ -> true | Neg _ -> false) r.body in
+    let envs = List.fold_left step [ [] ] (pos @ neg) in
+    List.map (fun env -> ground_atom env r.head) envs
+  in
+  let max_stratum = List.fold_left (fun m (_, s) -> max m s) 0 strata in
+  for level = 0 to max_stratum do
+    let rules_here =
+      List.filter (fun r -> List.assoc r.head.Syntax.pred strata = level) program
+    in
+    (* naive iteration to fixpoint within the stratum *)
+    let rec loop () =
+      let grew = ref false in
+      List.iter
+        (fun r ->
+          let derived = fire_rule r in
+          let p = r.head.Syntax.pred in
+          let current = Hashtbl.find full p in
+          let updated =
+            List.fold_left
+              (fun rel t ->
+                if Relation.mem t rel then rel
+                else begin
+                  grew := true;
+                  Relation.add t rel
+                end)
+              current derived
+          in
+          Hashtbl.replace full p updated)
+        rules_here;
+      if !grew then loop ()
+    in
+    loop ()
+  done;
+  Hashtbl.find full pred
+
+let program_consts (program : program) =
+  let add c acc =
+    if List.exists (Value.equal_const c) acc then acc else c :: acc
+  in
+  let term_consts acc = function
+    | Syntax.Val (Value.Const c) -> add c acc
+    | Syntax.Val (Value.Null _) | Syntax.Var _ -> acc
+  in
+  let atom_consts acc (a : Syntax.atom) =
+    List.fold_left term_consts acc a.args
+  in
+  List.fold_left
+    (fun acc r ->
+      List.fold_left
+        (fun acc lit -> match lit with Pos a | Neg a -> atom_consts acc a)
+        (atom_consts acc r.head) r.body)
+    [] program
+
+let certain_exact db program pred =
+  Incdb_certain.Certainty.cert_with_nulls
+    ~run:(fun d -> run d program pred)
+    ~query_consts:(program_consts program) db

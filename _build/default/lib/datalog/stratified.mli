@@ -1,0 +1,41 @@
+(** Stratified Datalog: negation allowed, but not through recursion.
+
+    Negation breaks monotonicity, so — unlike the positive fragment —
+    naive fixpoint evaluation of a stratified program is {e not} its
+    certain answers; it is exactly the naive evaluation of Section 4.1
+    (nulls as values), complete with the false positives/negatives the
+    paper catalogues, and the usual machinery (exact enumeration, the
+    0–1 law) applies on top via {!certain_exact}.  The test suite
+    demonstrates the divergence on the complement of transitive
+    closure. *)
+
+type literal =
+  | Pos of Syntax.atom
+  | Neg of Syntax.atom
+
+type rule = {
+  head : Syntax.atom;
+  body : literal list;
+}
+
+type program = rule list
+
+exception Ill_formed of string
+
+(** [stratify ~edb program] computes a stratum number for every IDB
+    predicate such that positive dependencies stay within a stratum or
+    below and negative dependencies point strictly below.
+    @raise Ill_formed on unsafe rules (head or negated variables not
+    bound positively), arity clashes, EDB redefinition, or recursion
+    through negation. *)
+val stratify : edb:(string * int) list -> program -> (string * int) list
+
+(** [run db program pred] — bottom-up evaluation stratum by stratum;
+    negated atoms are tested against the completed lower strata
+    (negation as failure, nulls as values).
+    @raise Ill_formed per {!stratify}. *)
+val run : Database.t -> program -> string -> Relation.t
+
+(** [certain_exact db program pred] — cert⊥ of the stratified query by
+    canonical world enumeration (exponential). *)
+val certain_exact : Database.t -> program -> string -> Relation.t

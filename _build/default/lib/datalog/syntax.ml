@@ -1,0 +1,91 @@
+type term =
+  | Var of string
+  | Val of Value.t
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+type rule = {
+  head : atom;
+  body : atom list;
+}
+
+type program = rule list
+
+let atom pred args = { pred; args }
+let rule head body = { head; body }
+
+exception Ill_formed of string
+
+let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+let atom_vars a =
+  List.filter_map (function Var x -> Some x | Val _ -> None) a.args
+
+let idb_predicates program =
+  List.sort_uniq String.compare (List.map (fun r -> r.head.pred) program)
+
+let validate ~edb program =
+  let idb = idb_predicates program in
+  (* no rule may redefine an EDB predicate *)
+  List.iter
+    (fun p ->
+      if List.mem_assoc p edb then
+        ill_formed "rule head redefines EDB predicate %s" p)
+    idb;
+  (* collect arities, checking consistency *)
+  let arities : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter (fun (p, k) -> Hashtbl.replace arities p k) edb;
+  let check_atom a =
+    let k = List.length a.args in
+    match Hashtbl.find_opt arities a.pred with
+    | None -> Hashtbl.replace arities a.pred k
+    | Some k' ->
+      if k <> k' then
+        ill_formed "predicate %s used with arities %d and %d" a.pred k' k
+  in
+  List.iter
+    (fun r ->
+      check_atom r.head;
+      List.iter check_atom r.body;
+      (* body predicates must be known: either EDB or defined by rules *)
+      List.iter
+        (fun a ->
+          if not (List.mem_assoc a.pred edb || List.mem a.pred idb) then
+            ill_formed "unknown predicate %s in a rule body" a.pred)
+        r.body;
+      (* safety *)
+      let body_vars = List.concat_map atom_vars r.body in
+      List.iter
+        (fun x ->
+          if not (List.mem x body_vars) then
+            ill_formed "unsafe rule: head variable %s not bound in the body" x)
+        (atom_vars r.head))
+    program;
+  List.map (fun p -> (p, Hashtbl.find arities p)) idb
+
+let pp_term ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Val v -> Value.pp ppf v
+
+let pp_atom ppf a =
+  Format.fprintf ppf "%s(%a)" a.pred
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       pp_term)
+    a.args
+
+let pp_rule ppf r =
+  match r.body with
+  | [] -> Format.fprintf ppf "%a." pp_atom r.head
+  | body ->
+    Format.fprintf ppf "%a :- %a." pp_atom r.head
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         pp_atom)
+      body
+
+let pp_program ppf program =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_rule ppf program

@@ -1,0 +1,49 @@
+(** Positive Datalog over incomplete databases.
+
+    Section 2 lists Datalog among the standard query languages that
+    cannot invent values; since positive Datalog programs are monotone
+    — preserved under arbitrary homomorphisms — naive evaluation
+    computes their certain answers with nulls under both CWA and OWA
+    (Theorem 4.3 applied beyond first-order logic).  This module defines
+    the syntax; {!Eval} runs bottom-up fixpoint evaluation with nulls
+    treated as values. *)
+
+type term =
+  | Var of string
+  | Val of Value.t  (** constants; marked nulls may appear in facts *)
+
+type atom = {
+  pred : string;
+  args : term list;
+}
+
+(** A rule [head :- body].  Rules must be {e safe}: every head variable
+    occurs in the body.  An empty body makes the rule a fact (its head
+    must then be ground). *)
+type rule = {
+  head : atom;
+  body : atom list;
+}
+
+type program = rule list
+
+(** Convenience constructors. *)
+
+val atom : string -> term list -> atom
+val rule : atom -> atom list -> rule
+
+exception Ill_formed of string
+
+(** [validate ~edb program] checks safety, consistent predicate arities
+    (across rules and against the EDB arities given as
+    [(name, arity)]), and that no rule head redefines an EDB predicate.
+    Returns the set of IDB predicates with their arities.
+    @raise Ill_formed otherwise. *)
+val validate : edb:(string * int) list -> program -> (string * int) list
+
+(** [idb_predicates program] — names of predicates defined by rules. *)
+val idb_predicates : program -> string list
+
+val pp_atom : Format.formatter -> atom -> unit
+val pp_rule : Format.formatter -> rule -> unit
+val pp_program : Format.formatter -> program -> unit

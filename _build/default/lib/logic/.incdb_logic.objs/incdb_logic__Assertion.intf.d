@@ -1,0 +1,1 @@
+lib/logic/assertion.mli: Kleene Sixv

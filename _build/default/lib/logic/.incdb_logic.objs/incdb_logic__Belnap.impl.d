@@ -1,0 +1,1 @@
+lib/logic/belnap.ml: Format Kleene

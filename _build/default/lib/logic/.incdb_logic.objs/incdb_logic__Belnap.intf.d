@@ -1,0 +1,1 @@
+lib/logic/belnap.mli: Kleene Truth

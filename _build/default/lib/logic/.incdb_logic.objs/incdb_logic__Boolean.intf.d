@@ -1,0 +1,1 @@
+lib/logic/boolean.mli: Truth

@@ -1,0 +1,1 @@
+lib/logic/bridge.ml: Algebra Array Condition Fo Format List Printf Schema String Value

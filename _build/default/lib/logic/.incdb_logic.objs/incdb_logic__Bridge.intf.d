@@ -1,0 +1,1 @@
+lib/logic/bridge.mli: Algebra Fo Schema

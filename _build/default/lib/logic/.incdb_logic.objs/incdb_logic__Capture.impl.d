@@ -1,0 +1,1 @@
+lib/logic/capture.ml: Fo Kleene List Printf Semantics

@@ -1,0 +1,1 @@
+lib/logic/capture.mli: Fo Kleene Semantics

@@ -1,0 +1,1 @@
+lib/logic/fo_parser.ml: Fo Format List String Value

@@ -1,0 +1,1 @@
+lib/logic/fo_parser.mli: Fo

@@ -1,0 +1,1 @@
+lib/logic/kleene.ml: Format

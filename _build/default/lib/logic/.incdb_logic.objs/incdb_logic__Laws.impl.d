@@ -1,0 +1,1 @@
+lib/logic/laws.ml: List Truth

@@ -1,0 +1,1 @@
+lib/logic/semantics.ml: Array Assertion Database Fo Format Kleene List Relation Tuple Value

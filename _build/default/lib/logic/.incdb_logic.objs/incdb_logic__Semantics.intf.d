@@ -1,0 +1,1 @@
+lib/logic/semantics.mli: Database Fo Kleene Relation Tuple Value

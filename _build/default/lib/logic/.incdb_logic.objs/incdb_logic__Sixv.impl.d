@@ -1,0 +1,1 @@
+lib/logic/sixv.ml: Format Kleene List

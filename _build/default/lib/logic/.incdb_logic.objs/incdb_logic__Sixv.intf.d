@@ -1,0 +1,1 @@
+lib/logic/sixv.mli: Kleene Truth

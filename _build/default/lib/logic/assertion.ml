@@ -1,0 +1,16 @@
+let assert_ = function
+  | Kleene.T -> Kleene.T
+  | Kleene.F | Kleene.U -> Kleene.F
+
+let assert6 = function
+  | Sixv.T -> Sixv.T
+  | Sixv.F | Sixv.S | Sixv.ST | Sixv.SF | Sixv.U -> Sixv.F
+
+let knowledge_violation =
+  (* u ⪯ t but ↑u = f is not ⪯ ↑t = t *)
+  let u = Kleene.U and t = Kleene.T in
+  if
+    Kleene.knowledge_le u t
+    && not (Kleene.knowledge_le (assert_ u) (assert_ t))
+  then Some (u, t)
+  else None

@@ -1,0 +1,20 @@
+(** The assertion operator ↑ (Bochvar) and the logic L3v↑ (Section 5.2).
+
+    SQL keeps only the tuples whose WHERE-condition evaluates to t and
+    then returns to two-valued logic: this is modelled by the unary
+    connective ↑ which maps t to t and both f and u to f.  ↑ is the one
+    connective of SQL's logic that does {e not} respect the knowledge
+    order (u ⪯ t but ↑u = f ⋠ t = ↑t), and it is the culprit behind SQL
+    returning almost-certainly-false answers (end of Section 5.1). *)
+
+(** ↑ on Kleene's logic. *)
+val assert_ : Kleene.t -> Kleene.t
+
+(** ↑ on L6v: t goes to t, every other value to f (knowledge of truth is
+    asserted, everything else collapsed). *)
+val assert6 : Sixv.t -> Sixv.t
+
+(** [respects_knowledge_order] reports whether ↑ is monotone with
+    respect to the Kleene knowledge order — it is not, and this witness
+    function returns the offending pair [(u, t)]. *)
+val knowledge_violation : (Kleene.t * Kleene.t) option

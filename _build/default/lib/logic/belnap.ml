@@ -1,0 +1,73 @@
+type t =
+  | T
+  | F
+  | N
+  | B
+
+let values = [ T; F; N; B ]
+
+let equal a b = a = b
+
+let top = T
+let bot = F
+
+let neg = function T -> F | F -> T | N -> N | B -> B
+
+(* ∧ is the meet of the truth lattice f < n, b < t (n and b
+   incomparable, with meet f and join t) *)
+let conj a b =
+  match a, b with
+  | F, _ | _, F -> F
+  | T, x | x, T -> x
+  | N, N -> N
+  | B, B -> B
+  | N, B | B, N -> F
+
+let disj a b =
+  match a, b with
+  | T, _ | _, T -> T
+  | F, x | x, F -> x
+  | N, N -> N
+  | B, B -> B
+  | N, B | B, N -> T
+
+(* knowledge order: n below everything, b above everything *)
+let knowledge_le a b =
+  match a, b with
+  | N, _ -> true
+  | _, B -> true
+  | T, T | F, F -> true
+  | (T | F | B), _ -> false
+
+let least = Some N
+
+let kmeet a b =
+  if equal a b then a
+  else
+    match a, b with
+    | B, x | x, B -> x
+    | _, _ -> N
+
+let kjoin a b =
+  if equal a b then a
+  else
+    match a, b with
+    | N, x | x, N -> x
+    | _, _ -> B
+
+let pp ppf v =
+  Format.pp_print_string ppf
+    (match v with T -> "t" | F -> "f" | N -> "n" | B -> "b")
+
+let to_string v = Format.asprintf "%a" pp v
+
+let of_kleene = function
+  | Kleene.T -> T
+  | Kleene.F -> F
+  | Kleene.U -> N
+
+let to_kleene_opt = function
+  | T -> Some Kleene.T
+  | F -> Some Kleene.F
+  | N -> Some Kleene.U
+  | B -> None

@@ -1,0 +1,29 @@
+(** Belnap's four-valued logic L4v (the paper's reference point [10] for
+    knowledge orders; cf. the bilattice literature [7, 8] it cites).
+
+    Truth values: [T] (told true), [F] (told false), [N] (told nothing —
+    Kleene's u) and [B] (told both — conflicting information, which
+    arises in inconsistency-tolerant settings the survey touches on when
+    discussing knowledge orders).  The values form a {e bilattice}: the
+    truth order f ≤t n,b ≤t t with ∧/∨ as meet/join, and the knowledge
+    order n ≤k t,f ≤k b, whose meet {!kmeet} and join {!kjoin} we also
+    expose.  Kleene's L3v is the sublogic without [B]. *)
+
+type t =
+  | T
+  | F
+  | N  (** neither / unknown *)
+  | B  (** both / conflict *)
+
+include Truth.S with type t := t
+
+(** Knowledge-order meet (consensus) and join (gullibility). *)
+
+val kmeet : t -> t -> t
+val kjoin : t -> t -> t
+
+(** Embedding of Kleene's logic (u ↦ N); its image is closed under all
+    connectives. *)
+val of_kleene : Kleene.t -> t
+
+val to_kleene_opt : t -> Kleene.t option

@@ -1,0 +1,30 @@
+type t =
+  | T
+  | F
+
+let values = [ T; F ]
+
+let equal a b = a = b
+
+let top = T
+let bot = F
+
+let neg = function T -> F | F -> T
+
+let conj a b = match a, b with T, T -> T | _, _ -> F
+
+let disj a b = match a, b with F, F -> F | _, _ -> T
+
+(* In L2v both values are fully informative: the knowledge order is flat. *)
+let knowledge_le a b = equal a b
+
+let least = None
+
+let pp ppf = function
+  | T -> Format.pp_print_string ppf "t"
+  | F -> Format.pp_print_string ppf "f"
+
+let to_string v = Format.asprintf "%a" pp v
+
+let of_bool b = if b then T else F
+let to_bool = function T -> true | F -> false

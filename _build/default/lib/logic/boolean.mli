@@ -1,0 +1,10 @@
+(** The two-valued Boolean logic L2v. *)
+
+type t =
+  | T
+  | F
+
+include Truth.S with type t := t
+
+val of_bool : bool -> t
+val to_bool : t -> bool

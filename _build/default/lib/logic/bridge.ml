@@ -1,0 +1,224 @@
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+let col i = Printf.sprintf "$c%d" i
+
+let fresh_counter = ref 0
+
+let fresh () =
+  incr fresh_counter;
+  Printf.sprintf "$b%d" !fresh_counter
+
+(* ------------------------------------------------------------------ *)
+(* algebra → FO                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* anchor the free variables $c0 … $c(k-1) in order: prefix the formula
+   with trivially true equalities so that Fo.free_vars lists them in
+   column order even if the body mentions them in another order *)
+let anchor k body =
+  let anchors =
+    List.init k (fun i -> Fo.Eq (Fo.Var (col i), Fo.Var (col i)))
+  in
+  Fo.conj (anchors @ [ body ])
+
+let condition_formula ~var cond =
+  let term = function
+    | Condition.Col i -> Fo.Var (var i)
+    | Condition.Lit c -> Fo.Cst c
+  in
+  let rec go = function
+    | Condition.True -> Fo.Tru
+    | Condition.False -> Fo.Fls
+    | Condition.Is_const i -> Fo.Is_const (term (Condition.Col i))
+    | Condition.Is_null i -> Fo.Is_null (term (Condition.Col i))
+    | Condition.Eq (x, y) -> Fo.Eq (term x, term y)
+    | Condition.Neq (x, y) -> Fo.Not (Fo.Eq (term x, term y))
+    | Condition.Lt (x, y) -> Fo.Lt (term x, term y)
+    | Condition.Le (x, y) -> Fo.Not (Fo.Lt (term y, term x))
+    | Condition.And (a, b) -> Fo.And (go a, go b)
+    | Condition.Or (a, b) -> Fo.Or (go a, go b)
+  in
+  go cond
+
+let fo_of_algebra schema q =
+  ignore (Algebra.arity schema q);
+  (* [tr q vars] is a formula whose i-th output column is the variable
+     [vars i] *)
+  let rec tr q (vars : int -> string) =
+    match q with
+    | Algebra.Rel name ->
+      let k = Schema.arity schema name in
+      Fo.Atom (name, List.init k (fun i -> Fo.Var (vars i)))
+    | Algebra.Lit (k, tuples) ->
+      let tuple_formula t =
+        Fo.conj
+          (List.init k (fun i ->
+               match t.(i) with
+               | Value.Const c -> Fo.Eq (Fo.Var (vars i), Fo.Cst c)
+               | Value.Null _ ->
+                 unsupported "fo_of_algebra: literal relation contains nulls"))
+      in
+      Fo.disj (List.map tuple_formula tuples)
+    | Algebra.Select (cond, q1) ->
+      Fo.And (tr q1 vars, condition_formula ~var:vars cond)
+    | Algebra.Project (idxs, q1) ->
+      let m = Algebra.arity schema q1 in
+      let ys = Array.init m (fun _ -> fresh ()) in
+      let body = tr q1 (fun i -> ys.(i)) in
+      let eqs =
+        List.mapi
+          (fun j idx -> Fo.Eq (Fo.Var (vars j), Fo.Var ys.(idx)))
+          idxs
+      in
+      Fo.exists_many (Array.to_list ys) (Fo.conj (body :: eqs))
+    | Algebra.Product (q1, q2) ->
+      let k1 = Algebra.arity schema q1 in
+      Fo.And (tr q1 vars, tr q2 (fun i -> vars (k1 + i)))
+    | Algebra.Union (q1, q2) -> Fo.Or (tr q1 vars, tr q2 vars)
+    | Algebra.Inter (q1, q2) -> Fo.And (tr q1 vars, tr q2 vars)
+    | Algebra.Diff (q1, q2) -> Fo.And (tr q1 vars, Fo.Not (tr q2 vars))
+    | Algebra.Division (q1, q2) ->
+      let m = Algebra.arity schema q2 in
+      let ys = Array.init m (fun _ -> fresh ()) in
+      let head = tr q1 (fun i ->
+          if i < Algebra.arity schema q1 - m then vars i
+          else ys.(i - (Algebra.arity schema q1 - m)))
+      in
+      let divisor = tr q2 (fun i -> ys.(i)) in
+      (* we must also require the head tuple to be a candidate: ā is in
+         the division iff ∃b̄ q1(ā b̄) ... no: the textbook definition
+         requires ā ∈ π_head(q1) and ∀b̄ (q2(b̄) → q1(ā b̄)) *)
+      let zs = Array.init m (fun _ -> fresh ()) in
+      let candidate =
+        Fo.exists_many (Array.to_list zs)
+          (tr q1 (fun i ->
+               if i < Algebra.arity schema q1 - m then vars i
+               else zs.(i - (Algebra.arity schema q1 - m))))
+      in
+      Fo.And
+        ( candidate,
+          Fo.forall_many (Array.to_list ys)
+            (Fo.Or (Fo.Not divisor, head)) )
+    | Algebra.Dom k ->
+      (* every adom tuple qualifies: anchored truth *)
+      Fo.conj (List.init k (fun i -> Fo.Eq (Fo.Var (vars i), Fo.Var (vars i))))
+    | Algebra.Anti_unify_join _ ->
+      unsupported "fo_of_algebra: the unification anti-semijoin is not FO \
+                   over constants-only terms"
+  in
+  let k = Algebra.arity schema q in
+  anchor k (tr q col)
+
+(* ------------------------------------------------------------------ *)
+(* FO → algebra (active-domain encoding)                               *)
+(* ------------------------------------------------------------------ *)
+
+let algebra_of_fo schema phi =
+  let phi = Fo.alpha_unique phi in
+  (* [enc phi vars] is an algebra query of arity |vars| whose column i
+     holds the value of the variable [List.nth vars i]; [vars] must
+     contain every free variable of [phi]. *)
+  let index vars x =
+    let rec go i = function
+      | [] -> unsupported "algebra_of_fo: unbound variable %s" x
+      | y :: rest -> if String.equal x y then i else go (i + 1) rest
+    in
+    go 0 vars
+  in
+  let full vars = Algebra.Dom (List.length vars) in
+  let operand vars = function
+    | Fo.Var x -> Condition.Col (index vars x)
+    | Fo.Cst c -> Condition.Lit c
+  in
+  let rec enc phi vars =
+    match phi with
+    | Fo.Atom (name, terms) ->
+      let m = List.length terms in
+      if m <> Schema.arity schema name then
+        raise
+          (Algebra.Type_error
+             (Printf.sprintf "atom %s used with arity %d" name m));
+      (* columns 0..m-1 hold the atom positions; extra columns provide
+         the variables of [vars] not mentioned in the atom *)
+      let term_var = function Fo.Var x -> Some x | Fo.Cst _ -> None in
+      let atom_vars = List.filter_map term_var terms in
+      let extra_vars = List.filter (fun v -> not (List.mem v atom_vars)) vars in
+      let base =
+        if extra_vars = [] then Algebra.Rel name
+        else Algebra.Product (Algebra.Rel name, Algebra.Dom (List.length extra_vars))
+      in
+      (* constants and repeated variables become selection conditions *)
+      let conds = ref [] in
+      List.iteri
+        (fun i t ->
+          match t with
+          | Fo.Cst c -> conds := Condition.eq_const i c :: !conds
+          | Fo.Var x ->
+            (* equate with the first position of the same variable *)
+            let rec first j = function
+              | [] -> i
+              | t' :: rest ->
+                if j >= i then i
+                else (match t' with
+                      | Fo.Var y when String.equal x y -> j
+                      | _ -> first (j + 1) rest)
+            in
+            let j = first 0 terms in
+            if j < i then conds := Condition.eq_col j i :: !conds)
+        terms;
+      let selected =
+        match !conds with
+        | [] -> base
+        | c :: cs ->
+          Algebra.Select
+            (List.fold_left (fun a b -> Condition.And (a, b)) c cs, base)
+      in
+      (* project to [vars] order *)
+      let position v =
+        match
+          (* first occurrence of v among the atom's terms *)
+          List.find_index
+            (fun t -> match t with Fo.Var x -> String.equal x v | _ -> false)
+            terms
+        with
+        | Some i -> i
+        | None ->
+          (* one of the extra columns *)
+          let rec go i = function
+            | [] -> assert false
+            | x :: rest -> if String.equal x v then i else go (i + 1) rest
+          in
+          m + go 0 extra_vars
+      in
+      Algebra.Project (List.map position vars, selected)
+    | Fo.Eq (t1, t2) ->
+      Algebra.Select
+        (Condition.Eq (operand vars t1, operand vars t2), full vars)
+    | Fo.Lt (t1, t2) ->
+      Algebra.Select
+        (Condition.Lt (operand vars t1, operand vars t2), full vars)
+    | Fo.Is_const t ->
+      (match operand vars t with
+       | Condition.Col i -> Algebra.Select (Condition.Is_const i, full vars)
+       | Condition.Lit _ -> full vars)
+    | Fo.Is_null t ->
+      (match operand vars t with
+       | Condition.Col i -> Algebra.Select (Condition.Is_null i, full vars)
+       | Condition.Lit _ -> Algebra.Lit (List.length vars, []))
+    | Fo.Tru -> full vars
+    | Fo.Fls -> Algebra.Lit (List.length vars, [])
+    | Fo.Not f -> Algebra.Diff (full vars, enc f vars)
+    | Fo.And (f, g) -> Algebra.Inter (enc f vars, enc g vars)
+    | Fo.Or (f, g) -> Algebra.Union (enc f vars, enc g vars)
+    | Fo.Exists (x, f) ->
+      (* bound variables are renamed apart, so x ∉ vars *)
+      let inner = enc f (vars @ [ x ]) in
+      Algebra.Project (List.init (List.length vars) (fun i -> i), inner)
+    | Fo.Forall (x, f) -> enc (Fo.Not (Fo.Exists (x, Fo.Not f))) vars
+    | Fo.Assert f ->
+      (* two-valued target: ↑ is the identity *)
+      enc f vars
+  in
+  enc phi (Fo.free_vars phi)

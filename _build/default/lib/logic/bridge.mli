@@ -1,0 +1,33 @@
+(** Translations between relational algebra and first-order logic.
+
+    Relational calculus "has exactly the power of first-order logic"
+    (Section 2); this module realises both directions of that
+    equivalence under the active-domain semantics used throughout:
+
+    - {!fo_of_algebra} turns an algebra query of arity k into an FO
+      formula with free variables [$c0 … $c(k-1)] such that the answers
+      under the two-valued Boolean semantics coincide with evaluation;
+    - {!algebra_of_fo} turns any FO formula into an algebra query via
+      the classical active-domain encoding: negation becomes complement
+      w.r.t. [Dom], quantifiers become projections, and universal
+      quantification goes through double negation.
+
+    Both are used to cross-check the algebra evaluator against the FO
+    evaluator and to feed SQL/FO-level pipelines into the approximation
+    schemes. *)
+
+exception Unsupported of string
+
+(** [fo_of_algebra schema q] — the free variables, in order of
+    {!Fo.free_vars}, are [$c0 … $c(k-1)] where k is the arity of [q].
+    @raise Unsupported on [Anti_unify_join] and on literal relations
+    containing nulls (FO terms denote constants).
+    @raise Algebra.Type_error on ill-typed input. *)
+val fo_of_algebra : Schema.t -> Algebra.t -> Fo.t
+
+(** [algebra_of_fo schema phi] — the output arity is the number of free
+    variables of [phi], columns ordered as {!Fo.free_vars}.  The
+    assertion operator is the identity under the two-valued target
+    semantics.  Quantified variables are renamed apart first, so
+    shadowing is fine. *)
+val algebra_of_fo : Schema.t -> Fo.t -> Algebra.t

@@ -1,0 +1,139 @@
+let fresh_counter = ref 0
+
+let fresh_var () =
+  incr fresh_counter;
+  Printf.sprintf "$cap%d" !fresh_counter
+
+let all_const terms = Fo.conj (List.map (fun t -> Fo.Is_const t) terms)
+
+(* Tuple unifiability x̄ ⇑ ȳ, expressed in Boolean FO.
+
+   A valuation with v(x̄) = v(ȳ) forces v(xᵢ) = v(yᵢ) for each i, and
+   positions holding literally equal values (in particular repeated
+   nulls) are forced equal too.  Model each index i as a "pair node"
+   {xᵢ, yᵢ} (internally forced equal); two pair nodes are linked when
+   any of their four values coincide.  The tuples unify iff no chain of
+   linked pair nodes connects two distinct constants.  Since the arity
+   k is fixed, the chains can be enumerated: all sequences of distinct
+   indices, of length 1 to k. *)
+let unifiable_tuples xs ys =
+  let k = List.length xs in
+  let value side i = if side = 0 then List.nth xs i else List.nth ys i in
+  let linked i j =
+    Fo.disj
+      [ Fo.Eq (value 0 i, value 0 j); Fo.Eq (value 0 i, value 1 j);
+        Fo.Eq (value 1 i, value 0 j); Fo.Eq (value 1 i, value 1 j) ]
+  in
+  (* all sequences of distinct indices, length 1..k *)
+  let rec paths_from used path len =
+    let here = [ List.rev path ] in
+    if len >= k then here
+    else
+      here
+      @ List.concat_map
+          (fun i ->
+            if List.mem i used then []
+            else paths_from (i :: used) (i :: path) (len + 1))
+          (List.init k (fun i -> i))
+  in
+  let all_paths =
+    List.concat_map
+      (fun i -> paths_from [ i ] [ i ] 1)
+      (List.init k (fun i -> i))
+  in
+  let conflict path =
+    let rec edges = function
+      | i :: (j :: _ as rest) -> linked i j :: edges rest
+      | [ _ ] | [] -> []
+    in
+    let first = List.hd path and last = List.nth path (List.length path - 1) in
+    let endpoint_clash =
+      Fo.disj
+        (List.concat_map
+           (fun a ->
+             List.map
+               (fun b ->
+                 Fo.conj
+                   [ Fo.Is_const (value a first); Fo.Is_const (value b last);
+                     Fo.Not (Fo.Eq (value a first, value b last)) ])
+               [ 0; 1 ])
+           [ 0; 1 ])
+    in
+    Fo.conj (edges path @ [ endpoint_clash ])
+  in
+  Fo.Not (Fo.disj (List.map conflict all_paths))
+
+(* [tr φ] returns the pair (ψt, ψf); ψu is derived as ¬ψt ∧ ¬ψf. *)
+let rec tr (mixed : Semantics.mixed) (phi : Fo.t) : Fo.t * Fo.t =
+  match phi with
+  | Fo.Atom (name, terms) ->
+    (match mixed.rel_sem name with
+     | Semantics.Bool -> (phi, Fo.Not phi)
+     | Semantics.Unif ->
+       let ys = List.map (fun _ -> fresh_var ()) terms in
+       let yterms = List.map (fun y -> Fo.Var y) ys in
+       let some_unifiable =
+         Fo.exists_many ys
+           (Fo.And (Fo.Atom (name, yterms), unifiable_tuples terms yterms))
+       in
+       (phi, Fo.Not some_unifiable)
+     | Semantics.Nullfree ->
+       let guard = all_const terms in
+       (Fo.And (phi, guard), Fo.And (Fo.Not phi, guard)))
+  | Fo.Eq (t1, t2) ->
+    (match mixed.eq_sem with
+     | Semantics.Bool -> (phi, Fo.Not phi)
+     | Semantics.Unif ->
+       let guard = Fo.And (Fo.Is_const t1, Fo.Is_const t2) in
+       (phi, Fo.And (Fo.Not phi, guard))
+     | Semantics.Nullfree ->
+       let guard = Fo.And (Fo.Is_const t1, Fo.Is_const t2) in
+       (Fo.And (phi, guard), Fo.And (Fo.Not phi, guard)))
+  | Fo.Lt (t1, t2) ->
+    (match mixed.eq_sem with
+     | Semantics.Bool -> (phi, Fo.Not phi)
+     | Semantics.Unif ->
+       (* t iff both constants and ordered; f iff (both constants and
+          not ordered) or the terms are literally equal (x < x never
+          holds, even for the same unknown) *)
+       let guard = Fo.And (Fo.Is_const t1, Fo.Is_const t2) in
+       (Fo.And (phi, guard),
+        Fo.Or (Fo.And (Fo.Not phi, guard), Fo.Eq (t1, t2)))
+     | Semantics.Nullfree ->
+       let guard = Fo.And (Fo.Is_const t1, Fo.Is_const t2) in
+       (Fo.And (phi, guard), Fo.And (Fo.Not phi, guard)))
+  | Fo.Is_const _ | Fo.Is_null _ ->
+    (* const/null tests are two-valued under every semantics *)
+    (phi, Fo.Not phi)
+  | Fo.Tru -> (Fo.Tru, Fo.Fls)
+  | Fo.Fls -> (Fo.Fls, Fo.Tru)
+  | Fo.Not f ->
+    let t, f' = tr mixed f in
+    (f', t)
+  | Fo.And (f, g) ->
+    let tf, ff = tr mixed f in
+    let tg, fg = tr mixed g in
+    (Fo.And (tf, tg), Fo.Or (ff, fg))
+  | Fo.Or (f, g) ->
+    let tf, ff = tr mixed f in
+    let tg, fg = tr mixed g in
+    (Fo.Or (tf, tg), Fo.And (ff, fg))
+  | Fo.Exists (x, f) ->
+    let tf, ff = tr mixed f in
+    (Fo.Exists (x, tf), Fo.Forall (x, ff))
+  | Fo.Forall (x, f) ->
+    let tf, ff = tr mixed f in
+    (Fo.Forall (x, tf), Fo.Exists (x, ff))
+  | Fo.Assert f ->
+    (* ↑φ is t iff φ is t, and f otherwise (Theorem 5.5) *)
+    let tf, _ = tr mixed f in
+    (tf, Fo.Not tf)
+
+let truth_formula mixed phi tau =
+  let t, f = tr mixed phi in
+  match tau with
+  | Kleene.T -> t
+  | Kleene.F -> f
+  | Kleene.U -> Fo.And (Fo.Not t, Fo.Not f)
+
+let is_true mixed phi = truth_formula mixed phi Kleene.T

@@ -1,0 +1,20 @@
+(** Capture of many-valued FO by Boolean FO (Theorems 5.4 and 5.5).
+
+    For every formula φ of FO(L3v) — or FO↑SQL, i.e. with the assertion
+    operator — under any mixed semantics, and for every truth value τ,
+    there is a Boolean FO formula ψτ such that ⟦φ⟧_{D,ā} = τ iff
+    D ⊨ ψτ(ā).  This module constructs ψτ by structural recursion
+    ("the translation is effective", which is the content of the
+    theorems); the test suite verifies the equivalence exhaustively on
+    random databases. *)
+
+(** [truth_formula mixed φ τ] is ψτ: a Boolean FO formula (to be
+    evaluated with {!Semantics.eval_bool}) characterising the
+    assignments on which φ evaluates to τ under the mixed semantics.
+    Fresh bound variables are drawn from the reserved namespace
+    ["$cap<n>"]. *)
+val truth_formula : Semantics.mixed -> Fo.t -> Kleene.t -> Fo.t
+
+(** [is_true mixed φ] = [truth_formula mixed φ T], the Boolean query
+    equivalent to SQL's "keep the tuples where φ is t" (Theorem 5.5). *)
+val is_true : Semantics.mixed -> Fo.t -> Fo.t

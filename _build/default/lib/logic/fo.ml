@@ -1,0 +1,223 @@
+type term =
+  | Var of string
+  | Cst of Value.const
+
+type t =
+  | Atom of string * term list
+  | Eq of term * term
+  | Lt of term * term
+  | Is_const of term
+  | Is_null of term
+  | Tru
+  | Fls
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Exists of string * t
+  | Forall of string * t
+  | Assert of t
+
+let conj = function
+  | [] -> Tru
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> Fls
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let exists_many vars body =
+  List.fold_right (fun x acc -> Exists (x, acc)) vars body
+
+let forall_many vars body =
+  List.fold_right (fun x acc -> Forall (x, acc)) vars body
+
+let free_vars phi =
+  let add x (seen, acc) =
+    if List.mem x seen then (seen, acc) else (x :: seen, x :: acc)
+  in
+  let add_term bound t st =
+    match t with
+    | Var x -> if List.mem x bound then st else add x st
+    | Cst _ -> st
+  in
+  let rec go bound st = function
+    | Atom (_, terms) -> List.fold_left (fun st t -> add_term bound t st) st terms
+    | Eq (t1, t2) | Lt (t1, t2) -> add_term bound t2 (add_term bound t1 st)
+    | Is_const t | Is_null t -> add_term bound t st
+    | Tru | Fls -> st
+    | Not f | Assert f -> go bound st f
+    | And (f, g) | Or (f, g) -> go bound (go bound st f) g
+    | Exists (x, f) | Forall (x, f) -> go (x :: bound) st f
+  in
+  let _, acc = go [] ([], []) phi in
+  List.rev acc
+
+let rename_free subst phi =
+  let rename_var bound x =
+    if List.mem x bound then x
+    else match List.assoc_opt x subst with Some y -> y | None -> x
+  in
+  let rename_term bound = function
+    | Var x -> Var (rename_var bound x)
+    | Cst _ as t -> t
+  in
+  let rec go bound = function
+    | Atom (r, terms) -> Atom (r, List.map (rename_term bound) terms)
+    | Eq (t1, t2) -> Eq (rename_term bound t1, rename_term bound t2)
+    | Lt (t1, t2) -> Lt (rename_term bound t1, rename_term bound t2)
+    | Is_const t -> Is_const (rename_term bound t)
+    | Is_null t -> Is_null (rename_term bound t)
+    | Tru -> Tru
+    | Fls -> Fls
+    | Not f -> Not (go bound f)
+    | And (f, g) -> And (go bound f, go bound g)
+    | Or (f, g) -> Or (go bound f, go bound g)
+    | Exists (x, f) -> Exists (x, go (x :: bound) f)
+    | Forall (x, f) -> Forall (x, go (x :: bound) f)
+    | Assert f -> Assert (go bound f)
+  in
+  go [] phi
+
+let alpha_counter = ref 0
+
+let alpha_unique phi =
+  let fresh () =
+    incr alpha_counter;
+    Printf.sprintf "$q%d" !alpha_counter
+  in
+  (* [env] maps bound variable names to their fresh replacements *)
+  let rename_term env = function
+    | Var x -> (match List.assoc_opt x env with Some y -> Var y | None -> Var x)
+    | Cst _ as t -> t
+  in
+  let rec go env = function
+    | Atom (r, terms) -> Atom (r, List.map (rename_term env) terms)
+    | Eq (t1, t2) -> Eq (rename_term env t1, rename_term env t2)
+    | Lt (t1, t2) -> Lt (rename_term env t1, rename_term env t2)
+    | Is_const t -> Is_const (rename_term env t)
+    | Is_null t -> Is_null (rename_term env t)
+    | Tru -> Tru
+    | Fls -> Fls
+    | Not f -> Not (go env f)
+    | And (f, g) -> And (go env f, go env g)
+    | Or (f, g) -> Or (go env f, go env g)
+    | Exists (x, f) ->
+      let y = fresh () in
+      Exists (y, go ((x, y) :: env) f)
+    | Forall (x, f) ->
+      let y = fresh () in
+      Forall (y, go ((x, y) :: env) f)
+    | Assert f -> Assert (go env f)
+  in
+  go [] phi
+
+let rec uses_assert = function
+  | Atom _ | Eq _ | Lt _ | Is_const _ | Is_null _ | Tru | Fls -> false
+  | Not f | Exists (_, f) | Forall (_, f) -> uses_assert f
+  | And (f, g) | Or (f, g) -> uses_assert f || uses_assert g
+  | Assert _ -> true
+
+let rec is_positive_existential = function
+  | Atom _ | Eq _ | Tru | Fls -> true
+  | Lt _ -> false
+  | Is_const _ | Is_null _ | Not _ | Forall _ | Assert _ -> false
+  | And (f, g) | Or (f, g) ->
+    is_positive_existential f && is_positive_existential g
+  | Exists (_, f) -> is_positive_existential f
+
+let rec is_positive = function
+  | Atom _ | Eq _ | Tru | Fls -> true
+  | Lt _ -> false
+  | Is_const _ | Is_null _ | Not _ | Assert _ -> false
+  | And (f, g) | Or (f, g) -> is_positive f && is_positive g
+  | Exists (_, f) | Forall (_, f) -> is_positive f
+
+let rec is_pos_forall_guarded phi =
+  match phi with
+  | Atom _ | Eq _ | Tru | Fls -> true
+  | Lt _ -> false
+  | Is_const _ | Is_null _ | Not _ | Assert _ -> false
+  | And (f, g) | Or (f, g) ->
+    is_pos_forall_guarded f && is_pos_forall_guarded g
+  | Exists (_, f) -> is_pos_forall_guarded f
+  | Forall _ ->
+    (* either a plain positive ∀, or the guarded rule
+       ∀x̄ (α(x̄) → φ) written as ∀x̄ (¬α(x̄) ∨ φ) *)
+    let rec chain acc = function
+      | Forall (x, f) -> chain (x :: acc) f
+      | body -> (List.rev acc, body)
+    in
+    let xs, body = chain [] phi in
+    (match body with
+     | Or (Not (Atom (_, args)), f) | Or (f, Not (Atom (_, args))) ->
+       let arg_vars =
+         List.filter_map (function Var v -> Some v | Cst _ -> None) args
+       in
+       let distinct = List.sort_uniq String.compare arg_vars in
+       List.length args = List.length arg_vars
+       && List.length distinct = List.length arg_vars
+       && List.for_all (fun x -> List.mem x arg_vars) xs
+       && List.for_all (fun v -> List.mem v xs) arg_vars
+       && is_pos_forall_guarded f
+     | _ -> is_pos_forall_guarded body)
+
+let relations phi =
+  let rec go acc = function
+    | Atom (r, _) -> if List.mem r acc then acc else r :: acc
+    | Eq _ | Lt _ | Is_const _ | Is_null _ | Tru | Fls -> acc
+    | Not f | Exists (_, f) | Forall (_, f) | Assert f -> go acc f
+    | And (f, g) | Or (f, g) -> go (go acc f) g
+  in
+  List.rev (go [] phi)
+
+let consts phi =
+  let add c acc =
+    if List.exists (Value.equal_const c) acc then acc else c :: acc
+  in
+  let add_term t acc = match t with Cst c -> add c acc | Var _ -> acc in
+  let rec go acc = function
+    | Atom (_, terms) -> List.fold_left (fun acc t -> add_term t acc) acc terms
+    | Eq (t1, t2) | Lt (t1, t2) -> add_term t2 (add_term t1 acc)
+    | Is_const t | Is_null t -> add_term t acc
+    | Tru | Fls -> acc
+    | Not f | Exists (_, f) | Forall (_, f) | Assert f -> go acc f
+    | And (f, g) | Or (f, g) -> go (go acc f) g
+  in
+  List.rev (go [] phi)
+
+let rec size = function
+  | Atom _ | Eq _ | Lt _ | Is_const _ | Is_null _ | Tru | Fls -> 1
+  | Not f | Exists (_, f) | Forall (_, f) | Assert f -> 1 + size f
+  | And (f, g) | Or (f, g) -> 1 + size f + size g
+
+let pp_term ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Cst c -> Value.pp_const ppf c
+
+let rec pp ppf = function
+  | Atom (r, terms) ->
+    Format.fprintf ppf "%s(%a)" r
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         pp_term)
+      terms
+  | Eq (t1, t2) -> Format.fprintf ppf "%a = %a" pp_term t1 pp_term t2
+  | Lt (t1, t2) -> Format.fprintf ppf "%a < %a" pp_term t1 pp_term t2
+  | Is_const t -> Format.fprintf ppf "const(%a)" pp_term t
+  | Is_null t -> Format.fprintf ppf "null(%a)" pp_term t
+  | Tru -> Format.pp_print_string ppf "⊤"
+  | Fls -> Format.pp_print_string ppf "⊥"
+  | Not f -> Format.fprintf ppf "¬%a" pp_paren f
+  | And (f, g) -> Format.fprintf ppf "(%a ∧ %a)" pp f pp g
+  | Or (f, g) -> Format.fprintf ppf "(%a ∨ %a)" pp f pp g
+  | Exists (x, f) -> Format.fprintf ppf "∃%s.%a" x pp_paren f
+  | Forall (x, f) -> Format.fprintf ppf "∀%s.%a" x pp_paren f
+  | Assert f -> Format.fprintf ppf "↑%a" pp_paren f
+
+and pp_paren ppf f =
+  match f with
+  | Atom _ | Eq _ | Lt _ | Is_const _ | Is_null _ | Tru | Fls -> pp ppf f
+  | Not _ | And _ | Or _ | Exists _ | Forall _ | Assert _ ->
+    Format.fprintf ppf "(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,84 @@
+(** First-order formulae over a relational vocabulary (Section 2), with
+    the assertion operator ↑ of Section 5.2 so that the same syntax can
+    express FO, FO(L3v) and FO↑SQL.
+
+    Atomic formulae are relational atoms R(x̄), equalities, and the
+    constant/null tests const(x), null(x).  Quantifiers range over the
+    active domain of the database under evaluation. *)
+
+type term =
+  | Var of string
+  | Cst of Value.const
+
+type t =
+  | Atom of string * term list  (** R(t̄) *)
+  | Eq of term * term
+  | Lt of term * term
+      (** typed order comparison — Section 6's "types of attributes":
+          follows the total order of {!Value.compare} on constants;
+          atoms touching nulls evaluate to u under the Unif/Nullfree
+          semantics and to the literal value order under Bool *)
+  | Is_const of term
+  | Is_null of term
+  | Tru  (** ⊤ *)
+  | Fls  (** ⊥ *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Exists of string * t
+  | Forall of string * t
+  | Assert of t  (** ↑φ — collapses u to f (Section 5.2) *)
+
+(** n-ary smart constructors (right-nested; empty list gives the unit). *)
+
+val conj : t list -> t
+val disj : t list -> t
+val exists_many : string list -> t -> t
+val forall_many : string list -> t -> t
+
+(** [free_vars φ] in order of first occurrence. *)
+val free_vars : t -> string list
+
+(** [rename_free subst φ] replaces free occurrences of variables
+    according to [subst]; bound variables are untouched, and no
+    capture-avoidance is attempted — callers must substitute with
+    globally fresh names (which is how {!Bridge} uses it). *)
+val rename_free : (string * string) list -> t -> t
+
+(** [alpha_unique φ] renames bound variables so that every quantifier
+    binds a distinct, globally fresh name (drawn from the reserved
+    namespace ["$q<n>"]) that also differs from every free variable. *)
+val alpha_unique : t -> t
+
+(** [uses_assert φ] holds iff ↑ occurs in φ. *)
+val uses_assert : t -> bool
+
+(** [is_positive_existential φ] holds iff φ is built from atoms (no
+    const/null tests) with ∧, ∨, ∃ only — i.e. φ is a UCQ. *)
+val is_positive_existential : t -> bool
+
+(** [is_positive φ] — the ∃,∀,∧,∨ fragment (no negation, tests or ↑):
+    the class preserved under onto homomorphisms on arbitrary
+    structures (Section 4.1). *)
+val is_positive : t -> bool
+
+(** [is_pos_forall_guarded φ] — the class Pos∀G of [18]: positive
+    formulae further closed under the guarded-universal rule
+    ∀x̄ (α(x̄) → φ), recognised here as a ∀-chain over
+    [Or (Not (Atom α), φ)] whose guard α applies distinct variables
+    from the chain.  Pos∀G formulae are preserved under strong onto
+    homomorphisms, so naive evaluation computes their certain answers
+    under CWA (Theorem 4.4). *)
+val is_pos_forall_guarded : t -> bool
+
+(** [relations φ] lists the distinct relation names in φ. *)
+val relations : t -> string list
+
+(** [consts φ] lists the distinct constants mentioned in φ. *)
+val consts : t -> Value.const list
+
+(** [size φ] is the number of nodes. *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

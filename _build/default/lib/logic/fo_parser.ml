@@ -1,0 +1,227 @@
+exception Parse_error of string
+
+let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | TIdent of string
+  | TInt of int
+  | TStr of string
+  | TLparen
+  | TRparen
+  | TComma
+  | TDot
+  | TEq
+  | TNeq
+  | TLt
+  | TLe
+  | TAnd
+  | TOr
+  | TNot
+  | TAssert
+  | TEof
+
+let pp_token ppf = function
+  | TIdent s -> Format.fprintf ppf "ident(%s)" s
+  | TInt n -> Format.pp_print_int ppf n
+  | TStr s -> Format.fprintf ppf "'%s'" s
+  | TLparen -> Format.pp_print_char ppf '('
+  | TRparen -> Format.pp_print_char ppf ')'
+  | TComma -> Format.pp_print_char ppf ','
+  | TDot -> Format.pp_print_char ppf '.'
+  | TEq -> Format.pp_print_char ppf '='
+  | TNeq -> Format.pp_print_string ppf "!="
+  | TLt -> Format.pp_print_char ppf '<'
+  | TLe -> Format.pp_print_string ppf "<="
+  | TAnd -> Format.pp_print_char ppf '&'
+  | TOr -> Format.pp_print_char ppf '|'
+  | TNot -> Format.pp_print_char ppf '~'
+  | TAssert -> Format.pp_print_char ppf '!'
+  | TEof -> Format.pp_print_string ppf "<eof>"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let rec scan pos acc =
+    if pos >= n then List.rev (TEof :: acc)
+    else
+      let c = input.[pos] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then scan (pos + 1) acc
+      else
+        match c with
+        | '(' -> scan (pos + 1) (TLparen :: acc)
+        | ')' -> scan (pos + 1) (TRparen :: acc)
+        | ',' -> scan (pos + 1) (TComma :: acc)
+        | '.' -> scan (pos + 1) (TDot :: acc)
+        | '=' -> scan (pos + 1) (TEq :: acc)
+        | '&' -> scan (pos + 1) (TAnd :: acc)
+        | '|' -> scan (pos + 1) (TOr :: acc)
+        | '~' -> scan (pos + 1) (TNot :: acc)
+        | '<' ->
+          if pos + 1 < n && input.[pos + 1] = '=' then
+            scan (pos + 2) (TLe :: acc)
+          else scan (pos + 1) (TLt :: acc)
+        | '!' ->
+          if pos + 1 < n && input.[pos + 1] = '=' then
+            scan (pos + 2) (TNeq :: acc)
+          else scan (pos + 1) (TAssert :: acc)
+        | '\'' ->
+          let rec close i =
+            if i >= n then parse_error "unterminated string at offset %d" pos
+            else if input.[i] = '\'' then i
+            else close (i + 1)
+          in
+          let stop = close (pos + 1) in
+          scan (stop + 1) (TStr (String.sub input (pos + 1) (stop - pos - 1)) :: acc)
+        | c when is_digit c || c = '-' ->
+          let rec stop i =
+            if i < n && is_digit input.[i] then stop (i + 1) else i
+          in
+          let e = stop (pos + 1) in
+          let text = String.sub input pos (e - pos) in
+          (match int_of_string_opt text with
+           | Some v -> scan e (TInt v :: acc)
+           | None -> parse_error "bad number %s" text)
+        | c when is_ident_start c ->
+          let rec stop i =
+            if i < n && is_ident_char input.[i] then stop (i + 1) else i
+          in
+          let e = stop pos in
+          scan e (TIdent (String.sub input pos (e - pos)) :: acc)
+        | c -> parse_error "illegal character %C at offset %d" c pos
+  in
+  scan 0 []
+
+type state = { mutable tokens : token list }
+
+let peek st = match st.tokens with [] -> TEof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st t =
+  if peek st = t then advance st
+  else parse_error "expected %a, found %a" pp_token t pp_token (peek st)
+
+let parse_term st =
+  match peek st with
+  | TIdent x ->
+    advance st;
+    Fo.Var x
+  | TInt n ->
+    advance st;
+    Fo.Cst (Value.Int n)
+  | TStr s ->
+    advance st;
+    Fo.Cst (Value.Str s)
+  | t -> parse_error "expected a term, found %a" pp_token t
+
+let rec parse_formula st =
+  match peek st with
+  | TIdent (("exists" | "forall") as kw) ->
+    advance st;
+    let rec vars acc =
+      match peek st with
+      | TIdent x ->
+        advance st;
+        vars (x :: acc)
+      | TDot ->
+        advance st;
+        List.rev acc
+      | t -> parse_error "expected a variable or '.', found %a" pp_token t
+    in
+    let xs = vars [] in
+    if xs = [] then parse_error "%s needs at least one variable" kw;
+    let body = parse_formula st in
+    if kw = "exists" then Fo.exists_many xs body else Fo.forall_many xs body
+  | _ -> parse_disj st
+
+and parse_disj st =
+  let left = parse_conj st in
+  if peek st = TOr then begin
+    advance st;
+    Fo.Or (left, parse_disj st)
+  end
+  else left
+
+and parse_conj st =
+  let left = parse_unary st in
+  if peek st = TAnd then begin
+    advance st;
+    Fo.And (left, parse_conj st)
+  end
+  else left
+
+and parse_unary st =
+  match peek st with
+  | TNot ->
+    advance st;
+    Fo.Not (parse_unary st)
+  | TAssert ->
+    advance st;
+    Fo.Assert (parse_unary st)
+  | TLparen ->
+    advance st;
+    let f = parse_formula st in
+    expect st TRparen;
+    f
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | TIdent "true" ->
+    advance st;
+    Fo.Tru
+  | TIdent "false" ->
+    advance st;
+    Fo.Fls
+  | TIdent (("const" | "null") as kw) when List.nth_opt st.tokens 1 = Some TLparen ->
+    advance st;
+    expect st TLparen;
+    let t = parse_term st in
+    expect st TRparen;
+    if kw = "const" then Fo.Is_const t else Fo.Is_null t
+  | TIdent name when List.nth_opt st.tokens 1 = Some TLparen ->
+    advance st;
+    expect st TLparen;
+    let rec args acc =
+      let t = parse_term st in
+      if peek st = TComma then begin
+        advance st;
+        args (t :: acc)
+      end
+      else List.rev (t :: acc)
+    in
+    let terms = args [] in
+    expect st TRparen;
+    Fo.Atom (name, terms)
+  | _ ->
+    let t1 = parse_term st in
+    (match peek st with
+     | TEq ->
+       advance st;
+       Fo.Eq (t1, parse_term st)
+     | TNeq ->
+       advance st;
+       Fo.Not (Fo.Eq (t1, parse_term st))
+     | TLt ->
+       advance st;
+       Fo.Lt (t1, parse_term st)
+     | TLe ->
+       advance st;
+       let t2 = parse_term st in
+       Fo.Not (Fo.Lt (t2, t1))
+     | t -> parse_error "expected a comparison, found %a" pp_token t)
+
+let parse input =
+  let st = { tokens = tokenize input } in
+  let f = parse_formula st in
+  (match peek st with
+   | TEof -> ()
+   | t -> parse_error "trailing input at %a" pp_token t);
+  f

@@ -1,0 +1,30 @@
+(** Concrete syntax for first-order formulae.
+
+    Grammar (keywords case-sensitive, whitespace free-form):
+
+    {v
+    formula ::= 'exists' var+ '.' formula
+              | 'forall' var+ '.' formula
+              | disj
+    disj    ::= conj ('|' conj)*
+    conj    ::= unary ('&' unary)*
+    unary   ::= '~' unary            negation
+              | '!' unary            the assertion operator ↑
+              | '(' formula ')'
+              | atom
+    atom    ::= ident '(' term (',' term)* ')'      relational atom
+              | term '=' term | term '!=' term
+              | term '<' term | term '<=' term
+              | 'const' '(' term ')' | 'null' '(' term ')'
+              | 'true' | 'false'
+    term    ::= ident                a variable
+              | integer              an Int constant
+              | '...' (single quotes) a Str constant
+    v}
+
+    Example: [exists y. R(x, y) & ~(y = 'paris')]. *)
+
+exception Parse_error of string
+
+(** [parse input] — @raise Parse_error on syntax errors. *)
+val parse : string -> Fo.t

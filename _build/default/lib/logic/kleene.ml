@@ -1,0 +1,47 @@
+type t =
+  | T
+  | F
+  | U
+
+let values = [ T; F; U ]
+
+let equal a b = a = b
+
+let top = T
+let bot = F
+
+let neg = function T -> F | F -> T | U -> U
+
+let conj a b =
+  match a, b with
+  | F, _ | _, F -> F
+  | T, T -> T
+  | U, (T | U) | T, U -> U
+
+let disj a b =
+  match a, b with
+  | T, _ | _, T -> T
+  | F, F -> F
+  | U, (F | U) | F, U -> U
+
+let knowledge_le a b =
+  match a, b with
+  | U, _ -> true
+  | (T | F), _ -> equal a b
+
+let least = Some U
+
+let pp ppf = function
+  | T -> Format.pp_print_string ppf "t"
+  | F -> Format.pp_print_string ppf "f"
+  | U -> Format.pp_print_string ppf "u"
+
+let to_string v = Format.asprintf "%a" pp v
+
+let of_bool b = if b then T else F
+
+let to_bool_opt = function T -> Some true | F -> Some false | U -> None
+
+let implies a b = disj (neg a) b
+
+let kmeet a b = if equal a b then a else U

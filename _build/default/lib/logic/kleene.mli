@@ -1,0 +1,26 @@
+(** Kleene's three-valued logic L3v (Figure 3) — the logic underlying
+    SQL's treatment of nulls.
+
+    The truth tables are those of Figure 3 of the paper; the knowledge
+    order is u ⪯ t, u ⪯ f with t and f incomparable, and u is the
+    no-information value τ₀. *)
+
+type t =
+  | T
+  | F
+  | U
+
+include Truth.S with type t := t
+
+val of_bool : bool -> t
+
+(** [to_bool_opt v] is [Some b] for [T]/[F] and [None] for [U]. *)
+val to_bool_opt : t -> bool option
+
+(** Kleene implication a → b = ¬a ∨ b (not used by SQL, provided for
+    completeness of the propositional toolkit). *)
+val implies : t -> t -> t
+
+(** The knowledge-order meet (greatest lower bound): agreement collapses
+    to the common value, disagreement to [U]. *)
+val kmeet : t -> t -> t

@@ -1,0 +1,111 @@
+type 'a logic = {
+  values : 'a list;
+  equal : 'a -> 'a -> bool;
+  top : 'a;
+  bot : 'a;
+  neg : 'a -> 'a;
+  conj : 'a -> 'a -> 'a;
+  disj : 'a -> 'a -> 'a;
+}
+
+let of_module (type a) (module L : Truth.S with type t = a) : a logic =
+  {
+    values = L.values;
+    equal = L.equal;
+    top = L.top;
+    bot = L.bot;
+    neg = L.neg;
+    conj = L.conj;
+    disj = L.disj;
+  }
+
+let for_all1 l p = List.for_all p l.values
+
+let for_all2 l p =
+  List.for_all (fun a -> List.for_all (fun b -> p a b) l.values) l.values
+
+let for_all3 l p =
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b -> List.for_all (fun c -> p a b c) l.values)
+        l.values)
+    l.values
+
+let idempotent l =
+  for_all1 l (fun a -> l.equal (l.conj a a) a && l.equal (l.disj a a) a)
+
+let distributive l =
+  for_all3 l (fun a b c ->
+      l.equal (l.conj a (l.disj b c)) (l.disj (l.conj a b) (l.conj a c))
+      && l.equal (l.disj a (l.conj b c)) (l.conj (l.disj a b) (l.disj a c)))
+
+let commutative l =
+  for_all2 l (fun a b ->
+      l.equal (l.conj a b) (l.conj b a) && l.equal (l.disj a b) (l.disj b a))
+
+let associative l =
+  for_all3 l (fun a b c ->
+      l.equal (l.conj a (l.conj b c)) (l.conj (l.conj a b) c)
+      && l.equal (l.disj a (l.disj b c)) (l.disj (l.disj a b) c))
+
+let de_morgan l =
+  for_all1 l (fun a -> l.equal (l.neg (l.neg a)) a)
+  && for_all2 l (fun a b ->
+         l.equal (l.neg (l.conj a b)) (l.disj (l.neg a) (l.neg b))
+         && l.equal (l.neg (l.disj a b)) (l.conj (l.neg a) (l.neg b)))
+
+let weakly_idempotent l =
+  for_all1 l (fun a ->
+      l.equal (l.disj a (l.disj a a)) (l.disj a a)
+      && l.equal (l.conj a (l.conj a a)) (l.conj a a))
+
+let monotone ~le l =
+  let mono1 f = for_all2 l (fun a a' -> (not (le a a')) || le (f a) (f a')) in
+  let mono2 f =
+    for_all2 l (fun a a' ->
+        (not (le a a'))
+        || for_all2 l (fun b b' ->
+               (not (le b b')) || le (f a b) (f a' b')))
+  in
+  mono1 l.neg && mono2 l.conj && mono2 l.disj
+
+let mem l x carrier = List.exists (l.equal x) carrier
+
+let closed l carrier =
+  List.for_all
+    (fun a ->
+      mem l (l.neg a) carrier
+      && List.for_all
+           (fun b -> mem l (l.conj a b) carrier && mem l (l.disj a b) carrier)
+           carrier)
+    carrier
+
+(* all subsets of [l.values] that contain top and bot, as lists *)
+let subsets_with_top_bot l =
+  let rest =
+    List.filter
+      (fun v -> not (l.equal v l.top || l.equal v l.bot))
+      l.values
+  in
+  let base = [ l.top; l.bot ] in
+  List.fold_left
+    (fun acc v -> acc @ List.map (fun s -> v :: s) acc)
+    [ base ] rest
+
+let sublogics l =
+  List.filter (closed l) (subsets_with_top_bot l)
+
+let restrict l carrier = { l with values = carrier }
+
+let maximal_sublogics ~satisfying l =
+  let good =
+    List.filter (fun c -> satisfying (restrict l c)) (sublogics l)
+  in
+  let strictly_contains big small =
+    List.length big > List.length small
+    && List.for_all (fun x -> mem l x big) small
+  in
+  List.filter
+    (fun c -> not (List.exists (fun c' -> strictly_contains c' c) good))
+    good

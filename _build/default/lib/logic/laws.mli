@@ -1,0 +1,56 @@
+(** Exhaustive law checking for finite propositional logics.
+
+    Used to verify the algebraic facts the paper relies on: Kleene's
+    logic is distributive and idempotent and respects the knowledge
+    order; L6v is neither distributive nor idempotent; the maximal
+    distributive and idempotent sublogic of L6v is L3v (Theorem 5.3);
+    database optimisations require distributivity and idempotency. *)
+
+(** A finite logic presented concretely: carrier, designated top/bottom
+    and the three connectives. *)
+type 'a logic = {
+  values : 'a list;
+  equal : 'a -> 'a -> bool;
+  top : 'a;
+  bot : 'a;
+  neg : 'a -> 'a;
+  conj : 'a -> 'a -> 'a;
+  disj : 'a -> 'a -> 'a;
+}
+
+(** [of_module (module L)] packages a {!Truth.S} implementation. *)
+val of_module : (module Truth.S with type t = 'a) -> 'a logic
+
+val idempotent : 'a logic -> bool
+
+(** Both distributivity laws:
+    a∧(b∨c) = (a∧b)∨(a∧c) and a∨(b∧c) = (a∨b)∧(a∨c). *)
+val distributive : 'a logic -> bool
+
+val commutative : 'a logic -> bool
+val associative : 'a logic -> bool
+
+(** De Morgan: ¬(a∧b) = ¬a∨¬b and dually; plus involution ¬¬a = a. *)
+val de_morgan : 'a logic -> bool
+
+(** [weakly_idempotent l] checks a∨a∨a = a∨a and a∧a∧a = a∧a — the
+    hypothesis under which Boolean FO captures a many-valued logic
+    (remark after Theorem 5.4). *)
+val weakly_idempotent : 'a logic -> bool
+
+(** [monotone ~le l] checks that ∧, ∨ and ¬ are monotone w.r.t. the
+    given (knowledge) order — condition (2) of Theorem 5.1. *)
+val monotone : le:('a -> 'a -> bool) -> 'a logic -> bool
+
+(** [sublogics l] lists all subsets of the carrier containing [top] and
+    [bot] that are closed under ¬, ∧ and ∨ — each induces a sublogic. *)
+val sublogics : 'a logic -> 'a list list
+
+(** [restrict l carrier] is the logic induced on a closed subset. *)
+val restrict : 'a logic -> 'a list -> 'a logic
+
+(** [maximal_sublogics ~satisfying l] lists the closed carriers whose
+    induced logics satisfy the predicate and that are maximal (no closed
+    superset also satisfies it). *)
+val maximal_sublogics :
+  satisfying:('a logic -> bool) -> 'a logic -> 'a list list

@@ -1,0 +1,149 @@
+type tag =
+  | Bool
+  | Unif
+  | Nullfree
+
+type mixed = {
+  rel_sem : string -> tag;
+  eq_sem : tag;
+}
+
+let all_bool = { rel_sem = (fun _ -> Bool); eq_sem = Bool }
+let all_unif = { rel_sem = (fun _ -> Unif); eq_sem = Unif }
+let all_nullfree = { rel_sem = (fun _ -> Nullfree); eq_sem = Nullfree }
+let sql = { rel_sem = (fun _ -> Bool); eq_sem = Nullfree }
+
+type env = (string * Value.t) list
+
+exception Eval_error of string
+
+let eval_error fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let term_value env = function
+  | Fo.Cst c -> Value.Const c
+  | Fo.Var x ->
+    (match List.assoc_opt x env with
+     | Some v -> v
+     | None -> eval_error "unbound variable %s" x)
+
+let rel_atom tag db name tuple =
+  let r =
+    try Database.relation db name
+    with Not_found -> eval_error "unknown relation %s" name
+  in
+  if Relation.arity r <> Tuple.arity tuple then
+    eval_error "atom %s of arity %d applied to %d terms" name
+      (Relation.arity r) (Tuple.arity tuple);
+  match tag with
+  | Bool -> Kleene.of_bool (Relation.mem tuple r)
+  | Unif ->
+    if Relation.mem tuple r then Kleene.T
+    else if Relation.exists (Tuple.unifiable tuple) r then Kleene.U
+    else Kleene.F
+  | Nullfree ->
+    if not (Tuple.is_complete tuple) then Kleene.U
+    else Kleene.of_bool (Relation.mem tuple r)
+
+let lt_atom tag v1 v2 =
+  match tag with
+  | Bool -> Kleene.of_bool (Value.compare v1 v2 < 0)
+  | Unif ->
+    (* a value is never strictly below itself, even an unknown one *)
+    if Value.equal v1 v2 then Kleene.F
+    else if Value.is_const v1 && Value.is_const v2 then
+      Kleene.of_bool (Value.compare v1 v2 < 0)
+    else Kleene.U
+  | Nullfree ->
+    if Value.is_null v1 || Value.is_null v2 then Kleene.U
+    else Kleene.of_bool (Value.compare v1 v2 < 0)
+
+let eq_atom tag v1 v2 =
+  match tag with
+  | Bool -> Kleene.of_bool (Value.equal v1 v2)
+  | Unif ->
+    if Value.equal v1 v2 then Kleene.T
+    else if Value.is_const v1 && Value.is_const v2 then Kleene.F
+    else Kleene.U
+  | Nullfree ->
+    if Value.is_null v1 || Value.is_null v2 then Kleene.U
+    else Kleene.of_bool (Value.equal v1 v2)
+
+let eval mixed db env phi =
+  let domain = Database.active_domain db in
+  let rec go env = function
+    | Fo.Atom (name, terms) ->
+      let tuple = Array.of_list (List.map (term_value env) terms) in
+      rel_atom (mixed.rel_sem name) db name tuple
+    | Fo.Eq (t1, t2) ->
+      eq_atom mixed.eq_sem (term_value env t1) (term_value env t2)
+    | Fo.Lt (t1, t2) ->
+      lt_atom mixed.eq_sem (term_value env t1) (term_value env t2)
+    | Fo.Is_const t -> Kleene.of_bool (Value.is_const (term_value env t))
+    | Fo.Is_null t -> Kleene.of_bool (Value.is_null (term_value env t))
+    | Fo.Tru -> Kleene.T
+    | Fo.Fls -> Kleene.F
+    | Fo.Not f -> Kleene.neg (go env f)
+    | Fo.And (f, g) ->
+      (match go env f with
+       | Kleene.F -> Kleene.F
+       | v -> Kleene.conj v (go env g))
+    | Fo.Or (f, g) ->
+      (match go env f with
+       | Kleene.T -> Kleene.T
+       | v -> Kleene.disj v (go env g))
+    | Fo.Exists (x, f) ->
+      let rec scan acc = function
+        | [] -> acc
+        | d :: rest ->
+          (match go ((x, d) :: env) f with
+           | Kleene.T -> Kleene.T
+           | v ->
+             let acc = Kleene.disj acc v in
+             scan acc rest)
+      in
+      scan Kleene.F domain
+    | Fo.Forall (x, f) ->
+      let rec scan acc = function
+        | [] -> acc
+        | d :: rest ->
+          (match go ((x, d) :: env) f with
+           | Kleene.F -> Kleene.F
+           | v ->
+             let acc = Kleene.conj acc v in
+             scan acc rest)
+      in
+      scan Kleene.T domain
+    | Fo.Assert f -> Assertion.assert_ (go env f)
+  in
+  go env phi
+
+let eval_bool db env phi =
+  match eval all_bool db env phi with
+  | Kleene.T -> true
+  | Kleene.F -> false
+  | Kleene.U ->
+    raise (Eval_error "eval_bool: unexpected u under the Boolean semantics")
+
+let answers mixed db phi =
+  let vars = Fo.free_vars phi in
+  let domain = Database.active_domain db in
+  let rec assignments = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let tails = assignments rest in
+      List.concat_map (fun d -> List.map (fun tl -> (x, d) :: tl) tails) domain
+  in
+  List.map
+    (fun env ->
+      let tuple = Array.of_list (List.map (fun x -> List.assoc x env) vars) in
+      (tuple, eval mixed db env phi))
+    (assignments vars)
+
+let certain_true mixed db phi =
+  let k = List.length (Fo.free_vars phi) in
+  List.fold_left
+    (fun r (tuple, v) ->
+      match v with
+      | Kleene.T -> Relation.add tuple r
+      | Kleene.F | Kleene.U -> r)
+    (Relation.empty k) (answers mixed db phi)

@@ -1,0 +1,61 @@
+(** Many-valued semantics for first-order formulae (Section 5.1–5.2).
+
+    A {e mixed semantics} chooses, independently for every base relation
+    and for equality, one of the three atom semantics of the paper:
+
+    - {b Bool} — the standard two-valued semantics (12): a relational
+      atom is t iff the tuple is literally in the relation; equality is
+      literal equality of domain elements (so ⊥ = ⊥ is t for the same
+      marked null);
+    - {b Unif} — the unification semantics (13): R(ā) is f only when no
+      tuple of R unifies with ā; a = b is f only for distinct constants
+      (this is the semantics with correctness guarantees, Cor. 5.2);
+    - {b Nullfree} — the SQL comparison semantics (14): any atom
+      touching a null is u.
+
+    SQL's own semantics (15) is the mix Bool for relations and Nullfree
+    for equality.  Connectives are evaluated in Kleene's logic; ↑ is the
+    assertion operator; quantifiers range over the active domain of the
+    database (equations (10) and (11)). *)
+
+type tag =
+  | Bool
+  | Unif
+  | Nullfree
+
+type mixed = {
+  rel_sem : string -> tag;
+  eq_sem : tag;
+}
+
+val all_bool : mixed
+val all_unif : mixed
+val all_nullfree : mixed
+
+(** SQL's mixed semantics (15): Bool relations, Nullfree equality. *)
+val sql : mixed
+
+(** Variable assignments. *)
+type env = (string * Value.t) list
+
+exception Eval_error of string
+
+(** [eval mixed db env φ] is ⟦φ⟧_{D,ā} in Kleene's logic.
+
+    @raise Eval_error on unbound variables or unknown relations. *)
+val eval : mixed -> Database.t -> env -> Fo.t -> Kleene.t
+
+(** [eval_bool db env φ] is two-valued evaluation: [eval all_bool]
+    collapsed to [bool] ([u] is unreachable under [all_bool]).
+    This is standard Boolean FO with nulls treated as values. *)
+val eval_bool : Database.t -> env -> Fo.t -> bool
+
+(** [answers mixed db φ] pairs every assignment of the free variables of
+    φ (ranging over the active domain, in the order of
+    {!Fo.free_vars}) with its truth value.  This materialises the query
+    Q_φ of Section 5.2 together with the f/u distinctions. *)
+val answers : mixed -> Database.t -> Fo.t -> (Tuple.t * Kleene.t) list
+
+(** [certain_true mixed db φ] is the relation of tuples on which φ
+    evaluates to t — SQL's answer set for SELECT-queries. *)
+val certain_true : mixed -> Database.t -> Fo.t -> Relation.t

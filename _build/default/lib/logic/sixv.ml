@@ -1,0 +1,100 @@
+type t =
+  | T
+  | F
+  | S
+  | ST
+  | SF
+  | U
+
+type world_class =
+  | All_true
+  | Mixed
+  | All_false
+
+let values = [ T; F; S; ST; SF; U ]
+
+let equal a b = a = b
+
+let top = T
+let bot = F
+
+let classes = function
+  | T -> [ All_true ]
+  | F -> [ All_false ]
+  | S -> [ Mixed ]
+  | ST -> [ All_true; Mixed ]
+  | SF -> [ All_false; Mixed ]
+  | U -> [ All_true; Mixed; All_false ]
+
+let class_mem c cs = List.mem c cs
+
+let subset cs1 cs2 = List.for_all (fun c -> class_mem c cs2) cs1
+
+let of_classes cs =
+  if cs = [] then invalid_arg "Sixv.of_classes: empty class set";
+  (* most specific value whose class set covers [cs]; values are listed
+     from most to least specific, so the first hit is the answer *)
+  let ordered = [ T; F; S; ST; SF; U ] in
+  match List.find_opt (fun v -> subset cs (classes v)) ordered with
+  | Some v -> v
+  | None -> U
+
+(* class-level semantics of the connectives over a shared world set *)
+
+let neg_class = function
+  | All_true -> All_false
+  | Mixed -> Mixed
+  | All_false -> All_true
+
+let conj_classes c1 c2 =
+  match c1, c2 with
+  | All_false, _ | _, All_false -> [ All_false ]
+  | All_true, All_true -> [ All_true ]
+  | All_true, Mixed | Mixed, All_true -> [ Mixed ]
+  | Mixed, Mixed -> [ Mixed; All_false ]
+
+let disj_classes c1 c2 =
+  List.map neg_class (conj_classes (neg_class c1) (neg_class c2))
+
+let dedup cs = List.sort_uniq compare cs
+
+let lift2 class_op a b =
+  let outcomes =
+    List.concat_map
+      (fun c1 -> List.concat_map (fun c2 -> class_op c1 c2) (classes b))
+      (classes a)
+  in
+  of_classes (dedup outcomes)
+
+let neg a = of_classes (dedup (List.map neg_class (classes a)))
+
+let conj = lift2 conj_classes
+let disj = lift2 disj_classes
+
+(* knowledge order: more possible classes = less information *)
+let knowledge_le a b = subset (classes b) (classes a)
+
+let least = Some U
+
+let pp ppf v =
+  Format.pp_print_string ppf
+    (match v with
+     | T -> "t"
+     | F -> "f"
+     | S -> "s"
+     | ST -> "st"
+     | SF -> "sf"
+     | U -> "u")
+
+let to_string v = Format.asprintf "%a" pp v
+
+let of_kleene = function
+  | Kleene.T -> T
+  | Kleene.F -> F
+  | Kleene.U -> U
+
+let to_kleene_opt = function
+  | T -> Some Kleene.T
+  | F -> Some Kleene.F
+  | U -> Some Kleene.U
+  | S | ST | SF -> None

@@ -1,0 +1,57 @@
+(** The six-valued epistemic logic L6v of Section 5.2.
+
+    Truth values are the six maximally consistent theories of the
+    epistemic modalities K(α), P(α), K(¬α), P(¬α) over possible-world
+    interpretations (W, t, f):
+
+    - [T]  — α true in all worlds;
+    - [F]  — α false in all worlds;
+    - [S]  — α true in some worlds and false in others ("sometimes");
+    - [ST] — true in some world, unknown whether in all ("sometimes true");
+    - [SF] — false in some world, unknown whether in all ("sometimes false");
+    - [U]  — no information.
+
+    Rather than hard-coding truth tables, this module {e derives} them
+    from the possible-world reading, exactly as the paper prescribes:
+    each value denotes a set of possible "world classes" of α
+    (all-true / mixed / all-false); connectives act on classes; the
+    result is the most general of the six values consistent with the
+    outcome (see {!classes} and {!of_classes}).  L6v is neither
+    distributive nor idempotent — e.g. [conj S S = SF] — and its
+    maximal distributive and idempotent sublogic is Kleene's L3v
+    (Theorem 5.3, verified exhaustively in the test suite). *)
+
+type t =
+  | T
+  | F
+  | S
+  | ST
+  | SF
+  | U
+
+include Truth.S with type t := t
+
+(** A class of complete scenarios for a formula over a world set. *)
+type world_class =
+  | All_true
+  | Mixed
+  | All_false
+
+(** The set of world classes a truth value admits; e.g.
+    [classes ST = [All_true; Mixed]]. *)
+val classes : t -> world_class list
+
+(** [of_classes cs] is the most specific of the six values whose class
+    set contains [cs]; the non-representable set
+    [{All_true; All_false}] yields [U] (the most general consistent
+    value, per the paper's "choose the most general one" rule).
+    @raise Invalid_argument on the empty set. *)
+val of_classes : world_class list -> t
+
+(** Embedding of Kleene's logic: t ↦ T, f ↦ F, u ↦ U.  By Theorem 5.3
+    the image is closed under the connectives, and the connectives
+    restrict to Kleene's tables on it. *)
+val of_kleene : Kleene.t -> t
+
+(** Partial inverse of {!of_kleene}. *)
+val to_kleene_opt : t -> Kleene.t option

@@ -1,0 +1,34 @@
+(** Signature of propositional many-valued logics (Section 5).
+
+    A propositional many-valued logic is a pair (T, Ω) of a finite set
+    of truth values and a set of connectives; here Ω always contains
+    ∧, ∨ and ¬.  Logics additionally expose their {e knowledge order}
+    ⪯ (Belnap/Ginsberg style): τ ⪯ τ' when τ' carries at least as much
+    information as τ.  The least element, when it exists, is the
+    no-information value τ₀. *)
+
+module type S = sig
+  type t
+
+  (** All truth values, duplicates-free. *)
+  val values : t list
+
+  val equal : t -> t -> bool
+
+  val top : t  (** the value t (true) *)
+
+  val bot : t  (** the value f (false) *)
+
+  val neg : t -> t
+  val conj : t -> t -> t
+  val disj : t -> t -> t
+
+  (** The knowledge order ⪯. *)
+  val knowledge_le : t -> t -> bool
+
+  (** The no-information value τ₀, if the order has a least element. *)
+  val least : t option
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end

@@ -1,0 +1,1 @@
+lib/prob/chase.ml: Array Constraints Database List Relation Tuple Value

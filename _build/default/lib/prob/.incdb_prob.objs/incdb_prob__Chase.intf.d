@@ -1,0 +1,1 @@
+lib/prob/chase.mli: Constraints Database Tuple Value

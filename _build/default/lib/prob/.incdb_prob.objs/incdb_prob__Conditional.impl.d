@@ -1,0 +1,1 @@
+lib/prob/conditional.ml: Algebra Chase Constraints Database Eval List Polynomial Rational Relation Support Valuation Value Zero_one

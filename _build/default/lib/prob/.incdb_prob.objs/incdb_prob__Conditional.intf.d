@@ -1,0 +1,1 @@
+lib/prob/conditional.mli: Algebra Constraints Database Rational Relation Tuple Value

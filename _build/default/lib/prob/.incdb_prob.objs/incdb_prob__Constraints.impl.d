@@ -1,0 +1,1 @@
+lib/prob/constraints.ml: Database Format List Relation Tuple

@@ -1,0 +1,1 @@
+lib/prob/constraints.mli: Database Format

@@ -1,0 +1,1 @@
+lib/prob/polynomial.ml: Array Format List Rational

@@ -1,0 +1,1 @@
+lib/prob/polynomial.mli: Format Rational

@@ -1,0 +1,1 @@
+lib/prob/support.ml: Database Format Hashtbl List Rational Relation Valuation Value

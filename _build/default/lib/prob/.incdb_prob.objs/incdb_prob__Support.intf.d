@@ -1,0 +1,1 @@
+lib/prob/support.mli: Database Rational Relation Tuple Valuation Value

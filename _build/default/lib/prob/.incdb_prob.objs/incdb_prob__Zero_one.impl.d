@@ -1,0 +1,1 @@
+lib/prob/zero_one.ml: Eval Incdb_certain List Rational Relation Support

@@ -1,0 +1,1 @@
+lib/prob/zero_one.mli: Algebra Database Rational Relation Tuple Value

@@ -1,0 +1,77 @@
+type result =
+  | Chased of Database.t * (int * Value.t) list
+  | Failed
+
+(* find one violated FD instance and return the pair of values to equate *)
+let find_violation db (fds : Constraints.fd list) =
+  let found = ref None in
+  let check_fd ({ Constraints.fd_relation; lhs; rhs } : Constraints.fd) =
+    let r = Database.relation db fd_relation in
+    let tuples = Relation.to_list r in
+    List.iter
+      (fun t1 ->
+        List.iter
+          (fun t2 ->
+            if
+              !found = None
+              && Tuple.equal (Tuple.project lhs t1) (Tuple.project lhs t2)
+              && not (Tuple.equal (Tuple.project rhs t1) (Tuple.project rhs t2))
+            then begin
+              (* first differing rhs column *)
+              let col =
+                List.find (fun c -> not (Value.equal t1.(c) t2.(c))) rhs
+              in
+              found := Some (t1.(col), t2.(col))
+            end)
+          tuples)
+      tuples
+  in
+  List.iter check_fd fds;
+  !found
+
+let substitute_value n value x =
+  if Value.equal x (Value.Null n) then value else x
+
+let substitute_db n value db =
+  Database.map_relations
+    (fun _ r ->
+      Relation.map ~arity:(Relation.arity r)
+        (Array.map (substitute_value n value))
+        r)
+    db
+
+let apply_subst subst tuple =
+  Array.map
+    (fun x ->
+      match x with
+      | Value.Null n ->
+        (match List.assoc_opt n subst with Some w -> w | None -> x)
+      | Value.Const _ -> x)
+    tuple
+
+let chase_fds db fds =
+  let rec loop db subst steps =
+    (* each step eliminates one null or fails; nulls are finite *)
+    if steps < 0 then Failed
+    else
+      match find_violation db fds with
+      | None -> Chased (db, subst)
+      | Some (x, y) ->
+        (match x, y with
+         | Value.Const _, Value.Const _ -> Failed
+         | Value.Null n, v | v, Value.Null n ->
+           let db' = substitute_db n v db in
+           (* keep earlier images fully resolved *)
+           let subst' =
+             (n, v)
+             :: List.map (fun (m, w) -> (m, substitute_value n v w)) subst
+           in
+           loop db' subst' (steps - 1))
+  in
+  let budget = List.length (Database.nulls db) + 1 in
+  loop db [] budget
+
+let chase_exn db fds =
+  match chase_fds db fds with
+  | Chased (db, _) -> db
+  | Failed -> failwith "Chase.chase_exn: constraints are unsatisfiable"

@@ -1,0 +1,27 @@
+(** The chase with functional dependencies on incomplete databases
+    (Section 4.3): when Σ contains only FDs, µ(Q | Σ, D, ā) equals
+    µ(Q, D_Σ, ā) on the chased database, so conditional probabilities
+    reduce to the 0–1 law.
+
+    Chasing repeatedly finds two tuples agreeing on an FD's left-hand
+    side but disagreeing on the right, and equates the offending
+    values: null/constant pairs substitute the constant for the null
+    everywhere, null/null pairs merge the nulls.  A constant/constant
+    disagreement means the FDs cannot hold (given the lhs collision) in
+    any world, and the chase fails. *)
+
+type result =
+  | Chased of Database.t * (int * Value.t) list
+      (** the chased database and the accumulated substitution of
+          equated-away nulls (fully resolved: images contain no
+          equated-away nulls) *)
+  | Failed  (** Σ cannot hold in any world reachable by equating *)
+
+val chase_fds : Database.t -> Constraints.fd list -> result
+
+(** [apply_subst subst tuple] rewrites a tuple through the chase
+    substitution. *)
+val apply_subst : (int * Value.t) list -> Tuple.t -> Tuple.t
+
+(** [chase_exn db fds] @raise Failure on chase failure. *)
+val chase_exn : Database.t -> Constraints.fd list -> Database.t

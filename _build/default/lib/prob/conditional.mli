@@ -1,0 +1,51 @@
+(** Conditional probabilities µ(Q | Σ, D, ā) of Section 4.3
+    (Theorem 4.11): the asymptotic probability that ā answers Q in a
+    randomly chosen possible world, conditioned on the constraints Σ
+    holding.
+
+    The limit always exists and is rational for generic Q and Σ.  It is
+    computed {e exactly}: for k beyond the number of known constants,
+    both |Suppᵏ(Σ∧Q)| and |Suppᵏ(Σ)| are polynomials in k of degree at
+    most the number of nulls (a sum over collision patterns of
+    falling-factorial counts), so we interpolate them from finitely
+    many exact counts and take the ratio of leading coefficients
+    ({!Polynomial.limit_ratio}).
+
+    When Σ contains only functional dependencies the limit is 0 or 1
+    and is obtained via the chase: µ(Q | Σ, D, ā) = µ(Q, D_Σ, ā). *)
+
+(** [mu_k ~run ~query_consts ~sigma db tuple ~k] is µₖ(Q | Σ, D, ā):
+    the fraction of the Σ-satisfying valuations in Vₖ that witness ā;
+    0 when no valuation in Vₖ satisfies Σ (the paper's convention). *)
+val mu_k :
+  run:(Database.t -> Relation.t) ->
+  query_consts:Value.const list ->
+  sigma:Constraints.t list ->
+  Database.t ->
+  Tuple.t ->
+  k:int ->
+  Rational.t
+
+(** [mu ~run ~query_consts ~sigma db tuple] is the exact limit
+    µ(Q | Σ, D, ā), by polynomial interpolation of the counts. *)
+val mu :
+  run:(Database.t -> Relation.t) ->
+  query_consts:Value.const list ->
+  sigma:Constraints.t list ->
+  Database.t ->
+  Tuple.t ->
+  Rational.t
+
+(** [mu_fd_via_chase ~run db tuple ~fds] is the 0/1 fast path for
+    FD-only constraints: chase, then apply the 0–1 law.  Returns 0 when
+    the chase fails. *)
+val mu_fd_via_chase :
+  run:(Database.t -> Relation.t) ->
+  fds:Constraints.fd list ->
+  Database.t ->
+  Tuple.t ->
+  Rational.t
+
+(** Relational algebra front end for {!mu}. *)
+val mu_ra :
+  sigma:Constraints.t list -> Database.t -> Algebra.t -> Tuple.t -> Rational.t

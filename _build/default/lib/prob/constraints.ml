@@ -1,0 +1,67 @@
+type fd = {
+  fd_relation : string;
+  lhs : int list;
+  rhs : int list;
+}
+
+type ind = {
+  sub_relation : string;
+  sub_cols : int list;
+  sup_relation : string;
+  sup_cols : int list;
+}
+
+type t =
+  | Fd of fd
+  | Ind of ind
+
+let fd r lhs rhs = Fd { fd_relation = r; lhs; rhs }
+
+let key r cols ~arity =
+  let rhs =
+    List.filter (fun i -> not (List.mem i cols)) (List.init arity (fun i -> i))
+  in
+  fd r cols rhs
+
+let ind sub sub_cols sup sup_cols =
+  Ind { sub_relation = sub; sub_cols; sup_relation = sup; sup_cols }
+
+let satisfied db = function
+  | Fd { fd_relation; lhs; rhs } ->
+    let r = Database.relation db fd_relation in
+    Relation.for_all
+      (fun t1 ->
+        Relation.for_all
+          (fun t2 ->
+            if Tuple.equal (Tuple.project lhs t1) (Tuple.project lhs t2) then
+              Tuple.equal (Tuple.project rhs t1) (Tuple.project rhs t2)
+            else true)
+          r)
+      r
+  | Ind { sub_relation; sub_cols; sup_relation; sup_cols } ->
+    let sub = Database.relation db sub_relation in
+    let sup = Database.relation db sup_relation in
+    Relation.for_all
+      (fun t ->
+        let key = Tuple.project sub_cols t in
+        Relation.exists
+          (fun t' -> Tuple.equal key (Tuple.project sup_cols t'))
+          sup)
+      sub
+
+let all_satisfied db cs = List.for_all (satisfied db) cs
+
+let fds cs =
+  List.filter_map (function Fd f -> Some f | Ind _ -> None) cs
+
+let pp_cols ppf cols =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+    Format.pp_print_int ppf cols
+
+let pp ppf = function
+  | Fd { fd_relation; lhs; rhs } ->
+    Format.fprintf ppf "%s: %a → %a" fd_relation pp_cols lhs pp_cols rhs
+  | Ind { sub_relation; sub_cols; sup_relation; sup_cols } ->
+    Format.fprintf ppf "%s[%a] ⊆ %s[%a]" sub_relation pp_cols sub_cols
+      sup_relation pp_cols sup_cols

@@ -1,0 +1,40 @@
+(** Integrity constraints (Section 4.3): functional dependencies and
+    inclusion dependencies, the generic Boolean queries conditioning the
+    probabilistic semantics µ(Q | Σ, D, ā). *)
+
+(** Functional dependency R : lhs → rhs (0-based column lists). *)
+type fd = {
+  fd_relation : string;
+  lhs : int list;
+  rhs : int list;
+}
+
+(** Inclusion dependency R[cols] ⊆ S[cols]. *)
+type ind = {
+  sub_relation : string;
+  sub_cols : int list;
+  sup_relation : string;
+  sup_cols : int list;
+}
+
+type t =
+  | Fd of fd
+  | Ind of ind
+
+(** Convenience constructors. *)
+
+val fd : string -> int list -> int list -> t
+val key : string -> int list -> arity:int -> t
+val ind : string -> int list -> string -> int list -> t
+
+(** [satisfied db c] — two-valued check treating nulls as values; on
+    complete databases this is the standard semantics (the constraint
+    as a generic Boolean query). *)
+val satisfied : Database.t -> t -> bool
+
+val all_satisfied : Database.t -> t list -> bool
+
+(** [fds cs] extracts the functional dependencies. *)
+val fds : t list -> fd list
+
+val pp : Format.formatter -> t -> unit

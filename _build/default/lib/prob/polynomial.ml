@@ -1,0 +1,94 @@
+type t = Rational.t array
+(* coefficients by increasing degree; invariant: last coefficient nonzero *)
+
+let normalize coeffs =
+  let n = Array.length coeffs in
+  let rec last i =
+    if i < 0 then -1
+    else if Rational.is_zero coeffs.(i) then last (i - 1)
+    else i
+  in
+  let d = last (n - 1) in
+  Array.sub coeffs 0 (d + 1)
+
+let zero : t = [||]
+
+let of_coeffs coeffs = normalize (Array.of_list coeffs)
+
+let degree p = Array.length p - 1
+
+let leading p =
+  if Array.length p = 0 then invalid_arg "Polynomial.leading: zero polynomial"
+  else p.(Array.length p - 1)
+
+let eval p x =
+  Array.fold_right
+    (fun c acc -> Rational.add c (Rational.mul x acc))
+    p Rational.zero
+
+let add p q =
+  let n = max (Array.length p) (Array.length q) in
+  let coeff arr i =
+    if i < Array.length arr then arr.(i) else Rational.zero
+  in
+  normalize (Array.init n (fun i -> Rational.add (coeff p i) (coeff q i)))
+
+let scale c p = normalize (Array.map (Rational.mul c) p)
+
+(* multiply by (x - a) *)
+let mul_linear p a =
+  let n = Array.length p in
+  if n = 0 then zero
+  else begin
+    let out = Array.make (n + 1) Rational.zero in
+    Array.iteri
+      (fun i c ->
+        out.(i + 1) <- Rational.add out.(i + 1) c;
+        out.(i) <- Rational.sub out.(i) (Rational.mul a c))
+      p;
+    normalize out
+  end
+
+let interpolate points =
+  if points = [] then invalid_arg "Polynomial.interpolate: no points";
+  let xs = List.map fst points in
+  let rec has_dup = function
+    | [] -> false
+    | x :: rest -> List.exists (Rational.equal x) rest || has_dup rest
+  in
+  if has_dup xs then
+    invalid_arg "Polynomial.interpolate: duplicate abscissae";
+  List.fold_left
+    (fun acc (xi, yi) ->
+      (* Lagrange basis polynomial for xi *)
+      let basis, denom =
+        List.fold_left
+          (fun (p, d) xj ->
+            if Rational.equal xi xj then (p, d)
+            else (mul_linear p xj, Rational.mul d (Rational.sub xi xj)))
+          (of_coeffs [ Rational.one ], Rational.one)
+          xs
+      in
+      add acc (scale (Rational.div yi denom) basis))
+    zero points
+
+let limit_ratio p q =
+  if Array.length q = 0 then
+    invalid_arg "Polynomial.limit_ratio: zero denominator polynomial";
+  let dp = degree p and dq = degree q in
+  if dp > dq then invalid_arg "Polynomial.limit_ratio: diverges"
+  else if dp < dq then Rational.zero
+  else Rational.div (leading p) (leading q)
+
+let equal p q =
+  Array.length p = Array.length q
+  && Array.for_all2 Rational.equal p q
+
+let pp ppf p =
+  if Array.length p = 0 then Format.pp_print_string ppf "0"
+  else
+    Array.iteri
+      (fun i c ->
+        if i > 0 then Format.fprintf ppf " + ";
+        Format.fprintf ppf "%a·k^%d" Rational.pp c i)
+      p

@@ -1,0 +1,35 @@
+(** Polynomials with rational coefficients, used to recover the exact
+    asymptotic probabilities of Section 4.3: for k large enough, the
+    valuation counts |Suppᵏ| are polynomials in k (sums over collision
+    patterns of falling factorials), so interpolating them at finitely
+    many points and comparing leading coefficients yields the exact
+    limit µ = lim µₖ. *)
+
+type t
+(** coefficients in increasing degree, normalised (no trailing zeros) *)
+
+val zero : t
+val of_coeffs : Rational.t list -> t
+
+(** [degree p] is the degree, [-1] for the zero polynomial. *)
+val degree : t -> int
+
+(** [leading p] is the leading coefficient.
+    @raise Invalid_argument on the zero polynomial. *)
+val leading : t -> Rational.t
+
+val eval : t -> Rational.t -> Rational.t
+
+(** [interpolate points] is the unique polynomial of degree
+    < length points through the given (x, y) pairs (Lagrange).
+    @raise Invalid_argument on duplicate abscissae or empty input. *)
+val interpolate : (Rational.t * Rational.t) list -> t
+
+(** [limit_ratio p q] is lim_{k→∞} p(k)/q(k): zero when
+    deg p < deg q, the ratio of leading coefficients when degrees are
+    equal.  @raise Invalid_argument if deg p > deg q (the limit
+    diverges) or q is the zero polynomial. *)
+val limit_ratio : t -> t -> Rational.t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

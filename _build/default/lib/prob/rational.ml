@@ -1,0 +1,77 @@
+type t = {
+  num : int;
+  den : int;  (* invariant: den > 0, gcd (|num|, den) = 1 *)
+}
+
+exception Overflow
+
+exception Division_by_zero
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let checked_mul a b =
+  let p = a * b in
+  if a <> 0 && (p / a <> b || (a = -1 && b = min_int)) then raise Overflow;
+  p
+
+let checked_add a b =
+  let s = a + b in
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow;
+  s
+
+let make p q =
+  if q = 0 then raise Division_by_zero;
+  let sign = if q < 0 then -1 else 1 in
+  let p = checked_mul p sign and q = checked_mul q sign in
+  let g = gcd p q in
+  if g = 0 then { num = 0; den = 1 } else { num = p / g; den = q / g }
+
+let of_int n = { num = n; den = 1 }
+
+let zero = of_int 0
+let one = of_int 1
+
+let num r = r.num
+let den r = r.den
+
+let add r1 r2 =
+  (* cross-multiply through the gcd of denominators to delay overflow *)
+  let g = gcd r1.den r2.den in
+  let d1 = r1.den / g in
+  let d2 = r2.den / g in
+  let n = checked_add (checked_mul r1.num d2) (checked_mul r2.num d1) in
+  make n (checked_mul (checked_mul d1 g) d2)
+
+let neg r = { r with num = -r.num }
+
+let sub r1 r2 = add r1 (neg r2)
+
+let mul r1 r2 =
+  (* cancel before multiplying *)
+  let g1 = gcd r1.num r2.den and g2 = gcd r2.num r1.den in
+  let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
+  make
+    (checked_mul (r1.num / g1) (r2.num / g2))
+    (checked_mul (r1.den / g2) (r2.den / g1))
+
+let div r1 r2 =
+  if r2.num = 0 then raise Division_by_zero;
+  mul r1 { num = r2.den; den = abs r2.num }
+  |> fun r -> if r2.num < 0 then neg r else r
+
+let equal r1 r2 = r1.num = r2.num && r1.den = r2.den
+
+let compare r1 r2 =
+  (* both denominators positive *)
+  Int.compare (checked_mul r1.num r2.den) (checked_mul r2.num r1.den)
+
+let is_zero r = r.num = 0
+
+let to_float r = float_of_int r.num /. float_of_int r.den
+
+let pp ppf r =
+  if r.den = 1 then Format.pp_print_int ppf r.num
+  else Format.fprintf ppf "%d/%d" r.num r.den
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,44 @@
+(** Exact rational arithmetic over native integers.
+
+    The probabilistic framework of Section 4.3 computes probabilities
+    that are quotients of valuation counts; Theorem 4.11 guarantees the
+    limits are rational.  The container has no arbitrary-precision
+    library, so this module provides normalised [int] rationals with
+    overflow detection — counts in our experiments are small products of
+    falling factorials, well within 63 bits. *)
+
+type t
+
+exception Overflow
+
+exception Division_by_zero
+
+(** [make p q] is p/q in lowest terms with positive denominator.
+    @raise Division_by_zero if [q = 0]. *)
+val make : int -> int -> t
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero *)
+val div : t -> t -> t
+
+val neg : t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_zero : t -> bool
+
+val to_float : t -> float
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,59 @@
+let enumeration ~query_consts db k =
+  let known = Database.consts db in
+  let extra =
+    List.filter
+      (fun c -> not (List.exists (Value.equal_const c) known))
+      query_consts
+  in
+  let base = known @ extra in
+  let n_base = List.length base in
+  if k <= n_base then
+    List.filteri (fun i _ -> i < k) base
+  else
+    base @ List.init (k - n_base) (fun i -> Value.Gen i)
+
+let valuations_k ~query_consts db ~k =
+  let range = enumeration ~query_consts db k in
+  Valuation.enumerate ~nulls:(Database.nulls db) ~range
+
+let support_count ~run ~query_consts db tuple ~k =
+  let vals = valuations_k ~query_consts db ~k in
+  List.fold_left
+    (fun acc v ->
+      let world = Valuation.apply_db v db in
+      if Relation.mem (Valuation.apply_tuple v tuple) (run world) then acc + 1
+      else acc)
+    0 vals
+
+let mu_k_isotypes ~run ~query_consts db tuple ~k =
+  let vals = valuations_k ~query_consts db ~k in
+  (* group valuations by the concrete world they produce; a world type
+     witnesses the tuple when at least one of its valuations does *)
+  let worlds = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      let world = Valuation.apply_db v db in
+      let key = Format.asprintf "%a" Database.pp world in
+      let witnesses =
+        Relation.mem (Valuation.apply_tuple v tuple) (run world)
+      in
+      match Hashtbl.find_opt worlds key with
+      | None -> Hashtbl.add worlds key witnesses
+      | Some w -> Hashtbl.replace worlds key (w || witnesses))
+    vals;
+  let total = Hashtbl.length worlds in
+  if total = 0 then Rational.zero
+  else begin
+    let hits = Hashtbl.fold (fun _ w acc -> if w then acc + 1 else acc) worlds 0 in
+    Rational.make hits total
+  end
+
+let mu_k ~run ~query_consts db tuple ~k =
+  let n = List.length (Database.nulls db) in
+  let total =
+    let rec power acc i = if i = 0 then acc else power (acc * k) (i - 1) in
+    power 1 n
+  in
+  if total = 0 then Rational.zero
+  else
+    Rational.make (support_count ~run ~query_consts db tuple ~k) total

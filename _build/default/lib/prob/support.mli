@@ -1,0 +1,55 @@
+(** Supports and the finite-range probabilities µₖ of Section 4.3.
+
+    The support of ā being an answer to Q on D is the set of valuations
+    witnessing it; µₖ(Q, D, ā) is the fraction of valuations with range
+    in the first k constants that belong to the support.  The
+    enumeration of Const starts with the constants of D and of the
+    query (the limit does not depend on the enumeration for generic
+    queries; starting with the relevant constants makes small k
+    meaningful). *)
+
+(** [enumeration ~query_consts db k] is the first [k] constants
+    c₁, …, c_k: the constants of [db], then those of the query, then
+    invented ([Gen]) constants. *)
+val enumeration :
+  query_consts:Value.const list -> Database.t -> int -> Value.const list
+
+(** [valuations_k ~query_consts db ~k] is Vₖ(D): all valuations of the
+    nulls of [db] with range in the first [k] constants — |Vₖ| = k^n
+    for n nulls. *)
+val valuations_k :
+  query_consts:Value.const list -> Database.t -> k:int -> Valuation.t list
+
+(** [support_count ~run ~query_consts db tuple ~k] is
+    |Suppᵏ(Q, D, ā)| = #{v ∈ Vₖ | v(ā) ∈ Q(v(D))}. *)
+val support_count :
+  run:(Database.t -> Relation.t) ->
+  query_consts:Value.const list ->
+  Database.t ->
+  Tuple.t ->
+  k:int ->
+  int
+
+(** [mu_k ~run ~query_consts db tuple ~k] is µₖ(Q, D, ā) =
+    |Suppᵏ| / k^n.  For databases without nulls this is 1 or 0. *)
+val mu_k :
+  run:(Database.t -> Relation.t) ->
+  query_consts:Value.const list ->
+  Database.t ->
+  Tuple.t ->
+  k:int ->
+  Rational.t
+
+(** [mu_k_isotypes] — the variant discussed after Theorem 4.10: instead
+    of counting valuations, count {e isomorphism types}: the distinct
+    databases {v(D) | v ∈ Vₖ}, and among them those witnessing the
+    tuple (a type witnesses ā when some valuation producing it does).
+    The finite ratios differ from µₖ in general, but the asymptotic
+    behaviour is the same — both obey the 0–1 law. *)
+val mu_k_isotypes :
+  run:(Database.t -> Relation.t) ->
+  query_consts:Value.const list ->
+  Database.t ->
+  Tuple.t ->
+  k:int ->
+  Rational.t

@@ -1,0 +1,14 @@
+let almost_certainly_true ~run db tuple =
+  let answers = Incdb_certain.Naive.run_with ~run db in
+  Relation.mem tuple answers
+
+let mu ~run db tuple =
+  if almost_certainly_true ~run db tuple then Rational.one else Rational.zero
+
+let mu_series ~run ~query_consts db tuple ks =
+  List.map (fun k -> Support.mu_k ~run ~query_consts db tuple ~k) ks
+
+let almost_certainly_true_ra db q tuple =
+  almost_certainly_true ~run:(fun d -> Eval.run d q) db tuple
+
+let mu_ra db q tuple = mu ~run:(fun d -> Eval.run d q) db tuple

@@ -1,0 +1,30 @@
+(** The 0–1 law for query answering (Theorem 4.10): a tuple ā is an
+    almost certainly true answer to a generic query Q on D — that is,
+    µ(Q, D, ā) = lim_k µₖ = 1 — iff ā ∈ Qnaive(D); otherwise
+    µ(Q, D, ā) = 0.  Almost-certainly-true answers therefore have the
+    same (low) complexity as naive evaluation. *)
+
+(** [almost_certainly_true ~run db tuple] decides µ = 1 via naive
+    evaluation — the fast path given by the theorem. *)
+val almost_certainly_true :
+  run:(Database.t -> Relation.t) -> Database.t -> Tuple.t -> bool
+
+(** [mu ~run db tuple] is µ(Q, D, ā) ∈ {0, 1} computed via the 0–1 law. *)
+val mu : run:(Database.t -> Relation.t) -> Database.t -> Tuple.t -> Rational.t
+
+(** [mu_series ~run ~query_consts db tuple ks] is the list of µₖ values
+    for the given ks — the convergent sequence whose limit the 0–1 law
+    predicts; used to validate the law empirically and in benchmark
+    E5. *)
+val mu_series :
+  run:(Database.t -> Relation.t) ->
+  query_consts:Value.const list ->
+  Database.t ->
+  Tuple.t ->
+  int list ->
+  Rational.t list
+
+(** Relational algebra front ends. *)
+
+val almost_certainly_true_ra : Database.t -> Algebra.t -> Tuple.t -> bool
+val mu_ra : Database.t -> Algebra.t -> Tuple.t -> Rational.t

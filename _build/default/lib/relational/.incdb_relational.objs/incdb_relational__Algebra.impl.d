@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Condition Format List Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/algebra.mli: Condition Format Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/bag_eval.ml: Algebra Bag_relation Condition Database Eval Lazy List Tuple

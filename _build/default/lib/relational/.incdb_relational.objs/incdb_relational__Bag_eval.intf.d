@@ -1,0 +1,1 @@
+lib/relational/bag_eval.mli: Algebra Bag_relation Database Value

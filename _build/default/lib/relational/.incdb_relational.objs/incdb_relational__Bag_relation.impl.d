@@ -1,0 +1,1 @@
+lib/relational/bag_relation.ml: Format Int List Map Printf Relation Tuple Valuation

@@ -1,0 +1,1 @@
+lib/relational/bag_relation.mli: Format Relation Tuple Valuation

@@ -1,0 +1,1 @@
+lib/relational/codd.ml: Array Database Eval Hashtbl Int List Map Relation Tuple Value

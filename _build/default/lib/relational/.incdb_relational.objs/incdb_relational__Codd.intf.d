@@ -1,0 +1,1 @@
+lib/relational/codd.mli: Algebra Database Relation

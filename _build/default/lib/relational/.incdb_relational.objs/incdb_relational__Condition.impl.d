@@ -1,0 +1,1 @@
+lib/relational/condition.ml: Array Format Int List Printf Tuple Value

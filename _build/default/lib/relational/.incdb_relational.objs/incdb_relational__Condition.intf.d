@@ -1,0 +1,1 @@
+lib/relational/condition.mli: Format Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/csv_io.ml: Array Buffer Database Filename Format List Printf Relation Schema String Sys Value

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Format Hashtbl Int List Map Printf Relation Schema Set String Value

@@ -1,0 +1,1 @@
+lib/relational/eval.ml: Algebra Condition Database Lazy List Relation Tuple Value

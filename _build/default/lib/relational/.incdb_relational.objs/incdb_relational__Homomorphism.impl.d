@@ -1,0 +1,1 @@
+lib/relational/homomorphism.ml: Array Database Int List Map Relation String Tuple Value

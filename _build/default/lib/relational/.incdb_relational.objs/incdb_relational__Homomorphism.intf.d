@@ -1,0 +1,1 @@
+lib/relational/homomorphism.mli: Database Value

@@ -1,0 +1,1 @@
+lib/relational/optimize.ml: Algebra Array Condition List Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/optimize.mli: Algebra Condition Schema

@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Format Hashtbl Int List Printf Set Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/valuation.ml: Array Database Format Int List Map Printf Relation Value

@@ -1,0 +1,1 @@
+lib/relational/valuation.mli: Database Format Relation Tuple Value

@@ -1,0 +1,126 @@
+type t =
+  | Rel of string
+  | Lit of int * Tuple.t list
+  | Select of Condition.t * t
+  | Project of int list * t
+  | Product of t * t
+  | Union of t * t
+  | Inter of t * t
+  | Diff of t * t
+  | Division of t * t
+  | Anti_unify_join of t * t
+  | Dom of int
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let rec arity schema q =
+  match q with
+  | Rel name ->
+    (try Schema.arity schema name
+     with Not_found -> type_error "unknown relation %s" name)
+  | Lit (k, tuples) ->
+    List.iter
+      (fun t ->
+        if Tuple.arity t <> k then
+          type_error "literal tuple of arity %d in Lit of arity %d"
+            (Tuple.arity t) k)
+      tuples;
+    k
+  | Select (cond, q1) ->
+    let k = arity schema q1 in
+    if Condition.max_column cond >= k then
+      type_error "selection refers to column %d of a %d-ary input"
+        (Condition.max_column cond) k;
+    k
+  | Project (idxs, q1) ->
+    let k = arity schema q1 in
+    List.iter
+      (fun i ->
+        if i < 0 || i >= k then
+          type_error "projection on column %d of a %d-ary input" i k)
+      idxs;
+    List.length idxs
+  | Product (q1, q2) -> arity schema q1 + arity schema q2
+  | Union (q1, q2) | Inter (q1, q2) | Diff (q1, q2)
+  | Anti_unify_join (q1, q2) ->
+    let k1 = arity schema q1 and k2 = arity schema q2 in
+    if k1 <> k2 then type_error "binary operator on arities %d and %d" k1 k2;
+    k1
+  | Division (q1, q2) ->
+    let k1 = arity schema q1 and k2 = arity schema q2 in
+    if k2 > k1 then type_error "division of arity %d by arity %d" k1 k2;
+    k1 - k2
+  | Dom k ->
+    if k < 0 then type_error "Dom of negative arity %d" k;
+    k
+
+let well_typed schema q =
+  match arity schema q with _ -> true | exception Type_error _ -> false
+
+let relations q =
+  let rec collect acc = function
+    | Rel name -> if List.mem name acc then acc else name :: acc
+    | Lit _ | Dom _ -> acc
+    | Select (_, q1) | Project (_, q1) -> collect acc q1
+    | Product (q1, q2) | Union (q1, q2) | Inter (q1, q2) | Diff (q1, q2)
+    | Division (q1, q2) | Anti_unify_join (q1, q2) ->
+      collect (collect acc q1) q2
+  in
+  List.rev (collect [] q)
+
+let consts q =
+  let add acc c =
+    if List.exists (Value.equal_const c) acc then acc else c :: acc
+  in
+  let rec collect acc = function
+    | Rel _ | Dom _ -> acc
+    | Lit (_, tuples) ->
+      List.fold_left
+        (fun acc t -> List.fold_left add acc (Tuple.consts t))
+        acc tuples
+    | Select (cond, q1) ->
+      collect (List.fold_left add acc (Condition.consts cond)) q1
+    | Project (_, q1) -> collect acc q1
+    | Product (q1, q2) | Union (q1, q2) | Inter (q1, q2) | Diff (q1, q2)
+    | Division (q1, q2) | Anti_unify_join (q1, q2) ->
+      collect (collect acc q1) q2
+  in
+  List.rev (collect [] q)
+
+let rec uses_dom = function
+  | Dom _ -> true
+  | Rel _ | Lit _ -> false
+  | Select (_, q1) | Project (_, q1) -> uses_dom q1
+  | Product (q1, q2) | Union (q1, q2) | Inter (q1, q2) | Diff (q1, q2)
+  | Division (q1, q2) | Anti_unify_join (q1, q2) ->
+    uses_dom q1 || uses_dom q2
+
+let rec size = function
+  | Rel _ | Lit _ | Dom _ -> 1
+  | Select (_, q1) | Project (_, q1) -> 1 + size q1
+  | Product (q1, q2) | Union (q1, q2) | Inter (q1, q2) | Diff (q1, q2)
+  | Division (q1, q2) | Anti_unify_join (q1, q2) ->
+    1 + size q1 + size q2
+
+let rec pp ppf = function
+  | Rel name -> Format.pp_print_string ppf name
+  | Lit (k, tuples) ->
+    Format.fprintf ppf "lit/%d%a" k Relation.pp (Relation.of_list k tuples)
+  | Select (cond, q1) -> Format.fprintf ppf "σ[%a](%a)" Condition.pp cond pp q1
+  | Project (idxs, q1) ->
+    Format.fprintf ppf "π[%a](%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         Format.pp_print_int)
+      idxs pp q1
+  | Product (q1, q2) -> Format.fprintf ppf "(%a × %a)" pp q1 pp q2
+  | Union (q1, q2) -> Format.fprintf ppf "(%a ∪ %a)" pp q1 pp q2
+  | Inter (q1, q2) -> Format.fprintf ppf "(%a ∩ %a)" pp q1 pp q2
+  | Diff (q1, q2) -> Format.fprintf ppf "(%a − %a)" pp q1 pp q2
+  | Division (q1, q2) -> Format.fprintf ppf "(%a ÷ %a)" pp q1 pp q2
+  | Anti_unify_join (q1, q2) -> Format.fprintf ppf "(%a ⋉⇑̸ %a)" pp q1 pp q2
+  | Dom k -> Format.fprintf ppf "Dom^%d" k
+
+let to_string q = Format.asprintf "%a" pp q

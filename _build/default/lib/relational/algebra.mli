@@ -1,0 +1,46 @@
+(** Relational algebra over incomplete databases (Sections 2 and 4).
+
+    The operations are selection σ, projection π, Cartesian product ×,
+    union ∪, intersection ∩, difference −, division ÷ (needed for the
+    class Pos∀G of Theorem 4.4), the unification anti-semijoin ⋉⇑̸ and
+    the active-domain query Dom (both needed by the approximation
+    schemes of Figure 2), plus literal relations for examples/tests. *)
+
+type t =
+  | Rel of string  (** base relation *)
+  | Lit of int * Tuple.t list  (** literal relation: arity, tuples *)
+  | Select of Condition.t * t  (** σ_θ *)
+  | Project of int list * t  (** π over 0-based positions *)
+  | Product of t * t  (** × *)
+  | Union of t * t  (** ∪ *)
+  | Inter of t * t  (** ∩ *)
+  | Diff of t * t  (** − *)
+  | Division of t * t  (** ÷ by the trailing columns *)
+  | Anti_unify_join of t * t
+      (** q1 ⋉⇑̸ q2: tuples of q1 unifying with no tuple of q2 *)
+  | Dom of int  (** k-fold product of the active domain *)
+
+exception Type_error of string
+
+(** [arity schema q] computes the output arity, checking all arities and
+    column references.  @raise Type_error on any inconsistency. *)
+val arity : Schema.t -> t -> int
+
+(** [well_typed schema q] is [true] iff [arity] does not raise. *)
+val well_typed : Schema.t -> t -> bool
+
+(** [relations q] lists the distinct base relation names used. *)
+val relations : t -> string list
+
+(** [consts q] lists the distinct constants mentioned in selection
+    conditions and literal relations of [q]. *)
+val consts : t -> Value.const list
+
+(** [uses_dom q] holds iff [q] mentions the [Dom] operator. *)
+val uses_dom : t -> bool
+
+(** [size q] is the number of operator nodes. *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

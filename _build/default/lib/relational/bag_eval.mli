@@ -1,0 +1,19 @@
+(** Bag-semantics evaluation of relational algebra (Section 4.2).
+
+    Base relations of the database are loaded with multiplicity 1 unless
+    a bag instance is supplied via [bags]; literal relations get
+    multiplicity 1 per listed occurrence.  [Division] is not part of the
+    bag fragment and is rejected. *)
+
+exception Unsupported of string
+
+(** [run ?extra_consts ?bags db q] evaluates [q] under bag semantics.
+    [bags] optionally overrides base relations with true bag instances.
+    @raise Unsupported on [Division].
+    @raise Algebra.Type_error if [q] is ill-typed. *)
+val run :
+  ?extra_consts:Value.const list ->
+  ?bags:(string * Bag_relation.t) list ->
+  Database.t ->
+  Algebra.t ->
+  Bag_relation.t

@@ -1,0 +1,143 @@
+module Tuple_map = Map.Make (Tuple)
+
+type t = {
+  arity : int;
+  counts : int Tuple_map.t;  (* invariant: all multiplicities > 0 *)
+}
+
+let empty k = { arity = k; counts = Tuple_map.empty }
+
+let arity b = b.arity
+
+let cardinal b = Tuple_map.fold (fun _ c acc -> acc + c) b.counts 0
+
+let support_size b = Tuple_map.cardinal b.counts
+
+let is_empty b = Tuple_map.is_empty b.counts
+
+let multiplicity t b =
+  match Tuple_map.find_opt t b.counts with Some c -> c | None -> 0
+
+let check_arity k t =
+  if Tuple.arity t <> k then
+    invalid_arg
+      (Printf.sprintf "Bag_relation: tuple of arity %d in bag of arity %d"
+         (Tuple.arity t) k)
+
+let add ?(count = 1) t b =
+  if count <= 0 then invalid_arg "Bag_relation.add: nonpositive count";
+  check_arity b.arity t;
+  let current = multiplicity t b in
+  { b with counts = Tuple_map.add t (current + count) b.counts }
+
+let of_list k assoc =
+  List.fold_left (fun b (t, c) -> add ~count:c t b) (empty k) assoc
+
+let to_list b = Tuple_map.bindings b.counts
+
+let of_relation r =
+  Relation.fold (fun t b -> add t b) r (empty (Relation.arity r))
+
+let support b =
+  Relation.of_list b.arity (List.map fst (to_list b))
+
+let same_arity op b1 b2 =
+  if b1.arity <> b2.arity then
+    invalid_arg
+      (Printf.sprintf "Bag_relation.%s: arity mismatch (%d vs %d)" op b1.arity
+         b2.arity)
+
+let union b1 b2 =
+  same_arity "union" b1 b2;
+  let counts =
+    Tuple_map.union (fun _ c1 c2 -> Some (c1 + c2)) b1.counts b2.counts
+  in
+  { arity = b1.arity; counts }
+
+let diff b1 b2 =
+  same_arity "diff" b1 b2;
+  let counts =
+    Tuple_map.fold
+      (fun t c1 acc ->
+        let c = c1 - multiplicity t b2 in
+        if c > 0 then Tuple_map.add t c acc else acc)
+      b1.counts Tuple_map.empty
+  in
+  { arity = b1.arity; counts }
+
+let inter b1 b2 =
+  same_arity "inter" b1 b2;
+  let counts =
+    Tuple_map.fold
+      (fun t c1 acc ->
+        let c = min c1 (multiplicity t b2) in
+        if c > 0 then Tuple_map.add t c acc else acc)
+      b1.counts Tuple_map.empty
+  in
+  { arity = b1.arity; counts }
+
+let product b1 b2 =
+  let counts =
+    Tuple_map.fold
+      (fun t1 c1 acc ->
+        Tuple_map.fold
+          (fun t2 c2 acc -> Tuple_map.add (Tuple.concat t1 t2) (c1 * c2) acc)
+          b2.counts acc)
+      b1.counts Tuple_map.empty
+  in
+  { arity = b1.arity + b2.arity; counts }
+
+let filter f b =
+  { b with counts = Tuple_map.filter (fun t _ -> f t) b.counts }
+
+let remap ~arity f b =
+  let counts =
+    Tuple_map.fold
+      (fun t c acc ->
+        let t' = f t in
+        check_arity arity t';
+        let current =
+          match Tuple_map.find_opt t' acc with Some x -> x | None -> 0
+        in
+        Tuple_map.add t' (current + c) acc)
+      b.counts Tuple_map.empty
+  in
+  { arity; counts }
+
+let project idxs b = remap ~arity:(List.length idxs) (Tuple.project idxs) b
+
+let anti_unify_semijoin b1 b2 =
+  same_arity "anti_unify_semijoin" b1 b2;
+  filter
+    (fun t ->
+      not (Tuple_map.exists (fun s _ -> Tuple.unifiable t s) b2.counts))
+    b1
+
+let apply_valuation v b =
+  remap ~arity:b.arity (Valuation.apply_tuple v) b
+
+let apply_valuation_collapse v b =
+  let counts =
+    Tuple_map.fold
+      (fun t c acc ->
+        let t' = Valuation.apply_tuple v t in
+        let current =
+          match Tuple_map.find_opt t' acc with Some x -> x | None -> 0
+        in
+        Tuple_map.add t' (max current c) acc)
+      b.counts Tuple_map.empty
+  in
+  { arity = b.arity; counts }
+
+let equal b1 b2 =
+  b1.arity = b2.arity && Tuple_map.equal Int.equal b1.counts b2.counts
+
+let fold f b init = Tuple_map.fold f b.counts init
+
+let pp ppf b =
+  let pp_entry ppf (t, c) = Format.fprintf ppf "%a×%d" Tuple.pp t c in
+  Format.fprintf ppf "⦃@[%a@]⦄"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       pp_entry)
+    (to_list b)

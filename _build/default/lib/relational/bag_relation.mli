@@ -1,0 +1,69 @@
+(** Relations under bag semantics: tuples with positive multiplicities.
+
+    This is the data model of SQL (Section 4.2, "Bag semantics"):
+    [#(ā, R)] is the number of occurrences of [ā] in [R].  Operations
+    follow SQL: union adds multiplicities ([UNION ALL]), difference
+    subtracts them down to zero ([EXCEPT ALL]), intersection takes the
+    minimum, product multiplies, projection adds up the multiplicities
+    of merged tuples. *)
+
+type t
+
+val empty : int -> t
+val arity : t -> int
+
+(** Total number of tuple occurrences. *)
+val cardinal : t -> int
+
+(** Number of distinct tuples. *)
+val support_size : t -> int
+
+val is_empty : t -> bool
+
+(** [multiplicity tuple bag] is [#(tuple, bag)], 0 when absent. *)
+val multiplicity : Tuple.t -> t -> int
+
+(** [add ?count tuple bag] inserts [count] (default 1) occurrences.
+    @raise Invalid_argument if [count <= 0] or on arity mismatch. *)
+val add : ?count:int -> Tuple.t -> t -> t
+
+(** [of_list k assoc] builds a bag from [(tuple, multiplicity)] pairs;
+    repeated tuples accumulate. *)
+val of_list : int -> (Tuple.t * int) list -> t
+
+val to_list : t -> (Tuple.t * int) list
+
+(** [of_relation r] gives every tuple multiplicity 1. *)
+val of_relation : Relation.t -> t
+
+(** [support bag] is the set-semantics projection (all multiplicities
+    collapsed to 1). *)
+val support : t -> Relation.t
+
+val union : t -> t -> t
+val diff : t -> t -> t
+val inter : t -> t -> t
+val product : t -> t -> t
+val filter : (Tuple.t -> bool) -> t -> t
+val project : int list -> t -> t
+
+(** [anti_unify_semijoin b1 b2] keeps each tuple of [b1], with its
+    multiplicity, iff it unifies with no tuple of [b2]. *)
+val anti_unify_semijoin : t -> t -> t
+
+(** [apply_valuation v bag] applies [v] to every tuple; tuples that
+    become equal have their multiplicities {e added up} (the standard
+    bag image of a valuation, cf. [42] as discussed in Section 6). *)
+val apply_valuation : Valuation.t -> t -> t
+
+(** [apply_valuation_collapse v bag] — the alternative semantics
+    Section 6 asks about: tuples that unify under the valuation are
+    {e collapsed}, keeping the largest multiplicity instead of the sum
+    (duplicates coming from different incomplete tuples are regarded as
+    the same fact seen twice). *)
+val apply_valuation_collapse : Valuation.t -> t -> t
+
+val equal : t -> t -> bool
+val fold : (Tuple.t -> int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val pp : Format.formatter -> t -> unit

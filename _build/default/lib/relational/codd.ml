@@ -1,0 +1,81 @@
+let is_codd db =
+  let seen = Hashtbl.create 16 in
+  let ok = ref true in
+  Database.fold
+    (fun _ r () ->
+      Relation.iter
+        (fun t ->
+          Array.iter
+            (function
+              | Value.Null n ->
+                if Hashtbl.mem seen n then ok := false
+                else Hashtbl.add seen n ()
+              | Value.Const _ -> ())
+            t)
+        r)
+    db ();
+  !ok
+
+let coddify_relation ~next_label r =
+  Relation.map ~arity:(Relation.arity r)
+    (Array.map (function
+         | Value.Null _ ->
+           let label = !next_label in
+           incr next_label;
+           Value.Null label
+         | Value.Const _ as v -> v))
+    r
+
+let coddify db =
+  let next_label = ref (Database.fresh_null db) in
+  Database.map_relations (fun _ r -> coddify_relation ~next_label r) db
+
+(* Backtracking search for a bijective null renaming mapping r1 onto r2.
+   The candidate space is small in the intended (test/experiment) use. *)
+let equal_up_to_renaming r1 r2 =
+  if Relation.arity r1 <> Relation.arity r2 then false
+  else if Relation.cardinal r1 <> Relation.cardinal r2 then false
+  else begin
+    let module Imap = Map.Make (Int) in
+    (* try to extend the bijection so that [t1] maps exactly to [t2] *)
+    let match_tuple (fwd, bwd) (t1 : Tuple.t) (t2 : Tuple.t) =
+      let n = Tuple.arity t1 in
+      let rec loop fwd bwd i =
+        if i >= n then Some (fwd, bwd)
+        else
+          match t1.(i), t2.(i) with
+          | Value.Const c1, Value.Const c2 ->
+            if Value.equal_const c1 c2 then loop fwd bwd (i + 1) else None
+          | Value.Null a, Value.Null b ->
+            (match Imap.find_opt a fwd, Imap.find_opt b bwd with
+             | Some b', Some a' ->
+               if b' = b && a' = a then loop fwd bwd (i + 1) else None
+             | None, None -> loop (Imap.add a b fwd) (Imap.add b a bwd) (i + 1)
+             | _, _ -> None)
+          | Value.Const _, Value.Null _ | Value.Null _, Value.Const _ -> None
+      in
+      loop fwd bwd 0
+    in
+    let tuples2 = Relation.to_list r2 in
+    let rec search maps used = function
+      | [] -> true
+      | t1 :: rest ->
+        List.exists
+          (fun t2 ->
+            (not (List.memq t2 used))
+            &&
+            match match_tuple maps t1 t2 with
+            | Some maps' -> search maps' (t2 :: used) rest
+            | None -> false)
+          tuples2
+    in
+    search (Imap.empty, Imap.empty) [] (Relation.to_list r1)
+  end
+
+let invariant_on db q =
+  let before = Eval.run (coddify db) q in
+  let after =
+    let next_label = ref (Database.fresh_null db + 1_000_000) in
+    coddify_relation ~next_label (Eval.run db q)
+  in
+  equal_up_to_renaming before after

@@ -1,0 +1,40 @@
+(** Codd nulls and the codd transformation (Section 6, "Marked nulls").
+
+    SQL has a single placeholder NULL; the standard reading interprets
+    each occurrence as a {e distinct} marked null — a Codd null.  The
+    paper asks when interpreting SQL nulls as Codd nulls before or
+    after query evaluation makes no difference, i.e. when
+
+    Q(codd(D)) = codd(Q(D))   up to renaming of nulls,
+
+    and notes that this fails in general and that the class of queries
+    with the property is not syntactic.  This module provides the
+    transformation and the (decidable, instance-level) invariance
+    check. *)
+
+(** [is_codd db] holds iff no null label occurs more than once in the
+    database — the Codd interpretation of SQL nulls. *)
+val is_codd : Database.t -> bool
+
+(** [coddify db] replaces every {e occurrence} of a null by a fresh
+    null, so repeated marks are torn apart; fresh labels start above
+    every label in [db].  The result satisfies {!is_codd}. *)
+val coddify : Database.t -> Database.t
+
+(** [coddify_relation ~next_label r] — the same on a single relation,
+    threading the fresh-label counter. *)
+val coddify_relation : next_label:int ref -> Relation.t -> Relation.t
+
+(** [equal_up_to_renaming r1 r2] holds iff some bijection between the
+    null labels of [r1] and [r2] maps [r1] onto [r2] (constants fixed).
+    Decided by backtracking; intended for small results in tests and
+    experiments. *)
+val equal_up_to_renaming : Relation.t -> Relation.t -> bool
+
+(** [invariant_on db q] checks the instance-level Codd-invariance of
+    naive evaluation: Qnaive(codd(D)) = codd-renaming-equal to
+    Qnaive(D) after tearing answer nulls apart occurrence-wise.
+    Queries that merely copy nulls around (e.g. projections of base
+    relations) are invariant; queries that compare nulls (σ_{A=B} on a
+    tuple (⊥,⊥)) are not. *)
+val invariant_on : Database.t -> Algebra.t -> bool

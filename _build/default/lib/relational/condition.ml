@@ -1,0 +1,128 @@
+type operand =
+  | Col of int
+  | Lit of Value.const
+
+type t =
+  | True
+  | False
+  | Is_const of int
+  | Is_null of int
+  | Eq of operand * operand
+  | Neq of operand * operand
+  | Lt of operand * operand
+  | Le of operand * operand
+  | And of t * t
+  | Or of t * t
+
+let eq_col i j = Eq (Col i, Col j)
+let eq_const i c = Eq (Col i, Lit c)
+let neq_col i j = Neq (Col i, Col j)
+let neq_const i c = Neq (Col i, Lit c)
+
+let rec negate = function
+  | True -> False
+  | False -> True
+  | Is_const i -> Is_null i
+  | Is_null i -> Is_const i
+  | Eq (x, y) -> Neq (x, y)
+  | Neq (x, y) -> Eq (x, y)
+  | Lt (x, y) -> Le (y, x)
+  | Le (x, y) -> Lt (y, x)
+  | And (a, b) -> Or (negate a, negate b)
+  | Or (a, b) -> And (negate a, negate b)
+
+let const_guard = function
+  | Col i -> Some (Is_const i)
+  | Lit _ -> None
+
+let rec star = function
+  | True -> True
+  | False -> False
+  | Is_const _ as c -> c
+  | Is_null _ as c -> c
+  | Eq _ as c -> c
+  | (Neq (x, y) | Lt (x, y) | Le (x, y)) as c ->
+    let add_guard acc op =
+      match const_guard op with None -> acc | Some g -> And (acc, g)
+    in
+    add_guard (add_guard c x) y
+  | And (a, b) -> And (star a, star b)
+  | Or (a, b) -> Or (star a, star b)
+
+let operand_value t = function
+  | Col i ->
+    if i < 0 || i >= Tuple.arity t then
+      invalid_arg (Printf.sprintf "Condition.eval: column %d out of bounds" i)
+    else t.(i)
+  | Lit c -> Value.Const c
+
+let rec eval t = function
+  | True -> true
+  | False -> false
+  | Is_const i -> Value.is_const (operand_value t (Col i))
+  | Is_null i -> Value.is_null (operand_value t (Col i))
+  | Eq (x, y) -> Value.equal (operand_value t x) (operand_value t y)
+  | Neq (x, y) -> not (Value.equal (operand_value t x) (operand_value t y))
+  | Lt (x, y) -> Value.compare (operand_value t x) (operand_value t y) < 0
+  | Le (x, y) -> Value.compare (operand_value t x) (operand_value t y) <= 0
+  | And (a, b) -> eval t a && eval t b
+  | Or (a, b) -> eval t a || eval t b
+
+let columns cond =
+  let rec collect acc = function
+    | True | False -> acc
+    | Is_const i | Is_null i -> i :: acc
+    | Eq (x, y) | Neq (x, y) | Lt (x, y) | Le (x, y) ->
+      let add acc = function Col i -> i :: acc | Lit _ -> acc in
+      add (add acc x) y
+    | And (a, b) | Or (a, b) -> collect (collect acc a) b
+  in
+  List.sort_uniq Int.compare (collect [] cond)
+
+let max_column cond =
+  match List.rev (columns cond) with [] -> -1 | i :: _ -> i
+
+let rec shift k = function
+  | True -> True
+  | False -> False
+  | Is_const i -> Is_const (i + k)
+  | Is_null i -> Is_null (i + k)
+  | Eq (x, y) -> Eq (shift_op k x, shift_op k y)
+  | Neq (x, y) -> Neq (shift_op k x, shift_op k y)
+  | Lt (x, y) -> Lt (shift_op k x, shift_op k y)
+  | Le (x, y) -> Le (shift_op k x, shift_op k y)
+  | And (a, b) -> And (shift k a, shift k b)
+  | Or (a, b) -> Or (shift k a, shift k b)
+
+and shift_op k = function
+  | Col i -> Col (i + k)
+  | Lit _ as op -> op
+
+let consts cond =
+  let rec collect acc = function
+    | True | False | Is_const _ | Is_null _ -> acc
+    | Eq (x, y) | Neq (x, y) | Lt (x, y) | Le (x, y) ->
+      let add acc = function
+        | Lit c -> if List.exists (Value.equal_const c) acc then acc else c :: acc
+        | Col _ -> acc
+      in
+      add (add acc x) y
+    | And (a, b) | Or (a, b) -> collect (collect acc a) b
+  in
+  List.rev (collect [] cond)
+
+let pp_operand ppf = function
+  | Col i -> Format.fprintf ppf "#%d" i
+  | Lit c -> Value.pp_const ppf c
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Is_const i -> Format.fprintf ppf "const(#%d)" i
+  | Is_null i -> Format.fprintf ppf "null(#%d)" i
+  | Eq (x, y) -> Format.fprintf ppf "%a = %a" pp_operand x pp_operand y
+  | Neq (x, y) -> Format.fprintf ppf "%a ≠ %a" pp_operand x pp_operand y
+  | Lt (x, y) -> Format.fprintf ppf "%a < %a" pp_operand x pp_operand y
+  | Le (x, y) -> Format.fprintf ppf "%a ≤ %a" pp_operand x pp_operand y
+  | And (a, b) -> Format.fprintf ppf "(%a ∧ %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a ∨ %a)" pp a pp b

@@ -1,0 +1,71 @@
+(** Selection conditions, per the grammar of Section 2 of the paper:
+
+    θ ::= const(A) | null(A) | A = B | A = c | A ≠ B | A ≠ c | θ∨θ | θ∧θ
+
+    There is no explicit negation: [negate] propagates negation through
+    the condition, interchanging [=]/[≠] and [const]/[null].  Attributes
+    are addressed positionally (0-based).  [True] and [False] are added
+    as units for the connectives. *)
+
+type operand =
+  | Col of int  (** attribute at position [i] *)
+  | Lit of Value.const  (** a constant *)
+
+type t =
+  | True
+  | False
+  | Is_const of int  (** const(A) *)
+  | Is_null of int  (** null(A) *)
+  | Eq of operand * operand  (** A = B, A = c *)
+  | Neq of operand * operand  (** A ≠ B, A ≠ c *)
+  | Lt of operand * operand  (** A < B — typed comparison, see below *)
+  | Le of operand * operand  (** A ≤ B *)
+  | And of t * t
+  | Or of t * t
+
+(** Order comparisons realise the extension Section 6 sketches under
+    "Types of attributes": type-specific comparisons are treated by the
+    approximation schemes exactly like disequalities — {!star} guards
+    them with [const] tests so that a comparison involving a null is
+    never certain.  Under naive evaluation they follow the total order
+    of {!Value.compare} (integers numerically, strings lexicographically,
+    integers before strings, constants before nulls), so negation
+    remains a semantic complement. *)
+
+(** Convenience constructors over column indices. *)
+
+val eq_col : int -> int -> t
+val eq_const : int -> Value.const -> t
+val neq_col : int -> int -> t
+val neq_const : int -> Value.const -> t
+
+(** [negate θ] is ¬θ pushed through the grammar (De Morgan; [=]↔[≠];
+    [const]↔[null]; [True]↔[False]). *)
+val negate : t -> t
+
+(** [star θ] is the translation θ* of Figure 2: every disequality
+    [x ≠ y] becomes [x ≠ y ∧ const(x) (∧ const(y))], so that a
+    disequality involving a null is never satisfied.  Equalities and
+    const/null tests are unchanged. *)
+val star : t -> t
+
+(** [eval t θ] evaluates θ on tuple [t] two-valued, treating nulls as
+    ordinary values (naive evaluation): [A = B] holds iff the two values
+    are literally equal (e.g. the same null).
+    @raise Invalid_argument if a column index is out of bounds. *)
+val eval : Tuple.t -> t -> bool
+
+(** [columns θ] is the sorted list of distinct column indices in θ. *)
+val columns : t -> int list
+
+(** [max_column θ] is the largest column index mentioned, or [-1]. *)
+val max_column : t -> int
+
+(** [shift k θ] adds [k] to every column index (used when a condition on
+    a sub-expression is re-evaluated on a product). *)
+val shift : int -> t -> t
+
+(** [consts θ] is the list of distinct constants mentioned in θ. *)
+val consts : t -> Value.const list
+
+val pp : Format.formatter -> t -> unit

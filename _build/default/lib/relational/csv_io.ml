@@ -1,0 +1,212 @@
+exception Csv_error of string
+
+let csv_error fmt = Format.kasprintf (fun s -> raise (Csv_error s)) fmt
+
+(* split a CSV line honouring double-quoted cells with "" escapes *)
+let split_line line =
+  let n = String.length line in
+  let cells = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_cell () =
+    cells := Buffer.contents buf :: !cells;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then flush_cell ()
+    else
+      match line.[i] with
+      | ',' ->
+        flush_cell ();
+        plain (i + 1)
+      | '"' when Buffer.length buf = 0 ->
+        Buffer.add_char buf '"';
+        quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then csv_error "unterminated quoted cell: %s" line
+    else
+      match line.[i] with
+      | '"' ->
+        if i + 1 < n && line.[i + 1] = '"' then begin
+          (* keep the escape verbatim; [parse_value] unescapes *)
+          Buffer.add_string buf "\"\"";
+          quoted (i + 2)
+        end
+        else begin
+          Buffer.add_char buf '"';
+          plain (i + 1)
+        end
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !cells
+
+let is_int s =
+  s <> ""
+  && (match s.[0] with '-' | '0' .. '9' -> true | _ -> false)
+  && (match int_of_string_opt s with Some _ -> true | None -> false)
+
+let marked_null_label s =
+  if String.length s >= 2 && s.[0] = '_' then
+    int_of_string_opt (String.sub s 1 (String.length s - 1))
+  else None
+
+let parse_value ~next_null cell =
+  let cell = String.trim cell in
+  if cell = "" || String.lowercase_ascii cell = "null" then begin
+    let label = !next_null in
+    incr next_null;
+    Value.Null label
+  end
+  else if String.length cell >= 2 && cell.[0] = '"'
+          && cell.[String.length cell - 1] = '"' then begin
+    (* strip the outer quotes and unescape doubled quotes *)
+    let body = String.sub cell 1 (String.length cell - 2) in
+    let buf = Buffer.create (String.length body) in
+    let rec copy i =
+      if i < String.length body then
+        if body.[i] = '"' && i + 1 < String.length body && body.[i + 1] = '"'
+        then begin
+          Buffer.add_char buf '"';
+          copy (i + 2)
+        end
+        else begin
+          Buffer.add_char buf body.[i];
+          copy (i + 1)
+        end
+    in
+    copy 0;
+    Value.str (Buffer.contents buf)
+  end
+  else
+    match marked_null_label cell with
+    | Some label ->
+      if label >= !next_null then next_null := label + 1;
+      Value.Null label
+    | None ->
+      if is_int cell then Value.int (int_of_string cell) else Value.str cell
+
+let needs_quoting s =
+  s = ""
+  || String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+  || is_int s
+  || marked_null_label s <> None
+  || String.lowercase_ascii s = "null"
+
+let format_value = function
+  | Value.Const (Value.Int n) -> string_of_int n
+  | Value.Const (Value.Str s) ->
+    if needs_quoting s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  | Value.Const (Value.Gen n) -> Printf.sprintf "\"@%d\"" n
+  | Value.Null n -> Printf.sprintf "_%d" n
+
+let lines_of text =
+  String.split_on_char '\n' text
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
+(* bump the fresh-null counter past every explicit _k mark in the text,
+   so that Codd-NULL cells never collide with marked nulls appearing
+   later in the file *)
+let reserve_marked_labels ~next_null text =
+  List.iter
+    (fun line ->
+      List.iter
+        (fun cell ->
+          match marked_null_label (String.trim cell) with
+          | Some label -> if label >= !next_null then next_null := label + 1
+          | None -> ())
+        (split_line line))
+    (lines_of text)
+
+let relation_of_string ~next_null text =
+  reserve_marked_labels ~next_null text;
+  match lines_of text with
+  | [] -> csv_error "missing header line"
+  | header :: rows ->
+    let attrs = List.map String.trim (split_line header) in
+    let arity = List.length attrs in
+    let tuple row =
+      let cells = split_line row in
+      if List.length cells <> arity then
+        csv_error "row has %d cells, header has %d: %s" (List.length cells)
+          arity row;
+      Array.of_list (List.map (parse_value ~next_null) cells)
+    in
+    (attrs, Relation.of_list arity (List.map tuple rows))
+
+let relation_to_string attrs r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," attrs);
+  Buffer.add_char buf '\n';
+  Relation.iter
+    (fun t ->
+      Buffer.add_string buf
+        (String.concat "," (List.map format_value (Array.to_list t)));
+      Buffer.add_char buf '\n')
+    r;
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  content
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let load_dir path =
+  let entries = Sys.readdir path in
+  Array.sort String.compare entries;
+  let csvs =
+    Array.to_list entries
+    |> List.filter (fun e -> Filename.check_suffix e ".csv")
+  in
+  if csvs = [] then csv_error "no .csv files in %s" path;
+  let contents =
+    List.map (fun file -> (file, read_file (Filename.concat path file))) csvs
+  in
+  (* reserve every explicit mark across all files before allocating any
+     fresh label *)
+  let next_null = ref 0 in
+  List.iter (fun (_, text) -> reserve_marked_labels ~next_null text) contents;
+  let parsed =
+    List.map
+      (fun (file, text) ->
+        let name = Filename.chop_suffix file ".csv" in
+        let attrs, r =
+          try relation_of_string ~next_null text
+          with Csv_error msg -> csv_error "%s: %s" file msg
+        in
+        (name, attrs, r))
+      contents
+  in
+  let schema =
+    List.fold_left
+      (fun s (name, attrs, _) -> Schema.declare s name attrs)
+      Schema.empty parsed
+  in
+  List.fold_left
+    (fun db (name, _, r) -> Database.set_relation db name r)
+    (Database.create schema) parsed
+
+let save_dir path db =
+  if not (Sys.file_exists path) then Sys.mkdir path 0o755;
+  let schema = Database.schema db in
+  List.iter
+    (fun (decl : Schema.relation_decl) ->
+      let r = Database.relation db decl.name in
+      write_file
+        (Filename.concat path (decl.name ^ ".csv"))
+        (relation_to_string decl.attributes r))
+    (Schema.relations schema)

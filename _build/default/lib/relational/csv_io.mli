@@ -1,0 +1,43 @@
+(** CSV import/export for incomplete databases.
+
+    File format: one file per relation (the relation is named after the
+    file, minus the [.csv] suffix); the first non-comment line lists
+    the attribute names; [#] starts a comment line.  Cell syntax:
+
+    - an optionally signed integer is an [Int] constant;
+    - [_k] (k a number) is the marked null with label k — repeated
+      occurrences denote the same unknown value;
+    - [NULL] (any case) or an empty cell is a fresh, non-repeating null
+      (a Codd null — how SQL dumps look);
+    - ["…"] is a quoted string constant ([""] escapes a quote);
+    - anything else is a bare string constant.
+
+    Loading is deterministic; fresh labels are allocated in file/line
+    order.  [save]/[load] round-trip databases exactly (marked nulls
+    are written in the [_k] syntax). *)
+
+exception Csv_error of string
+
+(** [parse_value ~next_null cell] parses one cell. *)
+val parse_value : next_null:int ref -> string -> Value.t
+
+(** [format_value v] renders a cell that {!parse_value} reads back. *)
+val format_value : Value.t -> string
+
+(** [relation_of_string ~next_null text] parses a whole file's content
+    into attribute names and tuples.  @raise Csv_error on ragged rows
+    or a missing header. *)
+val relation_of_string :
+  next_null:int ref -> string -> string list * Relation.t
+
+(** [relation_to_string attrs r] renders a loadable file. *)
+val relation_to_string : string list -> Relation.t -> string
+
+(** [load_dir path] loads every [*.csv] file in the directory into one
+    database (schema inferred from the headers).
+    @raise Csv_error on parse errors.  @raise Sys_error on IO errors. *)
+val load_dir : string -> Database.t
+
+(** [save_dir path db] writes one [.csv] per relation (creating the
+    directory if needed). *)
+val save_dir : string -> Database.t -> unit

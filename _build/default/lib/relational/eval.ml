@@ -1,0 +1,39 @@
+let domain_relation ~extra_consts db =
+  let adom = Database.active_domain db in
+  let extras =
+    List.filter_map
+      (fun c ->
+        let v = Value.Const c in
+        if List.exists (Value.equal v) adom then None else Some v)
+      extra_consts
+  in
+  Relation.of_list 1 (List.map (fun v -> [| v |]) (adom @ extras))
+
+let rec power r k =
+  if k = 0 then Relation.of_list 0 [ Tuple.empty ]
+  else Relation.product r (power r (k - 1))
+
+let run ?(extra_consts = []) db q =
+  ignore (Algebra.arity (Database.schema db) q);
+  let dom1 = lazy (domain_relation ~extra_consts db) in
+  let rec go = function
+    | Algebra.Rel name -> Database.relation db name
+    | Algebra.Lit (k, tuples) -> Relation.of_list k tuples
+    | Algebra.Select (cond, q1) ->
+      Relation.filter (fun t -> Condition.eval t cond) (go q1)
+    | Algebra.Project (idxs, q1) -> Relation.project idxs (go q1)
+    | Algebra.Product (q1, q2) -> Relation.product (go q1) (go q2)
+    | Algebra.Union (q1, q2) -> Relation.union (go q1) (go q2)
+    | Algebra.Inter (q1, q2) -> Relation.inter (go q1) (go q2)
+    | Algebra.Diff (q1, q2) -> Relation.diff (go q1) (go q2)
+    | Algebra.Division (q1, q2) -> Relation.division (go q1) (go q2)
+    | Algebra.Anti_unify_join (q1, q2) ->
+      Relation.anti_unify_semijoin (go q1) (go q2)
+    | Algebra.Dom k -> power (Lazy.force dom1) k
+  in
+  go q
+
+let boolean r =
+  if Relation.arity r <> 0 then
+    invalid_arg "Eval.boolean: relation of nonzero arity";
+  not (Relation.is_empty r)

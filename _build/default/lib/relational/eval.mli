@@ -1,0 +1,26 @@
+(** Set-semantics evaluation of relational algebra.
+
+    Nulls are treated as ordinary values: [A = B] holds iff the values
+    are literally equal.  On complete databases this is the standard
+    two-valued evaluation; on incomplete databases it is exactly the
+    {e naive evaluation} of Section 4.1 up to renaming of nulls
+    (see {!Incdb_certain.Naive} for the official definition via
+    bijective valuations). *)
+
+(** [run ?extra_consts db q] evaluates [q] on [db].
+
+    The [Dom k] operator materialises the k-fold product of the active
+    domain of [db] extended with [extra_consts] (the approximation
+    scheme of Figure 2(a) needs the constants of the original query in
+    the domain).
+
+    @raise Algebra.Type_error if [q] is ill-typed for the schema. *)
+val run : ?extra_consts:Value.const list -> Database.t -> Algebra.t -> Relation.t
+
+(** [boolean r] interprets a 0-ary result: [true] iff the empty tuple is
+    present.  @raise Invalid_argument if [r] has nonzero arity. *)
+val boolean : Relation.t -> bool
+
+(** [domain_relation ~extra_consts db] is the unary relation holding the
+    active domain of [db] plus [extra_consts] (the instance of [Dom 1]). *)
+val domain_relation : extra_consts:Value.const list -> Database.t -> Relation.t

@@ -1,0 +1,159 @@
+type kind =
+  | Arbitrary
+  | Onto
+  | Strong_onto
+
+type t = (int * Value.t) list
+
+module Int_map = Map.Make (Int)
+
+let facts db =
+  Database.fold
+    (fun name r acc ->
+      Relation.fold (fun tuple acc -> (name, tuple) :: acc) r acc)
+    db []
+
+let apply_map m v =
+  match v with
+  | Value.Const _ -> v
+  | Value.Null n -> (match Int_map.find_opt n m with Some w -> w | None -> v)
+
+(* Try to extend [m] so that the source tuple maps exactly onto the target
+   tuple; constants must match literally. *)
+let match_tuple m (src : Tuple.t) (tgt : Tuple.t) =
+  if Tuple.arity src <> Tuple.arity tgt then None
+  else
+    let n = Tuple.arity src in
+    let rec loop m i =
+      if i >= n then Some m
+      else
+        match src.(i) with
+        | Value.Const _ as c ->
+          if Value.equal c tgt.(i) then loop m (i + 1) else None
+        | Value.Null x ->
+          (match Int_map.find_opt x m with
+           | Some w -> if Value.equal w tgt.(i) then loop m (i + 1) else None
+           | None -> loop (Int_map.add x tgt.(i) m) (i + 1))
+    in
+    loop m 0
+
+let value_set db =
+  List.sort_uniq Value.compare (Database.active_domain db)
+
+let image_of_domain m ~from_ =
+  List.sort_uniq Value.compare
+    (List.map (apply_map m) (Database.active_domain from_))
+
+let covers_all_facts m ~from_ ~to_ =
+  (* strong onto: every target fact is the image of a source fact *)
+  let src_facts = facts from_ in
+  List.for_all
+    (fun (name, tgt) ->
+      List.exists
+        (fun (name', src) ->
+          String.equal name name'
+          && Tuple.equal (Array.map (apply_map m) src) tgt)
+        src_facts)
+    (facts to_)
+
+let kind_ok kind m ~from_ ~to_ =
+  match kind with
+  | Arbitrary -> true
+  | Onto ->
+    let image = image_of_domain m ~from_ in
+    let target = value_set to_ in
+    List.length image = List.length target
+    && List.for_all2 Value.equal image target
+  | Strong_onto -> covers_all_facts m ~from_ ~to_
+
+let find ?(kind = Arbitrary) ~from_ ~to_ () =
+  let src_facts = facts from_ in
+  let target_tuples name = Relation.to_list (Database.relation to_ name) in
+  (* assign unmatched nulls (occurring in no fact cannot happen, but nulls
+     may remain unassigned if from_ has a relation-free null — impossible
+     since nulls come from facts; keep total anyway) *)
+  let rec search m = function
+    | [] ->
+      (* the map is total: every null of [from_] occurs in some fact *)
+      if kind_ok kind m ~from_ ~to_ then Some m else None
+    | (name, src) :: rest ->
+      let rec try_targets = function
+        | [] -> None
+        | tgt :: more ->
+          (match match_tuple m src tgt with
+           | Some m' ->
+             (match search m' rest with
+              | Some _ as r -> r
+              | None -> try_targets more)
+           | None -> try_targets more)
+      in
+      try_targets (target_tuples name)
+  in
+  match search Int_map.empty src_facts with
+  | Some m -> Some (Int_map.bindings m)
+  | None -> None
+
+let exists ?kind ~from_ ~to_ () =
+  match find ?kind ~from_ ~to_ () with Some _ -> true | None -> false
+
+let apply h db =
+  let m = List.fold_left (fun m (n, v) -> Int_map.add n v m) Int_map.empty h in
+  Database.map_relations
+    (fun _ r ->
+      Relation.map ~arity:(Relation.arity r) (Array.map (apply_map m)) r)
+    db
+
+(* like [find], but enumerates assignments until [accept] approves one *)
+let find_such ~from_ ~to_ ~accept =
+  let src_facts = facts from_ in
+  let target_tuples name = Relation.to_list (Database.relation to_ name) in
+  let rec search m = function
+    | [] -> if accept m then Some m else None
+    | (name, src) :: rest ->
+      let rec try_targets = function
+        | [] -> None
+        | tgt :: more ->
+          (match match_tuple m src tgt with
+           | Some m' ->
+             (match search m' rest with
+              | Some _ as r -> r
+              | None -> try_targets more)
+           | None -> try_targets more)
+      in
+      try_targets (target_tuples name)
+  in
+  search Int_map.empty src_facts
+
+let image_size m db =
+  Database.fold
+    (fun _ r acc ->
+      acc
+      + Relation.cardinal
+          (Relation.map ~arity:(Relation.arity r)
+             (Array.map (apply_map m))
+             r))
+    db 0
+
+let shrinking_endomorphism db =
+  let total = Database.size db in
+  match
+    find_such ~from_:db ~to_:db ~accept:(fun m -> image_size m db < total)
+  with
+  | Some m -> Some (Int_map.bindings m)
+  | None -> None
+
+let rec core db =
+  match shrinking_endomorphism db with
+  | None -> db
+  | Some h -> core (apply h db)
+
+let hom_equivalent d1 d2 =
+  (match find ~from_:d1 ~to_:d2 () with Some _ -> true | None -> false)
+  && (match find ~from_:d2 ~to_:d1 () with Some _ -> true | None -> false)
+
+let is_homomorphism h ~from_ ~to_ =
+  let m = List.fold_left (fun m (n, v) -> Int_map.add n v m) Int_map.empty h in
+  List.for_all
+    (fun (name, src) ->
+      Relation.mem (Array.map (apply_map m) src) (Database.relation to_ name))
+    (facts from_)

@@ -1,0 +1,51 @@
+(** Homomorphisms between databases (Section 4.1).
+
+    A homomorphism from [D] to [D'] is a map [h : dom(D) → dom(D')] such
+    that [h(ā) ∈ R^{D'}] for every fact [R(ā)] of [D].  The semantics of
+    incompleteness can be phrased through classes of homomorphisms that
+    are the identity on constants: arbitrary homomorphisms give OWA,
+    strong onto homomorphisms ([h(D) = D']) give CWA, and onto
+    homomorphisms ([h(dom D) = dom D']) give the intermediate semantics
+    (Theorem 4.3 and the discussion around it). *)
+
+type kind =
+  | Arbitrary
+  | Onto  (** h(dom D) = dom D' *)
+  | Strong_onto  (** h(D) = D' *)
+
+(** A homomorphism is represented by where it sends each null; constants
+    are always fixed. *)
+type t = (int * Value.t) list
+
+(** [find ?kind ~from_ ~to_ ()] searches for a homomorphism of the given
+    kind (default [Arbitrary]) from [from_] to [to_] that is the
+    identity on constants, by backtracking over the nulls of [from_].
+    Returns [None] if none exists.  The target may itself contain nulls
+    (treated as rigid values). *)
+val find : ?kind:kind -> from_:Database.t -> to_:Database.t -> unit -> t option
+
+val exists : ?kind:kind -> from_:Database.t -> to_:Database.t -> unit -> bool
+
+(** [apply h db] replaces each null by its image under [h] (nulls not in
+    the domain of [h] are unchanged). *)
+val apply : t -> Database.t -> Database.t
+
+(** [is_homomorphism h ~from_ ~to_] checks the defining condition. *)
+val is_homomorphism : t -> from_:Database.t -> to_:Database.t -> bool
+
+(** [shrinking_endomorphism db] searches for an endomorphism of [db]
+    (constants fixed) whose image has strictly fewer facts — the
+    witness that [db] is not a core. *)
+val shrinking_endomorphism : Database.t -> t option
+
+(** [core db] computes the core of [db]: the ⊆-minimal retract, unique
+    up to isomorphism.  Cores govern the size of certain-answer objects
+    (the discussion after Theorem 3.11 hinges on "families of cores of
+    graphs").  Exponential in the number of nulls; intended for small
+    instances. *)
+val core : Database.t -> Database.t
+
+(** [hom_equivalent d1 d2] — homomorphisms exist in both directions
+    (constants fixed): the two databases certain-answer every UCQ the
+    same way under OWA. *)
+val hom_equivalent : Database.t -> Database.t -> bool

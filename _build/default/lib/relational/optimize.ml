@@ -1,0 +1,256 @@
+(* All rewrites below are valid under BOTH set and bag semantics (on the
+   fragment bags support); rules that hold only for sets — such as
+   Union(q, q) → q — are deliberately omitted so that one optimizer
+   serves both evaluators. *)
+
+let rec flatten_and = function
+  | Condition.And (a, b) -> flatten_and a @ flatten_and b
+  | c -> [ c ]
+
+let rec flatten_or = function
+  | Condition.Or (a, b) -> flatten_or a @ flatten_or b
+  | c -> [ c ]
+
+let complement = function
+  | Condition.Eq (x, y) -> Some (Condition.Neq (x, y))
+  | Condition.Neq (x, y) -> Some (Condition.Eq (x, y))
+  | Condition.Lt (x, y) -> Some (Condition.Le (y, x))
+  | Condition.Le (x, y) -> Some (Condition.Lt (y, x))
+  | Condition.Is_const i -> Some (Condition.Is_null i)
+  | Condition.Is_null i -> Some (Condition.Is_const i)
+  | Condition.True | Condition.False | Condition.And _ | Condition.Or _ ->
+    None
+
+let rebuild unit_ op = function
+  | [] -> unit_
+  | c :: cs -> List.fold_left op c cs
+
+let rec simplify_condition cond =
+  match cond with
+  | Condition.True | Condition.False | Condition.Is_const _
+  | Condition.Is_null _ ->
+    cond
+  | Condition.Eq (x, y) ->
+    (match x, y with
+     | Condition.Lit a, Condition.Lit b ->
+       if Value.equal_const a b then Condition.True else Condition.False
+     | Condition.Col i, Condition.Col j when i = j -> Condition.True
+     | _, _ -> cond)
+  | Condition.Neq (x, y) ->
+    (match x, y with
+     | Condition.Lit a, Condition.Lit b ->
+       if Value.equal_const a b then Condition.False else Condition.True
+     | Condition.Col i, Condition.Col j when i = j -> Condition.False
+     | _, _ -> cond)
+  | Condition.Lt (x, y) ->
+    (match x, y with
+     | Condition.Lit a, Condition.Lit b ->
+       if Value.compare_const a b < 0 then Condition.True else Condition.False
+     | Condition.Col i, Condition.Col j when i = j -> Condition.False
+     | _, _ -> cond)
+  | Condition.Le (x, y) ->
+    (match x, y with
+     | Condition.Lit a, Condition.Lit b ->
+       if Value.compare_const a b <= 0 then Condition.True else Condition.False
+     | Condition.Col i, Condition.Col j when i = j -> Condition.True
+     | _, _ -> cond)
+  | Condition.And _ ->
+    let parts = List.map simplify_condition (flatten_and cond) in
+    if List.mem Condition.False parts then Condition.False
+    else begin
+      let parts =
+        List.sort_uniq compare
+          (List.filter (fun p -> p <> Condition.True) parts)
+      in
+      let contradictory =
+        List.exists
+          (fun p ->
+            match complement p with
+            | Some q -> List.mem q parts
+            | None -> false)
+          parts
+      in
+      if contradictory then Condition.False
+      else rebuild Condition.True (fun a b -> Condition.And (a, b)) parts
+    end
+  | Condition.Or _ ->
+    let parts = List.map simplify_condition (flatten_or cond) in
+    if List.mem Condition.True parts then Condition.True
+    else begin
+      let parts =
+        List.sort_uniq compare
+          (List.filter (fun p -> p <> Condition.False) parts)
+      in
+      let tautological =
+        List.exists
+          (fun p ->
+            match complement p with
+            | Some q -> List.mem q parts
+            | None -> false)
+          parts
+      in
+      if tautological then Condition.True
+      else rebuild Condition.False (fun a b -> Condition.Or (a, b)) parts
+    end
+
+let is_empty_lit = function
+  | Algebra.Lit (_, []) -> true
+  | _ -> false
+
+let empty k = Algebra.Lit (k, [])
+
+(* remap a condition through a projection list: column i of the
+   projected output is column (List.nth idxs i) of the input *)
+let remap_through_projection idxs cond =
+  let table = Array.of_list idxs in
+  let rec go = function
+    | Condition.True -> Condition.True
+    | Condition.False -> Condition.False
+    | Condition.Is_const i -> Condition.Is_const table.(i)
+    | Condition.Is_null i -> Condition.Is_null table.(i)
+    | Condition.Eq (x, y) -> Condition.Eq (op x, op y)
+    | Condition.Neq (x, y) -> Condition.Neq (op x, op y)
+    | Condition.Lt (x, y) -> Condition.Lt (op x, op y)
+    | Condition.Le (x, y) -> Condition.Le (op x, op y)
+    | Condition.And (a, b) -> Condition.And (go a, go b)
+    | Condition.Or (a, b) -> Condition.Or (go a, go b)
+  and op = function
+    | Condition.Col i -> Condition.Col table.(i)
+    | Condition.Lit _ as o -> o
+  in
+  go cond
+
+let optimize schema q =
+  ignore (Algebra.arity schema q);
+  let rec pass q =
+    match q with
+    | Algebra.Rel _ | Algebra.Lit _ | Algebra.Dom _ -> q
+    | Algebra.Select (cond, q1) ->
+      let q1 = pass q1 in
+      let cond = simplify_condition cond in
+      (match cond, q1 with
+       | Condition.True, _ -> q1
+       | Condition.False, _ -> empty (Algebra.arity schema q1)
+       | _, _ when is_empty_lit q1 -> q1
+       (* cascade: σa(σb(q)) = σ(a ∧ b)(q) *)
+       | _, Algebra.Select (inner, q2) ->
+         pass
+           (Algebra.Select
+              (simplify_condition (Condition.And (cond, inner)), q2))
+       (* push through union/intersection/difference *)
+       | _, Algebra.Union (a, b) ->
+         Algebra.Union
+           (pass (Algebra.Select (cond, a)), pass (Algebra.Select (cond, b)))
+       | _, Algebra.Inter (a, b) ->
+         Algebra.Inter
+           (pass (Algebra.Select (cond, a)), pass (Algebra.Select (cond, b)))
+       | _, Algebra.Diff (a, b) ->
+         Algebra.Diff
+           (pass (Algebra.Select (cond, a)), pass (Algebra.Select (cond, b)))
+       (* push through projection *)
+       | _, Algebra.Project (idxs, q2) ->
+         Algebra.Project
+           (idxs, pass (Algebra.Select (remap_through_projection idxs cond, q2)))
+       (* split conjuncts by the product side they mention *)
+       | _, Algebra.Product (a, b) ->
+         let k1 = Algebra.arity schema a in
+         let conjuncts = flatten_and cond in
+         let left, rest =
+           List.partition
+             (fun c -> Condition.max_column c < k1 && Condition.columns c <> [])
+             conjuncts
+         in
+         let right, mixed =
+           List.partition
+             (fun c ->
+               Condition.columns c <> []
+               && List.for_all (fun i -> i >= k1) (Condition.columns c))
+             rest
+         in
+         if left = [] && right = [] then Algebra.Select (cond, q1)
+         else begin
+           let a' =
+             match left with
+             | [] -> a
+             | cs ->
+               pass
+                 (Algebra.Select
+                    (rebuild Condition.True
+                       (fun x y -> Condition.And (x, y))
+                       cs, a))
+           in
+           let b' =
+             match right with
+             | [] -> b
+             | cs ->
+               let shifted = List.map (Condition.shift (-k1)) cs in
+               pass
+                 (Algebra.Select
+                    (rebuild Condition.True
+                       (fun x y -> Condition.And (x, y))
+                       shifted, b))
+           in
+           let core = Algebra.Product (a', b') in
+           match mixed with
+           | [] -> core
+           | cs ->
+             Algebra.Select
+               ( simplify_condition
+                   (rebuild Condition.True
+                      (fun x y -> Condition.And (x, y))
+                      cs),
+                 core )
+         end
+       | _, _ -> Algebra.Select (cond, q1))
+    | Algebra.Project (idxs, q1) ->
+      let q1 = pass q1 in
+      let k = Algebra.arity schema q1 in
+      if is_empty_lit q1 then empty (List.length idxs)
+      else if idxs = List.init k (fun i -> i) then q1
+      else
+        (match q1 with
+         (* cascade: π_a(π_b(q)) = π_{b∘a}(q) *)
+         | Algebra.Project (inner, q2) ->
+           let composed = List.map (List.nth inner) idxs in
+           pass (Algebra.Project (composed, q2))
+         | _ -> Algebra.Project (idxs, q1))
+    | Algebra.Product (q1, q2) ->
+      let q1 = pass q1 and q2 = pass q2 in
+      if is_empty_lit q1 then empty (Algebra.arity schema q)
+      else if is_empty_lit q2 then empty (Algebra.arity schema q)
+      else if q2 = Algebra.Lit (0, [ Tuple.empty ]) then q1
+      else if q1 = Algebra.Lit (0, [ Tuple.empty ]) then q2
+      else Algebra.Product (q1, q2)
+    | Algebra.Union (q1, q2) ->
+      let q1 = pass q1 and q2 = pass q2 in
+      if is_empty_lit q1 then q2
+      else if is_empty_lit q2 then q1
+      else Algebra.Union (q1, q2)
+    | Algebra.Inter (q1, q2) ->
+      let q1 = pass q1 and q2 = pass q2 in
+      if is_empty_lit q1 || is_empty_lit q2 then
+        empty (Algebra.arity schema q1)
+      else if q1 = q2 then q1
+      else Algebra.Inter (q1, q2)
+    | Algebra.Diff (q1, q2) ->
+      let q1 = pass q1 and q2 = pass q2 in
+      if is_empty_lit q1 then q1
+      else if is_empty_lit q2 then q1
+      else if q1 = q2 then empty (Algebra.arity schema q1)
+      else Algebra.Diff (q1, q2)
+    | Algebra.Division (q1, q2) ->
+      let q1 = pass q1 and q2 = pass q2 in
+      if is_empty_lit q1 then
+        empty (Algebra.arity schema q1 - Algebra.arity schema q2)
+      else Algebra.Division (q1, q2)
+    | Algebra.Anti_unify_join (q1, q2) ->
+      let q1 = pass q1 and q2 = pass q2 in
+      if is_empty_lit q1 then q1
+      else if is_empty_lit q2 then q1
+      else Algebra.Anti_unify_join (q1, q2)
+  in
+  let rec fixpoint q budget =
+    let q' = pass q in
+    if q' = q || budget = 0 then q' else fixpoint q' (budget - 1)
+  in
+  fixpoint q 8

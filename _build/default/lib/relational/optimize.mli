@@ -1,0 +1,27 @@
+(** Algebraic query optimisation.
+
+    Section 5.2 stresses that database optimisers rely on distributivity
+    and idempotency of the underlying logic (and that this is why
+    Kleene's logic is the right three-valued choice).  This module
+    implements the classical rewrites enabled by those laws, under both
+    set and bag semantics on the fragment both share:
+
+    - condition simplification (constant folding, unit/absorption,
+      recognising complementary literals);
+    - cascading selections and projections;
+    - pushing selections through products (splitting conjunctions by
+      the side they mention) and through unions;
+    - unit and empty-relation elimination for every operator.
+
+    All rewrites preserve the query's semantics tuple-for-tuple — under
+    set semantics {e and} (for the shared fragment) bag semantics —
+    which the test suite checks by evaluation on random instances; the
+    benchmark harness measures the effect on the rewritten queries the
+    approximation schemes produce (they contain many redundant guards). *)
+
+(** [simplify_condition θ] — equivalent, usually smaller, condition. *)
+val simplify_condition : Condition.t -> Condition.t
+
+(** [optimize schema q] applies the rewrite system to a fixpoint.
+    @raise Algebra.Type_error on ill-typed input. *)
+val optimize : Schema.t -> Algebra.t -> Algebra.t

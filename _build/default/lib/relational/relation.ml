@@ -1,0 +1,167 @@
+module Tuple_set = Set.Make (Tuple)
+
+type t = {
+  arity : int;
+  tuples : Tuple_set.t;
+}
+
+let empty k = { arity = k; tuples = Tuple_set.empty }
+
+let arity r = r.arity
+let cardinal r = Tuple_set.cardinal r.tuples
+let is_empty r = Tuple_set.is_empty r.tuples
+
+let check_arity k t =
+  if Tuple.arity t <> k then
+    invalid_arg
+      (Printf.sprintf "Relation: tuple of arity %d in relation of arity %d"
+         (Tuple.arity t) k)
+
+let of_list k tuples =
+  List.iter (check_arity k) tuples;
+  { arity = k; tuples = Tuple_set.of_list tuples }
+
+let to_list r = Tuple_set.elements r.tuples
+let to_set r = r.tuples
+
+let mem t r = Tuple_set.mem t r.tuples
+
+let add t r =
+  check_arity r.arity t;
+  { r with tuples = Tuple_set.add t r.tuples }
+
+let same_arity op r1 r2 =
+  if r1.arity <> r2.arity then
+    invalid_arg
+      (Printf.sprintf "Relation.%s: arity mismatch (%d vs %d)" op r1.arity
+         r2.arity)
+
+let union r1 r2 =
+  same_arity "union" r1 r2;
+  { arity = r1.arity; tuples = Tuple_set.union r1.tuples r2.tuples }
+
+let inter r1 r2 =
+  same_arity "inter" r1 r2;
+  { arity = r1.arity; tuples = Tuple_set.inter r1.tuples r2.tuples }
+
+let diff r1 r2 =
+  same_arity "diff" r1 r2;
+  { arity = r1.arity; tuples = Tuple_set.diff r1.tuples r2.tuples }
+
+let product r1 r2 =
+  let tuples =
+    Tuple_set.fold
+      (fun t1 acc ->
+        Tuple_set.fold
+          (fun t2 acc -> Tuple_set.add (Tuple.concat t1 t2) acc)
+          r2.tuples acc)
+      r1.tuples Tuple_set.empty
+  in
+  { arity = r1.arity + r2.arity; tuples }
+
+let filter f r = { r with tuples = Tuple_set.filter f r.tuples }
+
+let map ~arity f r =
+  let tuples =
+    Tuple_set.fold
+      (fun t acc ->
+        let t' = f t in
+        check_arity arity t';
+        Tuple_set.add t' acc)
+      r.tuples Tuple_set.empty
+  in
+  { arity; tuples }
+
+let fold f r init = Tuple_set.fold f r.tuples init
+let iter f r = Tuple_set.iter f r.tuples
+let for_all f r = Tuple_set.for_all f r.tuples
+let exists f r = Tuple_set.exists f r.tuples
+
+let subset r1 r2 =
+  same_arity "subset" r1 r2;
+  Tuple_set.subset r1.tuples r2.tuples
+
+let equal r1 r2 = r1.arity = r2.arity && Tuple_set.equal r1.tuples r2.tuples
+
+let compare r1 r2 =
+  let c = Int.compare r1.arity r2.arity in
+  if c <> 0 then c else Tuple_set.compare r1.tuples r2.tuples
+
+let project idxs r =
+  let k = List.length idxs in
+  map ~arity:k (Tuple.project idxs) r
+
+let division r s =
+  let m = s.arity in
+  if m > r.arity then
+    invalid_arg
+      (Printf.sprintf "Relation.division: divisor arity %d > dividend arity %d"
+         m r.arity);
+  let n = r.arity - m in
+  let heads = List.init n (fun i -> i) in
+  let candidates = project heads r in
+  let keep a =
+    Tuple_set.for_all (fun b -> Tuple_set.mem (Tuple.concat a b) r.tuples)
+      s.tuples
+  in
+  filter keep candidates
+
+let anti_unify_semijoin_nested r s =
+  filter (fun t -> not (Tuple_set.exists (Tuple.unifiable t) s.tuples)) r
+
+(* The unification anti-semijoin is the workhorse of the (Q⁺, Q?)
+   approximation scheme.  A complete tuple unifies with a complete tuple
+   iff they are equal, so the complete part of [s] is probed by set
+   membership and only the null-containing tuples of [s] (typically a
+   small fraction) are scanned. *)
+let anti_unify_semijoin r s =
+  let s_complete, s_incomplete =
+    Tuple_set.partition Tuple.is_complete s.tuples
+  in
+  let s_incomplete = Tuple_set.elements s_incomplete in
+  let survives t =
+    if Tuple.is_complete t then
+      (not (Tuple_set.mem t s_complete))
+      && not (List.exists (Tuple.unifiable t) s_incomplete)
+    else
+      (not (List.exists (Tuple.unifiable t) s_incomplete))
+      && not (Tuple_set.exists (Tuple.unifiable t) s_complete)
+  in
+  filter survives r
+
+let nulls r =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  iter
+    (fun t ->
+      List.iter
+        (fun n ->
+          if not (Hashtbl.mem seen n) then begin
+            Hashtbl.add seen n ();
+            acc := n :: !acc
+          end)
+        (Tuple.nulls t))
+    r;
+  List.rev !acc
+
+let consts r =
+  let module Cset = Set.Make (struct
+    type t = Value.const
+
+    let compare = Value.compare_const
+  end) in
+  let set =
+    fold (fun t acc -> List.fold_left (fun s c -> Cset.add c s) acc
+             (Tuple.consts t))
+      r Cset.empty
+  in
+  Cset.elements set
+
+let is_complete r = for_all Tuple.is_complete r
+
+let pp ppf r =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Tuple.pp)
+    (to_list r)

@@ -1,0 +1,73 @@
+(** Relations under set semantics: finite sets of tuples of a fixed arity.
+
+    The arity is stored explicitly so that the empty relation of arity
+    [k] is distinguishable from the empty relation of arity [k'].  All
+    operations check arities and raise [Invalid_argument] on mismatch. *)
+
+type t
+
+module Tuple_set : Set.S with type elt = Tuple.t
+
+(** [empty k] is the empty relation of arity [k]. *)
+val empty : int -> t
+
+val arity : t -> int
+val cardinal : t -> int
+val is_empty : t -> bool
+
+(** [of_list k tuples] builds a relation of arity [k].
+    @raise Invalid_argument if some tuple has a different arity. *)
+val of_list : int -> Tuple.t list -> t
+
+val to_list : t -> Tuple.t list
+val to_set : t -> Tuple_set.t
+
+val mem : Tuple.t -> t -> bool
+val add : Tuple.t -> t -> t
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val product : t -> t -> t
+
+val filter : (Tuple.t -> bool) -> t -> t
+val map : arity:int -> (Tuple.t -> Tuple.t) -> t -> t
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val for_all : (Tuple.t -> bool) -> t -> bool
+val exists : (Tuple.t -> bool) -> t -> bool
+
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [project idxs r] projects every tuple onto the given positions. *)
+val project : int list -> t -> t
+
+(** [division r s] is the relational division [r ÷ s]: with [r] of arity
+    [n + m] and [s] of arity [m], the result has arity [n] and contains
+    every [ā] such that for each [b̄ ∈ s], [(ā, b̄) ∈ r].  If [s] is
+    empty the result is the projection of [r] on its first [n]
+    components (the universal condition holds vacuously).
+    @raise Invalid_argument if [arity s > arity r]. *)
+val division : t -> t -> t
+
+(** [anti_unify_semijoin r s] is the unification anti-semijoin
+    [r ⋉⇑̸ s] used by the approximation schemes: the tuples of [r] that
+    unify with {e no} tuple of [s].  Complete tuples of [s] are probed
+    by set membership; only its null-containing tuples are scanned. *)
+val anti_unify_semijoin : t -> t -> t
+
+(** [anti_unify_semijoin_nested r s] — the textbook O(|r|·|s|)
+    nested-loop implementation, kept as the reference for correctness
+    cross-checks and for the ablation benchmark that measures what the
+    complete/incomplete split in {!anti_unify_semijoin} buys. *)
+val anti_unify_semijoin_nested : t -> t -> t
+
+(** Distinct null labels / constants occurring in the relation. *)
+val nulls : t -> int list
+val consts : t -> Value.const list
+
+val is_complete : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+type relation_decl = {
+  name : string;
+  attributes : string list;
+}
+
+type t = relation_decl list
+(* kept in declaration order; lookups are by name *)
+
+let empty : t = []
+
+let rec has_dup = function
+  | [] -> false
+  | x :: rest -> List.mem x rest || has_dup rest
+
+let declare schema name attributes =
+  if List.exists (fun d -> String.equal d.name name) schema then
+    invalid_arg (Printf.sprintf "Schema.declare: %s already declared" name);
+  if has_dup attributes then
+    invalid_arg
+      (Printf.sprintf "Schema.declare: duplicate attribute in %s" name);
+  schema @ [ { name; attributes } ]
+
+let of_list decls =
+  List.fold_left (fun s (name, attrs) -> declare s name attrs) empty decls
+
+let find schema name =
+  List.find (fun d -> String.equal d.name name) schema
+
+let mem schema name =
+  List.exists (fun d -> String.equal d.name name) schema
+
+let arity schema name = List.length (find schema name).attributes
+
+let attributes schema name = (find schema name).attributes
+
+let attribute_index schema rel attr =
+  let attrs = attributes schema rel in
+  let rec loop i = function
+    | [] -> raise Not_found
+    | a :: rest -> if String.equal a attr then i else loop (i + 1) rest
+  in
+  loop 0 attrs
+
+let relations schema = schema
+
+let pp ppf schema =
+  let pp_decl ppf d =
+    Format.fprintf ppf "%s(%a)" d.name
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         Format.pp_print_string)
+      d.attributes
+  in
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+    pp_decl ppf schema

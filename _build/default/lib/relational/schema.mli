@@ -1,0 +1,37 @@
+(** Relational schemas: relation names with arities and attribute names.
+
+    The algebra ({!Algebra}) addresses columns positionally; attribute
+    names are carried so that front ends (the mini SQL layer, printers)
+    can resolve names to positions. *)
+
+type relation_decl = {
+  name : string;
+  attributes : string list;  (** attribute names; length = arity *)
+}
+
+type t
+
+val empty : t
+
+(** [declare schema name attributes] adds a relation declaration.
+    @raise Invalid_argument if [name] is already declared or an
+    attribute name repeats. *)
+val declare : t -> string -> string list -> t
+
+val of_list : (string * string list) list -> t
+
+val mem : t -> string -> bool
+
+(** @raise Not_found if the relation is not declared. *)
+val arity : t -> string -> int
+
+(** @raise Not_found if the relation is not declared. *)
+val attributes : t -> string -> string list
+
+(** [attribute_index schema rel attr] is the 0-based position of [attr]
+    in [rel].  @raise Not_found if either is unknown. *)
+val attribute_index : t -> string -> string -> int
+
+val relations : t -> relation_decl list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+(** Tuples of database values.
+
+    A [k]-tuple is an immutable array of {!Value.t} of length [k].  The
+    empty tuple [()] (arity 0) represents the Boolean answer [true] when
+    present in a query result. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** The unique tuple of arity zero. *)
+val empty : t
+
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+
+(** [concat t1 t2] is the juxtaposition [t1 t2]. *)
+val concat : t -> t -> t
+
+(** [project idxs t] keeps the components of [t] at the 0-based positions
+    in [idxs], in the order given.  Indices may repeat.
+    @raise Invalid_argument if an index is out of bounds. *)
+val project : int list -> t -> t
+
+(** [unifiable t1 t2] holds iff some valuation of nulls makes [t1] and
+    [t2] equal: componentwise unifiability {e together with} consistency
+    of repeated nulls (e.g. [(_1, _1)] does not unify with [(0, 1)]).
+    This is the relation written r̄ ⇑ s̄ in the paper; it is decided by
+    union-find style matching in near-linear time. *)
+val unifiable : t -> t -> bool
+
+(** [nulls t] lists the distinct null labels occurring in [t]. *)
+val nulls : t -> int list
+
+(** [consts t] lists the distinct constants occurring in [t]. *)
+val consts : t -> Value.const list
+
+(** [is_complete t] holds iff [t] contains no null. *)
+val is_complete : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,52 @@
+type const =
+  | Int of int
+  | Str of string
+  | Gen of int
+
+type t =
+  | Const of const
+  | Null of int
+
+let compare_const c1 c2 =
+  match c1, c2 with
+  | Int a, Int b -> Int.compare a b
+  | Int _, (Str _ | Gen _) -> -1
+  | Str _, Int _ -> 1
+  | Str a, Str b -> String.compare a b
+  | Str _, Gen _ -> -1
+  | Gen a, Gen b -> Int.compare a b
+  | Gen _, (Int _ | Str _) -> 1
+
+let equal_const c1 c2 = compare_const c1 c2 = 0
+
+let compare v1 v2 =
+  match v1, v2 with
+  | Const c1, Const c2 -> compare_const c1 c2
+  | Const _, Null _ -> -1
+  | Null _, Const _ -> 1
+  | Null n1, Null n2 -> Int.compare n1 n2
+
+let equal v1 v2 = compare v1 v2 = 0
+
+let is_const = function Const _ -> true | Null _ -> false
+let is_null = function Null _ -> true | Const _ -> false
+
+let unifiable v1 v2 =
+  match v1, v2 with
+  | Const c1, Const c2 -> equal_const c1 c2
+  | Null _, _ | _, Null _ -> true
+
+let int i = Const (Int i)
+let str s = Const (Str s)
+let null i = Null i
+
+let pp_const ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Str s -> Format.pp_print_string ppf s
+  | Gen i -> Format.fprintf ppf "@@%d" i
+
+let pp ppf = function
+  | Const c -> pp_const ppf c
+  | Null i -> Format.fprintf ppf "_%d" i
+
+let to_string v = Format.asprintf "%a" pp v

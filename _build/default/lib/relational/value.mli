@@ -1,0 +1,46 @@
+(** Database values: constants and marked nulls.
+
+    Following the model of Section 2 of the paper, databases are populated
+    by elements of two countably infinite disjoint sets: constants
+    ([Const]) and nulls ([Null]).  Nulls are {e marked} (labelled): the
+    same null may occur several times in a database, and two occurrences
+    of the same label denote the same unknown value.  Codd nulls (SQL's
+    [NULL]) are the special case in which no label repeats. *)
+
+(** Constants.  [Gen] constants are "invented" witnesses used internally
+    by canonical valuation enumeration and naive evaluation; they never
+    appear in user data and compare distinct from all [Int] and [Str]
+    constants. *)
+type const =
+  | Int of int
+  | Str of string
+  | Gen of int
+
+(** A value is a constant or a marked null [Null i]. *)
+type t =
+  | Const of const
+  | Null of int
+
+val compare_const : const -> const -> int
+val equal_const : const -> const -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val is_const : t -> bool
+val is_null : t -> bool
+
+(** [unifiable v w] holds iff there is a valuation [u] of nulls with
+    [u v = u w]; i.e. iff [v] and [w] are equal, or at least one of them
+    is a null. *)
+val unifiable : t -> t -> bool
+
+(** Convenience constructors. *)
+
+val int : int -> t
+val str : string -> t
+val null : int -> t
+
+val pp_const : Format.formatter -> const -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

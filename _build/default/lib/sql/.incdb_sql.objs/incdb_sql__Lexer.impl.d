@@ -1,0 +1,1 @@
+lib/sql/lexer.ml: Format List String

@@ -1,0 +1,1 @@
+lib/sql/three_valued.ml: Array Ast Database Format Kleene List Parser Relation Schema String Tuple Value

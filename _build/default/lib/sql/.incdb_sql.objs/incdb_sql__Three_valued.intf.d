@@ -1,0 +1,1 @@
+lib/sql/three_valued.mli: Ast Database Kleene Relation Tuple

@@ -1,0 +1,1 @@
+lib/sql/to_algebra.ml: Algebra Ast Condition Format List Parser Schema String

@@ -1,0 +1,1 @@
+lib/sql/to_algebra.mli: Algebra Ast Schema

@@ -1,0 +1,104 @@
+type expr =
+  | Col of string option * string
+  | Lit of Value.const
+
+type cmp =
+  | Ceq
+  | Cneq
+  | Clt
+  | Cle
+  | Cgt
+  | Cge
+
+type predicate =
+  | Cmp of cmp * expr * expr
+  | Is_null of expr
+  | Is_not_null of expr
+  | In of expr * query
+  | Not_in of expr * query
+  | In_list of expr * Value.const list
+  | Not_in_list of expr * Value.const list
+  | Exists of query
+  | Not_exists of query
+  | And of predicate * predicate
+  | Or of predicate * predicate
+  | Not of predicate
+
+and select_item =
+  | Star
+  | Field of expr
+
+and select_query = {
+  select : select_item list;
+  from : (string * string) list;
+  where : predicate option;
+}
+
+and query =
+  | Simple of select_query
+  | Union of query * query
+
+let pp_expr ppf = function
+  | Col (None, c) -> Format.pp_print_string ppf c
+  | Col (Some t, c) -> Format.fprintf ppf "%s.%s" t c
+  | Lit (Value.Str s) -> Format.fprintf ppf "'%s'" s
+  | Lit c -> Value.pp_const ppf c
+
+let pp_const_list ppf cs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    (fun ppf c ->
+      match c with
+      | Value.Str s -> Format.fprintf ppf "'%s'" s
+      | c -> Value.pp_const ppf c)
+    ppf cs
+
+let rec pp_predicate ppf = function
+  | Cmp (Ceq, e1, e2) -> Format.fprintf ppf "%a = %a" pp_expr e1 pp_expr e2
+  | Cmp (Cneq, e1, e2) -> Format.fprintf ppf "%a <> %a" pp_expr e1 pp_expr e2
+  | Cmp (Clt, e1, e2) -> Format.fprintf ppf "%a < %a" pp_expr e1 pp_expr e2
+  | Cmp (Cle, e1, e2) -> Format.fprintf ppf "%a <= %a" pp_expr e1 pp_expr e2
+  | Cmp (Cgt, e1, e2) -> Format.fprintf ppf "%a > %a" pp_expr e1 pp_expr e2
+  | Cmp (Cge, e1, e2) -> Format.fprintf ppf "%a >= %a" pp_expr e1 pp_expr e2
+  | Is_null e -> Format.fprintf ppf "%a IS NULL" pp_expr e
+  | Is_not_null e -> Format.fprintf ppf "%a IS NOT NULL" pp_expr e
+  | In (e, q) -> Format.fprintf ppf "%a IN (%a)" pp_expr e pp_query q
+  | Not_in (e, q) -> Format.fprintf ppf "%a NOT IN (%a)" pp_expr e pp_query q
+  | In_list (e, cs) ->
+    Format.fprintf ppf "%a IN (%a)" pp_expr e pp_const_list cs
+  | Not_in_list (e, cs) ->
+    Format.fprintf ppf "%a NOT IN (%a)" pp_expr e pp_const_list cs
+  | Exists q -> Format.fprintf ppf "EXISTS (%a)" pp_query q
+  | Not_exists q -> Format.fprintf ppf "NOT EXISTS (%a)" pp_query q
+  | And (p1, p2) ->
+    Format.fprintf ppf "(%a AND %a)" pp_predicate p1 pp_predicate p2
+  | Or (p1, p2) ->
+    Format.fprintf ppf "(%a OR %a)" pp_predicate p1 pp_predicate p2
+  | Not p -> Format.fprintf ppf "NOT (%a)" pp_predicate p
+
+and pp_select ppf q =
+  let pp_item ppf = function
+    | Star -> Format.pp_print_char ppf '*'
+    | Field e -> pp_expr ppf e
+  in
+  let pp_from ppf (table, alias) =
+    if String.equal table alias then Format.pp_print_string ppf table
+    else Format.fprintf ppf "%s %s" table alias
+  in
+  Format.fprintf ppf "SELECT %a FROM %a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_item)
+    q.select
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       pp_from)
+    q.from;
+  match q.where with
+  | None -> ()
+  | Some p -> Format.fprintf ppf " WHERE %a" pp_predicate p
+
+and pp_query ppf = function
+  | Simple q -> pp_select ppf q
+  | Union (q1, q2) ->
+    Format.fprintf ppf "%a UNION %a" pp_query q1 pp_query q2

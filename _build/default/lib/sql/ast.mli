@@ -1,0 +1,51 @@
+(** Abstract syntax for the SQL fragment of the paper's examples:
+    SELECT–FROM–WHERE blocks combined with UNION, with (NOT) IN over
+    subqueries or literal lists, (NOT) EXISTS, IS (NOT) NULL, and the
+    Boolean connectives.  Set semantics throughout (SELECT DISTINCT is
+    accepted and is the default behaviour; bag behaviour is exercised
+    through {!Incdb_relational.Bag_eval} directly). *)
+
+type expr =
+  | Col of string option * string  (** optional table alias, column *)
+  | Lit of Value.const
+
+type cmp =
+  | Ceq
+  | Cneq
+  | Clt
+  | Cle
+  | Cgt
+  | Cge
+
+type predicate =
+  | Cmp of cmp * expr * expr
+  | Is_null of expr
+  | Is_not_null of expr
+  | In of expr * query  (** e IN (subquery) *)
+  | Not_in of expr * query
+  | In_list of expr * Value.const list  (** e IN (c1, c2, …) *)
+  | Not_in_list of expr * Value.const list
+  | Exists of query
+  | Not_exists of query
+  | And of predicate * predicate
+  | Or of predicate * predicate
+  | Not of predicate
+
+and select_item =
+  | Star
+  | Field of expr
+
+and select_query = {
+  select : select_item list;
+  from : (string * string) list;  (** (table, alias); alias = table when absent *)
+  where : predicate option;
+}
+
+(** A query is a UNION tree of SELECT blocks. *)
+and query =
+  | Simple of select_query
+  | Union of query * query
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_predicate : Format.formatter -> predicate -> unit
+val pp_query : Format.formatter -> query -> unit

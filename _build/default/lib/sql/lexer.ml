@@ -1,0 +1,152 @@
+type token =
+  | SELECT
+  | FROM
+  | WHERE
+  | AND
+  | OR
+  | NOT
+  | IN
+  | EXISTS
+  | IS
+  | NULL
+  | UNION
+  | DISTINCT
+  | IDENT of string
+  | QUALIFIED of string * string
+  | INT of int
+  | STRING of string
+  | STAR
+  | COMMA
+  | LPAREN
+  | RPAREN
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string
+
+let lex_error fmt = Format.kasprintf (fun s -> raise (Lex_error s)) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword_of_string s =
+  match String.lowercase_ascii s with
+  | "select" -> Some SELECT
+  | "from" -> Some FROM
+  | "where" -> Some WHERE
+  | "and" -> Some AND
+  | "or" -> Some OR
+  | "not" -> Some NOT
+  | "in" -> Some IN
+  | "exists" -> Some EXISTS
+  | "is" -> Some IS
+  | "null" -> Some NULL
+  | "union" -> Some UNION
+  | "distinct" -> Some DISTINCT
+  | _ -> None
+
+let tokenize input =
+  let n = String.length input in
+  let rec scan pos acc =
+    if pos >= n then List.rev (EOF :: acc)
+    else
+      let c = input.[pos] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then scan (pos + 1) acc
+      else if c = '*' then scan (pos + 1) (STAR :: acc)
+      else if c = ',' then scan (pos + 1) (COMMA :: acc)
+      else if c = '(' then scan (pos + 1) (LPAREN :: acc)
+      else if c = ')' then scan (pos + 1) (RPAREN :: acc)
+      else if c = '=' then scan (pos + 1) (EQ :: acc)
+      else if c = '<' then
+        if pos + 1 < n && input.[pos + 1] = '>' then scan (pos + 2) (NEQ :: acc)
+        else if pos + 1 < n && input.[pos + 1] = '=' then
+          scan (pos + 2) (LE :: acc)
+        else scan (pos + 1) (LT :: acc)
+      else if c = '>' then
+        if pos + 1 < n && input.[pos + 1] = '=' then scan (pos + 2) (GE :: acc)
+        else scan (pos + 1) (GT :: acc)
+      else if c = '!' then
+        if pos + 1 < n && input.[pos + 1] = '=' then scan (pos + 2) (NEQ :: acc)
+        else lex_error "unexpected '!' at offset %d" pos
+      else if c = '\'' then begin
+        let rec find_end i =
+          if i >= n then lex_error "unterminated string at offset %d" pos
+          else if input.[i] = '\'' then i
+          else find_end (i + 1)
+        in
+        let close = find_end (pos + 1) in
+        let s = String.sub input (pos + 1) (close - pos - 1) in
+        scan (close + 1) (STRING s :: acc)
+      end
+      else if is_digit c then begin
+        let rec find_end i =
+          if i < n && is_digit input.[i] then find_end (i + 1) else i
+        in
+        let stop = find_end pos in
+        scan stop (INT (int_of_string (String.sub input pos (stop - pos))) :: acc)
+      end
+      else if is_ident_start c then begin
+        let rec find_end i =
+          if i < n && is_ident_char input.[i] then find_end (i + 1) else i
+        in
+        let stop = find_end pos in
+        let word = String.sub input pos (stop - pos) in
+        match keyword_of_string word with
+        | Some kw -> scan stop (kw :: acc)
+        | None ->
+          if stop < n && input.[stop] = '.' then begin
+            let start2 = stop + 1 in
+            if start2 < n && is_ident_start input.[start2] then begin
+              let rec find_end2 i =
+                if i < n && is_ident_char input.[i] then find_end2 (i + 1)
+                else i
+              in
+              let stop2 = find_end2 start2 in
+              let col = String.sub input start2 (stop2 - start2) in
+              scan stop2 (QUALIFIED (word, col) :: acc)
+            end
+            else lex_error "expected column after '%s.'" word
+          end
+          else scan stop (IDENT word :: acc)
+      end
+      else lex_error "illegal character %C at offset %d" c pos
+  in
+  scan 0 []
+
+let pp_token ppf = function
+  | SELECT -> Format.pp_print_string ppf "SELECT"
+  | FROM -> Format.pp_print_string ppf "FROM"
+  | WHERE -> Format.pp_print_string ppf "WHERE"
+  | AND -> Format.pp_print_string ppf "AND"
+  | OR -> Format.pp_print_string ppf "OR"
+  | NOT -> Format.pp_print_string ppf "NOT"
+  | IN -> Format.pp_print_string ppf "IN"
+  | EXISTS -> Format.pp_print_string ppf "EXISTS"
+  | IS -> Format.pp_print_string ppf "IS"
+  | NULL -> Format.pp_print_string ppf "NULL"
+  | UNION -> Format.pp_print_string ppf "UNION"
+  | DISTINCT -> Format.pp_print_string ppf "DISTINCT"
+  | IDENT s -> Format.fprintf ppf "ident(%s)" s
+  | QUALIFIED (t, c) -> Format.fprintf ppf "ident(%s.%s)" t c
+  | INT n -> Format.pp_print_int ppf n
+  | STRING s -> Format.fprintf ppf "'%s'" s
+  | STAR -> Format.pp_print_char ppf '*'
+  | COMMA -> Format.pp_print_char ppf ','
+  | LPAREN -> Format.pp_print_char ppf '('
+  | RPAREN -> Format.pp_print_char ppf ')'
+  | EQ -> Format.pp_print_char ppf '='
+  | NEQ -> Format.pp_print_string ppf "<>"
+  | LT -> Format.pp_print_char ppf '<'
+  | LE -> Format.pp_print_string ppf "<="
+  | GT -> Format.pp_print_char ppf '>'
+  | GE -> Format.pp_print_string ppf ">="
+  | EOF -> Format.pp_print_string ppf "<eof>"

@@ -1,0 +1,39 @@
+(** Tokeniser for the mini-SQL fragment. *)
+
+type token =
+  | SELECT
+  | FROM
+  | WHERE
+  | AND
+  | OR
+  | NOT
+  | IN
+  | EXISTS
+  | IS
+  | NULL
+  | UNION
+  | DISTINCT
+  | IDENT of string  (** bare identifier, lower-cased keywords excluded *)
+  | QUALIFIED of string * string  (** t.c *)
+  | INT of int
+  | STRING of string  (** 'literal' *)
+  | STAR
+  | COMMA
+  | LPAREN
+  | RPAREN
+  | EQ  (** = *)
+  | NEQ  (** <> or != *)
+  | LT  (** < *)
+  | LE  (** <= *)
+  | GT  (** > *)
+  | GE  (** >= *)
+  | EOF
+
+exception Lex_error of string
+
+(** [tokenize input] — keywords are case-insensitive; identifiers keep
+    their case.  @raise Lex_error on illegal characters or unterminated
+    strings. *)
+val tokenize : string -> token list
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,224 @@
+exception Parse_error of string
+
+let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = {
+  mutable tokens : Lexer.token list;
+}
+
+let peek st =
+  match st.tokens with
+  | [] -> Lexer.EOF
+  | t :: _ -> t
+
+let advance st =
+  match st.tokens with
+  | [] -> ()
+  | _ :: rest -> st.tokens <- rest
+
+let expect st token =
+  if peek st = token then advance st
+  else
+    parse_error "expected %a but found %a" Lexer.pp_token token Lexer.pp_token
+      (peek st)
+
+let parse_expr st =
+  match peek st with
+  | Lexer.IDENT c ->
+    advance st;
+    Ast.Col (None, c)
+  | Lexer.QUALIFIED (t, c) ->
+    advance st;
+    Ast.Col (Some t, c)
+  | Lexer.INT n ->
+    advance st;
+    Ast.Lit (Value.Int n)
+  | Lexer.STRING s ->
+    advance st;
+    Ast.Lit (Value.Str s)
+  | t -> parse_error "expected expression, found %a" Lexer.pp_token t
+
+let parse_const st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    Value.Int n
+  | Lexer.STRING s ->
+    advance st;
+    Value.Str s
+  | t -> parse_error "expected a literal, found %a" Lexer.pp_token t
+
+let rec parse_query st =
+  let first = Ast.Simple (parse_select st) in
+  let rec unions acc =
+    if peek st = Lexer.UNION then begin
+      advance st;
+      unions (Ast.Union (acc, Ast.Simple (parse_select st)))
+    end
+    else acc
+  in
+  unions first
+
+and parse_select st =
+  expect st Lexer.SELECT;
+  (* DISTINCT is accepted and vacuous: everything is set semantics *)
+  if peek st = Lexer.DISTINCT then advance st;
+  let select =
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      [ Ast.Star ]
+    | _ ->
+      let rec items acc =
+        let e = parse_expr st in
+        if peek st = Lexer.COMMA then begin
+          advance st;
+          items (Ast.Field e :: acc)
+        end
+        else List.rev (Ast.Field e :: acc)
+      in
+      items []
+  in
+  expect st Lexer.FROM;
+  let rec tables acc =
+    match peek st with
+    | Lexer.IDENT t ->
+      advance st;
+      let alias =
+        match peek st with
+        | Lexer.IDENT a ->
+          advance st;
+          a
+        | _ -> t
+      in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        tables ((t, alias) :: acc)
+      end
+      else List.rev ((t, alias) :: acc)
+    | tok -> parse_error "expected table name, found %a" Lexer.pp_token tok
+  in
+  let from = tables [] in
+  let where =
+    if peek st = Lexer.WHERE then begin
+      advance st;
+      Some (parse_pred st)
+    end
+    else None
+  in
+  { Ast.select; from; where }
+
+and parse_pred st =
+  let left = parse_conj st in
+  if peek st = Lexer.OR then begin
+    advance st;
+    Ast.Or (left, parse_pred st)
+  end
+  else left
+
+and parse_conj st =
+  let left = parse_unary st in
+  if peek st = Lexer.AND then begin
+    advance st;
+    Ast.And (left, parse_conj st)
+  end
+  else left
+
+and parse_unary st =
+  match peek st with
+  | Lexer.NOT ->
+    advance st;
+    (match parse_unary st with
+     | Ast.Exists q -> Ast.Not_exists q
+     | Ast.In (e, q) -> Ast.Not_in (e, q)
+     | Ast.In_list (e, cs) -> Ast.Not_in_list (e, cs)
+     | p -> Ast.Not p)
+  | Lexer.EXISTS ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let q = parse_query st in
+    expect st Lexer.RPAREN;
+    Ast.Exists q
+  | Lexer.LPAREN ->
+    advance st;
+    let p = parse_pred st in
+    expect st Lexer.RPAREN;
+    p
+  | _ -> parse_atom st
+
+and parse_in_operand st e =
+  expect st Lexer.LPAREN;
+  if peek st = Lexer.SELECT then begin
+    let q = parse_query st in
+    expect st Lexer.RPAREN;
+    Ast.In (e, q)
+  end
+  else begin
+    let rec consts acc =
+      let c = parse_const st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        consts (c :: acc)
+      end
+      else List.rev (c :: acc)
+    in
+    let cs = consts [] in
+    expect st Lexer.RPAREN;
+    Ast.In_list (e, cs)
+  end
+
+and parse_atom st =
+  let e = parse_expr st in
+  match peek st with
+  | Lexer.EQ ->
+    advance st;
+    Ast.Cmp (Ast.Ceq, e, parse_expr st)
+  | Lexer.NEQ ->
+    advance st;
+    Ast.Cmp (Ast.Cneq, e, parse_expr st)
+  | Lexer.LT ->
+    advance st;
+    Ast.Cmp (Ast.Clt, e, parse_expr st)
+  | Lexer.LE ->
+    advance st;
+    Ast.Cmp (Ast.Cle, e, parse_expr st)
+  | Lexer.GT ->
+    advance st;
+    Ast.Cmp (Ast.Cgt, e, parse_expr st)
+  | Lexer.GE ->
+    advance st;
+    Ast.Cmp (Ast.Cge, e, parse_expr st)
+  | Lexer.IS ->
+    advance st;
+    (match peek st with
+     | Lexer.NULL ->
+       advance st;
+       Ast.Is_null e
+     | Lexer.NOT ->
+       advance st;
+       expect st Lexer.NULL;
+       Ast.Is_not_null e
+     | t -> parse_error "expected NULL or NOT NULL, found %a" Lexer.pp_token t)
+  | Lexer.IN ->
+    advance st;
+    parse_in_operand st e
+  | Lexer.NOT ->
+    advance st;
+    expect st Lexer.IN;
+    (match parse_in_operand st e with
+     | Ast.In (e, q) -> Ast.Not_in (e, q)
+     | Ast.In_list (e, cs) -> Ast.Not_in_list (e, cs)
+     | _ -> assert false)
+  | t -> parse_error "expected comparison, found %a" Lexer.pp_token t
+
+let run_parser f input =
+  let st = { tokens = Lexer.tokenize input } in
+  let result = f st in
+  (match peek st with
+   | Lexer.EOF -> ()
+   | t -> parse_error "trailing input starting at %a" Lexer.pp_token t);
+  result
+
+let parse input = run_parser parse_query input
+
+let parse_predicate input = run_parser parse_pred input

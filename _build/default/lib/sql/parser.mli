@@ -1,0 +1,28 @@
+(** Recursive-descent parser for the mini-SQL fragment.
+
+    Grammar (keywords case-insensitive):
+
+    {v
+    query  ::= select (UNION select)*
+    select ::= SELECT [DISTINCT] items FROM tables [WHERE pred]
+    items  ::= '*' | expr (',' expr)*
+    tables ::= table (',' table)*        table ::= ident [ident]
+    pred   ::= conj (OR conj)*
+    conj   ::= unary (AND unary)*
+    unary  ::= NOT unary | EXISTS '(' query ')' | '(' pred ')' | atom
+    atom   ::= expr ('=' | '<>' | '!=') expr
+             | expr IS [NOT] NULL
+             | expr [NOT] IN '(' query ')'
+             | expr [NOT] IN '(' literal (',' literal)* ')'
+    expr   ::= ident | ident '.' ident | int | 'string'
+    v} *)
+
+exception Parse_error of string
+
+(** [parse input] parses a complete query.
+    @raise Parse_error on syntax errors (including trailing input).
+    @raise Lexer.Lex_error on lexical errors. *)
+val parse : string -> Ast.query
+
+(** [parse_predicate input] parses a stand-alone predicate (testing). *)
+val parse_predicate : string -> Ast.predicate

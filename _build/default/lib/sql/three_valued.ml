@@ -1,0 +1,150 @@
+exception Sql_error of string
+
+let sql_error fmt = Format.kasprintf (fun s -> raise (Sql_error s)) fmt
+
+type env = (string * (string list * Tuple.t)) list
+
+let resolve_column env alias_opt column =
+  match alias_opt with
+  | Some alias ->
+    (match List.assoc_opt alias env with
+     | None -> sql_error "unknown table alias %s" alias
+     | Some (attrs, tuple) ->
+       (match List.find_index (String.equal column) attrs with
+        | Some i -> tuple.(i)
+        | None -> sql_error "no column %s in %s" column alias))
+  | None ->
+    let hits =
+      List.filter_map
+        (fun (_, (attrs, tuple)) ->
+          match List.find_index (String.equal column) attrs with
+          | Some i -> Some tuple.(i)
+          | None -> None)
+        env
+    in
+    (match hits with
+     | [ v ] -> v
+     | [] -> sql_error "unknown column %s" column
+     | v :: _ ->
+       (* innermost scope wins when the same name appears at several
+          depths; ambiguity within one scope is not distinguished here *)
+       v)
+
+let expr_value env = function
+  | Ast.Col (alias, column) -> resolve_column env alias column
+  | Ast.Lit c -> Value.Const c
+
+(* SQL comparison: u as soon as a null is involved; order comparisons
+   follow the total order of Value.compare on constants *)
+let sql_compare op v1 v2 =
+  if Value.is_null v1 || Value.is_null v2 then Kleene.U
+  else
+    let c = Value.compare v1 v2 in
+    match op with
+    | Ast.Ceq -> Kleene.of_bool (c = 0)
+    | Ast.Cneq -> Kleene.of_bool (c <> 0)
+    | Ast.Clt -> Kleene.of_bool (c < 0)
+    | Ast.Cle -> Kleene.of_bool (c <= 0)
+    | Ast.Cgt -> Kleene.of_bool (c > 0)
+    | Ast.Cge -> Kleene.of_bool (c >= 0)
+
+let rec eval_predicate db env = function
+  | Ast.Cmp (op, e1, e2) ->
+    sql_compare op (expr_value env e1) (expr_value env e2)
+  | Ast.Is_null e -> Kleene.of_bool (Value.is_null (expr_value env e))
+  | Ast.Is_not_null e -> Kleene.of_bool (Value.is_const (expr_value env e))
+  | Ast.In (e, sub) ->
+    let x = expr_value env e in
+    let rows = eval_in_env db env sub in
+    if Relation.arity rows <> 1 then
+      sql_error "IN subquery must return one column";
+    Relation.fold
+      (fun row acc -> Kleene.disj acc (sql_compare Ast.Ceq x row.(0)))
+      rows Kleene.F
+  | Ast.Not_in (e, sub) ->
+    Kleene.neg (eval_predicate db env (Ast.In (e, sub)))
+  | Ast.In_list (e, consts) ->
+    let x = expr_value env e in
+    List.fold_left
+      (fun acc c -> Kleene.disj acc (sql_compare Ast.Ceq x (Value.Const c)))
+      Kleene.F consts
+  | Ast.Not_in_list (e, consts) ->
+    Kleene.neg (eval_predicate db env (Ast.In_list (e, consts)))
+  | Ast.Exists sub ->
+    Kleene.of_bool (not (Relation.is_empty (eval_in_env db env sub)))
+  | Ast.Not_exists sub ->
+    Kleene.of_bool (Relation.is_empty (eval_in_env db env sub))
+  | Ast.And (p1, p2) ->
+    (match eval_predicate db env p1 with
+     | Kleene.F -> Kleene.F
+     | v -> Kleene.conj v (eval_predicate db env p2))
+  | Ast.Or (p1, p2) ->
+    (match eval_predicate db env p1 with
+     | Kleene.T -> Kleene.T
+     | v -> Kleene.disj v (eval_predicate db env p2))
+  | Ast.Not p -> Kleene.neg (eval_predicate db env p)
+
+and eval_in_env db outer_env (q : Ast.query) =
+  match q with
+  | Ast.Union (q1, q2) ->
+    Relation.union (eval_in_env db outer_env q1) (eval_in_env db outer_env q2)
+  | Ast.Simple q -> eval_select db outer_env q
+
+and eval_select db outer_env (q : Ast.select_query) =
+  let schema = Database.schema db in
+  let sources =
+    List.map
+      (fun (table, alias) ->
+        if not (Schema.mem schema table) then
+          sql_error "unknown table %s" table;
+        (alias, Schema.attributes schema table, Database.relation db table))
+      q.from
+  in
+  (* enumerate the Cartesian product of the FROM sources *)
+  let rec rows bound = function
+    | [] -> [ List.rev bound ]
+    | (alias, attrs, rel) :: rest ->
+      List.concat_map
+        (fun t -> rows ((alias, (attrs, t)) :: bound) rest)
+        (Relation.to_list rel)
+  in
+  let all_rows = rows [] sources in
+  let select_values frame =
+    match q.select with
+    | [ Ast.Star ] ->
+      List.concat_map
+        (fun (_, (_, tuple)) -> Array.to_list tuple)
+        frame
+    | items ->
+      List.map
+        (function
+          | Ast.Star -> sql_error "* must be the only select item"
+          | Ast.Field e -> expr_value (frame @ outer_env) e)
+        items
+  in
+  let out_arity =
+    match all_rows with
+    | frame :: _ -> List.length (select_values frame)
+    | [] ->
+      (* empty product: compute arity from the schema *)
+      (match q.select with
+       | [ Ast.Star ] ->
+         List.fold_left (fun acc (_, attrs, _) -> acc + List.length attrs) 0
+           sources
+       | items -> List.length items)
+  in
+  List.fold_left
+    (fun acc frame ->
+      let env = frame @ outer_env in
+      let keep =
+        match q.where with
+        | None -> true
+        | Some p -> eval_predicate db env p = Kleene.T
+      in
+      if keep then Relation.add (Tuple.of_list (select_values frame)) acc
+      else acc)
+    (Relation.empty out_arity) all_rows
+
+let eval db q = eval_in_env db [] q
+
+let run db sql = eval db (Parser.parse sql)

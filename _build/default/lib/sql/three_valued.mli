@@ -1,0 +1,34 @@
+(** SQL-faithful evaluation of the mini-SQL fragment under Kleene's
+    three-valued logic (Sections 1 and 5).
+
+    Comparisons involving [NULL] (our nulls) evaluate to u, including
+    [NULL = NULL]; [IS NULL] is two-valued; [IN] is the Kleene
+    disjunction of the comparisons with the subquery's rows; [EXISTS]
+    is two-valued on the subquery's kept rows.  A row is returned iff
+    its WHERE clause evaluates to t — SQL's collapse of u to f, i.e.
+    the assertion operator ↑ of Section 5.2 applied at each WHERE.
+
+    Marked nulls are honoured: the same null compares u even to itself
+    (SQL semantics); use {!Incdb_certain} to get certain answers
+    instead.  Results are sets (duplicates eliminated). *)
+
+exception Sql_error of string
+
+(** Scopes for correlated subqueries: innermost first. *)
+type env = (string * (string list * Tuple.t)) list
+
+(** [eval db q] evaluates a parsed query on the database, resolving
+    table names against the schema.
+    @raise Sql_error on unknown tables/columns or ambiguous column
+    references. *)
+val eval : Database.t -> Ast.query -> Relation.t
+
+(** [eval_in_env db env q] evaluates with outer scopes visible
+    (correlated subqueries). *)
+val eval_in_env : Database.t -> env -> Ast.query -> Relation.t
+
+(** [eval_predicate db env p] is the Kleene truth value of [p]. *)
+val eval_predicate : Database.t -> env -> Ast.predicate -> Kleene.t
+
+(** [run db sql] parses and evaluates. *)
+val run : Database.t -> string -> Relation.t

@@ -1,0 +1,227 @@
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+(* a scope entry: alias, attribute names, offset of the alias's columns
+   in the combined tuple layout *)
+type scope = (string * (string list * int)) list
+
+let scope_of_from schema ~offset from : scope * int =
+  List.fold_left
+    (fun (env, ofs) (table, alias) ->
+      if not (Schema.mem schema table) then
+        unsupported "unknown table %s" table;
+      let attrs = Schema.attributes schema table in
+      if List.mem_assoc alias env then unsupported "duplicate alias %s" alias;
+      (env @ [ (alias, (attrs, ofs)) ], ofs + List.length attrs))
+    ([], offset) from
+
+(* SQL scoping: an unqualified column resolves in the innermost scope
+   level that declares it; ambiguity is an error only within a level *)
+let resolve (levels : scope list) alias_opt column =
+  match alias_opt with
+  | Some alias ->
+    (match
+       List.find_map (fun level -> List.assoc_opt alias level) levels
+     with
+     | None -> unsupported "unknown alias %s" alias
+     | Some (attrs, ofs) ->
+       (match List.find_index (String.equal column) attrs with
+        | Some i -> ofs + i
+        | None -> unsupported "no column %s in %s" column alias))
+  | None ->
+    let rec search = function
+      | [] -> unsupported "unknown column %s" column
+      | level :: outer ->
+        let hits =
+          List.filter_map
+            (fun (_, (attrs, ofs)) ->
+              match List.find_index (String.equal column) attrs with
+              | Some i -> Some (ofs + i)
+              | None -> None)
+            level
+        in
+        (match hits with
+         | [ i ] -> i
+         | [] -> search outer
+         | _ -> unsupported "ambiguous column %s" column)
+    in
+    search levels
+
+let operand levels = function
+  | Ast.Col (alias, column) -> Condition.Col (resolve levels alias column)
+  | Ast.Lit c -> Condition.Lit c
+
+(* simple predicates (no subqueries) to selection conditions *)
+let rec condition levels = function
+  | Ast.Cmp (Ast.Ceq, e1, e2) ->
+    Condition.Eq (operand levels e1, operand levels e2)
+  | Ast.Cmp (Ast.Cneq, e1, e2) ->
+    Condition.Neq (operand levels e1, operand levels e2)
+  | Ast.Cmp (Ast.Clt, e1, e2) ->
+    Condition.Lt (operand levels e1, operand levels e2)
+  | Ast.Cmp (Ast.Cle, e1, e2) ->
+    Condition.Le (operand levels e1, operand levels e2)
+  | Ast.Cmp (Ast.Cgt, e1, e2) ->
+    Condition.Lt (operand levels e2, operand levels e1)
+  | Ast.Cmp (Ast.Cge, e1, e2) ->
+    Condition.Le (operand levels e2, operand levels e1)
+  | Ast.Is_null e ->
+    (match operand levels e with
+     | Condition.Col i -> Condition.Is_null i
+     | Condition.Lit _ -> Condition.False)
+  | Ast.Is_not_null e ->
+    (match operand levels e with
+     | Condition.Col i -> Condition.Is_const i
+     | Condition.Lit _ -> Condition.True)
+  | Ast.And (p1, p2) -> Condition.And (condition levels p1, condition levels p2)
+  | Ast.Or (p1, p2) -> Condition.Or (condition levels p1, condition levels p2)
+  | Ast.Not p -> Condition.negate (condition levels p)
+  | Ast.In_list (e, consts) ->
+    let op = operand levels e in
+    List.fold_left
+      (fun acc c -> Condition.Or (acc, Condition.Eq (op, Condition.Lit c)))
+      Condition.False consts
+  | Ast.Not_in_list (e, consts) ->
+    let op = operand levels e in
+    List.fold_left
+      (fun acc c -> Condition.And (acc, Condition.Neq (op, Condition.Lit c)))
+      Condition.True consts
+  | Ast.In _ | Ast.Not_in _ | Ast.Exists _ | Ast.Not_exists _ ->
+    unsupported "subqueries must be top-level WHERE conjuncts"
+
+let rec conjuncts = function
+  | Ast.And (p1, p2) -> conjuncts p1 @ conjuncts p2
+  | p -> [ p ]
+
+(* ensure a subquery has no nested subqueries *)
+let rec predicate_is_simple = function
+  | Ast.Cmp _ | Ast.Is_null _ | Ast.Is_not_null _ | Ast.In_list _
+  | Ast.Not_in_list _ ->
+    true
+  | Ast.And (p1, p2) | Ast.Or (p1, p2) ->
+    predicate_is_simple p1 && predicate_is_simple p2
+  | Ast.Not p -> predicate_is_simple p
+  | Ast.In _ | Ast.Not_in _ | Ast.Exists _ | Ast.Not_exists _ -> false
+
+let rec translate schema (q : Ast.query) =
+  match q with
+  | Ast.Union (q1, q2) ->
+    Algebra.Union (translate schema q1, translate schema q2)
+  | Ast.Simple q -> translate_select schema q
+
+and translate_select schema (q : Ast.select_query) =
+  let env, width = scope_of_from schema ~offset:0 q.from in
+  let from_product =
+    match List.map (fun (t, _) -> Algebra.Rel t) q.from with
+    | [] -> unsupported "empty FROM"
+    | first :: rest ->
+      List.fold_left (fun acc r -> Algebra.Product (acc, r)) first rest
+  in
+  let outer_cols = List.init width (fun i -> i) in
+  (* a semijoin/antijoin step for a subquery conjunct; UNION subqueries
+     distribute over the matching construction *)
+  let rec subquery_step plan ~anti ~extra_eq (sub : Ast.query) =
+    match sub with
+    | Ast.Union (s1, s2) ->
+      let m1 = subquery_step plan ~anti:false ~extra_eq s1 in
+      let m2 = subquery_step plan ~anti:false ~extra_eq s2 in
+      let matched = Algebra.Union (m1, m2) in
+      if anti then Algebra.Diff (plan, matched) else matched
+    | Ast.Simple sub ->
+      begin
+      (match sub.where with
+       | Some p when not (predicate_is_simple p) ->
+         unsupported "nested subqueries are not supported"
+       | _ -> ());
+    let sub_env, _ = scope_of_from schema ~offset:width sub.from in
+    (* inner scope first, outer scope as fallback *)
+    let combined = [ sub_env; env ] in
+    let sub_from =
+      match List.map (fun (t, _) -> Algebra.Rel t) sub.from with
+      | [] -> unsupported "empty FROM in subquery"
+      | first :: rest ->
+        List.fold_left (fun acc r -> Algebra.Product (acc, r)) first rest
+    in
+    let conds =
+      (match sub.where with
+       | None -> []
+       | Some p -> [ condition combined p ])
+      @
+      match extra_eq with
+      | None -> []
+      | Some outer_expr ->
+        (* the IN equality: outer expression = the subquery's selected
+           column *)
+        let sub_col =
+          match sub.select with
+          | [ Ast.Field e ] -> operand combined e
+          | [ Ast.Star ] | _ ->
+            unsupported "IN subquery must select exactly one column"
+        in
+        [ Condition.Eq (operand [ env ] outer_expr, sub_col) ]
+    in
+    let cond =
+      match conds with
+      | [] -> Condition.True
+      | c :: cs -> List.fold_left (fun a b -> Condition.And (a, b)) c cs
+    in
+    let matched =
+      Algebra.Project
+        (outer_cols, Algebra.Select (cond, Algebra.Product (plan, sub_from)))
+    in
+      if anti then Algebra.Diff (plan, matched) else matched
+      end
+  in
+  let plan =
+    match q.where with
+    | None -> from_product
+    | Some where ->
+      let simple, complex =
+        List.partition predicate_is_simple (conjuncts where)
+      in
+      let plan =
+        match simple with
+        | [] -> from_product
+        | c :: cs ->
+          let cond =
+            List.fold_left
+              (fun a p -> Condition.And (a, condition [ env ] p))
+              (condition [ env ] c) cs
+          in
+          Algebra.Select (cond, from_product)
+      in
+      List.fold_left
+        (fun plan p ->
+          match p with
+          | Ast.Exists sub -> subquery_step plan ~anti:false ~extra_eq:None sub
+          | Ast.Not_exists sub ->
+            subquery_step plan ~anti:true ~extra_eq:None sub
+          | Ast.In (e, sub) ->
+            subquery_step plan ~anti:false ~extra_eq:(Some e) sub
+          | Ast.Not_in (e, sub) ->
+            subquery_step plan ~anti:true ~extra_eq:(Some e) sub
+          | Ast.Not _ ->
+            unsupported
+              "negation over subqueries must use NOT IN / NOT EXISTS"
+          | Ast.Cmp _ | Ast.Is_null _ | Ast.Is_not_null _ | Ast.And _
+          | Ast.Or _ | Ast.In_list _ | Ast.Not_in_list _ ->
+            (* simple predicates were filtered into [simple] *)
+            assert false)
+        plan complex
+  in
+  match q.select with
+  | [ Ast.Star ] -> plan
+  | items ->
+    let idxs =
+      List.map
+        (function
+          | Ast.Star -> unsupported "* must be the only select item"
+          | Ast.Field (Ast.Col (alias, column)) -> resolve [ env ] alias column
+          | Ast.Field (Ast.Lit _) ->
+            unsupported "constants in SELECT are not supported")
+        items
+    in
+    Algebra.Project (idxs, plan)
+
+let translate_string schema sql = translate schema (Parser.parse sql)

@@ -1,0 +1,29 @@
+(** Translation of the mini-SQL fragment to relational algebra, so that
+    SQL queries can be fed to the certain-answer machinery (exact
+    certainty, the approximation schemes of Figure 2, naive
+    evaluation).
+
+    The translation produces the {e two-valued specification} of the
+    query — the standard Boolean FO semantics on each possible world —
+    which is the correctness reference of the paper: the translated
+    query under {!Incdb_relational.Eval} on a complete database agrees
+    with SQL; on incomplete databases SQL's 3VL evaluation
+    ({!Three_valued}) may differ from every sound approximation of the
+    translation, which is exactly the paper's point.
+
+    Supported shape: subquery predicates — (NOT) IN and (NOT) EXISTS,
+    possibly correlated with the immediately enclosing query — must
+    appear as top-level conjuncts of WHERE, and the subqueries
+    themselves must be subquery-free.  Everything else (equalities,
+    disequalities, IS (NOT) NULL, AND/OR/NOT of those) translates to
+    selection conditions. *)
+
+exception Unsupported of string
+
+(** [translate schema q] — @raise Unsupported on queries outside the
+    fragment, [Sql_error]-style failures are reported as [Unsupported]
+    too. *)
+val translate : Schema.t -> Ast.query -> Algebra.t
+
+(** [translate_string schema sql] parses then translates. *)
+val translate_string : Schema.t -> string -> Algebra.t

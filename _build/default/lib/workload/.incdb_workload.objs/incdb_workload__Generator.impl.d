@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Algebra Array Condition Database List Random Relation Schema Value

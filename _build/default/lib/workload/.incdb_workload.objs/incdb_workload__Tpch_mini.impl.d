@@ -1,0 +1,1 @@
+lib/workload/tpch_mini.ml: Algebra Array Condition Database List Printf Random Relation Schema String Value

@@ -1,0 +1,1 @@
+lib/workload/tpch_mini.mli: Algebra Database Generator Schema

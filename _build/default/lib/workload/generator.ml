@@ -1,0 +1,94 @@
+type rng = Random.State.t
+
+let make_rng ~seed = Random.State.make [| seed |]
+
+let random_value rng ~const_pool ~null_rate ~next_null =
+  if Random.State.float rng 1.0 < null_rate then begin
+    let label = !next_null in
+    incr next_null;
+    Value.Null label
+  end
+  else Value.int (Random.State.int rng const_pool)
+
+let random_relation rng ~arity ~size ~const_pool ~null_rate ~next_null =
+  let tuple () =
+    Array.init arity (fun _ ->
+        random_value rng ~const_pool ~null_rate ~next_null)
+  in
+  Relation.of_list arity (List.init size (fun _ -> tuple ()))
+
+let random_database rng schema ~size ~const_pool ~null_rate =
+  let next_null = ref 0 in
+  List.fold_left
+    (fun db (decl : Schema.relation_decl) ->
+      let arity = List.length decl.attributes in
+      Database.set_relation db decl.name
+        (random_relation rng ~arity ~size ~const_pool ~null_rate ~next_null))
+    (Database.create schema) (Schema.relations schema)
+
+let inject_nulls rng ~rate db =
+  let next_null = ref (Database.fresh_null db) in
+  Database.map_relations
+    (fun _ r ->
+      Relation.map ~arity:(Relation.arity r)
+        (Array.map (fun v ->
+             if Value.is_const v && Random.State.float rng 1.0 < rate then begin
+               let label = !next_null in
+               incr next_null;
+               Value.Null label
+             end
+             else v))
+        r)
+    db
+
+let random_condition rng ~arity ~positive =
+  let col () = Random.State.int rng arity in
+  let atom () =
+    match Random.State.int rng (if positive then 2 else 6) with
+    | 0 -> Condition.eq_col (col ()) (col ())
+    | 1 -> Condition.eq_const (col ()) (Value.Int (Random.State.int rng 5))
+    | 2 -> Condition.neq_col (col ()) (col ())
+    | 3 ->
+      Condition.Lt
+        (Condition.Col (col ()), Condition.Lit (Value.Int (Random.State.int rng 5)))
+    | 4 -> Condition.Le (Condition.Col (col ()), Condition.Col (col ()))
+    | _ -> Condition.neq_const (col ()) (Value.Int (Random.State.int rng 5))
+  in
+  match Random.State.int rng 3 with
+  | 0 -> atom ()
+  | 1 -> Condition.And (atom (), atom ())
+  | _ -> Condition.Or (atom (), atom ())
+
+let random_query rng schema ~depth ~positive =
+  let rels = Schema.relations schema in
+  let base () =
+    let decl = List.nth rels (Random.State.int rng (List.length rels)) in
+    Algebra.Rel decl.Schema.name
+  in
+  let arity q = Algebra.arity schema q in
+  let rec build depth =
+    if depth <= 0 then base ()
+    else
+      let q1 = build (depth - 1) in
+      let k1 = arity q1 in
+      let align q k = if k = 1 then q else Algebra.Project ([ 0 ], q) in
+      match Random.State.int rng (if positive then 5 else 6) with
+      | 0 -> base ()
+      | 1 when k1 > 0 ->
+        Algebra.Select (random_condition rng ~arity:k1 ~positive, q1)
+      | 2 when k1 > 1 ->
+        let keep = 1 + Random.State.int rng (min 2 k1) in
+        Algebra.Project
+          (List.init keep (fun _ -> Random.State.int rng k1), q1)
+      | 3 ->
+        let q2 = build (depth - 1) in
+        if k1 + arity q2 <= 3 then Algebra.Product (q1, q2) else q1
+      | 5 ->
+        (* only reachable when [positive] is false *)
+        let q2 = build (depth - 1) in
+        Algebra.Diff (align q1 k1, align q2 (arity q2))
+      | _ ->
+        let q2 = build (depth - 1) in
+        Algebra.Union (align q1 k1, align q2 (arity q2))
+  in
+  build depth

@@ -1,0 +1,43 @@
+(** Workload generation: random incomplete databases with a controlled
+    amount of incompleteness, and random queries.  Deterministic given
+    the seed, so experiments are reproducible. *)
+
+type rng = Random.State.t
+
+val make_rng : seed:int -> rng
+
+(** [random_relation rng ~arity ~size ~const_pool ~null_rate ~next_null]
+    draws [size] tuples with values from a pool of [const_pool] integer
+    constants; each position independently becomes a fresh marked null
+    with probability [null_rate], labels starting at [!next_null]
+    (the counter is advanced). *)
+val random_relation :
+  rng ->
+  arity:int ->
+  size:int ->
+  const_pool:int ->
+  null_rate:float ->
+  next_null:int ref ->
+  Relation.t
+
+(** [random_database rng schema ~size ~const_pool ~null_rate] fills
+    every relation of the schema with [size] random tuples. *)
+val random_database :
+  rng ->
+  Schema.t ->
+  size:int ->
+  const_pool:int ->
+  null_rate:float ->
+  Database.t
+
+(** [inject_nulls rng ~rate db] replaces each value occurrence by a
+    fresh marked null with probability [rate] — Codd-style
+    incompleteness injected into a complete database, as in the
+    benchmark methodology of [37] and [27]. *)
+val inject_nulls : rng -> rate:float -> Database.t -> Database.t
+
+(** [random_query rng schema ~depth ~positive] draws a well-typed
+    random algebra query over the schema's relations (arity capped at
+    3).  With [positive] no difference and no ≠/const/null conditions
+    are produced. *)
+val random_query : rng -> Schema.t -> depth:int -> positive:bool -> Algebra.t

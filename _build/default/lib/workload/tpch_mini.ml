@@ -1,0 +1,150 @@
+let schema =
+  Schema.of_list
+    [ ("customer", [ "custkey"; "cname"; "nationkey" ]);
+      ("orders", [ "orderkey"; "ocustkey"; "totalprice"; "ostatus" ]);
+      ("lineitem", [ "lorderkey"; "lpartkey"; "quantity" ]);
+      ("part", [ "partkey"; "pname"; "psize" ]) ]
+
+let generate rng ~scale =
+  let n_cust = 25 * scale in
+  let n_orders = 50 * scale in
+  let n_items = 100 * scale in
+  let n_parts = 20 * scale in
+  let ri n = Random.State.int rng (max n 1) in
+  let customers =
+    List.init n_cust (fun i ->
+        [| Value.int i; Value.str (Printf.sprintf "cust%d" i);
+           Value.int (ri 10) |])
+  in
+  let orders =
+    List.init n_orders (fun i ->
+        [| Value.int i; Value.int (ri n_cust); Value.int (10 + ri 990);
+           Value.int (ri 2) |])
+  in
+  let lineitems =
+    List.init n_items (fun _ ->
+        [| Value.int (ri n_orders); Value.int (ri n_parts);
+           Value.int (1 + ri 50) |])
+  in
+  let parts =
+    List.init n_parts (fun i ->
+        [| Value.int i; Value.str (Printf.sprintf "part%d" i);
+           Value.int (1 + ri 5) |])
+  in
+  Database.of_list schema
+    [ ("customer", customers); ("orders", orders); ("lineitem", lineitems);
+      ("part", parts) ]
+
+(* non-key columns, where nulls are injected *)
+let nullable_columns = function
+  | "customer" -> [ 1; 2 ]
+  | "orders" -> [ 2; 3 ]
+  | "lineitem" -> [ 2 ]
+  | "part" -> [ 1; 2 ]
+  | _ -> []
+
+let with_nulls rng ~rate db =
+  let next_null = ref (Database.fresh_null db) in
+  Database.map_relations
+    (fun name r ->
+      let cols = nullable_columns name in
+      Relation.map ~arity:(Relation.arity r)
+        (fun t ->
+          Array.mapi
+            (fun idx v ->
+              if
+                List.mem idx cols
+                && Value.is_const v
+                && Random.State.float rng 1.0 < rate
+              then begin
+                let label = !next_null in
+                incr next_null;
+                Value.Null label
+              end
+              else v)
+            t)
+        r)
+    db
+
+type named_query = {
+  qname : string;
+  description : string;
+  query : Algebra.t;
+}
+
+let queries =
+  let open Algebra in
+  [ { qname = "q1_orders_without_items";
+      description = "orders with no line item (anti-join / difference)";
+      query =
+        Diff (Project ([ 0 ], Rel "orders"), Project ([ 0 ], Rel "lineitem"));
+    };
+    { qname = "q2_idle_customers";
+      description = "customers who placed no order (anti-join)";
+      query =
+        Diff (Project ([ 0 ], Rel "customer"), Project ([ 1 ], Rel "orders"));
+    };
+    { qname = "q3_open_order_customers";
+      description = "customers with an open (status 0) order (join, UCQ)";
+      query =
+        Project
+          ( [ 0 ],
+            Select
+              ( Condition.And
+                  ( Condition.eq_col 0 4,
+                    Condition.eq_const 6 (Value.Int 0) ),
+                Product (Rel "customer", Rel "orders") ) );
+    };
+    { qname = "q4_unordered_parts";
+      description = "parts that appear in no line item (anti-join)";
+      query =
+        Diff (Project ([ 0 ], Rel "part"), Project ([ 1 ], Rel "lineitem"));
+    };
+    { qname = "q5_completionists";
+      description =
+        "customers who ordered every size-1 part (relational division)";
+      query =
+        (let cust_part =
+           Project
+             ( [ 1; 5 ],
+               Select
+                 (Condition.eq_col 0 4, Product (Rel "orders", Rel "lineitem"))
+             )
+         in
+         let small_parts =
+           Project ([ 0 ], Select (Condition.eq_const 2 (Value.Int 1), Rel "part"))
+         in
+         Division (cust_part, small_parts));
+    };
+    { qname = "q6_mixed_status";
+      description = "orders that are open or shipped (union of selections)";
+      query =
+        Union
+          ( Project ([ 0 ], Select (Condition.eq_const 3 (Value.Int 0), Rel "orders")),
+            Project ([ 0 ], Select (Condition.eq_const 3 (Value.Int 1), Rel "orders"))
+          );
+    };
+    { qname = "q8_bargain_orders";
+      description =
+        "open orders under 300 (typed order comparison, Section 6)";
+      query =
+        Project
+          ( [ 0 ],
+            Select
+              ( Condition.And
+                  ( Condition.Lt (Condition.Col 2, Condition.Lit (Value.Int 300)),
+                    Condition.eq_const 3 (Value.Int 0) ),
+                Rel "orders" ) );
+    };
+    { qname = "q7_exclusive_parts";
+      description =
+        "parts ordered only in large quantities (difference of projections)";
+      query =
+        Diff
+          ( Project ([ 1 ], Rel "lineitem"),
+            Project
+              ( [ 1 ],
+                Select (Condition.eq_const 2 (Value.Int 1), Rel "lineitem") ) );
+    } ]
+
+let query name = List.find (fun q -> String.equal q.qname name) queries

@@ -1,0 +1,35 @@
+(** A scaled-down TPC-H-style workload.
+
+    The paper's feasibility studies ([37], [27]) run the approximation
+    schemes on the TPC Benchmark H inside commercial DBMSs.  The sealed
+    environment has neither, so this module provides a deterministic
+    generator for a database with the same shape — customers, orders,
+    line items, parts — and a fixed set of decision-support queries
+    that exercise the constructs the paper discusses: negation
+    (unpaid-order style anti-joins), joins, unions and division.
+    See DESIGN.md §3 for the substitution argument. *)
+
+val schema : Schema.t
+
+(** [generate rng ~scale] builds a complete database with roughly
+    [25 × scale] customers, [50 × scale] orders, [100 × scale] line
+    items and [20 × scale] parts, with foreign keys consistent. *)
+val generate : Generator.rng -> scale:int -> Database.t
+
+(** [with_nulls rng ~rate db] injects Codd-style nulls into the
+    non-key columns of [db]; keys are kept complete so that joins stay
+    meaningful (this mirrors [27]'s methodology). *)
+val with_nulls : Generator.rng -> rate:float -> Database.t -> Database.t
+
+type named_query = {
+  qname : string;
+  description : string;
+  query : Algebra.t;
+}
+
+(** The query suite: Q1–Q6, from pure UCQs to difference-heavy and
+    division queries. *)
+val queries : named_query list
+
+(** [query name] looks a query up by name.  @raise Not_found. *)
+val query : string -> named_query

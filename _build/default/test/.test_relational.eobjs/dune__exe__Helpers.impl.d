@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Algebra Condition Database Format Gen Incdb_logic Incdb_relational List QCheck2 Relation Schema Tuple Value

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Array Database Eval Helpers Incdb_datalog Incdb_relational List Parser QCheck2 QCheck_alcotest Relation Schema Stratified Syntax Value

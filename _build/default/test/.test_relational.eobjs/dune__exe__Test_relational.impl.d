@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Algebra Array Bag_relation Condition Database Eval Helpers Homomorphism Incdb_relational Int List QCheck2 QCheck_alcotest Relation Schema Tuple Valuation Value

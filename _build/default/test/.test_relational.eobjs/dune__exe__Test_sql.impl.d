@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Ast Database Eval Helpers Incdb_certain Incdb_relational Incdb_sql Lexer List Parser QCheck2 QCheck_alcotest Relation Schema Three_valued To_algebra

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Algebra Array Database Eval Generator Helpers Incdb_certain Incdb_relational Incdb_workload List Printf Relation Tpch_mini Value

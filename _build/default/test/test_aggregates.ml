@@ -1,0 +1,316 @@
+(* Tests for the value-inventing extensions (Section 6): aggregate
+   ranges across possible worlds, the three-way answer classification,
+   Belnap's four-valued logic, and the alternative bag-valuation
+   semantics. *)
+
+open Incdb_relational
+open Incdb_certain
+open Helpers
+
+let bound_tc : Aggregate.bound Alcotest.testable =
+  Alcotest.testable Aggregate.pp_bound (fun a b ->
+      Aggregate.compare_bound a b = 0)
+
+(* ------------------------------------------------------------------ *)
+(* COUNT                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_count_range_example () =
+  (* {1} − {⊥}: 0 answers if ⊥ = 1, otherwise 1 *)
+  let db =
+    Database.of_list test_schema
+      [ ("T", [ tup [ i 1 ] ]); ("U", [ tup [ nu 0 ] ]) ]
+  in
+  let q = Algebra.Diff (Rel "T", Rel "U") in
+  Alcotest.(check (pair int int)) "count range" (0, 1)
+    (Aggregate.count_range db q);
+  let lo, hi = Aggregate.count_bounds db q in
+  Alcotest.(check (pair int int)) "count bounds" (0, 1) (lo, hi)
+
+let test_count_range_merging () =
+  (* T = {⊥0, ⊥1}: two tuples that may collapse into one *)
+  let db =
+    Database.of_list test_schema [ ("T", [ tup [ nu 0 ]; tup [ nu 1 ] ]) ]
+  in
+  let q = Algebra.Rel "T" in
+  Alcotest.(check (pair int int)) "collapse possible" (1, 2)
+    (Aggregate.count_range db q);
+  (* the polynomial lower bound must account for the collapse: the
+     greedy antichain of {⊥0, ⊥1} has size 1 *)
+  let lo, hi = Aggregate.count_bounds db q in
+  Alcotest.(check int) "antichain lower bound" 1 lo;
+  Alcotest.(check int) "upper bound" 2 hi
+
+(* sandwich: count_bounds ⊆ count_range on random inputs *)
+let prop_count_bounds_sound =
+  QCheck2.Test.make ~count:60 ~name:"count bounds sandwich the exact range"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      let blo, bhi = Aggregate.count_bounds db q in
+      let rlo, rhi = Aggregate.count_range db q in
+      blo <= rlo && rlo <= rhi && rhi <= bhi)
+
+(* ------------------------------------------------------------------ *)
+(* SUM / MIN / MAX                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let price_db =
+  (* R(a, b) as item/price *)
+  Database.of_list test_schema
+    [ ("R", [ tup [ i 1; i 30 ]; tup [ i 2; i 50 ]; tup [ i 3; nu 0 ] ]) ]
+
+let test_sum_unbounded_with_null () =
+  let q = Algebra.Rel "R" in
+  let r = Aggregate.range price_db q ~col:1 Aggregate.Sum in
+  Alcotest.check bound_tc "sum lo" Aggregate.Neg_inf r.Aggregate.lo;
+  Alcotest.check bound_tc "sum hi" Aggregate.Pos_inf r.Aggregate.hi
+
+let test_min_clamped_by_certain () =
+  let q = Algebra.Rel "R" in
+  let r = Aggregate.range price_db q ~col:1 Aggregate.Min in
+  (* the unknown price can be arbitrarily small, but MIN ≤ 30 always *)
+  Alcotest.check bound_tc "min lo" Aggregate.Neg_inf r.Aggregate.lo;
+  Alcotest.check bound_tc "min hi" (Aggregate.Fin 30) r.Aggregate.hi;
+  Alcotest.(check bool) "never empty" false r.Aggregate.empty_possible;
+  let r = Aggregate.range price_db q ~col:1 Aggregate.Max in
+  Alcotest.check bound_tc "max lo" (Aggregate.Fin 50) r.Aggregate.lo;
+  Alcotest.check bound_tc "max hi" Aggregate.Pos_inf r.Aggregate.hi
+
+let test_exact_range_nullfree_column () =
+  (* aggregate over a null-free column: exact finite range even though
+     the answer set varies across worlds *)
+  let db =
+    Database.of_list test_schema
+      [ ("R", [ tup [ i 1; i 30 ]; tup [ nu 0; i 50 ] ]);
+        ("T", [ tup [ i 1 ] ]) ]
+  in
+  (* prices of items in T: the second item is in T only when ⊥ = 1 *)
+  let q =
+    Algebra.Project
+      ( [ 1 ],
+        Algebra.Select
+          (Condition.eq_col 0 2, Algebra.Product (Rel "R", Rel "T")) )
+  in
+  let r = Aggregate.range db q ~col:0 Aggregate.Sum in
+  (* world ⊥=1: answers {30, 50}, sum 80; other worlds: {30} *)
+  Alcotest.check bound_tc "sum lo" (Aggregate.Fin 30) r.Aggregate.lo;
+  Alcotest.check bound_tc "sum hi" (Aggregate.Fin 80) r.Aggregate.hi;
+  let r = Aggregate.range db q ~col:0 Aggregate.Max in
+  Alcotest.check bound_tc "max hi" (Aggregate.Fin 50) r.Aggregate.hi;
+  Alcotest.(check bool) "30 always present" false r.Aggregate.empty_possible
+
+let test_string_column_rejected () =
+  let db =
+    Database.of_list test_schema [ ("T", [ tup [ Value.str "x" ] ]) ]
+  in
+  match Aggregate.range db (Algebra.Rel "T") ~col:0 Aggregate.Sum with
+  | _ -> Alcotest.fail "string column accepted"
+  | exception Aggregate.Unsupported _ -> ()
+
+(* exact ranges contain the aggregate of every canonical world; checked
+   independently of the implementation's own world enumeration *)
+let prop_sum_range_covers_worlds =
+  QCheck2.Test.make ~count:50 ~name:"SUM range covers every world"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(
+      pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      let k = Algebra.arity test_schema q in
+      if k = 0 then true
+      else
+        match Aggregate.range db q ~col:0 Aggregate.Sum with
+        | exception Aggregate.Unsupported _ -> true
+        | r ->
+          let worlds =
+            Certainty.canonical_worlds ~query_consts:(Algebra.consts q) db
+          in
+          List.for_all
+            (fun (_, world) ->
+              let answer = Eval.run world q in
+              match
+                Relation.fold
+                  (fun t acc ->
+                    match t.(0), acc with
+                    | Value.Const (Value.Int n), Some s -> Some (s + n)
+                    | _, _ -> None)
+                  answer (Some 0)
+              with
+              | None -> true (* non-integer values: nothing to check *)
+              | Some sum ->
+                Aggregate.compare_bound r.Aggregate.lo (Aggregate.Fin sum) <= 0
+                && Aggregate.compare_bound (Aggregate.Fin sum) r.Aggregate.hi
+                   <= 0)
+            worlds)
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_classify_example () =
+  let db =
+    Database.of_list test_schema
+      [ ("T", [ tup [ i 1 ]; tup [ i 2 ] ]); ("U", [ tup [ nu 0 ] ]) ]
+  in
+  let q = Algebra.Diff (Rel "T", Rel "U") in
+  let check t expected =
+    Alcotest.(check string)
+      (Tuple.to_string t)
+      (Classify.verdict_to_string expected)
+      (Classify.verdict_to_string (Classify.classify db q t))
+  in
+  check (tup [ i 1 ]) Classify.Possible;
+  check (tup [ i 9 ]) Classify.Impossible;
+  let db2 = Database.of_list test_schema [ ("T", [ tup [ i 1 ] ]) ] in
+  Alcotest.(check string) "certain" "certain"
+    (Classify.verdict_to_string
+       (Classify.classify db2 (Algebra.Rel "T") (tup [ i 1 ])))
+
+(* soundness of the polynomial classifier w.r.t. the exact one:
+   polynomial-Certain implies exact-Certain, polynomial-Impossible
+   implies exact-Impossible *)
+let prop_classify_sound =
+  QCheck2.Test.make ~count:50 ~name:"classification is sound both ways"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      let candidates =
+        Relation.to_list (Scheme_pm.possible_sup db q)
+        @ [ Tuple.of_list
+              (List.init (Algebra.arity test_schema q) (fun _ -> i 99)) ]
+      in
+      List.for_all
+        (fun t ->
+          match Classify.classify db q t with
+          | Classify.Certain -> Classify.classify_exact db q t = Classify.Certain
+          | Classify.Impossible ->
+            Classify.classify_exact db q t = Classify.Impossible
+          | Classify.Possible -> true)
+        candidates)
+
+let test_report () =
+  let db =
+    Database.of_list test_schema
+      [ ("T", [ tup [ i 1 ]; tup [ nu 0 ] ]) ]
+  in
+  let report = Classify.report db (Algebra.Rel "T") in
+  Alcotest.(check int) "two entries" 2 (List.length report);
+  Alcotest.(check bool) "all certain for a base relation" true
+    (List.for_all (fun (_, v) -> v = Classify.Certain) report)
+
+(* ------------------------------------------------------------------ *)
+(* Belnap's logic                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_belnap_tables () =
+  let open Incdb_logic.Belnap in
+  Alcotest.(check bool) "n ∧ b = f" true (conj N B = F);
+  Alcotest.(check bool) "n ∨ b = t" true (disj N B = T);
+  Alcotest.(check bool) "¬b = b" true (neg B = B);
+  Alcotest.(check bool) "kmeet t f = n" true (kmeet T F = N);
+  Alcotest.(check bool) "kjoin t f = b" true (kjoin T F = B)
+
+let test_belnap_laws () =
+  let l4 = Incdb_logic.Laws.of_module (module Incdb_logic.Belnap) in
+  Alcotest.(check bool) "distributive" true (Incdb_logic.Laws.distributive l4);
+  Alcotest.(check bool) "idempotent" true (Incdb_logic.Laws.idempotent l4);
+  Alcotest.(check bool) "de morgan" true (Incdb_logic.Laws.de_morgan l4);
+  Alcotest.(check bool) "knowledge monotone" true
+    (Incdb_logic.Laws.monotone ~le:Incdb_logic.Belnap.knowledge_le l4)
+
+let test_belnap_kleene_embedding () =
+  let open Incdb_logic in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "conj commutes" true
+            (Belnap.conj (Belnap.of_kleene a) (Belnap.of_kleene b)
+             = Belnap.of_kleene (Kleene.conj a b));
+          Alcotest.(check bool) "disj commutes" true
+            (Belnap.disj (Belnap.of_kleene a) (Belnap.of_kleene b)
+             = Belnap.of_kleene (Kleene.disj a b)))
+        Kleene.values)
+    Kleene.values
+
+(* ------------------------------------------------------------------ *)
+(* Bag valuation semantics                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bag_collapse_vs_sum () =
+  let b =
+    Bag_relation.of_list 1 [ (tup [ nu 0 ], 2); (tup [ i 5 ], 3) ]
+  in
+  let v = Valuation.of_list [ (0, Value.Int 5) ] in
+  Alcotest.(check int) "sum semantics adds" 5
+    (Bag_relation.multiplicity (tup [ i 5 ]) (Bag_relation.apply_valuation v b));
+  Alcotest.(check int) "collapse keeps the max" 3
+    (Bag_relation.multiplicity (tup [ i 5 ])
+       (Bag_relation.apply_valuation_collapse v b))
+
+let test_bag_bounds_merge_semantics () =
+  (* T = {1, ⊥} as multiplicity-1 tuples; Q = T.  Under sum semantics
+     the world ⊥=1 gives 1 multiplicity 2; under collapse it stays 1 *)
+  let db =
+    Database.of_list test_schema
+      [ ("T", [ tup [ i 1 ]; tup [ nu 0 ] ]) ]
+  in
+  let q = Algebra.Rel "T" in
+  Alcotest.(check int) "diamond under sum" 2
+    (Bag_bounds.diamond ~merge:`Sum db q (tup [ i 1 ]));
+  Alcotest.(check int) "diamond under collapse" 1
+    (Bag_bounds.diamond ~merge:`Collapse db q (tup [ i 1 ]));
+  Alcotest.(check int) "box agrees here" 1
+    (Bag_bounds.box ~merge:`Collapse db q (tup [ i 1 ]))
+
+(* collapse never exceeds sum *)
+let prop_collapse_le_sum =
+  QCheck2.Test.make ~count:60 ~name:"collapse diamond ≤ sum diamond"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      let candidates = Relation.to_list (Incdb_certain.Naive.run db q) in
+      List.for_all
+        (fun t ->
+          Bag_bounds.diamond ~merge:`Collapse db q t
+          <= Bag_bounds.diamond ~merge:`Sum db q t)
+        candidates)
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "aggregates"
+    [ ( "count",
+        [ Alcotest.test_case "difference example" `Quick
+            test_count_range_example;
+          Alcotest.test_case "merging nulls" `Quick test_count_range_merging ]
+      );
+      qsuite "count-props" [ prop_count_bounds_sound ];
+      ( "sum-min-max",
+        [ Alcotest.test_case "sum unbounded with null" `Quick
+            test_sum_unbounded_with_null;
+          Alcotest.test_case "min clamped by certain" `Quick
+            test_min_clamped_by_certain;
+          Alcotest.test_case "exact on null-free column" `Quick
+            test_exact_range_nullfree_column;
+          Alcotest.test_case "string column rejected" `Quick
+            test_string_column_rejected ] );
+      qsuite "agg-props" [ prop_sum_range_covers_worlds ];
+      ( "classify",
+        [ Alcotest.test_case "example" `Quick test_classify_example;
+          Alcotest.test_case "report" `Quick test_report ] );
+      qsuite "classify-props" [ prop_classify_sound ];
+      ( "belnap",
+        [ Alcotest.test_case "tables" `Quick test_belnap_tables;
+          Alcotest.test_case "laws" `Quick test_belnap_laws;
+          Alcotest.test_case "kleene embedding" `Quick
+            test_belnap_kleene_embedding ] );
+      ( "bag-semantics",
+        [ Alcotest.test_case "collapse vs sum" `Quick test_bag_collapse_vs_sum;
+          Alcotest.test_case "bounds under both" `Quick
+            test_bag_bounds_merge_semantics ] );
+      qsuite "bag-semantics-props" [ prop_collapse_le_sum ] ]

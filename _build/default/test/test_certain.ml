@@ -1,0 +1,444 @@
+(* Tests for exact certain answers, naive evaluation, the two
+   approximation schemes of Figure 2, and bag-semantics bounds —
+   the theorems of Sections 3 and 4 of the paper. *)
+
+open Incdb_relational
+open Incdb_certain
+open Helpers
+
+let unary_db tuples_t tuples_u =
+  Database.of_list test_schema [ ("T", tuples_t); ("U", tuples_u) ]
+
+(* ------------------------------------------------------------------ *)
+(* Exact certain answers                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cert_with_nulls_keeps_null () =
+  (* D = {R(⊥)} and Q = R: cert⊥ = {⊥} but cert∩ = ∅ (Section 3.2) *)
+  let db = unary_db [ tup [ nu 0 ] ] [] in
+  let q = Algebra.Rel "T" in
+  check_rel "cert⊥ keeps the null" (rel 1 [ [ nu 0 ] ])
+    (Certainty.cert_with_nulls_ra db q);
+  check_rel "cert∩ is empty" (rel 1 []) (Certainty.cert_intersection_ra db q)
+
+let test_cert_difference_empty () =
+  (* {1} − {⊥}: certain answers are empty, naive evaluation says {1} *)
+  let db = unary_db [ tup [ i 1 ] ] [ tup [ nu 0 ] ] in
+  let q = Algebra.Diff (Rel "T", Rel "U") in
+  check_rel "cert⊥ empty" (rel 1 []) (Certainty.cert_with_nulls_ra db q);
+  check_rel "naive keeps 1" (rel 1 [ [ i 1 ] ]) (Naive.run db q)
+
+let test_cert_tautology_disjunction () =
+  (* σ(A=2 ∨ A≠2)(T) on T = {⊥}: ⊥ is certain — it equals 2 or not in
+     every world (the intro's 'oid = o2 OR oid <> o2' example) *)
+  let db = unary_db [ tup [ nu 0 ] ] [] in
+  let q =
+    Algebra.Select
+      ( Condition.Or
+          (Condition.eq_const 0 (Value.Int 2),
+           Condition.neq_const 0 (Value.Int 2)),
+        Algebra.Rel "T" )
+  in
+  check_rel "tautology certain" (rel 1 [ [ nu 0 ] ])
+    (Certainty.cert_with_nulls_ra db q)
+
+let test_certain_boolean () =
+  (* path 1 → ⊥ → 2 makes ∃ path of length 2 certain *)
+  let db =
+    Database.of_list test_schema
+      [ ("R", [ tup [ i 1; nu 0 ]; tup [ nu 0; i 2 ] ]) ]
+  in
+  let q =
+    (* Boolean query: project everything away after a join checking
+       R(1,x), R(x,2) *)
+    Algebra.Project
+      ( [],
+        Algebra.Select
+          ( Condition.And
+              ( Condition.And
+                  (Condition.eq_const 0 (Value.Int 1),
+                   Condition.eq_col 1 2),
+                Condition.eq_const 3 (Value.Int 2) ),
+            Algebra.Product (Rel "R", Rel "R") ) )
+  in
+  Alcotest.(check bool) "certain" true (Certainty.certain_boolean db q)
+
+(* Proposition 3.10: cert∩ = cert⊥ ∩ Const^m, and the two ways of
+   computing cert∩ agree *)
+let prop_cert_intersection_consistent =
+  QCheck2.Test.make ~count:60 ~name:"Prop 3.10: cert∩ = cert⊥ ∩ Const^m"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_query ()))
+    (fun (db, q) ->
+      let run d = Eval.run d q in
+      let query_consts = Algebra.consts q in
+      let via_bot = Certainty.cert_intersection ~run ~query_consts db in
+      let direct = Certainty.cert_intersection_direct ~run ~query_consts db in
+      Relation.equal via_bot direct)
+
+(* cert⊥ is always a subset of the naive evaluation *)
+let prop_cert_subset_naive =
+  QCheck2.Test.make ~count:80 ~name:"cert⊥ ⊆ naive evaluation"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_query ()))
+    (fun (db, q) ->
+      Relation.subset (Certainty.cert_with_nulls_ra db q) (Naive.run db q))
+
+(* the defining property of cert⊥, checked against brute-force
+   enumeration over a *fixed* concrete valuation set rather than the
+   canonical one (cross-validation of the canonical-pattern argument) *)
+let prop_cert_brute_force =
+  QCheck2.Test.make ~count:40 ~name:"cert⊥ agrees with brute-force check"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ()))
+    (fun (db, q) ->
+      let cert = Certainty.cert_with_nulls_ra db q in
+      let nulls = Database.nulls db in
+      (* a wide concrete range: all db/query constants plus 3 fresh *)
+      let range =
+        List.sort_uniq Value.compare_const
+          (Database.consts db @ Algebra.consts q
+          @ [ Value.Gen 90; Value.Gen 91; Value.Gen 92 ])
+      in
+      let vals = Valuation.enumerate ~nulls ~range in
+      let candidates = Naive.run db q in
+      let brute =
+        Relation.filter
+          (fun t ->
+            List.for_all
+              (fun v ->
+                Relation.mem (Valuation.apply_tuple v t)
+                  (Eval.run (Valuation.apply_db v db) q))
+              vals)
+          candidates
+      in
+      Relation.equal cert brute)
+
+
+(* ------------------------------------------------------------------ *)
+(* Certain answers as objects (Prop 3.6(b))                            *)
+(* ------------------------------------------------------------------ *)
+
+let answer_db r =
+  let k = Relation.arity r in
+  let schema = Schema.of_list [ ("ans", List.init k (Printf.sprintf "c%d")) ] in
+  Database.set_relation (Database.create schema) "ans" r
+
+let test_certain_object_example () =
+  (* D = {R(1,⊥0), R(⊥1,2)}, Q = π0(R) ∪ π1(R): the object keeps
+     informative nulls that cert∩ must drop *)
+  let db =
+    Database.of_list test_schema
+      [ ("R", [ tup [ i 1; nu 0 ]; tup [ nu 1; i 2 ] ]) ]
+  in
+  let q =
+    Algebra.Union
+      (Algebra.Project ([ 0 ], Rel "R"), Algebra.Project ([ 1 ], Rel "R"))
+  in
+  let obj = Certainty.certain_object_ucq db q in
+  Alcotest.(check bool) "keeps constants" true
+    (Relation.mem (tup [ i 1 ]) obj && Relation.mem (tup [ i 2 ]) obj);
+  (* the two nulls fold into the constants? no: a unary table with
+     {1, 2, ⊥0, ⊥1} retracts nulls onto constants, so the core is just
+     {1, 2} — the nulls here carry no extra information *)
+  Alcotest.(check int) "core folds uninformative nulls" 2
+    (Relation.cardinal obj);
+  (* whereas with no constant at all the null is the information *)
+  let db2 = Database.of_list test_schema [ ("T", [ tup [ nu 0 ] ]) ] in
+  check_rel "lone null survives" (rel 1 [ [ nu 0 ] ])
+    (Certainty.certain_object_ucq db2 (Rel "T"))
+
+(* the object is a lower bound in the information order: it maps
+   homomorphically (constants fixed) into the answer of every world *)
+let prop_certain_object_lower_bound =
+  QCheck2.Test.make ~count:50
+    ~name:"Prop 3.6(b): certO maps into every world's answer"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_query ~positive:true ()))
+    (fun (db, q) ->
+      let obj = Certainty.certain_object_ucq db q in
+      let worlds =
+        Certainty.canonical_worlds ~query_consts:(Algebra.consts q) db
+      in
+      List.for_all
+        (fun (_, world) ->
+          Homomorphism.exists ~from_:(answer_db obj)
+            ~to_:(answer_db (Eval.run world q))
+            ())
+        worlds)
+
+(* the object is hom-equivalent to the naive answer (it is its core) *)
+let prop_certain_object_equivalent =
+  QCheck2.Test.make ~count:50 ~name:"certO is the core of the naive answer"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_query ~positive:true ()))
+    (fun (db, q) ->
+      let obj = Certainty.certain_object_ucq db q in
+      let naive = Naive.run db q in
+      Homomorphism.hom_equivalent (answer_db obj) (answer_db naive)
+      && Relation.cardinal obj <= Relation.cardinal naive)
+
+(* ------------------------------------------------------------------ *)
+(* Naive evaluation (Theorem 4.4)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* UCQs: naive evaluation computes cert⊥ under CWA *)
+let prop_naive_exact_for_ucq =
+  QCheck2.Test.make ~count:200 ~name:"Thm 4.4: naive = cert⊥ for UCQs"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_query ~positive:true ()))
+    (fun (db, q) ->
+      Relation.equal (Naive.run db q) (Certainty.cert_with_nulls_ra db q))
+
+(* Pos∀G (division) queries: naive evaluation computes cert⊥ under CWA *)
+let prop_naive_exact_for_division =
+  QCheck2.Test.make ~count:60
+    ~name:"Thm 4.4: naive = cert⊥ for Pos∀G (division)"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(
+      pair (gen_db ~max_size:3 ())
+        (gen_query ~positive:true ~allow_division:true ()))
+    (fun (db, q) ->
+      if not (Classes.is_pos_forall_g q) then QCheck2.assume_fail ()
+      else
+        Relation.equal (Naive.run db q) (Certainty.cert_with_nulls_ra db q))
+
+let test_division_example () =
+  (* employees on all projects, with a null project reference *)
+  let schema =
+    Schema.of_list [ ("works", [ "emp"; "proj" ]); ("proj", [ "p" ]) ]
+  in
+  let db =
+    Database.of_list schema
+      [ ("works",
+         [ tup [ s "ann"; i 1 ]; tup [ s "ann"; i 2 ]; tup [ s "bob"; nu 0 ] ]);
+        ("proj", [ tup [ i 1 ]; tup [ i 2 ] ]) ]
+  in
+  let q = Algebra.Division (Rel "works", Rel "proj") in
+  let naive = Naive.run db q in
+  let cert =
+    Certainty.cert_with_nulls ~run:(fun d -> Eval.run d q) ~query_consts:[] db
+  in
+  check_rel "Pos∀G: naive equals cert⊥" cert naive;
+  check_rel "only ann is certain" (rel 1 [ [ s "ann" ] ]) naive
+
+(* naive evaluation restricted to null-free tuples = cert∩ for UCQs
+   (Theorem 4.1) *)
+let prop_naive_nullfree_is_cert_cap =
+  QCheck2.Test.make ~count:80
+    ~name:"Thm 4.1: null-free naive answers = cert∩ for UCQs"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_query ~positive:true ()))
+    (fun (db, q) ->
+      let naive_nullfree =
+        Relation.filter Tuple.is_complete (Naive.run db q)
+      in
+      Relation.equal naive_nullfree (Certainty.cert_intersection_ra db q))
+
+(* ------------------------------------------------------------------ *)
+(* The approximation schemes of Figure 2                               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_scheme_inputs =
+  QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_query ~allow_tests:false ()))
+
+(* Theorem 4.7: Q⁺(D) ⊆ cert⊥(Q, D) *)
+let prop_plus_sound =
+  QCheck2.Test.make ~count:250 ~name:"Thm 4.7: Q⁺ ⊆ cert⊥"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    gen_scheme_inputs
+    (fun (db, q) ->
+      Relation.subset (Scheme_pm.certain_sub db q)
+        (Certainty.cert_with_nulls_ra db q))
+
+(* Theorem 4.7, sandwich property (5): v(Q⁺(D)) ⊆ Q(v(D)) ⊆ v(Q?(D)) *)
+let prop_sandwich =
+  QCheck2.Test.make ~count:150 ~name:"Thm 4.7: v(Q⁺) ⊆ Q(v(D)) ⊆ v(Q?)"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    gen_scheme_inputs
+    (fun (db, q) ->
+      let plus = Scheme_pm.certain_sub db q in
+      let maybe = Scheme_pm.possible_sup db q in
+      let worlds = Certainty.canonical_worlds ~query_consts:(Algebra.consts q) db in
+      List.for_all
+        (fun (v, world) ->
+          let answer = Eval.run world q in
+          Relation.subset (Valuation.apply_relation v plus) answer
+          && Relation.subset answer (Valuation.apply_relation v maybe))
+        worlds)
+
+(* Theorem 4.6: Qᵗ(D) ⊆ cert⊥(Q, D) *)
+let prop_t_sound =
+  QCheck2.Test.make ~count:60 ~name:"Thm 4.6: Qᵗ ⊆ cert⊥"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      Relation.subset (Scheme_tf.certain_sub db q)
+        (Certainty.cert_with_nulls_ra db q))
+
+(* Theorem 4.6: Qᶠ(D) contains only certainly-false tuples *)
+let prop_f_sound =
+  QCheck2.Test.make ~count:40 ~name:"Thm 4.6: Qᶠ tuples are never answers"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      let cf = Scheme_tf.certainly_false db q in
+      let worlds = Certainty.canonical_worlds ~query_consts:(Algebra.consts q) db in
+      List.for_all
+        (fun (v, world) ->
+          let answer = Eval.run world q in
+          Relation.for_all
+            (fun t -> not (Relation.mem (Valuation.apply_tuple v t) answer))
+            cf)
+        worlds)
+
+(* on complete databases Qᵗ and Q⁺ coincide with Q *)
+let prop_complete_db_no_loss =
+  QCheck2.Test.make ~count:80
+    ~name:"Thm 4.6/4.7: Qᵗ = Q⁺ = Q on complete databases"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(
+      pair (gen_db ~null_rate:0.0 ~max_size:3 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      let reference = Eval.run db q in
+      Relation.equal (Scheme_pm.certain_sub db q) reference
+      && Relation.equal (Scheme_tf.certain_sub db q) reference)
+
+(* the two schemes are incomparable in general, but both are sound; on
+   our generator Q⁺ never misses an answer that Qᵗ surely finds for
+   difference-free queries (they coincide there) *)
+let prop_schemes_coincide_without_difference =
+  QCheck2.Test.make ~count:60
+    ~name:"Qᵗ = Q⁺ on difference-free queries"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_query ~positive:true ()))
+    (fun (db, q) ->
+      Relation.equal (Scheme_tf.certain_sub db q) (Scheme_pm.certain_sub db q))
+
+let test_scheme_pm_unpaid_orders () =
+  (* Figure 1 with the payment for o2 nulled: unpaid orders *)
+  let schema =
+    Schema.of_list [ ("orders", [ "oid" ]); ("payments", [ "poid" ]) ]
+  in
+  let db =
+    Database.of_list schema
+      [ ("orders", [ tup [ s "o1" ]; tup [ s "o2" ]; tup [ s "o3" ] ]);
+        ("payments", [ tup [ s "o1" ]; tup [ nu 0 ] ]) ]
+  in
+  let q = Algebra.Diff (Rel "orders", Rel "payments") in
+  (* no order is certainly unpaid: the null may be o2 or o3 *)
+  check_rel "Q⁺ empty" (rel 1 []) (Scheme_pm.certain_sub db q);
+  check_rel "cert⊥ empty" (rel 1 [])
+    (Certainty.cert_with_nulls_ra db q);
+  (* o2 and o3 are possible answers; o1 is paid in every world *)
+  check_rel "Q? has o2 and o3"
+    (rel 1 [ [ s "o2" ]; [ s "o3" ] ])
+    (Scheme_pm.possible_sup db q)
+
+(* ------------------------------------------------------------------ *)
+(* Bag-semantics bounds (Theorem 4.8)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let prop_bag_bounds =
+  QCheck2.Test.make ~count:60
+    ~name:"Thm 4.8: #(ā,Q⁺) ≤ □Q ≤ #(ā,Q?) under bags"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      let lower = Bag_bounds.lower_bound db q in
+      let upper = Bag_bounds.upper_bound db q in
+      (* candidate tuples: everything in the upper bound's support plus
+         everything naive evaluation returns *)
+      let candidates =
+        Relation.union (Bag_relation.support upper) (Naive.run db q)
+      in
+      Relation.for_all
+        (fun t ->
+          let box = Bag_bounds.box db q t in
+          Bag_relation.multiplicity t lower <= box
+          && box <= Bag_relation.multiplicity t upper)
+        candidates)
+
+let test_bag_box_diamond_example () =
+  (* T = {1, 1-as-two-copies? } — multiplicities through difference:
+     T has {1×1, ⊥×1}; Q = T − U with U = {1×1}.
+     If ⊥ ↦ 1: T becomes {1×2}, minus {1×1} leaves multiplicity 1.
+     Otherwise: {1×1, c×1} minus {1×1} leaves multiplicity 0 for 1. *)
+  let db =
+    Database.of_list test_schema
+      [ ("T", [ tup [ i 1 ]; tup [ nu 0 ] ]); ("U", [ tup [ i 1 ] ]) ]
+  in
+  let q = Algebra.Diff (Rel "T", Rel "U") in
+  Alcotest.(check int) "□ = 0" 0 (Bag_bounds.box db q (tup [ i 1 ]));
+  Alcotest.(check int) "◇ = 1" 1 (Bag_bounds.diamond db q (tup [ i 1 ]));
+  (* the null tuple: in the ⊥↦1 world, multiplicity of 1 is 1 > 0;
+     in others v(⊥) is present once *)
+  Alcotest.(check int) "□(⊥) = 1" 1 (Bag_bounds.box db q (tup [ nu 0 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Query classes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_classes () =
+  let open Algebra in
+  let pos = Union (Rel "T", Project ([ 0 ], Rel "R")) in
+  Alcotest.(check bool) "positive" true (Classes.is_positive pos);
+  Alcotest.(check bool) "diff not positive" false
+    (Classes.is_positive (Diff (Rel "T", Rel "U")));
+  Alcotest.(check bool) "neq not positive" false
+    (Classes.is_positive (Select (Condition.neq_col 0 1, Rel "R")));
+  Alcotest.(check bool) "division in Pos∀G" true
+    (Classes.is_pos_forall_g (Division (Rel "R", Rel "T")));
+  Alcotest.(check bool) "division not positive" false
+    (Classes.is_positive (Division (Rel "R", Rel "T")))
+
+let prop_division_expansion_equiv =
+  QCheck2.Test.make ~count:80 ~name:"expand_division preserves semantics"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(
+      pair (gen_db ~max_size:3 ()) (gen_query ~allow_division:true ()))
+    (fun (db, q) ->
+      let expanded = Classes.expand_division test_schema q in
+      Relation.equal (Eval.run db q) (Eval.run db expanded))
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "certain"
+    [ ( "exact",
+        [ Alcotest.test_case "cert⊥ keeps nulls" `Quick
+            test_cert_with_nulls_keeps_null;
+          Alcotest.test_case "difference example" `Quick
+            test_cert_difference_empty;
+          Alcotest.test_case "tautology disjunction" `Quick
+            test_cert_tautology_disjunction;
+          Alcotest.test_case "boolean certainty" `Quick test_certain_boolean ] );
+      ( "object",
+        [ Alcotest.test_case "certain-answer object" `Quick
+            test_certain_object_example ] );
+      qsuite "object-props"
+        [ prop_certain_object_lower_bound; prop_certain_object_equivalent ];
+      qsuite "exact-props"
+        [ prop_cert_intersection_consistent; prop_cert_subset_naive;
+          prop_cert_brute_force ];
+      ( "naive",
+        [ Alcotest.test_case "division example" `Quick test_division_example ] );
+      qsuite "naive-props"
+        [ prop_naive_exact_for_ucq; prop_naive_exact_for_division;
+          prop_naive_nullfree_is_cert_cap ];
+      ( "schemes",
+        [ Alcotest.test_case "unpaid orders" `Quick test_scheme_pm_unpaid_orders
+        ] );
+      qsuite "scheme-props"
+        [ prop_plus_sound; prop_sandwich; prop_t_sound; prop_f_sound;
+          prop_complete_db_no_loss; prop_schemes_coincide_without_difference ];
+      ( "bags",
+        [ Alcotest.test_case "box diamond example" `Quick
+            test_bag_box_diamond_example ] );
+      qsuite "bag-props" [ prop_bag_bounds ];
+      ( "classes", [ Alcotest.test_case "recognisers" `Quick test_classes ] );
+      qsuite "class-props" [ prop_division_expansion_equiv ] ]

@@ -1,0 +1,387 @@
+(* Tests for conditional tables: condition grounding and simplification,
+   exactness of symbolic conditional evaluation (c-tables are a strong
+   representation system), and the four approximation strategies of
+   [36] with their correctness guarantees (Theorem 4.9). *)
+
+open Incdb_relational
+open Incdb_ctables
+open Helpers
+
+let c = Value.Const (Value.Int 7)
+
+(* ------------------------------------------------------------------ *)
+(* Conditions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let kleene_tc : Incdb_logic.Kleene.t Alcotest.testable =
+  Alcotest.testable Incdb_logic.Kleene.pp Incdb_logic.Kleene.equal
+
+let test_ground () =
+  let open Cond in
+  let open Incdb_logic.Kleene in
+  Alcotest.check kleene_tc "same null" T (ground (Eq (nu 0, nu 0)));
+  Alcotest.check kleene_tc "distinct nulls" U (ground (Eq (nu 0, nu 1)));
+  Alcotest.check kleene_tc "null vs const" U (ground (Eq (nu 0, c)));
+  Alcotest.check kleene_tc "consts" F (ground (Eq (i 1, i 2)));
+  Alcotest.check kleene_tc "neq same null" F (ground (Neq (nu 0, nu 0)));
+  Alcotest.check kleene_tc "and with f" F
+    (ground (And (Eq (nu 0, c), Eq (i 1, i 2))));
+  Alcotest.check kleene_tc "or with t" T
+    (ground (Or (Eq (nu 0, c), Eq (i 1, i 1))))
+
+let test_simplify_tautology () =
+  let open Cond in
+  (* ⊥ = 7 ∨ ⊥ ≠ 7 is a tautology even though neither atom grounds *)
+  let taut = Or (Eq (nu 0, c), Neq (nu 0, c)) in
+  Alcotest.(check bool) "tautology detected" true (simplify taut = True);
+  let contradiction = And (Eq (nu 0, c), Neq (nu 0, c)) in
+  Alcotest.(check bool) "contradiction detected" true
+    (simplify contradiction = False);
+  (* double negation and De Morgan normalisation (operands are oriented
+     canonically, constants before nulls) *)
+  let nn = Not (Not (Eq (nu 0, c))) in
+  Alcotest.(check bool) "¬¬ removed" true
+    (simplify nn = simplify (Eq (nu 0, c)))
+
+let test_forced_equalities () =
+  let open Cond in
+  (* the paper's example: ⊥1 = c ∧ ⊥1 = ⊥2 forces ⊥2 ↦ c *)
+  let cond = And (Eq (nu 1, c), Eq (nu 1, nu 2)) in
+  let subst = forced_equalities cond in
+  let t = substitute_tuple subst (tup [ nu 2 ]) in
+  Alcotest.check tuple_tc "⊥2 becomes c" (tup [ Value.Const (Value.Int 7) ]) t;
+  (* equalities under ∨ or ¬ are not forced *)
+  let weak = Or (Eq (nu 1, c), Eq (nu 2, c)) in
+  Alcotest.(check bool) "disjunctive equalities not forced" true
+    (forced_equalities weak = [])
+
+(* simplify preserves the two-valued truth under every valuation *)
+let gen_cond : Cond.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let value = gen_value ~null_rate:0.5 in
+  let atom =
+    oneof
+      [ map2 (fun x y -> Cond.Eq (x, y)) value value;
+        map2 (fun x y -> Cond.Neq (x, y)) value value ]
+  in
+  sized_size (int_range 0 3)
+    (fix (fun self n ->
+         if n = 0 then atom
+         else
+           oneof
+             [ atom;
+               map2 (fun a b -> Cond.And (a, b)) (self (n - 1)) (self (n - 1));
+               map2 (fun a b -> Cond.Or (a, b)) (self (n - 1)) (self (n - 1));
+               map (fun a -> Cond.Not a) (self (n - 1)) ]))
+
+let prop_simplify_sound =
+  QCheck2.Test.make ~count:300 ~name:"simplify preserves truth"
+    gen_cond
+    (fun cond ->
+      let nulls = Cond.nulls cond in
+      let range = [ Value.Int 0; Value.Int 1; Value.Int 7 ] in
+      let simplified = Cond.simplify cond in
+      List.for_all
+        (fun v -> Cond.eval v cond = Cond.eval v simplified)
+        (Valuation.enumerate ~nulls ~range))
+
+(* grounding is sound: a t/f verdict holds under every valuation *)
+let prop_ground_sound =
+  QCheck2.Test.make ~count:300 ~name:"grounding is sound"
+    gen_cond
+    (fun cond ->
+      let nulls = Cond.nulls cond in
+      let range = [ Value.Int 0; Value.Int 1; Value.Int 7; Value.Gen 5 ] in
+      let vals = Valuation.enumerate ~nulls ~range in
+      match Cond.ground cond with
+      | Incdb_logic.Kleene.T -> List.for_all (fun v -> Cond.eval v cond) vals
+      | Incdb_logic.Kleene.F ->
+        List.for_all (fun v -> not (Cond.eval v cond)) vals
+      | Incdb_logic.Kleene.U -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic conditional evaluation is exact                            *)
+(* ------------------------------------------------------------------ *)
+
+let prop_symbolic_exact =
+  QCheck2.Test.make ~count:60
+    ~name:"c-tables are a strong representation system"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      let ct = Incdb_ctables.Ceval.eval_symbolic db q in
+      let worlds =
+        Incdb_certain.Certainty.canonical_worlds
+          ~query_consts:(Incdb_relational.Algebra.consts q) db
+      in
+      List.for_all
+        (fun (v, world) ->
+          Relation.equal
+            (Ctable.answer_in_world v ct)
+            (Eval.run world q))
+        worlds)
+
+(* ------------------------------------------------------------------ *)
+(* The four strategies                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let strategies = Ceval.all_strategies
+
+(* Theorem 4.9: every strategy has correctness guarantees *)
+let prop_strategies_sound =
+  QCheck2.Test.make ~count:60
+    ~name:"Thm 4.9: Eval⋆ₜ ⊆ cert⊥ for all strategies"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      List.for_all
+        (fun strategy ->
+          let certain = Ceval.certain strategy db q in
+          (* a certain c-tuple may have been rewritten by equality
+             propagation, so check the defining property directly:
+             v(t) ∈ Q(v(D)) in every canonical world *)
+          let worlds =
+            Incdb_certain.Certainty.canonical_worlds
+              ~query_consts:(Incdb_relational.Algebra.consts q) db
+          in
+          Relation.for_all
+            (fun t ->
+              List.for_all
+                (fun (v, world) ->
+                  Relation.mem (Valuation.apply_tuple v t) (Eval.run world q))
+                worlds)
+            certain)
+        strategies)
+
+(* possible answers over-approximate: every world answer is the image
+   of some possible c-tuple *)
+let prop_strategies_possible_complete =
+  QCheck2.Test.make ~count:60
+    ~name:"Eval⋆ₚ over-approximates in every world"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      List.for_all
+        (fun strategy ->
+          let possible = Ceval.possible strategy db q in
+          let worlds =
+            Incdb_certain.Certainty.canonical_worlds
+              ~query_consts:(Incdb_relational.Algebra.consts q) db
+          in
+          List.for_all
+            (fun (v, world) ->
+              Relation.subset (Eval.run world q)
+                (Valuation.apply_relation v possible))
+            worlds)
+        strategies)
+
+(* Theorem 4.9: the eager strategy coincides with the (Q⁺, Q?) scheme.
+   The theorem is stated for the paper's condition grammar (=, ≠): on
+   our order-comparison extension the eager strategy is strictly
+   smarter — it can decide ⊥ ≤ ⊥ (certainly true) and ⊥ < ⊥ (certainly
+   false) where the syntactic star-guards cannot — so the equality is
+   tested on order-free conditions only. *)
+let rec condition_order_free = function
+  | Condition.True | Condition.False | Condition.Is_const _
+  | Condition.Is_null _ | Condition.Eq _ | Condition.Neq _ ->
+    true
+  | Condition.Lt _ | Condition.Le _ -> false
+  | Condition.And (a, b) | Condition.Or (a, b) ->
+    condition_order_free a && condition_order_free b
+
+let rec query_order_free = function
+  | Algebra.Rel _ | Algebra.Lit _ | Algebra.Dom _ -> true
+  | Algebra.Select (c, q) -> condition_order_free c && query_order_free q
+  | Algebra.Project (_, q) -> query_order_free q
+  | Algebra.Product (a, b) | Algebra.Union (a, b) | Algebra.Inter (a, b)
+  | Algebra.Diff (a, b) | Algebra.Division (a, b)
+  | Algebra.Anti_unify_join (a, b) ->
+    query_order_free a && query_order_free b
+
+let prop_eager_is_scheme_pm =
+  QCheck2.Test.make ~count:80
+    ~name:"Thm 4.9: Evalᵉₜ = Q⁺ and Evalᵉₚ = Q? (order-free grammar)"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      if not (query_order_free q) then true
+      else
+      Relation.equal
+        (Ceval.certain Ceval.Eager db q)
+        (Incdb_certain.Scheme_pm.certain_sub db q)
+      && Relation.equal
+           (Ceval.possible Ceval.Eager db q)
+           (Incdb_certain.Scheme_pm.possible_sup db q))
+
+(* with order atoms the eager strategy refines (Q⁺, Q?): its certain
+   answers contain Q⁺'s and its possible answers are within Q?'s *)
+let prop_eager_refines_scheme_with_order =
+  QCheck2.Test.make ~count:60
+    ~name:"order atoms: Q⁺ ⊆ Evalᵉₜ and Evalᵉₚ ⊆ Q?"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      Relation.subset
+        (Incdb_certain.Scheme_pm.certain_sub db q)
+        (Ceval.certain Ceval.Eager db q)
+      && Relation.subset
+           (Ceval.possible Ceval.Eager db q)
+           (Incdb_certain.Scheme_pm.possible_sup db q))
+
+(* the aware strategy subsumes the eager strategy's certain answers *)
+let prop_aware_subsumes_eager =
+  QCheck2.Test.make ~count:60 ~name:"Evalᵃₜ ⊇ Evalᵉₜ"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      Relation.subset
+        (Ceval.certain Ceval.Eager db q)
+        (Ceval.certain Ceval.Aware db q))
+
+(* distinguishing example 1: semi-eager propagates equalities where
+   eager does not — the paper's ⟨⊥2, ⊥1=c ∧ ⊥1=⊥2⟩ vs ⟨c, u⟩ *)
+let test_semi_eager_propagates () =
+  let db =
+    Database.of_list test_schema
+      [ ("T", [ tup [ nu 2 ] ]); ("U", [ tup [ nu 1 ] ]) ]
+  in
+  (* (T ∩ U) ∩ {7}: conditions ⊥2 = ⊥1 and ⊥2 = 7 on tuple ⟨⊥2⟩ *)
+  let q =
+    Algebra.Inter
+      (Algebra.Inter (Algebra.Rel "T", Algebra.Rel "U"),
+       Algebra.Lit (1, [ tup [ i 7 ] ]))
+  in
+  let eager = Ceval.possible Ceval.Eager db q in
+  let semi = Ceval.possible Ceval.Semi_eager db q in
+  check_rel "eager keeps the null" (rel 1 [ [ nu 2 ] ]) eager;
+  check_rel "semi-eager reports the constant" (rel 1 [ [ i 7 ] ]) semi
+
+(* distinguishing example 2: only the aware strategy recognises the
+   tautology A = 2 ∨ A ≠ 2 (the intro's third query) *)
+let test_aware_recognises_tautology () =
+  let db = Database.of_list test_schema [ ("T", [ tup [ nu 0 ] ]) ] in
+  let q =
+    Algebra.Select
+      ( Condition.Or
+          (Condition.eq_const 0 (Value.Int 2),
+           Condition.neq_const 0 (Value.Int 2)),
+        Algebra.Rel "T" )
+  in
+  check_rel "eager finds nothing certain" (rel 1 [])
+    (Ceval.certain Ceval.Eager db q);
+  check_rel "lazy finds nothing certain" (rel 1 [])
+    (Ceval.certain Ceval.Lazy db q);
+  check_rel "aware finds the certain answer" (rel 1 [ [ nu 0 ] ])
+    (Ceval.certain Ceval.Aware db q);
+  (* and the exact certain answers agree with aware here *)
+  check_rel "matches cert⊥" (Incdb_certain.Certainty.cert_with_nulls_ra db q)
+    (Ceval.certain Ceval.Aware db q)
+
+
+(* ------------------------------------------------------------------ *)
+(* Conditional databases as inputs                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_cdb_world () =
+  let open Incdb_ctables in
+  (* a genuinely conditional fact: T(1) holds only when ⊥0 = 7 *)
+  let cdb =
+    Cdb.of_list test_schema
+      [ ("T",
+         [ { Ctable.tuple = tup [ i 1 ]; cond = Cond.Eq (nu 0, c) };
+           { Ctable.tuple = tup [ nu 0 ]; cond = Cond.True } ]) ]
+  in
+  let yes = Valuation.of_list [ (0, Value.Int 7) ] in
+  let no = Valuation.of_list [ (0, Value.Int 9) ] in
+  check_rel "world where the condition holds"
+    (rel 1 [ [ i 1 ]; [ i 7 ] ])
+    (Database.relation (Cdb.world yes cdb) "T");
+  check_rel "world where it fails" (rel 1 [ [ i 9 ] ])
+    (Database.relation (Cdb.world no cdb) "T")
+
+let test_cdb_eval_strategies () =
+  let open Incdb_ctables in
+  let cdb =
+    Cdb.of_list test_schema
+      [ ("T",
+         [ { Ctable.tuple = tup [ i 1 ]; cond = Cond.True };
+           { Ctable.tuple = tup [ i 2 ]; cond = Cond.Eq (nu 0, c) } ]) ]
+  in
+  let q = Algebra.Rel "T" in
+  let eager = Ctable.certain (Ceval.eval_cdb Ceval.Eager cdb q) in
+  check_rel "only the unconditional fact is certain" (rel 1 [ [ i 1 ] ]) eager;
+  let possible = Ctable.possible (Ceval.eval_cdb Ceval.Eager cdb q) in
+  check_rel "the conditional fact is possible" (rel 1 [ [ i 1 ]; [ i 2 ] ])
+    possible
+
+(* symbolic evaluation on conditional databases is exact: the result
+   c-table denotes Q of the instantiated database in every world *)
+let prop_cdb_symbolic_exact =
+  QCheck2.Test.make ~count:40
+    ~name:"symbolic eval on conditional databases is exact"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      let open Incdb_ctables in
+      (* make it genuinely conditional: attach ⊥9 = 7 to half the facts *)
+      let flag = ref false in
+      let cdb =
+        Cdb.of_list test_schema
+          (List.map
+             (fun (d : Schema.relation_decl) ->
+               ( d.name,
+                 List.map
+                   (fun t ->
+                     flag := not !flag;
+                     { Ctable.tuple = t;
+                       cond = (if !flag then Cond.Eq (nu 9, c) else Cond.True)
+                     })
+                   (Relation.to_list (Database.relation db d.name)) ))
+             (Schema.relations test_schema))
+      in
+      let ct = Ceval.eval_symbolic_cdb cdb q in
+      let nulls = Cdb.nulls cdb in
+      let consts =
+        List.sort_uniq Value.compare_const
+          (Cdb.consts cdb @ Algebra.consts q
+          @ [ Value.Int 7; Value.Gen 70; Value.Gen 71 ])
+      in
+      (* a small concrete sample of worlds *)
+      let vals = Valuation.enumerate_canonical ~nulls ~consts in
+      List.for_all
+        (fun v ->
+          Relation.equal
+            (Ctable.answer_in_world v ct)
+            (Eval.run (Cdb.world v cdb) q))
+        vals)
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "ctables"
+    [ ( "cond",
+        [ Alcotest.test_case "grounding" `Quick test_ground;
+          Alcotest.test_case "simplify tautologies" `Quick
+            test_simplify_tautology;
+          Alcotest.test_case "forced equalities" `Quick test_forced_equalities
+        ] );
+      qsuite "cond-props" [ prop_simplify_sound; prop_ground_sound ];
+      qsuite "symbolic" [ prop_symbolic_exact ];
+      ( "strategies",
+        [ Alcotest.test_case "semi-eager propagation" `Quick
+            test_semi_eager_propagates;
+          Alcotest.test_case "aware tautology" `Quick
+            test_aware_recognises_tautology ] );
+      ( "conditional-db",
+        [ Alcotest.test_case "worlds" `Quick test_cdb_world;
+          Alcotest.test_case "strategies on cdb" `Quick
+            test_cdb_eval_strategies ] );
+      qsuite "cdb-props" [ prop_cdb_symbolic_exact ];
+      qsuite "strategy-props"
+        [ prop_strategies_sound; prop_strategies_possible_complete;
+          prop_eager_is_scheme_pm; prop_eager_refines_scheme_with_order;
+          prop_aware_subsumes_eager ] ]

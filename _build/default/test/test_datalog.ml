@@ -1,0 +1,308 @@
+(* Tests for the Datalog substrate: validation, fixpoint evaluation
+   (with nulls as values), and the monotonicity argument — positive
+   Datalog's naive evaluation IS its certain answers (Theorem 4.3
+   lifted beyond first-order logic). *)
+
+open Incdb_relational
+open Incdb_datalog
+open Helpers
+
+let graph_schema = Schema.of_list [ ("edge", [ "src"; "dst" ]) ]
+
+let graph edges = Database.of_list graph_schema [ ("edge", List.map tup edges) ]
+
+let tc = Eval.transitive_closure ~edge:"edge" ~path:"path"
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_validate () =
+  let edb = [ ("edge", 2) ] in
+  let idb = Syntax.validate ~edb tc in
+  Alcotest.(check (list (pair string int))) "idb arities" [ ("path", 2) ] idb;
+  let unsafe =
+    [ Syntax.rule
+        (Syntax.atom "p" [ Syntax.Var "x"; Syntax.Var "y" ])
+        [ Syntax.atom "edge" [ Syntax.Var "x"; Syntax.Var "x" ] ] ]
+  in
+  (match Syntax.validate ~edb unsafe with
+   | _ -> Alcotest.fail "unsafe rule accepted"
+   | exception Syntax.Ill_formed _ -> ());
+  let redefines =
+    [ Syntax.rule (Syntax.atom "edge" [ Syntax.Var "x"; Syntax.Var "x" ]) [] ]
+  in
+  (match Syntax.validate ~edb redefines with
+   | _ -> Alcotest.fail "EDB redefinition accepted"
+   | exception Syntax.Ill_formed _ -> ());
+  let bad_arity =
+    [ Syntax.rule
+        (Syntax.atom "p" [ Syntax.Var "x" ])
+        [ Syntax.atom "edge" [ Syntax.Var "x" ] ] ]
+  in
+  (match Syntax.validate ~edb bad_arity with
+   | _ -> Alcotest.fail "arity mismatch accepted"
+   | exception Syntax.Ill_formed _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Fixpoint evaluation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_transitive_closure_complete () =
+  let db = graph [ [ i 1; i 2 ]; [ i 2; i 3 ]; [ i 3; i 4 ] ] in
+  let paths = Eval.run db tc "path" in
+  Alcotest.(check int) "6 paths" 6 (Relation.cardinal paths);
+  Alcotest.(check bool) "1 reaches 4" true (Relation.mem (tup [ i 1; i 4 ]) paths);
+  Alcotest.(check bool) "no back edge" false
+    (Relation.mem (tup [ i 4; i 1 ]) paths)
+
+let test_transitive_closure_cycle () =
+  (* a cycle must not loop the fixpoint *)
+  let db = graph [ [ i 1; i 2 ]; [ i 2; i 1 ] ] in
+  let paths = Eval.run db tc "path" in
+  Alcotest.(check int) "4 paths in a 2-cycle" 4 (Relation.cardinal paths)
+
+let test_tc_through_null () =
+  (* 1 → ⊥ → 2: the path 1→2 goes through the shared unknown and is
+     certain; naive evaluation finds it *)
+  let db = graph [ [ i 1; nu 0 ]; [ nu 0; i 2 ] ] in
+  let paths = Eval.run db tc "path" in
+  Alcotest.(check bool) "1 reaches 2 through the null" true
+    (Relation.mem (tup [ i 1; i 2 ]) paths);
+  (* and it is indeed certain *)
+  let certain = Eval.certain_exact db tc "path" in
+  Alcotest.(check bool) "certainly reachable" true
+    (Relation.mem (tup [ i 1; i 2 ]) certain)
+
+let test_facts_and_mutual_recursion () =
+  (* even/odd path lengths from a seeded fact *)
+  let program =
+    let x = Syntax.Var "x" and y = Syntax.Var "y" and z = Syntax.Var "z" in
+    [ Syntax.rule (Syntax.atom "even" [ Syntax.Val (Value.int 1); Syntax.Val (Value.int 1) ]) [];
+      Syntax.rule (Syntax.atom "odd" [ x; z ])
+        [ Syntax.atom "even" [ x; y ]; Syntax.atom "edge" [ y; z ] ];
+      Syntax.rule (Syntax.atom "even" [ x; z ])
+        [ Syntax.atom "odd" [ x; y ]; Syntax.atom "edge" [ y; z ] ] ]
+  in
+  let db = graph [ [ i 1; i 2 ]; [ i 2; i 1 ] ] in
+  let even = Eval.run db program "even" in
+  let odd = Eval.run db program "odd" in
+  Alcotest.(check bool) "even self" true (Relation.mem (tup [ i 1; i 1 ]) even);
+  Alcotest.(check bool) "odd step" true (Relation.mem (tup [ i 1; i 2 ]) odd);
+  Alcotest.(check bool) "even round trip" true
+    (Relation.mem (tup [ i 1; i 1 ]) even);
+  Alcotest.(check bool) "odd never self here" false
+    (Relation.mem (tup [ i 1; i 1 ]) odd)
+
+(* ------------------------------------------------------------------ *)
+(* Monotonicity: naive evaluation = certain answers                    *)
+(* ------------------------------------------------------------------ *)
+
+let gen_graph =
+  QCheck2.Gen.map
+    (fun r ->
+      Database.of_list graph_schema [ ("edge", Relation.to_list r) ])
+    (gen_relation ~null_rate:0.35 ~max_size:4 2)
+
+let prop_datalog_naive_is_certain =
+  QCheck2.Test.make ~count:60
+    ~name:"Thm 4.3 for Datalog: naive fixpoint = cert⊥"
+    ~print:db_print gen_graph
+    (fun db ->
+      if List.length (Database.nulls db) > 4 then true
+      else
+        Relation.equal (Eval.run db tc "path") (Eval.certain_exact db tc "path"))
+
+(* on complete graphs, datalog TC agrees with an iterated-algebra TC *)
+let prop_tc_agrees_with_algebra =
+  QCheck2.Test.make ~count:60 ~name:"TC agrees with iterated joins"
+    ~print:db_print
+    (QCheck2.Gen.map
+       (fun r -> Database.of_list graph_schema [ ("edge", Relation.to_list r) ])
+       (gen_relation ~null_rate:0.0 ~max_size:6 2))
+    (fun db ->
+      let edges = Database.relation db "edge" in
+      let step paths =
+        Relation.union paths
+          (Relation.project [ 0; 3 ]
+             (Relation.filter
+                (fun t -> Value.equal t.(1) t.(2))
+                (Relation.product paths edges)))
+      in
+      let rec fix paths =
+        let next = step paths in
+        if Relation.equal next paths then paths else fix next
+      in
+      Relation.equal (Eval.run db tc "path") (fix edges))
+
+
+(* ------------------------------------------------------------------ *)
+(* Concrete syntax                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_parser () =
+  let program =
+    Parser.parse
+      "% comment\npath(x, y) :- edge(x, y).\npath(x, z) :- edge(x, y),        path(y, z).\nseed(1, 'two').\nweird(_3, x) :- edge(x, x)."
+  in
+  Alcotest.(check int) "four clauses" 4 (List.length program);
+  (match program with
+   | { Syntax.head = { Syntax.pred = "path"; _ }; body = [ _ ] } :: _ -> ()
+   | _ -> Alcotest.fail "unexpected first clause");
+  (* the fact carries a string constant and the last rule a marked null *)
+  (match List.nth program 2 with
+   | { Syntax.head = { Syntax.args = [ Syntax.Val v1; Syntax.Val v2 ]; _ };
+       body = [] } ->
+     Alcotest.(check bool) "int" true (Value.equal v1 (i 1));
+     Alcotest.(check bool) "str" true (Value.equal v2 (s "two"))
+   | _ -> Alcotest.fail "expected a ground fact");
+  (match List.nth program 3 with
+   | { Syntax.head = { Syntax.args = Syntax.Val v :: _; _ }; _ } ->
+     Alcotest.(check bool) "marked null" true (Value.equal v (nu 3))
+   | _ -> Alcotest.fail "expected the null-headed rule");
+  let fails input =
+    match Parser.parse input with
+    | _ -> Alcotest.failf "accepted %s" input
+    | exception Parser.Parse_error _ -> ()
+  in
+  fails "path(x, y)";
+  fails "path(x,) :- edge(x, y).";
+  fails ":- edge(x, y).";
+  fails "path(x, y) :- ."
+
+let test_parse_and_run () =
+  let program =
+    Parser.parse "path(x,y) :- edge(x,y). path(x,z) :- edge(x,y), path(y,z)."
+  in
+  let db = graph [ [ i 1; nu 0 ]; [ nu 0; i 2 ] ] in
+  Alcotest.(check bool) "parsed program evaluates" true
+    (Relation.mem (tup [ i 1; i 2 ]) (Eval.run db program "path"))
+
+
+(* ------------------------------------------------------------------ *)
+(* Stratified negation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let unreachable_program =
+  (* path = TC(edge); unreachable(x,y) holds for node pairs with no path *)
+  let x = Syntax.Var "x" and y = Syntax.Var "y" and z = Syntax.Var "z" in
+  [ { Stratified.head = Syntax.atom "node" [ x ];
+      body = [ Stratified.Pos (Syntax.atom "edge" [ x; y ]) ] };
+    { Stratified.head = Syntax.atom "node" [ y ];
+      body = [ Stratified.Pos (Syntax.atom "edge" [ x; y ]) ] };
+    { Stratified.head = Syntax.atom "path" [ x; y ];
+      body = [ Stratified.Pos (Syntax.atom "edge" [ x; y ]) ] };
+    { Stratified.head = Syntax.atom "path" [ x; z ];
+      body =
+        [ Stratified.Pos (Syntax.atom "edge" [ x; y ]);
+          Stratified.Pos (Syntax.atom "path" [ y; z ]) ] };
+    { Stratified.head = Syntax.atom "unreachable" [ x; y ];
+      body =
+        [ Stratified.Pos (Syntax.atom "node" [ x ]);
+          Stratified.Pos (Syntax.atom "node" [ y ]);
+          Stratified.Neg (Syntax.atom "path" [ x; y ]) ] } ]
+
+let test_stratification () =
+  let edb = [ ("edge", 2) ] in
+  let strata = Stratified.stratify ~edb unreachable_program in
+  Alcotest.(check int) "path below unreachable" 0
+    (List.assoc "path" strata);
+  Alcotest.(check int) "unreachable above" 1
+    (List.assoc "unreachable" strata);
+  (* recursion through negation is rejected *)
+  let bad =
+    [ { Stratified.head = Syntax.atom "p" [ Syntax.Var "x" ];
+        body =
+          [ Stratified.Pos (Syntax.atom "edge" [ Syntax.Var "x"; Syntax.Var "x" ]);
+            Stratified.Neg (Syntax.atom "p" [ Syntax.Var "x" ]) ] } ]
+  in
+  (match Stratified.stratify ~edb bad with
+   | _ -> Alcotest.fail "non-stratifiable program accepted"
+   | exception Stratified.Ill_formed _ -> ());
+  (* unsafe negated variable *)
+  let unsafe =
+    [ { Stratified.head = Syntax.atom "p" [ Syntax.Var "x" ];
+        body =
+          [ Stratified.Pos (Syntax.atom "edge" [ Syntax.Var "x"; Syntax.Var "x" ]);
+            Stratified.Neg (Syntax.atom "edge" [ Syntax.Var "y"; Syntax.Var "y" ]) ] } ]
+  in
+  (match Stratified.stratify ~edb unsafe with
+   | _ -> Alcotest.fail "unsafe negation accepted"
+   | exception Stratified.Ill_formed _ -> ())
+
+let test_stratified_eval_complete () =
+  let db = graph [ [ i 1; i 2 ]; [ i 2; i 3 ] ] in
+  let un = Stratified.run db unreachable_program "unreachable" in
+  Alcotest.(check bool) "3 cannot reach 1" true
+    (Relation.mem (tup [ i 3; i 1 ]) un);
+  Alcotest.(check bool) "1 reaches 3" false
+    (Relation.mem (tup [ i 1; i 3 ]) un);
+  (* self pairs: no self loops here, so x unreachable from x *)
+  Alcotest.(check bool) "1 not self-reaching" true
+    (Relation.mem (tup [ i 1; i 1 ]) un)
+
+let test_stratified_negation_not_certain () =
+  (* 1 → ⊥: naive evaluation says 2 is unreachable from 1, but the
+     world ⊥ = 2 refutes it — negation breaks monotonicity, so the
+     stratified fixpoint is naive, not certain *)
+  let db = graph [ [ i 1; nu 0 ]; [ i 2; i 2 ] ] in
+  let naive = Stratified.run db unreachable_program "unreachable" in
+  Alcotest.(check bool) "naive claims unreachability" true
+    (Relation.mem (tup [ i 1; i 2 ]) naive);
+  let certain = Stratified.certain_exact db unreachable_program "unreachable" in
+  Alcotest.(check bool) "but it is not certain" false
+    (Relation.mem (tup [ i 1; i 2 ]) certain);
+  (* positive facts stay certain: the pair (2,2) has an edge *)
+  Alcotest.(check bool) "reachable pairs never in unreachable" false
+    (Relation.mem (tup [ i 2; i 2 ]) certain)
+
+(* on complete graphs, unreachable = node² − path, cross-checked in
+   algebra *)
+let prop_stratified_agrees_with_algebra =
+  QCheck2.Test.make ~count:40
+    ~name:"stratified negation = algebraic complement on complete graphs"
+    ~print:db_print
+    (QCheck2.Gen.map
+       (fun r -> Database.of_list graph_schema [ ("edge", Relation.to_list r) ])
+       (gen_relation ~null_rate:0.0 ~max_size:5 2))
+    (fun db ->
+      let un = Stratified.run db unreachable_program "unreachable" in
+      let paths = Eval.run db tc "path" in
+      let edges = Database.relation db "edge" in
+      let nodes =
+        Relation.union (Relation.project [ 0 ] edges)
+          (Relation.project [ 1 ] edges)
+      in
+      let expected = Relation.diff (Relation.product nodes nodes) paths in
+      if Relation.is_empty edges then Relation.is_empty un
+      else Relation.equal un expected)
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "datalog"
+    [ ( "syntax",
+        [ Alcotest.test_case "validation" `Quick test_validate;
+          Alcotest.test_case "parser" `Quick test_parser;
+          Alcotest.test_case "parse and run" `Quick test_parse_and_run ] );
+      ( "eval",
+        [ Alcotest.test_case "transitive closure" `Quick
+            test_transitive_closure_complete;
+          Alcotest.test_case "cycles terminate" `Quick
+            test_transitive_closure_cycle;
+          Alcotest.test_case "paths through nulls" `Quick test_tc_through_null;
+          Alcotest.test_case "facts and mutual recursion" `Quick
+            test_facts_and_mutual_recursion ] );
+      qsuite "certainty-props"
+        [ prop_datalog_naive_is_certain; prop_tc_agrees_with_algebra ];
+      ( "stratified",
+        [ Alcotest.test_case "stratification" `Quick test_stratification;
+          Alcotest.test_case "complement of TC" `Quick
+            test_stratified_eval_complete;
+          Alcotest.test_case "negation is not certain" `Quick
+            test_stratified_negation_not_certain ] );
+      qsuite "stratified-props" [ prop_stratified_agrees_with_algebra ] ]

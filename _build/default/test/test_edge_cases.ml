@@ -1,0 +1,188 @@
+(* Edge-case regression suite: empty databases, arity-0 (Boolean)
+   queries, self-comparisons on nulls, large labels, and pinned
+   regressions for bugs found during development (the bag-valuation
+   multiplicity merge, the duplicate-projection rule of Qᶠ, joint
+   unifiability in the capture translation). *)
+
+open Incdb_relational
+open Incdb_certain
+open Helpers
+
+let empty_db = Database.of_list test_schema []
+
+(* ------------------------------------------------------------------ *)
+(* Empty databases                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty_database () =
+  let q = Algebra.Diff (Rel "T", Rel "U") in
+  check_rel "eval" (rel 1 []) (Eval.run empty_db q);
+  check_rel "certain" (rel 1 []) (Certainty.cert_with_nulls_ra empty_db q);
+  check_rel "Q+" (rel 1 []) (Scheme_pm.certain_sub empty_db q);
+  check_rel "Q?" (rel 1 []) (Scheme_pm.possible_sup empty_db q);
+  check_rel "Qt" (rel 1 []) (Scheme_tf.certain_sub empty_db q);
+  Alcotest.(check (pair int int)) "count range" (0, 0)
+    (Aggregate.count_range empty_db q);
+  Alcotest.(check int) "no canonical worlds beyond one" 1
+    (List.length (Certainty.canonical_worlds ~query_consts:[] empty_db))
+
+let test_empty_relation_ops () =
+  let e = Relation.empty 2 in
+  Alcotest.(check bool) "division by empty of arity 0" true
+    (Relation.equal
+       (Relation.division e (Relation.empty 0))
+       (Relation.project [ 0; 1 ] e));
+  check_rel "anti-semijoin with empty right" e (Relation.anti_unify_semijoin e e)
+
+(* ------------------------------------------------------------------ *)
+(* Boolean (arity-0) queries                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_boolean_queries () =
+  let db =
+    Database.of_list test_schema
+      [ ("T", [ tup [ i 1 ] ]); ("U", [ tup [ nu 0 ] ]) ]
+  in
+  (* ∃x T(x): certainly true *)
+  let q_t = Algebra.Project ([], Rel "T") in
+  Alcotest.(check bool) "exists T certain" true
+    (Certainty.certain_boolean db q_t);
+  (* ∃x (T(x) − U(x)): true unless ⊥ = 1 *)
+  let q_diff = Algebra.Project ([], Algebra.Diff (Rel "T", Rel "U")) in
+  Alcotest.(check bool) "not certain" false
+    (Certainty.certain_boolean db q_diff);
+  Alcotest.(check bool) "but naively true" true (Naive.boolean db q_diff);
+  (* Boolean query through the schemes: Q+ of a 0-ary query *)
+  check_rel "Q+ boolean drops" (Relation.empty 0)
+    (Scheme_pm.certain_sub db q_diff);
+  check_rel "Q? boolean keeps" (Relation.of_list 0 [ Tuple.empty ])
+    (Scheme_pm.possible_sup db q_diff)
+
+(* ------------------------------------------------------------------ *)
+(* Null self-comparisons                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_null_self_comparisons () =
+  let db = Database.of_list test_schema [ ("R", [ tup [ nu 0; nu 0 ] ]) ] in
+  (* σ(#0 = #1) on (⊥,⊥): certainly kept — same mark *)
+  let q_eq = Algebra.Select (Condition.eq_col 0 1, Rel "R") in
+  check_rel "same mark certainly equal" (rel 2 [ [ nu 0; nu 0 ] ])
+    (Certainty.cert_with_nulls_ra db q_eq);
+  (* σ(#0 ≠ #1) on (⊥,⊥): certainly empty *)
+  let q_neq = Algebra.Select (Condition.neq_col 0 1, Rel "R") in
+  check_rel "same mark never unequal" (rel 2 [])
+    (Certainty.cert_with_nulls_ra db q_neq);
+  check_rel "Q? agrees" (rel 2 []) (Scheme_pm.possible_sup db q_neq);
+  (* σ(#0 < #1): never — and σ(#0 ≤ #1): always *)
+  let q_lt = Algebra.Select (Condition.Lt (Condition.Col 0, Condition.Col 1), Rel "R") in
+  check_rel "never strictly below itself" (rel 2 [])
+    (Certainty.cert_with_nulls_ra db q_lt);
+  let q_le = Algebra.Select (Condition.Le (Condition.Col 0, Condition.Col 1), Rel "R") in
+  check_rel "always at most itself" (rel 2 [ [ nu 0; nu 0 ] ])
+    (Certainty.cert_with_nulls_ra db q_le);
+  (* the aware c-table strategy also certifies the ≤ case, which the
+     syntactic star-guards of Q+ cannot *)
+  check_rel "eager certifies ≤ on the same mark" (rel 2 [ [ nu 0; nu 0 ] ])
+    (Incdb_ctables.Ceval.certain Incdb_ctables.Ceval.Eager db q_le);
+  check_rel "Q+ stays conservative" (rel 2 []) (Scheme_pm.certain_sub db q_le)
+
+(* ------------------------------------------------------------------ *)
+(* Large labels and invented constants                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_large_labels () =
+  let big = 1_000_000_007 in
+  let db = Database.of_list test_schema [ ("T", [ tup [ Value.null big ] ]) ] in
+  Alcotest.(check int) "fresh null above" (big + 1) (Database.fresh_null db);
+  check_rel "certain keeps the big label"
+    (rel 1 [ [ Value.null big ] ])
+    (Certainty.cert_with_nulls_ra db (Rel "T"))
+
+let test_gen_constants_are_distinct () =
+  (* invented constants must not collide with user data *)
+  Alcotest.(check bool) "Gen vs Int" false
+    (Value.equal (Value.Const (Value.Gen 0)) (i 0));
+  Alcotest.(check bool) "Gen vs Str" false
+    (Value.equal (Value.Const (Value.Gen 0)) (s "@0"))
+
+(* ------------------------------------------------------------------ *)
+(* Pinned regressions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* the Qᶠ projection rule needs duplicate-free projections; π[0,0] over
+   a difference was translated incompletely before dedup_projections *)
+let test_duplicate_projection_qt () =
+  let db = Database.of_list test_schema [ ("R", [ tup [ i 1; i 0 ] ]) ] in
+  let q =
+    Algebra.Project
+      ( [ 0 ],
+        Algebra.Diff
+          ( Algebra.Select (Condition.True, Rel "R"),
+            Algebra.Project ([ 0; 0 ], Rel "R") ) )
+  in
+  (* complete database: Qt must equal Q *)
+  check_rel "Qt complete-db equality with duplicated projection"
+    (Eval.run db q) (Scheme_tf.certain_sub db q)
+
+(* bag valuations must merge multiplicities before evaluation *)
+let test_bag_merge_regression () =
+  let db =
+    Database.of_list test_schema
+      [ ("T", [ tup [ i 1 ]; tup [ nu 0 ] ]); ("U", [ tup [ i 1 ] ]) ]
+  in
+  let q = Algebra.Diff (Rel "T", Rel "U") in
+  Alcotest.(check int) "diamond sees the merged world" 1
+    (Bag_bounds.diamond db q (tup [ i 1 ]))
+
+(* joint unifiability in the capture translation: (⊥,⊥) vs (0,1) *)
+let test_capture_joint_unifiability () =
+  let db =
+    Database.of_list test_schema
+      [ ("S", [ tup [ i 0; i 1 ] ]); ("U", [ tup [ nu 0 ] ]) ]
+  in
+  let phi =
+    Incdb_logic.Fo.Atom ("S", [ Incdb_logic.Fo.Var "x"; Incdb_logic.Fo.Var "x" ])
+  in
+  let env = [ ("x", nu 0) ] in
+  (* (⊥,⊥) cannot unify with (0,1): certainly false under Unif *)
+  Alcotest.(check string) "unif says f" "f"
+    (Incdb_logic.Kleene.to_string
+       (Incdb_logic.Semantics.eval Incdb_logic.Semantics.all_unif db env phi));
+  let psi =
+    Incdb_logic.Capture.truth_formula Incdb_logic.Semantics.all_unif phi
+      Incdb_logic.Kleene.F
+  in
+  Alcotest.(check bool) "capture agrees" true
+    (Incdb_logic.Semantics.eval_bool db env psi)
+
+(* CSV: fresh NULL labels must not collide with later explicit marks *)
+let test_csv_label_collision_regression () =
+  let next = ref 0 in
+  let _, r =
+    Csv_io.relation_of_string ~next_null:next "a\nNULL\n_0\n"
+  in
+  Alcotest.(check int) "two distinct nulls" 2 (List.length (Relation.nulls r))
+
+let () =
+  Alcotest.run "edge-cases"
+    [ ( "empty",
+        [ Alcotest.test_case "empty database" `Quick test_empty_database;
+          Alcotest.test_case "empty relation ops" `Quick
+            test_empty_relation_ops ] );
+      ( "boolean",
+        [ Alcotest.test_case "arity-0 queries" `Quick test_boolean_queries ] );
+      ( "null-self",
+        [ Alcotest.test_case "self comparisons" `Quick
+            test_null_self_comparisons ] );
+      ( "labels",
+        [ Alcotest.test_case "large labels" `Quick test_large_labels;
+          Alcotest.test_case "gen constants" `Quick
+            test_gen_constants_are_distinct ] );
+      ( "regressions",
+        [ Alcotest.test_case "duplicate projection Qt" `Quick
+            test_duplicate_projection_qt;
+          Alcotest.test_case "bag merge" `Quick test_bag_merge_regression;
+          Alcotest.test_case "capture joint unifiability" `Quick
+            test_capture_joint_unifiability;
+          Alcotest.test_case "csv label collision" `Quick
+            test_csv_label_collision_regression ] ) ]

@@ -1,0 +1,418 @@
+(* Tests for the extension modules: Codd nulls and the codd
+   transformation (Section 6), the query optimizer, CSV import/export,
+   the FO ↔ algebra bridge, open-world reasoning (Theorems 4.3/4.4
+   under OWA), and the Pos∀G recogniser on formulas. *)
+
+open Incdb_relational
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Codd nulls                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_coddify () =
+  let db =
+    Database.of_list test_schema
+      [ ("R", [ tup [ nu 0; nu 0 ]; tup [ i 1; nu 1 ] ]) ]
+  in
+  Alcotest.(check bool) "not codd before" false (Codd.is_codd db);
+  let codded = Codd.coddify db in
+  Alcotest.(check bool) "codd after" true (Codd.is_codd codded);
+  Alcotest.(check int) "3 null occurrences => 3 labels" 3
+    (List.length (Database.nulls codded));
+  Alcotest.(check int) "same size" (Database.size db) (Database.size codded)
+
+let test_equal_up_to_renaming () =
+  let r1 = rel 2 [ [ nu 0; nu 1 ]; [ nu 0; i 3 ] ] in
+  let r2 = rel 2 [ [ nu 7; nu 5 ]; [ nu 7; i 3 ] ] in
+  Alcotest.(check bool) "isomorphic" true (Codd.equal_up_to_renaming r1 r2);
+  (* breaking the sharing pattern breaks the isomorphism *)
+  let r3 = rel 2 [ [ nu 7; nu 5 ]; [ nu 8; i 3 ] ] in
+  Alcotest.(check bool) "pattern differs" false
+    (Codd.equal_up_to_renaming r1 r3);
+  (* constants are rigid *)
+  let r4 = rel 2 [ [ nu 7; nu 5 ]; [ nu 7; i 4 ] ] in
+  Alcotest.(check bool) "constants rigid" false
+    (Codd.equal_up_to_renaming r1 r4)
+
+let test_codd_invariance () =
+  let db =
+    Database.of_list test_schema [ ("R", [ tup [ nu 0; nu 0 ] ]) ]
+  in
+  (* a projection only copies the nulls: invariant *)
+  Alcotest.(check bool) "projection invariant" true
+    (Codd.invariant_on db (Algebra.Project ([ 0 ], Algebra.Rel "R")));
+  (* σ(A = B) distinguishes repeated marks from Codd nulls *)
+  Alcotest.(check bool) "self-join selection not invariant" false
+    (Codd.invariant_on db (Algebra.Select (Condition.eq_col 0 1, Algebra.Rel "R")))
+
+let prop_coddify_is_codd =
+  QCheck2.Test.make ~count:100 ~name:"coddify always yields Codd databases"
+    ~print:db_print (gen_db ())
+    (fun db -> Codd.is_codd (Codd.coddify db))
+
+(* on an already-Codd database, queries that never duplicate a null
+   occurrence — no Cartesian product, no repeated projection indices —
+   are Codd-invariant: coddifying answers is a mere renaming.  Products
+   of overlapping subqueries (T × T) and duplicating projections
+   (π[0,0]) genuinely break invariance, which is the paper's point
+   about the class not being syntactic. *)
+let rec no_null_duplication = function
+  | Algebra.Rel _ | Algebra.Lit _ | Algebra.Dom _ -> true
+  | Algebra.Select (_, q) -> no_null_duplication q
+  | Algebra.Project (idxs, q) ->
+    List.length idxs = List.length (List.sort_uniq Int.compare idxs)
+    && no_null_duplication q
+  | Algebra.Product _ -> false
+  | Algebra.Union (a, b) | Algebra.Inter (a, b) | Algebra.Diff (a, b)
+  | Algebra.Division (a, b) | Algebra.Anti_unify_join (a, b) ->
+    no_null_duplication a && no_null_duplication b
+
+let prop_codd_invariant_without_duplication =
+  QCheck2.Test.make ~count:120
+    ~name:"Codd databases + duplication-free queries are invariant"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ()) (gen_query ()))
+    (fun (db, q) ->
+      if not (no_null_duplication q) then true
+      else Codd.invariant_on (Codd.coddify db) q)
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_condition_simplify () =
+  let open Condition in
+  let c = And (True, Or (False, eq_col 0 0)) in
+  Alcotest.(check bool) "folds to true" true
+    (Optimize.simplify_condition c = True);
+  let taut = Or (eq_const 0 (Value.Int 1), neq_const 0 (Value.Int 1)) in
+  Alcotest.(check bool) "complementary pair" true
+    (Optimize.simplify_condition taut = True);
+  let contra = And (Is_null 0, Is_const 0) in
+  Alcotest.(check bool) "null/const clash" true
+    (Optimize.simplify_condition contra = False);
+  Alcotest.(check bool) "lit folding" true
+    (Optimize.simplify_condition (Eq (Lit (Value.Int 2), Lit (Value.Int 3)))
+     = False)
+
+let test_optimize_structure () =
+  let open Algebra in
+  (* σ-cascade and projection composition collapse *)
+  let q =
+    Project
+      ( [ 0 ],
+        Project
+          ( [ 1; 0 ],
+            Select
+              (Condition.True, Select (Condition.eq_col 0 1, Rel "R")) ) )
+  in
+  let optimized = Optimize.optimize test_schema q in
+  Alcotest.(check bool)
+    (Printf.sprintf "smaller: %s" (Algebra.to_string optimized))
+    true
+    (Algebra.size optimized < Algebra.size q);
+  (* empty literals absorb *)
+  let q2 = Union (Lit (1, []), Diff (Rel "T", Lit (1, []))) in
+  Alcotest.(check bool) "empties eliminated" true
+    (Optimize.optimize test_schema q2 = Rel "T")
+
+(* the golden property: optimization never changes the answers, under
+   set semantics with nulls present *)
+let prop_optimize_preserves_set_semantics =
+  QCheck2.Test.make ~count:400 ~name:"optimize preserves set semantics"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(
+      pair (gen_db ()) (gen_query ~allow_division:true ()))
+    (fun (db, q) ->
+      let optimized = Optimize.optimize test_schema q in
+      Relation.equal (Eval.run db q) (Eval.run db optimized))
+
+let prop_optimize_preserves_bag_semantics =
+  QCheck2.Test.make ~count:200 ~name:"optimize preserves bag semantics"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ()) (gen_query ()))
+    (fun (db, q) ->
+      let optimized = Optimize.optimize test_schema q in
+      Bag_relation.equal (Bag_eval.run db q) (Bag_eval.run db optimized))
+
+(* optimizing the Q+ translation preserves its answers (hence its
+   soundness) *)
+let prop_optimize_plus_translation =
+  QCheck2.Test.make ~count:100 ~name:"optimized Q+ = Q+"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      let plus = Incdb_certain.Scheme_pm.translate_plus test_schema q in
+      let optimized = Optimize.optimize test_schema plus in
+      Relation.equal (Eval.run db plus) (Eval.run db optimized))
+
+(* ------------------------------------------------------------------ *)
+(* CSV                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_csv_values () =
+  let next = ref 0 in
+  let p = Csv_io.parse_value ~next_null:next in
+  Alcotest.(check bool) "int" true (Value.equal (p "42") (i 42));
+  Alcotest.(check bool) "negative int" true (Value.equal (p "-7") (i (-7)));
+  Alcotest.(check bool) "string" true (Value.equal (p "hello") (s "hello"));
+  Alcotest.(check bool) "quoted" true (Value.equal (p "\"a,b\"") (s "a,b"));
+  Alcotest.(check bool) "marked null" true (Value.equal (p "_3") (nu 3));
+  let v1 = p "NULL" and v2 = p "" in
+  Alcotest.(check bool) "fresh codd nulls distinct" false (Value.equal v1 v2);
+  Alcotest.(check bool) "fresh null is null" true (Value.is_null v1)
+
+let test_csv_value_roundtrip () =
+  let values =
+    [ i 0; i (-12); s "plain"; s "with,comma"; s "with\"quote"; s "33";
+      s "NULL"; s ""; nu 5 ]
+  in
+  let next = ref 100 in
+  List.iter
+    (fun v ->
+      let back = Csv_io.parse_value ~next_null:next (Csv_io.format_value v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %s" (Value.to_string v))
+        true (Value.equal v back))
+    values
+
+let test_csv_relation_parse () =
+  let next = ref 0 in
+  let attrs, r =
+    Csv_io.relation_of_string ~next_null:next
+      "# a comment\noid,price\no1,30\no2,NULL\no3,_0\n"
+  in
+  Alcotest.(check (list string)) "attrs" [ "oid"; "price" ] attrs;
+  Alcotest.(check int) "three rows" 3 (Relation.cardinal r);
+  (* _0 was claimed by the file, the Codd NULL got a fresh label *)
+  Alcotest.(check int) "two nulls" 2 (List.length (Relation.nulls r));
+  match Csv_io.relation_of_string ~next_null:next "a,b\n1\n" with
+  | _ -> Alcotest.fail "ragged row accepted"
+  | exception Csv_io.Csv_error _ -> ()
+
+let test_csv_dir_roundtrip () =
+  let dir = Filename.temp_file "incdb" "" in
+  Sys.remove dir;
+  let db =
+    Database.of_list test_schema
+      [ ("R", [ tup [ i 1; nu 0 ]; tup [ s "x,y"; nu 0 ] ]);
+        ("T", [ tup [ i 9 ] ]) ]
+  in
+  Csv_io.save_dir dir db;
+  let loaded = Csv_io.load_dir dir in
+  Alcotest.(check int) "same size" (Database.size db) (Database.size loaded);
+  (* relations R and T round-trip exactly (same labels via _k syntax) *)
+  Alcotest.check relation_tc "R" (Database.relation db "R")
+    (Database.relation loaded "R");
+  Alcotest.check relation_tc "T" (Database.relation db "T")
+    (Database.relation loaded "T")
+
+let prop_csv_relation_roundtrip =
+  QCheck2.Test.make ~count:100 ~name:"relation CSV roundtrip"
+    (gen_relation ~null_rate:0.3 ~max_size:6 2)
+    (fun r ->
+      let text = Csv_io.relation_to_string [ "a"; "b" ] r in
+      let next = ref 1_000 in
+      let _, back = Csv_io.relation_of_string ~next_null:next text in
+      Relation.equal r back)
+
+(* ------------------------------------------------------------------ *)
+(* FO ↔ algebra bridge                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fo_answers db phi =
+  Incdb_logic.Semantics.certain_true Incdb_logic.Semantics.all_bool db phi
+
+let prop_fo_of_algebra =
+  QCheck2.Test.make ~count:200 ~name:"fo_of_algebra agrees with Eval"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(
+      pair (gen_db ~max_size:3 ()) (gen_query ~allow_division:true ()))
+    (fun (db, q) ->
+      let phi = Incdb_logic.Bridge.fo_of_algebra test_schema q in
+      Relation.equal (Eval.run db q) (fo_answers db phi))
+
+let prop_algebra_of_fo =
+  QCheck2.Test.make ~count:200 ~name:"algebra_of_fo agrees with FO eval"
+    ~print:(fun (db, phi) -> db_print db ^ "\n" ^ fo_print phi)
+    QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_fo ~allow_assert:true ()))
+    (fun (db, phi) ->
+      let q = Incdb_logic.Bridge.algebra_of_fo test_schema phi in
+      Relation.equal (fo_answers db phi) (Eval.run db q))
+
+(* the two translations compose: algebra → FO → algebra preserves
+   semantics *)
+let prop_bridge_roundtrip =
+  QCheck2.Test.make ~count:60 ~name:"algebra → FO → algebra roundtrip"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ()))
+    (fun (db, q) ->
+      let phi = Incdb_logic.Bridge.fo_of_algebra test_schema q in
+      let q' = Incdb_logic.Bridge.algebra_of_fo test_schema phi in
+      Relation.equal (Eval.run db q) (Eval.run db q'))
+
+let test_bridge_examples () =
+  (* R ÷ T as FO: employees-on-all-projects flavour *)
+  let q = Algebra.Division (Algebra.Rel "R", Algebra.Rel "T") in
+  let db =
+    Database.of_list test_schema
+      [ ("R", [ tup [ i 1; i 7 ]; tup [ i 1; i 8 ]; tup [ i 2; i 7 ] ]);
+        ("T", [ tup [ i 7 ]; tup [ i 8 ] ]) ]
+  in
+  let phi = Incdb_logic.Bridge.fo_of_algebra test_schema q in
+  check_rel "division via FO" (rel 1 [ [ i 1 ] ]) (fo_answers db phi)
+
+(* ------------------------------------------------------------------ *)
+(* OWA                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_possible_worlds () =
+  let d = Database.of_list test_schema [ ("R", [ tup [ i 1; nu 0 ] ]) ] in
+  let w1 = Database.of_list test_schema [ ("R", [ tup [ i 1; i 2 ] ]) ] in
+  let w2 =
+    Database.of_list test_schema
+      [ ("R", [ tup [ i 1; i 2 ]; tup [ i 5; i 5 ] ]) ]
+  in
+  let check sem ~of_ cand expected msg =
+    Alcotest.(check bool) msg expected
+      (Incdb_certain.Owa.is_possible_world ~semantics:sem ~of_ cand)
+  in
+  check Incdb_certain.Owa.Cwa ~of_:d w1 true "cwa world";
+  check Incdb_certain.Owa.Cwa ~of_:d w2 false "extra fact not cwa";
+  check Incdb_certain.Owa.Owa ~of_:d w2 true "extra fact is owa";
+  (* incomplete candidates are never worlds *)
+  check Incdb_certain.Owa.Owa ~of_:d d false "incomplete not a world"
+
+let test_owa_certain_ucq () =
+  let db = Database.of_list test_schema [ ("R", [ tup [ i 1; nu 0 ] ]) ] in
+  let q = Algebra.Project ([ 0 ], Algebra.Rel "R") in
+  check_rel "owa certain for ucq" (rel 1 [ [ i 1 ] ])
+    (Incdb_certain.Owa.certain_answers_ucq db q);
+  let neg = Algebra.Diff (Algebra.Rel "T", Algebra.Rel "U") in
+  match Incdb_certain.Owa.certain_answers_ucq db neg with
+  | _ -> Alcotest.fail "difference accepted"
+  | exception Incdb_certain.Owa.Not_supported _ -> ()
+
+(* homomorphism preservation (the engine behind Theorem 4.3): Boolean
+   UCQs satisfied on D stay satisfied on any homomorphic image *)
+let prop_ucq_preserved_under_homs =
+  QCheck2.Test.make ~count:80
+    ~name:"Boolean UCQs preserved under arbitrary homomorphisms"
+    ~print:(fun ((d1, d2), q) ->
+      db_print d1 ^ "\n" ^ db_print d2 ^ "\n" ^ query_print q)
+    QCheck2.Gen.(
+      pair
+        (pair (gen_db ~max_size:2 ()) (gen_db ~null_rate:0.0 ~max_size:3 ()))
+        (gen_query ~positive:true ()))
+    (fun ((d1, d2), q) ->
+      (* a Boolean version of q: does it return anything? *)
+      let boolean = Algebra.Project ([], q) in
+      Incdb_certain.Owa.preserved_on ~kind:Homomorphism.Arbitrary boolean
+        ~from_:d1 ~to_:d2)
+
+
+(* Proposition 3.4: more informative inputs give more informative
+   answers.  Under OWA, D1 ⪯ D2 iff a constant-fixing homomorphism
+   D1 → D2 exists; for monotone (UCQ) queries the same homomorphism
+   maps the answers of D1 into the answers of D2. *)
+let prop_informativeness_monotone =
+  QCheck2.Test.make ~count:60
+    ~name:"Prop 3.4: h : D1 → D2 maps UCQ answers of D1 into D2's"
+    ~print:(fun ((d1, d2), q) ->
+      db_print d1 ^ "\n" ^ db_print d2 ^ "\n" ^ query_print q)
+    QCheck2.Gen.(
+      pair
+        (pair (gen_db ~max_size:2 ()) (gen_db ~max_size:3 ()))
+        (gen_query ~positive:true ()))
+    (fun ((d1, d2), q) ->
+      match Homomorphism.find ~from_:d1 ~to_:d2 () with
+      | None -> true
+      | Some h ->
+        let image_of_answer t =
+          Array.map
+            (fun v ->
+              match v with
+              | Value.Null n ->
+                (match List.assoc_opt n h with Some w -> w | None -> v)
+              | Value.Const _ -> v)
+            t
+        in
+        let a1 = Incdb_certain.Naive.run d1 q in
+        let a2 = Incdb_certain.Naive.run d2 q in
+        Relation.for_all (fun t -> Relation.mem (image_of_answer t) a2) a1)
+
+(* ------------------------------------------------------------------ *)
+(* Pos∀G recogniser on formulas                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_pos_forall_g_formulas () =
+  let open Incdb_logic.Fo in
+  let atom_r x y = Atom ("R", [ Var x; Var y ]) in
+  let atom_t x = Atom ("T", [ Var x ]) in
+  (* ∀x (T(x) → ∃y R(x,y)) — guarded universal: in Pos∀G *)
+  let guarded =
+    Forall ("x", Or (Not (atom_t "x"), Exists ("y", atom_r "x" "y")))
+  in
+  Alcotest.(check bool) "guarded in Pos∀G" true
+    (is_pos_forall_guarded guarded);
+  Alcotest.(check bool) "guarded not positive (has ¬)" false
+    (is_positive guarded);
+  (* plain positive formula with ∀ *)
+  let positive = Forall ("x", Exists ("y", atom_r "x" "y")) in
+  Alcotest.(check bool) "plain ∀ positive" true (is_positive positive);
+  Alcotest.(check bool) "plain ∀ in Pos∀G" true
+    (is_pos_forall_guarded positive);
+  (* unguarded negation is not in Pos∀G *)
+  let bad = Forall ("x", Or (Not (Exists ("y", atom_r "x" "y")), atom_t "x")) in
+  Alcotest.(check bool) "negated subformula rejected" false
+    (is_pos_forall_guarded bad);
+  (* a guard with repeated variables is not a valid guard *)
+  let bad_guard = Forall ("x", Or (Not (atom_r "x" "x"), atom_t "x")) in
+  Alcotest.(check bool) "repeated guard variables rejected" false
+    (is_pos_forall_guarded bad_guard)
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "extensions"
+    [ ( "codd",
+        [ Alcotest.test_case "coddify" `Quick test_coddify;
+          Alcotest.test_case "renaming equality" `Quick
+            test_equal_up_to_renaming;
+          Alcotest.test_case "invariance examples" `Quick test_codd_invariance
+        ] );
+      qsuite "codd-props" [ prop_coddify_is_codd; prop_codd_invariant_without_duplication ];
+      ( "optimize",
+        [ Alcotest.test_case "condition simplify" `Quick
+            test_condition_simplify;
+          Alcotest.test_case "structural rewrites" `Quick
+            test_optimize_structure ] );
+      qsuite "optimize-props"
+        [ prop_optimize_preserves_set_semantics;
+          prop_optimize_preserves_bag_semantics;
+          prop_optimize_plus_translation ];
+      ( "csv",
+        [ Alcotest.test_case "value parsing" `Quick test_csv_values;
+          Alcotest.test_case "value roundtrip" `Quick test_csv_value_roundtrip;
+          Alcotest.test_case "relation parsing" `Quick test_csv_relation_parse;
+          Alcotest.test_case "directory roundtrip" `Quick test_csv_dir_roundtrip
+        ] );
+      qsuite "csv-props" [ prop_csv_relation_roundtrip ];
+      ( "bridge",
+        [ Alcotest.test_case "examples" `Quick test_bridge_examples ] );
+      qsuite "bridge-props"
+        [ prop_fo_of_algebra; prop_algebra_of_fo; prop_bridge_roundtrip ];
+      ( "owa",
+        [ Alcotest.test_case "possible worlds" `Quick test_possible_worlds;
+          Alcotest.test_case "owa certain answers" `Quick test_owa_certain_ucq
+        ] );
+      qsuite "owa-props"
+        [ prop_ucq_preserved_under_homs; prop_informativeness_monotone ];
+      ( "pos-forall-g",
+        [ Alcotest.test_case "formula recogniser" `Quick
+            test_pos_forall_g_formulas ] ) ]

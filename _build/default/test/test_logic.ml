@@ -1,0 +1,489 @@
+(* Tests for the many-valued logic layer: Kleene truth tables
+   (Figure 3), the derived six-valued logic L6v and Theorem 5.3, the
+   assertion operator, many-valued FO semantics with correctness
+   guarantees (Theorem 5.1, Corollary 5.2), and the capture of
+   many-valued FO by Boolean FO (Theorems 5.4 and 5.5). *)
+
+open Incdb_relational
+open Incdb_logic
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Kleene's logic — Figure 3                                           *)
+(* ------------------------------------------------------------------ *)
+
+let kleene_tc : Kleene.t Alcotest.testable =
+  Alcotest.testable Kleene.pp Kleene.equal
+
+let test_kleene_tables () =
+  let open Kleene in
+  (* the exact truth tables of Figure 3 *)
+  let conj_table =
+    [ (T, T, T); (T, F, F); (T, U, U);
+      (F, T, F); (F, F, F); (F, U, F);
+      (U, T, U); (U, F, F); (U, U, U) ]
+  in
+  let disj_table =
+    [ (T, T, T); (T, F, T); (T, U, T);
+      (F, T, T); (F, F, F); (F, U, U);
+      (U, T, T); (U, F, U); (U, U, U) ]
+  in
+  List.iter
+    (fun (a, b, expected) ->
+      Alcotest.check kleene_tc
+        (Format.asprintf "%a ∧ %a" pp a pp b)
+        expected (conj a b))
+    conj_table;
+  List.iter
+    (fun (a, b, expected) ->
+      Alcotest.check kleene_tc
+        (Format.asprintf "%a ∨ %a" pp a pp b)
+        expected (disj a b))
+    disj_table;
+  Alcotest.check kleene_tc "¬t" F (neg T);
+  Alcotest.check kleene_tc "¬f" T (neg F);
+  Alcotest.check kleene_tc "¬u" U (neg U)
+
+let kleene_logic = Laws.of_module (module Kleene)
+let boolean_logic = Laws.of_module (module Boolean)
+let sixv_logic = Laws.of_module (module Sixv)
+
+let test_kleene_laws () =
+  Alcotest.(check bool) "idempotent" true (Laws.idempotent kleene_logic);
+  Alcotest.(check bool) "distributive" true (Laws.distributive kleene_logic);
+  Alcotest.(check bool) "commutative" true (Laws.commutative kleene_logic);
+  Alcotest.(check bool) "associative" true (Laws.associative kleene_logic);
+  Alcotest.(check bool) "de morgan" true (Laws.de_morgan kleene_logic);
+  Alcotest.(check bool) "monotone in knowledge order" true
+    (Laws.monotone ~le:Kleene.knowledge_le kleene_logic)
+
+let test_boolean_laws () =
+  Alcotest.(check bool) "distributive" true (Laws.distributive boolean_logic);
+  Alcotest.(check bool) "idempotent" true (Laws.idempotent boolean_logic)
+
+(* ------------------------------------------------------------------ *)
+(* L6v and Theorem 5.3                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sixv_tc : Sixv.t Alcotest.testable = Alcotest.testable Sixv.pp Sixv.equal
+
+let test_sixv_examples () =
+  let open Sixv in
+  (* s ∧ s can be all-false or mixed: "sometimes false" *)
+  Alcotest.check sixv_tc "s ∧ s = sf" SF (conj S S);
+  Alcotest.check sixv_tc "s ∨ s = st" ST (disj S S);
+  Alcotest.check sixv_tc "¬s = s" S (neg S);
+  Alcotest.check sixv_tc "¬st = sf" SF (neg ST);
+  Alcotest.check sixv_tc "st ∧ st = u" U (conj ST ST);
+  Alcotest.check sixv_tc "t ∧ sf = sf" SF (conj T SF);
+  Alcotest.check sixv_tc "f ∧ anything = f" F (conj F ST)
+
+let test_sixv_not_lattice_like () =
+  Alcotest.(check bool) "not idempotent" false (Laws.idempotent sixv_logic);
+  Alcotest.(check bool) "not distributive" false
+    (Laws.distributive sixv_logic);
+  Alcotest.(check bool) "commutative" true (Laws.commutative sixv_logic);
+  Alcotest.(check bool) "de morgan" true (Laws.de_morgan sixv_logic);
+  (* weak idempotency is what Boolean capture needs — L6v has it *)
+  Alcotest.(check bool) "weakly idempotent" true
+    (Laws.weakly_idempotent sixv_logic)
+
+let test_sixv_restricts_to_kleene () =
+  (* the image of Kleene's logic in L6v is closed and the operations
+     agree with Kleene's tables *)
+  let embed = Sixv.of_kleene in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let lhs = Sixv.conj (embed a) (embed b) in
+          Alcotest.check sixv_tc
+            (Format.asprintf "conj %a %a" Kleene.pp a Kleene.pp b)
+            (embed (Kleene.conj a b)) lhs;
+          let lhs = Sixv.disj (embed a) (embed b) in
+          Alcotest.check sixv_tc
+            (Format.asprintf "disj %a %a" Kleene.pp a Kleene.pp b)
+            (embed (Kleene.disj a b)) lhs)
+        Kleene.values;
+      Alcotest.check sixv_tc
+        (Format.asprintf "neg %a" Kleene.pp a)
+        (embed (Kleene.neg a))
+        (Sixv.neg (embed a)))
+    Kleene.values
+
+let test_theorem_5_3 () =
+  (* the maximal distributive and idempotent sublogic of L6v is exactly
+     {t, f, u} — Kleene's logic *)
+  let satisfying l = Laws.distributive l && Laws.idempotent l in
+  let maximal = Laws.maximal_sublogics ~satisfying sixv_logic in
+  let expected = [ Sixv.T; Sixv.F; Sixv.U ] in
+  let as_sets = List.map (List.sort_uniq compare) maximal in
+  Alcotest.(check bool)
+    (Format.asprintf "maximal sublogics: %d found" (List.length maximal))
+    true
+    (List.mem (List.sort_uniq compare expected) as_sets
+     && List.for_all (fun s -> List.length s <= 3) as_sets)
+
+let test_sixv_knowledge_order () =
+  let open Sixv in
+  Alcotest.(check bool) "u least" true
+    (List.for_all (fun v -> knowledge_le U v) values);
+  Alcotest.(check bool) "st ⪯ t" true (knowledge_le ST T);
+  Alcotest.(check bool) "st ⪯ s" true (knowledge_le ST S);
+  Alcotest.(check bool) "t and f incomparable" false
+    (knowledge_le T F || knowledge_le F T);
+  Alcotest.(check bool) "sf not ⪯ t" false (knowledge_le SF T)
+
+(* ------------------------------------------------------------------ *)
+(* The assertion operator                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_assertion () =
+  Alcotest.check kleene_tc "↑t" Kleene.T (Assertion.assert_ Kleene.T);
+  Alcotest.check kleene_tc "↑f" Kleene.F (Assertion.assert_ Kleene.F);
+  Alcotest.check kleene_tc "↑u" Kleene.F (Assertion.assert_ Kleene.U);
+  (* ↑ breaks knowledge monotonicity — the culprit of Section 5.2 *)
+  match Assertion.knowledge_violation with
+  | Some (a, b) ->
+    Alcotest.check kleene_tc "witness low" Kleene.U a;
+    Alcotest.check kleene_tc "witness high" Kleene.T b
+  | None -> Alcotest.fail "expected a knowledge-order violation"
+
+(* ------------------------------------------------------------------ *)
+(* Many-valued FO semantics                                            *)
+(* ------------------------------------------------------------------ *)
+
+let db_ratom =
+  Database.of_list test_schema [ ("R", [ tup [ i 1; nu 0 ] ]) ]
+
+let test_atom_semantics () =
+  let phi = Fo.Atom ("R", [ Fo.Var "x"; Fo.Var "y" ]) in
+  let env = [ ("x", i 1); ("y", i 1) ] in
+  (* the paper's example before Corollary 5.2: under the Boolean
+     semantics R(1,1) is f — which breaks correctness guarantees *)
+  Alcotest.check kleene_tc "bool semantics says f" Kleene.F
+    (Semantics.eval Semantics.all_bool db_ratom env phi);
+  (* the unification semantics correctly reports u: R(1,⊥) may be
+     R(1,1) in some world *)
+  Alcotest.check kleene_tc "unif semantics says u" Kleene.U
+    (Semantics.eval Semantics.all_unif db_ratom env phi);
+  (* nullfree: the atom's tuple (1,1) is null-free and not in R *)
+  Alcotest.check kleene_tc "nullfree semantics says f" Kleene.F
+    (Semantics.eval Semantics.all_nullfree db_ratom env phi)
+
+let test_eq_semantics () =
+  let eq = Fo.Eq (Fo.Var "x", Fo.Var "y") in
+  let check name mixed env expected =
+    Alcotest.check kleene_tc name expected
+      (Semantics.eval mixed db_ratom env eq)
+  in
+  let null_pair = [ ("x", nu 0); ("y", nu 0) ] in
+  (* same marked null: literally equal under bool and unif, but u in
+     SQL (nullfree equality) *)
+  check "bool: ⊥ = ⊥ is t" Semantics.all_bool null_pair Kleene.T;
+  check "unif: ⊥ = ⊥ is t" Semantics.all_unif null_pair Kleene.T;
+  check "sql: ⊥ = ⊥ is u" Semantics.sql null_pair Kleene.U;
+  let mixed_pair = [ ("x", nu 0); ("y", i 3) ] in
+  check "unif: ⊥ = 3 is u" Semantics.all_unif mixed_pair Kleene.U;
+  check "sql: ⊥ = 3 is u" Semantics.sql mixed_pair Kleene.U;
+  let consts = [ ("x", i 1); ("y", i 3) ] in
+  check "unif: 1 = 3 is f" Semantics.all_unif consts Kleene.F
+
+(* Corollary 5.2: the unif semantics has correctness guarantees:
+   t answers are certain, f answers are certainly not answers *)
+let prop_unif_correctness =
+  QCheck2.Test.make ~count:50
+    ~name:"Cor 5.2: ⟦φ⟧unif = t implies certain (and f certain-not)"
+    ~print:(fun (db, phi) -> db_print db ^ "\n" ^ fo_print phi)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_fo ()))
+    (fun (db, phi) ->
+      (* restrict to formulas without const/null tests: those atoms are
+         two-valued and are not covered by the unification semantics'
+         correctness statement *)
+      let rec test_free = function
+        | Fo.Is_const _ | Fo.Is_null _ -> false
+        | Fo.Atom _ | Fo.Eq _ | Fo.Lt _ | Fo.Tru | Fo.Fls -> true
+        | Fo.Not f | Fo.Exists (_, f) | Fo.Forall (_, f) | Fo.Assert f ->
+          test_free f
+        | Fo.And (f, g) | Fo.Or (f, g) -> test_free f && test_free g
+      in
+      if not (test_free phi) then true
+      else begin
+        let vars = Fo.free_vars phi in
+        let worlds =
+          Incdb_certain.Certainty.canonical_worlds
+            ~query_consts:(Fo.consts phi) db
+        in
+        List.for_all
+          (fun env ->
+            let tuple = Tuple.of_list (List.map (fun x -> List.assoc x env) vars) in
+            let holds_in_world (v, world) =
+              let env' =
+                List.map (fun (x, d) -> (x, Valuation.apply_value v d)) env
+              in
+              Semantics.eval_bool world env' phi
+            in
+            match Semantics.eval Semantics.all_unif db env phi with
+            | Kleene.T -> List.for_all holds_in_world worlds
+            | Kleene.F -> List.for_all (fun w -> not (holds_in_world w)) worlds
+            | Kleene.U -> ignore tuple; true)
+          (fo_assignments db phi)
+      end)
+
+(* on complete databases and null-free tuples the three atom semantics
+   coincide (and are two-valued) *)
+let prop_semantics_agree_on_complete =
+  QCheck2.Test.make ~count:80
+    ~name:"all atom semantics agree on complete data"
+    QCheck2.Gen.(
+      pair (gen_db ~null_rate:0.0 ~max_size:3 ()) (gen_tuple ~null_rate:0.0 2))
+    (fun (db, t) ->
+      let phi = Fo.Atom ("R", [ Fo.Var "x"; Fo.Var "y" ]) in
+      let env = [ ("x", t.(0)); ("y", t.(1)) ] in
+      let b = Semantics.eval Semantics.all_bool db env phi in
+      let nf = Semantics.eval Semantics.all_nullfree db env phi in
+      let un = Semantics.eval Semantics.all_unif db env phi in
+      Kleene.equal b nf && Kleene.equal b un && not (Kleene.equal b Kleene.U))
+
+
+(* positive formulae (∃,∀,∧,∨) are preserved under onto homomorphisms —
+   the semantics between OWA and CWA of Section 4.1.  Soundness
+   direction checked on random pairs: when an onto homomorphism
+   D1 → D2 exists and a Boolean positive sentence holds in D1, it holds
+   in D2. *)
+let prop_positive_preserved_under_onto =
+  QCheck2.Test.make ~count:80
+    ~name:"positive sentences preserved under onto homomorphisms"
+    ~print:(fun ((d1, d2), phi) ->
+      db_print d1 ^ "\n" ^ db_print d2 ^ "\n" ^ fo_print phi)
+    QCheck2.Gen.(
+      pair
+        (pair (gen_db ~max_size:2 ()) (gen_db ~null_rate:0.0 ~max_size:3 ()))
+        (gen_fo_positive ()))
+    (fun ((d1, d2), phi) ->
+      (* close the formula existentially and evaluate naively: nulls as
+         values on d1 (complete d2 needs no care) *)
+      let closed = Fo.exists_many (Fo.free_vars phi) phi in
+      if
+        not
+          (Incdb_relational.Homomorphism.exists
+             ~kind:Incdb_relational.Homomorphism.Onto ~from_:d1 ~to_:d2 ())
+      then true
+      else if not (Semantics.eval_bool d1 [] closed) then true
+      else Semantics.eval_bool d2 [] closed)
+
+(* ------------------------------------------------------------------ *)
+(* Capture by Boolean FO — Theorems 5.4 and 5.5                        *)
+(* ------------------------------------------------------------------ *)
+
+let capture_agrees mixed (db, phi) =
+  List.for_all
+    (fun env ->
+      let actual = Semantics.eval mixed db env phi in
+      List.for_all
+        (fun tau ->
+          let psi = Capture.truth_formula mixed phi tau in
+          let captured = Semantics.eval_bool db env psi in
+          Bool.equal captured (Kleene.equal actual tau))
+        Kleene.values)
+    (fo_assignments db phi)
+
+let prop_capture_sql =
+  QCheck2.Test.make ~count:120
+    ~name:"Thm 5.4: Boolean FO captures FO(L3v) under the SQL semantics"
+    ~print:(fun (db, phi) -> db_print db ^ "\n" ^ fo_print phi)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_fo ()))
+    (capture_agrees Semantics.sql)
+
+let prop_capture_unif =
+  QCheck2.Test.make ~count:60
+    ~name:"Thm 5.4: capture under the unification semantics"
+    ~print:(fun (db, phi) -> db_print db ^ "\n" ^ fo_print phi)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_fo ()))
+    (capture_agrees Semantics.all_unif)
+
+let prop_capture_nullfree =
+  QCheck2.Test.make ~count:60
+    ~name:"Thm 5.4: capture under the null-free semantics"
+    ~print:(fun (db, phi) -> db_print db ^ "\n" ^ fo_print phi)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_fo ()))
+    (capture_agrees Semantics.all_nullfree)
+
+let prop_capture_assert =
+  QCheck2.Test.make ~count:120
+    ~name:"Thm 5.5: capture of FO↑SQL (with the assertion operator)"
+    ~print:(fun (db, phi) -> db_print db ^ "\n" ^ fo_print phi)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_fo ~allow_assert:true ()))
+    (capture_agrees Semantics.sql)
+
+(* the R − (S − T) example at the end of Section 5.1: SQL keeps 1 even
+   though it is almost certainly false *)
+let test_sql_almost_certainly_false () =
+  let db =
+    Database.of_list test_schema
+      [ ("T", [ tup [ i 1 ] ]); ("U", [ tup [ i 1 ] ]) ]
+  in
+  (* R − (S − T) with R = S = {1}, T = {⊥}: encode with T as R, U as S
+     and a fresh unary relation for T.  Our test schema lacks a third
+     unary relation, so restate over R's columns: use R as binary
+     container {(1,⊥)} and formula T(x) ∧ ¬(U(x) ∧ ¬∃y R(y, x)).
+     Simpler: extend the schema locally. *)
+  let schema =
+    Schema.of_list [ ("A", [ "a" ]); ("B", [ "b" ]); ("C", [ "c" ]) ]
+  in
+  let db =
+    ignore db;
+    Database.of_list schema
+      [ ("A", [ tup [ i 1 ] ]); ("B", [ tup [ i 1 ] ]); ("C", [ tup [ nu 0 ] ]) ]
+  in
+  (* SQL evaluates x ∈ A − (B − C) as nested NOT IN, with membership
+     spelled out with equalities (that is where the u's arise) and ↑
+     applied at each WHERE clause, per the FO↑SQL encoding of §5.2:
+
+     φ(x) = A(x) ∧ ↑¬∃y (ψ(y) ∧ x = y)
+     ψ(y) = B(y) ∧ ↑¬∃z (C(z) ∧ y = z) *)
+  let member rel x body_var =
+    Fo.Exists
+      ( body_var,
+        Fo.And (Fo.Atom (rel, [ Fo.Var body_var ]), Fo.Eq (x, Fo.Var body_var))
+      )
+  in
+  let psi y =
+    Fo.And
+      (Fo.Atom ("B", [ y ]), Fo.Assert (Fo.Not (member "C" y "z")))
+  in
+  let phi =
+    Fo.And
+      ( Fo.Atom ("A", [ Fo.Var "x" ]),
+        Fo.Assert
+          (Fo.Not
+             (Fo.Exists
+                ( "y",
+                  Fo.And (psi (Fo.Var "y"), Fo.Eq (Fo.Var "x", Fo.Var "y")) )))
+      )
+  in
+  let env = [ ("x", i 1) ] in
+  (* SQL answer: the inner NOT IN evaluates to u on 1 vs ⊥, the ↑ makes
+     B − C empty, so 1 survives the outer difference *)
+  Alcotest.check kleene_tc "SQL keeps 1" Kleene.T
+    (Semantics.eval Semantics.sql db env phi);
+  (* yet 1 is almost certainly false: in all but one world, 1 ∈ B − C *)
+  let q =
+    Algebra.Diff (Algebra.Rel "A", Algebra.Diff (Algebra.Rel "B", Algebra.Rel "C"))
+  in
+  Alcotest.(check bool) "µ(1) = 0" false
+    (Incdb_prob.Zero_one.almost_certainly_true_ra db q (tup [ i 1 ]))
+
+(* without ↑, FO(L3v) under the SQL semantics only returns almost
+   certainly true answers ([52], discussed before Theorem 5.5) *)
+let prop_no_assert_no_false_positives =
+  QCheck2.Test.make ~count:50
+    ~name:"FOSQL (no ↑): t answers are almost certainly true"
+    ~print:(fun (db, phi) -> db_print db ^ "\n" ^ fo_print phi)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_fo ()))
+    (fun (db, phi) ->
+      let rec test_free = function
+        | Fo.Is_const _ | Fo.Is_null _ -> false
+        | Fo.Atom _ | Fo.Eq _ | Fo.Lt _ | Fo.Tru | Fo.Fls -> true
+        | Fo.Not f | Fo.Exists (_, f) | Fo.Forall (_, f) | Fo.Assert f ->
+          test_free f
+        | Fo.And (f, g) | Fo.Or (f, g) -> test_free f && test_free g
+      in
+      if not (test_free phi) then true
+      else
+        let run d = Semantics.certain_true Semantics.all_bool d phi in
+        List.for_all
+          (fun env ->
+            match Semantics.eval Semantics.sql db env phi with
+            | Kleene.T ->
+              let vars = Fo.free_vars phi in
+              let tuple =
+                Tuple.of_list (List.map (fun x -> List.assoc x env) vars)
+              in
+              Incdb_prob.Zero_one.almost_certainly_true ~run db tuple
+            | Kleene.F | Kleene.U -> true)
+          (fo_assignments db phi))
+
+
+(* ------------------------------------------------------------------ *)
+(* FO concrete syntax                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_fo_parser () =
+  let open Fo in
+  let p = Fo_parser.parse in
+  Alcotest.(check string) "atom and negation"
+    (to_string (Exists ("y", And (Atom ("R", [ Var "x"; Var "y" ]),
+                                  Not (Eq (Var "y", Cst (Value.Str "paris")))))))
+    (to_string (p "exists y. R(x, y) & ~(y = 'paris')"));
+  Alcotest.(check string) "assert and order"
+    (to_string (Assert (Lt (Var "x", Cst (Value.Int 5)))))
+    (to_string (p "!(x < 5)"));
+  Alcotest.(check string) "le desugars"
+    (to_string (Not (Lt (Cst (Value.Int 5), Var "x"))))
+    (to_string (p "x <= 5"));
+  Alcotest.(check string) "quantifier block"
+    (to_string (Forall ("x", Forall ("y", Or (Is_null (Var "x"),
+                                              Is_const (Var "y"))))))
+    (to_string (p "forall x y. null(x) | const(y)"));
+  (* precedence: & binds tighter than | *)
+  Alcotest.(check string) "precedence"
+    (to_string (Or (And (Tru, Fls), Tru)))
+    (to_string (p "true & false | true"));
+  let fails input =
+    match Fo_parser.parse input with
+    | _ -> Alcotest.failf "accepted %s" input
+    | exception Fo_parser.Parse_error _ -> ()
+  in
+  fails "exists . R(x)";
+  fails "R(x";
+  fails "x = ";
+  fails "R(x) extra"
+
+(* parse-evaluate smoke: the parsed formula behaves like the AST one *)
+let test_fo_parser_eval () =
+  let db =
+    Database.of_list test_schema [ ("R", [ tup [ i 1; nu 0 ] ]) ]
+  in
+  let phi = Fo_parser.parse "exists y. R(1, y) & null(y)" in
+  Alcotest.(check string) "parsed formula evaluates" "t"
+    (Kleene.to_string (Semantics.eval Semantics.all_bool db [] phi))
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "logic"
+    [ ( "kleene",
+        [ Alcotest.test_case "truth tables (Fig 3)" `Quick test_kleene_tables;
+          Alcotest.test_case "laws" `Quick test_kleene_laws;
+          Alcotest.test_case "boolean laws" `Quick test_boolean_laws ] );
+      ( "sixv",
+        [ Alcotest.test_case "derived connectives" `Quick test_sixv_examples;
+          Alcotest.test_case "not distributive/idempotent" `Quick
+            test_sixv_not_lattice_like;
+          Alcotest.test_case "restricts to Kleene" `Quick
+            test_sixv_restricts_to_kleene;
+          Alcotest.test_case "Theorem 5.3" `Quick test_theorem_5_3;
+          Alcotest.test_case "knowledge order" `Quick test_sixv_knowledge_order
+        ] );
+      ( "assertion",
+        [ Alcotest.test_case "tables and violation" `Quick test_assertion ] );
+      ( "fo-semantics",
+        [ Alcotest.test_case "atom semantics" `Quick test_atom_semantics;
+          Alcotest.test_case "equality semantics" `Quick test_eq_semantics;
+          Alcotest.test_case "SQL almost-certainly-false" `Quick
+            test_sql_almost_certainly_false ] );
+      ( "fo-parser",
+        [ Alcotest.test_case "grammar" `Quick test_fo_parser;
+          Alcotest.test_case "parse and evaluate" `Quick test_fo_parser_eval ]
+      );
+      qsuite "fo-props"
+        [ prop_unif_correctness; prop_semantics_agree_on_complete;
+          prop_positive_preserved_under_onto ];
+      qsuite "capture-props"
+        [ prop_capture_sql; prop_capture_unif; prop_capture_nullfree;
+          prop_capture_assert; prop_no_assert_no_false_positives ] ]

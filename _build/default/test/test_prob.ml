@@ -1,0 +1,373 @@
+(* Tests for the probabilistic framework of Section 4.3: rationals and
+   polynomial interpolation, supports and µₖ, the 0–1 law
+   (Theorem 4.10), constraints, the chase, and exact conditional
+   probabilities µ(Q | Σ, D, ā) (Theorem 4.11). *)
+
+open Incdb_relational
+open Incdb_prob
+open Helpers
+
+let rational_tc : Rational.t Alcotest.testable =
+  Alcotest.testable Rational.pp Rational.equal
+
+let r = Rational.make
+
+(* ------------------------------------------------------------------ *)
+(* Rationals                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_rational_basics () =
+  Alcotest.check rational_tc "normalisation" (r 1 2) (r 3 6);
+  Alcotest.check rational_tc "negative denominator" (r (-1) 2) (r 1 (-2));
+  Alcotest.check rational_tc "addition" (r 5 6) (Rational.add (r 1 2) (r 1 3));
+  Alcotest.check rational_tc "subtraction" (r 1 6)
+    (Rational.sub (r 1 2) (r 1 3));
+  Alcotest.check rational_tc "multiplication" (r 1 3)
+    (Rational.mul (r 2 3) (r 1 2));
+  Alcotest.check rational_tc "division" (r 3 2) (Rational.div (r 1 2) (r 1 3));
+  Alcotest.(check bool) "ordering" true (Rational.compare (r 1 3) (r 1 2) < 0);
+  Alcotest.check_raises "zero denominator" Rational.Division_by_zero (fun () ->
+      ignore (r 1 0))
+
+let gen_rational : Rational.t QCheck2.Gen.t =
+  QCheck2.Gen.(
+    map2
+      (fun p q -> Rational.make p (if q = 0 then 1 else q))
+      (int_range (-30) 30) (int_range (-12) 12))
+
+let prop_rational_field_laws =
+  QCheck2.Test.make ~count:300 ~name:"rational field laws"
+    QCheck2.Gen.(triple gen_rational gen_rational gen_rational)
+    (fun (a, b, c) ->
+      let open Rational in
+      equal (add a b) (add b a)
+      && equal (add (add a b) c) (add a (add b c))
+      && equal (mul a (add b c)) (add (mul a b) (mul a c))
+      && equal (sub a a) zero
+      && (is_zero b || equal (mul (div a b) b) a))
+
+(* ------------------------------------------------------------------ *)
+(* Polynomials                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_polynomial_interpolation () =
+  (* interpolate k² − 1 through 3 points *)
+  let f k = (k * k) - 1 in
+  let points =
+    List.map (fun k -> (Rational.of_int k, Rational.of_int (f k))) [ 2; 3; 5 ]
+  in
+  let p = Polynomial.interpolate points in
+  Alcotest.(check int) "degree 2" 2 (Polynomial.degree p);
+  Alcotest.check rational_tc "eval at 7" (Rational.of_int 48)
+    (Polynomial.eval p (Rational.of_int 7));
+  Alcotest.check rational_tc "leading coefficient" Rational.one
+    (Polynomial.leading p)
+
+let test_limit_ratio () =
+  (* (k² − k) / (2k²) → 1/2; k / k² → 0 *)
+  let interp f ks =
+    Polynomial.interpolate
+      (List.map (fun k -> (Rational.of_int k, Rational.of_int (f k))) ks)
+  in
+  let p = interp (fun k -> (k * k) - k) [ 1; 2; 3 ] in
+  let q = interp (fun k -> 2 * k * k) [ 1; 2; 3 ] in
+  Alcotest.check rational_tc "ratio 1/2" (r 1 2) (Polynomial.limit_ratio p q);
+  let lin = interp (fun k -> k) [ 1; 2 ] in
+  Alcotest.check rational_tc "lower degree gives 0" Rational.zero
+    (Polynomial.limit_ratio lin q)
+
+let prop_interpolation_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"interpolation hits all points"
+    QCheck2.Gen.(list_size (int_range 1 4) (int_range (-10) 10))
+    (fun ys ->
+      let points =
+        List.mapi (fun i y -> (Rational.of_int i, Rational.of_int y)) ys
+      in
+      let p = Polynomial.interpolate points in
+      List.for_all
+        (fun (x, y) -> Rational.equal (Polynomial.eval p x) y)
+        points)
+
+(* ------------------------------------------------------------------ *)
+(* Supports and µₖ                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let diff_db =
+  (* R − S with R = {1}, S = {⊥}: the running example of Section 4.3 *)
+  Database.of_list test_schema
+    [ ("T", [ tup [ i 1 ] ]); ("U", [ tup [ nu 0 ] ]) ]
+
+let diff_q = Algebra.Diff (Rel "T", Rel "U")
+
+let run_diff db = Eval.run db diff_q
+
+let test_mu_k_series () =
+  (* µₖ((1)) = (k−1)/k: the tuple is an answer unless ⊥ ↦ 1 *)
+  List.iter
+    (fun k ->
+      Alcotest.check rational_tc
+        (Printf.sprintf "µ_%d" k)
+        (r (k - 1) k)
+        (Support.mu_k ~run:run_diff ~query_consts:[] diff_db (tup [ i 1 ]) ~k))
+    [ 1; 2; 3; 5; 8 ]
+
+let test_support_count () =
+  Alcotest.(check int) "support size at k=4" 3
+    (Support.support_count ~run:run_diff ~query_consts:[] diff_db
+       (tup [ i 1 ]) ~k:4)
+
+(* ------------------------------------------------------------------ *)
+(* The 0–1 law (Theorem 4.10)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_zero_one_example () =
+  Alcotest.(check bool) "1 is almost certainly an answer" true
+    (Zero_one.almost_certainly_true_ra diff_db diff_q (tup [ i 1 ]));
+  Alcotest.check rational_tc "µ = 1" Rational.one
+    (Zero_one.mu_ra diff_db diff_q (tup [ i 1 ]));
+  Alcotest.check rational_tc "µ(⊥) = 0" Rational.zero
+    (Zero_one.mu_ra diff_db diff_q (tup [ nu 0 ]))
+
+(* Theorem 4.10 cross-validated: the interpolated limit of µₖ equals
+   the 0–1 verdict of naive evaluation *)
+let prop_zero_one_law =
+  QCheck2.Test.make ~count:40
+    ~name:"Thm 4.10: lim µₖ = 1 iff tuple ∈ naive eval"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      let run d = Eval.run d q in
+      let query_consts = Algebra.consts q in
+      (* candidates: naive answers plus a certainly-non-answer probe *)
+      let naive = Incdb_certain.Naive.run db q in
+      let candidates = Relation.to_list naive in
+      List.for_all
+        (fun t ->
+          let limit =
+            Conditional.mu ~run ~query_consts ~sigma:[] db t
+          in
+          let naive_says = Relation.mem t naive in
+          Rational.equal limit
+            (if naive_says then Rational.one else Rational.zero))
+        candidates)
+
+
+(* the isomorphism-type variant (remark after Thm 4.10): different
+   finite ratios, same limit — both 0-1 *)
+let test_mu_isotypes_example () =
+  (* µ_k((1)) = (k−1)/k counts valuations; counting world types, the
+     k worlds {U = {c}} collapse by witness status into "c = 1" vs the
+     k−1 others, but each distinct c is a distinct type, so here the
+     ratios coincide *)
+  List.iter
+    (fun k ->
+      Alcotest.check rational_tc
+        (Printf.sprintf "isotype µ_%d" k)
+        (r (k - 1) k)
+        (Support.mu_k_isotypes ~run:run_diff ~query_consts:[] diff_db
+           (tup [ i 1 ]) ~k))
+    [ 2; 4; 8 ];
+  (* a case where they differ at finite k: two nulls collapsing *)
+  let db2 =
+    Database.of_list test_schema
+      [ ("T", [ tup [ i 1 ] ]); ("U", [ tup [ nu 0 ]; tup [ nu 1 ] ]) ]
+  in
+  let run2 d = Eval.run d (Algebra.Diff (Rel "T", Rel "U")) in
+  let v = Support.mu_k ~run:run2 ~query_consts:[] db2 (tup [ i 1 ]) ~k:2 in
+  let t = Support.mu_k_isotypes ~run:run2 ~query_consts:[] db2 (tup [ i 1 ]) ~k:2 in
+  (* k=2 with two nulls: 4 valuations, only (c2,c2) keeps 1 → 1/4 by
+     valuations, but the 3 valuations hitting c1 somewhere produce only
+     2 distinct worlds, so types give 1/3 *)
+  Alcotest.check rational_tc "valuations 1/4" (r 1 4) v;
+  Alcotest.check rational_tc "types 1/3" (r 1 3) t
+
+(* both counts have the same 0-1 limit on random instances *)
+let prop_isotype_limit_agrees =
+  QCheck2.Test.make ~count:20
+    ~name:"isotype and valuation counting share the 0-1 verdict"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      if List.length (Database.nulls db) > 2 then true
+      else begin
+        let run d = Eval.run d q in
+        let query_consts = Algebra.consts q in
+        let candidates = Relation.to_list (Incdb_certain.Naive.run db q) in
+        (* at a comfortably large k both ratios are near their common
+           limit: compare the verdicts at k and 2k for stability *)
+        let verdict f =
+          let known = List.length (Database.consts db) + List.length query_consts in
+          let k = known + 8 in
+          Rational.compare (f ~k) (r 1 2) > 0
+        in
+        List.for_all
+          (fun t ->
+            let naive_says = Incdb_certain.Naive.run db q |> Relation.mem t in
+            let v_says =
+              verdict (fun ~k ->
+                  Support.mu_k ~run ~query_consts db t ~k)
+            in
+            let t_says =
+              verdict (fun ~k ->
+                  Support.mu_k_isotypes ~run ~query_consts db t ~k)
+            in
+            Bool.equal v_says naive_says && Bool.equal t_says naive_says)
+          candidates
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Constraints and the chase                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_constraints_satisfaction () =
+  let db =
+    Database.of_list test_schema
+      [ ("R", [ tup [ i 1; i 2 ]; tup [ i 1; i 2 ]; tup [ i 2; i 3 ] ]);
+        ("S", [ tup [ i 2; i 9 ] ]) ]
+  in
+  let fd_ok = Constraints.fd "R" [ 0 ] [ 1 ] in
+  Alcotest.(check bool) "fd holds" true (Constraints.satisfied db fd_ok);
+  let db_bad = Database.add_tuple db "R" (tup [ i 1; i 7 ]) in
+  Alcotest.(check bool) "fd violated" false
+    (Constraints.satisfied db_bad fd_ok);
+  let ind_ok = Constraints.ind "S" [ 0 ] "R" [ 0 ] in
+  Alcotest.(check bool) "ind holds" true (Constraints.satisfied db ind_ok);
+  let ind_bad = Constraints.ind "S" [ 1 ] "R" [ 0 ] in
+  Alcotest.(check bool) "ind violated" false
+    (Constraints.satisfied db ind_bad)
+
+let test_chase () =
+  let db =
+    Database.of_list test_schema
+      [ ("R", [ tup [ i 1; nu 0 ]; tup [ i 1; i 3 ]; tup [ nu 0; i 5 ] ]) ]
+  in
+  let fds = [ { Constraints.fd_relation = "R"; lhs = [ 0 ]; rhs = [ 1 ] } ] in
+  (match Chase.chase_fds db fds with
+   | Chase.Failed -> Alcotest.fail "chase should succeed"
+   | Chase.Chased (chased, subst) ->
+     (* ⊥0 is equated with 3, everywhere *)
+     check_rel "chased relation"
+       (rel 2 [ [ i 1; i 3 ]; [ i 3; i 5 ] ])
+       (Database.relation chased "R");
+     Alcotest.check tuple_tc "substitution applies"
+       (tup [ i 3 ])
+       (Chase.apply_subst subst (tup [ nu 0 ])));
+  let db_fail =
+    Database.of_list test_schema
+      [ ("R", [ tup [ i 1; i 2 ]; tup [ i 1; i 3 ] ]) ]
+  in
+  (match Chase.chase_fds db_fail fds with
+   | Chase.Failed -> ()
+   | Chase.Chased _ -> Alcotest.fail "chase should fail on constant clash")
+
+(* chased databases satisfy their FDs *)
+let prop_chase_fixpoint =
+  QCheck2.Test.make ~count:100 ~name:"chase output satisfies the FDs"
+    ~print:db_print
+    (gen_db ~max_size:3 ())
+    (fun db ->
+      let fds = [ { Constraints.fd_relation = "R"; lhs = [ 0 ]; rhs = [ 1 ] } ] in
+      match Chase.chase_fds db fds with
+      | Chase.Failed -> true
+      | Chase.Chased (chased, _) ->
+        Constraints.all_satisfied chased (List.map (fun f -> Constraints.Fd f) fds))
+
+(* ------------------------------------------------------------------ *)
+(* Conditional probabilities (Theorem 4.11)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_conditional_paper_example () =
+  (* T = {1, 2}, S = {⊥}, Σ = {S ⊆ T}: µ(T − S | Σ, (1)) = 1/2 *)
+  let db =
+    Database.of_list test_schema
+      [ ("T", [ tup [ i 1 ]; tup [ i 2 ] ]); ("U", [ tup [ nu 0 ] ]) ]
+  in
+  let sigma = [ Constraints.ind "U" [ 0 ] "T" [ 0 ] ] in
+  let q = Algebra.Diff (Rel "T", Rel "U") in
+  let mu = Conditional.mu_ra ~sigma db q in
+  Alcotest.check rational_tc "µ((1)) = 1/2" (r 1 2) (mu (tup [ i 1 ]));
+  Alcotest.check rational_tc "µ((2)) = 1/2" (r 1 2) (mu (tup [ i 2 ]));
+  (* and at every finite k the value is already 1/2 *)
+  Alcotest.check rational_tc "µ₅ = 1/2" (r 1 2)
+    (Conditional.mu_k ~run:(fun d -> Eval.run d q) ~query_consts:[] ~sigma db
+       (tup [ i 1 ]) ~k:5)
+
+let test_conditional_unconstrained_is_zero_one () =
+  (* with Σ = ∅ the conditional µ reduces to the 0–1 law *)
+  let mu = Conditional.mu_ra ~sigma:[] diff_db diff_q in
+  Alcotest.check rational_tc "µ((1)) = 1" Rational.one (mu (tup [ i 1 ]))
+
+(* FD-only constraints: the chase fast path agrees with the general
+   interpolation computation *)
+let prop_fd_chase_agrees =
+  QCheck2.Test.make ~count:30
+    ~name:"µ(Q|FDs) via chase = via interpolation"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      let fds = [ { Constraints.fd_relation = "R"; lhs = [ 0 ]; rhs = [ 1 ] } ] in
+      let sigma = List.map (fun f -> Constraints.Fd f) fds in
+      let run d = Eval.run d q in
+      let query_consts = Algebra.consts q in
+      let candidates = Relation.to_list (Incdb_certain.Naive.run db q) in
+      List.for_all
+        (fun t ->
+          let via_chase = Conditional.mu_fd_via_chase ~run ~fds db t in
+          let via_interp = Conditional.mu ~run ~query_consts ~sigma db t in
+          Rational.equal via_chase via_interp)
+        candidates)
+
+(* µ is a probability: always within [0, 1] *)
+let prop_mu_in_unit_interval =
+  QCheck2.Test.make ~count:30 ~name:"Thm 4.11: µ ∈ [0,1] and exists"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:2 ()) (gen_query ~allow_tests:false ()))
+    (fun (db, q) ->
+      let sigma = [ Constraints.ind "U" [ 0 ] "T" [ 0 ] ] in
+      let run d = Eval.run d q in
+      let query_consts = Algebra.consts q in
+      let candidates = Relation.to_list (Incdb_certain.Naive.run db q) in
+      List.for_all
+        (fun t ->
+          let mu = Conditional.mu ~run ~query_consts ~sigma db t in
+          Rational.compare mu Rational.zero >= 0
+          && Rational.compare mu Rational.one <= 0)
+        candidates)
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "prob"
+    [ ( "rational",
+        [ Alcotest.test_case "basics" `Quick test_rational_basics ] );
+      qsuite "rational-props" [ prop_rational_field_laws ];
+      ( "polynomial",
+        [ Alcotest.test_case "interpolation" `Quick
+            test_polynomial_interpolation;
+          Alcotest.test_case "limit ratio" `Quick test_limit_ratio ] );
+      qsuite "polynomial-props" [ prop_interpolation_roundtrip ];
+      ( "support",
+        [ Alcotest.test_case "µₖ series" `Quick test_mu_k_series;
+          Alcotest.test_case "support count" `Quick test_support_count ] );
+      ( "zero-one",
+        [ Alcotest.test_case "paper example" `Quick test_zero_one_example ] );
+      qsuite "zero-one-props" [ prop_zero_one_law ];
+      ( "isotypes",
+        [ Alcotest.test_case "example ratios" `Quick test_mu_isotypes_example ]
+      );
+      qsuite "isotype-props" [ prop_isotype_limit_agrees ];
+      ( "constraints",
+        [ Alcotest.test_case "satisfaction" `Quick test_constraints_satisfaction;
+          Alcotest.test_case "chase" `Quick test_chase ] );
+      qsuite "chase-props" [ prop_chase_fixpoint ];
+      ( "conditional",
+        [ Alcotest.test_case "paper example 1/2" `Quick
+            test_conditional_paper_example;
+          Alcotest.test_case "empty sigma" `Quick
+            test_conditional_unconstrained_is_zero_one ] );
+      qsuite "conditional-props"
+        [ prop_fd_chase_agrees; prop_mu_in_unit_interval ] ]

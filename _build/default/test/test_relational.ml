@@ -1,0 +1,568 @@
+(* Unit and property tests for the relational substrate:
+   values, tuples, relations, bags, valuations, conditions, algebra
+   evaluation and homomorphisms. *)
+
+open Incdb_relational
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Values and tuples                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_order () =
+  Alcotest.(check bool) "const < null" true (Value.compare (i 3) (nu 0) < 0);
+  Alcotest.(check bool) "int < str" true
+    (Value.compare (i 99) (s "a") < 0);
+  Alcotest.(check bool) "equal nulls" true (Value.equal (nu 1) (nu 1));
+  Alcotest.(check bool) "distinct nulls" false (Value.equal (nu 1) (nu 2))
+
+let test_value_unifiable () =
+  Alcotest.(check bool) "const/const equal" true (Value.unifiable (i 1) (i 1));
+  Alcotest.(check bool) "const/const distinct" false
+    (Value.unifiable (i 1) (i 2));
+  Alcotest.(check bool) "null/const" true (Value.unifiable (nu 0) (i 7));
+  Alcotest.(check bool) "null/null" true (Value.unifiable (nu 0) (nu 1))
+
+let test_tuple_unifiable () =
+  let check msg expected t1 t2 =
+    Alcotest.(check bool) msg expected (Tuple.unifiable (tup t1) (tup t2))
+  in
+  check "componentwise" true [ i 1; nu 0 ] [ i 1; i 5 ];
+  check "constant clash" false [ i 1; nu 0 ] [ i 2; i 5 ];
+  check "repeated null consistent" true [ nu 0; nu 0 ] [ i 3; i 3 ];
+  check "repeated null clash" false [ nu 0; nu 0 ] [ i 3; i 4 ];
+  check "cross tuple chain" false [ nu 0; nu 0; i 1 ] [ i 2; nu 1; nu 1 ];
+  (* _0=2, _0=_1, _1=1 gives 2=1: unsatisfiable *)
+  check "cross tuple chain sat" true [ nu 0; nu 0; i 1 ] [ i 2; nu 1; i 1 ];
+  check "null to null twice" true [ nu 0; nu 1 ] [ nu 1; nu 0 ];
+  check "arity mismatch" false [ i 1 ] [ i 1; i 2 ]
+
+let test_tuple_project () =
+  let t = tup [ i 1; i 2; i 3 ] in
+  Alcotest.check tuple_tc "reorder"
+    (tup [ i 3; i 1; i 1 ])
+    (Tuple.project [ 2; 0; 0 ] t);
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Tuple.project: index 3 out of bounds") (fun () ->
+      ignore (Tuple.project [ 3 ] t))
+
+(* unifiability is symmetric, and stable under applying any valuation to
+   one side only when it held before *)
+let prop_unifiable_symmetric =
+  QCheck2.Test.make ~count:200 ~name:"tuple unifiability is symmetric"
+    QCheck2.Gen.(pair (gen_tuple ~null_rate:0.5 3) (gen_tuple ~null_rate:0.5 3))
+    (fun (t1, t2) -> Tuple.unifiable t1 t2 = Tuple.unifiable t2 t1)
+
+(* if v(t1) = v(t2) for some valuation then the tuples unify *)
+let prop_unifiable_complete =
+  QCheck2.Test.make ~count:200
+    ~name:"joint valuation implies unifiable"
+    QCheck2.Gen.(
+      triple (gen_tuple ~null_rate:0.5 3) (gen_tuple ~null_rate:0.5 3)
+        (list_size (return 3) gen_const))
+    (fun (t1, t2, consts) ->
+      let nulls =
+        List.sort_uniq Int.compare (Tuple.nulls t1 @ Tuple.nulls t2)
+      in
+      let range = match consts with [] -> [ Value.Int 0 ] | cs -> cs in
+      let vals = Valuation.enumerate ~nulls ~range in
+      let joined =
+        List.exists
+          (fun v ->
+            Tuple.equal (Valuation.apply_tuple v t1) (Valuation.apply_tuple v t2))
+          vals
+      in
+      (not joined) || Tuple.unifiable t1 t2)
+
+(* ------------------------------------------------------------------ *)
+(* Relations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_relation_ops () =
+  let r = rel 2 [ [ i 1; i 2 ]; [ i 3; nu 0 ] ] in
+  let q = rel 2 [ [ i 1; i 2 ] ] in
+  check_rel "diff" (rel 2 [ [ i 3; nu 0 ] ]) (Relation.diff r q);
+  check_rel "inter" q (Relation.inter r q);
+  check_rel "union idempotent" r (Relation.union r r);
+  Alcotest.(check int) "product size" 2
+    (Relation.cardinal (Relation.product r q));
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Relation.union: arity mismatch (2 vs 1)") (fun () ->
+      ignore (Relation.union r (rel 1 [ [ i 1 ] ])))
+
+let test_relation_division () =
+  (* employees × projects: who works on all projects *)
+  let works =
+    rel 2
+      [ [ s "ann"; i 1 ]; [ s "ann"; i 2 ]; [ s "bob"; i 1 ];
+        [ s "cyd"; i 1 ]; [ s "cyd"; i 2 ] ]
+  in
+  let projects = rel 1 [ [ i 1 ]; [ i 2 ] ] in
+  check_rel "division"
+    (rel 1 [ [ s "ann" ]; [ s "cyd" ] ])
+    (Relation.division works projects);
+  check_rel "division by empty keeps all heads"
+    (rel 1 [ [ s "ann" ]; [ s "bob" ]; [ s "cyd" ] ])
+    (Relation.division works (Relation.empty 1))
+
+let test_anti_unify_semijoin () =
+  let r = rel 1 [ [ i 1 ]; [ i 2 ]; [ nu 0 ] ] in
+  let s_ = rel 1 [ [ i 2 ]; [ nu 1 ] ] in
+  (* _1 unifies with everything, so nothing survives *)
+  check_rel "null absorbs" (rel 1 []) (Relation.anti_unify_semijoin r s_);
+  let s2 = rel 1 [ [ i 2 ] ] in
+  check_rel "only non-unifiable survive"
+    (rel 1 [ [ i 1 ] ])
+    (Relation.anti_unify_semijoin (rel 1 [ [ i 1 ]; [ i 2 ]; [ nu 0 ] ]) s2)
+
+(* division agrees with its σπ×− expansion on random relations *)
+let prop_division_expansion =
+  QCheck2.Test.make ~count:100 ~name:"division = classical expansion"
+    QCheck2.Gen.(
+      pair
+        (gen_relation ~null_rate:0.2 ~max_size:6 2)
+        (gen_relation ~null_rate:0.2 ~max_size:3 1))
+    (fun (r, s_) ->
+      let direct = Relation.division r s_ in
+      let heads = Relation.project [ 0 ] r in
+      let missing =
+        Relation.project [ 0 ]
+          (Relation.diff (Relation.product heads s_) r)
+      in
+      Relation.equal direct (Relation.diff heads missing))
+
+(* ------------------------------------------------------------------ *)
+(* Bags                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_bag_basics () =
+  let b =
+    Bag_relation.of_list 1 [ (tup [ i 1 ], 2); (tup [ i 2 ], 1); (tup [ i 1 ], 1) ]
+  in
+  Alcotest.(check int) "accumulated" 3 (Bag_relation.multiplicity (tup [ i 1 ]) b);
+  Alcotest.(check int) "cardinal" 4 (Bag_relation.cardinal b);
+  Alcotest.(check int) "support" 2 (Bag_relation.support_size b)
+
+let test_bag_ops () =
+  let b1 = Bag_relation.of_list 1 [ (tup [ i 1 ], 3); (tup [ i 2 ], 1) ] in
+  let b2 = Bag_relation.of_list 1 [ (tup [ i 1 ], 1); (tup [ i 3 ], 2) ] in
+  let union = Bag_relation.union b1 b2 in
+  Alcotest.(check int) "union adds" 4
+    (Bag_relation.multiplicity (tup [ i 1 ]) union);
+  let diff = Bag_relation.diff b1 b2 in
+  Alcotest.(check int) "diff subtracts" 2
+    (Bag_relation.multiplicity (tup [ i 1 ]) diff);
+  Alcotest.(check int) "diff clamps at zero" 0
+    (Bag_relation.multiplicity (tup [ i 3 ]) diff);
+  let inter = Bag_relation.inter b1 b2 in
+  Alcotest.(check int) "inter takes min" 1
+    (Bag_relation.multiplicity (tup [ i 1 ]) inter);
+  let prod = Bag_relation.product b1 b2 in
+  Alcotest.(check int) "product multiplies" 3
+    (Bag_relation.multiplicity (tup [ i 1; i 1 ]) prod)
+
+let test_bag_projection_merges () =
+  let b =
+    Bag_relation.of_list 2 [ (tup [ i 1; i 2 ], 1); (tup [ i 1; i 3 ], 2) ]
+  in
+  Alcotest.(check int) "projection adds up" 3
+    (Bag_relation.multiplicity (tup [ i 1 ]) (Bag_relation.project [ 0 ] b))
+
+let test_bag_valuation_merges () =
+  let b =
+    Bag_relation.of_list 1 [ (tup [ nu 0 ], 2); (tup [ i 5 ], 1) ]
+  in
+  let v = Valuation.of_list [ (0, Value.Int 5) ] in
+  Alcotest.(check int) "valuation merges multiplicities" 3
+    (Bag_relation.multiplicity (tup [ i 5 ]) (Bag_relation.apply_valuation v b))
+
+(* ------------------------------------------------------------------ *)
+(* Valuations                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_valuation_apply () =
+  let v = Valuation.of_list [ (0, Value.Int 9) ] in
+  Alcotest.check tuple_tc "apply"
+    (tup [ i 9; i 1; nu 1 ])
+    (Valuation.apply_tuple v (tup [ nu 0; i 1; nu 1 ]))
+
+let test_enumerate_count () =
+  let vs = Valuation.enumerate ~nulls:[ 0; 1 ] ~range:[ Value.Int 0; Value.Int 1; Value.Int 2 ] in
+  Alcotest.(check int) "3^2 valuations" 9 (List.length vs)
+
+(* canonical enumeration: with c constants and n nulls the count is
+   sum over assignments: each null goes to one of c consts or a fresh
+   class (restricted growth).  For n=2, c=1: patterns are
+   (c,c) (c,f0) (f0,c) (f0,f0) (f0,f1) = 5 *)
+let test_enumerate_canonical_count () =
+  let vs =
+    Valuation.enumerate_canonical ~nulls:[ 0; 1 ] ~consts:[ Value.Int 7 ]
+  in
+  Alcotest.(check int) "5 patterns" 5 (List.length vs)
+
+let test_enumerate_canonical_distinct_patterns () =
+  (* all produced valuations are pairwise non-isomorphic: their induced
+     partitions plus constant assignments differ *)
+  let nulls = [ 0; 1; 2 ] in
+  let consts = [ Value.Int 0; Value.Int 1 ] in
+  let vs = Valuation.enumerate_canonical ~nulls ~consts in
+  let signature v =
+    List.map
+      (fun n ->
+        match Valuation.find v n with
+        | Some (Value.Gen _ as g) ->
+          (* fresh class index identifies the partition block *)
+          `Fresh g
+        | Some c -> `Const c
+        | None -> `Unassigned)
+      nulls
+  in
+  let sigs = List.map signature vs in
+  let distinct = List.sort_uniq compare sigs in
+  Alcotest.(check int) "no duplicate patterns" (List.length vs)
+    (List.length distinct)
+
+let test_bijective_fresh_roundtrip () =
+  let nulls = [ 3; 5 ] in
+  let v = Valuation.bijective_fresh ~nulls in
+  let t = tup [ nu 3; i 1; nu 5 ] in
+  let forward = Valuation.apply_tuple v t in
+  Alcotest.(check bool) "complete after" true (Tuple.is_complete forward);
+  let back = Array.map (Valuation.inverse_fresh ~nulls) forward in
+  Alcotest.check tuple_tc "roundtrip" t back
+
+(* ------------------------------------------------------------------ *)
+(* Conditions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_condition_eval_naive () =
+  let t = tup [ i 1; nu 0; nu 0 ] in
+  let open Condition in
+  Alcotest.(check bool) "null equals itself naively" true
+    (eval t (eq_col 1 2));
+  Alcotest.(check bool) "null is not const 1" false (eval t (eq_col 0 1));
+  Alcotest.(check bool) "is_null" true (eval t (Is_null 1));
+  Alcotest.(check bool) "is_const" true (eval t (Is_const 0))
+
+let test_condition_negate_involution () =
+  let open Condition in
+  let c = And (Or (eq_col 0 1, Is_null 0), neq_const 1 (Value.Int 3)) in
+  Alcotest.(check bool) "double negation" true (negate (negate c) = c)
+
+let test_condition_star () =
+  let open Condition in
+  (* A ≠ B becomes A ≠ B ∧ const(A) ∧ const(B) *)
+  let st = star (neq_col 0 1) in
+  let t_null = tup [ nu 0; i 1 ] in
+  let t_consts = tup [ i 2; i 1 ] in
+  Alcotest.(check bool) "null fails starred disequality" false (eval t_null st);
+  Alcotest.(check bool) "plain disequality would pass" true
+    (eval t_null (neq_col 0 1));
+  Alcotest.(check bool) "constants pass" true (eval t_consts st)
+
+(* negate is a semantic complement under naive evaluation *)
+let prop_negate_complement =
+  QCheck2.Test.make ~count:300 ~name:"negate complements naive eval"
+    QCheck2.Gen.(pair (gen_tuple ~null_rate:0.4 3) (gen_condition 3))
+    (fun (t, c) -> Condition.eval t (Condition.negate c) = not (Condition.eval t c))
+
+(* star only strengthens: star θ implies θ naively *)
+let prop_star_strengthens =
+  QCheck2.Test.make ~count:300 ~name:"star strengthens conditions"
+    QCheck2.Gen.(pair (gen_tuple ~null_rate:0.4 3) (gen_condition 3))
+    (fun (t, c) ->
+      (not (Condition.eval t (Condition.star c))) || Condition.eval t c)
+
+(* starred conditions are certain: if star θ holds on t, θ holds on v(t)
+   for every valuation v of the nulls of t *)
+let prop_star_certain =
+  QCheck2.Test.make ~count:200 ~name:"star θ holding implies θ in all worlds"
+    QCheck2.Gen.(pair (gen_tuple ~null_rate:0.4 3) (gen_condition 3))
+    (fun (t, c) ->
+      if not (Condition.eval t (Condition.star c)) then true
+      else begin
+        (* condition can still mention null(); star only guards ≠.
+           certainty only holds for conditions without null()/const()
+           tests on null positions, so restrict to test-free conditions *)
+        let rec test_free = function
+          | Condition.True | Condition.False | Condition.Eq _ | Condition.Neq _
+          | Condition.Lt _ | Condition.Le _ ->
+            true
+          | Condition.Is_const _ | Condition.Is_null _ -> false
+          | Condition.And (a, b) | Condition.Or (a, b) ->
+            test_free a && test_free b
+        in
+        if not (test_free c) then true
+        else
+          let nulls = Tuple.nulls t in
+          (* the range must include the constants of t and c plus fresh *)
+          let range =
+            List.sort_uniq Value.compare_const
+              (Tuple.consts t @ Condition.consts c
+              @ [ Value.Gen 0; Value.Gen 1 ])
+          in
+          List.for_all
+            (fun v -> Condition.eval (Valuation.apply_tuple v t) c)
+            (Valuation.enumerate ~nulls ~range)
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Algebra evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let db_simple =
+  Database.of_list test_schema
+    [ ("R", [ tup [ i 1; i 2 ]; tup [ i 1; nu 0 ] ]);
+      ("S", [ tup [ i 2; i 3 ] ]);
+      ("T", [ tup [ i 1 ] ]);
+      ("U", [ tup [ nu 1 ] ]) ]
+
+let test_eval_select_project () =
+  let open Algebra in
+  let q = Project ([ 1 ], Select (Condition.eq_const 0 (Value.Int 1), Rel "R")) in
+  check_rel "select+project" (rel 1 [ [ i 2 ]; [ nu 0 ] ]) (Eval.run db_simple q)
+
+let test_eval_join_via_product () =
+  let open Algebra in
+  (* R ⋈ S on R.b = S.b, projected to (a, c) *)
+  let q =
+    Project ([ 0; 3 ], Select (Condition.eq_col 1 2, Product (Rel "R", Rel "S")))
+  in
+  check_rel "join" (rel 2 [ [ i 1; i 3 ] ]) (Eval.run db_simple q)
+
+let test_eval_diff_naive () =
+  let open Algebra in
+  (* the {1} − {⊥} example of Section 4.1: naive evaluation keeps 1 *)
+  let q = Diff (Rel "T", Rel "U") in
+  check_rel "naive difference keeps 1" (rel 1 [ [ i 1 ] ])
+    (Eval.run db_simple q)
+
+let test_eval_dom () =
+  let q = Algebra.Dom 1 in
+  let result = Eval.run db_simple q in
+  (* active domain: constants 1 2 3 and nulls _0 _1 *)
+  Alcotest.(check int) "dom size" 5 (Relation.cardinal result);
+  let with_extra = Eval.run ~extra_consts:[ Value.Int 99 ] db_simple q in
+  Alcotest.(check int) "dom with extra const" 6 (Relation.cardinal with_extra)
+
+let test_eval_division () =
+  let open Algebra in
+  let db =
+    Database.of_list test_schema
+      [ ("R", [ tup [ i 1; i 7 ]; tup [ i 1; i 8 ]; tup [ i 2; i 7 ] ]);
+        ("T", [ tup [ i 7 ]; tup [ i 8 ] ]) ]
+  in
+  check_rel "R ÷ T" (rel 1 [ [ i 1 ] ]) (Eval.run db (Division (Rel "R", Rel "T")))
+
+let test_eval_type_errors () =
+  let open Algebra in
+  let checks =
+    [ Union (Rel "R", Rel "T"); Select (Condition.eq_col 0 5, Rel "R");
+      Project ([ 2 ], Rel "R"); Division (Rel "T", Rel "R"); Rel "Z" ]
+  in
+  List.iter
+    (fun q ->
+      match Eval.run db_simple q with
+      | _ -> Alcotest.failf "expected Type_error for %s" (Algebra.to_string q)
+      | exception Algebra.Type_error _ -> ())
+    checks
+
+(* every well-typed generated query evaluates without exceptions and
+   yields the declared arity *)
+let prop_eval_total =
+  QCheck2.Test.make ~count:300 ~name:"evaluation is total on typed queries"
+    QCheck2.Gen.(pair (gen_db ()) (gen_query ~allow_division:true ()))
+    (fun (db, q) ->
+      let k = Algebra.arity test_schema q in
+      let r = Eval.run db q in
+      Relation.arity r = k)
+
+(* genericity of evaluation: renaming constants by a bijection commutes
+   with query evaluation for queries without literal constants *)
+let prop_eval_generic =
+  QCheck2.Test.make ~count:150 ~name:"evaluation is generic"
+    QCheck2.Gen.(pair (gen_db ()) (gen_query ()))
+    (fun (db, q) ->
+      (* only run on queries without constants in conditions *)
+      if Algebra.consts q <> [] then true
+      else begin
+        let pi = function
+          | Value.Const (Value.Int n) -> Value.Const (Value.Int (n + 100))
+          | v -> v
+        in
+        let rename_rel r =
+          Relation.map ~arity:(Relation.arity r) (Array.map pi) r
+        in
+        let db' = Database.map_relations (fun _ r -> rename_rel r) db in
+        let lhs = rename_rel (Eval.run db q) in
+        let rhs = Eval.run db' q in
+        Relation.equal lhs rhs
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Homomorphisms                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let graph_db edges =
+  let schema = Schema.of_list [ ("E", [ "src"; "dst" ]) ] in
+  Database.of_list schema [ ("E", List.map tup edges) ]
+
+let test_hom_exists () =
+  let d = graph_db [ [ i 1; nu 0 ]; [ nu 0; i 2 ] ] in
+  let d' = graph_db [ [ i 1; i 5 ]; [ i 5; i 2 ] ] in
+  Alcotest.(check bool) "hom exists" true (Homomorphism.exists ~from_:d ~to_:d' ());
+  let d'' = graph_db [ [ i 1; i 5 ] ] in
+  Alcotest.(check bool) "no hom" false
+    (Homomorphism.exists ~from_:d ~to_:d'' ())
+
+let test_hom_constants_fixed () =
+  let d = graph_db [ [ i 1; i 2 ] ] in
+  let d' = graph_db [ [ i 3; i 4 ] ] in
+  Alcotest.(check bool) "constants are rigid" false
+    (Homomorphism.exists ~from_:d ~to_:d' ())
+
+let test_hom_onto_vs_strong_onto () =
+  (* the paper's example: D = {R(⊥1,⊥2)}, D' = {R(1,2), R(2,1)};
+     h(⊥1)=1, h(⊥2)=2 is onto but not strong onto *)
+  let d = graph_db [ [ nu 1; nu 2 ] ] in
+  let d' = graph_db [ [ i 1; i 2 ]; [ i 2; i 1 ] ] in
+  Alcotest.(check bool) "onto exists" true
+    (Homomorphism.exists ~kind:Homomorphism.Onto ~from_:d ~to_:d' ());
+  Alcotest.(check bool) "strong onto does not" false
+    (Homomorphism.exists ~kind:Homomorphism.Strong_onto ~from_:d ~to_:d' ())
+
+let test_hom_found_is_valid () =
+  let d = graph_db [ [ i 1; nu 0 ]; [ nu 0; nu 1 ] ] in
+  let d' = graph_db [ [ i 1; i 1 ]; [ i 1; i 2 ] ] in
+  match Homomorphism.find ~from_:d ~to_:d' () with
+  | None -> Alcotest.fail "expected a homomorphism"
+  | Some h ->
+    Alcotest.(check bool) "valid" true (Homomorphism.is_homomorphism h ~from_:d ~to_:d')
+
+(* a strong onto homomorphism image equals the target *)
+let prop_strong_onto_image =
+  QCheck2.Test.make ~count:100 ~name:"strong onto means image = target"
+    QCheck2.Gen.(
+      pair
+        (gen_relation ~null_rate:0.4 ~max_size:3 2)
+        (gen_relation ~null_rate:0.0 ~max_size:3 2))
+    (fun (r, r') ->
+      let schema = Schema.of_list [ ("E", [ "x"; "y" ]) ] in
+      let d = Database.of_list schema [ ("E", Relation.to_list r) ] in
+      let d' = Database.of_list schema [ ("E", Relation.to_list r') ] in
+      match Homomorphism.find ~kind:Homomorphism.Strong_onto ~from_:d ~to_:d' () with
+      | None -> true
+      | Some h -> Database.equal (Homomorphism.apply h d) d')
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+
+(* cores: the minimal retracts behind Theorem 3.11's size bounds *)
+let test_core_two_cycles () =
+  (* two disjoint 2-cycles of nulls retract onto one *)
+  let d =
+    graph_db
+      [ [ nu 1; nu 2 ]; [ nu 2; nu 1 ]; [ nu 3; nu 4 ]; [ nu 4; nu 3 ] ]
+  in
+  let c = Homomorphism.core d in
+  Alcotest.(check int) "core has 2 facts" 2 (Database.size c);
+  Alcotest.(check bool) "core is hom-equivalent to the original" true
+    (Homomorphism.hom_equivalent d c);
+  Alcotest.(check bool) "core is its own core" true
+    (Database.size (Homomorphism.core c) = Database.size c)
+
+let test_core_constants_rigid () =
+  (* constants cannot be folded: a constant path is its own core *)
+  let d = graph_db [ [ i 1; i 2 ]; [ i 2; i 3 ] ] in
+  Alcotest.(check bool) "constant facts are rigid" true
+    (Database.equal (Homomorphism.core d) d);
+  (* but a null edge parallel to a constant edge folds away *)
+  let d2 = graph_db [ [ i 1; i 2 ]; [ nu 0; nu 1 ] ] in
+  Alcotest.(check int) "null edge folds onto the constant edge" 1
+    (Database.size (Homomorphism.core d2))
+
+let prop_core_hom_equivalent =
+  QCheck2.Test.make ~count:60 ~name:"core is hom-equivalent and minimal"
+    (gen_relation ~null_rate:0.6 ~max_size:4 2)
+    (fun r ->
+      let schema = Schema.of_list [ ("E", [ "x"; "y" ]) ] in
+      let d = Database.of_list schema [ ("E", Relation.to_list r) ] in
+      let c = Homomorphism.core d in
+      Homomorphism.hom_equivalent d c
+      && Homomorphism.shrinking_endomorphism c = None)
+
+(* the optimized anti-semijoin agrees with the nested-loop reference *)
+let prop_anti_semijoin_impls_agree =
+  QCheck2.Test.make ~count:300
+    ~name:"anti_unify_semijoin = nested-loop reference"
+    QCheck2.Gen.(
+      pair
+        (gen_relation ~null_rate:0.3 ~max_size:8 2)
+        (gen_relation ~null_rate:0.3 ~max_size:8 2))
+    (fun (r, s_) ->
+      Relation.equal
+        (Relation.anti_unify_semijoin r s_)
+        (Relation.anti_unify_semijoin_nested r s_))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "relational"
+    [ ( "value",
+        [ Alcotest.test_case "ordering" `Quick test_value_order;
+          Alcotest.test_case "unifiable" `Quick test_value_unifiable ] );
+      ( "tuple",
+        [ Alcotest.test_case "unifiable" `Quick test_tuple_unifiable;
+          Alcotest.test_case "project" `Quick test_tuple_project ] );
+      qsuite "tuple-props" [ prop_unifiable_symmetric; prop_unifiable_complete ];
+      ( "relation",
+        [ Alcotest.test_case "set ops" `Quick test_relation_ops;
+          Alcotest.test_case "division" `Quick test_relation_division;
+          Alcotest.test_case "anti unify semijoin" `Quick test_anti_unify_semijoin
+        ] );
+      qsuite "relation-props" [ prop_division_expansion ];
+      ( "bag",
+        [ Alcotest.test_case "basics" `Quick test_bag_basics;
+          Alcotest.test_case "operations" `Quick test_bag_ops;
+          Alcotest.test_case "projection merges" `Quick test_bag_projection_merges;
+          Alcotest.test_case "valuation merges" `Quick test_bag_valuation_merges
+        ] );
+      ( "valuation",
+        [ Alcotest.test_case "apply" `Quick test_valuation_apply;
+          Alcotest.test_case "enumerate count" `Quick test_enumerate_count;
+          Alcotest.test_case "canonical count" `Quick
+            test_enumerate_canonical_count;
+          Alcotest.test_case "canonical patterns distinct" `Quick
+            test_enumerate_canonical_distinct_patterns;
+          Alcotest.test_case "bijective fresh roundtrip" `Quick
+            test_bijective_fresh_roundtrip ] );
+      ( "condition",
+        [ Alcotest.test_case "naive eval" `Quick test_condition_eval_naive;
+          Alcotest.test_case "negate involution" `Quick
+            test_condition_negate_involution;
+          Alcotest.test_case "star" `Quick test_condition_star ] );
+      qsuite "condition-props"
+        [ prop_negate_complement; prop_star_strengthens; prop_star_certain ];
+      ( "eval",
+        [ Alcotest.test_case "select project" `Quick test_eval_select_project;
+          Alcotest.test_case "join" `Quick test_eval_join_via_product;
+          Alcotest.test_case "difference naive" `Quick test_eval_diff_naive;
+          Alcotest.test_case "dom" `Quick test_eval_dom;
+          Alcotest.test_case "division" `Quick test_eval_division;
+          Alcotest.test_case "type errors" `Quick test_eval_type_errors ] );
+      qsuite "eval-props" [ prop_eval_total; prop_eval_generic ];
+      ( "homomorphism",
+        [ Alcotest.test_case "existence" `Quick test_hom_exists;
+          Alcotest.test_case "constants fixed" `Quick test_hom_constants_fixed;
+          Alcotest.test_case "onto vs strong onto" `Quick
+            test_hom_onto_vs_strong_onto;
+          Alcotest.test_case "found is valid" `Quick test_hom_found_is_valid ] );
+      qsuite "homomorphism-props" [ prop_strong_onto_image ];
+      ( "core",
+        [ Alcotest.test_case "two cycles fold" `Quick test_core_two_cycles;
+          Alcotest.test_case "constants rigid" `Quick
+            test_core_constants_rigid ] );
+      qsuite "core-props" [ prop_core_hom_equivalent ];
+      qsuite "anti-semijoin-props" [ prop_anti_semijoin_impls_agree ] ]

@@ -1,0 +1,308 @@
+(* Tests for the mini SQL front end: lexer, parser, SQL-faithful
+   three-valued evaluation, and translation to relational algebra —
+   including the full Figure 1 scenario of the paper's introduction
+   (false negatives and false positives caused by a single NULL). *)
+
+open Incdb_relational
+open Incdb_sql
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Lexer and parser                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_lexer () =
+  let tokens = Lexer.tokenize "SELECT o.oid FROM Orders o WHERE price <> 30" in
+  Alcotest.(check int) "token count" 10 (List.length tokens);
+  (match tokens with
+   | Lexer.SELECT :: Lexer.QUALIFIED ("o", "oid") :: Lexer.FROM :: _ -> ()
+   | _ -> Alcotest.fail "unexpected token stream");
+  Alcotest.check_raises "unterminated string"
+    (Lexer.Lex_error "unterminated string at offset 9") (fun () ->
+      ignore (Lexer.tokenize "SELECT x 'oops"))
+
+let test_parser_roundtrip () =
+  let q =
+    Parser.parse
+      "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)"
+  in
+  (match q with
+   | Ast.Simple sq ->
+     Alcotest.(check int) "one select item" 1 (List.length sq.Ast.select);
+     (match sq.Ast.where with
+      | Some (Ast.Not_in (Ast.Col (None, "oid"), Ast.Simple sub)) ->
+        Alcotest.(check int) "subquery from" 1 (List.length sub.Ast.from)
+      | _ -> Alcotest.fail "expected NOT IN")
+   | Ast.Union _ -> Alcotest.fail "expected a simple query");
+  (* keywords are case-insensitive *)
+  (match Parser.parse "select * from T where x is not null" with
+   | Ast.Simple { Ast.where = Some (Ast.Is_not_null _); _ } -> ()
+   | _ -> Alcotest.fail "expected IS NOT NULL")
+
+let test_parser_errors () =
+  let bad input =
+    match Parser.parse input with
+    | _ -> Alcotest.failf "expected parse error for %s" input
+    | exception Parser.Parse_error _ -> ()
+  in
+  bad "SELECT FROM T";
+  bad "SELECT x FROM";
+  bad "SELECT x FROM T WHERE";
+  bad "SELECT x FROM T WHERE x = 1 extra"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: the paper's running example                                *)
+(* ------------------------------------------------------------------ *)
+
+let fig1_schema =
+  Schema.of_list
+    [ ("Orders", [ "oid"; "title"; "price" ]);
+      ("Payments", [ "cid"; "oid" ]);
+      ("Customers", [ "cid"; "name" ]) ]
+
+let fig1_complete =
+  Database.of_list fig1_schema
+    [ ("Orders",
+       [ tup [ s "o1"; s "Big Data"; i 30 ];
+         tup [ s "o2"; s "SQL"; i 35 ];
+         tup [ s "o3"; s "Logic"; i 50 ] ]);
+      ("Payments", [ tup [ s "c1"; s "o1" ]; tup [ s "c2"; s "o2" ] ]);
+      ("Customers", [ tup [ s "c1"; s "John" ]; tup [ s "c2"; s "Mary" ] ]) ]
+
+(* the same database with the oid of the second payment NULLed *)
+let fig1_null =
+  Database.of_list fig1_schema
+    [ ("Orders",
+       [ tup [ s "o1"; s "Big Data"; i 30 ];
+         tup [ s "o2"; s "SQL"; i 35 ];
+         tup [ s "o3"; s "Logic"; i 50 ] ]);
+      ("Payments", [ tup [ s "c1"; s "o1" ]; tup [ s "c2"; nu 0 ] ]);
+      ("Customers", [ tup [ s "c1"; s "John" ]; tup [ s "c2"; s "Mary" ] ]) ]
+
+let unpaid_orders_sql =
+  "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)"
+
+let no_paid_order_sql =
+  "SELECT C.cid FROM Customers C WHERE NOT EXISTS (SELECT * FROM Orders O, \
+   Payments P WHERE C.cid = P.cid AND P.oid = O.oid)"
+
+let tautology_sql =
+  "SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'"
+
+let test_fig1_complete () =
+  (* on the complete database everything behaves as expected *)
+  check_rel "unpaid orders = {o3}" (rel 1 [ [ s "o3" ] ])
+    (Three_valued.run fig1_complete unpaid_orders_sql);
+  check_rel "customers without a paid order = {}" (rel 1 [])
+    (Three_valued.run fig1_complete no_paid_order_sql);
+  check_rel "tautology query = {c1, c2}" (rel 1 [ [ s "c1" ]; [ s "c2" ] ])
+    (Three_valued.run fig1_complete tautology_sql)
+
+let test_fig1_with_null () =
+  (* a single NULL changes the answers drastically, in different ways *)
+  check_rel "unpaid orders now empty" (rel 1 [])
+    (Three_valued.run fig1_null unpaid_orders_sql);
+  check_rel "c2 appears — a false positive" (rel 1 [ [ s "c2" ] ])
+    (Three_valued.run fig1_null no_paid_order_sql);
+  (* SQL misses c2: the certain answer is {c1, c2} *)
+  check_rel "tautology query loses c2" (rel 1 [ [ s "c1" ] ])
+    (Three_valued.run fig1_null tautology_sql)
+
+let test_fig1_certain_answers () =
+  (* ground truth via the exact certain-answer machinery on the
+     translated algebra queries *)
+  let unpaid = To_algebra.translate_string fig1_schema unpaid_orders_sql in
+  let no_paid = To_algebra.translate_string fig1_schema no_paid_order_sql in
+  let taut = To_algebra.translate_string fig1_schema tautology_sql in
+  check_rel "cert⊥(unpaid) = {} (no false negative)" (rel 1 [])
+    (Incdb_certain.Certainty.cert_with_nulls_ra fig1_null unpaid);
+  check_rel "cert⊥(no paid order) = {} (c2 is a false positive)" (rel 1 [])
+    (Incdb_certain.Certainty.cert_with_nulls_ra fig1_null no_paid);
+  check_rel "cert⊥(tautology) = {c1, c2}" (rel 1 [ [ s "c1" ]; [ s "c2" ] ])
+    (Incdb_certain.Certainty.cert_with_nulls_ra fig1_null taut);
+  (* the sound approximation never returns the false positive *)
+  check_rel "Q⁺(no paid order) = {}" (rel 1 [])
+    (Incdb_certain.Scheme_pm.certain_sub fig1_null no_paid)
+
+(* ------------------------------------------------------------------ *)
+(* Translation to algebra                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* on complete databases, SQL 3VL evaluation and the two-valued
+   evaluation of the translated query agree *)
+let fig1_queries =
+  [ unpaid_orders_sql; no_paid_order_sql; tautology_sql;
+    "SELECT oid FROM Orders WHERE price = 30";
+    "SELECT O.oid FROM Orders O, Payments P WHERE O.oid = P.oid";
+    "SELECT oid FROM Orders WHERE oid IN (SELECT oid FROM Payments)";
+    "SELECT name FROM Customers WHERE EXISTS (SELECT * FROM Payments P \
+     WHERE P.cid = Customers.cid)";
+    "SELECT oid FROM Orders WHERE price <> 30 AND price <> 35";
+    "SELECT oid FROM Orders WHERE price < 40";
+    "SELECT oid FROM Orders WHERE price >= 35 AND price <= 50";
+    "SELECT title FROM Orders WHERE price = 30 OR price = 50" ]
+
+let test_translation_agrees_on_complete () =
+  List.iter
+    (fun sql ->
+      let via_sql = Three_valued.run fig1_complete sql in
+      let q = To_algebra.translate_string fig1_schema sql in
+      let via_algebra = Eval.run fig1_complete q in
+      Alcotest.check relation_tc sql via_sql via_algebra)
+    fig1_queries
+
+(* SQL's answers are a superset of Q⁺ and a subset of Q? only in the
+   absence of negation; in general they are sandwiched by nothing —
+   but on complete databases everything coincides *)
+let test_translation_no_nulls_identity () =
+  List.iter
+    (fun sql ->
+      let q = To_algebra.translate_string fig1_schema sql in
+      let reference = Eval.run fig1_complete q in
+      check_rel sql reference
+        (Incdb_certain.Scheme_pm.certain_sub fig1_complete q))
+    fig1_queries
+
+(* SQL evaluation on randomly nulled databases: the certain answers
+   under-approximate is not guaranteed for SQL (that is the point), but
+   Q⁺ of the translation is always sound *)
+let prop_translated_plus_sound =
+  QCheck2.Test.make ~count:25 ~name:"Q⁺ of translated SQL is sound"
+    (QCheck2.Gen.oneofl fig1_queries)
+    (fun sql ->
+      let q = To_algebra.translate_string fig1_schema sql in
+      Relation.subset
+        (Incdb_certain.Scheme_pm.certain_sub fig1_null q)
+        (Incdb_certain.Certainty.cert_with_nulls_ra fig1_null q))
+
+(* three-valued evaluation agrees with the two-valued one on complete
+   databases for random predicates *)
+let test_three_valued_null_semantics () =
+  let db =
+    Database.of_list fig1_schema
+      [ ("Payments", [ tup [ s "c1"; nu 0 ] ]) ]
+  in
+  (* NULL = NULL is unknown: the row is filtered out *)
+  check_rel "null = null filtered" (rel 1 [])
+    (Three_valued.run db "SELECT cid FROM Payments WHERE oid = oid");
+  (* IS NULL sees it *)
+  check_rel "IS NULL works" (rel 1 [ [ s "c1" ] ])
+    (Three_valued.run db "SELECT cid FROM Payments WHERE oid IS NULL");
+  (* NOT (u) = u: still filtered *)
+  check_rel "NOT of unknown filtered" (rel 1 [])
+    (Three_valued.run db "SELECT cid FROM Payments WHERE NOT (oid = oid)")
+
+let test_sql_errors () =
+  let db = fig1_complete in
+  let fails sql =
+    match Three_valued.run db sql with
+    | _ -> Alcotest.failf "expected Sql_error for %s" sql
+    | exception Three_valued.Sql_error _ -> ()
+  in
+  fails "SELECT x FROM Orders";
+  fails "SELECT oid FROM Nope";
+  fails "SELECT Z.oid FROM Orders O"
+
+
+(* UNION, IN-lists and DISTINCT *)
+let test_union_and_in_list () =
+  check_rel "UNION merges branches"
+    (rel 1 [ [ s "o1" ]; [ s "o3" ] ])
+    (Three_valued.run fig1_complete
+       "SELECT oid FROM Orders WHERE price = 30 UNION SELECT oid FROM \
+        Orders WHERE price = 50");
+  check_rel "IN literal list"
+    (rel 1 [ [ s "o1" ]; [ s "o2" ] ])
+    (Three_valued.run fig1_complete
+       "SELECT oid FROM Orders WHERE price IN (30, 35)");
+  check_rel "NOT IN literal list"
+    (rel 1 [ [ s "o3" ] ])
+    (Three_valued.run fig1_complete
+       "SELECT oid FROM Orders WHERE price NOT IN (30, 35)");
+  check_rel "DISTINCT is accepted"
+    (rel 1 [ [ s "John" ]; [ s "Mary" ] ])
+    (Three_valued.run fig1_complete "SELECT DISTINCT name FROM Customers");
+  (* NOT IN a list is unknown when the column is null: row filtered *)
+  check_rel "NOT IN list with NULL filters"
+    (rel 1 [ [ s "c1" ] ])
+    (Three_valued.run fig1_null
+       "SELECT cid FROM Payments WHERE oid NOT IN ('o3', 'o4')")
+
+let test_union_translation () =
+  let queries =
+    [ "SELECT oid FROM Orders WHERE price = 30 UNION SELECT oid FROM Orders \
+       WHERE price = 50";
+      "SELECT oid FROM Orders WHERE price IN (30, 35)";
+      "SELECT oid FROM Orders WHERE price NOT IN (30, 35)";
+      "SELECT oid FROM Orders WHERE oid IN (SELECT oid FROM Payments UNION \
+       SELECT oid FROM Orders WHERE price = 50)";
+      "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments \
+       UNION SELECT oid FROM Orders WHERE price = 50)" ]
+  in
+  List.iter
+    (fun sql ->
+      let via_sql = Three_valued.run fig1_complete sql in
+      let q = To_algebra.translate_string fig1_schema sql in
+      Alcotest.check relation_tc sql via_sql (Eval.run fig1_complete q))
+    queries
+
+
+(* typed order comparisons (Section 6, "types of attributes") *)
+let test_order_comparisons () =
+  check_rel "price < 40" (rel 1 [ [ s "o1" ]; [ s "o2" ] ])
+    (Three_valued.run fig1_complete "SELECT oid FROM Orders WHERE price < 40");
+  check_rel "price >= 35" (rel 1 [ [ s "o2" ]; [ s "o3" ] ])
+    (Three_valued.run fig1_complete "SELECT oid FROM Orders WHERE price >= 35");
+  (* with a NULL price, comparisons are unknown and the row is filtered *)
+  let schema = Schema.of_list [ ("Items", [ "sku"; "price" ]) ] in
+  let db =
+    Database.of_list schema
+      [ ("Items", [ tup [ i 1; i 30 ]; tup [ i 2; nu 0 ] ]) ]
+  in
+  check_rel "NULL price filtered by SQL" (rel 1 [ [ i 1 ] ])
+    (Three_valued.run db "SELECT sku FROM Items WHERE price < 40");
+  (* the sound scheme agrees: only sku 1 is certain, sku 2 possible *)
+  let q = To_algebra.translate_string schema "SELECT sku FROM Items WHERE price < 40" in
+  check_rel "Q+ on order comparison" (rel 1 [ [ i 1 ] ])
+    (Incdb_certain.Scheme_pm.certain_sub db q);
+  check_rel "Q? keeps the unknown" (rel 1 [ [ i 1 ]; [ i 2 ] ])
+    (Incdb_certain.Scheme_pm.possible_sup db q);
+  check_rel "cert-bot agrees with Q+ here" (rel 1 [ [ i 1 ] ])
+    (Incdb_certain.Certainty.cert_with_nulls_ra db q)
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "sql"
+    [ ( "lexing-parsing",
+        [ Alcotest.test_case "lexer" `Quick test_lexer;
+          Alcotest.test_case "parser roundtrip" `Quick test_parser_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parser_errors ] );
+      ( "figure-1",
+        [ Alcotest.test_case "complete database" `Quick test_fig1_complete;
+          Alcotest.test_case "one NULL changes everything" `Quick
+            test_fig1_with_null;
+          Alcotest.test_case "certain answers ground truth" `Quick
+            test_fig1_certain_answers ] );
+      ( "translation",
+        [ Alcotest.test_case "agrees on complete data" `Quick
+            test_translation_agrees_on_complete;
+          Alcotest.test_case "Q⁺ lossless on complete data" `Quick
+            test_translation_no_nulls_identity ] );
+      qsuite "translation-props" [ prop_translated_plus_sound ];
+      ( "sql-extensions",
+        [ Alcotest.test_case "union / in-list / distinct" `Quick
+            test_union_and_in_list;
+          Alcotest.test_case "union translation" `Quick
+            test_union_translation ] );
+      ( "order-comparisons",
+        [ Alcotest.test_case "< <= > >= end to end" `Quick
+            test_order_comparisons ] );
+      ( "three-valued",
+        [ Alcotest.test_case "null comparison semantics" `Quick
+            test_three_valued_null_semantics;
+          Alcotest.test_case "error reporting" `Quick test_sql_errors ] ) ]

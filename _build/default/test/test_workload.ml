@@ -1,0 +1,139 @@
+(* Tests for the workload generators: determinism, null-rate control,
+   schema conformance of the TPC-H-mini generator, and well-typedness
+   of generated queries. *)
+
+open Incdb_relational
+open Incdb_workload
+open Helpers
+
+let test_generator_deterministic () =
+  let gen seed =
+    Generator.random_database
+      (Generator.make_rng ~seed)
+      test_schema ~size:10 ~const_pool:5 ~null_rate:0.2
+  in
+  Alcotest.(check bool) "same seed, same database" true
+    (Database.equal (gen 42) (gen 42));
+  Alcotest.(check bool) "different seeds differ" false
+    (Database.equal (gen 42) (gen 43))
+
+let test_generator_null_rate () =
+  let rng = Generator.make_rng ~seed:7 in
+  let next_null = ref 0 in
+  (* a large constant pool avoids duplicate complete tuples collapsing
+     in the set, which would skew the observed rate *)
+  let r =
+    Generator.random_relation rng ~arity:2 ~size:500 ~const_pool:100_000
+      ~null_rate:0.3 ~next_null
+  in
+  (* fresh nulls never repeat, so #nulls = #null positions *)
+  let nulls = List.length (Relation.nulls r) in
+  let positions = 2 * Relation.cardinal r in
+  let rate = float_of_int nulls /. float_of_int positions in
+  Alcotest.(check bool)
+    (Printf.sprintf "observed rate %.3f within [0.2, 0.4]" rate)
+    true
+    (rate > 0.2 && rate < 0.4);
+  (* with rate 0 there are no nulls at all *)
+  let complete =
+    Generator.random_relation rng ~arity:2 ~size:100 ~const_pool:5
+      ~null_rate:0.0 ~next_null
+  in
+  Alcotest.(check bool) "no nulls at rate 0" true (Relation.is_complete complete)
+
+let test_inject_nulls () =
+  let rng = Generator.make_rng ~seed:1 in
+  let db =
+    Generator.random_database rng test_schema ~size:50 ~const_pool:5
+      ~null_rate:0.0
+  in
+  let injected = Generator.inject_nulls (Generator.make_rng ~seed:2) ~rate:0.25 db in
+  Alcotest.(check bool) "nulls were injected" true
+    (List.length (Database.nulls injected) > 0);
+  Alcotest.(check int) "same total size" (Database.size db)
+    (Database.size injected)
+
+let test_random_queries_well_typed () =
+  let rng = Generator.make_rng ~seed:5 in
+  for _ = 1 to 200 do
+    let q = Generator.random_query rng test_schema ~depth:4 ~positive:false in
+    Alcotest.(check bool) (Algebra.to_string q) true
+      (Algebra.well_typed test_schema q)
+  done;
+  (* positive queries are recognised as such *)
+  for _ = 1 to 200 do
+    let q = Generator.random_query rng test_schema ~depth:3 ~positive:true in
+    Alcotest.(check bool) (Algebra.to_string q) true
+      (Incdb_certain.Classes.is_positive q)
+  done
+
+let test_tpch_generate () =
+  let rng = Generator.make_rng ~seed:11 in
+  let db = Tpch_mini.generate rng ~scale:2 in
+  Alcotest.(check int) "customers" 50
+    (Relation.cardinal (Database.relation db "customer"));
+  Alcotest.(check int) "orders" 100
+    (Relation.cardinal (Database.relation db "orders"));
+  Alcotest.(check int) "lineitems" 200
+    (Relation.cardinal (Database.relation db "lineitem"));
+  Alcotest.(check int) "parts" 40
+    (Relation.cardinal (Database.relation db "part"));
+  Alcotest.(check bool) "complete" true (Database.is_complete db);
+  (* foreign keys land in range: every order's custkey is a customer *)
+  let custkeys =
+    Relation.project [ 0 ] (Database.relation db "customer")
+  in
+  Alcotest.(check bool) "orders reference customers" true
+    (Relation.for_all
+       (fun o -> Relation.mem [| o.(1) |] custkeys)
+       (Database.relation db "orders"))
+
+let test_tpch_nulls_preserve_keys () =
+  let rng = Generator.make_rng ~seed:11 in
+  let db = Tpch_mini.generate rng ~scale:1 in
+  let nulled = Tpch_mini.with_nulls (Generator.make_rng ~seed:3) ~rate:0.5 db in
+  (* key columns stay complete *)
+  let col_complete rel idx =
+    Relation.for_all (fun t -> Value.is_const t.(idx))
+      (Database.relation nulled rel)
+  in
+  Alcotest.(check bool) "custkey complete" true (col_complete "customer" 0);
+  Alcotest.(check bool) "orderkey complete" true (col_complete "orders" 0);
+  Alcotest.(check bool) "order custkey complete" true (col_complete "orders" 1);
+  Alcotest.(check bool) "nulls present" true
+    (List.length (Database.nulls nulled) > 0)
+
+let test_tpch_queries_run () =
+  let rng = Generator.make_rng ~seed:11 in
+  let db = Tpch_mini.generate rng ~scale:1 in
+  let nulled = Tpch_mini.with_nulls (Generator.make_rng ~seed:4) ~rate:0.1 db in
+  List.iter
+    (fun { Tpch_mini.qname; query; _ } ->
+      Alcotest.(check bool)
+        (qname ^ " well-typed")
+        true
+        (Algebra.well_typed Tpch_mini.schema query);
+      (* plain evaluation and the Q⁺ approximation both run *)
+      let reference = Eval.run db query in
+      let approx = Incdb_certain.Scheme_pm.certain_sub db query in
+      Alcotest.(check bool)
+        (qname ^ " lossless on complete data")
+        true
+        (Relation.equal reference approx);
+      ignore (Incdb_certain.Scheme_pm.certain_sub nulled query);
+      ignore (Incdb_certain.Scheme_pm.possible_sup nulled query))
+    Tpch_mini.queries
+
+let () =
+  Alcotest.run "workload"
+    [ ( "generator",
+        [ Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "null rate" `Quick test_generator_null_rate;
+          Alcotest.test_case "inject nulls" `Quick test_inject_nulls;
+          Alcotest.test_case "random queries typed" `Quick
+            test_random_queries_well_typed ] );
+      ( "tpch-mini",
+        [ Alcotest.test_case "generate" `Quick test_tpch_generate;
+          Alcotest.test_case "nulls preserve keys" `Quick
+            test_tpch_nulls_preserve_keys;
+          Alcotest.test_case "queries run" `Quick test_tpch_queries_run ] ) ]
