@@ -20,7 +20,11 @@
      e11  ablation: the algebraic optimizer on scheme translations
      e12  ablation: anti-semijoin implementation (split vs nested)
      e13  value-inventing queries: aggregate ranges, classification
-     e14  Datalog: monotone fixpoints are exactly certain *)
+     e14  Datalog: monotone fixpoints are exactly certain
+     e15  physical planner: hash equi-join vs nested loop (set and bag)
+
+   A trailing `--json` flag additionally writes the e15 measurements to
+   BENCH_PR1.json in the current directory. *)
 
 open Incdb
 
@@ -885,6 +889,114 @@ let exp_e14 () =
        (Datalog.Eval.certain_exact small tc "path"))
 
 (* ------------------------------------------------------------------ *)
+(* E15: the physical planner — hash equi-join vs nested loop           *)
+(* ------------------------------------------------------------------ *)
+
+(* rows recorded for --json: (label, rows, planned_ms, nested_ms) *)
+let e15_results : (string * int * float * float) list ref = ref []
+
+let e15_db rng ~rows =
+  (* const_pool = rows keeps the equi-join selective but non-trivial:
+     each probe tuple matches a handful of build tuples *)
+  let next_null = ref 0 in
+  let rel () =
+    Workload.Generator.random_relation rng ~arity:2 ~size:rows
+      ~const_pool:rows ~null_rate:0.10 ~next_null
+  in
+  Database.of_list e2_schema
+    [ ("R", Relation.to_list (rel ())); ("S", Relation.to_list (rel ())) ]
+
+let exp_e15 () =
+  hr "E15: physical plans — hash equi-join vs nested-loop product";
+  let q =
+    Algebra.Select
+      (Condition.eq_col 1 2, Algebra.Product (Algebra.Rel "R", Algebra.Rel "S"))
+  in
+  Printf.printf
+    "query: %s   (R,S arity 2, 10%% nulls, const pool = rows)\n\n"
+    (Algebra.to_string q);
+  Printf.printf "set semantics (Eval.run):\n";
+  Printf.printf "%8s %10s %12s %12s %10s\n" "rows/rel" "|answer|"
+    "planned(ms)" "nested(ms)" "speedup";
+  List.iter
+    (fun rows ->
+      let rng = Workload.Generator.make_rng ~seed:(9000 + rows) in
+      let db = e15_db rng ~rows in
+      let r1, t_planned = time_ms (fun () -> Eval.run ~planner:true db q) in
+      let r2, t_nested = time_ms (fun () -> Eval.run ~planner:false db q) in
+      assert (Relation.equal r1 r2);
+      e15_results := ("set", rows, t_planned, t_nested) :: !e15_results;
+      Printf.printf "%8d %10d %12.2f %12.2f %9.1fx\n" rows
+        (Relation.cardinal r1) t_planned t_nested
+        (t_nested /. max t_planned 0.001))
+    [ 500; 1000; 2000; 5000 ];
+  Printf.printf "\nbag semantics (Bag_eval.run):\n";
+  Printf.printf "%8s %10s %12s %12s %10s\n" "rows/rel" "|answer|"
+    "planned(ms)" "nested(ms)" "speedup";
+  List.iter
+    (fun rows ->
+      let rng = Workload.Generator.make_rng ~seed:(9500 + rows) in
+      let db = e15_db rng ~rows in
+      let b1, t_planned = time_ms (fun () -> Bag_eval.run ~planner:true db q) in
+      let b2, t_nested = time_ms (fun () -> Bag_eval.run ~planner:false db q) in
+      assert (Bag_relation.equal b1 b2);
+      e15_results := ("bag", rows, t_planned, t_nested) :: !e15_results;
+      Printf.printf "%8d %10d %12.2f %12.2f %9.1fx\n" rows
+        (Bag_relation.cardinal b1) t_planned t_nested
+        (t_nested /. max t_planned 0.001))
+    [ 500; 1000; 2000 ];
+  (* the planner also accelerates the certain-answer machinery: Q+ of a
+     difference of joins mixes hash joins with the hash anti-semijoin *)
+  let qd =
+    Algebra.Diff
+      (Algebra.Project ([ 0; 3 ], q),
+       Algebra.Project ([ 1; 0 ], Algebra.Rel "R"))
+  in
+  Printf.printf "\nQ+ of (pi(join) - pi R) via Scheme_pm.certain_sub:\n";
+  Printf.printf "%8s %10s %12s %12s %10s\n" "rows/rel" "|answer|"
+    "planned(ms)" "nested(ms)" "speedup";
+  List.iter
+    (fun rows ->
+      let rng = Workload.Generator.make_rng ~seed:(9900 + rows) in
+      let db = e15_db rng ~rows in
+      let r1, t_planned =
+        time_ms (fun () -> Scheme_pm.certain_sub ~planner:true db qd)
+      in
+      let r2, t_nested =
+        time_ms (fun () -> Scheme_pm.certain_sub ~planner:false db qd)
+      in
+      assert (Relation.equal r1 r2);
+      e15_results := ("scheme_pm", rows, t_planned, t_nested) :: !e15_results;
+      Printf.printf "%8d %10d %12.2f %12.2f %9.1fx\n" rows
+        (Relation.cardinal r1) t_planned t_nested
+        (t_nested /. max t_planned 0.001))
+    [ 500; 1000; 2000 ]
+
+let write_e15_json path =
+  let rows = List.rev !e15_results in
+  let n = List.length rows in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"e15\",\n";
+  Buffer.add_string buf
+    "  \"description\": \"hash equi-join planner vs nested-loop reference\",\n";
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i (label, size, planned, nested) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"label\": \"%s\", \"rows\": %d, \"planned_ms\": %.3f, \
+            \"nested_ms\": %.3f, \"speedup\": %.2f}%s\n"
+           label size planned nested
+           (nested /. max planned 0.001)
+           (if i = n - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d measurements)\n" path n
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -994,11 +1106,14 @@ let micro () =
 let experiments =
   [ ("e1", exp_e1); ("e2", exp_e2); ("e3", exp_e3); ("e4", exp_e4);
     ("e5", exp_e5); ("e6", exp_e6); ("e7", exp_e7); ("e8", exp_e8);
-    ("e9", exp_e9); ("e10", exp_e10); ("e11", exp_e11); ("e12", exp_e12); ("e13", exp_e13); ("e14", exp_e14);
+    ("e9", exp_e9); ("e10", exp_e10); ("e11", exp_e11); ("e12", exp_e12);
+    ("e13", exp_e13); ("e14", exp_e14); ("e15", exp_e15);
     ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--json") args in
   let selected =
     match args with
     | [] | [ "all" ] -> List.map fst experiments
@@ -1012,4 +1127,5 @@ let () =
         Printf.eprintf "unknown experiment %s (have: %s)\n" name
           (String.concat ", " (List.map fst experiments));
         exit 1)
-    selected
+    selected;
+  if json && !e15_results <> [] then write_e15_json "BENCH_PR1.json"

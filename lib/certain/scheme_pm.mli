@@ -30,8 +30,11 @@ val translate_plus : Schema.t -> Algebra.t -> Algebra.t
 (** [translate_maybe schema q] is Q?. *)
 val translate_maybe : Schema.t -> Algebra.t -> Algebra.t
 
-(** [certain_sub db q] evaluates Q⁺ on [D]. *)
-val certain_sub : Database.t -> Algebra.t -> Relation.t
+(** [certain_sub ?planner db q] evaluates Q⁺ on [D].  [planner]
+    (default [true]) is forwarded to {!Eval.run}: the physical planner
+    turns the translation's anti-semijoins and equi-joins into hash
+    operators. *)
+val certain_sub : ?planner:bool -> Database.t -> Algebra.t -> Relation.t
 
-(** [possible_sup db q] evaluates Q? on [D]. *)
-val possible_sup : Database.t -> Algebra.t -> Relation.t
+(** [possible_sup ?planner db q] evaluates Q? on [D]. *)
+val possible_sup : ?planner:bool -> Database.t -> Algebra.t -> Relation.t

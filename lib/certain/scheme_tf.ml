@@ -51,10 +51,10 @@ let translate_t schema q = t_of schema (Classes.dedup_projections schema q)
 
 let translate_f schema q = f_of schema (Classes.dedup_projections schema q)
 
-let certain_sub db q =
+let certain_sub ?planner db q =
   let schema = Database.schema db in
-  Eval.run ~extra_consts:(Algebra.consts q) db (translate_t schema q)
+  Eval.run ?planner ~extra_consts:(Algebra.consts q) db (translate_t schema q)
 
-let certainly_false db q =
+let certainly_false ?planner db q =
   let schema = Database.schema db in
-  Eval.run ~extra_consts:(Algebra.consts q) db (translate_f schema q)
+  Eval.run ?planner ~extra_consts:(Algebra.consts q) db (translate_f schema q)

@@ -25,10 +25,13 @@ val translate_t : Schema.t -> Algebra.t -> Algebra.t
 (** [translate_f schema q] is Qᶠ. *)
 val translate_f : Schema.t -> Algebra.t -> Algebra.t
 
-(** [certain_sub db q] evaluates Qᵗ on [D] (with the constants of [q]
-    included in [Dom]): a sound under-approximation of cert⊥(Q, D). *)
-val certain_sub : Database.t -> Algebra.t -> Relation.t
+(** [certain_sub ?planner db q] evaluates Qᵗ on [D] (with the constants
+    of [q] included in [Dom]): a sound under-approximation of
+    cert⊥(Q, D).  [planner] (default [true]) is forwarded to
+    {!Eval.run}; the planner's subplan memoization pays off here
+    because the translation duplicates subqueries. *)
+val certain_sub : ?planner:bool -> Database.t -> Algebra.t -> Relation.t
 
-(** [certainly_false db q] evaluates Qᶠ on [D]: tuples that are not
-    answers in any possible world. *)
-val certainly_false : Database.t -> Algebra.t -> Relation.t
+(** [certainly_false ?planner db q] evaluates Qᶠ on [D]: tuples that
+    are not answers in any possible world. *)
+val certainly_false : ?planner:bool -> Database.t -> Algebra.t -> Relation.t

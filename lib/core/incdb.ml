@@ -27,6 +27,8 @@ module Homomorphism = Incdb_relational.Homomorphism
 
 module Condition = Incdb_relational.Condition
 module Algebra = Incdb_relational.Algebra
+module Plan = Incdb_relational.Plan
+module Planner = Incdb_relational.Planner
 module Eval = Incdb_relational.Eval
 module Bag_eval = Incdb_relational.Bag_eval
 module Optimize = Incdb_relational.Optimize

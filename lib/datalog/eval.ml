@@ -29,7 +29,136 @@ let instantiate_head env (head : Syntax.atom) : Tuple.t =
             | None -> assert false (* ruled out by safety *)))
        head.args)
 
-let run_all db program =
+(* ------------------------------------------------------------------ *)
+(* planner-backed rule bodies                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A rule body compiles once into a left-deep join tree over synthetic
+   base names "$0".."$n-1" (one per body atom occurrence):
+
+     plan_0 = $0
+     plan_i = σ[shared-variable equalities]( plan_{i-1} × $i )
+
+   so the planner turns every level into a hash equi-join on the
+   variables the new atom shares with the prefix.  Value literals in
+   atom arguments (constants or marked nulls) are enforced by a
+   prefilter applied when the base name is resolved, which keeps the
+   algebra free of null literals that [Condition] cannot express.  Head
+   literals become an appended [Lit] column; the head itself is a final
+   projection.  The same compiled plan serves every semi-naive firing:
+   only the resolver changes which atom occurrence reads the delta. *)
+type compiled_rule = {
+  atoms : Syntax.atom array;
+  atom_lits : (int * Value.t) list array;
+      (* per atom: positions pinned to a value literal *)
+  plan : Plan.t;
+}
+
+let base_name i = Printf.sprintf "$%d" i
+
+let base_index name = int_of_string (String.sub name 1 (String.length name - 1))
+
+let compile_rule (r : Syntax.rule) : compiled_rule =
+  let atoms = Array.of_list r.body in
+  let n = Array.length atoms in
+  let arities = Array.map (fun (a : Syntax.atom) -> List.length a.args) atoms in
+  let offsets = Array.make (max n 1) 0 in
+  for i = 1 to n - 1 do
+    offsets.(i) <- offsets.(i - 1) + arities.(i - 1)
+  done;
+  let total = if n = 0 then 0 else offsets.(n - 1) + arities.(n - 1) in
+  let atom_lits =
+    Array.map
+      (fun (a : Syntax.atom) ->
+        List.mapi (fun j arg -> (j, arg)) a.args
+        |> List.filter_map (function
+             | j, Syntax.Val v -> Some (j, v)
+             | _, Syntax.Var _ -> None))
+      atoms
+  in
+  let first_occ : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let body_alg = ref None in
+  for i = 0 to n - 1 do
+    let a = atoms.(i) in
+    let conds = ref [] in
+    List.iteri
+      (fun j arg ->
+        match arg with
+        | Syntax.Val _ -> ()
+        | Syntax.Var x ->
+          let pos = offsets.(i) + j in
+          (match Hashtbl.find_opt first_occ x with
+           | Some p -> conds := Condition.eq_col p pos :: !conds
+           | None -> Hashtbl.add first_occ x pos))
+      a.args;
+    let atom_alg = Algebra.Rel (base_name i) in
+    let combined =
+      match !body_alg with
+      | None -> atom_alg
+      | Some prev -> Algebra.Product (prev, atom_alg)
+    in
+    let combined =
+      match !conds with
+      | [] -> combined
+      | c :: rest ->
+        Algebra.Select
+          (List.fold_left (fun acc c -> Condition.And (acc, c)) c rest,
+           combined)
+    in
+    body_alg := Some combined
+  done;
+  let body_alg =
+    match !body_alg with
+    | Some a -> a
+    | None -> Algebra.Lit (0, [ Tuple.empty ])
+  in
+  let lit_vals = ref [] and lit_count = ref 0 in
+  let proj =
+    List.map
+      (function
+        | Syntax.Var x ->
+          (match Hashtbl.find_opt first_occ x with
+           | Some p -> p
+           | None -> assert false (* ruled out by safety *))
+        | Syntax.Val v ->
+          let idx = total + !lit_count in
+          incr lit_count;
+          lit_vals := v :: !lit_vals;
+          idx)
+      r.head.args
+  in
+  let body_alg =
+    if !lit_count = 0 then body_alg
+    else
+      Algebra.Product
+        ( body_alg,
+          Algebra.Lit (!lit_count, [ Array.of_list (List.rev !lit_vals) ]) )
+  in
+  let algebra = Algebra.Project (proj, body_alg) in
+  let rel_arity name = arities.(base_index name) in
+  { atoms; atom_lits; plan = Planner.compile ~rel_arity algebra }
+
+let fire_planned compiled ~relation_of ~delta ~delta_at =
+  let base name =
+    let i = base_index name in
+    let a = compiled.atoms.(i) in
+    let rel =
+      if Some i = delta_at then
+        match Hashtbl.find_opt delta a.Syntax.pred with
+        | Some d -> d
+        | None -> Relation.empty (List.length a.Syntax.args)
+      else relation_of a.Syntax.pred
+    in
+    match compiled.atom_lits.(i) with
+    | [] -> rel
+    | lits ->
+      Relation.filter
+        (fun t -> List.for_all (fun (j, v) -> Value.equal t.(j) v) lits)
+        rel
+  in
+  Plan.run_set ~base ~dom1:(lazy (Relation.empty 1)) compiled.plan
+
+let run_all ?(planner = true) db program =
   let schema = Database.schema db in
   let edb =
     List.map
@@ -47,7 +176,7 @@ let run_all db program =
   let is_idb p = List.mem_assoc p idb in
   (* match the body left to right; [delta_at] forces one designated body
      position to range over the delta instead of the full instance *)
-  let fire_rule (r : Syntax.rule) ~delta ~delta_at =
+  let fire_nested (r : Syntax.rule) ~delta ~delta_at =
     let rec go envs i = function
       | [] -> envs
       | (a : Syntax.atom) :: rest ->
@@ -73,6 +202,17 @@ let run_all db program =
     in
     List.map (fun env -> instantiate_head env r.head) (go [ [] ] 0 r.body)
   in
+  let rules =
+    List.map
+      (fun (r : Syntax.rule) ->
+        (r, if planner then Some (compile_rule r) else None))
+      program
+  in
+  let fire (r, compiled) ~delta ~delta_at =
+    match compiled with
+    | Some c -> Relation.to_list (fire_planned c ~relation_of ~delta ~delta_at)
+    | None -> fire_nested r ~delta ~delta_at
+  in
   (* first round: fire every rule against the EDB (IDB still empty) *)
   let add_new acc_tbl p tuples =
     let known = Hashtbl.find full p in
@@ -91,9 +231,10 @@ let run_all db program =
   in
   let initial_delta = Hashtbl.create 8 in
   List.iter
-    (fun (r : Syntax.rule) ->
-      add_new initial_delta r.head.pred (fire_rule r ~delta:initial_delta ~delta_at:None))
-    program;
+    (fun ((r : Syntax.rule), _ as rule) ->
+      add_new initial_delta r.head.pred
+        (fire rule ~delta:initial_delta ~delta_at:None))
+    rules;
   let commit delta =
     Hashtbl.iter
       (fun p d -> Hashtbl.replace full p (Relation.union (Hashtbl.find full p) d))
@@ -107,14 +248,14 @@ let run_all db program =
     else begin
       let next = Hashtbl.create 8 in
       List.iter
-        (fun (r : Syntax.rule) ->
+        (fun ((r : Syntax.rule), _ as rule) ->
           List.iteri
             (fun i (a : Syntax.atom) ->
               if is_idb a.pred && Hashtbl.mem delta a.pred then
                 add_new next r.head.pred
-                  (fire_rule r ~delta ~delta_at:(Some i)))
+                  (fire rule ~delta ~delta_at:(Some i)))
             r.body)
-        program;
+        rules;
       commit next;
       loop next (rounds + 1)
     end
@@ -122,10 +263,10 @@ let run_all db program =
   loop initial_delta 0;
   List.map (fun (p, _) -> (p, Hashtbl.find full p)) idb
 
-let all_idb db program = run_all db program
+let all_idb ?planner db program = run_all ?planner db program
 
-let run db program pred =
-  match List.assoc_opt pred (run_all db program) with
+let run ?planner db program pred =
+  match List.assoc_opt pred (run_all ?planner db program) with
   | Some r -> r
   | None -> eval_error "%s is not an IDB predicate of the program" pred
 

@@ -11,14 +11,21 @@
 
 exception Eval_error of string
 
-(** [run db program pred] evaluates the program with the EDB taken from
-    [db] and returns the fixpoint instance of the IDB predicate [pred].
+(** [run ?planner db program pred] evaluates the program with the EDB
+    taken from [db] and returns the fixpoint instance of the IDB
+    predicate [pred].  With [planner] (the default) each rule body is
+    compiled once into a physical plan — a left-deep chain of hash
+    equi-joins on the variables shared between atoms — and re-executed
+    per semi-naive iteration; [~planner:false] keeps the reference
+    tuple-at-a-time environment matching.
     @raise Syntax.Ill_formed on invalid programs.
     @raise Eval_error if [pred] is not an IDB predicate. *)
-val run : Database.t -> Syntax.program -> string -> Relation.t
+val run : ?planner:bool -> Database.t -> Syntax.program -> string -> Relation.t
 
-(** [all_idb db program] — fixpoint instances of every IDB predicate. *)
-val all_idb : Database.t -> Syntax.program -> (string * Relation.t) list
+(** [all_idb ?planner db program] — fixpoint instances of every IDB
+    predicate. *)
+val all_idb :
+  ?planner:bool -> Database.t -> Syntax.program -> (string * Relation.t) list
 
 (** [certain_exact db program pred] — ground truth: cert⊥ of the
     Datalog query computed by canonical possible-world enumeration

@@ -1,35 +1,53 @@
 exception Unsupported of string
 
-let run ?(extra_consts = []) ?(bags = []) db q =
-  ignore (Algebra.arity (Database.schema db) q);
+let run ?(planner = true) ?(extra_consts = []) ?(bags = []) db q =
+  let schema = Database.schema db in
+  ignore (Algebra.arity schema q);
   let dom1 =
     lazy (Bag_relation.of_relation (Eval.domain_relation ~extra_consts db))
-  in
-  let rec power k =
-    if k = 0 then Bag_relation.of_list 0 [ (Tuple.empty, 1) ]
-    else Bag_relation.product (Lazy.force dom1) (power (k - 1))
   in
   let base name =
     match List.assoc_opt name bags with
     | Some b -> b
     | None -> Bag_relation.of_relation (Database.relation db name)
   in
-  let rec go = function
-    | Algebra.Rel name -> base name
-    | Algebra.Lit (k, tuples) ->
-      List.fold_left (fun b t -> Bag_relation.add t b)
-        (Bag_relation.empty k) tuples
-    | Algebra.Select (cond, q1) ->
-      Bag_relation.filter (fun t -> Condition.eval t cond) (go q1)
-    | Algebra.Project (idxs, q1) -> Bag_relation.project idxs (go q1)
-    | Algebra.Product (q1, q2) -> Bag_relation.product (go q1) (go q2)
-    | Algebra.Union (q1, q2) -> Bag_relation.union (go q1) (go q2)
-    | Algebra.Inter (q1, q2) -> Bag_relation.inter (go q1) (go q2)
-    | Algebra.Diff (q1, q2) -> Bag_relation.diff (go q1) (go q2)
-    | Algebra.Division _ ->
-      raise (Unsupported "Bag_eval: division is not in the bag fragment")
-    | Algebra.Anti_unify_join (q1, q2) ->
-      Bag_relation.anti_unify_semijoin (go q1) (go q2)
-    | Algebra.Dom k -> power k
-  in
-  go q
+  if planner then
+    try
+      Plan.run_bag ~base ~dom1
+        (Planner.compile ~rel_arity:(Schema.arity schema) q)
+    with Plan.Unsupported msg -> raise (Unsupported ("Bag_eval: " ^ msg))
+  else begin
+    (* reference nested-loop interpreter; [Dom k] is memoized across the
+       query instead of being rebuilt at every [Dom] node *)
+    let powers : (int, Bag_relation.t) Hashtbl.t = Hashtbl.create 4 in
+    let rec power k =
+      match Hashtbl.find_opt powers k with
+      | Some b -> b
+      | None ->
+        let b =
+          if k = 0 then Bag_relation.of_list 0 [ (Tuple.empty, 1) ]
+          else Bag_relation.product (Lazy.force dom1) (power (k - 1))
+        in
+        Hashtbl.add powers k b;
+        b
+    in
+    let rec go = function
+      | Algebra.Rel name -> base name
+      | Algebra.Lit (k, tuples) ->
+        List.fold_left (fun b t -> Bag_relation.add t b)
+          (Bag_relation.empty k) tuples
+      | Algebra.Select (cond, q1) ->
+        Bag_relation.filter (fun t -> Condition.eval t cond) (go q1)
+      | Algebra.Project (idxs, q1) -> Bag_relation.project idxs (go q1)
+      | Algebra.Product (q1, q2) -> Bag_relation.product (go q1) (go q2)
+      | Algebra.Union (q1, q2) -> Bag_relation.union (go q1) (go q2)
+      | Algebra.Inter (q1, q2) -> Bag_relation.inter (go q1) (go q2)
+      | Algebra.Diff (q1, q2) -> Bag_relation.diff (go q1) (go q2)
+      | Algebra.Division _ ->
+        raise (Unsupported "Bag_eval: division is not in the bag fragment")
+      | Algebra.Anti_unify_join (q1, q2) ->
+        Bag_relation.anti_unify_semijoin (go q1) (go q2)
+      | Algebra.Dom k -> power k
+    in
+    go q
+  end

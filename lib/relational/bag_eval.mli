@@ -7,11 +7,17 @@
 
 exception Unsupported of string
 
-(** [run ?extra_consts ?bags db q] evaluates [q] under bag semantics.
-    [bags] optionally overrides base relations with true bag instances.
+(** [run ?planner ?extra_consts ?bags db q] evaluates [q] under bag
+    semantics.  With [planner] (the default), [q] is compiled by
+    {!Planner.compile} and executed by {!Plan.run_bag}: multiplicities
+    multiply through the hash equi-join exactly as through the product
+    it replaces.  [~planner:false] selects the reference nested-loop
+    interpreter.  [bags] optionally overrides base relations with true
+    bag instances.
     @raise Unsupported on [Division].
     @raise Algebra.Type_error if [q] is ill-typed. *)
 val run :
+  ?planner:bool ->
   ?extra_consts:Value.const list ->
   ?bags:(string * Bag_relation.t) list ->
   Database.t ->

@@ -106,11 +106,33 @@ let remap ~arity f b =
 
 let project idxs b = remap ~arity:(List.length idxs) (Tuple.project idxs) b
 
+(* same complete/incomplete split as Relation.anti_unify_semijoin:
+   complete probe tuples hit a hash index on the complete support of
+   [b2]; only its null-containing tuples are scanned *)
 let anti_unify_semijoin b1 b2 =
   same_arity "anti_unify_semijoin" b1 b2;
+  let complete_tbl : (Tuple.t, unit) Hashtbl.t =
+    Hashtbl.create (max 16 (support_size b2))
+  in
+  let complete_list = ref [] in
+  let incomplete = ref [] in
+  Tuple_map.iter
+    (fun t _ ->
+      if Tuple.is_complete t then begin
+        Hashtbl.replace complete_tbl t ();
+        complete_list := t :: !complete_list
+      end
+      else incomplete := t :: !incomplete)
+    b2.counts;
+  let complete_list = !complete_list and incomplete = !incomplete in
   filter
     (fun t ->
-      not (Tuple_map.exists (fun s _ -> Tuple.unifiable t s) b2.counts))
+      if Tuple.is_complete t then
+        (not (Hashtbl.mem complete_tbl t))
+        && not (List.exists (Tuple.unifiable t) incomplete)
+      else
+        (not (List.exists (Tuple.unifiable t) incomplete))
+        && not (List.exists (Tuple.unifiable t) complete_list))
     b1
 
 let apply_valuation v b =

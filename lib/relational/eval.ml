@@ -1,37 +1,69 @@
+module Const_set = Set.Make (struct
+  type t = Value.const
+
+  let compare = Value.compare_const
+end)
+
 let domain_relation ~extra_consts db =
   let adom = Database.active_domain db in
-  let extras =
-    List.filter_map
-      (fun c ->
-        let v = Value.Const c in
-        if List.exists (Value.equal v) adom then None else Some v)
-      extra_consts
+  (* dedup [extra_consts] against the active domain and against itself
+     with one set, not a List.exists per constant *)
+  let adom_consts =
+    List.fold_left
+      (fun s v ->
+        match v with
+        | Value.Const c -> Const_set.add c s
+        | Value.Null _ -> s)
+      Const_set.empty adom
   in
-  Relation.of_list 1 (List.map (fun v -> [| v |]) (adom @ extras))
+  let _, extras =
+    List.fold_left
+      (fun (seen, acc) c ->
+        if Const_set.mem c seen then (seen, acc)
+        else (Const_set.add c seen, Value.Const c :: acc))
+      (adom_consts, []) extra_consts
+  in
+  Relation.of_list 1 (List.map (fun v -> [| v |]) (adom @ List.rev extras))
 
-let rec power r k =
-  if k = 0 then Relation.of_list 0 [ Tuple.empty ]
-  else Relation.product r (power r (k - 1))
-
-let run ?(extra_consts = []) db q =
-  ignore (Algebra.arity (Database.schema db) q);
+let run ?(planner = true) ?(extra_consts = []) db q =
+  let schema = Database.schema db in
+  ignore (Algebra.arity schema q);
   let dom1 = lazy (domain_relation ~extra_consts db) in
-  let rec go = function
-    | Algebra.Rel name -> Database.relation db name
-    | Algebra.Lit (k, tuples) -> Relation.of_list k tuples
-    | Algebra.Select (cond, q1) ->
-      Relation.filter (fun t -> Condition.eval t cond) (go q1)
-    | Algebra.Project (idxs, q1) -> Relation.project idxs (go q1)
-    | Algebra.Product (q1, q2) -> Relation.product (go q1) (go q2)
-    | Algebra.Union (q1, q2) -> Relation.union (go q1) (go q2)
-    | Algebra.Inter (q1, q2) -> Relation.inter (go q1) (go q2)
-    | Algebra.Diff (q1, q2) -> Relation.diff (go q1) (go q2)
-    | Algebra.Division (q1, q2) -> Relation.division (go q1) (go q2)
-    | Algebra.Anti_unify_join (q1, q2) ->
-      Relation.anti_unify_semijoin (go q1) (go q2)
-    | Algebra.Dom k -> power (Lazy.force dom1) k
-  in
-  go q
+  if planner then
+    Plan.run_set ~base:(Database.relation db) ~dom1
+      (Planner.compile ~rel_arity:(Schema.arity schema) q)
+  else begin
+    (* reference nested-loop interpreter, kept for differential testing
+       and the ablation benchmarks; [Dom k] is memoized across the query *)
+    let powers : (int, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+    let rec power k =
+      match Hashtbl.find_opt powers k with
+      | Some r -> r
+      | None ->
+        let r =
+          if k = 0 then Relation.of_list 0 [ Tuple.empty ]
+          else Relation.product (Lazy.force dom1) (power (k - 1))
+        in
+        Hashtbl.add powers k r;
+        r
+    in
+    let rec go = function
+      | Algebra.Rel name -> Database.relation db name
+      | Algebra.Lit (k, tuples) -> Relation.of_list k tuples
+      | Algebra.Select (cond, q1) ->
+        Relation.filter (fun t -> Condition.eval t cond) (go q1)
+      | Algebra.Project (idxs, q1) -> Relation.project idxs (go q1)
+      | Algebra.Product (q1, q2) -> Relation.product (go q1) (go q2)
+      | Algebra.Union (q1, q2) -> Relation.union (go q1) (go q2)
+      | Algebra.Inter (q1, q2) -> Relation.inter (go q1) (go q2)
+      | Algebra.Diff (q1, q2) -> Relation.diff (go q1) (go q2)
+      | Algebra.Division (q1, q2) -> Relation.division (go q1) (go q2)
+      | Algebra.Anti_unify_join (q1, q2) ->
+        Relation.anti_unify_semijoin_nested (go q1) (go q2)
+      | Algebra.Dom k -> power k
+    in
+    go q
+  end
 
 let boolean r =
   if Relation.arity r <> 0 then

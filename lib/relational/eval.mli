@@ -7,15 +7,28 @@
     (see {!Incdb_certain.Naive} for the official definition via
     bijective valuations). *)
 
-(** [run ?extra_consts db q] evaluates [q] on [db].
+(** [run ?planner ?extra_consts db q] evaluates [q] on [db].
+
+    With [planner] (the default), [q] is first compiled by
+    {!Planner.compile} into a physical {!Plan.t} — hash equi-joins,
+    hash division, the hash anti-unification semijoin, and memoized
+    shared subplans.  [~planner:false] selects the reference
+    nested-loop interpreter (full [Product] materialisation followed by
+    filtering, scan-based anti-semijoin), kept for differential testing
+    and ablation benchmarks; both produce identical relations.
 
     The [Dom k] operator materialises the k-fold product of the active
     domain of [db] extended with [extra_consts] (the approximation
     scheme of Figure 2(a) needs the constants of the original query in
-    the domain).
+    the domain); powers are computed once per run and reused.
 
     @raise Algebra.Type_error if [q] is ill-typed for the schema. *)
-val run : ?extra_consts:Value.const list -> Database.t -> Algebra.t -> Relation.t
+val run :
+  ?planner:bool ->
+  ?extra_consts:Value.const list ->
+  Database.t ->
+  Algebra.t ->
+  Relation.t
 
 (** [boolean r] interprets a 0-ary result: [true] iff the empty tuple is
     present.  @raise Invalid_argument if [r] has nonzero arity. *)

@@ -1,0 +1,220 @@
+exception Unsupported of string
+
+type t =
+  | Scan of string
+  | Lit of int * Tuple.t list
+  | Filter of Condition.t * t
+  | Project of int list * t
+  | Hash_join of {
+      left : t;
+      right : t;
+      keys : (int * int) list;
+      residual : Condition.t;
+    }
+  | Product of t * t
+  | Union of t * t
+  | Inter of t * t
+  | Diff of t * t
+  | Division of t * t
+  | Anti_unify of t * t
+  | Dom of int
+  | Shared of int * t
+
+(* Join keys are arrays of values; the polymorphic hash and structural
+   equality of the stdlib Hashtbl coincide with Value.equal on them, so
+   a probe hit is exactly the literal equality that Condition.Eq tests
+   (marked nulls match themselves only). *)
+let key_of cols (t : Tuple.t) = Array.map (fun i -> t.(i)) cols
+
+let push_index tbl k v =
+  match Hashtbl.find_opt tbl k with
+  | Some vs -> Hashtbl.replace tbl k (v :: vs)
+  | None -> Hashtbl.add tbl k [ v ]
+
+(* ------------------------------------------------------------------ *)
+(* set semantics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_set ~base ~dom1 plan =
+  let shared : (int, Relation.t) Hashtbl.t = Hashtbl.create 8 in
+  let powers : (int, Relation.t) Hashtbl.t = Hashtbl.create 4 in
+  let rec power k =
+    match Hashtbl.find_opt powers k with
+    | Some r -> r
+    | None ->
+      let r =
+        if k = 0 then Relation.of_list 0 [ Tuple.empty ]
+        else Relation.product (Lazy.force dom1) (power (k - 1))
+      in
+      Hashtbl.add powers k r;
+      r
+  in
+  let rec go = function
+    | Scan name -> base name
+    | Lit (k, tuples) -> Relation.of_list k tuples
+    | Filter (cond, p) -> Relation.filter (fun t -> Condition.eval t cond) (go p)
+    | Project (idxs, p) -> Relation.project idxs (go p)
+    | Hash_join { left; right; keys; residual } ->
+      let l = go left and r = go right in
+      let lcols = Array.of_list (List.map fst keys) in
+      let rcols = Array.of_list (List.map snd keys) in
+      let index = Hashtbl.create (max 16 (Relation.cardinal r)) in
+      Relation.iter (fun t -> push_index index (key_of rcols t) t) r;
+      let out = ref [] in
+      Relation.iter
+        (fun t1 ->
+          match Hashtbl.find_opt index (key_of lcols t1) with
+          | None -> ()
+          | Some matches ->
+            List.iter
+              (fun t2 ->
+                let joined = Tuple.concat t1 t2 in
+                if Condition.eval joined residual then out := joined :: !out)
+              matches)
+        l;
+      Relation.of_list (Relation.arity l + Relation.arity r) !out
+    | Product (p1, p2) -> Relation.product (go p1) (go p2)
+    | Union (p1, p2) -> Relation.union (go p1) (go p2)
+    | Inter (p1, p2) -> Relation.inter (go p1) (go p2)
+    | Diff (p1, p2) -> Relation.diff (go p1) (go p2)
+    | Division (p1, p2) ->
+      let r = go p1 and s = go p2 in
+      let m = Relation.arity s in
+      let n = Relation.arity r - m in
+      (* group the tails of r by head: one hash probe per (head, b̄)
+         check instead of a Tuple_set.mem on the whole of r *)
+      let groups = Hashtbl.create (max 16 (Relation.cardinal r)) in
+      Relation.iter
+        (fun t ->
+          let head = Array.sub t 0 n and tail = Array.sub t n m in
+          let tails =
+            match Hashtbl.find_opt groups head with
+            | Some tbl -> tbl
+            | None ->
+              let tbl = Hashtbl.create 8 in
+              Hashtbl.add groups head tbl;
+              tbl
+          in
+          Hashtbl.replace tails tail ())
+        r;
+      let out = ref [] in
+      Hashtbl.iter
+        (fun head tails ->
+          if Relation.for_all (Hashtbl.mem tails) s then out := head :: !out)
+        groups;
+      Relation.of_list n !out
+    | Anti_unify (p1, p2) -> Relation.anti_unify_semijoin (go p1) (go p2)
+    | Dom k -> power k
+    | Shared (id, p) ->
+      (match Hashtbl.find_opt shared id with
+       | Some r -> r
+       | None ->
+         let r = go p in
+         Hashtbl.add shared id r;
+         r)
+  in
+  go plan
+
+(* ------------------------------------------------------------------ *)
+(* bag semantics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_bag ~base ~dom1 plan =
+  let shared : (int, Bag_relation.t) Hashtbl.t = Hashtbl.create 8 in
+  let powers : (int, Bag_relation.t) Hashtbl.t = Hashtbl.create 4 in
+  let rec power k =
+    match Hashtbl.find_opt powers k with
+    | Some b -> b
+    | None ->
+      let b =
+        if k = 0 then Bag_relation.of_list 0 [ (Tuple.empty, 1) ]
+        else Bag_relation.product (Lazy.force dom1) (power (k - 1))
+      in
+      Hashtbl.add powers k b;
+      b
+  in
+  let rec go = function
+    | Scan name -> base name
+    | Lit (k, tuples) ->
+      (* multiplicity 1 per listed occurrence, as in Bag_eval *)
+      List.fold_left
+        (fun b t -> Bag_relation.add t b)
+        (Bag_relation.empty k) tuples
+    | Filter (cond, p) ->
+      Bag_relation.filter (fun t -> Condition.eval t cond) (go p)
+    | Project (idxs, p) -> Bag_relation.project idxs (go p)
+    | Hash_join { left; right; keys; residual } ->
+      let l = go left and r = go right in
+      let lcols = Array.of_list (List.map fst keys) in
+      let rcols = Array.of_list (List.map snd keys) in
+      let index = Hashtbl.create (max 16 (Bag_relation.support_size r)) in
+      Bag_relation.fold
+        (fun t c () -> push_index index (key_of rcols t) (t, c))
+        r ();
+      Bag_relation.fold
+        (fun t1 c1 acc ->
+          match Hashtbl.find_opt index (key_of lcols t1) with
+          | None -> acc
+          | Some matches ->
+            List.fold_left
+              (fun acc (t2, c2) ->
+                let joined = Tuple.concat t1 t2 in
+                if Condition.eval joined residual then
+                  Bag_relation.add ~count:(c1 * c2) joined acc
+                else acc)
+              acc matches)
+        l
+        (Bag_relation.empty (Bag_relation.arity l + Bag_relation.arity r))
+    | Product (p1, p2) -> Bag_relation.product (go p1) (go p2)
+    | Union (p1, p2) -> Bag_relation.union (go p1) (go p2)
+    | Inter (p1, p2) -> Bag_relation.inter (go p1) (go p2)
+    | Diff (p1, p2) -> Bag_relation.diff (go p1) (go p2)
+    | Division _ -> raise (Unsupported "division is not in the bag fragment")
+    | Anti_unify (p1, p2) -> Bag_relation.anti_unify_semijoin (go p1) (go p2)
+    | Dom k -> power k
+    | Shared (id, p) ->
+      (match Hashtbl.find_opt shared id with
+       | Some b -> b
+       | None ->
+         let b = go p in
+         Hashtbl.add shared id b;
+         b)
+  in
+  go plan
+
+(* ------------------------------------------------------------------ *)
+(* printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec pp ppf = function
+  | Scan name -> Format.pp_print_string ppf name
+  | Lit (k, tuples) ->
+    Format.fprintf ppf "lit/%d%a" k Relation.pp (Relation.of_list k tuples)
+  | Filter (cond, p) -> Format.fprintf ppf "σ[%a](%a)" Condition.pp cond pp p
+  | Project (idxs, p) ->
+    Format.fprintf ppf "π[%a](%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         Format.pp_print_int)
+      idxs pp p
+  | Hash_join { left; right; keys; residual } ->
+    let pp_key ppf (i, j) = Format.fprintf ppf "%d=%d" i j in
+    Format.fprintf ppf "(%a ⋈H[%a%s] %a)" pp left
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+         pp_key)
+      keys
+      (match residual with
+       | Condition.True -> ""
+       | c -> Format.asprintf "; %a" Condition.pp c)
+      pp right
+  | Product (p1, p2) -> Format.fprintf ppf "(%a × %a)" pp p1 pp p2
+  | Union (p1, p2) -> Format.fprintf ppf "(%a ∪ %a)" pp p1 pp p2
+  | Inter (p1, p2) -> Format.fprintf ppf "(%a ∩ %a)" pp p1 pp p2
+  | Diff (p1, p2) -> Format.fprintf ppf "(%a − %a)" pp p1 pp p2
+  | Division (p1, p2) -> Format.fprintf ppf "(%a ÷H %a)" pp p1 pp p2
+  | Anti_unify (p1, p2) -> Format.fprintf ppf "(%a ⋉⇑̸H %a)" pp p1 pp p2
+  | Dom k -> Format.fprintf ppf "Dom^%d" k
+  | Shared (id, p) -> Format.fprintf ppf "@@%d:%a" id pp p
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,59 @@
+(** Physical query plans.
+
+    {!Algebra.t} is a logical language: [Select]/[Product] pairs say
+    {e what} join to compute, not {e how}.  This module is the physical
+    layer: an IR of executable operators ([Hash_join], hash-based
+    division, the hash anti-unification semijoin, memoized subplans)
+    produced by {!Planner.compile} and interpreted under set semantics
+    ([run_set]) or bag semantics ([run_bag]).
+
+    Base relations are resolved through a [base] callback rather than a
+    {!Database.t}, so the same executor serves database queries, the
+    per-iteration rule bodies of Datalog evaluation, and bag overrides. *)
+
+exception Unsupported of string
+
+type t =
+  | Scan of string  (** base relation, resolved via [base] *)
+  | Lit of int * Tuple.t list
+  | Filter of Condition.t * t
+  | Project of int list * t
+  | Hash_join of {
+      left : t;
+      right : t;
+      keys : (int * int) list;
+          (** equi-join key: left column = right column (right-local) *)
+      residual : Condition.t;
+          (** remaining conjuncts, over the concatenated tuple *)
+    }  (** build a hash index on the right input, probe with the left *)
+  | Product of t * t  (** fallback nested-loop cross product *)
+  | Union of t * t
+  | Inter of t * t
+  | Diff of t * t
+  | Division of t * t  (** hash-grouped division (tail sets per head) *)
+  | Anti_unify of t * t  (** hash anti-unification semijoin r ⋉⇑̸ s *)
+  | Dom of int  (** k-fold product of the domain; powers are memoized *)
+  | Shared of int * t
+      (** memoized subplan: evaluated once per run, keyed by [id].
+          Emitted by the planner for algebra subtrees occurring more
+          than once (the Figure-2 translations duplicate Q⁺ inside Q?) *)
+
+(** [run_set ~base ~dom1 p] executes [p] under set semantics. [dom1] is
+    the unary domain relation backing [Dom 1]; higher powers are built
+    by product and cached per run, as are [Shared] subplans.
+    @raise Not_found if [base] does not know a scanned relation. *)
+val run_set :
+  base:(string -> Relation.t) -> dom1:Relation.t Lazy.t -> t -> Relation.t
+
+(** [run_bag ~base ~dom1 p] executes [p] under bag semantics:
+    multiplicities multiply through joins and products, and project
+    sums them.  @raise Unsupported on [Division], which is not part of
+    the bag fragment. *)
+val run_bag :
+  base:(string -> Bag_relation.t) ->
+  dom1:Bag_relation.t Lazy.t ->
+  t ->
+  Bag_relation.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,132 @@
+let rec conjuncts = function
+  | Condition.And (a, b) -> conjuncts a @ conjuncts b
+  | c -> [ c ]
+
+let conjoin = function
+  | [] -> Condition.True
+  | c :: rest -> List.fold_left (fun acc c -> Condition.And (acc, c)) c rest
+
+(* split the conjuncts of a selection over a product with [k1] left
+   columns into equi-join keys (one column on each side) and residual
+   conditions *)
+let split_keys ~k1 conds =
+  List.partition_map
+    (fun c ->
+      match c with
+      | Condition.Eq (Condition.Col a, Condition.Col b) ->
+        if a < k1 && b >= k1 then Either.Left (a, b - k1)
+        else if b < k1 && a >= k1 then Either.Left (b, a - k1)
+        else Either.Right c
+      | c -> Either.Right c)
+    conds
+
+(* structural occurrence counts of non-leaf subtrees; a subtree seen
+   twice is worth evaluating once (leaves are cheap scans and [Dom]
+   powers are memoized by the executor anyway) *)
+let count_occurrences q =
+  let counts : (Algebra.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let rec go q =
+    match q with
+    | Algebra.Rel _ | Algebra.Lit _ | Algebra.Dom _ -> ()
+    | _ ->
+      let seen =
+        match Hashtbl.find_opt counts q with Some c -> c | None -> 0
+      in
+      Hashtbl.replace counts q (seen + 1);
+      (match q with
+       | Algebra.Rel _ | Algebra.Lit _ | Algebra.Dom _ -> ()
+       | Algebra.Select (_, q1) | Algebra.Project (_, q1) -> go q1
+       | Algebra.Product (q1, q2)
+       | Algebra.Union (q1, q2)
+       | Algebra.Inter (q1, q2)
+       | Algebra.Diff (q1, q2)
+       | Algebra.Division (q1, q2)
+       | Algebra.Anti_unify_join (q1, q2) ->
+         go q1;
+         go q2)
+  in
+  go q;
+  counts
+
+let compile ~rel_arity q =
+  let counts = count_occurrences q in
+  let is_shared q =
+    match Hashtbl.find_opt counts q with Some c -> c > 1 | None -> false
+  in
+  (* memo keyed on the algebra subtree: repeated subtrees compile once
+     and reuse the same [Shared] node (hence the same runtime cache id) *)
+  let memo : (Algebra.t, Plan.t * int) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let rec compile_q q =
+    match Hashtbl.find_opt memo q with
+    | Some cached -> cached
+    | None ->
+      let plan, k = translate q in
+      let plan =
+        if is_shared q then begin
+          let id = !next_id in
+          incr next_id;
+          Plan.Shared (id, plan)
+        end
+        else plan
+      in
+      Hashtbl.add memo q (plan, k);
+      (plan, k)
+  and translate = function
+    | Algebra.Rel name -> (Plan.Scan name, rel_arity name)
+    | Algebra.Lit (k, tuples) -> (Plan.Lit (k, tuples), k)
+    | Algebra.Select _ as q -> compile_select q
+    | Algebra.Project (idxs, q1) ->
+      let p1, _ = compile_q q1 in
+      (Plan.Project (idxs, p1), List.length idxs)
+    | Algebra.Product (q1, q2) ->
+      let p1, k1 = compile_q q1 in
+      let p2, k2 = compile_q q2 in
+      (Plan.Product (p1, p2), k1 + k2)
+    | Algebra.Union (q1, q2) ->
+      let p1, k1 = compile_q q1 in
+      let p2, _ = compile_q q2 in
+      (Plan.Union (p1, p2), k1)
+    | Algebra.Inter (q1, q2) ->
+      let p1, k1 = compile_q q1 in
+      let p2, _ = compile_q q2 in
+      (Plan.Inter (p1, p2), k1)
+    | Algebra.Diff (q1, q2) ->
+      let p1, k1 = compile_q q1 in
+      let p2, _ = compile_q q2 in
+      (Plan.Diff (p1, p2), k1)
+    | Algebra.Division (q1, q2) ->
+      let p1, k1 = compile_q q1 in
+      let p2, k2 = compile_q q2 in
+      (Plan.Division (p1, p2), k1 - k2)
+    | Algebra.Anti_unify_join (q1, q2) ->
+      let p1, k1 = compile_q q1 in
+      let p2, _ = compile_q q2 in
+      (Plan.Anti_unify (p1, p2), k1)
+    | Algebra.Dom k -> (Plan.Dom k, k)
+  and compile_select q =
+    (* merge cascaded selections, stopping at shared subtrees so their
+       memoized plans stay intact *)
+    let rec strip acc = function
+      | Algebra.Select (c, (Algebra.Select _ as q1)) when not (is_shared q1) ->
+        strip (acc @ conjuncts c) q1
+      | Algebra.Select (c, q1) -> (acc @ conjuncts c, q1)
+      | q1 -> (acc, q1)
+    in
+    let conds, inner = strip [] q in
+    match inner with
+    | Algebra.Product (q1, q2) when not (is_shared inner) ->
+      let p1, k1 = compile_q q1 in
+      let p2, k2 = compile_q q2 in
+      let keys, residual = split_keys ~k1 conds in
+      if keys = [] then
+        (Plan.Filter (conjoin conds, Plan.Product (p1, p2)), k1 + k2)
+      else
+        ( Plan.Hash_join
+            { left = p1; right = p2; keys; residual = conjoin residual },
+          k1 + k2 )
+    | _ ->
+      let p1, k = compile_q inner in
+      (Plan.Filter (conjoin conds, p1), k)
+  in
+  fst (compile_q q)

@@ -1,0 +1,23 @@
+(** The query planner: compiles logical {!Algebra.t} trees into physical
+    {!Plan.t} operators.
+
+    Three rewrites happen during compilation:
+
+    - {b hash equi-joins}: a [Select] whose condition has conjuncts of
+      the form [Eq (Col i, Col j)] spanning the two sides of a [Product]
+      becomes a {!Plan.Hash_join} on those key columns, with the
+      remaining conjuncts kept as a residual post-filter.  Cascaded
+      selections are merged before extraction, so
+      [σc1(σc2(A × B))] also joins on keys drawn from both [c1], [c2];
+    - {b subplan memoization}: algebra subtrees occurring more than once
+      (structurally) compile to a single {!Plan.Shared} node, evaluated
+      once per run — the Figure-2 translations duplicate Q⁺ inside Q?,
+      so this removes systematic recomputation;
+    - division and the anti-unification semijoin map to their hash-based
+      physical counterparts.
+
+    The input must be well-typed; [rel_arity] supplies the arity of
+    base relations (usually [Schema.arity schema], but Datalog passes a
+    resolver for its synthetic per-atom names). *)
+
+val compile : rel_arity:(string -> int) -> Algebra.t -> Plan.t

@@ -111,21 +111,32 @@ let anti_unify_semijoin_nested r s =
 
 (* The unification anti-semijoin is the workhorse of the (Q⁺, Q?)
    approximation scheme.  A complete tuple unifies with a complete tuple
-   iff they are equal, so the complete part of [s] is probed by set
-   membership and only the null-containing tuples of [s] (typically a
-   small fraction) are scanned. *)
+   iff they are equal, so the complete part of [s] is probed through a
+   hash index (the polymorphic hash/equality of tuples coincide with
+   Tuple.equal) and only the null-containing tuples of [s] (typically a
+   small fraction) are kept in a scan list. *)
 let anti_unify_semijoin r s =
-  let s_complete, s_incomplete =
-    Tuple_set.partition Tuple.is_complete s.tuples
+  let s_complete : (Tuple.t, unit) Hashtbl.t =
+    Hashtbl.create (max 16 (cardinal s))
   in
-  let s_incomplete = Tuple_set.elements s_incomplete in
+  let complete_list = ref [] in
+  let incomplete = ref [] in
+  iter
+    (fun t ->
+      if Tuple.is_complete t then begin
+        Hashtbl.replace s_complete t ();
+        complete_list := t :: !complete_list
+      end
+      else incomplete := t :: !incomplete)
+    s;
+  let complete_list = !complete_list and incomplete = !incomplete in
   let survives t =
     if Tuple.is_complete t then
-      (not (Tuple_set.mem t s_complete))
-      && not (List.exists (Tuple.unifiable t) s_incomplete)
+      (not (Hashtbl.mem s_complete t))
+      && not (List.exists (Tuple.unifiable t) incomplete)
     else
-      (not (List.exists (Tuple.unifiable t) s_incomplete))
-      && not (Tuple_set.exists (Tuple.unifiable t) s_complete)
+      (not (List.exists (Tuple.unifiable t) incomplete))
+      && not (List.exists (Tuple.unifiable t) complete_list)
   in
   filter survives r
 

@@ -54,8 +54,9 @@ val division : t -> t -> t
 
 (** [anti_unify_semijoin r s] is the unification anti-semijoin
     [r ⋉⇑̸ s] used by the approximation schemes: the tuples of [r] that
-    unify with {e no} tuple of [s].  Complete tuples of [s] are probed
-    by set membership; only its null-containing tuples are scanned. *)
+    unify with {e no} tuple of [s].  Complete probe tuples hit a hash
+    index on the complete part of [s]; only its null-containing tuples
+    are kept in a scan list. *)
 val anti_unify_semijoin : t -> t -> t
 
 (** [anti_unify_semijoin_nested r s] — the textbook O(|r|·|s|)
