@@ -22,11 +22,20 @@
      e13  value-inventing queries: aggregate ranges, classification
      e14  Datalog: monotone fixpoints are exactly certain
      e15  physical planner: hash equi-join vs nested loop (set and bag)
+     e16  multicore execution layer: domain pool vs sequential reference
 
-   A trailing `--json` flag additionally writes the e15 measurements to
-   BENCH_PR1.json in the current directory. *)
+   Flags:
+     --json      write e15 to BENCH_PR1.json and e16 to BENCH_PR2.json
+     --seed N    offset every workload generator seed by N
+     --small     shrink e16 workloads for CI smoke runs *)
 
 open Incdb
+
+(* every experiment derives its RNGs from a site-local constant offset by
+   [--seed], so a different seed reshuffles all workloads coherently *)
+let base_seed = ref 0
+
+let rng_of n = Workload.Generator.make_rng ~seed:(!base_seed + n)
 
 let now () = Unix.gettimeofday ()
 
@@ -128,7 +137,7 @@ let exp_e2 () =
     "plain(ms)" "Q+(ms)" "ovh" "Q?(ms)" "Qt(ms)" "Qf(ms)";
   List.iter
     (fun rows ->
-      let rng = Workload.Generator.make_rng ~seed:(1000 + rows) in
+      let rng = rng_of (1000 + rows) in
       let db = e2_db rng ~rows ~null_rate:0.05 in
       let adom = List.length (Database.active_domain db) in
       let _, t_plain = time_ms (fun () -> Eval.run db q) in
@@ -169,11 +178,11 @@ let exp_e2 () =
   Printf.printf "\nTPC-H-mini workload, scale 8 (~1560 tuples), 5%% nulls:\n";
   Printf.printf "%-26s %10s %10s %8s %10s\n" "query" "plain(ms)" "Q+(ms)" "ovh"
     "Q?(ms)";
-  let rng = Workload.Generator.make_rng ~seed:7 in
+  let rng = rng_of 7 in
   let db = Workload.Tpch_mini.generate rng ~scale:8 in
   let db =
     Workload.Tpch_mini.with_nulls
-      (Workload.Generator.make_rng ~seed:8)
+      (rng_of 8)
       ~rate:0.05 db
   in
   List.iter
@@ -254,7 +263,7 @@ let exp_e4 () =
      per rate\n\n";
   Printf.printf "%9s %12s %12s %12s %12s %12s\n" "null-rate" "Q+recall"
     "Q+precision" "naive-prec" "naive-recall" "aware-recall";
-  let rng = Workload.Generator.make_rng ~seed:123 in
+  let rng = rng_of 123 in
   List.iter
     (fun rate ->
       let ratios = ref [] in
@@ -398,7 +407,7 @@ let exp_e6 () =
         (Bag_relation.multiplicity t (Bag_bounds.upper_bound db q)))
     [ Tuple.of_list [ Value.int 1 ]; Tuple.of_list [ Value.null 0 ] ];
 
-  let rng = Workload.Generator.make_rng ~seed:99 in
+  let rng = rng_of 99 in
   let tight = ref 0 and total = ref 0 and sound = ref 0 in
   for _ = 1 to 150 do
     let db =
@@ -438,7 +447,7 @@ let exp_e6 () =
 
 let exp_e7 () =
   hr "E7: c-table strategies of [36] (Thm 4.9)";
-  let rng = Workload.Generator.make_rng ~seed:2024 in
+  let rng = rng_of 2024 in
   let found = List.map (fun s -> (s, ref 0)) Ctables.Ceval.all_strategies in
   let timings =
     List.map (fun s -> (s, ref 0.0)) Ctables.Ceval.all_strategies
@@ -494,7 +503,7 @@ let exp_e7 () =
 
 let exp_e8 () =
   hr "E8: when is naive evaluation exact? (Thm 4.4)";
-  let rng = Workload.Generator.make_rng ~seed:31415 in
+  let rng = rng_of 31415 in
   let trial ~positive ~allow_division =
     let exact = ref 0 and total = ref 0 in
     for _ = 1 to 250 do
@@ -600,7 +609,7 @@ let exp_e9 () =
     domain;
   Printf.printf "  psi_t/psi_f/psi_u all agree with the 3V value: %b\n" !agree;
 
-  let rng = Workload.Generator.make_rng ~seed:5 in
+  let rng = rng_of 5 in
   let checked = ref 0 and ok = ref 0 in
   for _ = 1 to 60 do
     let db =
@@ -641,7 +650,7 @@ let exp_e9 () =
 
 let exp_e10 () =
   hr "E10: cert-bot vs cert-cap vs naive (Prop 3.10 anatomy)";
-  let rng = Workload.Generator.make_rng ~seed:777 in
+  let rng = rng_of 777 in
   Printf.printf "%9s %10s %10s %10s %16s\n" "null-rate" "|naive|" "|cert-bot|"
     "|cert-cap|" "Prop3.10-holds";
   List.iter
@@ -686,11 +695,11 @@ let exp_e11 () =
      operators; Section 5.2 points out that optimisers rely on the logic\n\
      being distributive and idempotent.  This ablation measures what the\n\
      rewrite pass buys on the translated queries (same answers, checked).\n\n";
-  let rng = Workload.Generator.make_rng ~seed:7 in
+  let rng = rng_of 7 in
   let db = Workload.Tpch_mini.generate rng ~scale:6 in
   let db =
     Workload.Tpch_mini.with_nulls
-      (Workload.Generator.make_rng ~seed:8)
+      (rng_of 8)
       ~rate:0.05 db
   in
   let schema = Workload.Tpch_mini.schema in
@@ -713,7 +722,7 @@ let exp_e11 () =
       (Algebra.Project ([ 0 ], Algebra.Rel "R"),
        Algebra.Project ([ 0 ], Algebra.Rel "S"))
   in
-  let rng = Workload.Generator.make_rng ~seed:42 in
+  let rng = rng_of 42 in
   let small = e2_db rng ~rows:100 ~null_rate:0.05 in
   let qt = Scheme_tf.translate_t e2_schema q in
   let qt' = Optimize.optimize e2_schema qt in
@@ -737,7 +746,7 @@ let exp_e12 () =
     "nested(ms)" "speedup";
   List.iter
     (fun rows ->
-      let rng = Workload.Generator.make_rng ~seed:(rows + 5) in
+      let rng = rng_of (rows + 5) in
       let next_null = ref 0 in
       let mk () =
         Workload.Generator.random_relation rng ~arity:2 ~size:rows
@@ -765,11 +774,11 @@ let exp_e13 () =
      describe invented values, so aggregates get *ranges* over possible\n\
      worlds, with polynomial COUNT bounds from the (Q+,Q?) scheme.\n\n";
   (* COUNT bounds on the TPC-H-mini workload *)
-  let rng = Workload.Generator.make_rng ~seed:21 in
+  let rng = rng_of 21 in
   let db = Workload.Tpch_mini.generate rng ~scale:4 in
   let db =
     Workload.Tpch_mini.with_nulls
-      (Workload.Generator.make_rng ~seed:22)
+      (rng_of 22)
       ~rate:0.05 db
   in
   Printf.printf "COUNT bounds, TPC-H-mini scale 4, 5%% nulls (polynomial):\n";
@@ -845,7 +854,7 @@ let exp_e14 () =
     "paths" "fixpoint(ms)";
   List.iter
     (fun n ->
-      let rng = Workload.Generator.make_rng ~seed:(n * 7) in
+      let rng = rng_of (n * 7) in
       let next_null = ref 0 in
       let edges =
         (* a sparse random graph over n nodes, 10% null endpoints *)
@@ -866,7 +875,7 @@ let exp_e14 () =
         (Relation.cardinal paths) t)
     [ 10; 20; 40; 80; 160 ];
   (* exactness spot check on a small instance *)
-  let rng = Workload.Generator.make_rng ~seed:5 in
+  let rng = rng_of 5 in
   let next_null = ref 0 in
   let small =
     Database.of_list schema
@@ -920,7 +929,7 @@ let exp_e15 () =
     "planned(ms)" "nested(ms)" "speedup";
   List.iter
     (fun rows ->
-      let rng = Workload.Generator.make_rng ~seed:(9000 + rows) in
+      let rng = rng_of (9000 + rows) in
       let db = e15_db rng ~rows in
       let r1, t_planned = time_ms (fun () -> Eval.run ~planner:true db q) in
       let r2, t_nested = time_ms (fun () -> Eval.run ~planner:false db q) in
@@ -935,7 +944,7 @@ let exp_e15 () =
     "planned(ms)" "nested(ms)" "speedup";
   List.iter
     (fun rows ->
-      let rng = Workload.Generator.make_rng ~seed:(9500 + rows) in
+      let rng = rng_of (9500 + rows) in
       let db = e15_db rng ~rows in
       let b1, t_planned = time_ms (fun () -> Bag_eval.run ~planner:true db q) in
       let b2, t_nested = time_ms (fun () -> Bag_eval.run ~planner:false db q) in
@@ -944,7 +953,7 @@ let exp_e15 () =
       Printf.printf "%8d %10d %12.2f %12.2f %9.1fx\n" rows
         (Bag_relation.cardinal b1) t_planned t_nested
         (t_nested /. max t_planned 0.001))
-    [ 500; 1000; 2000 ];
+    [ 500; 1000; 2000; 5000 ];
   (* the planner also accelerates the certain-answer machinery: Q+ of a
      difference of joins mixes hash joins with the hash anti-semijoin *)
   let qd =
@@ -957,7 +966,7 @@ let exp_e15 () =
     "planned(ms)" "nested(ms)" "speedup";
   List.iter
     (fun rows ->
-      let rng = Workload.Generator.make_rng ~seed:(9900 + rows) in
+      let rng = rng_of (9900 + rows) in
       let db = e15_db rng ~rows in
       let r1, t_planned =
         time_ms (fun () -> Scheme_pm.certain_sub ~planner:true db qd)
@@ -970,7 +979,7 @@ let exp_e15 () =
       Printf.printf "%8d %10d %12.2f %12.2f %9.1fx\n" rows
         (Relation.cardinal r1) t_planned t_nested
         (t_nested /. max t_planned 0.001))
-    [ 500; 1000; 2000 ]
+    [ 500; 1000; 2000; 5000 ]
 
 let write_e15_json path =
   let rows = List.rev !e15_results in
@@ -997,6 +1006,141 @@ let write_e15_json path =
   Printf.printf "\nwrote %s (%d measurements)\n" path n
 
 (* ------------------------------------------------------------------ *)
+(* E16: the multicore execution layer                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e16_small = ref false
+
+(* rows recorded for --json:
+   (label, domains, parallel_ms, sequential_ms, identical) *)
+let e16_results : (string * int * float * float * bool) list ref = ref []
+
+(* Three workloads, one per layer the pool is threaded through: a bulk
+   hash equi-join (physical operators), exact certain answers (parallel
+   canonical-world enumeration), and a Datalog fixpoint (parallel rule
+   firings).  Each returns the answer as an ordered tuple list so the
+   parallel and sequential runs can be compared for bit-identical
+   results. *)
+let e16_cases () =
+  let join_rows = if !e16_small then 500 else 5000 in
+  let join_q =
+    Algebra.Select
+      (Condition.eq_col 1 2, Algebra.Product (Algebra.Rel "R", Algebra.Rel "S"))
+  in
+  let join_db = e15_db (rng_of 16100) ~rows:join_rows in
+  let cert_nulls = if !e16_small then 3 else 4 in
+  let cert_db =
+    (* a handful of nulls over a 4-constant pool: the canonical-world
+       count is exponential in the nulls, which is the whole point *)
+    let rng = rng_of 16200 in
+    let const () = Value.int (Random.State.int rng 4) in
+    let tuple _ = Tuple.of_list [ const (); const () ] in
+    let with_nulls =
+      List.init cert_nulls (fun i -> Tuple.of_list [ Value.null i; const () ])
+    in
+    Database.of_list e2_schema
+      [ ("R", List.init 12 tuple @ with_nulls); ("S", List.init 12 tuple) ]
+  in
+  let cert_q =
+    Algebra.Diff
+      (Algebra.Project ([ 0 ], Algebra.Rel "R"),
+       Algebra.Project ([ 0 ], Algebra.Rel "S"))
+  in
+  let tc_nodes = if !e16_small then 30 else 120 in
+  let tc_db =
+    let rng = rng_of 16300 in
+    let next_null = ref 0 in
+    let edges =
+      List.init (2 * tc_nodes) (fun _ ->
+          let v () =
+            if Random.State.float rng 1.0 < 0.1 then begin
+              let l = !next_null in
+              incr next_null;
+              Value.null l
+            end
+            else Value.int (Random.State.int rng tc_nodes)
+          in
+          Tuple.of_list [ v (); v () ])
+    in
+    Database.of_list (Schema.of_list [ ("edge", [ "s"; "d" ]) ])
+      [ ("edge", edges) ]
+  in
+  let tc = Datalog.Eval.transitive_closure ~edge:"edge" ~path:"path" in
+  [ (Printf.sprintf "set-hash-join-%d" join_rows,
+     fun pool -> Relation.to_list (Eval.run ~pool join_db join_q));
+    (Printf.sprintf "cert-bot-%d-nulls" cert_nulls,
+     fun pool -> Relation.to_list (Certainty.cert_with_nulls_ra ~pool cert_db cert_q));
+    (Printf.sprintf "datalog-tc-%d" tc_nodes,
+     fun pool -> Relation.to_list (Datalog.Eval.run ~pool tc_db tc "path")) ]
+
+let exp_e16 () =
+  hr "E16: multicore execution layer — domain pool vs sequential reference";
+  Printf.printf
+    "host: %d recommended domain(s); pool sizes are forced explicitly, so\n\
+     on a smaller machine the extra domains time-share cores (speedup\n\
+     then reflects scheduling overhead, not the algorithm).\n\n"
+    (Domain.recommended_domain_count ());
+  (* force the parallel operators on even for the --small workloads *)
+  let saved_scan = !Pool.scan_cutoff and saved_join = !Pool.join_cutoff in
+  if !e16_small then begin
+    Pool.scan_cutoff := 128;
+    Pool.join_cutoff := 128
+  end;
+  Printf.printf "%-22s %8s %12s %12s %9s %10s\n" "workload" "domains"
+    "parallel(ms)" "seq(ms)" "speedup" "identical";
+  List.iter
+    (fun (label, run) ->
+      let seq_result, seq_ms = time_ms (fun () -> run None) in
+      List.iter
+        (fun d ->
+          let pool = Pool.create ~size:d () in
+          let par_result, par_ms = time_ms (fun () -> run (Some pool)) in
+          Pool.shutdown pool;
+          let identical = par_result = seq_result in
+          e16_results := (label, d, par_ms, seq_ms, identical) :: !e16_results;
+          Printf.printf "%-22s %8d %12.2f %12.2f %8.2fx %10b\n" label d par_ms
+            seq_ms
+            (seq_ms /. max par_ms 0.001)
+            identical)
+        [ 1; 2; 4; 8 ])
+    (e16_cases ());
+  Pool.scan_cutoff := saved_scan;
+  Pool.join_cutoff := saved_join;
+  Printf.printf
+    "\nEvery row must report identical=true: relations are immutable and\n\
+     chunk merges are associative/commutative, so the parallel operators\n\
+     are observationally equal to the sequential reference by design.\n"
+
+let write_e16_json path =
+  let rows = List.rev !e16_results in
+  let n = List.length rows in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"e16\",\n";
+  Buffer.add_string buf
+    "  \"description\": \"domain-pool parallel execution vs sequential \
+     reference\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i (label, domains, par, seq, identical) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"label\": \"%s\", \"domains\": %d, \"parallel_ms\": %.3f, \
+            \"sequential_ms\": %.3f, \"speedup\": %.2f, \"identical\": %b}%s\n"
+           label domains par seq
+           (seq /. max par 0.001)
+           identical
+           (if i = n - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d measurements)\n" path n
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1006,7 +1150,7 @@ let micro () =
   let fig1 = fig1_db ~with_null:true in
   let unpaid_sql = List.assoc "unpaid-orders" fig1_queries in
   let unpaid_q = Sql.To_algebra.translate_string fig1_schema unpaid_sql in
-  let rng = Workload.Generator.make_rng ~seed:55 in
+  let rng = rng_of 55 in
   let e2db = e2_db rng ~rows:100 ~null_rate:0.05 in
   let e2q =
     Algebra.Diff
@@ -1107,13 +1251,29 @@ let experiments =
   [ ("e1", exp_e1); ("e2", exp_e2); ("e3", exp_e3); ("e4", exp_e4);
     ("e5", exp_e5); ("e6", exp_e6); ("e7", exp_e7); ("e8", exp_e8);
     ("e9", exp_e9); ("e10", exp_e10); ("e11", exp_e11); ("e12", exp_e12);
-    ("e13", exp_e13); ("e14", exp_e14); ("e15", exp_e15);
+    ("e13", exp_e13); ("e14", exp_e14); ("e15", exp_e15); ("e16", exp_e16);
     ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let json = List.mem "--json" args in
-  let args = List.filter (fun a -> a <> "--json") args in
+  let json = ref false in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: rest ->
+      json := true;
+      parse acc rest
+    | "--small" :: rest ->
+      e16_small := true;
+      parse acc rest
+    | "--seed" :: v :: rest when int_of_string_opt v <> None ->
+      base_seed := Option.get (int_of_string_opt v);
+      parse acc rest
+    | "--seed" :: _ ->
+      Printf.eprintf "--seed expects an integer argument\n";
+      exit 1
+    | a :: rest -> parse (a :: acc) rest
+  in
+  let args = parse [] args in
   let selected =
     match args with
     | [] | [ "all" ] -> List.map fst experiments
@@ -1128,4 +1288,5 @@ let () =
           (String.concat ", " (List.map fst experiments));
         exit 1)
     selected;
-  if json && !e15_results <> [] then write_e15_json "BENCH_PR1.json"
+  if !json && !e15_results <> [] then write_e15_json "BENCH_PR1.json";
+  if !json && !e16_results <> [] then write_e16_json "BENCH_PR2.json"

@@ -7,34 +7,46 @@ let pattern_consts ~query_consts db =
   in
   db_consts @ extra
 
-let canonical_worlds ~query_consts db =
+let canonical_valuations ~query_consts db =
   let consts = pattern_consts ~query_consts db in
   let nulls = Database.nulls db in
-  List.map
-    (fun v -> (v, Valuation.apply_db v db))
-    (Valuation.enumerate_canonical ~nulls ~consts)
+  Valuation.canonical_seq ~nulls ~consts
 
-let cert_with_nulls ~run ~query_consts db =
+let canonical_world_seq ~query_consts db =
+  Seq.map
+    (fun v -> (v, Valuation.apply_db v db))
+    (canonical_valuations ~query_consts db)
+
+let canonical_worlds ~query_consts db =
+  List.of_seq (canonical_world_seq ~query_consts db)
+
+(* worlds per parallel batch; each batch's worlds are built and queried
+   on separate domains, then folded in enumeration order *)
+let world_chunk = 32
+
+let cert_with_nulls ?(pool = Pool.auto ()) ~run ~query_consts db =
   (* candidates: cert⊥(Q,D) ⊆ Qnaive(D) because a bijective valuation
      into fresh constants is itself a valuation *)
   let candidates = Naive.run_with ~run db in
-  let worlds = canonical_worlds ~query_consts db in
-  let answers =
-    List.map (fun (v, world) -> (v, run world)) worlds
-  in
-  Relation.filter
-    (fun t ->
-      List.for_all
-        (fun (v, answer) -> Relation.mem (Valuation.apply_tuple v t) answer)
-        answers)
-    candidates
+  (* stream the canonical worlds instead of materialising them: the
+     candidate set only shrinks, so once it is empty no further world
+     needs to be built, and each chunk's worlds are evaluated in
+     parallel while the narrowing fold stays in enumeration order *)
+  Pool.fold_seq_chunked pool ~chunk:world_chunk
+    ~map:(fun v -> (v, run (Valuation.apply_db v db)))
+    ~combine:(fun cand (v, answer) ->
+      Relation.filter
+        (fun t -> Relation.mem (Valuation.apply_tuple v t) answer)
+        cand)
+    ~stop:Relation.is_empty ~init:candidates
+    (canonical_valuations ~query_consts db)
 
 let keep_complete r = Relation.filter Tuple.is_complete r
 
-let cert_intersection ~run ~query_consts db =
-  keep_complete (cert_with_nulls ~run ~query_consts db)
+let cert_intersection ?pool ~run ~query_consts db =
+  keep_complete (cert_with_nulls ?pool ~run ~query_consts db)
 
-let cert_intersection_direct ~run ~query_consts db =
+let cert_intersection_direct ?(pool = Pool.auto ()) ~run ~query_consts db =
   (* A tuple mentioning an invented (fresh) constant cannot be in the
      intersection: by genericity some possible world avoids that
      constant altogether.  So restrict each world's answer to tuples
@@ -45,35 +57,37 @@ let cert_intersection_direct ~run ~query_consts db =
       (fun c -> List.exists (Value.equal_const c) allowed)
       (Tuple.consts t)
   in
-  let world_answer world = Relation.filter over_allowed (keep_complete (run world)) in
-  match canonical_worlds ~query_consts db with
-  | [] -> assert false (* there is always at least the empty valuation *)
-  | (_, first) :: rest ->
-    List.fold_left
-      (fun acc (_, world) ->
-        if Relation.is_empty acc then acc
-        else Relation.inter acc (world_answer world))
-      (world_answer first) rest
+  let world_answer v =
+    Relation.filter over_allowed (keep_complete (run (Valuation.apply_db v db)))
+  in
+  match canonical_valuations ~query_consts db () with
+  | Seq.Nil -> assert false (* there is always at least the empty valuation *)
+  | Seq.Cons (first, rest) ->
+    Pool.fold_seq_chunked pool ~chunk:world_chunk ~map:world_answer
+      ~combine:Relation.inter ~stop:Relation.is_empty
+      ~init:(world_answer first) rest
 
-let ra_run q db = Eval.run db q
+let ra_run ?pool q db = Eval.run ?pool db q
 
-let cert_with_nulls_ra db q =
-  cert_with_nulls ~run:(ra_run q) ~query_consts:(Algebra.consts q) db
+let cert_with_nulls_ra ?pool db q =
+  cert_with_nulls ?pool ~run:(ra_run ?pool q) ~query_consts:(Algebra.consts q)
+    db
 
-let cert_intersection_ra db q =
-  cert_intersection ~run:(ra_run q) ~query_consts:(Algebra.consts q) db
+let cert_intersection_ra ?pool db q =
+  cert_intersection ?pool ~run:(ra_run ?pool q)
+    ~query_consts:(Algebra.consts q) db
 
 let fo_run phi db =
   Incdb_logic.Semantics.certain_true Incdb_logic.Semantics.all_bool db phi
 
-let cert_with_nulls_fo db phi =
-  cert_with_nulls ~run:(fo_run phi) ~query_consts:(Fo.consts phi) db
+let cert_with_nulls_fo ?pool db phi =
+  cert_with_nulls ?pool ~run:(fo_run phi) ~query_consts:(Fo.consts phi) db
 
-let cert_intersection_fo db phi =
-  cert_intersection ~run:(fo_run phi) ~query_consts:(Fo.consts phi) db
+let cert_intersection_fo ?pool db phi =
+  cert_intersection ?pool ~run:(fo_run phi) ~query_consts:(Fo.consts phi) db
 
-let certain_boolean db q =
-  Eval.boolean (cert_with_nulls_ra db q)
+let certain_boolean ?pool db q =
+  Eval.boolean (cert_with_nulls_ra ?pool db q)
 
 let certain_object_ucq db q =
   if not (Classes.is_positive q) then

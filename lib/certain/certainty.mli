@@ -11,20 +11,29 @@
     complexity (Theorem 3.12) — and serves as the ground truth against
     which the polynomial approximation schemes are measured. *)
 
-(** [cert_with_nulls ~run ~query_consts db] is cert⊥(Q, D) for the
-    generic query executed by [run]; [query_consts] must list the
+(** [cert_with_nulls ?pool ~run ~query_consts db] is cert⊥(Q, D) for
+    the generic query executed by [run]; [query_consts] must list the
     constants mentioned by the query (they take part in collision
-    patterns).  The answer may contain nulls of [D] (Definition 3.9). *)
+    patterns).  The answer may contain nulls of [D] (Definition 3.9).
+
+    Canonical worlds are {e streamed} ({!Valuation.canonical_seq}):
+    the candidate set only shrinks as worlds are checked, so the
+    enumeration stops as soon as it empties.  With [pool] (default
+    {!Pool.auto}; [~pool:None] for the sequential reference) each chunk
+    of worlds is built and queried on separate domains; the narrowing
+    fold stays in enumeration order, so the result is identical. *)
 val cert_with_nulls :
+  ?pool:Pool.t option ->
   run:(Database.t -> Relation.t) ->
   query_consts:Value.const list ->
   Database.t ->
   Relation.t
 
-(** [cert_intersection ~run ~query_consts db] is cert∩(Q, D): the
-    null-free certain answers (Definition 3.7), computed as
+(** [cert_intersection ?pool ~run ~query_consts db] is cert∩(Q, D):
+    the null-free certain answers (Definition 3.7), computed as
     cert⊥ ∩ Const^m (Proposition 3.10). *)
 val cert_intersection :
+  ?pool:Pool.t option ->
   run:(Database.t -> Relation.t) ->
   query_consts:Value.const list ->
   Database.t ->
@@ -32,27 +41,37 @@ val cert_intersection :
 
 (** [cert_intersection_direct] computes cert∩ from its definition, as
     the intersection of the query answers over one representative
-    possible world per collision pattern; used to cross-validate
-    Proposition 3.10 in the tests. *)
+    possible world per collision pattern (streamed and chunk-parallel
+    like {!cert_with_nulls}, stopping once the running intersection is
+    empty); used to cross-validate Proposition 3.10 in the tests. *)
 val cert_intersection_direct :
+  ?pool:Pool.t option ->
   run:(Database.t -> Relation.t) ->
   query_consts:Value.const list ->
   Database.t ->
   Relation.t
 
-(** Relational algebra front ends. *)
+(** Relational algebra front ends.  [pool] is used both for the world
+    enumeration and inside each world's query evaluation (nested
+    parallel sections degrade to sequential on worker domains). *)
 
-val cert_with_nulls_ra : Database.t -> Algebra.t -> Relation.t
-val cert_intersection_ra : Database.t -> Algebra.t -> Relation.t
+val cert_with_nulls_ra :
+  ?pool:Pool.t option -> Database.t -> Algebra.t -> Relation.t
+
+val cert_intersection_ra :
+  ?pool:Pool.t option -> Database.t -> Algebra.t -> Relation.t
 
 (** FO front ends (free variables in {!Fo.free_vars} order). *)
 
-val cert_with_nulls_fo : Database.t -> Fo.t -> Relation.t
-val cert_intersection_fo : Database.t -> Fo.t -> Relation.t
+val cert_with_nulls_fo :
+  ?pool:Pool.t option -> Database.t -> Fo.t -> Relation.t
+
+val cert_intersection_fo :
+  ?pool:Pool.t option -> Database.t -> Fo.t -> Relation.t
 
 (** [certain_boolean db q] for Boolean (0-ary) algebra queries: [true]
     iff the query holds in every possible world. *)
-val certain_boolean : Database.t -> Algebra.t -> bool
+val certain_boolean : ?pool:Pool.t option -> Database.t -> Algebra.t -> bool
 
 (** [certain_object_ucq db q] — the {e information-based certain answer
     as an object} (Definition 3.3, Proposition 3.6(b)): for a union of
@@ -75,3 +94,11 @@ val canonical_worlds :
   query_consts:Value.const list ->
   Database.t ->
   (Valuation.t * Database.t) list
+
+(** [canonical_world_seq ~query_consts db] is {!canonical_worlds} as a
+    lazy sequence in the same order; worlds are only instantiated as
+    the sequence is forced. *)
+val canonical_world_seq :
+  query_consts:Value.const list ->
+  Database.t ->
+  (Valuation.t * Database.t) Seq.t

@@ -47,8 +47,8 @@ and maybe_of schema q =
 let translate_plus = plus_of
 let translate_maybe = maybe_of
 
-let certain_sub ?planner db q =
-  Eval.run ?planner db (translate_plus (Database.schema db) q)
+let certain_sub ?planner ?pool db q =
+  Eval.run ?planner ?pool db (translate_plus (Database.schema db) q)
 
-let possible_sup ?planner db q =
-  Eval.run ?planner db (translate_maybe (Database.schema db) q)
+let possible_sup ?planner ?pool db q =
+  Eval.run ?planner ?pool db (translate_maybe (Database.schema db) q)

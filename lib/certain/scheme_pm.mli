@@ -30,11 +30,14 @@ val translate_plus : Schema.t -> Algebra.t -> Algebra.t
 (** [translate_maybe schema q] is Q?. *)
 val translate_maybe : Schema.t -> Algebra.t -> Algebra.t
 
-(** [certain_sub ?planner db q] evaluates Q⁺ on [D].  [planner]
-    (default [true]) is forwarded to {!Eval.run}: the physical planner
-    turns the translation's anti-semijoins and equi-joins into hash
-    operators. *)
-val certain_sub : ?planner:bool -> Database.t -> Algebra.t -> Relation.t
+(** [certain_sub ?planner ?pool db q] evaluates Q⁺ on [D].  [planner]
+    (default [true]) and [pool] are forwarded to {!Eval.run}: the
+    physical planner turns the translation's anti-semijoins and
+    equi-joins into hash operators, and the pool runs them
+    partition-parallel. *)
+val certain_sub :
+  ?planner:bool -> ?pool:Pool.t option -> Database.t -> Algebra.t -> Relation.t
 
-(** [possible_sup ?planner db q] evaluates Q? on [D]. *)
-val possible_sup : ?planner:bool -> Database.t -> Algebra.t -> Relation.t
+(** [possible_sup ?planner ?pool db q] evaluates Q? on [D]. *)
+val possible_sup :
+  ?planner:bool -> ?pool:Pool.t option -> Database.t -> Algebra.t -> Relation.t

@@ -51,10 +51,12 @@ let translate_t schema q = t_of schema (Classes.dedup_projections schema q)
 
 let translate_f schema q = f_of schema (Classes.dedup_projections schema q)
 
-let certain_sub ?planner db q =
+let certain_sub ?planner ?pool db q =
   let schema = Database.schema db in
-  Eval.run ?planner ~extra_consts:(Algebra.consts q) db (translate_t schema q)
+  Eval.run ?planner ?pool ~extra_consts:(Algebra.consts q) db
+    (translate_t schema q)
 
-let certainly_false ?planner db q =
+let certainly_false ?planner ?pool db q =
   let schema = Database.schema db in
-  Eval.run ?planner ~extra_consts:(Algebra.consts q) db (translate_f schema q)
+  Eval.run ?planner ?pool ~extra_consts:(Algebra.consts q) db
+    (translate_f schema q)

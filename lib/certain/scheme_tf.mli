@@ -25,13 +25,15 @@ val translate_t : Schema.t -> Algebra.t -> Algebra.t
 (** [translate_f schema q] is Qᶠ. *)
 val translate_f : Schema.t -> Algebra.t -> Algebra.t
 
-(** [certain_sub ?planner db q] evaluates Qᵗ on [D] (with the constants
-    of [q] included in [Dom]): a sound under-approximation of
-    cert⊥(Q, D).  [planner] (default [true]) is forwarded to
-    {!Eval.run}; the planner's subplan memoization pays off here
+(** [certain_sub ?planner ?pool db q] evaluates Qᵗ on [D] (with the
+    constants of [q] included in [Dom]): a sound under-approximation of
+    cert⊥(Q, D).  [planner] (default [true]) and [pool] are forwarded
+    to {!Eval.run}; the planner's subplan memoization pays off here
     because the translation duplicates subqueries. *)
-val certain_sub : ?planner:bool -> Database.t -> Algebra.t -> Relation.t
+val certain_sub :
+  ?planner:bool -> ?pool:Pool.t option -> Database.t -> Algebra.t -> Relation.t
 
-(** [certainly_false ?planner db q] evaluates Qᶠ on [D]: tuples that
-    are not answers in any possible world. *)
-val certainly_false : ?planner:bool -> Database.t -> Algebra.t -> Relation.t
+(** [certainly_false ?planner ?pool db q] evaluates Qᶠ on [D]: tuples
+    that are not answers in any possible world. *)
+val certainly_false :
+  ?planner:bool -> ?pool:Pool.t option -> Database.t -> Algebra.t -> Relation.t

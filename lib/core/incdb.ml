@@ -25,6 +25,14 @@ module Homomorphism = Incdb_relational.Homomorphism
     evaluated under set or bag semantics; first-order logic with
     many-valued semantics; and a mini SQL front end. *)
 
+(** {1 Execution layer}
+
+    The domain pool behind every parallel code path; [?pool:None]
+    selects the sequential reference implementations, and
+    [INCDB_DOMAINS=n] parallelises the defaults process-wide. *)
+
+module Pool = Pool
+
 module Condition = Incdb_relational.Condition
 module Algebra = Incdb_relational.Algebra
 module Plan = Incdb_relational.Plan

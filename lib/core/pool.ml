@@ -1,0 +1,283 @@
+type t = {
+  size : int;
+  mutable workers : unit Domain.t array;
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  mutable stopped : bool;
+}
+
+(* set once per worker domain: any combinator entered from inside a
+   pool task degrades to its sequential path, so workers never block on
+   other tasks and the pool cannot deadlock *)
+let worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let in_worker () = Domain.DLS.get worker_key
+
+let scan_cutoff = ref 2048
+let join_cutoff = ref 1024
+
+let worker_loop pool () =
+  Domain.DLS.set worker_key true;
+  let rec next () =
+    Mutex.lock pool.lock;
+    let rec obtain () =
+      match Queue.take_opt pool.queue with
+      | Some task ->
+        Mutex.unlock pool.lock;
+        Some task
+      | None ->
+        if pool.stopped then begin
+          Mutex.unlock pool.lock;
+          None
+        end
+        else begin
+          Condition.wait pool.work_available pool.lock;
+          obtain ()
+        end
+    in
+    match obtain () with
+    | None -> ()
+    | Some task ->
+      task ();
+      next ()
+  in
+  next ()
+
+let default_size () =
+  match Sys.getenv_opt "INCDB_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> min n 128
+     | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let create ?size () =
+  let size =
+    max 1 (match size with Some n -> n | None -> default_size ())
+  in
+  let pool =
+    { size;
+      workers = [||];
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      stopped = false }
+  in
+  pool.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+let size pool = pool.size
+
+let shutdown pool =
+  let workers =
+    Mutex.lock pool.lock;
+    let ws = pool.workers in
+    pool.workers <- [||];
+    pool.stopped <- true;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.lock;
+    ws
+  in
+  Array.iter Domain.join workers
+
+(* the process-wide pool behind [auto]; protected because workers of an
+   outer parallel section may race to it through default arguments *)
+let auto_lock = Mutex.create ()
+let auto_pool : t option option ref = ref None
+
+let auto () =
+  Mutex.lock auto_lock;
+  let p =
+    match !auto_pool with
+    | Some p -> p
+    | None ->
+      let p =
+        let n = default_size () in
+        if n <= 1 then None else Some (create ~size:n ())
+      in
+      auto_pool := Some p;
+      (match p with
+       | Some pool -> at_exit (fun () -> shutdown pool)
+       | None -> ());
+      p
+  in
+  Mutex.unlock auto_lock;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* chunk scheduling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* [lo, hi) bounds of chunk [i] when splitting [len] into [n] chunks *)
+let chunk_bounds len n i =
+  let base = len / n and rem = len mod n in
+  let lo = (i * base) + min i rem in
+  (lo, lo + base + (if i < rem then 1 else 0))
+
+(* Run [run 0 .. run (nchunks-1)]: chunks 1.. go on the shared queue,
+   the caller runs chunk 0, helps drain the queue, then waits for
+   stragglers executing on worker domains.  The first exception raised
+   by any chunk is re-raised once every chunk has finished. *)
+let run_chunks pool ~nchunks run =
+  if nchunks <= 1 then begin
+    if nchunks = 1 then run 0
+  end
+  else begin
+    let job_lock = Mutex.create () in
+    let job_done = Condition.create () in
+    let remaining = ref nchunks in
+    let first_exn = ref None in
+    let exec i =
+      (try run i
+       with e ->
+         Mutex.lock job_lock;
+         if !first_exn = None then first_exn := Some e;
+         Mutex.unlock job_lock);
+      Mutex.lock job_lock;
+      decr remaining;
+      if !remaining = 0 then Condition.signal job_done;
+      Mutex.unlock job_lock
+    in
+    Mutex.lock pool.lock;
+    for i = 1 to nchunks - 1 do
+      Queue.push (fun () -> exec i) pool.queue
+    done;
+    Condition.broadcast pool.work_available;
+    Mutex.unlock pool.lock;
+    exec 0;
+    let rec help () =
+      Mutex.lock pool.lock;
+      let task = Queue.take_opt pool.queue in
+      Mutex.unlock pool.lock;
+      match task with
+      | Some task ->
+        task ();
+        help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock job_lock;
+    while !remaining > 0 do
+      Condition.wait job_done job_lock
+    done;
+    Mutex.unlock job_lock;
+    match !first_exn with Some e -> raise e | None -> ()
+  end
+
+let nchunks_for pool len = max 1 (min len (4 * pool.size))
+
+(* ------------------------------------------------------------------ *)
+(* combinators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let default_cutoff = 64
+
+let parallel_map_array ?(cutoff = default_cutoff) pool f arr =
+  let len = Array.length arr in
+  match pool with
+  | None -> Array.map f arr
+  | Some _ when len <= max 1 cutoff || in_worker () -> Array.map f arr
+  | Some pool ->
+    (* seed the output with the first element so no dummy is needed;
+       the remaining indices are filled by disjoint chunks *)
+    let out = Array.make len (f arr.(0)) in
+    let rest = len - 1 in
+    let nchunks = nchunks_for pool rest in
+    run_chunks pool ~nchunks (fun ci ->
+        let lo, hi = chunk_bounds rest nchunks ci in
+        for j = lo + 1 to hi do
+          out.(j) <- f arr.(j)
+        done);
+    out
+
+let parallel_map ?cutoff pool f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some _ ->
+    Array.to_list (parallel_map_array ?cutoff pool f (Array.of_list xs))
+
+let parallel_fold ?(cutoff = default_cutoff) pool ~map ~combine ~init xs =
+  let sequential () =
+    List.fold_left (fun acc x -> combine acc (map x)) init xs
+  in
+  match pool with
+  | None -> sequential ()
+  | Some pool ->
+    let arr = Array.of_list xs in
+    let len = Array.length arr in
+    if len <= max 1 cutoff || in_worker () then sequential ()
+    else begin
+      let nchunks = nchunks_for pool len in
+      let partials = Array.make nchunks None in
+      run_chunks pool ~nchunks (fun ci ->
+          let lo, hi = chunk_bounds len nchunks ci in
+          if lo < hi then begin
+            let acc = ref (map arr.(lo)) in
+            for j = lo + 1 to hi - 1 do
+              acc := combine !acc (map arr.(j))
+            done;
+            partials.(ci) <- Some !acc
+          end);
+      (* chunk results recombined in input order: for associative
+         [combine] this is exactly the sequential fold *)
+      Array.fold_left
+        (fun acc partial ->
+          match partial with None -> acc | Some v -> combine acc v)
+        init partials
+    end
+
+let tree_reduce pool combine init arr =
+  let len = Array.length arr in
+  if len = 0 then init
+  else begin
+    let sequential () =
+      let acc = ref arr.(0) in
+      for j = 1 to len - 1 do
+        acc := combine !acc arr.(j)
+      done;
+      !acc
+    in
+    match pool with
+    | None -> sequential ()
+    | Some _ when len < 8 || in_worker () -> sequential ()
+    | Some _ ->
+      let cur = ref arr in
+      while Array.length !cur > 1 do
+        let src = !cur in
+        let n = Array.length src in
+        let half = n / 2 in
+        let next =
+          parallel_map_array ~cutoff:1 pool
+            (fun i -> combine src.(2 * i) src.((2 * i) + 1))
+            (Array.init half Fun.id)
+        in
+        cur :=
+          if n mod 2 = 1 then Array.append next [| src.(n - 1) |] else next
+      done;
+      !cur.(0)
+  end
+
+let fold_seq_chunked ?(chunk = 64) ?(stop = fun _ -> false) pool ~map ~combine
+    ~init seq =
+  let chunk = max 1 chunk in
+  let take n seq =
+    let rec go acc n seq =
+      if n = 0 then (List.rev acc, seq)
+      else
+        match seq () with
+        | Seq.Nil -> (List.rev acc, Seq.empty)
+        | Seq.Cons (x, rest) -> go (x :: acc) (n - 1) rest
+    in
+    go [] n seq
+  in
+  let rec loop acc seq =
+    if stop acc then acc
+    else
+      match take chunk seq with
+      | [], _ -> acc
+      | items, rest ->
+        let mapped = parallel_map ~cutoff:1 pool map items in
+        loop (List.fold_left combine acc mapped) rest
+  in
+  loop init seq

@@ -1,0 +1,134 @@
+(** A fixed pool of worker domains with a chunked task queue.
+
+    This is the execution layer behind every parallel code path in the
+    library: the partition-parallel physical operators of
+    {!Incdb_relational.Plan}, the canonical-world enumeration of
+    {!Incdb_certain.Certainty}, the support counts of
+    {!Incdb_prob.Support} and the per-rule firings of
+    {!Incdb_datalog.Eval}.
+
+    Design constraints (see DESIGN.md §4c):
+
+    - {b stdlib only}: OCaml 5 [Domain] + [Mutex]/[Condition], no
+      domainslib.
+    - {b caller participates}: a pool of size [n] spawns [n - 1] worker
+      domains; the submitting domain runs chunks too, so [size:1] pools
+      execute the parallel code paths without any extra domain (useful
+      for differential testing) and pay no synchronisation beyond a few
+      queue operations.
+    - {b sequential below cutoff}: every combinator falls back to the
+      plain sequential implementation when the input is small, so tiny
+      inputs pay zero overhead.
+    - {b no nested parallelism}: a combinator invoked from inside a
+      worker task runs sequentially ({!in_worker}), which makes the
+      pool deadlock-free by construction — workers never block on other
+      tasks.
+
+    Every combinator is {e observationally deterministic}: given an
+    associative [combine], results are equal to the sequential
+    reference regardless of pool size or scheduling, because chunks are
+    recombined in input order and the library's relations are immutable
+    sets/maps. *)
+
+type t
+
+(** [create ?size ()] spawns a pool. [size] defaults to
+    {!default_size}; it is clamped to at least 1.  A pool of size [s]
+    runs [s - 1] worker domains. *)
+val create : ?size:int -> unit -> t
+
+(** Total parallelism of the pool (worker domains + the caller). *)
+val size : t -> int
+
+(** [shutdown pool] stops and joins the worker domains.  Idempotent.
+    Submitting work to a shut-down pool runs it on the caller. *)
+val shutdown : t -> unit
+
+(** The pool size used by {!create} and {!auto} when none is given:
+    the [INCDB_DOMAINS] environment variable if set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
+val default_size : unit -> int
+
+(** [auto ()] is the process-wide shared pool, created lazily with
+    {!default_size} domains and shut down at exit — or [None] when
+    {!default_size} is 1 (a single-core machine with no
+    [INCDB_DOMAINS] override), in which case every consumer stays on
+    its sequential path.  This is the default value of the [?pool]
+    argument across the library, so [INCDB_DOMAINS=4] parallelises the
+    whole stack with no code changes. *)
+val auto : unit -> t option
+
+(** [true] when called from inside a pool task; combinators then run
+    sequentially instead of re-entering the queue. *)
+val in_worker : unit -> bool
+
+(** {1 Tunable cutoffs}
+
+    Read by the physical operators of {!Incdb_relational.Plan} each
+    time they decide between the sequential and the partition-parallel
+    implementation; the differential tests set them to [0] to force the
+    parallel code paths onto tiny relations. *)
+
+(** Minimum tuple count for parallel selection / projection scans. *)
+val scan_cutoff : int ref
+
+(** Minimum combined tuple count ([|build| + |probe|]) for the
+    partition-parallel hash join. *)
+val join_cutoff : int ref
+
+(** {1 Combinators}
+
+    All take the pool as a [t option]: [None] is the sequential
+    reference path.  [cutoff] is the input length at or below which
+    the sequential path is taken ([0] parallelises everything beyond
+    singletons). *)
+
+(** [parallel_map_array pool f arr] is [Array.map f arr], with chunks
+    of the input mapped on separate domains.  [f] must be safe to call
+    concurrently.  The first exception raised by any chunk is re-raised
+    after all chunks finish. *)
+val parallel_map_array :
+  ?cutoff:int -> t option -> ('a -> 'b) -> 'a array -> 'b array
+
+(** List version of {!parallel_map_array}. *)
+val parallel_map : ?cutoff:int -> t option -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [parallel_fold pool ~map ~combine ~init xs] is
+    [List.fold_left (fun acc x -> combine acc (map x)) init xs],
+    computed as a chunked map-reduce: each chunk folds sequentially and
+    the per-chunk results are recombined in input order.  Equal to the
+    sequential fold whenever [combine] is associative. *)
+val parallel_fold :
+  ?cutoff:int ->
+  t option ->
+  map:('a -> 'b) ->
+  combine:('b -> 'b -> 'b) ->
+  init:'b ->
+  'a list ->
+  'b
+
+(** [tree_reduce pool combine init arr] combines the elements of [arr]
+    pairwise, level by level (a balanced reduction tree with each level
+    computed in parallel), preserving input order inside every
+    combination.  Returns [init] on the empty array; equal to
+    [Array.fold_left combine] from the first element whenever [combine]
+    is associative. *)
+val tree_reduce : t option -> ('a -> 'a -> 'a) -> 'a -> 'a array -> 'a
+
+(** [fold_seq_chunked pool ~map ~combine ~init ~stop seq] folds a
+    (possibly huge) sequence without materialising it: [chunk] elements
+    (default 64) are forced at a time, mapped in parallel, and folded
+    into the accumulator in input order.  [stop] (default: never) is
+    checked between chunks for sound early exit — e.g. an empty
+    candidate set during certain-answer world enumeration.  Determinism
+    requires [stop acc] to imply that folding any further element
+    leaves [acc] unchanged. *)
+val fold_seq_chunked :
+  ?chunk:int ->
+  ?stop:('acc -> bool) ->
+  t option ->
+  map:('a -> 'b) ->
+  combine:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a Seq.t ->
+  'acc

@@ -138,7 +138,7 @@ let compile_rule (r : Syntax.rule) : compiled_rule =
   let rel_arity name = arities.(base_index name) in
   { atoms; atom_lits; plan = Planner.compile ~rel_arity algebra }
 
-let fire_planned compiled ~relation_of ~delta ~delta_at =
+let fire_planned ?(pool = None) compiled ~relation_of ~delta ~delta_at =
   let base name =
     let i = base_index name in
     let a = compiled.atoms.(i) in
@@ -156,9 +156,9 @@ let fire_planned compiled ~relation_of ~delta ~delta_at =
         (fun t -> List.for_all (fun (j, v) -> Value.equal t.(j) v) lits)
         rel
   in
-  Plan.run_set ~base ~dom1:(lazy (Relation.empty 1)) compiled.plan
+  Plan.run_set ~pool ~base ~dom1:(lazy (Relation.empty 1)) compiled.plan
 
-let run_all ?(planner = true) db program =
+let run_all ?(planner = true) ?(pool = Pool.auto ()) db program =
   let schema = Database.schema db in
   let edb =
     List.map
@@ -210,7 +210,8 @@ let run_all ?(planner = true) db program =
   in
   let fire (r, compiled) ~delta ~delta_at =
     match compiled with
-    | Some c -> Relation.to_list (fire_planned c ~relation_of ~delta ~delta_at)
+    | Some c ->
+      Relation.to_list (fire_planned ~pool c ~relation_of ~delta ~delta_at)
     | None -> fire_nested r ~delta ~delta_at
   in
   (* first round: fire every rule against the EDB (IDB still empty) *)
@@ -229,12 +230,18 @@ let run_all ?(planner = true) db program =
         (List.fold_left (fun r t -> Relation.add t r) current fresh)
     end
   in
+  (* Within one round all firings read the same snapshot: [full] and the
+     incoming delta are only written between rounds, so the firings are
+     independent and run in parallel; derived tuples are then merged
+     sequentially in rule order, which makes the round deterministic. *)
   let initial_delta = Hashtbl.create 8 in
-  List.iter
-    (fun ((r : Syntax.rule), _ as rule) ->
-      add_new initial_delta r.head.pred
-        (fire rule ~delta:initial_delta ~delta_at:None))
-    rules;
+  let initial_results =
+    Pool.parallel_map ~cutoff:1 pool
+      (fun ((r : Syntax.rule), _ as rule) ->
+        (r.head.pred, fire rule ~delta:initial_delta ~delta_at:None))
+      rules
+  in
+  List.iter (fun (p, tuples) -> add_new initial_delta p tuples) initial_results;
   let commit delta =
     Hashtbl.iter
       (fun p d -> Hashtbl.replace full p (Relation.union (Hashtbl.find full p) d))
@@ -246,16 +253,28 @@ let run_all ?(planner = true) db program =
     if rounds > 100_000 then eval_error "fixpoint did not converge";
     if Hashtbl.length delta = 0 then ()
     else begin
+      (* collect every (rule, delta position) firing of this round, run
+         them in parallel against the shared read-only snapshot, then
+         merge in the same order the sequential loop used *)
+      let firings =
+        List.concat_map
+          (fun ((r : Syntax.rule), _ as rule) ->
+            List.concat
+              (List.mapi
+                 (fun i (a : Syntax.atom) ->
+                   if is_idb a.pred && Hashtbl.mem delta a.pred then
+                     [ (rule, r.head.pred, i) ]
+                   else [])
+                 r.body))
+          rules
+      in
+      let results =
+        Pool.parallel_map ~cutoff:1 pool
+          (fun (rule, p, i) -> (p, fire rule ~delta ~delta_at:(Some i)))
+          firings
+      in
       let next = Hashtbl.create 8 in
-      List.iter
-        (fun ((r : Syntax.rule), _ as rule) ->
-          List.iteri
-            (fun i (a : Syntax.atom) ->
-              if is_idb a.pred && Hashtbl.mem delta a.pred then
-                add_new next r.head.pred
-                  (fire rule ~delta ~delta_at:(Some i)))
-            r.body)
-        rules;
+      List.iter (fun (p, tuples) -> add_new next p tuples) results;
       commit next;
       loop next (rounds + 1)
     end
@@ -263,10 +282,10 @@ let run_all ?(planner = true) db program =
   loop initial_delta 0;
   List.map (fun (p, _) -> (p, Hashtbl.find full p)) idb
 
-let all_idb ?planner db program = run_all ?planner db program
+let all_idb ?planner ?pool db program = run_all ?planner ?pool db program
 
-let run ?planner db program pred =
-  match List.assoc_opt pred (run_all ?planner db program) with
+let run ?planner ?pool db program pred =
+  match List.assoc_opt pred (run_all ?planner ?pool db program) with
   | Some r -> r
   | None -> eval_error "%s is not an IDB predicate of the program" pred
 

@@ -11,21 +11,38 @@
 
 exception Eval_error of string
 
-(** [run ?planner db program pred] evaluates the program with the EDB
-    taken from [db] and returns the fixpoint instance of the IDB
+(** [run ?planner ?pool db program pred] evaluates the program with the
+    EDB taken from [db] and returns the fixpoint instance of the IDB
     predicate [pred].  With [planner] (the default) each rule body is
     compiled once into a physical plan — a left-deep chain of hash
     equi-joins on the variables shared between atoms — and re-executed
     per semi-naive iteration; [~planner:false] keeps the reference
     tuple-at-a-time environment matching.
+
+    With [pool] (default {!Pool.auto}; [~pool:None] for the sequential
+    reference) the independent rule firings of each semi-naive round
+    run in parallel against the round's read-only snapshot of derived
+    facts, and the per-firing plans inherit the pool for their joins;
+    derived tuples are merged in rule order between rounds, so the
+    fixpoint is identical.
     @raise Syntax.Ill_formed on invalid programs.
     @raise Eval_error if [pred] is not an IDB predicate. *)
-val run : ?planner:bool -> Database.t -> Syntax.program -> string -> Relation.t
+val run :
+  ?planner:bool ->
+  ?pool:Pool.t option ->
+  Database.t ->
+  Syntax.program ->
+  string ->
+  Relation.t
 
-(** [all_idb ?planner db program] — fixpoint instances of every IDB
-    predicate. *)
+(** [all_idb ?planner ?pool db program] — fixpoint instances of every
+    IDB predicate. *)
 val all_idb :
-  ?planner:bool -> Database.t -> Syntax.program -> (string * Relation.t) list
+  ?planner:bool ->
+  ?pool:Pool.t option ->
+  Database.t ->
+  Syntax.program ->
+  (string * Relation.t) list
 
 (** [certain_exact db program pred] — ground truth: cert⊥ of the
     Datalog query computed by canonical possible-world enumeration

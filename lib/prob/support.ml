@@ -16,31 +16,39 @@ let valuations_k ~query_consts db ~k =
   let range = enumeration ~query_consts db k in
   Valuation.enumerate ~nulls:(Database.nulls db) ~range
 
-let support_count ~run ~query_consts db tuple ~k =
+let support_count ?(pool = Pool.auto ()) ~run ~query_consts db tuple ~k =
   let vals = valuations_k ~query_consts db ~k in
-  List.fold_left
-    (fun acc v ->
+  (* |Vₖ| = k^n worlds, each instantiated and queried independently:
+     an embarrassingly parallel sum *)
+  Pool.parallel_fold pool ~cutoff:16
+    ~map:(fun v ->
       let world = Valuation.apply_db v db in
-      if Relation.mem (Valuation.apply_tuple v tuple) (run world) then acc + 1
-      else acc)
-    0 vals
+      if Relation.mem (Valuation.apply_tuple v tuple) (run world) then 1
+      else 0)
+    ~combine:( + ) ~init:0 vals
 
-let mu_k_isotypes ~run ~query_consts db tuple ~k =
+let mu_k_isotypes ?(pool = Pool.auto ()) ~run ~query_consts db tuple ~k =
   let vals = valuations_k ~query_consts db ~k in
   (* group valuations by the concrete world they produce; a world type
-     witnesses the tuple when at least one of its valuations does *)
+     witnesses the tuple when at least one of its valuations does.
+     Worlds are instantiated and queried in parallel; the grouping
+     itself stays sequential (a shared hashtable), which is cheap next
+     to the per-world query evaluation. *)
+  let keyed =
+    Pool.parallel_map ~cutoff:16 pool
+      (fun v ->
+        let world = Valuation.apply_db v db in
+        let key = Format.asprintf "%a" Database.pp world in
+        (key, Relation.mem (Valuation.apply_tuple v tuple) (run world)))
+      vals
+  in
   let worlds = Hashtbl.create 64 in
   List.iter
-    (fun v ->
-      let world = Valuation.apply_db v db in
-      let key = Format.asprintf "%a" Database.pp world in
-      let witnesses =
-        Relation.mem (Valuation.apply_tuple v tuple) (run world)
-      in
+    (fun (key, witnesses) ->
       match Hashtbl.find_opt worlds key with
       | None -> Hashtbl.add worlds key witnesses
       | Some w -> Hashtbl.replace worlds key (w || witnesses))
-    vals;
+    keyed;
   let total = Hashtbl.length worlds in
   if total = 0 then Rational.zero
   else begin
@@ -48,7 +56,7 @@ let mu_k_isotypes ~run ~query_consts db tuple ~k =
     Rational.make hits total
   end
 
-let mu_k ~run ~query_consts db tuple ~k =
+let mu_k ?pool ~run ~query_consts db tuple ~k =
   let n = List.length (Database.nulls db) in
   let total =
     let rec power acc i = if i = 0 then acc else power (acc * k) (i - 1) in
@@ -56,4 +64,4 @@ let mu_k ~run ~query_consts db tuple ~k =
   in
   if total = 0 then Rational.zero
   else
-    Rational.make (support_count ~run ~query_consts db tuple ~k) total
+    Rational.make (support_count ?pool ~run ~query_consts db tuple ~k) total

@@ -20,9 +20,13 @@ val enumeration :
 val valuations_k :
   query_consts:Value.const list -> Database.t -> k:int -> Valuation.t list
 
-(** [support_count ~run ~query_consts db tuple ~k] is
-    |Suppᵏ(Q, D, ā)| = #{v ∈ Vₖ | v(ā) ∈ Q(v(D))}. *)
+(** [support_count ?pool ~run ~query_consts db tuple ~k] is
+    |Suppᵏ(Q, D, ā)| = #{v ∈ Vₖ | v(ā) ∈ Q(v(D))}.  The k^n worlds are
+    instantiated and queried in parallel on [pool] (default
+    {!Pool.auto}; [~pool:None] for sequential) — counting is a
+    commutative sum, so the result is identical either way. *)
 val support_count :
+  ?pool:Pool.t option ->
   run:(Database.t -> Relation.t) ->
   query_consts:Value.const list ->
   Database.t ->
@@ -30,9 +34,10 @@ val support_count :
   k:int ->
   int
 
-(** [mu_k ~run ~query_consts db tuple ~k] is µₖ(Q, D, ā) =
+(** [mu_k ?pool ~run ~query_consts db tuple ~k] is µₖ(Q, D, ā) =
     |Suppᵏ| / k^n.  For databases without nulls this is 1 or 0. *)
 val mu_k :
+  ?pool:Pool.t option ->
   run:(Database.t -> Relation.t) ->
   query_consts:Value.const list ->
   Database.t ->
@@ -45,8 +50,11 @@ val mu_k :
     databases {v(D) | v ∈ Vₖ}, and among them those witnessing the
     tuple (a type witnesses ā when some valuation producing it does).
     The finite ratios differ from µₖ in general, but the asymptotic
-    behaviour is the same — both obey the 0–1 law. *)
+    behaviour is the same — both obey the 0–1 law.  Worlds are
+    evaluated in parallel on [pool]; the isotype grouping is a
+    deterministic sequential pass over the per-world results. *)
 val mu_k_isotypes :
+  ?pool:Pool.t option ->
   run:(Database.t -> Relation.t) ->
   query_consts:Value.const list ->
   Database.t ->

@@ -1,6 +1,7 @@
 exception Unsupported of string
 
-let run ?(planner = true) ?(extra_consts = []) ?(bags = []) db q =
+let run ?(planner = true) ?(pool = Pool.auto ()) ?(extra_consts = [])
+    ?(bags = []) db q =
   let schema = Database.schema db in
   ignore (Algebra.arity schema q);
   let dom1 =
@@ -13,7 +14,7 @@ let run ?(planner = true) ?(extra_consts = []) ?(bags = []) db q =
   in
   if planner then
     try
-      Plan.run_bag ~base ~dom1
+      Plan.run_bag ~pool ~base ~dom1
         (Planner.compile ~rel_arity:(Schema.arity schema) q)
     with Plan.Unsupported msg -> raise (Unsupported ("Bag_eval: " ^ msg))
   else begin

@@ -7,17 +7,23 @@
 
 exception Unsupported of string
 
-(** [run ?planner ?extra_consts ?bags db q] evaluates [q] under bag
-    semantics.  With [planner] (the default), [q] is compiled by
+(** [run ?planner ?pool ?extra_consts ?bags db q] evaluates [q] under
+    bag semantics.  With [planner] (the default), [q] is compiled by
     {!Planner.compile} and executed by {!Plan.run_bag}: multiplicities
     multiply through the hash equi-join exactly as through the product
     it replaces.  [~planner:false] selects the reference nested-loop
     interpreter.  [bags] optionally overrides base relations with true
     bag instances.
+
+    [pool] follows the {!Eval.run} convention: omitted defaults to
+    {!Pool.auto}, [~pool:None] is the sequential reference,
+    [~pool:(Some p)] runs partition-parallel operators — all with
+    identical results.
     @raise Unsupported on [Division].
     @raise Algebra.Type_error if [q] is ill-typed. *)
 val run :
   ?planner:bool ->
+  ?pool:Pool.t option ->
   ?extra_consts:Value.const list ->
   ?bags:(string * Bag_relation.t) list ->
   Database.t ->

@@ -25,12 +25,12 @@ let domain_relation ~extra_consts db =
   in
   Relation.of_list 1 (List.map (fun v -> [| v |]) (adom @ List.rev extras))
 
-let run ?(planner = true) ?(extra_consts = []) db q =
+let run ?(planner = true) ?(pool = Pool.auto ()) ?(extra_consts = []) db q =
   let schema = Database.schema db in
   ignore (Algebra.arity schema q);
   let dom1 = lazy (domain_relation ~extra_consts db) in
   if planner then
-    Plan.run_set ~base:(Database.relation db) ~dom1
+    Plan.run_set ~pool ~base:(Database.relation db) ~dom1
       (Planner.compile ~rel_arity:(Schema.arity schema) q)
   else begin
     (* reference nested-loop interpreter, kept for differential testing

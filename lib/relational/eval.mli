@@ -7,7 +7,15 @@
     (see {!Incdb_certain.Naive} for the official definition via
     bijective valuations). *)
 
-(** [run ?planner ?extra_consts db q] evaluates [q] on [db].
+(** [run ?planner ?pool ?extra_consts db q] evaluates [q] on [db].
+
+    [pool] selects the execution layer for the planned path: omitted,
+    it defaults to {!Pool.auto} (parallel when [INCDB_DOMAINS] or the
+    machine's core count warrants it, sequential otherwise);
+    [~pool:None] forces the sequential reference path; [~pool:(Some p)]
+    runs partition-parallel scans and hash joins on [p].  All three
+    produce identical relations.  The nested-loop interpreter
+    ([~planner:false]) is always sequential.
 
     With [planner] (the default), [q] is first compiled by
     {!Planner.compile} into a physical {!Plan.t} — hash equi-joins,
@@ -25,6 +33,7 @@
     @raise Algebra.Type_error if [q] is ill-typed for the schema. *)
 val run :
   ?planner:bool ->
+  ?pool:Pool.t option ->
   ?extra_consts:Value.const list ->
   Database.t ->
   Algebra.t ->

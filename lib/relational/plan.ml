@@ -32,10 +32,131 @@ let push_index tbl k v =
   | None -> Hashtbl.add tbl k [ v ]
 
 (* ------------------------------------------------------------------ *)
+(* partition-parallel machinery                                        *)
+(*                                                                     *)
+(* Relations are immutable sets/maps, so every parallel operator below *)
+(* is observationally identical to its sequential twin: chunks produce *)
+(* sub-relations and the merge (set union / multiplicity-adding bag    *)
+(* union) is associative and commutative.  [~pool:None] keeps the      *)
+(* sequential code as the reference.                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* take the parallel path only when a pool is present, the input is
+   big enough to amortise chunking, and we are not already inside a
+   pool task (nested parallelism degrades to sequential) *)
+let wants_parallel pool n cutoff =
+  match pool with
+  | None -> false
+  | Some _ -> n >= !cutoff && not (Pool.in_worker ())
+
+(* [lo, hi) slices splitting [len] elements across the pool *)
+let slices pool len =
+  let n =
+    match pool with
+    | Some p -> max 1 (min len (4 * Pool.size p))
+    | None -> 1
+  in
+  let base = len / n and rem = len mod n in
+  Array.init n (fun i ->
+      let lo = (i * base) + min i rem in
+      (lo, lo + base + (if i < rem then 1 else 0)))
+
+(* map each slice of [arr] to a chunk value in parallel, then merge the
+   chunks with a parallel reduction tree — this is the "parallel merge"
+   entry point for Tuple_set unions *)
+let par_slice_merge pool arr ~of_slice ~merge ~empty =
+  let parts =
+    Pool.parallel_map_array ~cutoff:0 pool of_slice
+      (slices pool (Array.length arr))
+  in
+  Pool.tree_reduce pool merge empty parts
+
+let par_filter pool cond r =
+  let k = Relation.arity r in
+  let arr = Array.of_list (Relation.to_list r) in
+  par_slice_merge pool arr ~merge:Relation.union ~empty:(Relation.empty k)
+    ~of_slice:(fun (lo, hi) ->
+      let out = ref [] in
+      for j = lo to hi - 1 do
+        if Condition.eval arr.(j) cond then out := arr.(j) :: !out
+      done;
+      Relation.of_list k !out)
+
+let par_project pool idxs r =
+  let k = List.length idxs in
+  let arr = Array.of_list (Relation.to_list r) in
+  par_slice_merge pool arr ~merge:Relation.union ~empty:(Relation.empty k)
+    ~of_slice:(fun (lo, hi) ->
+      let out = ref [] in
+      for j = lo to hi - 1 do
+        out := Tuple.project idxs arr.(j) :: !out
+      done;
+      Relation.of_list k !out)
+
+(* Partition-parallel hash join.  Build side: each slice scatters its
+   tuples into per-partition buckets, then one task per partition
+   merges its buckets into a hash index.  Probe side: slices probe the
+   partition indices read-only and emit joined sub-relations, merged by
+   a union tree. *)
+let par_hash_index pool ~nparts ~part ~cols arr =
+  let bucketed =
+    Pool.parallel_map_array ~cutoff:0 pool
+      (fun (lo, hi) ->
+        let buckets = Array.make nparts [] in
+        for j = lo to hi - 1 do
+          let key = key_of cols (fst arr.(j)) in
+          let p = part key in
+          buckets.(p) <- (key, arr.(j)) :: buckets.(p)
+        done;
+        buckets)
+      (slices pool (Array.length arr))
+  in
+  Pool.parallel_map_array ~cutoff:0 pool
+    (fun pi ->
+      let tbl = Hashtbl.create 64 in
+      Array.iter
+        (fun buckets ->
+          List.iter (fun (key, entry) -> push_index tbl key entry) buckets.(pi))
+        bucketed;
+      tbl)
+    (Array.init nparts Fun.id)
+
+let nparts_of pool =
+  match pool with Some p -> max 1 (Pool.size p) | None -> 1
+
+let partitioner nparts key =
+  if nparts = 1 then 0 else Hashtbl.hash key land max_int mod nparts
+
+let par_hash_join_set pool ~lcols ~rcols ~residual l r =
+  let larr = Array.of_list (Relation.to_list l) in
+  let rarr = Array.map (fun t -> (t, ())) (Array.of_list (Relation.to_list r)) in
+  let nparts = nparts_of pool in
+  let part = partitioner nparts in
+  let tables = par_hash_index pool ~nparts ~part ~cols:rcols rarr in
+  let out_arity = Relation.arity l + Relation.arity r in
+  par_slice_merge pool larr ~merge:Relation.union
+    ~empty:(Relation.empty out_arity)
+    ~of_slice:(fun (lo, hi) ->
+      let out = ref [] in
+      for j = lo to hi - 1 do
+        let t1 = larr.(j) in
+        let key = key_of lcols t1 in
+        match Hashtbl.find_opt tables.(part key) key with
+        | None -> ()
+        | Some matches ->
+          List.iter
+            (fun ((t2 : Tuple.t), ()) ->
+              let joined = Tuple.concat t1 t2 in
+              if Condition.eval joined residual then out := joined :: !out)
+            matches
+      done;
+      Relation.of_list out_arity !out)
+
+(* ------------------------------------------------------------------ *)
 (* set semantics                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let run_set ~base ~dom1 plan =
+let run_set ?(pool = None) ~base ~dom1 plan =
   let shared : (int, Relation.t) Hashtbl.t = Hashtbl.create 8 in
   let powers : (int, Relation.t) Hashtbl.t = Hashtbl.create 4 in
   let rec power k =
@@ -52,27 +173,42 @@ let run_set ~base ~dom1 plan =
   let rec go = function
     | Scan name -> base name
     | Lit (k, tuples) -> Relation.of_list k tuples
-    | Filter (cond, p) -> Relation.filter (fun t -> Condition.eval t cond) (go p)
-    | Project (idxs, p) -> Relation.project idxs (go p)
+    | Filter (cond, p) ->
+      let r = go p in
+      if wants_parallel pool (Relation.cardinal r) Pool.scan_cutoff then
+        par_filter pool cond r
+      else Relation.filter (fun t -> Condition.eval t cond) r
+    | Project (idxs, p) ->
+      let r = go p in
+      if wants_parallel pool (Relation.cardinal r) Pool.scan_cutoff then
+        par_project pool idxs r
+      else Relation.project idxs r
     | Hash_join { left; right; keys; residual } ->
       let l = go left and r = go right in
       let lcols = Array.of_list (List.map fst keys) in
       let rcols = Array.of_list (List.map snd keys) in
-      let index = Hashtbl.create (max 16 (Relation.cardinal r)) in
-      Relation.iter (fun t -> push_index index (key_of rcols t) t) r;
-      let out = ref [] in
-      Relation.iter
-        (fun t1 ->
-          match Hashtbl.find_opt index (key_of lcols t1) with
-          | None -> ()
-          | Some matches ->
-            List.iter
-              (fun t2 ->
-                let joined = Tuple.concat t1 t2 in
-                if Condition.eval joined residual then out := joined :: !out)
-              matches)
-        l;
-      Relation.of_list (Relation.arity l + Relation.arity r) !out
+      if
+        wants_parallel pool
+          (Relation.cardinal l + Relation.cardinal r)
+          Pool.join_cutoff
+      then par_hash_join_set pool ~lcols ~rcols ~residual l r
+      else begin
+        let index = Hashtbl.create (max 16 (Relation.cardinal r)) in
+        Relation.iter (fun t -> push_index index (key_of rcols t) t) r;
+        let out = ref [] in
+        Relation.iter
+          (fun t1 ->
+            match Hashtbl.find_opt index (key_of lcols t1) with
+            | None -> ()
+            | Some matches ->
+              List.iter
+                (fun t2 ->
+                  let joined = Tuple.concat t1 t2 in
+                  if Condition.eval joined residual then out := joined :: !out)
+                matches)
+          l;
+        Relation.of_list (Relation.arity l + Relation.arity r) !out
+      end
     | Product (p1, p2) -> Relation.product (go p1) (go p2)
     | Union (p1, p2) -> Relation.union (go p1) (go p2)
     | Inter (p1, p2) -> Relation.inter (go p1) (go p2)
@@ -119,7 +255,62 @@ let run_set ~base ~dom1 plan =
 (* bag semantics                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let run_bag ~base ~dom1 plan =
+(* bag merges add multiplicities (UNION ALL), which is associative and
+   commutative, so chunked evaluation is again order-independent *)
+
+let par_filter_bag pool cond b =
+  let k = Bag_relation.arity b in
+  let arr = Array.of_list (Bag_relation.to_list b) in
+  par_slice_merge pool arr ~merge:Bag_relation.union
+    ~empty:(Bag_relation.empty k)
+    ~of_slice:(fun (lo, hi) ->
+      let out = ref [] in
+      for j = lo to hi - 1 do
+        let t, _ = arr.(j) in
+        if Condition.eval t cond then out := arr.(j) :: !out
+      done;
+      Bag_relation.of_list k !out)
+
+let par_project_bag pool idxs b =
+  let k = List.length idxs in
+  let arr = Array.of_list (Bag_relation.to_list b) in
+  par_slice_merge pool arr ~merge:Bag_relation.union
+    ~empty:(Bag_relation.empty k)
+    ~of_slice:(fun (lo, hi) ->
+      let out = ref [] in
+      for j = lo to hi - 1 do
+        let t, c = arr.(j) in
+        out := (Tuple.project idxs t, c) :: !out
+      done;
+      Bag_relation.of_list k !out)
+
+let par_hash_join_bag pool ~lcols ~rcols ~residual l r =
+  let larr = Array.of_list (Bag_relation.to_list l) in
+  let rarr = Array.of_list (Bag_relation.to_list r) in
+  let nparts = nparts_of pool in
+  let part = partitioner nparts in
+  let tables = par_hash_index pool ~nparts ~part ~cols:rcols rarr in
+  let out_arity = Bag_relation.arity l + Bag_relation.arity r in
+  par_slice_merge pool larr ~merge:Bag_relation.union
+    ~empty:(Bag_relation.empty out_arity)
+    ~of_slice:(fun (lo, hi) ->
+      let out = ref [] in
+      for j = lo to hi - 1 do
+        let t1, c1 = larr.(j) in
+        let key = key_of lcols t1 in
+        match Hashtbl.find_opt tables.(part key) key with
+        | None -> ()
+        | Some matches ->
+          List.iter
+            (fun (t2, c2) ->
+              let joined = Tuple.concat t1 t2 in
+              if Condition.eval joined residual then
+                out := (joined, c1 * c2) :: !out)
+            matches
+      done;
+      Bag_relation.of_list out_arity !out)
+
+let run_bag ?(pool = None) ~base ~dom1 plan =
   let shared : (int, Bag_relation.t) Hashtbl.t = Hashtbl.create 8 in
   let powers : (int, Bag_relation.t) Hashtbl.t = Hashtbl.create 4 in
   let rec power k =
@@ -141,30 +332,44 @@ let run_bag ~base ~dom1 plan =
         (fun b t -> Bag_relation.add t b)
         (Bag_relation.empty k) tuples
     | Filter (cond, p) ->
-      Bag_relation.filter (fun t -> Condition.eval t cond) (go p)
-    | Project (idxs, p) -> Bag_relation.project idxs (go p)
+      let b = go p in
+      if wants_parallel pool (Bag_relation.support_size b) Pool.scan_cutoff
+      then par_filter_bag pool cond b
+      else Bag_relation.filter (fun t -> Condition.eval t cond) b
+    | Project (idxs, p) ->
+      let b = go p in
+      if wants_parallel pool (Bag_relation.support_size b) Pool.scan_cutoff
+      then par_project_bag pool idxs b
+      else Bag_relation.project idxs b
     | Hash_join { left; right; keys; residual } ->
       let l = go left and r = go right in
       let lcols = Array.of_list (List.map fst keys) in
       let rcols = Array.of_list (List.map snd keys) in
-      let index = Hashtbl.create (max 16 (Bag_relation.support_size r)) in
-      Bag_relation.fold
-        (fun t c () -> push_index index (key_of rcols t) (t, c))
-        r ();
-      Bag_relation.fold
-        (fun t1 c1 acc ->
-          match Hashtbl.find_opt index (key_of lcols t1) with
-          | None -> acc
-          | Some matches ->
-            List.fold_left
-              (fun acc (t2, c2) ->
-                let joined = Tuple.concat t1 t2 in
-                if Condition.eval joined residual then
-                  Bag_relation.add ~count:(c1 * c2) joined acc
-                else acc)
-              acc matches)
-        l
-        (Bag_relation.empty (Bag_relation.arity l + Bag_relation.arity r))
+      if
+        wants_parallel pool
+          (Bag_relation.support_size l + Bag_relation.support_size r)
+          Pool.join_cutoff
+      then par_hash_join_bag pool ~lcols ~rcols ~residual l r
+      else begin
+        let index = Hashtbl.create (max 16 (Bag_relation.support_size r)) in
+        Bag_relation.fold
+          (fun t c () -> push_index index (key_of rcols t) (t, c))
+          r ();
+        Bag_relation.fold
+          (fun t1 c1 acc ->
+            match Hashtbl.find_opt index (key_of lcols t1) with
+            | None -> acc
+            | Some matches ->
+              List.fold_left
+                (fun acc (t2, c2) ->
+                  let joined = Tuple.concat t1 t2 in
+                  if Condition.eval joined residual then
+                    Bag_relation.add ~count:(c1 * c2) joined acc
+                  else acc)
+                acc matches)
+          l
+          (Bag_relation.empty (Bag_relation.arity l + Bag_relation.arity r))
+      end
     | Product (p1, p2) -> Bag_relation.product (go p1) (go p2)
     | Union (p1, p2) -> Bag_relation.union (go p1) (go p2)
     | Inter (p1, p2) -> Bag_relation.inter (go p1) (go p2)

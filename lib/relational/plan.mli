@@ -38,18 +38,33 @@ type t =
           Emitted by the planner for algebra subtrees occurring more
           than once (the Figure-2 translations duplicate Q⁺ inside Q?) *)
 
-(** [run_set ~base ~dom1 p] executes [p] under set semantics. [dom1] is
-    the unary domain relation backing [Dom 1]; higher powers are built
-    by product and cached per run, as are [Shared] subplans.
+(** [run_set ?pool ~base ~dom1 p] executes [p] under set semantics.
+    [dom1] is the unary domain relation backing [Dom 1]; higher powers
+    are built by product and cached per run, as are [Shared] subplans.
+
+    With [~pool:(Some p)], selections, projections and hash joins whose
+    inputs exceed {!Pool.scan_cutoff} / {!Pool.join_cutoff} run
+    partition-parallel on the pool: slices are evaluated on separate
+    domains and merged with a parallel [Tuple_set] union tree.  The
+    result is identical to the sequential path (the default,
+    [~pool:None]) because relations are immutable sets and every merge
+    is associative and commutative.
     @raise Not_found if [base] does not know a scanned relation. *)
 val run_set :
-  base:(string -> Relation.t) -> dom1:Relation.t Lazy.t -> t -> Relation.t
+  ?pool:Pool.t option ->
+  base:(string -> Relation.t) ->
+  dom1:Relation.t Lazy.t ->
+  t ->
+  Relation.t
 
-(** [run_bag ~base ~dom1 p] executes [p] under bag semantics:
+(** [run_bag ?pool ~base ~dom1 p] executes [p] under bag semantics:
     multiplicities multiply through joins and products, and project
-    sums them.  @raise Unsupported on [Division], which is not part of
-    the bag fragment. *)
+    sums them.  [?pool] parallelises scans and hash joins exactly as in
+    {!run_set}; chunk merges add multiplicities, so results again match
+    the sequential path.  @raise Unsupported on [Division], which is
+    not part of the bag fragment. *)
 val run_bag :
+  ?pool:Pool.t option ->
   base:(string -> Bag_relation.t) ->
   dom1:Bag_relation.t Lazy.t ->
   t ->

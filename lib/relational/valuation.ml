@@ -43,22 +43,34 @@ let enumerate ~nulls ~range =
 (* Restricted-growth-string enumeration: process nulls in order; each null
    goes either to one of the known constants or to fresh class [j] where
    [j <= number of fresh classes used so far].  Fresh class [j] is realised
-   as [Gen j].  This hits every instantiation pattern exactly once. *)
-let enumerate_canonical ~nulls ~consts =
-  let rec go assigned used_fresh = function
-    | [] -> [ assigned ]
+   as [Gen j].  This hits every instantiation pattern exactly once.
+
+   Produced lazily: the number of canonical valuations grows as
+   |consts|^k · B_k in the number of nulls k, and consumers (certain-answer
+   checks) typically stop early once their candidate set is refuted, so
+   materialising the whole list up front is wasted work and memory. *)
+let canonical_seq ~nulls ~consts =
+  let rec go assigned used_fresh rest : t Seq.t =
+    match rest with
+    | [] -> Seq.return assigned
     | n :: rest ->
       let to_const =
-        List.concat_map (fun c -> go (add assigned n c) used_fresh rest) consts
+        Seq.concat_map
+          (fun c -> go (add assigned n c) used_fresh rest)
+          (List.to_seq consts)
       in
       let to_fresh =
-        List.concat_map
-          (fun j -> go (add assigned n (Value.Gen j)) (max used_fresh (j + 1)) rest)
-          (List.init (used_fresh + 1) (fun j -> j))
+        Seq.concat_map
+          (fun j ->
+            go (add assigned n (Value.Gen j)) (max used_fresh (j + 1)) rest)
+          (Seq.init (used_fresh + 1) (fun j -> j))
       in
-      to_const @ to_fresh
+      fun () -> Seq.append to_const to_fresh ()
   in
   go empty 0 nulls
+
+let enumerate_canonical ~nulls ~consts =
+  List.of_seq (canonical_seq ~nulls ~consts)
 
 let bijective_fresh ~nulls =
   let _, v =

@@ -48,6 +48,13 @@ val enumerate : nulls:int list -> range:Value.const list -> t list
     ~consts:(constants of D and Q)] — see DESIGN.md §4. *)
 val enumerate_canonical : nulls:int list -> consts:Value.const list -> t list
 
+(** [canonical_seq ~nulls ~consts] is {!enumerate_canonical} as a lazy
+    sequence, in the same order.  The enumeration tree is only explored
+    as the sequence is forced, so consumers that stop early (e.g. a
+    certain-answer check whose candidate set empties) pay only for the
+    worlds they actually inspect. *)
+val canonical_seq : nulls:int list -> consts:Value.const list -> t Seq.t
+
 (** [bijective_fresh ~nulls] sends the i-th null to the invented constant
     [Gen i]: the bijective valuation used by naive evaluation. *)
 val bijective_fresh : nulls:int list -> t

@@ -1,9 +1,11 @@
-(* Differential tests for the physical planner (Plan/Planner): the
-   planned evaluator must agree with the nested-loop reference on every
-   query of the supported fragment, under both set and bag semantics,
-   including the operators with dedicated physical implementations —
-   hash equi-join, hash anti-unify semijoin, hash division, memoized
-   Dom powers and shared subplans. *)
+(* Differential tests for the physical planner (Plan/Planner) and the
+   multicore execution layer (Pool): the planned evaluator must agree
+   with the nested-loop reference on every query of the supported
+   fragment, under both set and bag semantics, including the operators
+   with dedicated physical implementations — hash equi-join, hash
+   anti-unify semijoin, hash division, memoized Dom powers and shared
+   subplans — and the partition-parallel execution paths must agree
+   with the sequential reference for every pool size. *)
 
 open Incdb_relational
 open Incdb_certain
@@ -11,6 +13,20 @@ open Helpers
 
 let planned db q = Eval.run ~planner:true db q
 let nested db q = Eval.run ~planner:false db q
+
+(* Pools for the parallel differential suite: a degenerate one-domain
+   pool (caller only) and a four-domain pool.  The chunking cutoffs are
+   forced to zero so that even the tiny QCheck-generated relations take
+   the partition-parallel code paths. *)
+let pool1 = Pool.create ~size:1 ()
+let pool4 = Pool.create ~size:4 ()
+
+let () =
+  Pool.scan_cutoff := 0;
+  Pool.join_cutoff := 0;
+  at_exit (fun () ->
+      Pool.shutdown pool1;
+      Pool.shutdown pool4)
 
 (* ------------------------------------------------------------------ *)
 (* Unit tests: each physical operator on handcrafted instances         *)
@@ -129,6 +145,149 @@ let test_dom_memoized () =
   Alcotest.(check int) "|adom|^3 tuples" 27 (Relation.cardinal (planned db q))
 
 (* ------------------------------------------------------------------ *)
+(* Unit tests: the pool combinators                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_basics () =
+  Alcotest.(check int) "size 1" 1 (Pool.size pool1);
+  Alcotest.(check int) "size 4" 4 (Pool.size pool4);
+  Alcotest.(check bool) "main domain is not a worker" false (Pool.in_worker ());
+  (* shutdown is idempotent *)
+  let p = Pool.create ~size:2 () in
+  Pool.shutdown p;
+  Pool.shutdown p
+
+let test_pool_map_fold () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun pool ->
+      Alcotest.(check (list int))
+        "parallel_map = List.map" (List.map f xs)
+        (Pool.parallel_map ~cutoff:0 pool f xs);
+      Alcotest.(check (list int))
+        "parallel_map on []" []
+        (Pool.parallel_map ~cutoff:0 pool f []);
+      Alcotest.(check (list int))
+        "parallel_map on singleton" [ f 7 ]
+        (Pool.parallel_map ~cutoff:0 pool f [ 7 ]);
+      Alcotest.(check int)
+        "parallel_fold = fold" (List.fold_left ( + ) 0 (List.map f xs))
+        (Pool.parallel_fold ~cutoff:0 pool ~map:f ~combine:( + ) ~init:0 xs);
+      (* string concatenation is associative but not commutative: the
+         chunked fold and the reduction tree must preserve input order *)
+      let words = List.init 37 string_of_int in
+      let cat = String.concat "" words in
+      Alcotest.(check string)
+        "parallel_fold preserves order" cat
+        (Pool.parallel_fold ~cutoff:0 pool ~map:Fun.id ~combine:( ^ ) ~init:""
+           words);
+      Alcotest.(check string)
+        "tree_reduce preserves order" cat
+        (Pool.tree_reduce pool ( ^ ) "" (Array.of_list words)))
+    [ None; Some pool1; Some pool4 ]
+
+let test_pool_seq_chunked () =
+  let seq = Seq.init 100 Fun.id in
+  let sum =
+    Pool.fold_seq_chunked ~chunk:7 (Some pool4) ~map:Fun.id ~combine:( + )
+      ~init:0 seq
+  in
+  Alcotest.(check int) "fold_seq_chunked sums" 4950 sum;
+  (* early stop: with [stop] tripping at >= 10 the enumeration must not
+     reach the end of an effectful sequence *)
+  let forced = ref 0 in
+  let counted = Seq.map (fun x -> incr forced; x) (Seq.init 1_000_000 Fun.id) in
+  let partial =
+    Pool.fold_seq_chunked ~chunk:8 ~stop:(fun acc -> acc >= 10) (Some pool4)
+      ~map:Fun.id ~combine:( + ) ~init:0 counted
+  in
+  Alcotest.(check bool) "stopped early" true (partial >= 10);
+  Alcotest.(check bool)
+    (Printf.sprintf "forced only %d elements" !forced)
+    true (!forced < 1000)
+
+exception Boom
+
+let test_pool_exceptions () =
+  List.iter
+    (fun pool ->
+      Alcotest.check_raises "exception propagates out of parallel_map" Boom
+        (fun () ->
+          ignore
+            (Pool.parallel_map ~cutoff:0 pool
+               (fun x -> if x = 61 then raise Boom else x)
+               (List.init 100 Fun.id))))
+    [ Some pool1; Some pool4 ];
+  (* the pool survives a failed job and accepts new work *)
+  Alcotest.(check (list int))
+    "pool usable after exception" [ 0; 1; 2 ]
+    (Pool.parallel_map ~cutoff:0 (Some pool4) Fun.id [ 0; 1; 2 ])
+
+let test_parallel_join_edges () =
+  let q =
+    Algebra.Select
+      (Condition.eq_col 1 2, Algebra.Product (Algebra.Rel "R", Algebra.Rel "S"))
+  in
+  List.iter
+    (fun (name, r_tuples, s_tuples) ->
+      let db =
+        Database.of_list test_schema
+          [ ("R", r_tuples); ("S", s_tuples); ("T", []); ("U", []) ]
+      in
+      let expected = Eval.run ~pool:None db q in
+      List.iter
+        (fun pool ->
+          check_rel (name ^ " parallel = sequential") expected
+            (Eval.run ~pool db q))
+        [ Some pool1; Some pool4 ])
+    [ ("empty join", [], []);
+      ("empty build side", [ tup [ i 1; i 2 ] ], []);
+      ("empty probe side", [], [ tup [ i 2; i 3 ] ]);
+      ("singletons", [ tup [ i 1; i 2 ] ], [ tup [ i 2; i 3 ] ]) ]
+
+(* a join large enough that every chunking path is taken even with the
+   default production cutoffs *)
+let test_parallel_join_large () =
+  let rng = Incdb_workload.Generator.make_rng ~seed:424242 in
+  let next_null = ref 0 in
+  let mk () =
+    Incdb_workload.Generator.random_relation rng ~arity:2 ~size:400
+      ~const_pool:120 ~null_rate:0.1 ~next_null
+  in
+  let db =
+    Database.of_list test_schema
+      [ ("R", Relation.to_list (mk ())); ("S", Relation.to_list (mk ()));
+        ("T", []); ("U", []) ]
+  in
+  let q =
+    Algebra.Project
+      ( [ 0; 3 ],
+        Algebra.Select
+          ( Condition.eq_col 1 2,
+            Algebra.Product (Algebra.Rel "R", Algebra.Rel "S") ) )
+  in
+  let expected = Eval.run ~pool:None db q in
+  check_rel "400-row join, pool of 4" expected (Eval.run ~pool:(Some pool4) db q);
+  check_rel "400-row join, pool of 1" expected (Eval.run ~pool:(Some pool1) db q)
+
+let test_canonical_seq () =
+  let consts = [ Value.Int 0; Value.Int 1; Value.Str "a" ] in
+  List.iter
+    (fun nulls ->
+      let listed = Valuation.enumerate_canonical ~nulls ~consts in
+      let streamed = List.of_seq (Valuation.canonical_seq ~nulls ~consts) in
+      Alcotest.(check int)
+        (Printf.sprintf "%d nulls: same count" (List.length nulls))
+        (List.length listed) (List.length streamed);
+      Alcotest.(check bool)
+        "same valuations in the same order" true
+        (List.for_all2
+           (fun a b -> Valuation.to_list a = Valuation.to_list b)
+           listed streamed))
+    [ []; [ 0 ]; [ 0; 1 ]; [ 0; 1; 2 ]; [ 5; 3; 8; 1 ] ]
+
+(* ------------------------------------------------------------------ *)
 (* Differential properties: planned ≡ nested on random workloads       *)
 (* ------------------------------------------------------------------ *)
 
@@ -202,6 +361,97 @@ let prop_datalog_differential =
         (Incdb_datalog.Eval.run ~planner:false db tc "path"))
 
 (* ------------------------------------------------------------------ *)
+(* Differential properties: parallel ≡ sequential on random workloads  *)
+(* ------------------------------------------------------------------ *)
+
+(* Every property checks both the degenerate 1-domain pool and the
+   4-domain pool against the sequential reference (~pool:None).  With
+   the cutoffs forced to 0 above, these runs take the slice-scatter /
+   partition-build / union-tree code paths even on tiny relations. *)
+
+let pools = [ ("pool1", Some pool1); ("pool4", Some pool4) ]
+
+let prop_parallel_set =
+  QCheck2.Test.make ~count:200 ~name:"parallel = sequential (set semantics)"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ()) (gen_query ~allow_division:true ()))
+    (fun (db, q) ->
+      let reference = Eval.run ~pool:None db q in
+      List.for_all
+        (fun (_, pool) -> Relation.equal reference (Eval.run ~pool db q))
+        pools)
+
+let prop_parallel_bag =
+  QCheck2.Test.make ~count:150 ~name:"parallel = sequential (bag semantics)"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ()) (gen_query ()))
+    (fun (db, q) ->
+      match Bag_eval.run ~pool:None db q with
+      | reference ->
+        List.for_all
+          (fun (_, pool) ->
+            Bag_relation.equal reference (Bag_eval.run ~pool db q))
+          pools
+      | exception Bag_eval.Unsupported _ -> true)
+
+let prop_parallel_schemes =
+  QCheck2.Test.make ~count:80 ~name:"parallel = sequential (Q+/Q? and Qt/Qf)"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_query ()))
+    (fun (db, q) ->
+      List.for_all
+        (fun (_, pool) ->
+          Relation.equal
+            (Scheme_pm.certain_sub ~pool:None db q)
+            (Scheme_pm.certain_sub ~pool db q)
+          && Relation.equal
+               (Scheme_pm.possible_sup ~pool:None db q)
+               (Scheme_pm.possible_sup ~pool db q)
+          && Relation.equal
+               (Scheme_tf.certain_sub ~pool:None db q)
+               (Scheme_tf.certain_sub ~pool db q)
+          && Relation.equal
+               (Scheme_tf.certainly_false ~pool:None db q)
+               (Scheme_tf.certainly_false ~pool db q))
+        pools)
+
+let prop_parallel_datalog =
+  let open QCheck2 in
+  Test.make ~count:60 ~name:"parallel = sequential (Datalog TC fixpoint)"
+    ~print:(fun r -> Format.asprintf "%a" Relation.pp r)
+    (gen_relation ~null_rate:0.2 ~max_size:8 2)
+    (fun edges ->
+      let schema = Schema.of_list [ ("edge", [ "s"; "d" ]) ] in
+      let db = Database.of_list schema [ ("edge", Relation.to_list edges) ] in
+      let tc = Incdb_datalog.Eval.transitive_closure ~edge:"edge" ~path:"path" in
+      let reference = Incdb_datalog.Eval.run ~pool:None db tc "path" in
+      List.for_all
+        (fun (_, pool) ->
+          Relation.equal reference (Incdb_datalog.Eval.run ~pool db tc "path"))
+        pools)
+
+let prop_parallel_certainty =
+  QCheck2.Test.make ~count:50
+    ~name:"parallel = sequential (canonical-world certainty)"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_query ()))
+    (fun (db, q) ->
+      let bot = Certainty.cert_with_nulls_ra ~pool:None db q in
+      let direct =
+        Certainty.cert_intersection_direct ~pool:None
+          ~run:(fun d -> Eval.run ~pool:None d q)
+          ~query_consts:(Algebra.consts q) db
+      in
+      List.for_all
+        (fun (_, pool) ->
+          Relation.equal bot (Certainty.cert_with_nulls_ra ~pool db q)
+          && Relation.equal direct
+               (Certainty.cert_intersection_direct ~pool
+                  ~run:(fun d -> Eval.run ~pool d q)
+                  ~query_consts:(Algebra.consts q) db))
+        pools)
+
+(* ------------------------------------------------------------------ *)
 (* Suite                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -218,7 +468,20 @@ let () =
             test_anti_unify_direct;
           Alcotest.test_case "shared subplans" `Quick test_shared_subplan;
           Alcotest.test_case "memoized Dom" `Quick test_dom_memoized ] );
+      ( "pool",
+        [ Alcotest.test_case "basics" `Quick test_pool_basics;
+          Alcotest.test_case "map and fold" `Quick test_pool_map_fold;
+          Alcotest.test_case "chunked seq fold" `Quick test_pool_seq_chunked;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exceptions;
+          Alcotest.test_case "join edge cases" `Quick test_parallel_join_edges;
+          Alcotest.test_case "large join" `Quick test_parallel_join_large;
+          Alcotest.test_case "canonical_seq = enumerate_canonical" `Quick
+            test_canonical_seq ] );
       qsuite "differential"
         [ prop_set_differential; prop_bag_differential;
           prop_scheme_pm_differential; prop_scheme_tf_differential;
-          prop_datalog_differential ] ]
+          prop_datalog_differential ];
+      qsuite "parallel-differential"
+        [ prop_parallel_set; prop_parallel_bag; prop_parallel_schemes;
+          prop_parallel_datalog; prop_parallel_certainty ] ]
