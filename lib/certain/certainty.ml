@@ -24,15 +24,17 @@ let canonical_worlds ~query_consts db =
    on separate domains, then folded in enumeration order *)
 let world_chunk = 32
 
-let cert_with_nulls ?(pool = Pool.auto ()) ~run ~query_consts db =
+let cert_with_nulls ?(pool = Pool.auto ()) ?guard ~run ~query_consts db =
   (* candidates: cert⊥(Q,D) ⊆ Qnaive(D) because a bijective valuation
      into fresh constants is itself a valuation *)
   let candidates = Naive.run_with ~run db in
   (* stream the canonical worlds instead of materialising them: the
      candidate set only shrinks, so once it is empty no further world
      needs to be built, and each chunk's worlds are evaluated in
-     parallel while the narrowing fold stays in enumeration order *)
-  Pool.fold_seq_chunked pool ~chunk:world_chunk
+     parallel while the narrowing fold stays in enumeration order;
+     the guard is re-checked at every chunk boundary, so a deadline
+     interrupts the exponential enumeration between batches *)
+  Pool.fold_seq_chunked pool ~chunk:world_chunk ?guard
     ~map:(fun v -> (v, run (Valuation.apply_db v db)))
     ~combine:(fun cand (v, answer) ->
       Relation.filter
@@ -43,10 +45,11 @@ let cert_with_nulls ?(pool = Pool.auto ()) ~run ~query_consts db =
 
 let keep_complete r = Relation.filter Tuple.is_complete r
 
-let cert_intersection ?pool ~run ~query_consts db =
-  keep_complete (cert_with_nulls ?pool ~run ~query_consts db)
+let cert_intersection ?pool ?guard ~run ~query_consts db =
+  keep_complete (cert_with_nulls ?pool ?guard ~run ~query_consts db)
 
-let cert_intersection_direct ?(pool = Pool.auto ()) ~run ~query_consts db =
+let cert_intersection_direct ?(pool = Pool.auto ()) ?guard ~run ~query_consts
+    db =
   (* A tuple mentioning an invented (fresh) constant cannot be in the
      intersection: by genericity some possible world avoids that
      constant altogether.  So restrict each world's answer to tuples
@@ -63,31 +66,50 @@ let cert_intersection_direct ?(pool = Pool.auto ()) ~run ~query_consts db =
   match canonical_valuations ~query_consts db () with
   | Seq.Nil -> assert false (* there is always at least the empty valuation *)
   | Seq.Cons (first, rest) ->
-    Pool.fold_seq_chunked pool ~chunk:world_chunk ~map:world_answer
+    Pool.fold_seq_chunked pool ~chunk:world_chunk ?guard ~map:world_answer
       ~combine:Relation.inter ~stop:Relation.is_empty
       ~init:(world_answer first) rest
 
-let ra_run ?pool q db = Eval.run ?pool db q
+let ra_run ?pool ?guard q db = Eval.run ?pool ?guard db q
 
-let cert_with_nulls_ra ?pool db q =
-  cert_with_nulls ?pool ~run:(ra_run ?pool q) ~query_consts:(Algebra.consts q)
-    db
+let cert_with_nulls_ra ?pool ?guard db q =
+  cert_with_nulls ?pool ?guard ~run:(ra_run ?pool ?guard q)
+    ~query_consts:(Algebra.consts q) db
 
-let cert_intersection_ra ?pool db q =
-  cert_intersection ?pool ~run:(ra_run ?pool q)
+let cert_intersection_ra ?pool ?guard db q =
+  cert_intersection ?pool ?guard ~run:(ra_run ?pool ?guard q)
     ~query_consts:(Algebra.consts q) db
 
 let fo_run phi db =
   Incdb_logic.Semantics.certain_true Incdb_logic.Semantics.all_bool db phi
 
-let cert_with_nulls_fo ?pool db phi =
-  cert_with_nulls ?pool ~run:(fo_run phi) ~query_consts:(Fo.consts phi) db
+let cert_with_nulls_fo ?pool ?guard db phi =
+  cert_with_nulls ?pool ?guard ~run:(fo_run phi)
+    ~query_consts:(Fo.consts phi) db
 
-let cert_intersection_fo ?pool db phi =
-  cert_intersection ?pool ~run:(fo_run phi) ~query_consts:(Fo.consts phi) db
+let cert_intersection_fo ?pool ?guard db phi =
+  cert_intersection ?pool ?guard ~run:(fo_run phi)
+    ~query_consts:(Fo.consts phi) db
 
-let certain_boolean ?pool db q =
-  Eval.boolean (cert_with_nulls_ra ?pool db q)
+let certain_boolean ?pool ?guard db q =
+  Eval.boolean (cert_with_nulls_ra ?pool ?guard db q)
+
+type answer = Exact of Relation.t | Approximate of Relation.t
+
+let answer_relation = function Exact r | Approximate r -> r
+
+let cert_with_fallback ?(planner = true) ?(pool = Pool.auto ()) ?guard db q =
+  match
+    cert_with_nulls ~pool ?guard
+      ~run:(fun w -> Eval.run ~planner ~pool ?guard w q)
+      ~query_consts:(Algebra.consts q) db
+  with
+  | exact -> Exact exact
+  | exception Guard.Interrupt _ ->
+    (* graceful degradation: the polynomial scheme of Figure 2(b) is a
+       sound under-approximation (Q⁺ ⊆ cert⊥, Theorem 4.7) and runs
+       without the guard — a single pass over Q⁺, never interrupted *)
+    Approximate (Scheme_pm.certain_sub ~planner ~pool db q)
 
 let certain_object_ucq db q =
   if not (Classes.is_positive q) then

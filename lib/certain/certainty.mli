@@ -21,9 +21,16 @@
     enumeration stops as soon as it empties.  With [pool] (default
     {!Pool.auto}; [~pool:None] for the sequential reference) each chunk
     of worlds is built and queried on separate domains; the narrowing
-    fold stays in enumeration order, so the result is identical. *)
+    fold stays in enumeration order, so the result is identical.
+
+    [guard] (default: none) is re-checked at every chunk boundary of
+    the world enumeration, so a deadline, budget, or cancellation
+    interrupts the exponential enumeration between batches with
+    [Guard.Interrupt]; see {!cert_with_fallback} for recovering a sound
+    approximate answer instead of an exception. *)
 val cert_with_nulls :
   ?pool:Pool.t option ->
+  ?guard:Guard.t ->
   run:(Database.t -> Relation.t) ->
   query_consts:Value.const list ->
   Database.t ->
@@ -34,6 +41,7 @@ val cert_with_nulls :
     cert⊥ ∩ Const^m (Proposition 3.10). *)
 val cert_intersection :
   ?pool:Pool.t option ->
+  ?guard:Guard.t ->
   run:(Database.t -> Relation.t) ->
   query_consts:Value.const list ->
   Database.t ->
@@ -46,6 +54,7 @@ val cert_intersection :
     empty); used to cross-validate Proposition 3.10 in the tests. *)
 val cert_intersection_direct :
   ?pool:Pool.t option ->
+  ?guard:Guard.t ->
   run:(Database.t -> Relation.t) ->
   query_consts:Value.const list ->
   Database.t ->
@@ -53,25 +62,68 @@ val cert_intersection_direct :
 
 (** Relational algebra front ends.  [pool] is used both for the world
     enumeration and inside each world's query evaluation (nested
-    parallel sections degrade to sequential on worker domains). *)
+    parallel sections degrade to sequential on worker domains);
+    [guard] likewise governs both the enumeration (chunk boundaries)
+    and each per-world evaluation (materialisation points). *)
 
 val cert_with_nulls_ra :
-  ?pool:Pool.t option -> Database.t -> Algebra.t -> Relation.t
+  ?pool:Pool.t option -> ?guard:Guard.t -> Database.t -> Algebra.t ->
+  Relation.t
 
 val cert_intersection_ra :
-  ?pool:Pool.t option -> Database.t -> Algebra.t -> Relation.t
+  ?pool:Pool.t option -> ?guard:Guard.t -> Database.t -> Algebra.t ->
+  Relation.t
 
-(** FO front ends (free variables in {!Fo.free_vars} order). *)
+(** FO front ends (free variables in {!Fo.free_vars} order).  [guard]
+    governs the world enumeration only — per-world FO evaluation does
+    not thread the token. *)
 
 val cert_with_nulls_fo :
-  ?pool:Pool.t option -> Database.t -> Fo.t -> Relation.t
+  ?pool:Pool.t option -> ?guard:Guard.t -> Database.t -> Fo.t -> Relation.t
 
 val cert_intersection_fo :
-  ?pool:Pool.t option -> Database.t -> Fo.t -> Relation.t
+  ?pool:Pool.t option -> ?guard:Guard.t -> Database.t -> Fo.t -> Relation.t
 
 (** [certain_boolean db q] for Boolean (0-ary) algebra queries: [true]
     iff the query holds in every possible world. *)
-val certain_boolean : ?pool:Pool.t option -> Database.t -> Algebra.t -> bool
+val certain_boolean :
+  ?pool:Pool.t option -> ?guard:Guard.t -> Database.t -> Algebra.t -> bool
+
+(** Graceful degradation (governor tentpole): an exact certain answer
+    when resources allow, a sound polynomial under-approximation when
+    they do not. *)
+type answer =
+  | Exact of Relation.t  (** cert⊥(Q, D), world enumeration completed *)
+  | Approximate of Relation.t
+      (** Q⁺(D) of {!Scheme_pm} — a subset of cert⊥(Q, D) by
+          Theorem 4.7, produced after the guard interrupted the
+          exponential enumeration *)
+
+(** [answer_relation a] projects out the relation of either variant. *)
+val answer_relation : answer -> Relation.t
+
+(** [cert_with_fallback ?planner ?pool ?guard db q] computes
+    cert⊥(Q, D) under [guard].  If the guard interrupts the canonical
+    world enumeration (deadline, tuple budget, or cancellation), the
+    partial exact computation is abandoned and the polynomial scheme
+    of Figure 2(b) is run {e without} the guard — it is a single
+    relational-algebra pass, so it terminates promptly — yielding
+    [Approximate r] with [r ⊆ cert⊥(Q, D)] on the scheme's sound
+    fragment (queries without [Is_null]/[Is_const] tests — the
+    Theorem 4.7 hypothesis).  With no guard (or a guard that never
+    fires) the result is [Exact (cert⊥(Q, D))], bit-identical to
+    {!cert_with_nulls_ra}.
+
+    @raise Scheme_pm.Unsupported if the fallback is needed but [q]
+    mentions [Dom]/[Anti_unify_join] (outside the translatable
+    fragment). *)
+val cert_with_fallback :
+  ?planner:bool ->
+  ?pool:Pool.t option ->
+  ?guard:Guard.t ->
+  Database.t ->
+  Algebra.t ->
+  answer
 
 (** [certain_object_ucq db q] — the {e information-based certain answer
     as an object} (Definition 3.3, Proposition 3.6(b)): for a union of

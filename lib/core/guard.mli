@@ -1,0 +1,99 @@
+(** Resource governor for the execution layer (DESIGN.md §4d).
+
+    Exact certain answers enumerate canonical worlds — exponential in
+    the number of nulls, coNP-complete in data complexity — so a single
+    hostile query can otherwise pin the shared pool forever.  A guard
+    token carries an optional deadline, an optional
+    tuple-materialisation budget, and a cooperative cancellation flag;
+    cheap {!check}/{!charge} calls are threaded through the hot loops
+    ({!Pool.run_chunks} and {!Pool.fold_seq_chunked} chunk boundaries,
+    the materialisation points of {!Incdb_relational.Plan},
+    {!Incdb_certain.Certainty} world streaming, the semi-naive rounds
+    of {!Incdb_datalog.Eval} and the chase rounds of
+    {!Incdb_prob.Chase}).  Violations surface as the structured
+    {!Interrupt} exception; [Certainty.cert_with_fallback] catches it
+    mid-enumeration and degrades to the polynomial sound
+    under-approximation schemes of §4–5.
+
+    Every [?guard] argument in the library defaults to no guard, in
+    which case all checks are no-ops and the guarded paths are
+    bit-identical to the unguarded ones (property-tested). *)
+
+(** Why a guarded computation was interrupted. *)
+type reason =
+  | Deadline  (** the wall-clock deadline passed *)
+  | Budget of { tuples : int }
+      (** the tuple-materialisation budget was exhausted after charging
+          [tuples] tuples *)
+  | Cancelled  (** {!cancel} was called on the token *)
+
+exception Interrupt of reason
+
+val reason_to_string : reason -> string
+
+type t
+
+(** [create ?deadline_in ?budget ()] makes a guard token.
+    [deadline_in] is seconds from now ([Unix.gettimeofday] clock — the
+    stdlib has no monotonic clock; a backwards step only makes the
+    guard more lenient); [budget] caps the total number of tuples
+    charged via {!charge}.  Omitting both yields a token that only
+    reacts to {!cancel} — useful for measuring governor overhead.
+    @raise Invalid_argument on negative [deadline_in] or [budget]. *)
+val create : ?deadline_in:float -> ?budget:int -> unit -> t
+
+(** [cancel g] sets the cooperative cancellation flag; the next
+    {!check} against [g] from any domain raises
+    [Interrupt Cancelled]. *)
+val cancel : t -> unit
+
+val cancelled : t -> bool
+
+(** Total tuples charged so far (across all domains). *)
+val tuples_used : t -> int
+
+(** [check guard] raises {!Interrupt} if the token is cancelled, past
+    its deadline, or over budget; [check None] is a no-op.  Safe to
+    call concurrently. *)
+val check : t option -> unit
+
+val check_exn : t -> unit
+
+(** [charge guard n] adds [n] materialised tuples to the token's count
+    and then behaves as {!check}.  [charge None n] is a no-op (callers
+    should avoid even computing [n] in that case). *)
+val charge : t option -> int -> unit
+
+val charge_exn : t -> int -> unit
+
+(** {1 Fault injection}
+
+    A deterministic fault layer for robustness testing: named sites in
+    the execution layer call {!inject}, which raises {!Injected} or
+    sleeps with a configured probability.  Configuration comes from the
+    [INCDB_FAULT] environment variable on first use — a comma-separated
+    list of [site:prob:seed] (raise) or [site:prob:seed:delay=ms]
+    (sleep [ms] milliseconds) specs — or programmatically via
+    {!set_faults}.  Sites currently instrumented: ["pool.chunk"] (every
+    chunk executed by {!Pool.run_chunks}); ["*"] in a spec matches
+    every site.  Draws are from a seeded, mutex-protected
+    [Random.State], so a given spec replays the same fault schedule for
+    the same sequence of site calls. *)
+
+exception Injected of string
+
+(** [inject site] fires any configured faults matching [site]: a no-op
+    unless [INCDB_FAULT] or {!set_faults} configured one. *)
+val inject : string -> unit
+
+(** [set_faults specs] installs a fault configuration from the
+    [INCDB_FAULT] spec syntax, overriding the environment; returns
+    [false] (leaving the configuration unchanged) if [specs] does not
+    parse. *)
+val set_faults : string -> bool
+
+(** Remove all faults (including any from the environment). *)
+val clear_faults : unit -> unit
+
+(** [true] when at least one fault spec is active. *)
+val fault_injection_active : unit -> bool

@@ -29,9 +29,13 @@ module Homomorphism = Incdb_relational.Homomorphism
 
     The domain pool behind every parallel code path; [?pool:None]
     selects the sequential reference implementations, and
-    [INCDB_DOMAINS=n] parallelises the defaults process-wide. *)
+    [INCDB_DOMAINS=n] parallelises the defaults process-wide.  [Guard]
+    is the resource governor: deadline / tuple-budget / cancellation
+    tokens threaded through the hot loops as [?guard], plus the
+    [INCDB_FAULT] fault-injection layer used by the robustness tests. *)
 
 module Pool = Pool
+module Guard = Guard
 
 module Condition = Incdb_relational.Condition
 module Algebra = Incdb_relational.Algebra

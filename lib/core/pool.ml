@@ -44,12 +44,25 @@ let worker_loop pool () =
   in
   next ()
 
+let domains_of_string s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Some (min n 128)
+  | Some _ | None -> None
+
+let warned_bad_domains = Atomic.make false
+
 let default_size () =
   match Sys.getenv_opt "INCDB_DOMAINS" with
   | Some s ->
-    (match int_of_string_opt (String.trim s) with
-     | Some n when n >= 1 -> min n 128
-     | Some _ | None -> Domain.recommended_domain_count ())
+    (match domains_of_string s with
+     | Some n -> n
+     | None ->
+       if not (Atomic.exchange warned_bad_domains true) then
+         Printf.eprintf
+           "incdb: ignoring unparseable INCDB_DOMAINS=%S (expected a \
+            positive integer); using recommended_domain_count\n%!"
+           s;
+       Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
 let create ?size () =
@@ -79,6 +92,23 @@ let shutdown pool =
     Mutex.unlock pool.lock;
     ws
   in
+  (* Execute anything still queued on the shutdown caller.  Workers also
+     drain the queue before exiting, but a size-1 pool has no workers,
+     and tasks racing in after [stopped] was set would otherwise be
+     dropped silently — leaving their [run_chunks] blocked on [job_done]
+     forever.  Tasks record their own exceptions, so draining never
+     throws. *)
+  let rec drain () =
+    Mutex.lock pool.lock;
+    let task = Queue.take_opt pool.queue in
+    Mutex.unlock pool.lock;
+    match task with
+    | Some task ->
+      task ();
+      drain ()
+    | None -> ()
+  in
+  drain ();
   Array.iter Domain.join workers
 
 (* the process-wide pool behind [auto]; protected because workers of an
@@ -118,10 +148,15 @@ let chunk_bounds len n i =
 (* Run [run 0 .. run (nchunks-1)]: chunks 1.. go on the shared queue,
    the caller runs chunk 0, helps drain the queue, then waits for
    stragglers executing on worker domains.  The first exception raised
-   by any chunk is re-raised once every chunk has finished. *)
-let run_chunks pool ~nchunks run =
+   by any chunk is re-raised once every chunk has finished — including
+   [Guard.Interrupt] from the per-chunk guard check and injected
+   faults, which are ordinary chunk exceptions to the scheduler. *)
+let run_chunks ?guard pool ~nchunks run =
   if nchunks <= 1 then begin
-    if nchunks = 1 then run 0
+    if nchunks = 1 then begin
+      Guard.check guard;
+      run 0
+    end
   end
   else begin
     let job_lock = Mutex.create () in
@@ -129,10 +164,16 @@ let run_chunks pool ~nchunks run =
     let remaining = ref nchunks in
     let first_exn = ref None in
     let exec i =
-      (try run i
+      (try
+         Guard.check guard;
+         Guard.inject "pool.chunk";
+         run i
        with e ->
          Mutex.lock job_lock;
-         if !first_exn = None then first_exn := Some e;
+         (* [Option.is_none], not [= None]: polymorphic comparison of an
+            option holding an exception can itself raise when the
+            exception carries closures *)
+         if Option.is_none !first_exn then first_exn := Some e;
          Mutex.unlock job_lock);
       Mutex.lock job_lock;
       decr remaining;
@@ -140,6 +181,10 @@ let run_chunks pool ~nchunks run =
       Mutex.unlock job_lock
     in
     Mutex.lock pool.lock;
+    if pool.stopped then begin
+      Mutex.unlock pool.lock;
+      invalid_arg "Pool.run_chunks: pool is shut down"
+    end;
     for i = 1 to nchunks - 1 do
       Queue.push (fun () -> exec i) pool.queue
     done;
@@ -173,7 +218,7 @@ let nchunks_for pool len = max 1 (min len (4 * pool.size))
 
 let default_cutoff = 64
 
-let parallel_map_array ?(cutoff = default_cutoff) pool f arr =
+let parallel_map_array ?(cutoff = default_cutoff) ?guard pool f arr =
   let len = Array.length arr in
   match pool with
   | None -> Array.map f arr
@@ -184,20 +229,21 @@ let parallel_map_array ?(cutoff = default_cutoff) pool f arr =
     let out = Array.make len (f arr.(0)) in
     let rest = len - 1 in
     let nchunks = nchunks_for pool rest in
-    run_chunks pool ~nchunks (fun ci ->
+    run_chunks ?guard pool ~nchunks (fun ci ->
         let lo, hi = chunk_bounds rest nchunks ci in
         for j = lo + 1 to hi do
           out.(j) <- f arr.(j)
         done);
     out
 
-let parallel_map ?cutoff pool f xs =
+let parallel_map ?cutoff ?guard pool f xs =
   match pool with
   | None -> List.map f xs
   | Some _ ->
-    Array.to_list (parallel_map_array ?cutoff pool f (Array.of_list xs))
+    Array.to_list (parallel_map_array ?cutoff ?guard pool f (Array.of_list xs))
 
-let parallel_fold ?(cutoff = default_cutoff) pool ~map ~combine ~init xs =
+let parallel_fold ?(cutoff = default_cutoff) ?guard pool ~map ~combine ~init xs
+    =
   let sequential () =
     List.fold_left (fun acc x -> combine acc (map x)) init xs
   in
@@ -210,7 +256,7 @@ let parallel_fold ?(cutoff = default_cutoff) pool ~map ~combine ~init xs =
     else begin
       let nchunks = nchunks_for pool len in
       let partials = Array.make nchunks None in
-      run_chunks pool ~nchunks (fun ci ->
+      run_chunks ?guard pool ~nchunks (fun ci ->
           let lo, hi = chunk_bounds len nchunks ci in
           if lo < hi then begin
             let acc = ref (map arr.(lo)) in
@@ -258,8 +304,8 @@ let tree_reduce pool combine init arr =
       !cur.(0)
   end
 
-let fold_seq_chunked ?(chunk = 64) ?(stop = fun _ -> false) pool ~map ~combine
-    ~init seq =
+let fold_seq_chunked ?(chunk = 64) ?(stop = fun _ -> false) ?guard pool ~map
+    ~combine ~init seq =
   let chunk = max 1 chunk in
   let take n seq =
     let rec go acc n seq =
@@ -272,12 +318,16 @@ let fold_seq_chunked ?(chunk = 64) ?(stop = fun _ -> false) pool ~map ~combine
     go [] n seq
   in
   let rec loop acc seq =
+    (* the guard is checked between chunks even when the pool is absent
+       or degraded to sequential, so a deadline interrupts unbounded
+       world enumerations promptly on every configuration *)
+    Guard.check guard;
     if stop acc then acc
     else
       match take chunk seq with
       | [], _ -> acc
       | items, rest ->
-        let mapped = parallel_map ~cutoff:1 pool map items in
+        let mapped = parallel_map ~cutoff:1 ?guard pool map items in
         loop (List.fold_left combine acc mapped) rest
   in
   loop init seq

@@ -41,13 +41,24 @@ val create : ?size:int -> unit -> t
 val size : t -> int
 
 (** [shutdown pool] stops and joins the worker domains.  Idempotent.
-    Submitting work to a shut-down pool runs it on the caller. *)
+    Tasks still queued when the shutdown starts are executed — by the
+    exiting workers or by the shutdown caller — never dropped, so a
+    concurrent parallel section always completes.  Submitting {e new}
+    parallel work to a shut-down pool raises [Invalid_argument]. *)
 val shutdown : t -> unit
 
 (** The pool size used by {!create} and {!auto} when none is given:
     the [INCDB_DOMAINS] environment variable if set to a positive
-    integer, otherwise [Domain.recommended_domain_count ()]. *)
+    integer (clamped to 128), otherwise
+    [Domain.recommended_domain_count ()].  An unparseable
+    [INCDB_DOMAINS] falls back to the recommended count with a
+    once-per-process warning on stderr. *)
 val default_size : unit -> int
+
+(** The [INCDB_DOMAINS] parse used by {!default_size}: [Some n] for a
+    positive integer (clamped to 128), [None] otherwise.  Exposed for
+    the unit tests. *)
+val domains_of_string : string -> int option
 
 (** [auto ()] is the process-wide shared pool, created lazily with
     {!default_size} domains and shut down at exit — or [None] when
@@ -81,17 +92,27 @@ val join_cutoff : int ref
     All take the pool as a [t option]: [None] is the sequential
     reference path.  [cutoff] is the input length at or below which
     the sequential path is taken ([0] parallelises everything beyond
-    singletons). *)
+    singletons).
+
+    [guard] (default: none) is a {!Guard.t} resource token checked at
+    every chunk boundary; a violated deadline/budget or a cancellation
+    surfaces as [Guard.Interrupt] raised from the combinator after all
+    in-flight chunks have finished — the pool itself is always left
+    reusable.  Chunks additionally pass through the ["pool.chunk"]
+    fault-injection site ({!Guard.inject}). *)
 
 (** [parallel_map_array pool f arr] is [Array.map f arr], with chunks
     of the input mapped on separate domains.  [f] must be safe to call
     concurrently.  The first exception raised by any chunk is re-raised
     after all chunks finish. *)
 val parallel_map_array :
-  ?cutoff:int -> t option -> ('a -> 'b) -> 'a array -> 'b array
+  ?cutoff:int -> ?guard:Guard.t -> t option -> ('a -> 'b) -> 'a array ->
+  'b array
 
 (** List version of {!parallel_map_array}. *)
-val parallel_map : ?cutoff:int -> t option -> ('a -> 'b) -> 'a list -> 'b list
+val parallel_map :
+  ?cutoff:int -> ?guard:Guard.t -> t option -> ('a -> 'b) -> 'a list ->
+  'b list
 
 (** [parallel_fold pool ~map ~combine ~init xs] is
     [List.fold_left (fun acc x -> combine acc (map x)) init xs],
@@ -100,6 +121,7 @@ val parallel_map : ?cutoff:int -> t option -> ('a -> 'b) -> 'a list -> 'b list
     sequential fold whenever [combine] is associative. *)
 val parallel_fold :
   ?cutoff:int ->
+  ?guard:Guard.t ->
   t option ->
   map:('a -> 'b) ->
   combine:('b -> 'b -> 'b) ->
@@ -122,10 +144,13 @@ val tree_reduce : t option -> ('a -> 'a -> 'a) -> 'a -> 'a array -> 'a
     checked between chunks for sound early exit — e.g. an empty
     candidate set during certain-answer world enumeration.  Determinism
     requires [stop acc] to imply that folding any further element
-    leaves [acc] unchanged. *)
+    leaves [acc] unchanged.  [guard] is checked between chunks (on
+    every configuration, including [~pool:None]), so deadlines and
+    budgets interrupt unbounded enumerations promptly. *)
 val fold_seq_chunked :
   ?chunk:int ->
   ?stop:('acc -> bool) ->
+  ?guard:Guard.t ->
   t option ->
   map:('a -> 'b) ->
   combine:('acc -> 'b -> 'acc) ->

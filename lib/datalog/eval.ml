@@ -138,7 +138,8 @@ let compile_rule (r : Syntax.rule) : compiled_rule =
   let rel_arity name = arities.(base_index name) in
   { atoms; atom_lits; plan = Planner.compile ~rel_arity algebra }
 
-let fire_planned ?(pool = None) compiled ~relation_of ~delta ~delta_at =
+let fire_planned ?(pool = None) ?guard compiled ~relation_of ~delta ~delta_at
+    =
   let base name =
     let i = base_index name in
     let a = compiled.atoms.(i) in
@@ -156,9 +157,10 @@ let fire_planned ?(pool = None) compiled ~relation_of ~delta ~delta_at =
         (fun t -> List.for_all (fun (j, v) -> Value.equal t.(j) v) lits)
         rel
   in
-  Plan.run_set ~pool ~base ~dom1:(lazy (Relation.empty 1)) compiled.plan
+  Plan.run_set ~pool ?guard ~base ~dom1:(lazy (Relation.empty 1))
+    compiled.plan
 
-let run_all ?(planner = true) ?(pool = Pool.auto ()) db program =
+let run_all ?(planner = true) ?(pool = Pool.auto ()) ?guard db program =
   let schema = Database.schema db in
   let edb =
     List.map
@@ -211,7 +213,8 @@ let run_all ?(planner = true) ?(pool = Pool.auto ()) db program =
   let fire (r, compiled) ~delta ~delta_at =
     match compiled with
     | Some c ->
-      Relation.to_list (fire_planned ~pool c ~relation_of ~delta ~delta_at)
+      Relation.to_list
+        (fire_planned ~pool ?guard c ~relation_of ~delta ~delta_at)
     | None -> fire_nested r ~delta ~delta_at
   in
   (* first round: fire every rule against the EDB (IDB still empty) *)
@@ -235,8 +238,9 @@ let run_all ?(planner = true) ?(pool = Pool.auto ()) db program =
      independent and run in parallel; derived tuples are then merged
      sequentially in rule order, which makes the round deterministic. *)
   let initial_delta = Hashtbl.create 8 in
+  Guard.check guard;
   let initial_results =
-    Pool.parallel_map ~cutoff:1 pool
+    Pool.parallel_map ~cutoff:1 ?guard pool
       (fun ((r : Syntax.rule), _ as rule) ->
         (r.head.pred, fire rule ~delta:initial_delta ~delta_at:None))
       rules
@@ -251,6 +255,10 @@ let run_all ?(planner = true) ?(pool = Pool.auto ()) db program =
   (* semi-naive iterations: every firing must read at least one delta *)
   let rec loop delta rounds =
     if rounds > 100_000 then eval_error "fixpoint did not converge";
+    (* one guard check per semi-naive round: recursive programs on
+       cyclic data can run many rounds, so the deadline is re-examined
+       between fixpoint iterations *)
+    Guard.check guard;
     if Hashtbl.length delta = 0 then ()
     else begin
       (* collect every (rule, delta position) firing of this round, run
@@ -269,7 +277,7 @@ let run_all ?(planner = true) ?(pool = Pool.auto ()) db program =
           rules
       in
       let results =
-        Pool.parallel_map ~cutoff:1 pool
+        Pool.parallel_map ~cutoff:1 ?guard pool
           (fun (rule, p, i) -> (p, fire rule ~delta ~delta_at:(Some i)))
           firings
       in
@@ -282,10 +290,11 @@ let run_all ?(planner = true) ?(pool = Pool.auto ()) db program =
   loop initial_delta 0;
   List.map (fun (p, _) -> (p, Hashtbl.find full p)) idb
 
-let all_idb ?planner ?pool db program = run_all ?planner ?pool db program
+let all_idb ?planner ?pool ?guard db program =
+  run_all ?planner ?pool ?guard db program
 
-let run ?planner ?pool db program pred =
-  match List.assoc_opt pred (run_all ?planner ?pool db program) with
+let run ?planner ?pool ?guard db program pred =
+  match List.assoc_opt pred (run_all ?planner ?pool ?guard db program) with
   | Some r -> r
   | None -> eval_error "%s is not an IDB predicate of the program" pred
 

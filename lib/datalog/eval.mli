@@ -25,11 +25,18 @@ exception Eval_error of string
     facts, and the per-firing plans inherit the pool for their joins;
     derived tuples are merged in rule order between rounds, so the
     fixpoint is identical.
+
+    [guard] (default: none) is checked once per semi-naive round and
+    charged inside every planned rule firing (plan materialisation
+    points), so a recursive program that keeps deriving facts raises
+    [Guard.Interrupt] at the next round boundary instead of running to
+    an unbounded fixpoint.
     @raise Syntax.Ill_formed on invalid programs.
     @raise Eval_error if [pred] is not an IDB predicate. *)
 val run :
   ?planner:bool ->
   ?pool:Pool.t option ->
+  ?guard:Guard.t ->
   Database.t ->
   Syntax.program ->
   string ->
@@ -40,6 +47,7 @@ val run :
 val all_idb :
   ?planner:bool ->
   ?pool:Pool.t option ->
+  ?guard:Guard.t ->
   Database.t ->
   Syntax.program ->
   (string * Relation.t) list

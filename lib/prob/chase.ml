@@ -2,6 +2,14 @@ type result =
   | Chased of Database.t * (int * Value.t) list
   | Failed
 
+exception Unsatisfiable
+
+let () =
+  Printexc.register_printer (function
+    | Unsatisfiable ->
+      Some "Chase.Unsatisfiable (the FDs hold in no possible world)"
+    | _ -> None)
+
 (* find one violated FD instance and return the pair of values to equate *)
 let find_violation db (fds : Constraints.fd list) =
   let found = ref None in
@@ -13,7 +21,7 @@ let find_violation db (fds : Constraints.fd list) =
         List.iter
           (fun t2 ->
             if
-              !found = None
+              Option.is_none !found
               && Tuple.equal (Tuple.project lhs t1) (Tuple.project lhs t2)
               && not (Tuple.equal (Tuple.project rhs t1) (Tuple.project rhs t2))
             then begin
@@ -49,9 +57,12 @@ let apply_subst subst tuple =
       | Value.Const _ -> x)
     tuple
 
-let chase_fds db fds =
+let chase_fds ?guard db fds =
   let rec loop db subst steps =
-    (* each step eliminates one null or fails; nulls are finite *)
+    (* each step eliminates one null or fails; nulls are finite.  The
+       violation scan is quadratic per round, so the guard is
+       re-checked between rounds *)
+    Guard.check guard;
     if steps < 0 then Failed
     else
       match find_violation db fds with
@@ -71,7 +82,7 @@ let chase_fds db fds =
   let budget = List.length (Database.nulls db) + 1 in
   loop db [] budget
 
-let chase_exn db fds =
-  match chase_fds db fds with
+let chase_exn ?guard db fds =
+  match chase_fds ?guard db fds with
   | Chased (db, _) -> db
-  | Failed -> failwith "Chase.chase_exn: constraints are unsatisfiable"
+  | Failed -> raise Unsatisfiable

@@ -17,11 +17,24 @@ type result =
           equated-away nulls) *)
   | Failed  (** Σ cannot hold in any world reachable by equating *)
 
-val chase_fds : Database.t -> Constraints.fd list -> result
+(** Raised by {!chase_exn} when the chase fails: the constraints are
+    unsatisfiable on the instance (a constant/constant FD violation),
+    so no possible world satisfies Σ.  A typed exception — unlike a
+    bare [Failure] — lets callers distinguish "Σ is inconsistent with
+    D" from genuine programming errors and handle it as a structured
+    outcome alongside {!Guard.Interrupt}. *)
+exception Unsatisfiable
+
+(** [chase_fds ?guard db fds] runs the chase to completion or failure.
+    [guard] (default: none) is re-checked before every chase round —
+    the violation scan is quadratic in the relation size — raising
+    [Guard.Interrupt] on a violated deadline/budget/cancellation. *)
+val chase_fds : ?guard:Guard.t -> Database.t -> Constraints.fd list -> result
 
 (** [apply_subst subst tuple] rewrites a tuple through the chase
     substitution. *)
 val apply_subst : (int * Value.t) list -> Tuple.t -> Tuple.t
 
-(** [chase_exn db fds] @raise Failure on chase failure. *)
-val chase_exn : Database.t -> Constraints.fd list -> Database.t
+(** [chase_exn db fds] is the chased database.
+    @raise Unsatisfiable on chase failure. *)
+val chase_exn : ?guard:Guard.t -> Database.t -> Constraints.fd list -> Database.t

@@ -1,6 +1,6 @@
 exception Unsupported of string
 
-let run ?(planner = true) ?(pool = Pool.auto ()) ?(extra_consts = [])
+let run ?(planner = true) ?(pool = Pool.auto ()) ?guard ?(extra_consts = [])
     ?(bags = []) db q =
   let schema = Database.schema db in
   ignore (Algebra.arity schema q);
@@ -14,12 +14,20 @@ let run ?(planner = true) ?(pool = Pool.auto ()) ?(extra_consts = [])
   in
   if planner then
     try
-      Plan.run_bag ~pool ~base ~dom1
+      Plan.run_bag ~pool ?guard ~base ~dom1
         (Planner.compile ~rel_arity:(Schema.arity schema) q)
     with Plan.Unsupported msg -> raise (Unsupported ("Bag_eval: " ^ msg))
   else begin
     (* reference nested-loop interpreter; [Dom k] is memoized across the
-       query instead of being rebuilt at every [Dom] node *)
+       query instead of being rebuilt at every [Dom] node.  Guard
+       charges mirror the planned path (support sizes at every
+       materialisation point). *)
+    let pay b =
+      (match guard with
+       | None -> ()
+       | Some g -> Guard.charge_exn g (Bag_relation.support_size b));
+      b
+    in
     let powers : (int, Bag_relation.t) Hashtbl.t = Hashtbl.create 4 in
     let rec power k =
       match Hashtbl.find_opt powers k with
@@ -32,7 +40,14 @@ let run ?(planner = true) ?(pool = Pool.auto ()) ?(extra_consts = [])
         Hashtbl.add powers k b;
         b
     in
-    let rec go = function
+    let rec go q =
+      match q with
+      | Algebra.Dom k ->
+        (match Hashtbl.find_opt powers k with
+         | Some b -> b
+         | None -> pay (power k))
+      | _ -> pay (eval q)
+    and eval = function
       | Algebra.Rel name -> base name
       | Algebra.Lit (k, tuples) ->
         List.fold_left (fun b t -> Bag_relation.add t b)
@@ -48,7 +63,7 @@ let run ?(planner = true) ?(pool = Pool.auto ()) ?(extra_consts = [])
         raise (Unsupported "Bag_eval: division is not in the bag fragment")
       | Algebra.Anti_unify_join (q1, q2) ->
         Bag_relation.anti_unify_semijoin (go q1) (go q2)
-      | Algebra.Dom k -> power k
+      | Algebra.Dom _ -> assert false (* handled by [go] *)
     in
     go q
   end

@@ -18,12 +18,15 @@ exception Unsupported of string
     [pool] follows the {!Eval.run} convention: omitted defaults to
     {!Pool.auto}, [~pool:None] is the sequential reference,
     [~pool:(Some p)] runs partition-parallel operators — all with
-    identical results.
+    identical results.  [guard] also follows {!Eval.run}: charged at
+    every materialisation point (support sizes), raising
+    [Guard.Interrupt] on violation.
     @raise Unsupported on [Division].
     @raise Algebra.Type_error if [q] is ill-typed. *)
 val run :
   ?planner:bool ->
   ?pool:Pool.t option ->
+  ?guard:Guard.t ->
   ?extra_consts:Value.const list ->
   ?bags:(string * Bag_relation.t) list ->
   Database.t ->

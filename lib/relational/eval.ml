@@ -25,16 +25,25 @@ let domain_relation ~extra_consts db =
   in
   Relation.of_list 1 (List.map (fun v -> [| v |]) (adom @ List.rev extras))
 
-let run ?(planner = true) ?(pool = Pool.auto ()) ?(extra_consts = []) db q =
+let run ?(planner = true) ?(pool = Pool.auto ()) ?guard ?(extra_consts = [])
+    db q =
   let schema = Database.schema db in
   ignore (Algebra.arity schema q);
   let dom1 = lazy (domain_relation ~extra_consts db) in
   if planner then
-    Plan.run_set ~pool ~base:(Database.relation db) ~dom1
+    Plan.run_set ~pool ?guard ~base:(Database.relation db) ~dom1
       (Planner.compile ~rel_arity:(Schema.arity schema) q)
   else begin
     (* reference nested-loop interpreter, kept for differential testing
-       and the ablation benchmarks; [Dom k] is memoized across the query *)
+       and the ablation benchmarks; [Dom k] is memoized across the query.
+       Guard charges mirror the planned path: every operator output is a
+       materialisation point. *)
+    let pay r =
+      (match guard with
+       | None -> ()
+       | Some g -> Guard.charge_exn g (Relation.cardinal r));
+      r
+    in
     let powers : (int, Relation.t) Hashtbl.t = Hashtbl.create 4 in
     let rec power k =
       match Hashtbl.find_opt powers k with
@@ -47,7 +56,14 @@ let run ?(planner = true) ?(pool = Pool.auto ()) ?(extra_consts = []) db q =
         Hashtbl.add powers k r;
         r
     in
-    let rec go = function
+    let rec go q =
+      match q with
+      | Algebra.Dom k ->
+        (match Hashtbl.find_opt powers k with
+         | Some r -> r
+         | None -> pay (power k))
+      | _ -> pay (eval q)
+    and eval = function
       | Algebra.Rel name -> Database.relation db name
       | Algebra.Lit (k, tuples) -> Relation.of_list k tuples
       | Algebra.Select (cond, q1) ->
@@ -60,7 +76,7 @@ let run ?(planner = true) ?(pool = Pool.auto ()) ?(extra_consts = []) db q =
       | Algebra.Division (q1, q2) -> Relation.division (go q1) (go q2)
       | Algebra.Anti_unify_join (q1, q2) ->
         Relation.anti_unify_semijoin_nested (go q1) (go q2)
-      | Algebra.Dom k -> power k
+      | Algebra.Dom _ -> assert false (* handled by [go] *)
     in
     go q
   end

@@ -30,10 +30,17 @@
     scheme of Figure 2(a) needs the constants of the original query in
     the domain); powers are computed once per run and reused.
 
+    [guard] (default: none) is a {!Guard.t} resource token charged at
+    every operator's materialisation point (both the planned and the
+    nested-loop path); a violated deadline/budget raises
+    [Guard.Interrupt].  Without a guard, results are bit-identical to
+    the unguarded evaluation.
+
     @raise Algebra.Type_error if [q] is ill-typed for the schema. *)
 val run :
   ?planner:bool ->
   ?pool:Pool.t option ->
+  ?guard:Guard.t ->
   ?extra_consts:Value.const list ->
   Database.t ->
   Algebra.t ->

@@ -156,7 +156,7 @@ let par_hash_join_set pool ~lcols ~rcols ~residual l r =
 (* set semantics                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let run_set ?(pool = None) ~base ~dom1 plan =
+let run_set ?(pool = None) ?guard ~base ~dom1 plan =
   let shared : (int, Relation.t) Hashtbl.t = Hashtbl.create 8 in
   let powers : (int, Relation.t) Hashtbl.t = Hashtbl.create 4 in
   let rec power k =
@@ -170,7 +170,32 @@ let run_set ?(pool = None) ~base ~dom1 plan =
       Hashtbl.add powers k r;
       r
   in
-  let rec go = function
+  (* every operator output is a materialisation point: charge its
+     cardinality against the guard's tuple budget (and re-check
+     deadline/cancellation).  Without a guard this is a single match on
+     [None] per node — memoized [Shared] hits skip the charge because
+     they materialise nothing new. *)
+  let pay r =
+    (match guard with
+     | None -> ()
+     | Some g -> Guard.charge_exn g (Relation.cardinal r));
+    r
+  in
+  let rec go plan =
+    match plan with
+    | Shared (id, p) ->
+      (match Hashtbl.find_opt shared id with
+       | Some r -> r
+       | None ->
+         let r = go p in
+         Hashtbl.add shared id r;
+         r)
+    | Dom k ->
+      (match Hashtbl.find_opt powers k with
+       | Some r -> r (* already built (and charged) by an earlier ref *)
+       | None -> pay (power k))
+    | _ -> pay (eval plan)
+  and eval = function
     | Scan name -> base name
     | Lit (k, tuples) -> Relation.of_list k tuples
     | Filter (cond, p) ->
@@ -240,14 +265,7 @@ let run_set ?(pool = None) ~base ~dom1 plan =
         groups;
       Relation.of_list n !out
     | Anti_unify (p1, p2) -> Relation.anti_unify_semijoin (go p1) (go p2)
-    | Dom k -> power k
-    | Shared (id, p) ->
-      (match Hashtbl.find_opt shared id with
-       | Some r -> r
-       | None ->
-         let r = go p in
-         Hashtbl.add shared id r;
-         r)
+    | Dom _ | Shared _ -> assert false (* handled by [go] *)
   in
   go plan
 
@@ -310,7 +328,7 @@ let par_hash_join_bag pool ~lcols ~rcols ~residual l r =
       done;
       Bag_relation.of_list out_arity !out)
 
-let run_bag ?(pool = None) ~base ~dom1 plan =
+let run_bag ?(pool = None) ?guard ~base ~dom1 plan =
   let shared : (int, Bag_relation.t) Hashtbl.t = Hashtbl.create 8 in
   let powers : (int, Bag_relation.t) Hashtbl.t = Hashtbl.create 4 in
   let rec power k =
@@ -324,7 +342,29 @@ let run_bag ?(pool = None) ~base ~dom1 plan =
       Hashtbl.add powers k b;
       b
   in
-  let rec go = function
+  (* materialisation points charge the support size (distinct tuples):
+     multiplicities are counters, not materialised rows *)
+  let pay b =
+    (match guard with
+     | None -> ()
+     | Some g -> Guard.charge_exn g (Bag_relation.support_size b));
+    b
+  in
+  let rec go plan =
+    match plan with
+    | Shared (id, p) ->
+      (match Hashtbl.find_opt shared id with
+       | Some b -> b
+       | None ->
+         let b = go p in
+         Hashtbl.add shared id b;
+         b)
+    | Dom k ->
+      (match Hashtbl.find_opt powers k with
+       | Some b -> b
+       | None -> pay (power k))
+    | _ -> pay (eval plan)
+  and eval = function
     | Scan name -> base name
     | Lit (k, tuples) ->
       (* multiplicity 1 per listed occurrence, as in Bag_eval *)
@@ -376,14 +416,7 @@ let run_bag ?(pool = None) ~base ~dom1 plan =
     | Diff (p1, p2) -> Bag_relation.diff (go p1) (go p2)
     | Division _ -> raise (Unsupported "division is not in the bag fragment")
     | Anti_unify (p1, p2) -> Bag_relation.anti_unify_semijoin (go p1) (go p2)
-    | Dom k -> power k
-    | Shared (id, p) ->
-      (match Hashtbl.find_opt shared id with
-       | Some b -> b
-       | None ->
-         let b = go p in
-         Hashtbl.add shared id b;
-         b)
+    | Dom _ | Shared _ -> assert false (* handled by [go] *)
   in
   go plan
 

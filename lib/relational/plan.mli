@@ -49,9 +49,19 @@ type t =
     result is identical to the sequential path (the default,
     [~pool:None]) because relations are immutable sets and every merge
     is associative and commutative.
+
+    [guard] (default: none) is a {!Guard.t} resource token: every
+    operator output is a materialisation point that charges its
+    cardinality against the token's tuple budget and re-checks the
+    deadline/cancellation flag, so a runaway plan raises
+    [Guard.Interrupt] instead of pinning the pool.  Memoized [Shared]
+    and [Dom] cache hits charge nothing.  With no guard the checks
+    compile to a single [None] match per node, and results are
+    bit-identical to the unguarded path.
     @raise Not_found if [base] does not know a scanned relation. *)
 val run_set :
   ?pool:Pool.t option ->
+  ?guard:Guard.t ->
   base:(string -> Relation.t) ->
   dom1:Relation.t Lazy.t ->
   t ->
@@ -61,10 +71,13 @@ val run_set :
     multiplicities multiply through joins and products, and project
     sums them.  [?pool] parallelises scans and hash joins exactly as in
     {!run_set}; chunk merges add multiplicities, so results again match
-    the sequential path.  @raise Unsupported on [Division], which is
+    the sequential path.  [?guard] follows {!run_set}, charging support
+    sizes (distinct tuples) at every materialisation point.
+    @raise Unsupported on [Division], which is
     not part of the bag fragment. *)
 val run_bag :
   ?pool:Pool.t option ->
+  ?guard:Guard.t ->
   base:(string -> Bag_relation.t) ->
   dom1:Bag_relation.t Lazy.t ->
   t ->

@@ -452,6 +452,59 @@ let prop_parallel_certainty =
         pools)
 
 (* ------------------------------------------------------------------ *)
+(* Differential properties: guarded ≡ unguarded                        *)
+(* ------------------------------------------------------------------ *)
+
+(* With a guard that never fires (no deadline, no budget), every
+   guarded path must be bit-identical to the unguarded one — the
+   governor only observes, it never perturbs results. *)
+
+let prop_guarded_set =
+  QCheck2.Test.make ~count:150 ~name:"guarded = unguarded (set semantics)"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ()) (gen_query ~allow_division:true ()))
+    (fun (db, q) ->
+      let reference = Eval.run ~pool:None db q in
+      let free () = Guard.create () in
+      Relation.equal reference (Eval.run ~pool:None ~guard:(free ()) db q)
+      && Relation.equal reference
+           (Eval.run ~planner:false ~guard:(free ()) db q)
+      && List.for_all
+           (fun (_, pool) ->
+             Relation.equal reference (Eval.run ~pool ~guard:(free ()) db q))
+           pools)
+
+let prop_guarded_bag =
+  QCheck2.Test.make ~count:100 ~name:"guarded = unguarded (bag semantics)"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ()) (gen_query ()))
+    (fun (db, q) ->
+      match Bag_eval.run ~pool:None db q with
+      | reference ->
+        List.for_all
+          (fun (_, pool) ->
+            Bag_relation.equal reference
+              (Bag_eval.run ~pool ~guard:(Guard.create ()) db q))
+          pools
+      | exception Bag_eval.Unsupported _ -> true)
+
+let prop_guarded_certainty =
+  QCheck2.Test.make ~count:40 ~name:"guarded = unguarded (certainty)"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_query ()))
+    (fun (db, q) ->
+      let reference = Certainty.cert_with_nulls_ra ~pool:None db q in
+      List.for_all
+        (fun (_, pool) ->
+          Relation.equal reference
+            (Certainty.cert_with_nulls_ra ~pool ~guard:(Guard.create ()) db q)
+          &&
+          match Certainty.cert_with_fallback ~pool ~guard:(Guard.create ()) db q with
+          | Certainty.Exact r -> Relation.equal reference r
+          | Certainty.Approximate _ -> false)
+        pools)
+
+(* ------------------------------------------------------------------ *)
 (* Suite                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -484,4 +537,6 @@ let () =
           prop_datalog_differential ];
       qsuite "parallel-differential"
         [ prop_parallel_set; prop_parallel_bag; prop_parallel_schemes;
-          prop_parallel_datalog; prop_parallel_certainty ] ]
+          prop_parallel_datalog; prop_parallel_certainty ];
+      qsuite "guarded-differential"
+        [ prop_guarded_set; prop_guarded_bag; prop_guarded_certainty ] ]
