@@ -24,12 +24,13 @@
      e15  physical planner: hash equi-join vs nested loop (set and bag)
      e16  multicore execution layer: domain pool vs sequential reference
      e17  resource governor: guard overhead + exact→approximate fallback
+     e18  concurrent front door: admission, shedding, degradation
 
    Flags:
-     --json      write e15 to BENCH_PR1.json, e16 to BENCH_PR2.json and
-                 e17 to BENCH_PR3.json
+     --json      write e15 to BENCH_PR1.json, e16 to BENCH_PR2.json,
+                 e17 to BENCH_PR3.json and e18 to BENCH_PR4.json
      --seed N    offset every workload generator seed by N
-     --small     shrink e16/e17 workloads for CI smoke runs *)
+     --small     shrink e16/e17/e18 workloads for CI smoke runs *)
 
 open Incdb
 
@@ -1357,6 +1358,254 @@ let write_e17_json path =
     (List.length overhead + List.length fallback)
 
 (* ------------------------------------------------------------------ *)
+(* E18: the concurrent front door                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Two questions about the service (DESIGN.md §4e):
+
+   1. The shed cliff: closed-loop clients hammering one bounded
+      admission queue.  With capacity ∞ every op completes but p99
+      latency grows with the client count (queueing delay); shrinking
+      the capacity converts that queueing delay into Overloaded
+      answers — throughput of completed ops stays near the workers'
+      service rate while the shed column absorbs the excess.
+
+   2. The degrade cliff: the same front door over the exponential
+      certain-answer workload with shrinking tuple budgets.  Tighter
+      budgets turn Ok into Degraded (the Q⁺ fallback) instead of
+      latency collapse: the p99 column stays bounded while the
+      degraded column rises. *)
+
+(* rows for --json:
+   (clients, capacity (-1 = unbounded), ops, completed, shed,
+    wall_ms, qps, p50_ms, p99_ms) *)
+let e18_load :
+    (int * int * int * int * int * float * float * float * float) list ref =
+  ref []
+
+(* rows for --json: (budget (-1 = none), ops, ok, degraded, p50_ms, p99_ms) *)
+let e18_degrade : (int * int * int * int * float * float) list ref = ref []
+
+let percentile p samples =
+  match samples with
+  | [] -> 0.0
+  | _ ->
+    let a = Array.of_list samples in
+    Array.sort compare a;
+    a.(int_of_float ((p *. float_of_int (Array.length a - 1)) +. 0.5))
+
+(* [clients] closed-loop client domains, each submitting [per_client]
+   jobs back to back; returns per-op (outcome, latency-ms) pairs and
+   the wall time of the whole storm *)
+let client_storm ?fallback svc ~clients ~per_client job =
+  let t0 = now () in
+  let domains =
+    Array.init clients (fun c ->
+        Domain.spawn (fun () ->
+            List.init per_client (fun n ->
+                let t0 = now () in
+                let outcome = Service.run ?fallback svc (job ~client:c ~n) in
+                (outcome, (now () -. t0) *. 1000.0))))
+  in
+  let ops = Array.to_list domains |> List.concat_map Domain.join in
+  (ops, (now () -. t0) *. 1000.0)
+
+let exp_e18 () =
+  hr "E18: concurrent front door — shed cliff and degrade cliff";
+  let pool = Pool.create ~size:4 () in
+  let q =
+    Algebra.Select
+      (Condition.eq_col 1 2, Algebra.Product (Algebra.Rel "R", Algebra.Rel "S"))
+  in
+  let rows = if !bench_small then 200 else 800 in
+  let db = e15_db (rng_of 18000) ~rows in
+  let per_client = if !bench_small then 8 else 32 in
+  let clients_grid = if !bench_small then [ 1; 4 ] else [ 1; 2; 4; 8 ] in
+  let capacity_grid = [ None; Some 4; Some 1 ] in
+  Printf.printf
+    "closed-loop clients, %d ops each, hash join on %d rows/rel, 2 worker\n\
+     domains, Reject policy:\n\n"
+    per_client rows;
+  Printf.printf "%8s %9s %6s %10s %6s %9s %9s %9s\n" "clients" "capacity"
+    "ops" "completed" "shed" "qps" "p50(ms)" "p99(ms)";
+  List.iter
+    (fun clients ->
+      List.iter
+        (fun capacity ->
+          let svc =
+            Service.create
+              { (Service.default_config ~pool:(Some pool) ()) with
+                Service.capacity;
+                shed = Service.Reject;
+                workers = 2;
+                max_retries = 0 }
+          in
+          let ops, wall_ms =
+            client_storm svc ~clients ~per_client (fun ~client:_ ~n:_ ->
+                fun ~pool ~guard -> Eval.run ~pool ~guard db q)
+          in
+          Service.shutdown svc;
+          let c = Service.counters svc in
+          assert (c.Service.admitted = c.Service.completed + c.Service.shed);
+          let served =
+            List.filter_map
+              (function Service.Ok _, ms -> Some ms | _ -> None)
+              ops
+          in
+          let shed =
+            List.length
+              (List.filter
+                 (function Service.Overloaded, _ -> true | _ -> false)
+                 ops)
+          in
+          let total = List.length ops in
+          let completed = List.length served in
+          let qps = float_of_int completed /. (wall_ms /. 1000.0) in
+          let p50 = percentile 0.50 served in
+          let p99 = percentile 0.99 served in
+          let cap_str =
+            match capacity with None -> "inf" | Some c -> string_of_int c
+          in
+          e18_load :=
+            ( clients,
+              (match capacity with None -> -1 | Some c -> c),
+              total, completed, shed, wall_ms, qps, p50, p99 )
+            :: !e18_load;
+          Printf.printf "%8d %9s %6d %10d %6d %9.1f %9.2f %9.2f\n" clients
+            cap_str total completed shed qps p50 p99)
+        capacity_grid)
+    clients_grid;
+  Printf.printf
+    "\nAt capacity inf nothing sheds and p99 grows with the client count\n\
+     (queueing delay); at capacity 1 the queue sheds the excess and p99\n\
+     stays near the single-op service time — overload becomes a\n\
+     structured answer instead of unbounded latency.\n";
+  (* the degrade cliff: shrinking tuple budgets over the exponential
+     certain-answer workload, with the Q⁺ scheme as fallback *)
+  let nulls = if !bench_small then 3 else 5 in
+  let cert_db =
+    let rng = rng_of (18100 + nulls) in
+    let const () = Value.int (Random.State.int rng 4) in
+    let tuple _ = Tuple.of_list [ const (); const () ] in
+    let with_nulls =
+      List.init nulls (fun i -> Tuple.of_list [ Value.null i; const () ])
+    in
+    Database.of_list e2_schema
+      [ ("R",
+         Tuple.of_list [ Value.int 100; const () ]
+         :: List.init 12 tuple
+         @ with_nulls);
+        ("S", List.init 12 tuple) ]
+  in
+  let cert_q =
+    Algebra.Diff
+      (Algebra.Project ([ 0 ], Algebra.Rel "R"),
+       Algebra.Project ([ 0 ], Algebra.Rel "S"))
+  in
+  let exact = Certainty.cert_with_nulls_ra ~pool:None cert_db cert_q in
+  let budgets = [ None; Some 100_000; Some 10_000; Some 500 ] in
+  let ops_per_budget = if !bench_small then 6 else 16 in
+  Printf.printf
+    "\nsame front door, cert-bot over %d nulls, Q+ fallback, shrinking\n\
+     tuple budgets (%d ops per row):\n\n"
+    nulls ops_per_budget;
+  Printf.printf "%10s %6s %6s %10s %9s %9s %7s\n" "budget" "ops" "ok"
+    "degraded" "p50(ms)" "p99(ms)" "sound";
+  List.iter
+    (fun budget ->
+      let svc =
+        Service.create
+          { (Service.default_config ~pool:(Some pool) ()) with
+            Service.workers = 2;
+            max_retries = 0;
+            budget }
+      in
+      let sound = ref true in
+      let ops, _wall =
+        client_storm svc ~clients:2 ~per_client:(ops_per_budget / 2)
+          ~fallback:(fun ~pool -> Scheme_pm.certain_sub ~pool cert_db cert_q)
+          (fun ~client:_ ~n:_ ->
+            fun ~pool ~guard ->
+             Certainty.cert_with_nulls_ra ~pool ~guard cert_db cert_q)
+      in
+      ignore
+        (List.map
+           (fun (outcome, _) ->
+             match outcome with
+             | Service.Ok r -> sound := !sound && Relation.equal r exact
+             | Service.Degraded r ->
+               sound := !sound && Relation.subset r exact
+             | _ -> sound := false)
+           ops);
+      Service.shutdown svc;
+      let latencies = List.map snd ops in
+      let count pred = List.length (List.filter pred ops) in
+      let ok = count (function Service.Ok _, _ -> true | _ -> false) in
+      let degraded =
+        count (function Service.Degraded _, _ -> true | _ -> false)
+      in
+      let p50 = percentile 0.50 latencies in
+      let p99 = percentile 0.99 latencies in
+      let budget_str =
+        match budget with None -> "none" | Some b -> string_of_int b
+      in
+      e18_degrade :=
+        ( (match budget with None -> -1 | Some b -> b),
+          List.length ops, ok, degraded, p50, p99 )
+        :: !e18_degrade;
+      Printf.printf "%10s %6d %6d %10d %9.2f %9.2f %7b\n" budget_str
+        (List.length ops) ok degraded p50 p99 !sound)
+    budgets;
+  Pool.shutdown pool;
+  Printf.printf
+    "\nEvery row must report sound=true: a degraded answer is the Q+\n\
+     under-approximation, a subset of exact cert-bot by Theorem 4.7.\n\
+     As the budget shrinks, ok flips to degraded while p99 stays\n\
+     bounded — the front door trades answer exactness for latency,\n\
+     never wedging and never lying.\n"
+
+let write_e18_json path =
+  let load = List.rev !e18_load in
+  let degrade = List.rev !e18_degrade in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"e18\",\n";
+  Buffer.add_string buf
+    "  \"description\": \"concurrent front door: shed cliff under load, \
+     degrade cliff under shrinking budgets\",\n";
+  Buffer.add_string buf "  \"load\": [\n";
+  let n = List.length load in
+  List.iteri
+    (fun i (clients, cap, ops, completed, shed, wall, qps, p50, p99) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"clients\": %d, \"capacity\": %s, \"ops\": %d, \
+            \"completed\": %d, \"shed\": %d, \"wall_ms\": %.3f, \
+            \"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n"
+           clients
+           (if cap < 0 then "null" else string_of_int cap)
+           ops completed shed wall qps p50 p99
+           (if i = n - 1 then "" else ",")))
+    load;
+  Buffer.add_string buf "  ],\n  \"degrade\": [\n";
+  let n = List.length degrade in
+  List.iteri
+    (fun i (budget, ops, ok, degraded, p50, p99) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"budget\": %s, \"ops\": %d, \"ok\": %d, \"degraded\": %d, \
+            \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n"
+           (if budget < 0 then "null" else string_of_int budget)
+           ops ok degraded p50 p99
+           (if i = n - 1 then "" else ",")))
+    degrade;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d measurements)\n" path
+    (List.length load + List.length degrade)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1468,7 +1717,7 @@ let experiments =
     ("e5", exp_e5); ("e6", exp_e6); ("e7", exp_e7); ("e8", exp_e8);
     ("e9", exp_e9); ("e10", exp_e10); ("e11", exp_e11); ("e12", exp_e12);
     ("e13", exp_e13); ("e14", exp_e14); ("e15", exp_e15); ("e16", exp_e16);
-    ("e17", exp_e17); ("micro", micro) ]
+    ("e17", exp_e17); ("e18", exp_e18); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1507,4 +1756,6 @@ let () =
   if !json && !e15_results <> [] then write_e15_json "BENCH_PR1.json";
   if !json && !e16_results <> [] then write_e16_json "BENCH_PR2.json";
   if !json && (!e17_overhead <> [] || !e17_fallback <> []) then
-    write_e17_json "BENCH_PR3.json"
+    write_e17_json "BENCH_PR3.json";
+  if !json && (!e18_load <> [] || !e18_degrade <> []) then
+    write_e18_json "BENCH_PR4.json"

@@ -9,6 +9,9 @@
      classify  annotate every candidate answer certain/possible
      fo        evaluate a first-order formula (3VL + certain answers)
      datalog   run a positive Datalog program (fixpoint = certain)
+     serve     run newline-delimited SQL from stdin through the
+               concurrent front door (admission control, retries,
+               degradation to Q+)
 
    Databases: fig1 (the paper's bookstore, optionally with the
    Section 1 NULL), tpch (the TPC-H-mini workload at a given scale and
@@ -367,9 +370,149 @@ let datalog_cmd =
       const run $ db_arg $ data_arg $ scale_arg $ null_rate_arg $ seed_arg
       $ program_arg $ pred_arg)
 
+let serve_cmd =
+  let capacity_arg =
+    let doc =
+      "Admission-queue capacity (queries waiting beyond the in-flight \
+       workers).  Unbounded when omitted."
+    in
+    Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let shed_arg =
+    let doc =
+      "What to do with a submission that finds the queue full: reject \
+       (answer it overloaded), drop-oldest (evict the oldest queued query), \
+       or block (wait for space)."
+    in
+    let parse = function
+      | "reject" -> Ok Service.Reject
+      | "drop-oldest" -> Ok Service.Drop_oldest
+      | "block" -> Ok Service.Block
+      | other -> Error (`Msg (Printf.sprintf "unknown shed policy %s" other))
+    in
+    let print ppf p =
+      Format.pp_print_string ppf
+        (match p with
+         | Service.Reject -> "reject"
+         | Service.Drop_oldest -> "drop-oldest"
+         | Service.Block -> "block")
+    in
+    Arg.(value
+         & opt (conv (parse, print)) Service.Reject
+         & info [ "shed" ] ~docv:"POLICY" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains = maximum in-flight queries." in
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Retry attempts after the first try, for transient failures \
+       (injected faults and deadline interrupts)."
+    in
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc = "Backoff base in seconds: retry n sleeps base * 2^n." in
+    Arg.(value & opt float 0.05 & info [ "backoff" ] ~docv:"SECONDS" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-attempt deadline in milliseconds." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Per-attempt tuple budget; a query that exhausts it degrades to the \
+       sound Q+ approximation instead of retrying."
+    in
+    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"TUPLES" ~doc)
+  in
+  let run db_name data scale null_rate seed capacity shed workers retries
+      backoff deadline_ms budget =
+    handle_errors (fun () ->
+        let schema, db = load_db ?data db_name ~scale ~null_rate ~seed in
+        let svc =
+          Service.create
+            { Service.capacity;
+              shed;
+              workers;
+              max_retries = retries;
+              backoff_base = backoff;
+              deadline_in = Option.map (fun ms -> ms /. 1000.0) deadline_ms;
+              budget;
+              pool = Pool.auto () }
+        in
+        (* read + submit everything first (overlapping the evaluation
+           across workers), then report in submission order *)
+        let items = ref [] in
+        let lineno = ref 0 in
+        (try
+           while true do
+             let line = String.trim (input_line stdin) in
+             if line <> "" then begin
+               incr lineno;
+               let n = !lineno in
+               match Sql.To_algebra.translate_string schema line with
+               | exception
+                   (Sql.Parser.Parse_error msg | Sql.Lexer.Lex_error msg
+                   | Sql.To_algebra.Unsupported msg) ->
+                 items := (n, Error msg) :: !items
+               | q ->
+                 let t0 = Unix.gettimeofday () in
+                 let ticket =
+                   Service.submit svc
+                     ~fallback:(fun ~pool -> Scheme_pm.certain_sub ~pool db q)
+                     (fun ~pool ~guard ->
+                       Certainty.cert_with_nulls_ra ~pool ~guard db q)
+                 in
+                 items := (n, Ok (ticket, t0)) :: !items
+             end
+           done
+         with End_of_file -> ());
+        List.iter
+          (fun (n, item) ->
+            match item with
+            | Error msg -> Printf.printf "[%d] parse error: %s\n%!" n msg
+            | Ok (ticket, t0) ->
+              let outcome = Service.await ticket in
+              let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+              (match outcome with
+               | Service.Ok r ->
+                 Printf.printf "[%d] ok (%d tuples) %.1fms\n%!" n
+                   (Relation.cardinal r) ms
+               | Service.Degraded r ->
+                 Printf.printf "[%d] degraded (%d tuples, sound subset) %.1fms\n%!"
+                   n (Relation.cardinal r) ms
+               | Service.Overloaded -> Printf.printf "[%d] overloaded\n%!" n
+               | Service.Interrupted reason ->
+                 Printf.printf "[%d] interrupted: %s\n%!" n
+                   (Guard.reason_to_string reason)
+               | Service.Failed e ->
+                 Printf.printf "[%d] failed: %s\n%!" n (Printexc.to_string e)))
+          (List.rev !items);
+        Service.shutdown svc;
+        let c = Service.counters svc in
+        Printf.printf
+          "-- admitted %d, completed %d (%d degraded), shed %d, retried %d, \
+           failed %d\n%!"
+          c.Service.admitted c.Service.completed c.Service.degraded
+          c.Service.shed c.Service.retried c.Service.failed)
+  in
+  let doc =
+    "serve newline-delimited SQL queries from stdin through the concurrent \
+     front door: bounded admission, per-query deadlines/budgets, retries \
+     with exponential backoff, and degradation to the sound Q+ \
+     approximation on budget exhaustion"
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ db_arg $ data_arg $ scale_arg $ null_rate_arg $ seed_arg
+      $ capacity_arg $ shed_arg $ workers_arg $ retries_arg $ backoff_arg
+      $ deadline_arg $ budget_arg)
+
 let () =
   let doc = "certain answers over incomplete databases" in
   let info = Cmd.info "incdb" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval' (Cmd.group info [ demo_cmd; eval_cmd; compare_cmd; prob_cmd; classify_cmd; fo_cmd;
-          datalog_cmd ]))
+          datalog_cmd; serve_cmd ]))

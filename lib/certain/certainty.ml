@@ -24,6 +24,15 @@ let canonical_worlds ~query_consts db =
    on separate domains, then folded in enumeration order *)
 let world_chunk = 32
 
+(* fault-injection site fired at every chunk boundary of the canonical
+   world enumeration (the [stop] hook of [Pool.fold_seq_chunked] runs
+   between chunks on every configuration, including [~pool:None]), so
+   robustness tests can kill or stall the exponential streaming phase
+   itself rather than only the per-world evaluation inside it *)
+let world_stop stop acc =
+  Guard.inject "world.chunk";
+  stop acc
+
 let cert_with_nulls ?(pool = Pool.auto ()) ?guard ~run ~query_consts db =
   (* candidates: cert⊥(Q,D) ⊆ Qnaive(D) because a bijective valuation
      into fresh constants is itself a valuation *)
@@ -40,7 +49,7 @@ let cert_with_nulls ?(pool = Pool.auto ()) ?guard ~run ~query_consts db =
       Relation.filter
         (fun t -> Relation.mem (Valuation.apply_tuple v t) answer)
         cand)
-    ~stop:Relation.is_empty ~init:candidates
+    ~stop:(world_stop Relation.is_empty) ~init:candidates
     (canonical_valuations ~query_consts db)
 
 let keep_complete r = Relation.filter Tuple.is_complete r
@@ -67,7 +76,7 @@ let cert_intersection_direct ?(pool = Pool.auto ()) ?guard ~run ~query_consts
   | Seq.Nil -> assert false (* there is always at least the empty valuation *)
   | Seq.Cons (first, rest) ->
     Pool.fold_seq_chunked pool ~chunk:world_chunk ?guard ~map:world_answer
-      ~combine:Relation.inter ~stop:Relation.is_empty
+      ~combine:Relation.inter ~stop:(world_stop Relation.is_empty)
       ~init:(world_answer first) rest
 
 let ra_run ?pool ?guard q db = Eval.run ?pool ?guard db q

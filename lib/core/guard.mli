@@ -74,11 +74,22 @@ val charge_exn : t -> int -> unit
     [INCDB_FAULT] environment variable on first use — a comma-separated
     list of [site:prob:seed] (raise) or [site:prob:seed:delay=ms]
     (sleep [ms] milliseconds) specs — or programmatically via
-    {!set_faults}.  Sites currently instrumented: ["pool.chunk"] (every
-    chunk executed by {!Pool.run_chunks}); ["*"] in a spec matches
-    every site.  Draws are from a seeded, mutex-protected
-    [Random.State], so a given spec replays the same fault schedule for
-    the same sequence of site calls. *)
+    {!set_faults}.
+
+    Sites currently instrumented:
+    - ["pool.chunk"] — every chunk executed by {!Pool.run_chunks} (all
+      parallel operators and combinators pass through it);
+    - ["datalog.round"] — the top of every semi-naive round of
+      [Incdb_datalog.Eval] (including the initial EDB round);
+    - ["chase.round"] — every round of [Incdb_prob.Chase.chase_fds];
+    - ["world.chunk"] — every chunk boundary of the canonical-world
+      streaming in [Incdb_certain.Certainty] (fires on every
+      configuration, including [~pool:None]);
+    - ["*"] in a spec matches every site.
+
+    Draws are from a seeded, mutex-protected [Random.State], so a given
+    spec replays the same fault schedule for the same sequence of site
+    calls. *)
 
 exception Injected of string
 

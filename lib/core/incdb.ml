@@ -32,10 +32,14 @@ module Homomorphism = Incdb_relational.Homomorphism
     [INCDB_DOMAINS=n] parallelises the defaults process-wide.  [Guard]
     is the resource governor: deadline / tuple-budget / cancellation
     tokens threaded through the hot loops as [?guard], plus the
-    [INCDB_FAULT] fault-injection layer used by the robustness tests. *)
+    [INCDB_FAULT] fault-injection layer used by the robustness tests.
+    [Service] is the concurrent front door on top of both: bounded
+    admission, shed policies, per-query guard envelopes, retry with
+    exponential backoff, and degradation to sound approximations. *)
 
 module Pool = Pool
 module Guard = Guard
+module Service = Service
 
 module Condition = Incdb_relational.Condition
 module Algebra = Incdb_relational.Algebra

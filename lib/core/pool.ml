@@ -164,6 +164,18 @@ let run_chunks ?guard pool ~nchunks run =
     let remaining = ref nchunks in
     let first_exn = ref None in
     let exec i =
+      (* Chunks run with the worker flag raised no matter which domain
+         executes them: pool workers set it once for their lifetime, but
+         a chunk can also run on the submitting caller (chunk 0, the
+         help loop) or on a service worker draining the shared queue
+         from inside a query envelope.  Without the flag there, a nested
+         combinator inside such a chunk would re-enter the pool instead
+         of degrading to sequential — re-entrant help loops of unbounded
+         depth, and retried Service queries could wedge the pool.  The
+         flag is saved and restored, so the caller's own top-level
+         submissions (e.g. the next retry attempt) stay parallel. *)
+      let was_worker = Domain.DLS.get worker_key in
+      Domain.DLS.set worker_key true;
       (try
          Guard.check guard;
          Guard.inject "pool.chunk";
@@ -175,6 +187,7 @@ let run_chunks ?guard pool ~nchunks run =
             exception carries closures *)
          if Option.is_none !first_exn then first_exn := Some e;
          Mutex.unlock job_lock);
+      Domain.DLS.set worker_key was_worker;
       Mutex.lock job_lock;
       decr remaining;
       if !remaining = 0 then Condition.signal job_done;
@@ -225,8 +238,23 @@ let parallel_map_array ?(cutoff = default_cutoff) ?guard pool f arr =
   | Some _ when len <= max 1 cutoff || in_worker () -> Array.map f arr
   | Some pool ->
     (* seed the output with the first element so no dummy is needed;
-       the remaining indices are filled by disjoint chunks *)
-    let out = Array.make len (f arr.(0)) in
+       the remaining indices are filled by disjoint chunks.  The seed
+       call belongs to the parallel section just like any chunk, so it
+       too runs with the worker flag raised — otherwise a nested
+       combinator inside element 0 would re-enter the pool while
+       elements 1.. degrade to their sequential paths *)
+    let seed =
+      let was_worker = Domain.DLS.get worker_key in
+      Domain.DLS.set worker_key true;
+      match f arr.(0) with
+      | v ->
+        Domain.DLS.set worker_key was_worker;
+        v
+      | exception e ->
+        Domain.DLS.set worker_key was_worker;
+        raise e
+    in
+    let out = Array.make len seed in
     let rest = len - 1 in
     let nchunks = nchunks_for pool rest in
     run_chunks ?guard pool ~nchunks (fun ci ->

@@ -20,9 +20,15 @@
       plain sequential implementation when the input is small, so tiny
       inputs pay zero overhead.
     - {b no nested parallelism}: a combinator invoked from inside a
-      worker task runs sequentially ({!in_worker}), which makes the
-      pool deadlock-free by construction — workers never block on other
-      tasks.
+      pool chunk runs sequentially ({!in_worker}), which makes the
+      pool deadlock-free by construction — chunks never block on other
+      chunks.  The worker flag is raised for the duration of {e every}
+      chunk, on whichever domain executes it: a dedicated pool worker,
+      the submitting caller (chunk 0 and the help loop), or a
+      {!Service} worker that picked the chunk up while draining the
+      shared queue from inside a query envelope.  It is restored
+      afterwards, so a caller's next top-level submission (e.g. a
+      retried query) is parallel again.
 
     Every combinator is {e observationally deterministic}: given an
     associative [combine], results are equal to the sequential

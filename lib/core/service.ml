@@ -1,0 +1,340 @@
+(* Concurrent query front door: bounded admission over one shared
+   domain pool, per-query guard envelopes, retry/backoff for transient
+   faults, and degradation to a caller-supplied fallback on budget
+   exhaustion.  See DESIGN.md §4e. *)
+
+type shed_policy = Reject | Drop_oldest | Block
+
+type config = {
+  capacity : int option;
+  shed : shed_policy;
+  workers : int;
+  max_retries : int;
+  backoff_base : float;
+  deadline_in : float option;
+  budget : int option;
+  pool : Pool.t option;
+}
+
+let default_config ?(pool = Pool.auto ()) () =
+  { capacity = None;
+    shed = Reject;
+    workers = 4;
+    max_retries = 2;
+    backoff_base = 0.05;
+    deadline_in = None;
+    budget = None;
+    pool }
+
+type 'a outcome =
+  | Ok of 'a
+  | Degraded of 'a
+  | Overloaded
+  | Interrupted of Guard.reason
+  | Failed of exn
+
+let outcome_label = function
+  | Ok _ -> "ok"
+  | Degraded _ -> "degraded"
+  | Overloaded -> "overloaded"
+  | Interrupted _ -> "interrupted"
+  | Failed _ -> "failed"
+
+let outcome_to_string pp = function
+  | Ok v -> "ok " ^ pp v
+  | Degraded v -> "degraded " ^ pp v
+  | Overloaded -> "overloaded"
+  | Interrupted r -> "interrupted: " ^ Guard.reason_to_string r
+  | Failed e -> "failed: " ^ Printexc.to_string e
+
+type counters = {
+  admitted : int;
+  shed : int;
+  retried : int;
+  degraded : int;
+  completed : int;
+  failed : int;
+}
+
+type 'a ticket = {
+  mutable result : 'a outcome option;
+  ticket_lock : Mutex.t;
+  resolved : Condition.t;
+}
+
+(* what the admission queue holds: the typed closures are captured at
+   submit time, so workers and the shed path see only thunks *)
+type envelope = {
+  exec : unit -> unit;  (* run the envelope; records its own outcome *)
+  shed_env : unit -> unit;  (* resolve the ticket as [Overloaded] *)
+}
+
+type t = {
+  cfg : config;
+  queue : envelope Queue.t;
+  lock : Mutex.t;
+  work_available : Condition.t;
+  space_available : Condition.t;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t array;
+  c_admitted : int Atomic.t;
+  c_shed : int Atomic.t;
+  c_retried : int Atomic.t;
+  c_degraded : int Atomic.t;
+  c_completed : int Atomic.t;
+  c_failed : int Atomic.t;
+}
+
+let config t = t.cfg
+
+let counters t =
+  { admitted = Atomic.get t.c_admitted;
+    shed = Atomic.get t.c_shed;
+    retried = Atomic.get t.c_retried;
+    degraded = Atomic.get t.c_degraded;
+    completed = Atomic.get t.c_completed;
+    failed = Atomic.get t.c_failed }
+
+let pending t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
+(* counter bookkeeping and ticket resolution in one place, so the
+   quiescent invariant [admitted = completed + shed + failed] holds by
+   construction: every outcome lands in exactly one of the three *)
+let publish t ticket outcome =
+  (match outcome with
+   | Overloaded -> Atomic.incr t.c_shed
+   | Failed _ -> Atomic.incr t.c_failed
+   | Degraded _ ->
+     Atomic.incr t.c_degraded;
+     Atomic.incr t.c_completed
+   | Ok _ | Interrupted _ -> Atomic.incr t.c_completed);
+  Mutex.lock ticket.ticket_lock;
+  ticket.result <- Some outcome;
+  Condition.broadcast ticket.resolved;
+  Mutex.unlock ticket.ticket_lock
+
+let await ticket =
+  Mutex.lock ticket.ticket_lock;
+  let rec wait () =
+    match ticket.result with
+    | Some outcome ->
+      Mutex.unlock ticket.ticket_lock;
+      outcome
+    | None ->
+      Condition.wait ticket.resolved ticket.ticket_lock;
+      wait ()
+  in
+  wait ()
+
+let poll ticket =
+  Mutex.lock ticket.ticket_lock;
+  let r = ticket.result in
+  Mutex.unlock ticket.ticket_lock;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Service workers are plain domains, NOT pool workers: envelopes must
+   submit top-level parallel sections into the shared pool, so the DLS
+   worker flag stays down here.  Nested-submission degradation still
+   applies transitively — every pool chunk raises the flag for its own
+   duration (see Pool.run_chunks), including chunks of other queries
+   that this domain picks up while helping drain the shared queue. *)
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.lock;
+    let rec obtain () =
+      match Queue.take_opt t.queue with
+      | Some env ->
+        Condition.signal t.space_available;
+        Mutex.unlock t.lock;
+        Some env
+      | None ->
+        if t.stopped then begin
+          Mutex.unlock t.lock;
+          None
+        end
+        else begin
+          Condition.wait t.work_available t.lock;
+          obtain ()
+        end
+    in
+    match obtain () with
+    | None -> ()
+    | Some env ->
+      (* envelopes record their own outcome and never raise *)
+      env.exec ();
+      next ()
+  in
+  next ()
+
+let create cfg =
+  let cfg =
+    { cfg with
+      workers = max 1 cfg.workers;
+      capacity = Option.map (max 1) cfg.capacity;
+      max_retries = max 0 cfg.max_retries;
+      backoff_base = Float.max 0.0 cfg.backoff_base }
+  in
+  let t =
+    { cfg;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      space_available = Condition.create ();
+      stopped = false;
+      domains = [||];
+      c_admitted = Atomic.make 0;
+      c_shed = Atomic.make 0;
+      c_retried = Atomic.make 0;
+      c_degraded = Atomic.make 0;
+      c_completed = Atomic.make 0;
+      c_failed = Atomic.make 0 }
+  in
+  t.domains <- Array.init cfg.workers (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let shutdown t =
+  let domains =
+    Mutex.lock t.lock;
+    let ds = t.domains in
+    t.domains <- [||];
+    t.stopped <- true;
+    Condition.broadcast t.work_available;
+    Condition.broadcast t.space_available;
+    Mutex.unlock t.lock;
+    ds
+  in
+  Array.iter Domain.join domains;
+  (* Workers drain the queue before exiting, but a submission racing in
+     between the stop flag and the Invalid_argument check — or queued
+     by a second shutdown caller's interleaving — must still terminate:
+     run any leftovers on the shutdown caller, like Pool.shutdown. *)
+  let rec drain () =
+    Mutex.lock t.lock;
+    let env = Queue.take_opt t.queue in
+    Mutex.unlock t.lock;
+    match env with
+    | Some env ->
+      env.exec ();
+      drain ()
+    | None -> ()
+  in
+  drain ()
+
+(* ------------------------------------------------------------------ *)
+(* submission: envelope construction + admission control               *)
+(* ------------------------------------------------------------------ *)
+
+let submit ?deadline_in ?budget ?max_retries ?fallback t job =
+  let deadline_in =
+    match deadline_in with Some _ -> deadline_in | None -> t.cfg.deadline_in
+  in
+  let budget = match budget with Some _ -> budget | None -> t.cfg.budget in
+  let max_retries =
+    max 0 (Option.value max_retries ~default:t.cfg.max_retries)
+  in
+  let ticket =
+    { result = None;
+      ticket_lock = Mutex.create ();
+      resolved = Condition.create () }
+  in
+  let pool = t.cfg.pool in
+  (* run the fallback once, without a guard: for certain answers this
+     is the polynomial Q⁺ pass of Certainty.cert_with_fallback — a
+     single bounded evaluation, never interrupted *)
+  let degrade_or default =
+    match fallback with
+    | None -> default
+    | Some f ->
+      (match f ~pool with
+       | v -> Degraded v
+       | exception e -> Failed e)
+  in
+  let rec attempt n =
+    let guard = Guard.create ?deadline_in ?budget () in
+    let step =
+      match job ~pool ~guard with
+      | v -> `Done (Ok v)
+      | exception Guard.Interrupt (Guard.Budget _ as r) ->
+        (* more time would not help an exhausted budget: degrade
+           instead of retrying *)
+        `Done (degrade_or (Interrupted r))
+      | exception Guard.Interrupt Guard.Cancelled ->
+        `Done (Interrupted Guard.Cancelled)
+      | exception Guard.Interrupt Guard.Deadline -> `Transient `Deadline
+      | exception (Guard.Injected _ as e) -> `Transient (`Fault e)
+      | exception e -> `Done (Failed e)
+    in
+    match step with
+    | `Done outcome -> outcome
+    | `Transient kind ->
+      if n >= max_retries then
+        match kind with
+        | `Deadline -> degrade_or (Interrupted Guard.Deadline)
+        | `Fault e -> Failed e
+      else begin
+        Atomic.incr t.c_retried;
+        (* deterministic exponential backoff: no jitter, so a seeded
+           fault schedule replays the same retry counts *)
+        let d = t.cfg.backoff_base *. (2.0 ** float_of_int n) in
+        if d > 0.0 then Unix.sleepf d;
+        attempt (n + 1)
+      end
+  in
+  let envelope =
+    { exec = (fun () -> publish t ticket (attempt 0));
+      shed_env = (fun () -> publish t ticket Overloaded) }
+  in
+  Mutex.lock t.lock;
+  if t.stopped then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Service.submit: service is shut down"
+  end;
+  Atomic.incr t.c_admitted;
+  let enqueue () =
+    Queue.push envelope t.queue;
+    Condition.signal t.work_available;
+    Mutex.unlock t.lock
+  in
+  (match t.cfg.capacity with
+   | None -> enqueue ()
+   | Some cap ->
+     if Queue.length t.queue < cap then enqueue ()
+     else
+       match t.cfg.shed with
+       | Reject ->
+         Mutex.unlock t.lock;
+         envelope.shed_env ()
+       | Drop_oldest ->
+         (* capacity is ≥ 1 and the queue is full, so there is an
+            oldest envelope to evict; shed it after unlocking — its
+            ticket resolution takes the ticket's own lock *)
+         let evicted = Queue.pop t.queue in
+         enqueue ();
+         evicted.shed_env ()
+       | Block ->
+         let rec wait () =
+           if t.stopped then begin
+             Mutex.unlock t.lock;
+             (* shutdown overtook the blocked submission: resolve it
+                as shed rather than leave the ticket dangling *)
+             envelope.shed_env ()
+           end
+           else if Queue.length t.queue >= cap then begin
+             Condition.wait t.space_available t.lock;
+             wait ()
+           end
+           else enqueue ()
+         in
+         wait ());
+  ticket
+
+let run ?deadline_in ?budget ?max_retries ?fallback t job =
+  await (submit ?deadline_in ?budget ?max_retries ?fallback t job)

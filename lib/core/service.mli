@@ -1,0 +1,173 @@
+(** Concurrent query front door (DESIGN.md §4e).
+
+    Certain-answer evaluation has an exponential worst case (cert⊥ is
+    coNP-hard), so a server that admits arbitrary concurrent queries
+    over one shared {!Pool} will starve, oversubscribe, or wedge
+    without an admission layer.  A service multiplexes client
+    submissions over the pool with {e bounded} admission:
+
+    - a bounded admission queue with a configurable {!shed_policy} —
+      submissions beyond capacity are answered with the structured
+      {!Overloaded} outcome instead of queueing unboundedly;
+    - a fixed set of worker domains caps the number of {e in-flight}
+      queries, so [k] queries share the pool without oversubscribing
+      it (each envelope receives the service's [pool] to thread through
+      the evaluators' existing [?pool] arguments);
+    - every job runs inside a fresh {!Guard} per attempt, with the
+      deadline/budget taken from the service {!config} unless
+      overridden per query, and its result is classified as an
+      {!outcome};
+    - transient failures — injected faults ({!Guard.Injected}) and
+      deadline interrupts — are retried up to [max_retries] times with
+      deterministic exponential backoff ([backoff_base·2ⁿ] seconds, no
+      jitter, so seeded fault schedules replay identically); budget
+      interrupts instead {e degrade}: the optional [fallback] job (for
+      certain answers, the polynomial Q⁺ scheme behind
+      [Certainty.cert_with_fallback]) is run once, unguarded, and the
+      result is reported as [Degraded].
+
+    With no faults and guards that never fire, outcomes are [Ok v]
+    with [v] bit-identical to the sequential evaluation — the service
+    adds scheduling, never semantics (property-tested for queue
+    capacities 1/4/∞ and shed policies Reject/Block). *)
+
+(** What to do with a submission that finds the admission queue full. *)
+type shed_policy =
+  | Reject  (** answer the {e new} submission with {!Overloaded} *)
+  | Drop_oldest
+      (** evict the oldest {e queued} envelope (its ticket resolves to
+          {!Overloaded}) and admit the new one *)
+  | Block
+      (** block the submitting domain until a worker frees a slot.
+          Never shed; intended for client domains — a job that submits
+          back into its own service with [Block] can deadlock, exactly
+          like any bounded thread pool. *)
+
+type config = {
+  capacity : int option;
+      (** queued-envelope bound ([None] = unbounded, clamped to ≥ 1);
+          in-flight envelopes are bounded separately by [workers] *)
+  shed : shed_policy;
+  workers : int;
+      (** worker domains = maximum in-flight queries (clamped to ≥ 1) *)
+  max_retries : int;  (** retry attempts after the first try (≥ 0) *)
+  backoff_base : float;
+      (** seconds before retry [n] is [backoff_base ·  2ⁿ]; [0.] for
+          jitter-free tests *)
+  deadline_in : float option;  (** default per-attempt guard deadline *)
+  budget : int option;  (** default per-attempt guard tuple budget *)
+  pool : Pool.t option;
+      (** the shared execution pool handed to every job; [None] keeps
+          jobs on the sequential paths *)
+}
+
+(** [default_config ?pool ()]: unbounded queue, [Reject], 4 workers,
+    2 retries, 50 ms backoff base, no deadline, no budget, and the
+    process-wide {!Pool.auto} pool (unless [pool] overrides it). *)
+val default_config : ?pool:Pool.t option -> unit -> config
+
+(** How a submission ended.  Every submission terminates with exactly
+    one outcome — shed, interrupted, and faulted queries included. *)
+type 'a outcome =
+  | Ok of 'a  (** the job completed under its guard *)
+  | Degraded of 'a
+      (** the guard interrupted the job and the [fallback] produced
+          this (sound, cheaper) answer instead *)
+  | Overloaded  (** shed at admission ({!Reject}/{!Drop_oldest}) *)
+  | Interrupted of Guard.reason
+      (** the guard fired, retries (if applicable) were exhausted, and
+          no [fallback] was available *)
+  | Failed of exn
+      (** the job raised: a non-transient exception immediately, or a
+          still-injected fault after [max_retries] retries *)
+
+(** ["ok" | "degraded" | "overloaded" | "interrupted" | "failed"]. *)
+val outcome_label : 'a outcome -> string
+
+(** [outcome_to_string pp o] — the label plus the payload rendered
+    with [pp], or the interrupt reason / exception message. *)
+val outcome_to_string : ('a -> string) -> 'a outcome -> string
+
+(** Monotone live counters, readable at any time from any domain.
+    Once the service is quiescent (every ticket resolved),
+
+    {[ admitted = completed + shed + failed ]}
+
+    where [admitted] counts every accepted [submit] call (including
+    submissions later shed), [completed] counts [Ok]/[Degraded]/
+    [Interrupted] outcomes, [shed] counts [Overloaded] outcomes,
+    [failed] counts [Failed] outcomes, [degraded ≤ completed] counts
+    the [Degraded] subset, and [retried] counts individual retry
+    attempts (not submissions). *)
+type counters = {
+  admitted : int;
+  shed : int;
+  retried : int;
+  degraded : int;
+  completed : int;
+  failed : int;
+}
+
+type t
+
+(** A handle on one submission; resolves to the submission's outcome. *)
+type 'a ticket
+
+(** [create config] spawns the worker domains and returns the running
+    service. *)
+val create : config -> t
+
+val config : t -> config
+
+(** Snapshot of the live counters. *)
+val counters : t -> counters
+
+(** Envelopes waiting in the admission queue (in-flight ones excluded);
+    mainly for tests. *)
+val pending : t -> int
+
+(** [submit t job] hands [job] to the front door and returns
+    immediately with a ticket ([Block] policy aside, which may wait
+    for queue space).  [job ~pool ~guard] receives the service pool
+    and the fresh per-attempt guard; thread them into the evaluators'
+    [?pool]/[?guard] arguments.  [deadline_in]/[budget]/[max_retries]
+    override the service config for this query.  [fallback] (run
+    without a guard, at most once) turns a budget interrupt — or a
+    deadline interrupt that survived all retries — into a [Degraded]
+    answer.
+
+    @raise Invalid_argument if the service is shut down. *)
+val submit :
+  ?deadline_in:float ->
+  ?budget:int ->
+  ?max_retries:int ->
+  ?fallback:(pool:Pool.t option -> 'a) ->
+  t ->
+  (pool:Pool.t option -> guard:Guard.t -> 'a) ->
+  'a ticket
+
+(** Block until the ticket's submission terminates.  Every submission
+    terminates — shed immediately, or with the worker's classification
+    — so [await] never hangs on a live service. *)
+val await : 'a ticket -> 'a outcome
+
+(** [Some outcome] once resolved, [None] while queued or in flight. *)
+val poll : 'a ticket -> 'a outcome option
+
+(** [run t job] = submit-and-await, for synchronous callers. *)
+val run :
+  ?deadline_in:float ->
+  ?budget:int ->
+  ?max_retries:int ->
+  ?fallback:(pool:Pool.t option -> 'a) ->
+  t ->
+  (pool:Pool.t option -> guard:Guard.t -> 'a) ->
+  'a outcome
+
+(** [shutdown t] stops admission ([submit] raises afterwards), lets the
+    workers finish the queue — already-admitted envelopes complete with
+    real outcomes, they are not shed — joins the worker domains, and
+    wakes any [Block]-ed submitters (their submissions resolve to
+    {!Overloaded}).  Idempotent.  The shared pool is {e not} shut down:
+    the service borrows it. *)
+val shutdown : t -> unit

@@ -239,6 +239,7 @@ let run_all ?(planner = true) ?(pool = Pool.auto ()) ?guard db program =
      sequentially in rule order, which makes the round deterministic. *)
   let initial_delta = Hashtbl.create 8 in
   Guard.check guard;
+  Guard.inject "datalog.round";
   let initial_results =
     Pool.parallel_map ~cutoff:1 ?guard pool
       (fun ((r : Syntax.rule), _ as rule) ->
@@ -257,8 +258,10 @@ let run_all ?(planner = true) ?(pool = Pool.auto ()) ?guard db program =
     if rounds > 100_000 then eval_error "fixpoint did not converge";
     (* one guard check per semi-naive round: recursive programs on
        cyclic data can run many rounds, so the deadline is re-examined
-       between fixpoint iterations *)
+       between fixpoint iterations; the round is also a fault-injection
+       site, so the robustness tests can kill or stall any iteration *)
     Guard.check guard;
+    Guard.inject "datalog.round";
     if Hashtbl.length delta = 0 then ()
     else begin
       (* collect every (rule, delta position) firing of this round, run

@@ -61,8 +61,10 @@ let chase_fds ?guard db fds =
   let rec loop db subst steps =
     (* each step eliminates one null or fails; nulls are finite.  The
        violation scan is quadratic per round, so the guard is
-       re-checked between rounds *)
+       re-checked between rounds; the round doubles as a fault-injection
+       site for the robustness tests *)
     Guard.check guard;
+    Guard.inject "chase.round";
     if steps < 0 then Failed
     else
       match find_violation db fds with

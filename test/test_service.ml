@@ -1,0 +1,629 @@
+(* Suite for the concurrent query front door (DESIGN.md §4e):
+   shed-policy semantics at capacity, deterministic retries under
+   seeded fault injection, budget-interrupt degradation to Q⁺,
+   k-client differential checks against the sequential reference, the
+   counter invariant, the three new fault-injection sites, and the
+   worker-flag propagation that keeps nested submissions from
+   re-entering the pool. *)
+
+(* stdlib Condition, before Incdb_relational.Condition shadows it *)
+module Condvar = Condition
+
+open Incdb_relational
+open Incdb_certain
+open Helpers
+
+(* cutoffs forced to zero so tiny relations exercise the parallel code
+   paths through the shared pool *)
+let pool4 = Pool.create ~size:4 ()
+
+let () =
+  Pool.scan_cutoff := 0;
+  Pool.join_cutoff := 0;
+  at_exit (fun () -> Pool.shutdown pool4)
+
+let base_cfg =
+  { (Service.default_config ~pool:(Some pool4) ()) with
+    Service.max_retries = 0;
+    backoff_base = 0.0 }
+
+let with_service cfg f =
+  let svc = Service.create cfg in
+  Fun.protect (fun () -> f svc) ~finally:(fun () -> Service.shutdown svc)
+
+let with_faults spec f =
+  Alcotest.(check bool)
+    (Printf.sprintf "spec %S parses" spec)
+    true (Guard.set_faults spec);
+  Fun.protect f ~finally:Guard.clear_faults
+
+(* the quiescent counter invariant: every submission terminated in
+   exactly one of the three buckets *)
+let check_counter_invariant name svc =
+  let c = Service.counters svc in
+  Alcotest.(check int)
+    (name ^ ": admitted = completed + shed + failed")
+    c.Service.admitted
+    (c.Service.completed + c.Service.shed + c.Service.failed);
+  Alcotest.(check bool)
+    (name ^ ": degraded within completed")
+    true
+    (c.Service.degraded <= c.Service.completed)
+
+let check_int_ok name expected outcome =
+  match outcome with
+  | Service.Ok v -> Alcotest.(check int) name expected v
+  | o ->
+    Alcotest.fail
+      (Printf.sprintf "%s: expected ok, got %s" name (Service.outcome_label o))
+
+let check_overloaded name outcome =
+  match outcome with
+  | Service.Overloaded -> ()
+  | o ->
+    Alcotest.fail
+      (Printf.sprintf "%s: expected overloaded, got %s" name
+         (Service.outcome_label o))
+
+(* a one-shot gate: jobs park on [wait] until [release] *)
+let gate () =
+  let m = Mutex.create () in
+  let c = Condvar.create () in
+  let opened = ref false in
+  let wait () =
+    Mutex.lock m;
+    while not !opened do
+      Condvar.wait c m
+    done;
+    Mutex.unlock m
+  in
+  let release () =
+    Mutex.lock m;
+    opened := true;
+    Condvar.broadcast c;
+    Mutex.unlock m
+  in
+  (wait, release)
+
+let rec spin_until f = if not (f ()) then (Domain.cpu_relax (); spin_until f)
+
+let const_job n = fun ~pool:_ ~guard:_ -> n
+
+(* park the single worker on a gate and wait until it has dequeued the
+   blocker, so the admission queue state is fully under test control *)
+let parked_service cfg f =
+  let wait, release = gate () in
+  with_service cfg (fun svc ->
+      let blocker =
+        Service.submit svc (fun ~pool:_ ~guard:_ ->
+            wait ();
+            -1)
+      in
+      let result = f svc release in
+      release ();
+      check_int_ok "blocker completes" (-1) (Service.await blocker);
+      result)
+
+(* ------------------------------------------------------------------ *)
+(* shed policies at capacity                                           *)
+(* ------------------------------------------------------------------ *)
+
+let shed_cfg policy =
+  { base_cfg with
+    Service.capacity = Some 2;
+    shed = policy;
+    workers = 1 }
+
+let test_shed_reject () =
+  parked_service (shed_cfg Service.Reject) (fun svc release ->
+      spin_until (fun () -> Service.pending svc = 0);
+      let t1 = Service.submit svc (const_job 1) in
+      let t2 = Service.submit svc (const_job 2) in
+      Alcotest.(check int) "queue at capacity" 2 (Service.pending svc);
+      let t3 = Service.submit svc (const_job 3) in
+      check_overloaded "third submission shed at the door"
+        (Service.await t3);
+      Alcotest.(check (option string))
+        "queued tickets unresolved" None
+        (Option.map Service.outcome_label (Service.poll t1));
+      release ();
+      check_int_ok "first queued survives" 1 (Service.await t1);
+      check_int_ok "second queued survives" 2 (Service.await t2);
+      let c = Service.counters svc in
+      Alcotest.(check int) "one shed" 1 c.Service.shed;
+      Alcotest.(check int) "admitted counts shed submissions too" 4
+        c.Service.admitted;
+      check_counter_invariant "reject" svc)
+
+let test_shed_drop_oldest () =
+  parked_service (shed_cfg Service.Drop_oldest) (fun svc release ->
+      spin_until (fun () -> Service.pending svc = 0);
+      let t1 = Service.submit svc (const_job 1) in
+      let t2 = Service.submit svc (const_job 2) in
+      let t3 = Service.submit svc (const_job 3) in
+      check_overloaded "oldest queued envelope evicted" (Service.await t1);
+      Alcotest.(check int) "queue still at capacity" 2 (Service.pending svc);
+      release ();
+      check_int_ok "survivor kept" 2 (Service.await t2);
+      check_int_ok "newcomer admitted" 3 (Service.await t3);
+      let c = Service.counters svc in
+      Alcotest.(check int) "one shed" 1 c.Service.shed;
+      check_counter_invariant "drop-oldest" svc)
+
+let test_shed_block () =
+  parked_service (shed_cfg Service.Block) (fun svc release ->
+      spin_until (fun () -> Service.pending svc = 0);
+      let t1 = Service.submit svc (const_job 1) in
+      let t2 = Service.submit svc (const_job 2) in
+      let submitted = Atomic.make false in
+      let d =
+        Domain.spawn (fun () ->
+            let t3 = Service.submit svc (const_job 3) in
+            Atomic.set submitted true;
+            Service.await t3)
+      in
+      Unix.sleepf 0.05;
+      Alcotest.(check bool) "submission blocked while queue is full" false
+        (Atomic.get submitted);
+      release ();
+      check_int_ok "unblocked once space freed" 3 (Domain.join d);
+      check_int_ok "first queued survives" 1 (Service.await t1);
+      check_int_ok "second queued survives" 2 (Service.await t2);
+      let c = Service.counters svc in
+      Alcotest.(check int) "block never sheds" 0 c.Service.shed;
+      check_counter_invariant "block" svc)
+
+(* shutdown racing a Block-ed submitter: the submission either gets in
+   (the worker freed a slot first) or is shed when shutdown wakes the
+   waiter — it must never hang and never leave the ticket dangling *)
+let test_block_shutdown_race () =
+  let svc =
+    Service.create
+      { base_cfg with
+        Service.capacity = Some 1;
+        shed = Service.Block;
+        workers = 1 }
+  in
+  let slow = Service.submit svc (fun ~pool:_ ~guard:_ -> Unix.sleepf 0.05; 0) in
+  spin_until (fun () -> Service.pending svc = 0);
+  let t1 = Service.submit svc (const_job 1) in
+  let d =
+    Domain.spawn (fun () -> Service.await (Service.submit svc (const_job 2)))
+  in
+  Unix.sleepf 0.01;
+  Service.shutdown svc;
+  check_int_ok "in-flight job completed" 0 (Service.await slow);
+  check_int_ok "queued job completed, not shed" 1 (Service.await t1);
+  (match Domain.join d with
+   | Service.Ok v -> Alcotest.(check int) "raced submission completed" 2 v
+   | Service.Overloaded -> ()
+   | o ->
+     Alcotest.fail
+       ("raced submission must complete or shed, got "
+        ^ Service.outcome_label o));
+  check_counter_invariant "block/shutdown race" svc;
+  Alcotest.check_raises "post-shutdown submission raises"
+    (Invalid_argument "Service.submit: service is shut down") (fun () ->
+      ignore (Service.submit svc (const_job 9)))
+
+(* ------------------------------------------------------------------ *)
+(* retry determinism under seeded fault injection                      *)
+(* ------------------------------------------------------------------ *)
+
+let det_db =
+  Database.of_list test_schema
+    [ ("R", List.init 6 (fun k -> tup [ i k; i (k + 1) ]));
+      ("S", List.init 6 (fun k -> tup [ i (k + 1); i (k * 2) ]));
+      ("T", List.init 4 (fun k -> tup [ i k ]));
+      ("U", [ tup [ i 0 ]; tup [ i 2 ] ]) ]
+
+let det_queries =
+  let open Algebra in
+  [ Select (Condition.eq_col 1 2, Product (Rel "R", Rel "S"));
+    Project ([ 0 ], Diff (Rel "R", Rel "S"));
+    Union (Rel "T", Rel "U");
+    Select (Condition.eq_col 1 2, Product (Rel "S", Rel "R"));
+    Inter (Project ([ 1 ], Rel "R"), Rel "T");
+    Product (Rel "T", Rel "U") ]
+
+(* one full service pass under a fault spec: queries are submitted
+   one at a time through a single worker, so the seeded draw sequence
+   at pool.chunk is consumed in a deterministic order *)
+let retry_pass spec =
+  Alcotest.(check bool) "spec parses" true (Guard.set_faults spec);
+  Fun.protect ~finally:Guard.clear_faults (fun () ->
+      with_service
+        { base_cfg with Service.workers = 1; max_retries = 3 }
+        (fun svc ->
+          let labels =
+            List.map
+              (fun q ->
+                Service.outcome_label
+                  (Service.run svc (fun ~pool ~guard ->
+                       Eval.run ~pool ~guard det_db q)))
+              det_queries
+          in
+          let c = Service.counters svc in
+          check_counter_invariant "retry pass" svc;
+          (labels, c.Service.retried)))
+
+let test_retry_determinism () =
+  let spec = "pool.chunk:0.3:77" in
+  let labels1, retried1 = retry_pass spec in
+  let labels2, retried2 = retry_pass spec in
+  Alcotest.(check (list string))
+    "same seed gives the same outcome sequence" labels1 labels2;
+  Alcotest.(check int) "same seed gives the same retry count" retried1
+    retried2;
+  Alcotest.(check bool) "some retries happened" true (retried1 > 0);
+  let labels3, retried3 = retry_pass "pool.chunk:0.3:78" in
+  Alcotest.(check bool) "a different seed gives a different schedule" true
+    (labels1 <> labels3 || retried1 <> retried3)
+
+(* injected faults that persist past max_retries surface as Failed —
+   a structured outcome, not a hang *)
+let test_retry_exhaustion () =
+  with_faults "pool.chunk:1.0:5" (fun () ->
+      with_service
+        { base_cfg with Service.workers = 1; max_retries = 2 }
+        (fun svc ->
+          (match
+             Service.run svc (fun ~pool ~guard ->
+                 Eval.run ~pool ~guard det_db (List.hd det_queries))
+           with
+           | Service.Failed (Guard.Injected "pool.chunk") -> ()
+           | o ->
+             Alcotest.fail
+               ("expected failed(injected), got " ^ Service.outcome_label o));
+          let c = Service.counters svc in
+          Alcotest.(check int) "both retries consumed" 2 c.Service.retried;
+          Alcotest.(check int) "failure recorded" 1 c.Service.failed;
+          check_counter_invariant "exhaustion" svc))
+
+(* ------------------------------------------------------------------ *)
+(* budget interrupts degrade to the Q⁺ under-approximation             *)
+(* ------------------------------------------------------------------ *)
+
+let fallback_db =
+  Database.of_list test_schema
+    [ ("R", [ tup [ i 1; nu 0 ]; tup [ i 2; nu 1 ]; tup [ nu 2; i 3 ] ]);
+      ("S", [ tup [ nu 0; i 4 ]; tup [ i 3; nu 1 ] ]);
+      ("T", [ tup [ i 1 ] ]); ("U", [ tup [ nu 2 ] ]) ]
+
+let fallback_q =
+  Algebra.Diff (Algebra.Rel "R", Algebra.Project ([ 1; 0 ], Algebra.Rel "S"))
+
+let cert_job db q ~pool ~guard = Certainty.cert_with_nulls_ra ~pool ~guard db q
+
+let qplus_fallback db q ~pool = Scheme_pm.certain_sub ~pool db q
+
+let test_budget_degrades () =
+  with_service { base_cfg with Service.pool = None } (fun svc ->
+      let exact =
+        Certainty.cert_with_nulls_ra ~pool:None fallback_db fallback_q
+      in
+      (match
+         Service.run svc ~budget:1
+           ~fallback:(qplus_fallback fallback_db fallback_q)
+           (cert_job fallback_db fallback_q)
+       with
+       | Service.Degraded r ->
+         check_rel "degraded answer is Q⁺"
+           (Scheme_pm.certain_sub ~pool:None fallback_db fallback_q)
+           r;
+         Alcotest.(check bool) "Q⁺ ⊆ exact cert⊥" true (Relation.subset r exact)
+       | o ->
+         Alcotest.fail ("expected degraded, got " ^ Service.outcome_label o));
+      (* without a fallback, the same budget interrupt is reported
+         structurally instead *)
+      (match Service.run svc ~budget:1 (cert_job fallback_db fallback_q) with
+       | Service.Interrupted (Guard.Budget _) -> ()
+       | o ->
+         Alcotest.fail
+           ("expected interrupted(budget), got " ^ Service.outcome_label o));
+      (* a generous budget stays exact: degradation is interrupt-driven,
+         never speculative *)
+      (match
+         Service.run svc ~budget:max_int
+           ~fallback:(qplus_fallback fallback_db fallback_q)
+           (cert_job fallback_db fallback_q)
+       with
+       | Service.Ok r -> check_rel "generous budget stays exact" exact r
+       | o -> Alcotest.fail ("expected ok, got " ^ Service.outcome_label o));
+      let c = Service.counters svc in
+      Alcotest.(check int) "one degraded" 1 c.Service.degraded;
+      Alcotest.(check int) "budget interrupts never retry" 0 c.Service.retried;
+      check_counter_invariant "degrade" svc)
+
+(* ------------------------------------------------------------------ *)
+(* k-client differential: concurrent = sequential                      *)
+(* ------------------------------------------------------------------ *)
+
+let diff_cases n seed =
+  let gen = QCheck2.Gen.pair (gen_db ()) (gen_query ~allow_division:true ()) in
+  QCheck2.Gen.generate ~rand:(Random.State.make [| seed |]) ~n gen
+
+(* split [cases] round-robin across [k] client domains; every client
+   submits its whole slice before awaiting, so the admission queue
+   actually fills under small capacities *)
+let run_clients svc k cases =
+  let slices = Array.make k [] in
+  List.iteri
+    (fun idx case -> slices.(idx mod k) <- (idx, case) :: slices.(idx mod k))
+    cases;
+  let clients =
+    Array.map
+      (fun slice ->
+        Domain.spawn (fun () ->
+            let tickets =
+              List.map
+                (fun (idx, (db, q)) ->
+                  ( idx,
+                    Service.submit svc (fun ~pool ~guard ->
+                        Eval.run ~pool ~guard db q) ))
+                slice
+            in
+            List.map (fun (idx, tk) -> (idx, Service.await tk)) tickets))
+      slices
+  in
+  Array.to_list clients |> List.concat_map Domain.join
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let differential name policy capacity =
+  let cases = diff_cases 18 2025 in
+  let expected =
+    List.map (fun (db, q) -> Eval.run ~pool:None db q) cases
+  in
+  with_service
+    { base_cfg with Service.capacity; shed = policy; workers = 3 }
+    (fun svc ->
+      let outcomes = run_clients svc 3 cases in
+      List.iteri
+        (fun idx (idx', outcome) ->
+          Alcotest.(check int) "outcome order" idx idx';
+          match outcome with
+          | Service.Ok r ->
+            check_rel
+              (Printf.sprintf "%s: case %d bit-identical to sequential" name
+                 idx)
+              (List.nth expected idx) r
+          | Service.Overloaded when policy = Service.Reject -> ()
+          | o ->
+            Alcotest.fail
+              (Printf.sprintf "%s: case %d unexpected %s" name idx
+                 (Service.outcome_label o)))
+        outcomes;
+      let c = Service.counters svc in
+      Alcotest.(check int) "no failures" 0 c.Service.failed;
+      (if policy = Service.Block then
+         Alcotest.(check int) "block never sheds" 0 c.Service.shed);
+      check_counter_invariant name svc)
+
+let test_differential_grid () =
+  List.iter
+    (fun (name, policy) ->
+      List.iter
+        (fun capacity -> differential name policy capacity)
+        [ Some 1; Some 4; None ])
+    [ ("reject", Service.Reject); ("block", Service.Block) ]
+
+(* the same property through the exponential certain-answer path, with
+   the service pool shared between the world enumeration and each
+   world's evaluation *)
+let test_differential_certainty () =
+  let cases = List.filteri (fun idx _ -> idx < 6) (diff_cases 10 777) in
+  with_service { base_cfg with Service.workers = 2 } (fun svc ->
+      let tickets =
+        List.map
+          (fun (db, q) -> Service.submit svc (cert_job db q))
+          cases
+      in
+      List.iter2
+        (fun (db, q) tk ->
+          match Service.await tk with
+          | Service.Ok r ->
+            check_rel "concurrent cert⊥ = sequential cert⊥"
+              (Certainty.cert_with_nulls_ra ~pool:None db q)
+              r
+          | o -> Alcotest.fail ("expected ok, got " ^ Service.outcome_label o))
+        cases tickets;
+      check_counter_invariant "certainty differential" svc)
+
+(* ------------------------------------------------------------------ *)
+(* new fault-injection sites                                           *)
+(* ------------------------------------------------------------------ *)
+
+let tc_schema = Schema.of_list [ ("edge", [ "s"; "d" ]) ]
+
+let tc_db =
+  Database.of_list tc_schema
+    [ ("edge", [ tup [ i 0; i 1 ]; tup [ i 1; i 2 ]; tup [ i 2; i 0 ] ]) ]
+
+let tc = Incdb_datalog.Eval.transitive_closure ~edge:"edge" ~path:"path"
+
+let chase_schema = Schema.of_list [ ("R", [ "a"; "b" ]) ]
+
+let chase_db =
+  Database.of_list chase_schema
+    [ ("R", [ tup [ i 1; nu 0 ]; tup [ i 1; i 3 ] ]) ]
+
+let chase_fd =
+  { Incdb_prob.Constraints.fd_relation = "R"; lhs = [ 0 ]; rhs = [ 1 ] }
+
+let test_new_fault_sites () =
+  with_faults "datalog.round:1.0:1" (fun () ->
+      Alcotest.check_raises "datalog.round raises"
+        (Guard.Injected "datalog.round") (fun () ->
+          ignore (Incdb_datalog.Eval.run ~pool:None tc_db tc "path")));
+  with_faults "chase.round:1.0:1" (fun () ->
+      Alcotest.check_raises "chase.round raises" (Guard.Injected "chase.round")
+        (fun () -> ignore (Incdb_prob.Chase.chase_fds chase_db [ chase_fd ])));
+  with_faults "world.chunk:1.0:1" (fun () ->
+      Alcotest.check_raises "world.chunk raises (even with ~pool:None)"
+        (Guard.Injected "world.chunk") (fun () ->
+          ignore
+            (Certainty.cert_with_nulls_ra ~pool:None fallback_db fallback_q)));
+  (* delay mode at the new sites perturbs scheduling, never results *)
+  with_faults
+    "datalog.round:0.5:3:delay=1,world.chunk:0.5:4:delay=1,chase.round:0.5:5:delay=1"
+    (fun () ->
+      check_rel "datalog result unchanged under delay faults"
+        (Incdb_datalog.Eval.run ~pool:None tc_db tc "path")
+        (Incdb_datalog.Eval.run ~pool:(Some pool4) tc_db tc "path");
+      check_rel "certainty unchanged under delay faults"
+        (Certainty.cert_with_nulls_ra ~pool:None fallback_db fallback_q)
+        (Certainty.cert_with_nulls_ra ~pool:(Some pool4) fallback_db
+           fallback_q))
+
+(* raise faults at every site at once: every submission still
+   terminates with a structured outcome, and both the service and the
+   shared pool stay usable afterwards *)
+let test_service_never_wedges () =
+  with_faults "*:0.5:9" (fun () ->
+      with_service
+        { base_cfg with Service.workers = 2; max_retries = 1 }
+        (fun svc ->
+          let cases = diff_cases 10 4242 in
+          let tickets =
+            List.map
+              (fun (db, q) ->
+                Service.submit svc (fun ~pool ~guard ->
+                    Eval.run ~pool ~guard db q))
+              cases
+            @ List.map
+                (fun (db, q) ->
+                  Service.submit svc
+                    ~fallback:(qplus_fallback fallback_db fallback_q)
+                    (cert_job db q))
+                (List.filteri (fun idx _ -> idx < 4) cases)
+          in
+          List.iteri
+            (fun idx tk ->
+              match Service.await tk with
+              | Service.Ok _ | Service.Degraded _ | Service.Failed _
+              | Service.Interrupted _ ->
+                ()
+              | Service.Overloaded ->
+                Alcotest.fail
+                  (Printf.sprintf
+                     "submission %d shed with an unbounded queue" idx))
+            tickets;
+          check_counter_invariant "wedge-free" svc));
+  (* faults cleared: the same pool immediately serves clean work *)
+  Alcotest.(check (list int))
+    "pool reusable after the fault storm" [ 1; 2; 3 ]
+    (Pool.parallel_map ~cutoff:0 (Some pool4) Fun.id [ 1; 2; 3 ])
+
+(* ------------------------------------------------------------------ *)
+(* worker-flag propagation (nested-submission degradation)             *)
+(* ------------------------------------------------------------------ *)
+
+let test_chunk_worker_flag () =
+  (* every chunk reports in_worker = true, including chunk 0 running on
+     the submitting domain — before the propagation fix the caller's
+     own chunks re-entered the pool *)
+  let flags =
+    Pool.parallel_map ~cutoff:0 (Some pool4)
+      (fun _ -> Pool.in_worker ())
+      (List.init 16 Fun.id)
+  in
+  Alcotest.(check bool) "all chunks see the worker flag" true
+    (List.for_all Fun.id flags);
+  Alcotest.(check bool) "flag restored after the section" false
+    (Pool.in_worker ());
+  (* nested combinators called from inside a chunk degrade to their
+     sequential path instead of re-entering the queue *)
+  let nested =
+    Pool.parallel_map ~cutoff:0 (Some pool4)
+      (fun x ->
+        List.fold_left ( + ) 0
+          (Pool.parallel_map ~cutoff:0 (Some pool4) Fun.id
+             (List.init (x + 2) Fun.id)))
+      (List.init 12 Fun.id)
+  in
+  Alcotest.(check (list int))
+    "nested sections still compute"
+    (List.init 12 (fun x -> List.fold_left ( + ) 0 (List.init (x + 2) Fun.id)))
+    nested
+
+(* a service envelope is NOT a pool chunk: its top-level submissions
+   must stay parallel (flag down), while chunks it executes while
+   helping raise the flag transitively *)
+let test_envelope_not_worker () =
+  with_service base_cfg (fun svc ->
+      match
+        Service.run svc (fun ~pool ~guard:_ ->
+            let top = Pool.in_worker () in
+            let inside =
+              Pool.parallel_map ~cutoff:0 pool
+                (fun _ -> Pool.in_worker ())
+                (List.init 8 Fun.id)
+            in
+            (top, List.for_all Fun.id inside))
+      with
+      | Service.Ok (top, inside) ->
+        Alcotest.(check bool) "envelope top level is not a worker" false top;
+        Alcotest.(check bool) "chunks under the envelope are" true inside
+      | o -> Alcotest.fail ("expected ok, got " ^ Service.outcome_label o))
+
+(* ------------------------------------------------------------------ *)
+(* shutdown                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_shutdown_completes_queue () =
+  let svc = Service.create { base_cfg with Service.workers = 2 } in
+  let tickets =
+    List.init 16 (fun n ->
+        Service.submit svc (fun ~pool:_ ~guard:_ ->
+            Unix.sleepf 0.001;
+            n * n))
+  in
+  Service.shutdown svc;
+  List.iteri
+    (fun n tk ->
+      check_int_ok "queued envelope completed across shutdown" (n * n)
+        (Service.await tk))
+    tickets;
+  check_counter_invariant "shutdown" svc;
+  (* idempotent *)
+  Service.shutdown svc
+
+(* ------------------------------------------------------------------ *)
+(* suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "service"
+    [ ( "shed-policies",
+        [ Alcotest.test_case "reject at capacity" `Quick test_shed_reject;
+          Alcotest.test_case "drop-oldest evicts the queue head" `Quick
+            test_shed_drop_oldest;
+          Alcotest.test_case "block waits for space" `Quick test_shed_block;
+          Alcotest.test_case "block vs shutdown race" `Quick
+            test_block_shutdown_race ] );
+      ( "retries",
+        [ Alcotest.test_case "seeded faults replay retry counts" `Quick
+            test_retry_determinism;
+          Alcotest.test_case "exhausted retries fail structurally" `Quick
+            test_retry_exhaustion ] );
+      ( "degradation",
+        [ Alcotest.test_case "budget interrupt degrades to Q⁺" `Quick
+            test_budget_degrades ] );
+      ( "differential",
+        [ Alcotest.test_case "3 clients × capacities × policies" `Slow
+            test_differential_grid;
+          Alcotest.test_case "certain answers through the service" `Quick
+            test_differential_certainty ] );
+      ( "fault-sites",
+        [ Alcotest.test_case "datalog.round / chase.round / world.chunk"
+            `Quick test_new_fault_sites;
+          Alcotest.test_case "service never wedges under raise faults" `Quick
+            test_service_never_wedges ] );
+      ( "worker-flag",
+        [ Alcotest.test_case "chunks raise the flag everywhere" `Quick
+            test_chunk_worker_flag;
+          Alcotest.test_case "envelopes keep top-level parallelism" `Quick
+            test_envelope_not_worker ] );
+      ( "shutdown",
+        [ Alcotest.test_case "drains the queue, then rejects" `Quick
+            test_shutdown_completes_queue ] ) ]
