@@ -25,12 +25,14 @@
      e16  multicore execution layer: domain pool vs sequential reference
      e17  resource governor: guard overhead + exact→approximate fallback
      e18  concurrent front door: admission, shedding, degradation
+     e19  TCP serving layer: mixed-priority storms, quotas, drain
 
    Flags:
      --json      write e15 to BENCH_PR1.json, e16 to BENCH_PR2.json,
-                 e17 to BENCH_PR3.json and e18 to BENCH_PR4.json
+                 e17 to BENCH_PR3.json, e18 to BENCH_PR4.json and
+                 e19 to BENCH_PR5.json
      --seed N    offset every workload generator seed by N
-     --small     shrink e16/e17/e18 workloads for CI smoke runs *)
+     --small     shrink e16/e17/e18/e19 workloads for CI smoke runs *)
 
 open Incdb
 
@@ -1606,6 +1608,346 @@ let write_e18_json path =
     (List.length load + List.length degrade)
 
 (* ------------------------------------------------------------------ *)
+(* E19: network serving layer — mixed-priority storms over loopback    *)
+(* ------------------------------------------------------------------ *)
+
+(* rows for --json:
+   (capacity (-1 = unbounded), lane, ops, ok, shed, p50_ms, p99_ms) *)
+let e19_lanes : (int * string * int * int * int * float * float) list ref =
+  ref []
+
+(* (quota, conns, ops, ok, quota_shed) *)
+let e19_quota : (int * int * int * int * int) list ref = ref []
+
+(* (inflight, forced_cancels, drain_ms, invariant_ok) *)
+let e19_drain : (int * int * float * bool) option ref = ref None
+
+(* one loopback TCP client: a #priority preamble, then [ops] queries
+   closed-loop; returns per-op (first-word-of-outcome, latency-ms) *)
+let tcp_client port ~lane ~ops line =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0;
+  let buf = ref "" in
+  (* a drained/closed peer surfaces as EPIPE (SIGPIPE is ignored once a
+     Server exists in-process): treat it as a closed connection *)
+  let send s =
+    let b = Bytes.of_string (s ^ "\n") in
+    try ignore (Unix.write fd b 0 (Bytes.length b))
+    with Unix.Unix_error (_, _, _) -> ()
+  in
+  let rec recv_line () =
+    match String.index_opt !buf '\n' with
+    | Some i ->
+      let l = String.sub !buf 0 i in
+      buf := String.sub !buf (i + 1) (String.length !buf - i - 1);
+      Some l
+    | None ->
+      let chunk = Bytes.create 4096 in
+      (match Unix.read fd chunk 0 4096 with
+       | 0 -> None
+       | n ->
+         buf := !buf ^ Bytes.sub_string chunk 0 n;
+         recv_line ()
+       | exception Unix.Unix_error (_, _, _) -> None)
+  in
+  send ("#priority " ^ lane);
+  ignore (recv_line ());
+  let results =
+    List.init ops (fun _ ->
+        let t0 = now () in
+        send line;
+        let reply = Option.value (recv_line ()) ~default:"<closed>" in
+        let outcome =
+          (* "[n] ok ..." → "ok"; "[n] overloaded" → "overloaded" *)
+          match String.split_on_char ' ' reply with
+          | _ :: word :: _ -> word
+          | _ -> "<malformed>"
+        in
+        (outcome, (now () -. t0) *. 1000.0))
+  in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  results
+
+let exp_e19 () =
+  hr "E19: network serving layer — tail latency and shed composition";
+  let rows = if !bench_small then 150 else 600 in
+  let db = e15_db (rng_of 19000) ~rows in
+  let join_q =
+    Algebra.Select
+      (Condition.eq_col 1 2, Algebra.Product (Algebra.Rel "R", Algebra.Rel "S"))
+  in
+  let handler line =
+    match String.trim line with
+    | "join" ->
+      Ok
+        { Server.run =
+            (fun ~pool ~guard ->
+              string_of_int (Relation.cardinal (Eval.run ~pool ~guard db join_q)));
+          fallback = None }
+    | _ -> Error "unknown verb"
+  in
+  let per_client = if !bench_small then 6 else 24 in
+  let lanes = [ "high"; "normal"; "low" ] in
+  let capacity_grid = [ None; Some 6; Some 2 ] in
+  Printf.printf
+    "6 closed-loop TCP clients (2 per lane) over loopback, %d ops each,\n\
+     hash join on %d rows/rel, 2 workers, Drop_oldest policy:\n\n"
+    per_client rows;
+  Printf.printf "%9s %7s %5s %5s %5s %9s %9s\n" "capacity" "lane" "ops" "ok"
+    "shed" "p50(ms)" "p99(ms)";
+  List.iter
+    (fun capacity ->
+      let srv =
+        Server.create
+          { (Server.default_config ()) with
+            Server.max_connections = 32;
+            client_quota = None;
+            drain_deadline = 2.0;
+            service =
+              { (Service.default_config ~pool:None ()) with
+                Service.capacity;
+                shed = Service.Drop_oldest;
+                workers = 2;
+                max_retries = 0 } }
+          handler
+      in
+      let port = Server.port srv in
+      let clients =
+        List.concat_map
+          (fun lane ->
+            List.init 2 (fun _ ->
+                ( lane,
+                  Domain.spawn (fun () ->
+                      tcp_client port ~lane ~ops:per_client "join") )))
+          lanes
+      in
+      let by_lane = Hashtbl.create 3 in
+      List.iter
+        (fun (lane, d) ->
+          let prev =
+            Option.value (Hashtbl.find_opt by_lane lane) ~default:[]
+          in
+          Hashtbl.replace by_lane lane (Domain.join d @ prev))
+        clients;
+      Server.drain srv;
+      let stats = Server.wait srv in
+      assert stats.Server.invariant_ok;
+      List.iter
+        (fun lane ->
+          let ops = Option.value (Hashtbl.find_opt by_lane lane) ~default:[] in
+          let count w =
+            List.length (List.filter (fun (o, _) -> o = w) ops)
+          in
+          let ok_lat =
+            List.filter_map
+              (fun (o, ms) -> if o = "ok" then Some ms else None)
+              ops
+          in
+          let cap_int = match capacity with None -> -1 | Some c -> c in
+          let cap_str =
+            match capacity with None -> "inf" | Some c -> string_of_int c
+          in
+          let row =
+            ( cap_int, lane, List.length ops, count "ok", count "overloaded",
+              percentile 0.50 ok_lat, percentile 0.99 ok_lat )
+          in
+          e19_lanes := row :: !e19_lanes;
+          let _, _, n, ok, shed, p50, p99 = row in
+          Printf.printf "%9s %7s %5d %5d %5d %9.2f %9.2f\n" cap_str lane n ok
+            shed p50 p99)
+        lanes)
+    capacity_grid;
+  Printf.printf
+    "\nAt capacity inf nothing sheds and lanes only reorder the queue; at\n\
+     capacity 2 Drop_oldest evicts the low lane first, so shed\n\
+     composition concentrates on low while high keeps its tail latency.\n";
+  (* quota storm: many connections sharing one #client id against a
+     quota of 1 — the shed happens before admission *)
+  let conns = if !bench_small then 4 else 8 in
+  let srv =
+    Server.create
+      { (Server.default_config ()) with
+        Server.max_connections = 32;
+        client_quota = Some 1;
+        drain_deadline = 2.0;
+        service =
+          { (Service.default_config ~pool:None ()) with
+            Service.workers = 2;
+            max_retries = 0 } }
+      handler
+  in
+  let port = Server.port srv in
+  let storm =
+    List.init conns (fun _ ->
+        Domain.spawn (fun () ->
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO 60.0;
+            let buf = Buffer.create 256 in
+            let send s =
+              let b = Bytes.of_string (s ^ "\n") in
+              try ignore (Unix.write fd b 0 (Bytes.length b))
+              with Unix.Unix_error (_, _, _) -> ()
+            in
+            let recv_line () =
+              let rec go () =
+                let c = Bytes.create 1 in
+                match Unix.read fd c 0 1 with
+                | 0 -> ()
+                | _ ->
+                  if Bytes.get c 0 <> '\n' then begin
+                    Buffer.add_char buf (Bytes.get c 0);
+                    go ()
+                  end
+                | exception Unix.Unix_error (_, _, _) -> ()
+              in
+              Buffer.clear buf;
+              go ();
+              Buffer.contents buf
+            in
+            send "#client storm";
+            ignore (recv_line ());
+            let replies =
+              List.init per_client (fun _ ->
+                  send "join";
+                  recv_line ())
+            in
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            replies))
+  in
+  let replies = List.concat_map Domain.join storm in
+  let ok =
+    List.length
+      (List.filter
+         (fun r ->
+           match String.split_on_char ' ' r with
+           | _ :: "ok" :: _ -> true
+           | _ -> false)
+         replies)
+  in
+  let c = Server.counters srv in
+  let quota_shed = c.Server.quota_shed in
+  Server.drain srv;
+  let qstats = Server.wait srv in
+  assert qstats.Server.invariant_ok;
+  e19_quota := [ (1, conns, List.length replies, ok, quota_shed) ];
+  Printf.printf
+    "\nquota storm: %d connections sharing one #client id, quota 1:\n\
+     %d ops, %d ok, %d shed by the quota (before admission)\n"
+    conns (List.length replies) ok quota_shed;
+  (* drain under load: queries long enough to outlive the drain window
+     so the force-cancel path (not graceful completion) is what this
+     phase measures.  A churn loop of guarded joins — rather than a big
+     cert⊥ enumeration, which can finish early once its running
+     intersection empties — guarantees seconds of work with a
+     Guard.check between rounds where cancellation lands *)
+  let churn_rounds = if !bench_small then 200 else 2000 in
+  let cert_handler _line =
+    Ok
+      { Server.run =
+          (fun ~pool ~guard ->
+            let total = ref 0 in
+            for _ = 1 to churn_rounds do
+              Guard.check_exn guard;
+              total :=
+                !total + Relation.cardinal (Eval.run ~pool ~guard db join_q)
+            done;
+            string_of_int !total);
+        fallback = None }
+  in
+  let srv =
+    Server.create
+      { (Server.default_config ()) with
+        Server.max_connections = 32;
+        client_quota = None;
+        drain_deadline = 0.02;
+        service =
+          { (Service.default_config ~pool:None ()) with
+            Service.workers = 2;
+            max_retries = 0 } }
+      cert_handler
+  in
+  let port = Server.port srv in
+  let inflight = 4 in
+  let loaders =
+    List.init inflight (fun _ ->
+        Domain.spawn (fun () ->
+            ignore (tcp_client port ~lane:"normal" ~ops:3 "cert")))
+  in
+  (* drain only once the load is actually in flight *)
+  let deadline = now () +. 2.0 in
+  while (Server.counters srv).Server.queries < inflight && now () < deadline do
+    Domain.cpu_relax ()
+  done;
+  let t0 = now () in
+  Server.drain srv;
+  let stats = Server.wait srv in
+  let wall = (now () -. t0) *. 1000.0 in
+  List.iter Domain.join loaders;
+  e19_drain :=
+    Some
+      (inflight, stats.Server.forced_cancels, stats.Server.drain_ms,
+       stats.Server.invariant_ok);
+  Printf.printf
+    "\ndrain under load: %d clients mid-query, %d forced cancels,\n\
+     drained in %.1fms (wall %.1fms), invariant %s\n"
+    inflight stats.Server.forced_cancels stats.Server.drain_ms wall
+    (if stats.Server.invariant_ok then "ok" else "VIOLATED");
+  Printf.printf
+    "\nGraceful drain bounds shutdown latency: in-flight guarded queries\n\
+     are cancelled at their next Guard.check, every ticket resolves, and\n\
+     admitted = completed + shed + failed holds at exit.\n"
+
+let write_e19_json path =
+  let lanes = List.rev !e19_lanes in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"e19\",\n";
+  Buffer.add_string buf
+    "  \"description\": \"TCP serving layer: per-lane tail latency and shed \
+     composition under mixed-priority loopback storms, quota sheds, drain \
+     under load\",\n";
+  Buffer.add_string buf "  \"lanes\": [\n";
+  let n = List.length lanes in
+  List.iteri
+    (fun i (cap, lane, ops, ok, shed, p50, p99) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"capacity\": %s, \"lane\": \"%s\", \"ops\": %d, \
+            \"ok\": %d, \"shed\": %d, \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n"
+           (if cap < 0 then "null" else string_of_int cap)
+           lane ops ok shed p50 p99
+           (if i = n - 1 then "" else ",")))
+    lanes;
+  Buffer.add_string buf "  ],\n  \"quota\": [\n";
+  let n = List.length !e19_quota in
+  List.iteri
+    (fun i (quota, conns, ops, ok, shed) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"quota\": %d, \"connections\": %d, \"ops\": %d, \
+            \"ok\": %d, \"quota_shed\": %d}%s\n"
+           quota conns ops ok shed
+           (if i = n - 1 then "" else ",")))
+    !e19_quota;
+  Buffer.add_string buf "  ]";
+  (match !e19_drain with
+   | Some (inflight, forced, ms, ok) ->
+     Buffer.add_string buf
+       (Printf.sprintf
+          ",\n  \"drain\": {\"inflight\": %d, \"forced_cancels\": %d, \
+           \"drain_ms\": %.3f, \"invariant_ok\": %b}"
+          inflight forced ms ok)
+   | None -> ());
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d measurements)\n" path
+    (List.length lanes + List.length !e19_quota
+    + match !e19_drain with Some _ -> 1 | None -> 0)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1717,7 +2059,7 @@ let experiments =
     ("e5", exp_e5); ("e6", exp_e6); ("e7", exp_e7); ("e8", exp_e8);
     ("e9", exp_e9); ("e10", exp_e10); ("e11", exp_e11); ("e12", exp_e12);
     ("e13", exp_e13); ("e14", exp_e14); ("e15", exp_e15); ("e16", exp_e16);
-    ("e17", exp_e17); ("e18", exp_e18); ("micro", micro) ]
+    ("e17", exp_e17); ("e18", exp_e18); ("e19", exp_e19); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1758,4 +2100,6 @@ let () =
   if !json && (!e17_overhead <> [] || !e17_fallback <> []) then
     write_e17_json "BENCH_PR3.json";
   if !json && (!e18_load <> [] || !e18_degrade <> []) then
-    write_e18_json "BENCH_PR4.json"
+    write_e18_json "BENCH_PR4.json";
+  if !json && (!e19_lanes <> [] || !e19_quota <> [] || !e19_drain <> None)
+  then write_e19_json "BENCH_PR5.json"

@@ -9,9 +9,10 @@
      classify  annotate every candidate answer certain/possible
      fo        evaluate a first-order formula (3VL + certain answers)
      datalog   run a positive Datalog program (fixpoint = certain)
-     serve     run newline-delimited SQL from stdin through the
-               concurrent front door (admission control, retries,
-               degradation to Q+)
+     serve     run newline-delimited SQL from stdin — or over TCP with
+               --listen — through the concurrent front door (admission
+               control, priority lanes, per-client quotas, retries,
+               degradation to Q+, graceful drain)
 
    Databases: fig1 (the paper's bookstore, optionally with the
    Section 1 NULL), tpch (the TPC-H-mini workload at a given scale and
@@ -427,88 +428,242 @@ let serve_cmd =
     in
     Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"TUPLES" ~doc)
   in
+  let listen_arg =
+    let doc =
+      "Serve over TCP instead of stdin: listen on HOST:PORT (PORT 0 picks \
+       an ephemeral port, printed on startup).  Clients speak the same \
+       newline-delimited protocol, plus the #client/#priority/#drain/\
+       #counters directives."
+    in
+    Arg.(value
+         & opt (some string) None
+         & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let max_conns_arg =
+    let doc = "Maximum concurrent connections; extras get a #busy line." in
+    Arg.(value & opt int 16 & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let max_line_arg =
+    let doc = "Maximum request-line length in bytes." in
+    Arg.(value & opt int (64 * 1024) & info [ "max-line" ] ~docv:"BYTES" ~doc)
+  in
+  let read_timeout_arg =
+    let doc = "Per-connection read/write timeout in seconds." in
+    Arg.(value
+         & opt float 10.0
+         & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let drain_deadline_arg =
+    let doc =
+      "Seconds a drain (SIGTERM or #drain) lets in-flight queries finish \
+       before force-cancelling them."
+    in
+    Arg.(value
+         & opt float 5.0
+         & info [ "drain-deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let quota_arg =
+    let doc =
+      "Per-client in-flight query quota (clients keyed by connection or \
+       #client id); over-quota queries are shed as overloaded.  Unlimited \
+       when omitted."
+    in
+    Arg.(value & opt (some int) None & info [ "quota" ] ~docv:"N" ~doc)
+  in
+  (* stdin mode: a printer domain awaits tickets in submission order and
+     flushes each outcome line as soon as it resolves, so piped consumers
+     see progress in real time while the reader keeps submitting *)
+  let serve_stdin schema db svc =
+    let q = Queue.create () in
+    let lock = Mutex.create () in
+    let nonempty = Stdlib.Condition.create () in
+    let push item =
+      Mutex.lock lock;
+      Queue.push item q;
+      Stdlib.Condition.signal nonempty;
+      Mutex.unlock lock
+    in
+    let pop () =
+      Mutex.lock lock;
+      while Queue.is_empty q do
+        Stdlib.Condition.wait nonempty lock
+      done;
+      let item = Queue.pop q in
+      Mutex.unlock lock;
+      item
+    in
+    let printer () =
+      let any_failed = ref false in
+      let rec loop () =
+        match pop () with
+        | None -> !any_failed
+        | Some (n, item) ->
+          (match item with
+           | Error msg -> Printf.printf "[%d] parse error: %s\n%!" n msg
+           | Ok (ticket, t0) ->
+             let outcome = Service.await ticket in
+             let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+             (match outcome with
+              | Service.Ok r ->
+                Printf.printf "[%d] ok (%d tuples) %.1fms\n%!" n
+                  (Relation.cardinal r) ms
+              | Service.Degraded r ->
+                Printf.printf
+                  "[%d] degraded (%d tuples, sound subset) %.1fms\n%!" n
+                  (Relation.cardinal r) ms
+              | Service.Overloaded -> Printf.printf "[%d] overloaded\n%!" n
+              | Service.Interrupted reason ->
+                Printf.printf "[%d] interrupted: %s\n%!" n
+                  (Guard.reason_to_string reason)
+              | Service.Failed e ->
+                any_failed := true;
+                Printf.printf "[%d] failed: %s\n%!" n (Printexc.to_string e)));
+          loop ()
+      in
+      loop ()
+    in
+    let printer_d = Domain.spawn printer in
+    let lineno = ref 0 in
+    (try
+       while true do
+         let line = String.trim (input_line stdin) in
+         if line <> "" then begin
+           incr lineno;
+           let n = !lineno in
+           match Sql.To_algebra.translate_string schema line with
+           | exception
+               (Sql.Parser.Parse_error msg | Sql.Lexer.Lex_error msg
+               | Sql.To_algebra.Unsupported msg) ->
+             push (Some (n, Error msg))
+           | q ->
+             let t0 = Unix.gettimeofday () in
+             let ticket =
+               Service.submit svc
+                 ~fallback:(fun ~pool -> Scheme_pm.certain_sub ~pool db q)
+                 (fun ~pool ~guard ->
+                   Certainty.cert_with_nulls_ra ~pool ~guard db q)
+             in
+             push (Some (n, Ok (ticket, t0)))
+         end
+       done
+     with End_of_file -> ());
+    push None;
+    let any_failed = Domain.join printer_d in
+    Service.shutdown svc;
+    let c = Service.counters svc in
+    Printf.printf
+      "-- admitted %d, completed %d (%d degraded), shed %d, retried %d, \
+       failed %d\n%!"
+      c.Service.admitted c.Service.completed c.Service.degraded
+      c.Service.shed c.Service.retried c.Service.failed;
+    if any_failed then raise (Invalid_argument "some queries failed")
+  in
+  (* network mode: the Server owns the service; we render one-line
+     payloads (the protocol is line-oriented) and block in wait until a
+     SIGTERM/SIGINT or a client #drain *)
+  let serve_listen schema db ~listen ~max_conns ~max_line ~read_timeout
+      ~drain_deadline ~quota svc_cfg =
+    let host, port =
+      match String.rindex_opt listen ':' with
+      | None -> invalid_arg ("--listen expects HOST:PORT, got " ^ listen)
+      | Some i ->
+        let host = String.sub listen 0 i in
+        let port_s = String.sub listen (i + 1) (String.length listen - i - 1) in
+        (match int_of_string_opt port_s with
+         | Some p when p >= 0 && p < 65536 -> (host, p)
+         | _ -> invalid_arg ("--listen expects HOST:PORT, got " ^ listen))
+    in
+    let handler sql =
+      match Sql.To_algebra.translate_string schema sql with
+      | exception
+          (Sql.Parser.Parse_error msg | Sql.Lexer.Lex_error msg
+          | Sql.To_algebra.Unsupported msg) ->
+        Error msg
+      | q ->
+        Result.Ok
+          { Server.run =
+              (fun ~pool ~guard ->
+                let r = Certainty.cert_with_nulls_ra ~pool ~guard db q in
+                Printf.sprintf "(%d tuples)" (Relation.cardinal r));
+            fallback =
+              Some
+                (fun ~pool ->
+                  let r = Scheme_pm.certain_sub ~pool db q in
+                  Printf.sprintf "(%d tuples, sound subset)"
+                    (Relation.cardinal r)) }
+    in
+    let server =
+      Server.create
+        { Server.host;
+          port;
+          max_connections = max_conns;
+          max_line;
+          read_timeout;
+          drain_deadline;
+          client_quota = quota;
+          service = svc_cfg }
+        handler
+    in
+    let on_signal _ = Server.drain server in
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+     with Invalid_argument _ | Sys_error _ -> ());
+    Printf.printf "listening on %s:%d\n%!" host (Server.port server);
+    let stats = Server.wait server in
+    let c = Server.counters server in
+    let s = Service.counters (Server.service server) in
+    Printf.printf
+      "-- connections: accepted %d, busy %d, oversized %d, timeouts %d, \
+       crashed %d\n%!"
+      c.Server.accepted c.Server.rejected_busy c.Server.oversized
+      c.Server.timeouts c.Server.crashed;
+    Printf.printf
+      "-- queries: %d submitted, quota-shed %d; admitted %d, completed %d \
+       (%d degraded), shed %d, retried %d, failed %d\n%!"
+      c.Server.queries c.Server.quota_shed s.Service.admitted
+      s.Service.completed s.Service.degraded s.Service.shed s.Service.retried
+      s.Service.failed;
+    Printf.printf "-- drain: %d forced cancels, %.1fms, invariant %s\n%!"
+      stats.Server.forced_cancels stats.Server.drain_ms
+      (if stats.Server.invariant_ok then "ok" else "VIOLATED");
+    if not stats.Server.invariant_ok then
+      raise (Invalid_argument "counter invariant violated at drain")
+  in
   let run db_name data scale null_rate seed capacity shed workers retries
-      backoff deadline_ms budget =
+      backoff deadline_ms budget listen max_conns max_line read_timeout
+      drain_deadline quota =
     handle_errors (fun () ->
         let schema, db = load_db ?data db_name ~scale ~null_rate ~seed in
-        let svc =
-          Service.create
-            { Service.capacity;
-              shed;
-              workers;
-              max_retries = retries;
-              backoff_base = backoff;
-              deadline_in = Option.map (fun ms -> ms /. 1000.0) deadline_ms;
-              budget;
-              pool = Pool.auto () }
+        let svc_cfg =
+          { Service.capacity;
+            shed;
+            workers;
+            max_retries = retries;
+            backoff_base = backoff;
+            deadline_in = Option.map (fun ms -> ms /. 1000.0) deadline_ms;
+            budget;
+            pool = Pool.auto () }
         in
-        (* read + submit everything first (overlapping the evaluation
-           across workers), then report in submission order *)
-        let items = ref [] in
-        let lineno = ref 0 in
-        (try
-           while true do
-             let line = String.trim (input_line stdin) in
-             if line <> "" then begin
-               incr lineno;
-               let n = !lineno in
-               match Sql.To_algebra.translate_string schema line with
-               | exception
-                   (Sql.Parser.Parse_error msg | Sql.Lexer.Lex_error msg
-                   | Sql.To_algebra.Unsupported msg) ->
-                 items := (n, Error msg) :: !items
-               | q ->
-                 let t0 = Unix.gettimeofday () in
-                 let ticket =
-                   Service.submit svc
-                     ~fallback:(fun ~pool -> Scheme_pm.certain_sub ~pool db q)
-                     (fun ~pool ~guard ->
-                       Certainty.cert_with_nulls_ra ~pool ~guard db q)
-                 in
-                 items := (n, Ok (ticket, t0)) :: !items
-             end
-           done
-         with End_of_file -> ());
-        List.iter
-          (fun (n, item) ->
-            match item with
-            | Error msg -> Printf.printf "[%d] parse error: %s\n%!" n msg
-            | Ok (ticket, t0) ->
-              let outcome = Service.await ticket in
-              let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-              (match outcome with
-               | Service.Ok r ->
-                 Printf.printf "[%d] ok (%d tuples) %.1fms\n%!" n
-                   (Relation.cardinal r) ms
-               | Service.Degraded r ->
-                 Printf.printf "[%d] degraded (%d tuples, sound subset) %.1fms\n%!"
-                   n (Relation.cardinal r) ms
-               | Service.Overloaded -> Printf.printf "[%d] overloaded\n%!" n
-               | Service.Interrupted reason ->
-                 Printf.printf "[%d] interrupted: %s\n%!" n
-                   (Guard.reason_to_string reason)
-               | Service.Failed e ->
-                 Printf.printf "[%d] failed: %s\n%!" n (Printexc.to_string e)))
-          (List.rev !items);
-        Service.shutdown svc;
-        let c = Service.counters svc in
-        Printf.printf
-          "-- admitted %d, completed %d (%d degraded), shed %d, retried %d, \
-           failed %d\n%!"
-          c.Service.admitted c.Service.completed c.Service.degraded
-          c.Service.shed c.Service.retried c.Service.failed)
+        match listen with
+        | Some listen ->
+          serve_listen schema db ~listen ~max_conns ~max_line ~read_timeout
+            ~drain_deadline ~quota svc_cfg
+        | None -> serve_stdin schema db (Service.create svc_cfg))
   in
   let doc =
-    "serve newline-delimited SQL queries from stdin through the concurrent \
-     front door: bounded admission, per-query deadlines/budgets, retries \
-     with exponential backoff, and degradation to the sound Q+ \
-     approximation on budget exhaustion"
+    "serve newline-delimited SQL queries — from stdin, or over TCP with \
+     --listen — through the concurrent front door: bounded admission, \
+     priority lanes, per-client quotas, per-query deadlines/budgets, \
+     retries with exponential backoff, degradation to the sound Q+ \
+     approximation on budget exhaustion, and graceful drain on SIGTERM"
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ db_arg $ data_arg $ scale_arg $ null_rate_arg $ seed_arg
       $ capacity_arg $ shed_arg $ workers_arg $ retries_arg $ backoff_arg
-      $ deadline_arg $ budget_arg)
+      $ deadline_arg $ budget_arg $ listen_arg $ max_conns_arg $ max_line_arg
+      $ read_timeout_arg $ drain_deadline_arg $ quota_arg)
 
 let () =
   let doc = "certain answers over incomplete databases" in

@@ -85,6 +85,11 @@ val charge_exn : t -> int -> unit
     - ["world.chunk"] — every chunk boundary of the canonical-world
       streaming in [Incdb_certain.Certainty] (fires on every
       configuration, including [~pool:None]);
+    - ["service.admit"] — the top of every [Service.submit], before
+      the envelope reaches the admission queue: a raise-mode fault
+      resolves the ticket as [Failed] without enqueueing (exercising
+      the shed/fail bookkeeping itself), a delay-mode fault stalls the
+      submitting caller;
     - ["*"] in a spec matches every site.
 
     Draws are from a seeded, mutex-protected [Random.State], so a given

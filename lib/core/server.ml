@@ -1,0 +1,518 @@
+(* Network serving layer: a stdlib-Unix TCP front end over Service.
+   Robustness layers (DESIGN.md §4f):
+     1. connection lifecycle — read/write deadlines, a max-line cap,
+        a bounded connection count with structured "#busy" answers,
+        and crash isolation per connection;
+     2. per-client fairness quotas — a token bucket of in-flight
+        queries per client id, shed as overloaded before admission;
+     3. priority lanes — the #priority preamble maps onto
+        Service.lane;
+     4. graceful drain — stop accepting, finish in-flight under a
+        deadline, then force-cancel via Service.drain/Guard.cancel,
+        with counters proving the quiescent invariant at exit. *)
+
+type job = {
+  run : pool:Pool.t option -> guard:Guard.t -> string;
+  fallback : (pool:Pool.t option -> string) option;
+}
+
+type handler = string -> (job, string) result
+
+type config = {
+  host : string;
+  port : int;
+  max_connections : int;
+  max_line : int;
+  read_timeout : float;
+  drain_deadline : float;
+  client_quota : int option;
+  service : Service.config;
+}
+
+let default_config () =
+  { host = "127.0.0.1";
+    port = 0;
+    max_connections = 16;
+    max_line = 64 * 1024;
+    read_timeout = 10.0;
+    drain_deadline = 5.0;
+    client_quota = Some 4;
+    service = Service.default_config () }
+
+type counters = {
+  accepted : int;
+  rejected_busy : int;
+  queries : int;
+  quota_shed : int;
+  oversized : int;
+  timeouts : int;
+  crashed : int;
+}
+
+type drain_stats = {
+  forced_cancels : int;
+  drain_ms : float;
+  invariant_ok : bool;
+}
+
+type t = {
+  cfg : config;
+  svc : Service.t;
+  handler : handler;
+  lsock : Unix.file_descr;
+  port : int;
+  draining : bool Atomic.t;  (* the only thing a signal handler touches *)
+  live_conns : int Atomic.t;
+  conn_lock : Mutex.t;  (* guards conn_fds, conn_domains, finished, quotas *)
+  conn_fds : (int, Unix.file_descr) Hashtbl.t;
+  conn_domains : (int, unit Domain.t) Hashtbl.t;
+  mutable finished : int list;  (* handler domains ready to join *)
+  quotas : (string, int) Hashtbl.t;  (* client id -> in-flight tokens *)
+  conn_next : int Atomic.t;
+  mutable accept_domain : unit Domain.t option;
+  c_accepted : int Atomic.t;
+  c_rejected_busy : int Atomic.t;
+  c_queries : int Atomic.t;
+  c_quota_shed : int Atomic.t;
+  c_oversized : int Atomic.t;
+  c_timeouts : int Atomic.t;
+  c_crashed : int Atomic.t;
+}
+
+let port t = t.port
+let service t = t.svc
+let drain t = Atomic.set t.draining true
+let draining t = Atomic.get t.draining
+
+let counters t =
+  { accepted = Atomic.get t.c_accepted;
+    rejected_busy = Atomic.get t.c_rejected_busy;
+    queries = Atomic.get t.c_queries;
+    quota_shed = Atomic.get t.c_quota_shed;
+    oversized = Atomic.get t.c_oversized;
+    timeouts = Atomic.get t.c_timeouts;
+    crashed = Atomic.get t.c_crashed }
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* line-oriented socket IO                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Client_gone
+
+(* write [s ^ "\n"] fully; SO_SNDTIMEO bounds each write, so a peer
+   that stops reading cannot park this connection forever *)
+let send_line fd s =
+  let msg = Bytes.of_string (s ^ "\n") in
+  let len = Bytes.length msg in
+  let rec go off =
+    if off < len then
+      match Unix.write fd msg off (len - off) with
+      | 0 -> raise Client_gone
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) -> raise Client_gone
+  in
+  go 0
+
+type read_result = Line of string | Timeout | Closed | Oversized
+
+(* per-connection receive state: bytes read but not yet consumed *)
+type rstate = { mutable pending : string }
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+(* next newline-terminated line, bounded by [max_line] bytes and by
+   SO_RCVTIMEO per read(2): a peer trickling bytes (slowloris) hits
+   either the per-read timeout or the line cap *)
+let read_line ~max_line st fd =
+  let take_line () =
+    match String.index_opt st.pending '\n' with
+    | None -> None
+    | Some i ->
+      let line = String.sub st.pending 0 i in
+      st.pending <-
+        String.sub st.pending (i + 1) (String.length st.pending - i - 1);
+      Some (strip_cr line)
+  in
+  let rec go () =
+    match take_line () with
+    | Some line ->
+      if String.length line > max_line then Oversized else Line line
+    | None ->
+      if String.length st.pending > max_line then Oversized
+      else begin
+        let chunk = Bytes.create 4096 in
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> Closed
+        | n ->
+          st.pending <- st.pending ^ Bytes.sub_string chunk 0 n;
+          go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          Timeout
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (_, _, _) -> Closed
+      end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* fairness quotas: a token bucket of in-flight queries per client     *)
+(* ------------------------------------------------------------------ *)
+
+let quota_acquire t client =
+  match t.cfg.client_quota with
+  | None -> true
+  | Some q ->
+    Mutex.lock t.conn_lock;
+    let cur = Option.value (Hashtbl.find_opt t.quotas client) ~default:0 in
+    let ok = cur < q in
+    if ok then Hashtbl.replace t.quotas client (cur + 1);
+    Mutex.unlock t.conn_lock;
+    ok
+
+let quota_release t client =
+  match t.cfg.client_quota with
+  | None -> ()
+  | Some _ ->
+    Mutex.lock t.conn_lock;
+    (match Hashtbl.find_opt t.quotas client with
+     | Some n when n > 1 -> Hashtbl.replace t.quotas client (n - 1)
+     | Some _ -> Hashtbl.remove t.quotas client
+     | None -> ());
+    Mutex.unlock t.conn_lock
+
+(* ------------------------------------------------------------------ *)
+(* connection handler                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  fd : Unix.file_descr;
+  rs : rstate;
+  mutable client : string;
+  mutable lane : Service.lane;
+  mutable lineno : int;
+}
+
+let outcome_line n ms = function
+  | Service.Ok s -> Printf.sprintf "[%d] ok %s %.1fms" n s ms
+  | Service.Degraded s -> Printf.sprintf "[%d] degraded %s %.1fms" n s ms
+  | Service.Overloaded -> Printf.sprintf "[%d] overloaded" n
+  | Service.Interrupted r ->
+    Printf.sprintf "[%d] interrupted: %s" n (Guard.reason_to_string r)
+  | Service.Failed e ->
+    Printf.sprintf "[%d] failed: %s" n (Printexc.to_string e)
+
+let handle_query t conn sql =
+  conn.lineno <- conn.lineno + 1;
+  let n = conn.lineno in
+  match t.handler sql with
+  | Error msg -> send_line conn.fd (Printf.sprintf "[%d] parse error: %s" n msg)
+  | Ok job ->
+    if not (quota_acquire t conn.client) then begin
+      Atomic.incr t.c_quota_shed;
+      send_line conn.fd (Printf.sprintf "[%d] overloaded (client quota)" n)
+    end
+    else begin
+      Atomic.incr t.c_queries;
+      let t0 = now () in
+      let outcome =
+        Fun.protect
+          ~finally:(fun () -> quota_release t conn.client)
+          (fun () ->
+            Service.run ~lane:conn.lane ?fallback:job.fallback t.svc
+              (fun ~pool ~guard -> job.run ~pool ~guard))
+      in
+      send_line conn.fd (outcome_line n ((now () -. t0) *. 1000.0) outcome)
+    end
+
+let split_words s =
+  List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.trim s))
+
+(* returns [false] when the connection should close *)
+let handle_directive t conn line =
+  match split_words line with
+  | [ "#client"; id ] ->
+    conn.client <- id;
+    send_line conn.fd ("#ok client " ^ id);
+    true
+  | [ "#priority"; p ] ->
+    (match Service.lane_of_string p with
+     | Some lane ->
+       conn.lane <- lane;
+       send_line conn.fd ("#ok priority " ^ p);
+       true
+     | None ->
+       send_line conn.fd ("#err unknown priority " ^ p);
+       true)
+  | [ "#drain" ] ->
+    (* flag first: a client that has seen the ack may immediately
+       observe the server as draining *)
+    drain t;
+    send_line conn.fd "#ok draining";
+    false
+  | [ "#counters" ] ->
+    let c = counters t in
+    let s = Service.counters t.svc in
+    send_line conn.fd
+      (Printf.sprintf
+         "#counters accepted=%d busy=%d queries=%d quota_shed=%d \
+          oversized=%d timeouts=%d crashed=%d admitted=%d completed=%d \
+          degraded=%d shed=%d retried=%d failed=%d"
+         c.accepted c.rejected_busy c.queries c.quota_shed c.oversized
+         c.timeouts c.crashed s.Service.admitted s.Service.completed
+         s.Service.degraded s.Service.shed s.Service.retried s.Service.failed);
+    true
+  | _ ->
+    send_line conn.fd "#err unknown directive";
+    true
+
+let handle_conn t fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.read_timeout;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  let conn =
+    { fd;
+      rs = { pending = "" };
+      client = "";
+      lane = Service.Normal;
+      lineno = 0 }
+  in
+  let rec loop () =
+    if Atomic.get t.draining then send_line fd "#draining"
+    else
+      match read_line ~max_line:t.cfg.max_line conn.rs fd with
+      | Closed -> ()
+      | Timeout ->
+        Atomic.incr t.c_timeouts;
+        send_line fd "#err read timeout"
+      | Oversized ->
+        Atomic.incr t.c_oversized;
+        send_line fd
+          (Printf.sprintf "#err line too long (max %d bytes)" t.cfg.max_line)
+      | Line raw ->
+        let line = String.trim raw in
+        if line = "" then loop ()
+        else if line.[0] = '#' then begin
+          if handle_directive t conn line then loop ()
+        end
+        else begin
+          handle_query t conn line;
+          loop ()
+        end
+  in
+  loop ()
+
+(* crash isolation: whatever happens inside [handle_conn] — a peer
+   disconnect mid-write, a handler exception, an injected fault that
+   escaped classification — ends this connection only, never the
+   accept loop *)
+let conn_main t id fd () =
+  (match handle_conn t fd with
+   | () -> ()
+   | exception Client_gone -> ()
+   | exception _ -> Atomic.incr t.c_crashed);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conn_lock;
+  Hashtbl.remove t.conn_fds id;
+  t.finished <- id :: t.finished;
+  Mutex.unlock t.conn_lock;
+  Atomic.decr t.live_conns
+
+(* ------------------------------------------------------------------ *)
+(* accept loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* join handler domains that have announced completion *)
+let reap t =
+  Mutex.lock t.conn_lock;
+  let ids = t.finished in
+  t.finished <- [];
+  let ds =
+    List.filter_map
+      (fun id ->
+        match Hashtbl.find_opt t.conn_domains id with
+        | Some d ->
+          Hashtbl.remove t.conn_domains id;
+          Some d
+        | None -> None)
+      ids
+  in
+  Mutex.unlock t.conn_lock;
+  List.iter Domain.join ds
+
+let accept_loop t () =
+  let rec loop () =
+    if Atomic.get t.draining then ()
+    else begin
+      reap t;
+      match Unix.select [ t.lsock ] [] [] 0.05 with
+      | [], _, _ -> loop ()
+      | _ ->
+        (match Unix.accept t.lsock with
+         | exception
+             Unix.Unix_error
+               ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                | Unix.ECONNABORTED), _, _) ->
+           loop ()
+         | exception Unix.Unix_error (_, _, _) ->
+           if Atomic.get t.draining then () else loop ()
+         | fd, _ ->
+           Atomic.incr t.c_accepted;
+           if Atomic.get t.draining then begin
+             (try
+                Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
+                send_line fd "#draining"
+              with Client_gone | Unix.Unix_error _ -> ());
+             (try Unix.close fd with Unix.Unix_error _ -> ())
+           end
+           else if Atomic.get t.live_conns >= t.cfg.max_connections then begin
+             (* structured busy response: the client learns the pool is
+                full instead of hanging in the backlog *)
+             Atomic.incr t.c_rejected_busy;
+             (try
+                Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
+                send_line fd "#busy"
+              with Client_gone | Unix.Unix_error _ -> ());
+             (try Unix.close fd with Unix.Unix_error _ -> ())
+           end
+           else begin
+             Atomic.incr t.live_conns;
+             let id = Atomic.fetch_and_add t.conn_next 1 in
+             Mutex.lock t.conn_lock;
+             Hashtbl.replace t.conn_fds id fd;
+             Mutex.unlock t.conn_lock;
+             let d = Domain.spawn (conn_main t id fd) in
+             Mutex.lock t.conn_lock;
+             Hashtbl.replace t.conn_domains id d;
+             Mutex.unlock t.conn_lock
+           end;
+           loop ())
+    end
+  in
+  loop ();
+  (try Unix.close t.lsock with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ ->
+    (match (Unix.gethostbyname host).Unix.h_addr_list with
+     | [||] -> invalid_arg ("Server.create: cannot resolve host " ^ host)
+     | addrs -> addrs.(0)
+     | exception Not_found ->
+       invalid_arg ("Server.create: cannot resolve host " ^ host))
+
+let create cfg handler =
+  let cfg =
+    { cfg with
+      max_connections = max 1 cfg.max_connections;
+      max_line = max 16 cfg.max_line;
+      read_timeout = Float.max 0.01 cfg.read_timeout;
+      drain_deadline = Float.max 0.0 cfg.drain_deadline;
+      client_quota = Option.map (max 1) cfg.client_quota }
+  in
+  (* a peer that disconnects mid-response turns write(2) into SIGPIPE;
+     we want the EPIPE error (handled per connection), not the signal *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+     Unix.bind lsock (Unix.ADDR_INET (resolve_host cfg.host, cfg.port));
+     Unix.listen lsock 64
+   with e ->
+     (try Unix.close lsock with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> cfg.port
+  in
+  let t =
+    { cfg;
+      svc = Service.create cfg.service;
+      handler;
+      lsock;
+      port;
+      draining = Atomic.make false;
+      live_conns = Atomic.make 0;
+      conn_lock = Mutex.create ();
+      conn_fds = Hashtbl.create 16;
+      conn_domains = Hashtbl.create 16;
+      finished = [];
+      quotas = Hashtbl.create 16;
+      conn_next = Atomic.make 0;
+      accept_domain = None;
+      c_accepted = Atomic.make 0;
+      c_rejected_busy = Atomic.make 0;
+      c_queries = Atomic.make 0;
+      c_quota_shed = Atomic.make 0;
+      c_oversized = Atomic.make 0;
+      c_timeouts = Atomic.make 0;
+      c_crashed = Atomic.make 0 }
+  in
+  t.accept_domain <- Some (Domain.spawn (accept_loop t));
+  t
+
+let wait t =
+  (* phase 0: block until a drain begins (signal handler, #drain
+     directive, or a programmatic [drain]) *)
+  while not (Atomic.get t.draining) do
+    Unix.sleepf 0.05
+  done;
+  (match t.accept_domain with
+   | Some d ->
+     Domain.join d;
+     t.accept_domain <- None
+   | None -> ());
+  let t0 = now () in
+  let sleep_while pred until =
+    while pred () && now () < until do
+      Unix.sleepf 0.005
+    done
+  in
+  let live () = Atomic.get t.live_conns > 0 in
+  (* phase 1: let in-flight envelopes finish under the drain deadline *)
+  sleep_while live (t0 +. t.cfg.drain_deadline);
+  (* phase 2: force-cancel whatever is still running *)
+  let forced = if live () then Service.drain t.svc else 0 in
+  (* phase 3: handlers unblock (cancelled outcomes, read timeouts) and
+     exit on the draining flag; a last-resort socket shutdown unwedges
+     any connection still stuck in IO *)
+  sleep_while live (now () +. t.cfg.read_timeout +. 1.0);
+  if live () then begin
+    Mutex.lock t.conn_lock;
+    Hashtbl.iter
+      (fun _ fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      t.conn_fds;
+    Mutex.unlock t.conn_lock;
+    while live () do
+      Unix.sleepf 0.005
+    done
+  end;
+  reap t;
+  (* handler domains that finished between the registry insert and the
+     final reap are still in the table: join them too *)
+  Mutex.lock t.conn_lock;
+  let leftover = Hashtbl.fold (fun _ d acc -> d :: acc) t.conn_domains [] in
+  Hashtbl.reset t.conn_domains;
+  Mutex.unlock t.conn_lock;
+  List.iter Domain.join leftover;
+  Service.shutdown t.svc;
+  let c = Service.counters t.svc in
+  { forced_cancels = forced;
+    drain_ms = (now () -. t0) *. 1000.0;
+    invariant_ok =
+      c.Service.admitted
+      = c.Service.completed + c.Service.shed + c.Service.failed }

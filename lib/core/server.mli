@@ -1,0 +1,136 @@
+(** Network serving layer: a fair, prioritised, drain-safe TCP front
+    end over {!Service} (DESIGN.md §4f).
+
+    Certain-answer evaluation is coNP-hard in the worst case, so a
+    listener facing real clients must assume peers are slow, greedy or
+    crashing and still keep the shared pool fair.  The server speaks
+    the newline-delimited protocol of [incdb serve] and multiplexes
+    every connection over one {!Service}; robustness is layered:
+
+    - {b connection lifecycle}: per-connection read/write deadlines
+      ([SO_RCVTIMEO]/[SO_SNDTIMEO], so slowloris peers and
+      stopped-reader peers are bounded), a max-line byte cap, a bounded
+      concurrent-connection count answered with a structured ["#busy"]
+      line when full, and crash isolation — one connection's exception
+      never reaches the accept loop;
+    - {b per-client fairness quotas}: a token bucket of in-flight
+      queries per client (keyed by connection, overridable with the
+      [#client <id>] preamble) sheds over-quota submissions as
+      ["overloaded (client quota)"] {e before} they reach the service
+      admission queue, so no client occupies more than its share of the
+      workers;
+    - {b priority lanes}: the [#priority high|normal|low] preamble
+      selects the {!Service.lane} for subsequent queries;
+    - {b graceful drain}: {!drain} (wired to SIGTERM and the [#drain]
+      directive) stops accepting, lets in-flight envelopes finish under
+      [drain_deadline], then force-cancels via {!Service.drain}; the
+      returned {!drain_stats} prove the quiescent invariant
+      [admitted = completed + shed + failed] held at exit.
+
+    {2 Protocol}
+
+    Requests are newline-delimited.  A line starting with [#] is a
+    directive ([#client <id>], [#priority <lane>], [#drain],
+    [#counters]); anything else is handed to the request handler.
+    Every request line gets exactly one response line:
+    [[n] ok <payload> <ms>ms], [[n] degraded <payload> <ms>ms],
+    [[n] overloaded], [[n] overloaded (client quota)],
+    [[n] interrupted: <reason>], [[n] failed: <msg>] or
+    [[n] parse error: <msg>], with [n] the per-connection request
+    number.  Connection-level events use [#]-prefixed lines:
+    ["#busy"], ["#draining"], ["#err read timeout"],
+    ["#err line too long (max N bytes)"].  Queries on one connection
+    are processed sequentially (pipeline by opening several
+    connections, which is also how a [#client] id spans quota across
+    connections). *)
+
+(** What the server runs for one request line: [run] executes under
+    the service's pool/guard envelope and renders a {e single-line}
+    result; [fallback] (optional) is the degraded answer on budget
+    exhaustion, as in {!Service.submit}. *)
+type job = {
+  run : pool:Pool.t option -> guard:Guard.t -> string;
+  fallback : (pool:Pool.t option -> string) option;
+}
+
+(** Compiles one request line into a job, or an error message —
+    keeping the server generic over the query language (the CLI wires
+    SQL certain-answer evaluation; tests wire toy jobs). *)
+type handler = string -> (job, string) result
+
+type config = {
+  host : string;  (** bind address, e.g. ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port (see {!port}) *)
+  max_connections : int;  (** concurrent connections (clamped ≥ 1) *)
+  max_line : int;  (** request-line byte cap (clamped ≥ 16) *)
+  read_timeout : float;
+      (** seconds a single read/write may block before the connection
+          is answered with a timeout error and closed *)
+  drain_deadline : float;
+      (** seconds {!wait} lets in-flight queries finish before
+          force-cancelling them *)
+  client_quota : int option;
+      (** max in-flight queries per client id ([None] = unlimited) *)
+  service : Service.config;  (** the front door behind the listener *)
+}
+
+(** Loopback host, ephemeral port, 16 connections, 64 KiB lines, 10 s
+    read timeout, 5 s drain deadline, quota 4, and
+    {!Service.default_config}. *)
+val default_config : unit -> config
+
+(** Monotone live counters (server level; see {!Service.counters} via
+    {!service} for the admission-layer ones). *)
+type counters = {
+  accepted : int;  (** connections accepted (including busy-rejected) *)
+  rejected_busy : int;  (** connections answered ["#busy"] *)
+  queries : int;  (** request lines submitted to the service *)
+  quota_shed : int;  (** requests shed by the per-client quota *)
+  oversized : int;  (** connections dropped over the line cap *)
+  timeouts : int;  (** connections dropped on a read timeout *)
+  crashed : int;  (** connections ended by an unexpected exception *)
+}
+
+(** What {!wait} observed while draining. *)
+type drain_stats = {
+  forced_cancels : int;
+      (** in-flight guards cancelled after the drain deadline *)
+  drain_ms : float;  (** wall time from drain start to quiescence *)
+  invariant_ok : bool;
+      (** [admitted = completed + shed + failed] on the quiescent
+          service *)
+}
+
+type t
+
+(** [create config handler] binds, listens, spawns the accept domain
+    and the service workers, and returns the running server.  Installs
+    [Signal_ignore] for SIGPIPE (peer disconnects surface as [EPIPE]
+    and end only their connection).
+    @raise Invalid_argument if the host does not resolve.
+    @raise Unix.Unix_error if the bind/listen fails. *)
+val create : config -> handler -> t
+
+(** The actual bound port (useful with [port = 0]). *)
+val port : t -> int
+
+(** The service behind the listener (counters, tests). *)
+val service : t -> Service.t
+
+val counters : t -> counters
+
+(** [drain t] initiates a graceful drain: only sets an atomic flag, so
+    it is safe to call from a signal handler.  The accept loop stops
+    within its poll tick; {!wait} completes the drain.  Idempotent,
+    irreversible. *)
+val drain : t -> unit
+
+val draining : t -> bool
+
+(** [wait t] blocks until a drain is initiated (by {!drain}, SIGTERM
+    wiring, or a client's [#drain]) and then completes it: joins the
+    accept loop, waits up to [drain_deadline] for in-flight queries,
+    force-cancels the rest via {!Service.drain}, unwedges any
+    connection still stuck in IO, joins every connection domain, shuts
+    the service down and returns the {!drain_stats}.  Call once. *)
+val wait : t -> drain_stats

@@ -5,6 +5,22 @@
 
 type shed_policy = Reject | Drop_oldest | Block
 
+type lane = High | Normal | Low
+
+(* lane-major order: lower index = dequeued first *)
+let lane_index = function High -> 0 | Normal -> 1 | Low -> 2
+
+let lane_to_string = function
+  | High -> "high"
+  | Normal -> "normal"
+  | Low -> "low"
+
+let lane_of_string = function
+  | "high" -> Some High
+  | "normal" -> Some Normal
+  | "low" -> Some Low
+  | _ -> None
+
 type config = {
   capacity : int option;
   shed : shed_policy;
@@ -71,12 +87,18 @@ type envelope = {
 
 type t = {
   cfg : config;
-  queue : envelope Queue.t;
+  queues : envelope Queue.t array;  (* one per lane, index = lane_index *)
   lock : Mutex.t;
   work_available : Condition.t;
   space_available : Condition.t;
   mutable stopped : bool;
   mutable domains : unit Domain.t array;
+  draining : bool Atomic.t;
+  (* guards of currently-executing attempts, so [drain] can cancel
+     them; keyed by a fresh id per attempt *)
+  inflight : (int, Guard.t) Hashtbl.t;
+  inflight_lock : Mutex.t;
+  inflight_next : int Atomic.t;
   c_admitted : int Atomic.t;
   c_shed : int Atomic.t;
   c_retried : int Atomic.t;
@@ -86,6 +108,20 @@ type t = {
 }
 
 let config t = t.cfg
+
+(* both require t.lock held *)
+let queued_unsafe t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
+
+let take_unsafe t =
+  let rec go i =
+    if i >= Array.length t.queues then None
+    else
+      match Queue.take_opt t.queues.(i) with
+      | Some env -> Some env
+      | None -> go (i + 1)
+  in
+  go 0
 
 let counters t =
   { admitted = Atomic.get t.c_admitted;
@@ -97,9 +133,17 @@ let counters t =
 
 let pending t =
   Mutex.lock t.lock;
-  let n = Queue.length t.queue in
+  let n = queued_unsafe t in
   Mutex.unlock t.lock;
   n
+
+let pending_lane t lane =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queues.(lane_index lane) in
+  Mutex.unlock t.lock;
+  n
+
+let draining t = Atomic.get t.draining
 
 (* counter bookkeeping and ticket resolution in one place, so the
    quiescent invariant [admitted = completed + shed + failed] holds by
@@ -150,7 +194,7 @@ let worker_loop t () =
   let rec next () =
     Mutex.lock t.lock;
     let rec obtain () =
-      match Queue.take_opt t.queue with
+      match take_unsafe t with
       | Some env ->
         Condition.signal t.space_available;
         Mutex.unlock t.lock;
@@ -184,12 +228,16 @@ let create cfg =
   in
   let t =
     { cfg;
-      queue = Queue.create ();
+      queues = Array.init 3 (fun _ -> Queue.create ());
       lock = Mutex.create ();
       work_available = Condition.create ();
       space_available = Condition.create ();
       stopped = false;
       domains = [||];
+      draining = Atomic.make false;
+      inflight = Hashtbl.create 16;
+      inflight_lock = Mutex.create ();
+      inflight_next = Atomic.make 0;
       c_admitted = Atomic.make 0;
       c_shed = Atomic.make 0;
       c_retried = Atomic.make 0;
@@ -216,23 +264,39 @@ let shutdown t =
      between the stop flag and the Invalid_argument check — or queued
      by a second shutdown caller's interleaving — must still terminate:
      run any leftovers on the shutdown caller, like Pool.shutdown. *)
-  let rec drain () =
+  let rec run_leftovers () =
     Mutex.lock t.lock;
-    let env = Queue.take_opt t.queue in
+    let env = take_unsafe t in
     Mutex.unlock t.lock;
     match env with
     | Some env ->
       env.exec ();
-      drain ()
+      run_leftovers ()
     | None -> ()
   in
-  drain ()
+  run_leftovers ()
+
+(* Drain: flip the draining flag — subsequent attempts resolve as
+   [Interrupted Cancelled] without running, retries stop, and queued
+   envelopes flush through the workers near-instantly — then cancel the
+   guard of every attempt currently executing.  Returns how many live
+   guards were cancelled.  Admission stays open (the caller decides
+   when to [shutdown]); a drained service still resolves every ticket,
+   so the quiescent counter invariant is preserved. *)
+let drain t =
+  Atomic.set t.draining true;
+  Mutex.lock t.inflight_lock;
+  let n = Hashtbl.length t.inflight in
+  Hashtbl.iter (fun _ g -> Guard.cancel g) t.inflight;
+  Mutex.unlock t.inflight_lock;
+  n
 
 (* ------------------------------------------------------------------ *)
 (* submission: envelope construction + admission control               *)
 (* ------------------------------------------------------------------ *)
 
-let submit ?deadline_in ?budget ?max_retries ?fallback t job =
+let submit ?(lane = Normal) ?deadline_in ?budget ?max_retries ?fallback t job
+    =
   let deadline_in =
     match deadline_in with Some _ -> deadline_in | None -> t.cfg.deadline_in
   in
@@ -258,40 +322,70 @@ let submit ?deadline_in ?budget ?max_retries ?fallback t job =
        | exception e -> Failed e)
   in
   let rec attempt n =
-    let guard = Guard.create ?deadline_in ?budget () in
-    let step =
-      match job ~pool ~guard with
-      | v -> `Done (Ok v)
-      | exception Guard.Interrupt (Guard.Budget _ as r) ->
-        (* more time would not help an exhausted budget: degrade
-           instead of retrying *)
-        `Done (degrade_or (Interrupted r))
-      | exception Guard.Interrupt Guard.Cancelled ->
-        `Done (Interrupted Guard.Cancelled)
-      | exception Guard.Interrupt Guard.Deadline -> `Transient `Deadline
-      | exception (Guard.Injected _ as e) -> `Transient (`Fault e)
-      | exception e -> `Done (Failed e)
-    in
-    match step with
-    | `Done outcome -> outcome
-    | `Transient kind ->
-      if n >= max_retries then
-        match kind with
-        | `Deadline -> degrade_or (Interrupted Guard.Deadline)
-        | `Fault e -> Failed e
-      else begin
-        Atomic.incr t.c_retried;
-        (* deterministic exponential backoff: no jitter, so a seeded
-           fault schedule replays the same retry counts *)
-        let d = t.cfg.backoff_base *. (2.0 ** float_of_int n) in
-        if d > 0.0 then Unix.sleepf d;
-        attempt (n + 1)
-      end
+    (* a draining service runs nothing further: queued envelopes and
+       would-be retries resolve as cancelled immediately *)
+    if Atomic.get t.draining then Interrupted Guard.Cancelled
+    else begin
+      let guard = Guard.create ?deadline_in ?budget () in
+      let id = Atomic.fetch_and_add t.inflight_next 1 in
+      Mutex.lock t.inflight_lock;
+      Hashtbl.replace t.inflight id guard;
+      Mutex.unlock t.inflight_lock;
+      (* close the register/drain race: if drain's cancel sweep ran
+         between the flag check and the registration, cancel ourselves *)
+      if Atomic.get t.draining then Guard.cancel guard;
+      let step =
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.lock t.inflight_lock;
+            Hashtbl.remove t.inflight id;
+            Mutex.unlock t.inflight_lock)
+          (fun () ->
+            match job ~pool ~guard with
+            | v -> `Done (Ok v)
+            | exception Guard.Interrupt (Guard.Budget _ as r) ->
+              (* more time would not help an exhausted budget: degrade
+                 instead of retrying *)
+              `Done (degrade_or (Interrupted r))
+            | exception Guard.Interrupt Guard.Cancelled ->
+              `Done (Interrupted Guard.Cancelled)
+            | exception Guard.Interrupt Guard.Deadline -> `Transient `Deadline
+            | exception (Guard.Injected _ as e) -> `Transient (`Fault e)
+            | exception e -> `Done (Failed e))
+      in
+      match step with
+      | `Done outcome -> outcome
+      | `Transient kind ->
+        if n >= max_retries || Atomic.get t.draining then
+          match kind with
+          | `Deadline -> degrade_or (Interrupted Guard.Deadline)
+          | `Fault e -> Failed e
+        else begin
+          Atomic.incr t.c_retried;
+          (* deterministic exponential backoff: no jitter, so a seeded
+             fault schedule replays the same retry counts *)
+          let d = t.cfg.backoff_base *. (2.0 ** float_of_int n) in
+          if d > 0.0 then Unix.sleepf d;
+          attempt (n + 1)
+        end
+    end
   in
   let envelope =
     { exec = (fun () -> publish t ticket (attempt 0));
       shed_env = (fun () -> publish t ticket Overloaded) }
   in
+  (* the admission-path fault site: chaos tests point raise/delay
+     faults here to exercise the shed/response path itself.  A raise
+     resolves the ticket as [Failed] (counted admitted + failed, so
+     the quiescent invariant holds); a delay stalls the submitting
+     caller, simulating a slow admission layer. *)
+  match Guard.inject "service.admit" with
+  | exception (Guard.Injected _ as e) ->
+    Atomic.incr t.c_admitted;
+    publish t ticket (Failed e);
+    ticket
+  | () ->
+  let lane_q = t.queues.(lane_index lane) in
   Mutex.lock t.lock;
   if t.stopped then begin
     Mutex.unlock t.lock;
@@ -299,26 +393,40 @@ let submit ?deadline_in ?budget ?max_retries ?fallback t job =
   end;
   Atomic.incr t.c_admitted;
   let enqueue () =
-    Queue.push envelope t.queue;
+    Queue.push envelope lane_q;
     Condition.signal t.work_available;
     Mutex.unlock t.lock
   in
   (match t.cfg.capacity with
    | None -> enqueue ()
    | Some cap ->
-     if Queue.length t.queue < cap then enqueue ()
+     if queued_unsafe t < cap then enqueue ()
      else
        match t.cfg.shed with
        | Reject ->
          Mutex.unlock t.lock;
          envelope.shed_env ()
        | Drop_oldest ->
-         (* capacity is ≥ 1 and the queue is full, so there is an
-            oldest envelope to evict; shed it after unlocking — its
-            ticket resolution takes the ticket's own lock *)
-         let evicted = Queue.pop t.queue in
-         enqueue ();
-         evicted.shed_env ()
+         (* evict from the lowest-priority lane first: the victim is
+            the oldest envelope of the lowest non-empty lane.  A
+            newcomer of strictly lower priority than everything queued
+            would itself be the victim — shed it instead of displacing
+            better-lane work.  Capacity is ≥ 1 and the queue is full,
+            so a victim lane exists; resolve the evicted ticket after
+            unlocking — it takes the ticket's own lock. *)
+         let victim_lane =
+           let rec go i = if Queue.is_empty t.queues.(i) then go (i - 1) else i in
+           go (Array.length t.queues - 1)
+         in
+         if lane_index lane > victim_lane then begin
+           Mutex.unlock t.lock;
+           envelope.shed_env ()
+         end
+         else begin
+           let evicted = Queue.pop t.queues.(victim_lane) in
+           enqueue ();
+           evicted.shed_env ()
+         end
        | Block ->
          let rec wait () =
            if t.stopped then begin
@@ -327,7 +435,7 @@ let submit ?deadline_in ?budget ?max_retries ?fallback t job =
                 as shed rather than leave the ticket dangling *)
              envelope.shed_env ()
            end
-           else if Queue.length t.queue >= cap then begin
+           else if queued_unsafe t >= cap then begin
              Condition.wait t.space_available t.lock;
              wait ()
            end
@@ -336,5 +444,5 @@ let submit ?deadline_in ?budget ?max_retries ?fallback t job =
          wait ());
   ticket
 
-let run ?deadline_in ?budget ?max_retries ?fallback t job =
-  await (submit ?deadline_in ?budget ?max_retries ?fallback t job)
+let run ?lane ?deadline_in ?budget ?max_retries ?fallback t job =
+  await (submit ?lane ?deadline_in ?budget ?max_retries ?fallback t job)

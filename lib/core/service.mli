@@ -35,13 +35,30 @@
 type shed_policy =
   | Reject  (** answer the {e new} submission with {!Overloaded} *)
   | Drop_oldest
-      (** evict the oldest {e queued} envelope (its ticket resolves to
-          {!Overloaded}) and admit the new one *)
+      (** evict the oldest envelope of the {e lowest-priority non-empty
+          lane} (its ticket resolves to {!Overloaded}) and admit the
+          new one; a newcomer of strictly lower priority than every
+          queued envelope is shed itself instead of displacing
+          better-lane work *)
   | Block
       (** block the submitting domain until a worker frees a slot.
           Never shed; intended for client domains — a job that submits
           back into its own service with [Block] can deadlock, exactly
           like any bounded thread pool. *)
+
+(** Priority lanes.  The admission queue is lane-major: workers always
+    dequeue the oldest [High] envelope before any [Normal] one, and
+    [Normal] before [Low]; within a lane, order is FIFO.  [capacity]
+    bounds the three lanes {e together}, and under {!Drop_oldest} sheds
+    evict the lowest lane first.  Dequeue order is a deterministic
+    function of the queue state, so seeded fault schedules replay
+    identically with lanes in play. *)
+type lane = High | Normal | Low
+
+(** ["high" | "normal" | "low"]. *)
+val lane_to_string : lane -> string
+
+val lane_of_string : string -> lane option
 
 type config = {
   capacity : int option;
@@ -122,9 +139,12 @@ val config : t -> config
 (** Snapshot of the live counters. *)
 val counters : t -> counters
 
-(** Envelopes waiting in the admission queue (in-flight ones excluded);
-    mainly for tests. *)
+(** Envelopes waiting in the admission queue, all lanes summed
+    (in-flight ones excluded); mainly for tests. *)
 val pending : t -> int
+
+(** Envelopes waiting in one lane's queue; mainly for tests. *)
+val pending_lane : t -> lane -> int
 
 (** [submit t job] hands [job] to the front door and returns
     immediately with a ticket ([Block] policy aside, which may wait
@@ -136,8 +156,17 @@ val pending : t -> int
     deadline interrupt that survived all retries — into a [Degraded]
     answer.
 
+    [lane] (default {!Normal}) picks the priority lane.
+
+    The ["service.admit"] fault-injection site fires at the top of
+    every [submit]: a raise-mode fault resolves the ticket as [Failed]
+    without enqueueing (never raised to the caller; counted admitted +
+    failed, so the quiescent invariant holds), a delay-mode fault
+    stalls the submitting caller — a simulated slow admission layer.
+
     @raise Invalid_argument if the service is shut down. *)
 val submit :
+  ?lane:lane ->
   ?deadline_in:float ->
   ?budget:int ->
   ?max_retries:int ->
@@ -156,6 +185,7 @@ val poll : 'a ticket -> 'a outcome option
 
 (** [run t job] = submit-and-await, for synchronous callers. *)
 val run :
+  ?lane:lane ->
   ?deadline_in:float ->
   ?budget:int ->
   ?max_retries:int ->
@@ -163,6 +193,22 @@ val run :
   t ->
   (pool:Pool.t option -> guard:Guard.t -> 'a) ->
   'a outcome
+
+(** [drain t] puts the service in drain mode and force-cancels what is
+    in flight: the draining flag makes every {e not-yet-started}
+    envelope (queued, or mid-backoff between retries) resolve as
+    [Interrupted Cancelled] without running, and every {e currently
+    executing} attempt has its guard cancelled, so the next
+    [Guard.check] inside the evaluators raises.  Returns the number of
+    live guards cancelled.  Admission stays open (post-drain
+    submissions resolve as cancelled too) and every ticket still
+    resolves, so the quiescent invariant [admitted = completed + shed +
+    failed] is preserved; call {!shutdown} afterwards to stop the
+    workers.  Irreversible. *)
+val drain : t -> int
+
+(** [true] once {!drain} has been called. *)
+val draining : t -> bool
 
 (** [shutdown t] stops admission ([submit] raises afterwards), lets the
     workers finish the queue — already-admitted envelopes complete with

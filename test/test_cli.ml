@@ -1,0 +1,219 @@
+(* End-to-end tests for the `incdb serve` subcommand: spawn the real
+   binary, pipe SQL in (stdin mode) or drive it over TCP (--listen),
+   and assert outcome lines, the counters summary, exit codes, and the
+   SIGTERM drain path. *)
+
+(* resolve relative to this test binary so both `dune runtest` (cwd =
+   stanza dir) and `dune exec` (cwd = project root) find it *)
+let exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat Filename.parent_dir_name
+       (Filename.concat "bin" "main.exe"))
+
+let read_all_fd fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* waitpid with a deadline so a wedged child fails the test instead of
+   hanging the suite *)
+let wait_exit ?(timeout = 30.0) pid =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if Unix.gettimeofday () > deadline then begin
+        Unix.kill pid Sys.sigkill;
+        ignore (Unix.waitpid [] pid);
+        Alcotest.fail "child did not exit before the deadline"
+      end
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+    | _, Unix.WEXITED code -> code
+    | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+      Alcotest.fail (Printf.sprintf "child killed by signal %d" s)
+  in
+  go ()
+
+(* cloexec: the child must not inherit the parent's pipe ends, or its
+   stdin never sees EOF (create_process dup2s the passed fds onto
+   0/1/2, which clears the flag on those) *)
+let spawn ?(env = []) args =
+  let in_r, in_w = Unix.pipe ~cloexec:true () in
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  let full_env = Array.append (Unix.environment ()) (Array.of_list env) in
+  let pid =
+    Unix.create_process_env exe
+      (Array.of_list (exe :: args))
+      full_env in_r out_w Unix.stderr
+  in
+  Unix.close in_r;
+  Unix.close out_w;
+  (pid, in_w, out_r)
+
+let write_stdin fd s =
+  ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s));
+  Unix.close fd
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* stdin mode                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_stdin_ok () =
+  let pid, stdin_w, stdout_r =
+    spawn [ "serve"; "--null-rate"; "1"; "--workers"; "2" ]
+  in
+  write_stdin stdin_w
+    "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)\n\
+     this is not sql\n\
+     SELECT title FROM Orders\n";
+  let out = read_all_fd stdout_r in
+  Unix.close stdout_r;
+  let code = wait_exit pid in
+  Alcotest.(check int) "clean exit" 0 code;
+  Alcotest.(check bool) ("[1] ok line in: " ^ out) true
+    (contains "[1] ok (" out);
+  Alcotest.(check bool) "[2] parse error line" true
+    (contains "[2] parse error:" out);
+  Alcotest.(check bool) "[3] ok line" true (contains "[3] ok (3 tuples)" out);
+  Alcotest.(check bool) "counters summary" true
+    (contains "-- admitted 2, completed 2" out)
+
+(* a query that resolves Failed (a persistent injected fault with no
+   retries) must flip the exit code *)
+let test_stdin_failed_exit () =
+  let pid, stdin_w, stdout_r =
+    spawn
+      ~env:[ "INCDB_FAULT=world.chunk:1.0:7" ]
+      [ "serve"; "--null-rate"; "1"; "--retries"; "0" ]
+  in
+  write_stdin stdin_w
+    "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)\n";
+  let out = read_all_fd stdout_r in
+  Unix.close stdout_r;
+  let code = wait_exit pid in
+  Alcotest.(check bool) ("failed line in: " ^ out) true
+    (contains "[1] failed:" out);
+  Alcotest.(check int) "non-zero exit when a query failed" 1 code
+
+(* ------------------------------------------------------------------ *)
+(* network mode                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* read one '\n'-terminated line from an fd *)
+let read_line_fd fd =
+  let buf = Buffer.create 64 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> Buffer.contents buf
+    | _ ->
+      if Bytes.get b 0 = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Bytes.get b 0);
+        go ()
+      end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let spawn_listen args =
+  let pid, stdin_w, stdout_r = spawn ([ "serve"; "--null-rate"; "1" ] @ args) in
+  Unix.close stdin_w;
+  let banner = read_line_fd stdout_r in
+  let port =
+    match String.rindex_opt banner ':' with
+    | Some i ->
+      (match
+         int_of_string_opt
+           (String.sub banner (i + 1) (String.length banner - i - 1))
+       with
+       | Some p -> p
+       | None -> Alcotest.fail ("unparsable banner: " ^ banner))
+    | None -> Alcotest.fail ("unparsable banner: " ^ banner)
+  in
+  Alcotest.(check bool) "banner announces the port" true
+    (contains "listening on 127.0.0.1:" banner);
+  (pid, stdout_r, port)
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  fd
+
+let send_fd fd s = ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s))
+
+let test_listen_roundtrip () =
+  let pid, stdout_r, port = spawn_listen [ "--listen"; "127.0.0.1:0" ] in
+  let fd = connect port in
+  send_fd fd "#priority high\n";
+  Alcotest.(check string) "priority ack" "#ok priority high" (read_line_fd fd);
+  send_fd fd "SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)\n";
+  let reply = read_line_fd fd in
+  Alcotest.(check bool) ("ok reply, got " ^ reply) true
+    (contains "[1] ok (" reply);
+  send_fd fd "#drain\n";
+  Alcotest.(check string) "drain ack" "#ok draining" (read_line_fd fd);
+  Unix.close fd;
+  let rest = read_all_fd stdout_r in
+  Unix.close stdout_r;
+  let code = wait_exit pid in
+  Alcotest.(check int) "clean exit after #drain" 0 code;
+  Alcotest.(check bool) "drain summary printed" true
+    (contains "-- drain:" rest && contains "invariant ok" rest)
+
+let test_listen_sigterm_drain () =
+  let pid, stdout_r, port =
+    spawn_listen [ "--listen"; "127.0.0.1:0"; "--drain-deadline"; "1" ]
+  in
+  (* leave a connection open so the drain actually has a client to shut
+     out, then deliver the signal *)
+  let fd = connect port in
+  send_fd fd "SELECT title FROM Orders\n";
+  let reply = read_line_fd fd in
+  Alcotest.(check bool) ("served before signal, got " ^ reply) true
+    (contains "[1] ok (" reply);
+  Unix.kill pid Sys.sigterm;
+  let rest = read_all_fd stdout_r in
+  Unix.close stdout_r;
+  let code = wait_exit pid in
+  Unix.close fd;
+  Alcotest.(check int) "clean exit after SIGTERM" 0 code;
+  Alcotest.(check bool) "counters summary printed" true
+    (contains "-- queries:" rest);
+  Alcotest.(check bool) "invariant held" true (contains "invariant ok" rest)
+
+(* ------------------------------------------------------------------ *)
+(* suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "cli-serve"
+    [ ( "stdin",
+        [ Alcotest.test_case "outcome lines + summary + exit 0" `Quick
+            test_stdin_ok;
+          Alcotest.test_case "failed query flips the exit code" `Quick
+            test_stdin_failed_exit ] );
+      ( "listen",
+        [ Alcotest.test_case "TCP round trip + #drain" `Quick
+            test_listen_roundtrip;
+          Alcotest.test_case "SIGTERM drains gracefully" `Quick
+            test_listen_sigterm_drain ] ) ]

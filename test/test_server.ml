@@ -1,0 +1,610 @@
+(* Chaos suite for the TCP serving layer (DESIGN.md §4f): protocol
+   round trips, slowloris/oversized-frame protection, mid-query
+   disconnects, the connection cap, per-client quota storms, priority
+   lanes over sockets, a 3-client loopback differential against the
+   sequential reference, drain under load, and wildcard raise faults
+   at every site — the accept loop must survive all of it. *)
+
+open Incdb_relational
+open Helpers
+
+let pool2 = Pool.create ~size:2 ()
+
+let () =
+  Pool.scan_cutoff := 0;
+  Pool.join_cutoff := 0;
+  at_exit (fun () -> Pool.shutdown pool2)
+
+let base_svc_cfg =
+  { (Service.default_config ~pool:(Some pool2) ()) with
+    Service.max_retries = 0;
+    backoff_base = 0.0 }
+
+let base_cfg =
+  { (Server.default_config ()) with
+    Server.read_timeout = 2.0;
+    drain_deadline = 1.0;
+    service = base_svc_cfg }
+
+(* ------------------------------------------------------------------ *)
+(* a toy protocol: one verb per line, every job cancellable            *)
+(* ------------------------------------------------------------------ *)
+
+(* verbs:
+     const X    reply X
+     spin MS    busy-poll the guard for MS milliseconds (cancellable)
+     fail       raise inside the job
+   anything else is a parse error *)
+let toy_handler line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "const"; x ] -> Ok { Server.run = (fun ~pool:_ ~guard:_ -> x); fallback = None }
+  | [ "spin"; ms ] ->
+    (match int_of_string_opt ms with
+     | None -> Error "spin wants an integer"
+     | Some ms ->
+       Ok
+         { Server.run =
+             (fun ~pool:_ ~guard ->
+               let until = Unix.gettimeofday () +. (float_of_int ms /. 1000.0) in
+               while Unix.gettimeofday () < until do
+                 Guard.check_exn guard;
+                 Domain.cpu_relax ()
+               done;
+               "spun");
+           fallback = None })
+  | [ "fail" ] ->
+    Ok
+      { Server.run = (fun ~pool:_ ~guard:_ -> failwith "toy failure");
+        fallback = None }
+  | _ -> Error "unknown verb"
+
+let with_server cfg handler f =
+  let srv = Server.create cfg handler in
+  Fun.protect
+    (fun () -> f srv)
+    ~finally:(fun () ->
+      Server.drain srv;
+      ignore (Server.wait srv))
+
+(* ------------------------------------------------------------------ *)
+(* a line-oriented loopback client with its own read timeout           *)
+(* ------------------------------------------------------------------ *)
+
+exception Client_timeout
+
+type client = { fd : Unix.file_descr; mutable buf : string }
+
+let connect ?(timeout = 10.0) port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+  { fd; buf = "" }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send c line =
+  let msg = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length msg in
+  let rec go off =
+    if off < len then
+      match Unix.write c.fd msg off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* raw bytes, no newline — for slowloris/oversized tests *)
+let send_raw c s =
+  ignore (Unix.write c.fd (Bytes.of_string s) 0 (String.length s))
+
+let recv_line c =
+  let rec go () =
+    match String.index_opt c.buf '\n' with
+    | Some i ->
+      let line = String.sub c.buf 0 i in
+      c.buf <- String.sub c.buf (i + 1) (String.length c.buf - i - 1);
+      Some line
+    | None ->
+      let chunk = Bytes.create 4096 in
+      (match Unix.read c.fd chunk 0 4096 with
+       | 0 -> None
+       | n ->
+         c.buf <- c.buf ^ Bytes.sub_string chunk 0 n;
+         go ()
+       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+         raise Client_timeout
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+       | exception Unix.Unix_error (_, _, _) -> None)
+  in
+  go ()
+
+let expect_line name c pred =
+  match recv_line c with
+  | None -> Alcotest.fail (name ^ ": connection closed instead of a line")
+  | Some line ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: unexpected line %S" name line)
+      true (pred line)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* protocol round trips                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip () =
+  with_server base_cfg toy_handler (fun srv ->
+      let c = connect (Server.port srv) in
+      send c "const hello";
+      expect_line "ok line" c (fun l ->
+          starts_with "[1] ok hello" l);
+      send c "  ";
+      send c "nonsense";
+      expect_line "parse error" c (starts_with "[2] parse error:");
+      send c "fail";
+      expect_line "failed outcome" c (fun l ->
+          starts_with "[3] failed:" l && contains "toy failure" l);
+      send c "#client alice";
+      expect_line "client ack" c (( = ) "#ok client alice");
+      send c "#priority high";
+      expect_line "priority ack" c (( = ) "#ok priority high");
+      send c "#priority bogus";
+      expect_line "priority rejected" c (starts_with "#err unknown priority");
+      send c "#frobnicate";
+      expect_line "unknown directive" c (( = ) "#err unknown directive");
+      send c "#counters";
+      (* parse errors never reach the service: 2 queries, not 3 *)
+      expect_line "counters line" c (fun l ->
+          starts_with "#counters " l && contains "admitted=" l
+          && contains "queries=2" l);
+      close c;
+      let cn = Server.counters srv in
+      Alcotest.(check int) "one connection accepted" 1 cn.Server.accepted;
+      Alcotest.(check int) "two queries" 2 cn.Server.queries)
+
+(* ------------------------------------------------------------------ *)
+(* connection lifecycle: slowloris, oversized frames, disconnects, cap *)
+(* ------------------------------------------------------------------ *)
+
+let test_slow_writer () =
+  with_server
+    { base_cfg with Server.read_timeout = 0.15 }
+    toy_handler
+    (fun srv ->
+      let c = connect (Server.port srv) in
+      (* a line that never finishes: the per-read deadline answers it *)
+      send_raw c "const trickle";
+      expect_line "read timeout" c (( = ) "#err read timeout");
+      close c;
+      (* the accept loop is untouched: a fresh client is served *)
+      let c2 = connect (Server.port srv) in
+      send c2 "const after";
+      expect_line "served after slowloris" c2 (starts_with "[1] ok after");
+      close c2;
+      Alcotest.(check bool) "timeout counted" true
+        ((Server.counters srv).Server.timeouts >= 1))
+
+let test_oversized_line () =
+  with_server
+    { base_cfg with Server.max_line = 64 }
+    toy_handler
+    (fun srv ->
+      let c = connect (Server.port srv) in
+      send c ("const " ^ String.make 200 'x');
+      expect_line "oversized rejected" c
+        (( = ) "#err line too long (max 64 bytes)");
+      close c;
+      let c2 = connect (Server.port srv) in
+      send c2 "const ok";
+      expect_line "served after oversize" c2 (starts_with "[1] ok ok");
+      close c2;
+      Alcotest.(check bool) "oversize counted" true
+        ((Server.counters srv).Server.oversized >= 1))
+
+let test_mid_query_disconnect () =
+  with_server base_cfg toy_handler (fun srv ->
+      let c = connect (Server.port srv) in
+      send c "spin 200";
+      (* vanish while the query is in flight: the response write hits a
+         dead socket and must end only this connection *)
+      close c;
+      let c2 = connect (Server.port srv) in
+      send c2 "const alive";
+      expect_line "accept loop survives the disconnect" c2
+        (starts_with "[1] ok alive");
+      close c2)
+
+let test_busy_cap () =
+  with_server
+    { base_cfg with Server.max_connections = 1 }
+    toy_handler
+    (fun srv ->
+      let c1 = connect (Server.port srv) in
+      send c1 "const first";
+      expect_line "occupant served" c1 (starts_with "[1] ok first");
+      let c2 = connect (Server.port srv) in
+      expect_line "overflow answered structurally" c2 (( = ) "#busy");
+      Alcotest.(check (option string))
+        "overflow connection closed" None (recv_line c2);
+      close c2;
+      close c1;
+      Alcotest.(check bool) "busy counted" true
+        ((Server.counters srv).Server.rejected_busy >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* per-client fairness quotas                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_quota_storm () =
+  with_server
+    { base_cfg with
+      Server.client_quota = Some 1;
+      service = { base_svc_cfg with Service.workers = 1 } }
+    toy_handler
+    (fun srv ->
+      (* both connections present the same #client id, so the second
+         query finds the shared token gone *)
+      let c1 = connect (Server.port srv) in
+      let c2 = connect (Server.port srv) in
+      send c1 "#client shared";
+      expect_line "c1 ack" c1 (( = ) "#ok client shared");
+      send c2 "#client shared";
+      expect_line "c2 ack" c2 (( = ) "#ok client shared");
+      send c1 "spin 800";
+      (* wait until c1's token is actually held *)
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      while
+        (Server.counters srv).Server.queries < 1
+        && Unix.gettimeofday () < deadline
+      do
+        Domain.cpu_relax ()
+      done;
+      send c2 "const greedy";
+      expect_line "over-quota shed before admission" c2
+        (( = ) "[1] overloaded (client quota)");
+      expect_line "token holder completes" c1 (starts_with "[1] ok spun");
+      (* token released: the same client is served again *)
+      send c2 "const retry";
+      expect_line "served once the token is back" c2
+        (starts_with "[2] ok retry");
+      close c1;
+      close c2;
+      Alcotest.(check bool) "quota shed counted" true
+        ((Server.counters srv).Server.quota_shed >= 1);
+      (* quota sheds never reached the service: admitted only the runs *)
+      let s = Service.counters (Server.service srv) in
+      Alcotest.(check int) "shed before the admission queue" 0
+        s.Service.shed)
+
+(* an unrelated client is NOT throttled by the greedy one's quota *)
+let test_quota_isolation () =
+  with_server
+    { base_cfg with
+      Server.client_quota = Some 1;
+      service = { base_svc_cfg with Service.workers = 2 } }
+    toy_handler
+    (fun srv ->
+      let greedy = connect (Server.port srv) in
+      send greedy "#client hog";
+      expect_line "hog ack" greedy (( = ) "#ok client hog");
+      send greedy "spin 500";
+      let other = connect (Server.port srv) in
+      send other "const prompt";
+      expect_line "other client unaffected" other (starts_with "[1] ok prompt");
+      expect_line "hog completes" greedy (starts_with "[1] ok spun");
+      close greedy;
+      close other)
+
+(* ------------------------------------------------------------------ *)
+(* priority lanes over sockets                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_lanes_over_sockets () =
+  (* one worker busy on a spin; high and low queries queued behind it
+     from different connections must complete lane-major *)
+  with_server
+    { base_cfg with
+      Server.client_quota = None;
+      service = { base_svc_cfg with Service.workers = 1 } }
+    toy_handler
+    (fun srv ->
+      let blocker = connect (Server.port srv) in
+      send blocker "spin 400";
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      while
+        (Server.counters srv).Server.queries < 1
+        && Unix.gettimeofday () < deadline
+      do
+        Domain.cpu_relax ()
+      done;
+      let low = connect (Server.port srv) in
+      send low "#priority low";
+      expect_line "low ack" low (( = ) "#ok priority low");
+      send low "const lowjob";
+      let high = connect (Server.port srv) in
+      send high "#priority high";
+      expect_line "high ack" high (( = ) "#ok priority high");
+      send high "const highjob";
+      (* give both time to reach the admission queue behind the spin *)
+      let svc = Server.service srv in
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      while Service.pending svc < 2 && Unix.gettimeofday () < deadline do
+        Domain.cpu_relax ()
+      done;
+      Alcotest.(check int) "one queued high" 1
+        (Service.pending_lane svc Service.High);
+      Alcotest.(check int) "one queued low" 1
+        (Service.pending_lane svc Service.Low);
+      expect_line "high completes" high (starts_with "[1] ok highjob");
+      expect_line "low completes" low (starts_with "[1] ok lowjob");
+      expect_line "blocker completes" blocker (starts_with "[1] ok spun");
+      close blocker; close low; close high)
+
+(* ------------------------------------------------------------------ *)
+(* 3-client loopback differential against the sequential reference     *)
+(* ------------------------------------------------------------------ *)
+
+(* deterministic one-line rendering: pp is a stable function of the
+   relation value, so concurrent = sequential reduces to string
+   equality over the wire *)
+let render r =
+  String.map (fun ch -> if ch = '\n' then ';' else ch)
+    (Format.asprintf "%a" Relation.pp r)
+
+let diff_cases n seed =
+  let gen = QCheck2.Gen.pair (gen_db ()) (gen_query ~allow_division:true ()) in
+  QCheck2.Gen.generate ~rand:(Random.State.make [| seed |]) ~n gen
+
+let test_loopback_differential () =
+  let cases = Array.of_list (diff_cases 18 4321) in
+  let expected =
+    Array.map (fun (db, q) -> render (Eval.run ~pool:None db q)) cases
+  in
+  (* the handler indexes into the shared case table: "q <i>" *)
+  let handler line =
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "q"; i ] ->
+      (match int_of_string_opt i with
+       | Some i when i >= 0 && i < Array.length cases ->
+         let db, q = cases.(i) in
+         Ok
+           { Server.run =
+               (fun ~pool ~guard -> render (Eval.run ~pool ~guard db q));
+             fallback = None }
+       | _ -> Error "index out of range")
+    | _ -> Error "expected q <i>"
+  in
+  let lanes = [| "high"; "normal"; "low" |] in
+  List.iter
+    (fun capacity ->
+      with_server
+        { base_cfg with
+          Server.client_quota = None;
+          service =
+            { base_svc_cfg with
+              Service.capacity;
+              shed = Service.Block;
+              workers = 3 } }
+        handler
+        (fun srv ->
+          let clients =
+            Array.init 3 (fun k ->
+                Domain.spawn (fun () ->
+                    let c = connect (Server.port srv) in
+                    send c ("#priority " ^ lanes.(k));
+                    (match recv_line c with
+                     | Some l when starts_with "#ok priority" l -> ()
+                     | _ -> failwith "no priority ack");
+                    (* each client owns the cases ≡ k (mod 3) *)
+                    let mine = ref [] in
+                    Array.iteri
+                      (fun i _ -> if i mod 3 = k then mine := i :: !mine)
+                      cases;
+                    List.rev_map
+                      (fun i ->
+                        send c (Printf.sprintf "q %d" i);
+                        match recv_line c with
+                        | Some l -> (i, l)
+                        | None -> (i, "<closed>"))
+                      !mine
+                    |> fun r ->
+                    close c;
+                    r))
+          in
+          Array.iter
+            (fun d ->
+              List.iter
+                (fun (i, line) ->
+                  (* the response is "[n] ok <render> <ms>ms": cut the
+                     sequence number and the timing off *)
+                  let ok_prefix = Printf.sprintf "ok %s " expected.(i) in
+                  match String.index_opt line ' ' with
+                  | Some sp ->
+                    let body =
+                      String.sub line (sp + 1) (String.length line - sp - 1)
+                    in
+                    Alcotest.(check bool)
+                      (Printf.sprintf
+                         "case %d bit-identical to sequential (got %S)" i body)
+                      true
+                      (starts_with ok_prefix body)
+                  | None -> Alcotest.fail ("malformed response " ^ line))
+                (Domain.join d))
+            clients;
+          let s = Service.counters (Server.service srv) in
+          Alcotest.(check int) "block policy never sheds" 0 s.Service.shed;
+          Alcotest.(check int) "no failures" 0 s.Service.failed))
+    [ Some 1; Some 4; None ]
+
+(* ------------------------------------------------------------------ *)
+(* graceful drain                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_drain_under_load () =
+  let cfg =
+    { base_cfg with
+      Server.drain_deadline = 0.3;
+      read_timeout = 1.0;
+      client_quota = None;
+      service = { base_svc_cfg with Service.workers = 2 } }
+  in
+  let srv = Server.create cfg toy_handler in
+  (* park both workers on long cancellable spins, plus one queued *)
+  let clients =
+    List.init 3 (fun _ ->
+        let c = connect (Server.port srv) in
+        send c "spin 30000";
+        c)
+  in
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  while
+    (Server.counters srv).Server.queries < 3
+    && Unix.gettimeofday () < deadline
+  do
+    Domain.cpu_relax ()
+  done;
+  let t0 = Unix.gettimeofday () in
+  Server.drain srv;
+  let stats = Server.wait srv in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "drain terminated promptly (%.1fs)" elapsed)
+    true
+    (elapsed < cfg.Server.drain_deadline +. cfg.Server.read_timeout +. 3.0);
+  Alcotest.(check bool) "in-flight spins were force-cancelled" true
+    (stats.Server.forced_cancels >= 1);
+  Alcotest.(check bool) "counter invariant held at exit" true
+    stats.Server.invariant_ok;
+  List.iter close clients
+
+(* a client sees its own #drain acknowledged and in-flight work resolve *)
+let test_drain_directive () =
+  with_server base_cfg toy_handler (fun srv ->
+      let c = connect (Server.port srv) in
+      send c "const before";
+      expect_line "served before drain" c (starts_with "[1] ok before");
+      send c "#drain";
+      expect_line "drain acked" c (( = ) "#ok draining");
+      Alcotest.(check bool) "server draining" true (Server.draining srv);
+      close c)
+
+(* ------------------------------------------------------------------ *)
+(* concurrent chaos: everything at once, then a clean client           *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_chaos () =
+  with_server
+    { base_cfg with
+      Server.read_timeout = 0.2;
+      client_quota = Some 1;
+      service = { base_svc_cfg with Service.workers = 2 } }
+    toy_handler
+    (fun srv ->
+      let chaos =
+        [ Domain.spawn (fun () ->
+              (* slowloris *)
+              let c = connect (Server.port srv) in
+              send_raw c "const never-finis";
+              (try ignore (recv_line c) with Client_timeout -> ());
+              close c);
+          Domain.spawn (fun () ->
+              (* mid-query disconnects, repeatedly *)
+              for _ = 1 to 5 do
+                let c = connect (Server.port srv) in
+                send c "spin 100";
+                close c
+              done);
+          Domain.spawn (fun () ->
+              (* over-quota storm on a shared id *)
+              let cs =
+                List.init 4 (fun _ ->
+                    let c = connect (Server.port srv) in
+                    send c "#client storm";
+                    ignore (recv_line c);
+                    send c "spin 120";
+                    c)
+              in
+              List.iter
+                (fun c ->
+                  (try ignore (recv_line c) with Client_timeout -> ());
+                  close c)
+                cs) ]
+      in
+      List.iter Domain.join chaos;
+      (* the accept loop took all of that and still serves cleanly *)
+      let c = connect (Server.port srv) in
+      send c "const calm";
+      expect_line "clean client after the storm" c (starts_with "[1] ok calm");
+      close c)
+
+(* ------------------------------------------------------------------ *)
+(* fault injection at every site, including service.admit              *)
+(* ------------------------------------------------------------------ *)
+
+let test_wildcard_faults () =
+  Alcotest.(check bool) "spec parses" true (Guard.set_faults "*:0.3:11");
+  Fun.protect ~finally:Guard.clear_faults (fun () ->
+      with_server
+        { base_cfg with Server.client_quota = None }
+        toy_handler
+        (fun srv ->
+          let c = connect (Server.port srv) in
+          for n = 1 to 12 do
+            send c "const steady";
+            expect_line "structured outcome under faults" c (fun l ->
+                starts_with (Printf.sprintf "[%d] ok" n) l
+                || starts_with (Printf.sprintf "[%d] failed:" n) l)
+          done;
+          close c;
+          let s = Service.counters (Server.service srv) in
+          Alcotest.(check int) "every query terminated" 12
+            (s.Service.completed + s.Service.shed + s.Service.failed)));
+  (* drain with the faults cleared: the invariant survived the storm *)
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "server"
+    [ ( "protocol",
+        [ Alcotest.test_case "round trips and directives" `Quick
+            test_roundtrip ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "slow writer hits the read deadline" `Quick
+            test_slow_writer;
+          Alcotest.test_case "oversized line rejected" `Quick
+            test_oversized_line;
+          Alcotest.test_case "mid-query disconnect isolated" `Quick
+            test_mid_query_disconnect;
+          Alcotest.test_case "connection cap answers #busy" `Quick
+            test_busy_cap ] );
+      ( "quotas",
+        [ Alcotest.test_case "over-quota storm shed before admission" `Quick
+            test_quota_storm;
+          Alcotest.test_case "other clients unaffected" `Quick
+            test_quota_isolation ] );
+      ( "lanes",
+        [ Alcotest.test_case "priority preamble orders service lanes" `Quick
+            test_lanes_over_sockets ] );
+      ( "differential",
+        [ Alcotest.test_case "3 clients × capacities, bit-identical" `Slow
+            test_loopback_differential ] );
+      ( "drain",
+        [ Alcotest.test_case "drain under load force-cancels in time" `Quick
+            test_drain_under_load;
+          Alcotest.test_case "#drain directive acknowledged" `Quick
+            test_drain_directive ] );
+      ( "chaos",
+        [ Alcotest.test_case "slowloris + disconnects + quota storm" `Quick
+            test_concurrent_chaos;
+          Alcotest.test_case "wildcard raise faults stay structured" `Quick
+            test_wildcard_faults ] ) ]

@@ -567,6 +567,152 @@ let test_envelope_not_worker () =
       | o -> Alcotest.fail ("expected ok, got " ^ Service.outcome_label o))
 
 (* ------------------------------------------------------------------ *)
+(* priority lanes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* jobs record their tag on completion; with one parked worker the
+   record order IS the dequeue order *)
+let marking_job marks lock tag =
+  fun ~pool:_ ~guard:_ ->
+    Mutex.lock lock;
+    marks := tag :: !marks;
+    Mutex.unlock lock;
+    0
+
+let test_lane_order () =
+  let marks = ref [] and lock = Mutex.create () in
+  parked_service { base_cfg with Service.workers = 1 } (fun svc release ->
+      spin_until (fun () -> Service.pending svc = 0);
+      let submit lane tag =
+        Service.submit svc ~lane (marking_job marks lock tag)
+      in
+      (* sequential lets: list elements evaluate right-to-left, which
+         would reverse the submission order *)
+      let t1 = submit Service.Low "l1" in
+      let t2 = submit Service.Normal "n1" in
+      let t3 = submit Service.High "h1" in
+      let t4 = submit Service.Normal "n2" in
+      let t5 = submit Service.Low "l2" in
+      let t6 = submit Service.High "h2" in
+      let tickets = [ t1; t2; t3; t4; t5; t6 ] in
+      Alcotest.(check int) "high lane holds two" 2
+        (Service.pending_lane svc Service.High);
+      Alcotest.(check int) "normal lane holds two" 2
+        (Service.pending_lane svc Service.Normal);
+      Alcotest.(check int) "low lane holds two" 2
+        (Service.pending_lane svc Service.Low);
+      release ();
+      List.iter (fun tk -> check_int_ok "lane job completes" 0 (Service.await tk))
+        tickets;
+      Alcotest.(check (list string))
+        "dequeue is lane-major, FIFO within a lane"
+        [ "h1"; "h2"; "n1"; "n2"; "l1"; "l2" ]
+        (List.rev !marks);
+      check_counter_invariant "lane order" svc)
+
+let test_drop_oldest_lane_eviction () =
+  parked_service
+    { base_cfg with
+      Service.capacity = Some 2;
+      shed = Service.Drop_oldest;
+      workers = 1 }
+    (fun svc release ->
+      spin_until (fun () -> Service.pending svc = 0);
+      let h1 = Service.submit svc ~lane:Service.High (const_job 1) in
+      let l1 = Service.submit svc ~lane:Service.Low (const_job 2) in
+      (* queue full: the normal newcomer evicts the LOW envelope, not
+         the oldest overall (h1 is older) *)
+      let n1 = Service.submit svc ~lane:Service.Normal (const_job 3) in
+      check_overloaded "low envelope evicted first" (Service.await l1);
+      Alcotest.(check int) "high envelope untouched" 1
+        (Service.pending_lane svc Service.High);
+      (* a newcomer strictly below everything queued is shed itself
+         rather than displacing better-lane work *)
+      let l2 = Service.submit svc ~lane:Service.Low (const_job 4) in
+      check_overloaded "lower-lane newcomer shed itself" (Service.await l2);
+      Alcotest.(check int) "queue still at capacity" 2 (Service.pending svc);
+      release ();
+      check_int_ok "high survives" 1 (Service.await h1);
+      check_int_ok "normal newcomer admitted" 3 (Service.await n1);
+      let c = Service.counters svc in
+      Alcotest.(check int) "two shed" 2 c.Service.shed;
+      check_counter_invariant "lane eviction" svc)
+
+(* ------------------------------------------------------------------ *)
+(* drain                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_drain_cancels_inflight () =
+  with_service { base_cfg with Service.workers = 1 } (fun svc ->
+      let started = Atomic.make false in
+      (* an in-flight job that cooperatively polls its guard: drain's
+         Guard.cancel surfaces at the next check *)
+      let running =
+        Service.submit svc (fun ~pool:_ ~guard ->
+            Atomic.set started true;
+            while true do
+              Guard.check_exn guard;
+              Domain.cpu_relax ()
+            done;
+            0)
+      in
+      spin_until (fun () -> Atomic.get started);
+      let queued = Service.submit svc (const_job 7) in
+      let forced = Service.drain svc in
+      Alcotest.(check int) "one live guard cancelled" 1 forced;
+      (match Service.await running with
+       | Service.Interrupted Guard.Cancelled -> ()
+       | o ->
+         Alcotest.fail
+           ("in-flight job should be cancelled, got "
+            ^ Service.outcome_label o));
+      (match Service.await queued with
+       | Service.Interrupted Guard.Cancelled -> ()
+       | o ->
+         Alcotest.fail
+           ("queued envelope should resolve cancelled without running, got "
+            ^ Service.outcome_label o));
+      Alcotest.(check bool) "draining flag up" true (Service.draining svc);
+      (* post-drain submissions still resolve (as cancelled), keeping
+         every ticket terminating and the invariant intact *)
+      (match Service.run svc (const_job 9) with
+       | Service.Interrupted Guard.Cancelled -> ()
+       | o ->
+         Alcotest.fail
+           ("post-drain submission should cancel, got "
+            ^ Service.outcome_label o));
+      check_counter_invariant "drain" svc)
+
+(* ------------------------------------------------------------------ *)
+(* the service.admit fault site                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_admit_fault_site () =
+  (* raise mode: the ticket resolves Failed without enqueueing; the
+     caller never sees the exception *)
+  with_faults "service.admit:1.0:3" (fun () ->
+      with_service base_cfg (fun svc ->
+          (match Service.run svc (const_job 1) with
+           | Service.Failed (Guard.Injected "service.admit") -> ()
+           | o ->
+             Alcotest.fail
+               ("expected failed(service.admit), got "
+                ^ Service.outcome_label o));
+          let c = Service.counters svc in
+          Alcotest.(check int) "admitted counts the faulted submit" 1
+            c.Service.admitted;
+          Alcotest.(check int) "failure recorded" 1 c.Service.failed;
+          Alcotest.(check int) "nothing reached the queue" 0
+            (Service.pending svc);
+          check_counter_invariant "admit fault" svc));
+  (* delay mode: admission stalls but results are untouched *)
+  with_faults "service.admit:1.0:3:delay=1" (fun () ->
+      with_service base_cfg (fun svc ->
+          check_int_ok "delayed admission still completes" 5
+            (Service.run svc (const_job 5));
+          check_counter_invariant "admit delay" svc))
+
+(* ------------------------------------------------------------------ *)
 (* shutdown                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -619,6 +765,16 @@ let () =
             `Quick test_new_fault_sites;
           Alcotest.test_case "service never wedges under raise faults" `Quick
             test_service_never_wedges ] );
+      ( "lanes",
+        [ Alcotest.test_case "dequeue is lane-major" `Quick test_lane_order;
+          Alcotest.test_case "drop-oldest evicts the lowest lane" `Quick
+            test_drop_oldest_lane_eviction ] );
+      ( "drain",
+        [ Alcotest.test_case "drain cancels in-flight and queued" `Quick
+            test_drain_cancels_inflight ] );
+      ( "admit-site",
+        [ Alcotest.test_case "service.admit fails/delays structurally" `Quick
+            test_admit_fault_site ] );
       ( "worker-flag",
         [ Alcotest.test_case "chunks raise the flag everywhere" `Quick
             test_chunk_worker_flag;
