@@ -26,13 +26,14 @@
      e17  resource governor: guard overhead + exact→approximate fallback
      e18  concurrent front door: admission, shedding, degradation
      e19  TCP serving layer: mixed-priority storms, quotas, drain
+     e20  semantic result cache + incremental Datalog maintenance
 
    Flags:
      --json      write e15 to BENCH_PR1.json, e16 to BENCH_PR2.json,
-                 e17 to BENCH_PR3.json, e18 to BENCH_PR4.json and
-                 e19 to BENCH_PR5.json
+                 e17 to BENCH_PR3.json, e18 to BENCH_PR4.json,
+                 e19 to BENCH_PR5.json and e20 to BENCH_PR6.json
      --seed N    offset every workload generator seed by N
-     --small     shrink e16/e17/e18/e19 workloads for CI smoke runs *)
+     --small     shrink e16/e17/e18/e19/e20 workloads for CI smoke runs *)
 
 open Incdb
 
@@ -1684,7 +1685,7 @@ let exp_e19 () =
         { Server.run =
             (fun ~pool ~guard ->
               string_of_int (Relation.cardinal (Eval.run ~pool ~guard db join_q)));
-          fallback = None }
+          fallback = None; cache = None }
     | _ -> Error "unknown verb"
   in
   let per_client = if !bench_small then 6 else 24 in
@@ -1854,7 +1855,7 @@ let exp_e19 () =
                 !total + Relation.cardinal (Eval.run ~pool ~guard db join_q)
             done;
             string_of_int !total);
-        fallback = None }
+        fallback = None; cache = None }
   in
   let srv =
     Server.create
@@ -1946,6 +1947,245 @@ let write_e19_json path =
   Printf.printf "\nwrote %s (%d measurements)\n" path
     (List.length lanes + List.length !e19_quota
     + match !e19_drain with Some _ -> 1 | None -> 0)
+
+(* ------------------------------------------------------------------ *)
+(* E20: semantic result cache + incremental Datalog maintenance        *)
+(* ------------------------------------------------------------------ *)
+
+(* rows for --json:
+   (pool, update_rate, query_ops, hits, stale, cached_p50, uncached_p50) *)
+let e20_grid : (int * float * int * int * int * float * float) list ref =
+  ref []
+
+(* rows for --json: (op, delta, incremental_ms, scratch_ms) *)
+let e20_incr : (string * int * float * float) list ref = ref []
+
+let exp_e20 () =
+  hr "E20: semantic result cache and incremental Datalog maintenance";
+  let rows = if !bench_small then 200 else 600 in
+  let db0 = e15_db (rng_of 20000) ~rows in
+  (* a pool of K alpha-distinct certain-answer queries over the e15
+     join grid: the pool size sets the attainable hit rate, the update
+     rate sets how often entries go stale *)
+  let query_pool k =
+    Array.init k (fun j ->
+        Algebra.Select
+          ( Condition.And
+              ( Condition.eq_col 1 2,
+                Condition.Le
+                  (Condition.Lit (Value.Int (j * rows / k)), Condition.Col 0)
+              ),
+            Algebra.Product (Algebra.Rel "R", Algebra.Rel "S") ))
+  in
+  let toggle db t =
+    let r = Database.relation db "R" in
+    let r' =
+      if Relation.mem t r then Relation.diff r (Relation.of_list 2 [ t ])
+      else Relation.add t r
+    in
+    Database.set_relation db "R" r'
+  in
+  let ops = if !bench_small then 80 else 300 in
+  (* one closed-loop client against the service front door; the cached
+     and uncached runs replay the identical op sequence *)
+  let run_once ~cached (pool_k, upd_rate) =
+    let rng = rng_of (20100 + pool_k + int_of_float (upd_rate *. 1000.)) in
+    let qs = query_pool pool_k in
+    let cache = Cache.create ~capacity:64 () in
+    let dbr = ref db0 in
+    let svc =
+      Service.create
+        { (Service.default_config ~pool:None ()) with Service.max_retries = 0 }
+    in
+    let lat = ref [] in
+    for _ = 1 to ops do
+      if Random.State.float rng 1.0 < upd_rate then begin
+        let t =
+          Tuple.of_list
+            [ Value.int (Random.State.int rng rows);
+              Value.int (Random.State.int rng rows) ]
+        in
+        (* view first, versions second — the serve-mode order *)
+        dbr := toggle !dbr t;
+        Cache.bump cache "R"
+      end
+      else begin
+        let q = qs.(Random.State.int rng pool_k) in
+        let snapshot = !dbr in
+        (* the polynomial Q+ scheme: exact on this positive query and
+           polynomial, so the uncached baseline is the evaluator cost,
+           not a possible-world enumeration *)
+        let job ~pool ~guard:_ = Scheme_pm.certain_sub ~pool snapshot q in
+        let binding =
+          if cached then
+            Some
+              { Service.cache;
+                key = "cert:" ^ Planner.fingerprint q;
+                deps = Algebra.relations q;
+                approx_deps = [ "R"; "S" ];
+                require_exact = false }
+          else None
+        in
+        let t0 = now () in
+        (match Service.run svc ?cache:binding job with
+         | Service.Ok _ -> ()
+         | o -> failwith ("e20: unexpected " ^ Service.outcome_label o));
+        lat := ((now () -. t0) *. 1000.0) :: !lat
+      end
+    done;
+    Service.shutdown svc;
+    (percentile 0.50 !lat, List.length !lat, Cache.stats cache)
+  in
+  Printf.printf
+    "closed loop over Service, Q+ certain answers of a hash join on %d \
+     rows/rel,\n\
+     %d ops per cell; pool = distinct queries, upd = update fraction:\n\n"
+    rows ops;
+  Printf.printf "%5s %5s %7s %6s %6s %12s %14s %9s\n" "pool" "upd" "queries"
+    "hits" "stale" "cached_p50" "uncached_p50" "speedup";
+  List.iter
+    (fun pool_k ->
+      List.iter
+        (fun upd_rate ->
+          let cached_p50, nq, st = run_once ~cached:true (pool_k, upd_rate) in
+          let uncached_p50, _, _ = run_once ~cached:false (pool_k, upd_rate) in
+          e20_grid :=
+            ( pool_k, upd_rate, nq, st.Cache.hits, st.Cache.stale, cached_p50,
+              uncached_p50 )
+            :: !e20_grid;
+          Printf.printf "%5d %5.2f %7d %6d %6d %12.3f %14.3f %8.1fx\n" pool_k
+            upd_rate nq st.Cache.hits st.Cache.stale cached_p50 uncached_p50
+            (uncached_p50 /. max cached_p50 0.0001))
+        [ 0.0; 0.1; 0.5 ])
+    [ 1; 4; 16 ];
+  (* incremental Datalog: maintain the transitive closure under small
+     deltas vs re-running the fixpoint from scratch.  The instance is a
+     forest of disjoint chains — the honest case for incrementality:
+     a delta touches one component, from-scratch pays for all of them
+     (a strongly-connected instance would make every closure tuple
+     depend on every edge, so nothing incremental could be saved) *)
+  let edge_schema = Schema.of_list [ ("edge", [ "s"; "d" ]) ] in
+  let tcp = Datalog.Eval.transitive_closure ~edge:"edge" ~path:"path" in
+  let comps = if !bench_small then 60 else 150 in
+  let len = if !bench_small then 8 else 12 in
+  let chain_edge c i =
+    Tuple.of_list [ Value.int ((c * len) + i); Value.int ((c * len) + i + 1) ]
+  in
+  let base_edges =
+    List.concat
+      (List.init comps (fun c ->
+           List.init (len - 1) (fun i -> chain_edge c i)))
+  in
+  let base_rel = Relation.of_list 2 base_edges in
+  let db_of rel =
+    Database.of_list edge_schema [ ("edge", Relation.to_list rel) ]
+  in
+  (* median of [reps] runs; the materialize/db setup is outside the
+     timed region *)
+  let median_ms reps setup f =
+    List.init reps (fun _ ->
+        let x = setup () in
+        snd (time_ms (fun () -> f x)))
+    |> percentile 0.50
+  in
+  let reps = 3 in
+  Printf.printf
+    "\nincremental TC maintenance (%d disjoint chains of %d nodes) vs \
+     from-scratch (median of %d):\n\n"
+    comps len reps;
+  Printf.printf "%8s %6s %10s %12s %9s\n" "op" "delta" "incr(ms)"
+    "scratch(ms)" "speedup";
+  let record op delta incr_ms scratch_ms =
+    e20_incr := (op, delta, incr_ms, scratch_ms) :: !e20_incr;
+    Printf.printf "%8s %6d %10.3f %12.3f %8.1fx\n" op delta incr_ms scratch_ms
+      (scratch_ms /. max incr_ms 0.0001)
+  in
+  List.iter
+    (fun delta ->
+      (* cut one mid-chain edge in [delta] distinct components *)
+      let cut = List.init delta (fun k -> chain_edge (k mod comps) (len / 2)) in
+      let reduced_rel =
+        Relation.diff base_rel (Relation.of_list 2 cut)
+      in
+      (* delete: severing the chains truncates their closures *)
+      let del_ms =
+        median_ms reps
+          (fun () -> Datalog.Eval.materialize (db_of base_rel) tcp)
+          (fun m -> ignore (Datalog.Eval.delete m "edge" cut))
+      in
+      let scratch_del_ms =
+        median_ms reps
+          (fun () -> db_of reduced_rel)
+          (fun db -> ignore (Datalog.Eval.run db tcp "path"))
+      in
+      (* correctness of the maintained fixpoint, outside the timing *)
+      let m = Datalog.Eval.materialize (db_of base_rel) tcp in
+      ignore (Datalog.Eval.delete m "edge" cut);
+      assert
+        (Relation.equal
+           (Datalog.Eval.run (db_of reduced_rel) tcp "path")
+           (Datalog.Eval.idb_relation m "path"));
+      record "delete" delta del_ms scratch_del_ms;
+      (* insert: splicing the chains back reconnects the components *)
+      let ins_ms =
+        median_ms reps
+          (fun () -> Datalog.Eval.materialize (db_of reduced_rel) tcp)
+          (fun m -> ignore (Datalog.Eval.insert m "edge" cut))
+      in
+      let scratch_ins_ms =
+        median_ms reps
+          (fun () -> db_of base_rel)
+          (fun db -> ignore (Datalog.Eval.run db tcp "path"))
+      in
+      let m = Datalog.Eval.materialize (db_of reduced_rel) tcp in
+      ignore (Datalog.Eval.insert m "edge" cut);
+      assert
+        (Relation.equal
+           (Datalog.Eval.run (db_of base_rel) tcp "path")
+           (Datalog.Eval.idb_relation m "path"));
+      record "insert" delta ins_ms scratch_ins_ms)
+    [ 1; 4; 16 ]
+
+let write_e20_json path =
+  let grid = List.rev !e20_grid in
+  let incr = List.rev !e20_incr in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"e20\",\n";
+  Buffer.add_string buf
+    "  \"description\": \"semantic result cache: hit-rate x update-rate \
+     latency grid over the e15 join workload, and incremental Datalog \
+     maintenance vs from-scratch fixpoints\",\n";
+  Buffer.add_string buf "  \"grid\": [\n";
+  let n = List.length grid in
+  List.iteri
+    (fun i (pool, upd, nq, hits, stale, cp50, up50) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"pool\": %d, \"update_rate\": %.2f, \"queries\": %d, \
+            \"hits\": %d, \"stale\": %d, \"cached_p50_ms\": %.4f, \
+            \"uncached_p50_ms\": %.4f, \"speedup\": %.2f}%s\n"
+           pool upd nq hits stale cp50 up50
+           (up50 /. max cp50 0.0001)
+           (if i = n - 1 then "" else ",")))
+    grid;
+  Buffer.add_string buf "  ],\n  \"incremental\": [\n";
+  let n = List.length incr in
+  List.iteri
+    (fun i (op, delta, ims, sms) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"op\": \"%s\", \"delta\": %d, \"incremental_ms\": %.4f, \
+            \"scratch_ms\": %.4f, \"speedup\": %.2f}%s\n"
+           op delta ims sms
+           (sms /. max ims 0.0001)
+           (if i = n - 1 then "" else ",")))
+    incr;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d measurements)\n" path
+    (List.length grid + List.length incr)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
@@ -2059,7 +2299,8 @@ let experiments =
     ("e5", exp_e5); ("e6", exp_e6); ("e7", exp_e7); ("e8", exp_e8);
     ("e9", exp_e9); ("e10", exp_e10); ("e11", exp_e11); ("e12", exp_e12);
     ("e13", exp_e13); ("e14", exp_e14); ("e15", exp_e15); ("e16", exp_e16);
-    ("e17", exp_e17); ("e18", exp_e18); ("e19", exp_e19); ("micro", micro) ]
+    ("e17", exp_e17); ("e18", exp_e18); ("e19", exp_e19); ("e20", exp_e20);
+    ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -2102,4 +2343,6 @@ let () =
   if !json && (!e18_load <> [] || !e18_degrade <> []) then
     write_e18_json "BENCH_PR4.json";
   if !json && (!e19_lanes <> [] || !e19_quota <> [] || !e19_drain <> None)
-  then write_e19_json "BENCH_PR5.json"
+  then write_e19_json "BENCH_PR5.json";
+  if !json && (!e20_grid <> [] || !e20_incr <> []) then
+    write_e20_json "BENCH_PR6.json"

@@ -371,6 +371,122 @@ let datalog_cmd =
       const run $ db_arg $ data_arg $ scale_arg $ null_rate_arg $ seed_arg
       $ program_arg $ pred_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve: shared mutable state for the update workload                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The database view the serve modes query.  Updates swap the view
+   under the lock and only then bump the cache versions: a query that
+   raced the update captured its version snapshot at submit time, so
+   whatever it stores is already stale — never served.  With --datalog
+   the view also exposes every IDB predicate as a queryable relation,
+   maintained incrementally by Datalog.Eval.insert/delete. *)
+type serve_state = {
+  slock : Mutex.t;
+  mutable view : Database.t;
+  dl : Datalog.Eval.materialized option;
+  next_null : int ref;  (* fresh marked nulls for inserted NULL cells *)
+}
+
+let view_db st =
+  Mutex.lock st.slock;
+  let db = st.view in
+  Mutex.unlock st.slock;
+  db
+
+(* "insert Rel(v1,...)" / "delete Rel(v1,...)" — [None] for non-update
+   lines, [Some (Error _)] for malformed ones *)
+let parse_update_line line =
+  let word, rest =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i ->
+      (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+  in
+  match word with
+  | ("insert" | "delete") as w ->
+    let op = if w = "insert" then `Insert else `Delete in
+    let rest = String.trim rest in
+    let n = String.length rest in
+    (match String.index_opt rest '(' with
+     | Some l
+       when n > 0
+            && rest.[n - 1] = ')'
+            && String.trim (String.sub rest 0 l) <> "" ->
+       Some
+         (Ok
+            ( op,
+              String.trim (String.sub rest 0 l),
+              String.sub rest (l + 1) (n - l - 2) ))
+     | _ -> Some (Error (Printf.sprintf "expected %s REL(v1,...)" w)))
+  | _ -> None
+
+let apply_update st ~bump op rel body =
+  let cells =
+    if String.trim body = "" then [] else String.split_on_char ',' body
+  in
+  let tuple =
+    Tuple.of_list (List.map (Csv_io.parse_value ~next_null:st.next_null) cells)
+  in
+  Mutex.lock st.slock;
+  match
+    match st.dl with
+    | Some m ->
+      let changed =
+        match op with
+        | `Insert -> Datalog.Eval.insert m rel [ tuple ]
+        | `Delete -> Datalog.Eval.delete m rel [ tuple ]
+      in
+      let live p =
+        match List.assoc_opt p (Datalog.Eval.idb m) with
+        | Some r -> r
+        | None -> Database.relation (Datalog.Eval.database m) p
+      in
+      List.iter
+        (fun p -> st.view <- Database.set_relation st.view p (live p))
+        changed;
+      changed
+    | None ->
+      let current =
+        try Database.relation st.view rel
+        with Not_found -> invalid_arg ("unknown relation " ^ rel)
+      in
+      let updated =
+        match op with
+        | `Insert -> Relation.add tuple current
+        | `Delete ->
+          Relation.diff current
+            (Relation.of_list (Relation.arity current) [ tuple ])
+      in
+      if Relation.equal updated current then []
+      else begin
+        st.view <- Database.set_relation st.view rel updated;
+        [ rel ]
+      end
+  with
+  | changed ->
+    Mutex.unlock st.slock;
+    (* view first, versions second: see the comment on [serve_state] *)
+    List.iter bump changed;
+    changed
+  | exception e ->
+    Mutex.unlock st.slock;
+    raise e
+
+let update_line_response = function
+  | [] -> "updated (no-op)"
+  | changed -> Printf.sprintf "updated %s" (String.concat "," changed)
+
+let cert_cache_binding cache ~all_rels q =
+  Option.map
+    (fun c ->
+      { Service.cache = c;
+        key = "cert:" ^ Planner.fingerprint q;
+        deps = Algebra.relations q;
+        approx_deps = all_rels;
+        require_exact = false })
+    cache
+
 let serve_cmd =
   let capacity_arg =
     let doc =
@@ -470,10 +586,37 @@ let serve_cmd =
     in
     Arg.(value & opt (some int) None & info [ "quota" ] ~docv:"N" ~doc)
   in
+  let cache_arg =
+    let doc =
+      "Semantic result cache capacity in entries: repeated queries (modulo \
+       plan canonicalization) answer from cache until an insert/delete \
+       touches one of their base relations."
+    in
+    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"SIZE" ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable the semantic result cache." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let datalog_serve_arg =
+    let doc =
+      "Materialize this Datalog program over the database and maintain its \
+       fixpoint incrementally across insert/delete lines (semi-naive \
+       deltas for inserts, DRed overdelete/re-derive for deletes); every \
+       IDB predicate becomes a queryable relation."
+    in
+    Arg.(value
+         & opt (some string) None
+         & info [ "datalog" ] ~docv:"PROGRAM" ~doc)
+  in
   (* stdin mode: a printer domain awaits tickets in submission order and
      flushes each outcome line as soon as it resolves, so piped consumers
-     see progress in real time while the reader keeps submitting *)
-  let serve_stdin schema db svc =
+     see progress in real time while the reader keeps submitting.
+     Updates apply synchronously in the reader, so later lines on the
+     stream see their effects before they are submitted. *)
+  let serve_stdin schema ~all_rels st ~cache_cap svc =
+    let cache = Option.map (fun cap -> Cache.create ~capacity:cap ()) cache_cap in
+    let bump rel = Option.iter (fun c -> Cache.bump c rel) cache in
     let q = Queue.create () in
     let lock = Mutex.create () in
     let nonempty = Stdlib.Condition.create () in
@@ -497,10 +640,10 @@ let serve_cmd =
       let rec loop () =
         match pop () with
         | None -> !any_failed
-        | Some (n, item) ->
+        | Some item ->
           (match item with
-           | Error msg -> Printf.printf "[%d] parse error: %s\n%!" n msg
-           | Ok (ticket, t0) ->
+           | `Text line -> Printf.printf "%s\n%!" line
+           | `Outcome (n, ticket, t0) ->
              let outcome = Service.await ticket in
              let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
              (match outcome with
@@ -528,22 +671,53 @@ let serve_cmd =
        while true do
          let line = String.trim (input_line stdin) in
          if line <> "" then begin
-           incr lineno;
-           let n = !lineno in
-           match Sql.To_algebra.translate_string schema line with
-           | exception
-               (Sql.Parser.Parse_error msg | Sql.Lexer.Lex_error msg
-               | Sql.To_algebra.Unsupported msg) ->
-             push (Some (n, Error msg))
-           | q ->
-             let t0 = Unix.gettimeofday () in
-             let ticket =
-               Service.submit svc
-                 ~fallback:(fun ~pool -> Scheme_pm.certain_sub ~pool db q)
-                 (fun ~pool ~guard ->
-                   Certainty.cert_with_nulls_ra ~pool ~guard db q)
-             in
-             push (Some (n, Ok (ticket, t0)))
+           if line.[0] = '#' then
+             push
+               (Some
+                  (`Text
+                     (if line = "#stats" then
+                        "#stats "
+                        ^ (match cache with
+                           | Some c -> Cache.stats_line c
+                           | None -> "cache disabled")
+                      else "#err unknown directive")))
+           else begin
+             incr lineno;
+             let n = !lineno in
+             match parse_update_line line with
+             | Some (Error msg) ->
+               push (Some (`Text (Printf.sprintf "[%d] parse error: %s" n msg)))
+             | Some (Ok (op, rel, body)) ->
+               (match apply_update st ~bump op rel body with
+                | changed ->
+                  push
+                    (Some
+                       (`Text
+                          (Printf.sprintf "[%d] ok %s" n
+                             (update_line_response changed))))
+                | exception
+                    ( Invalid_argument msg
+                    | Datalog.Eval.Eval_error msg ) ->
+                  push (Some (`Text (Printf.sprintf "[%d] error: %s" n msg))))
+             | None ->
+               match Sql.To_algebra.translate_string schema line with
+               | exception
+                   (Sql.Parser.Parse_error msg | Sql.Lexer.Lex_error msg
+                   | Sql.To_algebra.Unsupported msg) ->
+                 push (Some (`Text (Printf.sprintf "[%d] parse error: %s" n msg)))
+               | q ->
+                 let t0 = Unix.gettimeofday () in
+                 let ticket =
+                   Service.submit svc
+                     ?cache:(cert_cache_binding cache ~all_rels q)
+                     ~fallback:(fun ~pool ->
+                       Scheme_pm.certain_sub ~pool (view_db st) q)
+                     (fun ~pool ~guard ->
+                       Certainty.cert_with_nulls_ra ~pool ~guard (view_db st)
+                         q)
+                 in
+                 push (Some (`Outcome (n, ticket, t0)))
+           end
          end
        done
      with End_of_file -> ());
@@ -556,13 +730,16 @@ let serve_cmd =
        failed %d\n%!"
       c.Service.admitted c.Service.completed c.Service.degraded
       c.Service.shed c.Service.retried c.Service.failed;
+    (match cache with
+     | Some c -> Printf.printf "-- cache: %s\n%!" (Cache.stats_line c)
+     | None -> ());
     if any_failed then raise (Invalid_argument "some queries failed")
   in
   (* network mode: the Server owns the service; we render one-line
      payloads (the protocol is line-oriented) and block in wait until a
      SIGTERM/SIGINT or a client #drain *)
-  let serve_listen schema db ~listen ~max_conns ~max_line ~read_timeout
-      ~drain_deadline ~quota svc_cfg =
+  let serve_listen schema ~all_rels st ~cache_cap ~listen ~max_conns
+      ~max_line ~read_timeout ~drain_deadline ~quota svc_cfg =
     let host, port =
       match String.rindex_opt listen ':' with
       | None -> invalid_arg ("--listen expects HOST:PORT, got " ^ listen)
@@ -573,7 +750,26 @@ let serve_cmd =
          | Some p when p >= 0 && p < 65536 -> (host, p)
          | _ -> invalid_arg ("--listen expects HOST:PORT, got " ^ listen))
     in
+    (* the TCP cache stores rendered response payloads *)
+    let cache = Option.map (fun cap -> Cache.create ~capacity:cap ()) cache_cap in
+    let bump rel = Option.iter (fun c -> Cache.bump c rel) cache in
     let handler sql =
+      match parse_update_line sql with
+      | Some (Error msg) -> Error msg
+      | Some (Ok (op, rel, body)) ->
+        (* applied here, in the connection domain, before the response
+           job is admitted: later queries on this connection — which is
+           synchronous request/response — see the update *)
+        (match apply_update st ~bump op rel body with
+         | changed ->
+           let payload = update_line_response changed in
+           Result.Ok
+             { Server.run = (fun ~pool:_ ~guard:_ -> payload);
+               fallback = None;
+               cache = None }
+         | exception (Invalid_argument msg | Datalog.Eval.Eval_error msg) ->
+           Error msg)
+      | None ->
       match Sql.To_algebra.translate_string schema sql with
       | exception
           (Sql.Parser.Parse_error msg | Sql.Lexer.Lex_error msg
@@ -583,14 +779,17 @@ let serve_cmd =
         Result.Ok
           { Server.run =
               (fun ~pool ~guard ->
-                let r = Certainty.cert_with_nulls_ra ~pool ~guard db q in
+                let r =
+                  Certainty.cert_with_nulls_ra ~pool ~guard (view_db st) q
+                in
                 Printf.sprintf "(%d tuples)" (Relation.cardinal r));
             fallback =
               Some
                 (fun ~pool ->
-                  let r = Scheme_pm.certain_sub ~pool db q in
+                  let r = Scheme_pm.certain_sub ~pool (view_db st) q in
                   Printf.sprintf "(%d tuples, sound subset)"
-                    (Relation.cardinal r)) }
+                    (Relation.cardinal r));
+            cache = cert_cache_binding cache ~all_rels q }
     in
     let server =
       Server.create
@@ -601,6 +800,7 @@ let serve_cmd =
           read_timeout;
           drain_deadline;
           client_quota = quota;
+          stats = Option.map (fun c () -> Cache.stats_line c) cache;
           service = svc_cfg }
         handler
     in
@@ -627,14 +827,57 @@ let serve_cmd =
     Printf.printf "-- drain: %d forced cancels, %.1fms, invariant %s\n%!"
       stats.Server.forced_cancels stats.Server.drain_ms
       (if stats.Server.invariant_ok then "ok" else "VIOLATED");
+    (match cache with
+     | Some c -> Printf.printf "-- cache: %s\n%!" (Cache.stats_line c)
+     | None -> ());
     if not stats.Server.invariant_ok then
       raise (Invalid_argument "counter invariant violated at drain")
   in
   let run db_name data scale null_rate seed capacity shed workers retries
       backoff deadline_ms budget listen max_conns max_line read_timeout
-      drain_deadline quota =
+      drain_deadline quota cache_size no_cache datalog =
     handle_errors (fun () ->
-        let schema, db = load_db ?data db_name ~scale ~null_rate ~seed in
+        let schema0, db = load_db ?data db_name ~scale ~null_rate ~seed in
+        let dl, schema, view =
+          match datalog with
+          | None -> (None, schema0, db)
+          | Some text ->
+            (match Datalog.Parser.parse text with
+             | exception Datalog.Parser.Parse_error msg ->
+               Format.eprintf "parse error: %s@." msg;
+               raise (Invalid_argument "invalid --datalog program")
+             | program ->
+               let m = Datalog.Eval.materialize db program in
+               let idb = Datalog.Eval.idb m in
+               let schema =
+                 List.fold_left
+                   (fun s (p, r) ->
+                     Schema.declare s p
+                       (List.init (Relation.arity r) (Printf.sprintf "c%d")))
+                   schema0 idb
+               in
+               let view =
+                 Database.of_list schema
+                   (List.map
+                      (fun (d : Schema.relation_decl) ->
+                        (d.name, Relation.to_list (Database.relation db d.name)))
+                      (Schema.relations schema0)
+                    @ List.map (fun (p, r) -> (p, Relation.to_list r)) idb)
+               in
+               (Some m, schema, view))
+        in
+        let st =
+          { slock = Mutex.create ();
+            view;
+            dl;
+            next_null = ref 10_000_000 }
+        in
+        let all_rels =
+          List.map
+            (fun (d : Schema.relation_decl) -> d.name)
+            (Schema.relations schema)
+        in
+        let cache_cap = if no_cache then None else Some cache_size in
         let svc_cfg =
           { Service.capacity;
             shed;
@@ -647,9 +890,10 @@ let serve_cmd =
         in
         match listen with
         | Some listen ->
-          serve_listen schema db ~listen ~max_conns ~max_line ~read_timeout
-            ~drain_deadline ~quota svc_cfg
-        | None -> serve_stdin schema db (Service.create svc_cfg))
+          serve_listen schema ~all_rels st ~cache_cap ~listen ~max_conns
+            ~max_line ~read_timeout ~drain_deadline ~quota svc_cfg
+        | None ->
+          serve_stdin schema ~all_rels st ~cache_cap (Service.create svc_cfg))
   in
   let doc =
     "serve newline-delimited SQL queries — from stdin, or over TCP with \
@@ -663,7 +907,8 @@ let serve_cmd =
       const run $ db_arg $ data_arg $ scale_arg $ null_rate_arg $ seed_arg
       $ capacity_arg $ shed_arg $ workers_arg $ retries_arg $ backoff_arg
       $ deadline_arg $ budget_arg $ listen_arg $ max_conns_arg $ max_line_arg
-      $ read_timeout_arg $ drain_deadline_arg $ quota_arg)
+      $ read_timeout_arg $ drain_deadline_arg $ quota_arg $ cache_arg
+      $ no_cache_arg $ datalog_serve_arg)
 
 let () =
   let doc = "certain answers over incomplete databases" in

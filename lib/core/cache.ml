@@ -1,0 +1,163 @@
+(* Semantic result cache: bounded LRU map from query fingerprints to
+   previously computed answers, validated against per-relation version
+   counters so an update invalidates exactly the entries that read the
+   changed relations.  See DESIGN.md §4g. *)
+
+type tag = Exact | Approximate
+
+let tag_to_string = function Exact -> "exact" | Approximate -> "approximate"
+
+type snapshot = (string * int) array
+
+type 'a entry = {
+  value : 'a;
+  tag : tag;
+  snap : snapshot;
+  mutable stamp : int;  (* LRU recency; matches the newest queue token *)
+}
+
+type 'a t = {
+  cap : int;
+  lock : Mutex.t;
+  table : (string, 'a entry) Hashtbl.t;
+  versions : (string, int) Hashtbl.t;
+  (* recency queue with lazy deletion: every touch pushes a fresh
+     (key, stamp) token and records the stamp in the entry; eviction
+     pops tokens, discarding those whose stamp the entry has since
+     outgrown, so the oldest valid token is the true LRU victim *)
+  order : (string * int) Queue.t;
+  mutable next_stamp : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable stale : int;
+}
+
+let create ~capacity () =
+  { cap = max 1 capacity;
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    versions = Hashtbl.create 16;
+    order = Queue.create ();
+    next_stamp = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    stale = 0 }
+
+let capacity t = t.cap
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let version_unsafe t rel =
+  match Hashtbl.find_opt t.versions rel with Some v -> v | None -> 0
+
+let version t rel = locked t (fun () -> version_unsafe t rel)
+
+let bump t rel =
+  locked t (fun () ->
+      Hashtbl.replace t.versions rel (version_unsafe t rel + 1))
+
+let snapshot t deps =
+  locked t (fun () ->
+      Array.of_list (List.map (fun r -> (r, version_unsafe t r)) deps))
+
+(* requires t.lock held *)
+let touch_unsafe t key entry =
+  let stamp = t.next_stamp in
+  t.next_stamp <- stamp + 1;
+  entry.stamp <- stamp;
+  Queue.push (key, stamp) t.order
+
+(* requires t.lock held *)
+let rec evict_unsafe t =
+  if Hashtbl.length t.table > t.cap then
+    match Queue.take_opt t.order with
+    | None -> ()  (* unreachable: every entry owns a queue token *)
+    | Some (key, stamp) ->
+      (match Hashtbl.find_opt t.table key with
+       | Some e when e.stamp = stamp ->
+         Hashtbl.remove t.table key;
+         t.evictions <- t.evictions + 1
+       | Some _ | None -> ());
+      evict_unsafe t
+
+let store t ~key ~snapshot ~tag v =
+  locked t (fun () ->
+      let entry = { value = v; tag; snap = snapshot; stamp = 0 } in
+      Hashtbl.replace t.table key entry;
+      touch_unsafe t key entry;
+      evict_unsafe t)
+
+let lookup ?(require_exact = false) t key =
+  (* the fault site runs outside the lock: a delay-mode fault stalls
+     this lookup without freezing every other client of the cache *)
+  match Guard.inject "cache.lookup" with
+  | exception Guard.Injected _ ->
+    locked t (fun () -> t.misses <- t.misses + 1);
+    None
+  | () ->
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | None ->
+          t.misses <- t.misses + 1;
+          None
+        | Some e ->
+          if
+            not
+              (Array.for_all
+                 (fun (rel, v) -> version_unsafe t rel = v)
+                 e.snap)
+          then begin
+            Hashtbl.remove t.table key;
+            t.stale <- t.stale + 1;
+            t.misses <- t.misses + 1;
+            None
+          end
+          else if require_exact && e.tag = Approximate then begin
+            t.misses <- t.misses + 1;
+            None
+          end
+          else begin
+            t.hits <- t.hits + 1;
+            touch_unsafe t key e;
+            Some (e.tag, e.value)
+          end)
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      Queue.clear t.order)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  stale : int;
+  entries : int;
+  capacity : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      { hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        stale = t.stale;
+        entries = Hashtbl.length t.table;
+        capacity = t.cap })
+
+let stats_line t =
+  let s = stats t in
+  Printf.sprintf "hits=%d misses=%d evictions=%d stale=%d entries=%d capacity=%d"
+    s.hits s.misses s.evictions s.stale s.entries s.capacity

@@ -1,0 +1,110 @@
+(** Semantic result cache with versioned invalidation (DESIGN.md §4g).
+
+    Production read traffic is dominated by repeated queries over
+    slowly-changing data, and the paper's genericity results make
+    certain answers {e re-usable}: as long as the base relations a
+    query reads did not change, the previously computed answer is
+    still the answer.  This module is the storage half of that
+    argument — a bounded, thread-safe map from a caller-chosen {e key}
+    (in practice [Planner.fingerprint], so alpha-equivalent queries
+    share one entry) to a previously computed value, validated on
+    every lookup against per-relation {e version counters} that the
+    update path bumps.
+
+    Soundness rules, enforced by construction:
+
+    - every entry records the versions of the base relations the
+      result was computed from, captured {e before} the evaluation
+      read the data ({!snapshot}); a lookup whose entry disagrees with
+      any current version is a {e stale} miss and drops the entry —
+      so after an update bumps relation [R], no entry depending on
+      [R] is ever served again;
+    - entries are tagged {!tag}: a result produced by a degraded
+      evaluation ([Certainty.cert_with_fallback]'s [Approximate], the
+      service's [Degraded]) is stored [Approximate] and can never be
+      observed as exact — {!lookup} returns the tag, and
+      [~require_exact:true] treats approximate entries as misses.
+
+    The cache is value-polymorphic ([Relation.t] for the stdin
+    server, rendered response strings for the TCP server) and wholly
+    independent of the evaluators; {!Service} wires it in front of
+    them.
+
+    The ["cache.lookup"] fault-injection site fires at the top of
+    every {!lookup}: a raise-mode fault is swallowed and counted as a
+    miss (a broken cache degrades to evaluation, never to a wrong
+    answer), a delay-mode fault stalls the looking-up caller. *)
+
+(** How the cached value was produced.  [Approximate] marks a sound
+    under-approximation (the polynomial Q⁺ scheme); it is never
+    upgraded to [Exact] by a cache hit. *)
+type tag = Exact | Approximate
+
+(** ["exact" | "approximate"]. *)
+val tag_to_string : tag -> string
+
+type 'a t
+
+(** Version numbers of a set of relations, captured at one instant;
+    passed to {!store} so the entry is validated against the versions
+    that were current {e before} the evaluation started (capturing
+    them after evaluation could mask a concurrent update and serve a
+    stale answer). *)
+type snapshot
+
+(** [create ~capacity ()] — an empty cache holding at most [capacity]
+    entries (clamped to ≥ 1); least-recently-used entries are evicted
+    beyond that. *)
+val create : capacity:int -> unit -> 'a t
+
+val capacity : 'a t -> int
+
+(** Current version of a relation (0 until first {!bump}). *)
+val version : 'a t -> string -> int
+
+(** [bump t rel] increments [rel]'s version, invalidating every entry
+    whose snapshot covers [rel] (lazily: such entries are dropped at
+    their next lookup).  O(1). *)
+val bump : 'a t -> string -> unit
+
+(** [snapshot t deps] captures the current versions of [deps]. *)
+val snapshot : 'a t -> string list -> snapshot
+
+(** [store t ~key ~snapshot ~tag v] inserts or replaces the entry for
+    [key].  The entry is served only while every relation in
+    [snapshot] still has its captured version. *)
+val store : 'a t -> key:string -> snapshot:snapshot -> tag:tag -> 'a -> unit
+
+(** [lookup t key] — [Some (tag, v)] on a live entry, [None] on a
+    miss.  A version mismatch drops the entry and counts it stale;
+    [~require_exact:true] additionally treats [Approximate] entries
+    as misses (without dropping them — an exact-only caller must not
+    evict the degraded answer other callers may still use).  A hit
+    refreshes the entry's LRU position.  Fires the ["cache.lookup"]
+    fault site (raise → miss, delay → stall). *)
+val lookup : ?require_exact:bool -> 'a t -> string -> (tag * 'a) option
+
+(** Number of live entries. *)
+val length : 'a t -> int
+
+(** Drop every entry (counters and versions are kept). *)
+val clear : 'a t -> unit
+
+(** Monotone counters.  [stale] counts entries dropped on lookup
+    because a dependency's version moved (each such lookup is also a
+    miss); [misses] includes stale drops, [require_exact] skips and
+    injected lookup faults. *)
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;  (** entries evicted by the LRU capacity bound *)
+  stale : int;  (** entries invalidated by a version mismatch *)
+  entries : int;  (** current size, = {!length} *)
+  capacity : int;
+}
+
+val stats : 'a t -> stats
+
+(** One-line rendering of {!stats} for the [#stats] protocol line:
+    ["hits=0 misses=0 evictions=0 stale=0 entries=0 capacity=0"]. *)
+val stats_line : 'a t -> string

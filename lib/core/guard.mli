@@ -90,6 +90,10 @@ val charge_exn : t -> int -> unit
       resolves the ticket as [Failed] without enqueueing (exercising
       the shed/fail bookkeeping itself), a delay-mode fault stalls the
       submitting caller;
+    - ["cache.lookup"] — the top of every [Cache.lookup]: a raise-mode
+      fault is swallowed by the cache and counted as a miss (a broken
+      cache degrades to evaluation, never to a wrong answer), a
+      delay-mode fault stalls the looking-up caller;
     - ["*"] in a spec matches every site.
 
     Draws are from a seeded, mutex-protected [Random.State], so a given

@@ -39,6 +39,7 @@ module Homomorphism = Incdb_relational.Homomorphism
 
 module Pool = Pool
 module Guard = Guard
+module Cache = Cache
 module Service = Service
 
 module Condition = Incdb_relational.Condition

@@ -14,6 +14,7 @@
 type job = {
   run : pool:Pool.t option -> guard:Guard.t -> string;
   fallback : (pool:Pool.t option -> string) option;
+  cache : string Service.cache_binding option;
 }
 
 type handler = string -> (job, string) result
@@ -26,6 +27,7 @@ type config = {
   read_timeout : float;
   drain_deadline : float;
   client_quota : int option;
+  stats : (unit -> string) option;
   service : Service.config;
 }
 
@@ -37,6 +39,7 @@ let default_config () =
     read_timeout = 10.0;
     drain_deadline = 5.0;
     client_quota = Some 4;
+    stats = None;
     service = Service.default_config () }
 
 type counters = {
@@ -224,7 +227,8 @@ let handle_query t conn sql =
         Fun.protect
           ~finally:(fun () -> quota_release t conn.client)
           (fun () ->
-            Service.run ~lane:conn.lane ?fallback:job.fallback t.svc
+            Service.run ~lane:conn.lane ?fallback:job.fallback
+              ?cache:job.cache t.svc
               (fun ~pool ~guard -> job.run ~pool ~guard))
       in
       send_line conn.fd (outcome_line n ((now () -. t0) *. 1000.0) outcome)
@@ -266,6 +270,11 @@ let handle_directive t conn line =
          c.accepted c.rejected_busy c.queries c.quota_shed c.oversized
          c.timeouts c.crashed s.Service.admitted s.Service.completed
          s.Service.degraded s.Service.shed s.Service.retried s.Service.failed);
+    true
+  | [ "#stats" ] ->
+    (match t.cfg.stats with
+     | Some render -> send_line conn.fd ("#stats " ^ render ())
+     | None -> send_line conn.fd "#stats cache disabled");
     true
   | _ ->
     send_line conn.fd "#err unknown directive";

@@ -31,7 +31,9 @@
 
     Requests are newline-delimited.  A line starting with [#] is a
     directive ([#client <id>], [#priority <lane>], [#drain],
-    [#counters]); anything else is handed to the request handler.
+    [#counters], [#stats] — the semantic-cache counters rendered by
+    the [stats] config hook, or ["#stats cache disabled"]); anything
+    else is handed to the request handler.
     Every request line gets exactly one response line:
     [[n] ok <payload> <ms>ms], [[n] degraded <payload> <ms>ms],
     [[n] overloaded], [[n] overloaded (client quota)],
@@ -47,10 +49,14 @@
 (** What the server runs for one request line: [run] executes under
     the service's pool/guard envelope and renders a {e single-line}
     result; [fallback] (optional) is the degraded answer on budget
-    exhaustion, as in {!Service.submit}. *)
+    exhaustion, as in {!Service.submit}; [cache] (optional) binds the
+    request to a semantic result cache of rendered response lines —
+    hits answer before admission, tagged outcomes are preserved
+    ([Exact] → [ok], [Approximate] → [degraded]). *)
 type job = {
   run : pool:Pool.t option -> guard:Guard.t -> string;
   fallback : (pool:Pool.t option -> string) option;
+  cache : string Service.cache_binding option;
 }
 
 (** Compiles one request line into a job, or an error message —
@@ -71,11 +77,15 @@ type config = {
           force-cancelling them *)
   client_quota : int option;
       (** max in-flight queries per client id ([None] = unlimited) *)
+  stats : (unit -> string) option;
+      (** renders the [#stats] response body (the CLI wires
+          [Cache.stats_line]); [None] answers ["#stats cache
+          disabled"] *)
   service : Service.config;  (** the front door behind the listener *)
 }
 
 (** Loopback host, ephemeral port, 16 connections, 64 KiB lines, 10 s
-    read timeout, 5 s drain deadline, quota 4, and
+    read timeout, 5 s drain deadline, quota 4, no stats hook, and
     {!Service.default_config}. *)
 val default_config : unit -> config
 

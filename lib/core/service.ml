@@ -78,6 +78,15 @@ type 'a ticket = {
   resolved : Condition.t;
 }
 
+(* how a submission talks to the semantic result cache; see submit *)
+type 'a cache_binding = {
+  cache : 'a Cache.t;
+  key : string;
+  deps : string list;
+  approx_deps : string list;
+  require_exact : bool;
+}
+
 (* what the admission queue holds: the typed closures are captured at
    submit time, so workers and the shed path see only thunks *)
 type envelope = {
@@ -295,8 +304,8 @@ let drain t =
 (* submission: envelope construction + admission control               *)
 (* ------------------------------------------------------------------ *)
 
-let submit ?(lane = Normal) ?deadline_in ?budget ?max_retries ?fallback t job
-    =
+let submit ?(lane = Normal) ?deadline_in ?budget ?max_retries ?fallback
+    ?cache t job =
   let deadline_in =
     match deadline_in with Some _ -> deadline_in | None -> t.cfg.deadline_in
   in
@@ -308,6 +317,49 @@ let submit ?(lane = Normal) ?deadline_in ?budget ?max_retries ?fallback t job
     { result = None;
       ticket_lock = Mutex.create ();
       resolved = Condition.create () }
+  in
+  (* semantic-cache fast path: a live entry resolves the ticket before
+     admission — no queueing, no guard, zero tuples charged.  The tag
+     is preserved: an [Approximate] entry publishes as [Degraded],
+     never [Ok], so a degraded answer is never upgraded by a hit. *)
+  let hit =
+    match cache with
+    | None -> None
+    | Some b -> Cache.lookup ~require_exact:b.require_exact b.cache b.key
+  in
+  match hit with
+  | Some (tag, v) ->
+    Mutex.lock t.lock;
+    if t.stopped then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Service.submit: service is shut down"
+    end;
+    Atomic.incr t.c_admitted;
+    Mutex.unlock t.lock;
+    publish t ticket
+      (match tag with Cache.Exact -> Ok v | Cache.Approximate -> Degraded v);
+    ticket
+  | None ->
+  (* miss: capture dependency versions NOW, before any worker can read
+     the database.  An update racing with the evaluation bumps a
+     version after this snapshot, so the stored entry is already stale
+     at its first lookup — conservative (spurious recomputation),
+     never unsound (no stale answer served). *)
+  let cache_store =
+    match cache with
+    | None -> fun _ -> ()
+    | Some b ->
+      let snap_exact = Cache.snapshot b.cache b.deps in
+      let snap_approx = Cache.snapshot b.cache b.approx_deps in
+      fun outcome ->
+        (match outcome with
+         | Ok v ->
+           Cache.store b.cache ~key:b.key ~snapshot:snap_exact
+             ~tag:Cache.Exact v
+         | Degraded v ->
+           Cache.store b.cache ~key:b.key ~snapshot:snap_approx
+             ~tag:Cache.Approximate v
+         | Overloaded | Interrupted _ | Failed _ -> ())
   in
   let pool = t.cfg.pool in
   (* run the fallback once, without a guard: for certain answers this
@@ -371,7 +423,11 @@ let submit ?(lane = Normal) ?deadline_in ?budget ?max_retries ?fallback t job
     end
   in
   let envelope =
-    { exec = (fun () -> publish t ticket (attempt 0));
+    { exec =
+        (fun () ->
+          let outcome = attempt 0 in
+          cache_store outcome;
+          publish t ticket outcome);
       shed_env = (fun () -> publish t ticket Overloaded) }
   in
   (* the admission-path fault site: chaos tests point raise/delay
@@ -444,5 +500,5 @@ let submit ?(lane = Normal) ?deadline_in ?budget ?max_retries ?fallback t job
          wait ());
   ticket
 
-let run ?lane ?deadline_in ?budget ?max_retries ?fallback t job =
-  await (submit ?lane ?deadline_in ?budget ?max_retries ?fallback t job)
+let run ?lane ?deadline_in ?budget ?max_retries ?fallback ?cache t job =
+  await (submit ?lane ?deadline_in ?budget ?max_retries ?fallback ?cache t job)

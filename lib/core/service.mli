@@ -130,6 +130,24 @@ type t
 (** A handle on one submission; resolves to the submission's outcome. *)
 type 'a ticket
 
+(** How a submission talks to the semantic result cache ({!Cache},
+    DESIGN.md §4g).  [key] is the caller's cache key (in practice
+    ["<mode>:" ^ Planner.fingerprint q]); [deps] are the base
+    relations an {e exact} answer depends on ([Algebra.relations q]);
+    [approx_deps] are the dependencies of a {e degraded} answer — the
+    Q⁺/Q? approximation schemes consult the active domain, which any
+    relation can extend, so degraded entries typically depend on
+    {e every} relation of the schema.  [require_exact] makes the
+    lookup skip [Approximate] entries (a caller that would not accept
+    a degraded answer must not be served one from the cache). *)
+type 'a cache_binding = {
+  cache : 'a Cache.t;
+  key : string;
+  deps : string list;
+  approx_deps : string list;
+  require_exact : bool;
+}
+
 (** [create config] spawns the worker domains and returns the running
     service. *)
 val create : config -> t
@@ -158,11 +176,23 @@ val pending_lane : t -> lane -> int
 
     [lane] (default {!Normal}) picks the priority lane.
 
+    [cache] binds the submission to a semantic result cache: a live
+    entry resolves the ticket {e before} admission — no queue, no
+    guard, zero tuples charged — as [Ok] for [Exact] entries and
+    [Degraded] for [Approximate] ones (the tag is never upgraded).
+    On a miss, the dependency versions are snapshotted at submit time
+    (before any evaluation can read the data, so a racing update
+    invalidates conservatively) and the outcome is stored back on
+    [Ok] (as [Exact], keyed on [deps]) or [Degraded] (as
+    [Approximate], keyed on [approx_deps]).  Hits count [admitted] and
+    [completed], so the quiescent invariant is unchanged.
+
     The ["service.admit"] fault-injection site fires at the top of
-    every [submit]: a raise-mode fault resolves the ticket as [Failed]
-    without enqueueing (never raised to the caller; counted admitted +
-    failed, so the quiescent invariant holds), a delay-mode fault
-    stalls the submitting caller — a simulated slow admission layer.
+    every {e admitted} [submit] (cache hits bypass it): a raise-mode
+    fault resolves the ticket as [Failed] without enqueueing (never
+    raised to the caller; counted admitted + failed, so the quiescent
+    invariant holds), a delay-mode fault stalls the submitting
+    caller — a simulated slow admission layer.
 
     @raise Invalid_argument if the service is shut down. *)
 val submit :
@@ -171,6 +201,7 @@ val submit :
   ?budget:int ->
   ?max_retries:int ->
   ?fallback:(pool:Pool.t option -> 'a) ->
+  ?cache:'a cache_binding ->
   t ->
   (pool:Pool.t option -> guard:Guard.t -> 'a) ->
   'a ticket
@@ -190,6 +221,7 @@ val run :
   ?budget:int ->
   ?max_retries:int ->
   ?fallback:(pool:Pool.t option -> 'a) ->
+  ?cache:'a cache_binding ->
   t ->
   (pool:Pool.t option -> guard:Guard.t -> 'a) ->
   'a outcome

@@ -2,6 +2,121 @@ let rec conjuncts = function
   | Condition.And (a, b) -> conjuncts a @ conjuncts b
   | c -> [ c ]
 
+(* ------------------------------------------------------------------ *)
+(* canonicalization + fingerprinting                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Every rewrite below preserves the query's semantics exactly, under
+   both set and bag interpretation, so two algebra trees with the same
+   normal form are interchangeable as cache keys:
+   - And/Or are flattened, their operands sorted and deduplicated, and
+     the unit (True for ∧, False for ∨) dropped / the absorbing
+     element propagated;
+   - Eq/Neq operands are ordered (value equality is symmetric; Lt/Le
+     are left alone);
+   - Union/Inter chains are flattened and their operands sorted (both
+     are associative-commutative under set and bag semantics; Product
+     and Diff are order-sensitive and left alone);
+   - cascaded selections merge, and literal relations sort their
+     tuples (a relation is a set/bag: row order is meaningless). *)
+
+let normalize_cond c =
+  let order_operands a b =
+    match (a, b) with
+    | Condition.Lit _, Condition.Col _ -> (b, a)
+    | (Condition.Col _ | Condition.Lit _), _ ->
+      if compare a b <= 0 then (a, b) else (b, a)
+  in
+  let rec atom = function
+    | Condition.Eq (a, b) ->
+      let a, b = order_operands a b in
+      Condition.Eq (a, b)
+    | Condition.Neq (a, b) ->
+      let a, b = order_operands a b in
+      Condition.Neq (a, b)
+    | Condition.And _ as c -> conj c
+    | Condition.Or (a, b) ->
+      let parts =
+        let rec disjuncts = function
+          | Condition.Or (a, b) -> disjuncts a @ disjuncts b
+          | c -> [ atom c ]
+        in
+        disjuncts (Condition.Or (a, b))
+      in
+      if List.mem Condition.True parts then Condition.True
+      else
+        (match
+           List.sort_uniq compare
+             (List.filter (fun c -> c <> Condition.False) parts)
+         with
+         | [] -> Condition.False
+         | c :: rest ->
+           List.fold_left (fun acc c -> Condition.Or (acc, c)) c rest)
+    | (Condition.True | Condition.False | Condition.Is_const _
+      | Condition.Is_null _ | Condition.Lt _ | Condition.Le _) as c ->
+      c
+  and conj c =
+    let parts = List.map atom (conjuncts c) in
+    if List.mem Condition.False parts then Condition.False
+    else
+      match
+        List.sort_uniq compare
+          (List.filter (fun c -> c <> Condition.True) parts)
+      with
+      | [] -> Condition.True
+      | c :: rest ->
+        List.fold_left (fun acc c -> Condition.And (acc, c)) c rest
+  in
+  conj c
+
+let rec normalize q =
+  let rebuild mk = function
+    | [] -> assert false
+    | q :: rest -> List.fold_left (fun acc q -> mk acc q) q rest
+  in
+  match q with
+  | Algebra.Rel _ | Algebra.Dom _ -> q
+  | Algebra.Lit (k, tuples) -> Algebra.Lit (k, List.sort compare tuples)
+  | Algebra.Select (c, q1) ->
+    (* merge cascaded selections so σc1(σc2(E)) and σ(c1∧c2)(E) — and
+       any conjunct ordering — share one normal form *)
+    (match normalize q1 with
+     | Algebra.Select (c2, q2) ->
+       (match normalize_cond (Condition.And (c, c2)) with
+        | Condition.True -> q2
+        | c -> Algebra.Select (c, q2))
+     | q1 ->
+       (match normalize_cond c with
+        | Condition.True -> q1
+        | c -> Algebra.Select (c, q1)))
+  | Algebra.Project (idxs, q1) -> Algebra.Project (idxs, normalize q1)
+  | Algebra.Product (q1, q2) ->
+    Algebra.Product (normalize q1, normalize q2)
+  | Algebra.Union _ ->
+    let rec parts = function
+      | Algebra.Union (a, b) -> parts a @ parts b
+      | q -> [ normalize q ]
+    in
+    rebuild
+      (fun a b -> Algebra.Union (a, b))
+      (List.sort compare (parts q))
+  | Algebra.Inter _ ->
+    let rec parts = function
+      | Algebra.Inter (a, b) -> parts a @ parts b
+      | q -> [ normalize q ]
+    in
+    rebuild
+      (fun a b -> Algebra.Inter (a, b))
+      (List.sort compare (parts q))
+  | Algebra.Diff (q1, q2) -> Algebra.Diff (normalize q1, normalize q2)
+  | Algebra.Division (q1, q2) ->
+    Algebra.Division (normalize q1, normalize q2)
+  | Algebra.Anti_unify_join (q1, q2) ->
+    Algebra.Anti_unify_join (normalize q1, normalize q2)
+
+let fingerprint q =
+  Digest.to_hex (Digest.string (Marshal.to_string (normalize q) []))
+
 let conjoin = function
   | [] -> Condition.True
   | c :: rest -> List.fold_left (fun acc c -> Condition.And (acc, c)) c rest

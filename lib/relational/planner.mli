@@ -21,3 +21,21 @@
     resolver for its synthetic per-atom names). *)
 
 val compile : rel_arity:(string -> int) -> Algebra.t -> Plan.t
+
+(** [normalize q] is a semantics-preserving canonical form of [q], the
+    basis of {!fingerprint}: [And]/[Or] are flattened, sorted,
+    deduplicated and their units/absorbing elements applied;
+    [Eq]/[Neq] operands are ordered (symmetric; [Lt]/[Le] are not
+    touched); [Union]/[Inter] chains are flattened and sorted (both
+    AC; [Product]/[Diff] are order-sensitive and left alone);
+    cascaded selections merge; literal relations sort their tuples.
+    Two queries with equal normal forms have equal answers on every
+    database. *)
+val normalize : Algebra.t -> Algebra.t
+
+(** [fingerprint q] is a digest of {!normalize}[ q] — the semantic
+    cache key: alpha-equivalent queries (modulo the rewrites above)
+    share one fingerprint.  Callers prefix an evaluation-mode tag
+    (e.g. ["cert:"]) so the same algebra under different semantics
+    never collides. *)
+val fingerprint : Algebra.t -> string

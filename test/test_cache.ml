@@ -1,0 +1,590 @@
+(* Suite for the semantic result cache (DESIGN.md §4g): LRU/versioned
+   invalidation unit tests, plan-fingerprint equivalences, the Service
+   integration (hits before admission, Approximate never upgraded,
+   zero budget charge), differential checks of cached vs uncached
+   evaluation under randomized query/update interleavings, incremental
+   Datalog maintenance vs from-scratch, and fault injection on the
+   cache.lookup site. *)
+
+open Incdb_relational
+open Incdb_certain
+open Helpers
+module Dl = Incdb_datalog
+
+let pool4 = Pool.create ~size:4 ()
+
+let () =
+  Pool.scan_cutoff := 0;
+  Pool.join_cutoff := 0;
+  at_exit (fun () -> Pool.shutdown pool4)
+
+let base_cfg =
+  { (Service.default_config ~pool:(Some pool4) ()) with
+    Service.max_retries = 0;
+    backoff_base = 0.0 }
+
+let with_service cfg f =
+  let svc = Service.create cfg in
+  Fun.protect (fun () -> f svc) ~finally:(fun () -> Service.shutdown svc)
+
+let with_faults spec f =
+  Alcotest.(check bool)
+    (Printf.sprintf "spec %S parses" spec)
+    true (Guard.set_faults spec);
+  Fun.protect f ~finally:Guard.clear_faults
+
+let check_counter_invariant name svc =
+  let c = Service.counters svc in
+  Alcotest.(check int)
+    (name ^ ": admitted = completed + shed + failed")
+    c.Service.admitted
+    (c.Service.completed + c.Service.shed + c.Service.failed)
+
+(* ------------------------------------------------------------------ *)
+(* Cache unit tests                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let snap c rels = Cache.snapshot c rels
+
+let test_roundtrip () =
+  let c = Cache.create ~capacity:4 () in
+  Alcotest.(check (option reject)) "empty miss" None (Cache.lookup c "q1");
+  Cache.store c ~key:"q1" ~snapshot:(snap c [ "R" ]) ~tag:Cache.Exact 42;
+  (match Cache.lookup c "q1" with
+   | Some (Cache.Exact, 42) -> ()
+   | _ -> Alcotest.fail "expected exact hit of 42");
+  let st = Cache.stats c in
+  Alcotest.(check int) "1 hit" 1 st.Cache.hits;
+  Alcotest.(check int) "1 miss" 1 st.Cache.misses;
+  Alcotest.(check int) "1 entry" 1 st.Cache.entries
+
+let test_lru_eviction () =
+  let c = Cache.create ~capacity:2 () in
+  let s = snap c [] in
+  Cache.store c ~key:"a" ~snapshot:s ~tag:Cache.Exact 1;
+  Cache.store c ~key:"b" ~snapshot:s ~tag:Cache.Exact 2;
+  (* touch "a" so "b" is the LRU entry *)
+  ignore (Cache.lookup c "a");
+  Cache.store c ~key:"c" ~snapshot:s ~tag:Cache.Exact 3;
+  Alcotest.(check bool) "a survives" true (Cache.lookup c "a" <> None);
+  Alcotest.(check bool) "b evicted" true (Cache.lookup c "b" = None);
+  Alcotest.(check bool) "c present" true (Cache.lookup c "c" <> None);
+  let st = Cache.stats c in
+  Alcotest.(check int) "1 eviction" 1 st.Cache.evictions;
+  Alcotest.(check int) "2 entries" 2 st.Cache.entries;
+  (* re-storing an existing key must not evict anything *)
+  Cache.store c ~key:"c" ~snapshot:s ~tag:Cache.Exact 4;
+  Alcotest.(check int) "still 2 entries" 2 (Cache.stats c).Cache.entries
+
+let test_stale_invalidation () =
+  let c = Cache.create ~capacity:4 () in
+  Cache.store c ~key:"qR" ~snapshot:(snap c [ "R" ]) ~tag:Cache.Exact 1;
+  Cache.store c ~key:"qS" ~snapshot:(snap c [ "S" ]) ~tag:Cache.Exact 2;
+  Cache.bump c "R";
+  Alcotest.(check bool) "R-dependent stale" true (Cache.lookup c "qR" = None);
+  Alcotest.(check bool) "S-dependent live" true (Cache.lookup c "qS" <> None);
+  let st = Cache.stats c in
+  Alcotest.(check int) "1 stale" 1 st.Cache.stale;
+  Alcotest.(check int) "stale entry dropped" 1 st.Cache.entries;
+  (* a snapshot taken before an update never validates an entry stored
+     after it — versions only grow *)
+  let old = snap c [ "S" ] in
+  Cache.bump c "S";
+  Cache.store c ~key:"qS2" ~snapshot:old ~tag:Cache.Exact 3;
+  Alcotest.(check bool) "pre-update snapshot is stale" true
+    (Cache.lookup c "qS2" = None)
+
+let test_require_exact () =
+  let c = Cache.create ~capacity:4 () in
+  Cache.store c ~key:"q" ~snapshot:(snap c [ "R" ]) ~tag:Cache.Approximate 7;
+  Alcotest.(check bool) "require_exact skips approximate" true
+    (Cache.lookup ~require_exact:true c "q" = None);
+  (match Cache.lookup c "q" with
+   | Some (Cache.Approximate, 7) -> ()
+   | _ -> Alcotest.fail "approximate entry must survive a require_exact miss");
+  (* an exact store over the same key upgrades it *)
+  Cache.store c ~key:"q" ~snapshot:(snap c [ "R" ]) ~tag:Cache.Exact 8;
+  (match Cache.lookup ~require_exact:true c "q" with
+   | Some (Cache.Exact, 8) -> ()
+   | _ -> Alcotest.fail "expected exact hit after exact store")
+
+let test_clear_and_stats_line () =
+  let c = Cache.create ~capacity:4 () in
+  Cache.store c ~key:"q" ~snapshot:(snap c []) ~tag:Cache.Exact 1;
+  Cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Cache.length c);
+  Alcotest.(check bool) "post-clear miss" true (Cache.lookup c "q" = None);
+  let line = Cache.stats_line c in
+  Alcotest.(check bool)
+    (Printf.sprintf "stats line renders (%s)" line)
+    true
+    (String.length line > 0 && String.sub line 0 5 = "hits=")
+
+(* ------------------------------------------------------------------ *)
+(* Plan fingerprints                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fp q = Planner.fingerprint q
+
+let check_same msg a b = Alcotest.(check string) msg (fp a) (fp b)
+
+let check_diff msg a b =
+  Alcotest.(check bool) msg false (String.equal (fp a) (fp b))
+
+let test_fingerprint_equivalences () =
+  let open Algebra in
+  let open Condition in
+  let r = Rel "R" in
+  check_same "And commutes"
+    (Select (And (Eq (Col 0, Lit (Value.Int 1)), Is_const 1), r))
+    (Select (And (Is_const 1, Eq (Col 0, Lit (Value.Int 1))), r));
+  check_same "Eq operands order-insensitive"
+    (Select (Eq (Col 0, Lit (Value.Int 3)), r))
+    (Select (Eq (Lit (Value.Int 3), Col 0), r));
+  check_same "Or duplicates collapse"
+    (Select (Or (Is_null 0, Or (Is_null 0, Is_null 1)), r))
+    (Select (Or (Is_null 1, Is_null 0), r));
+  check_same "True is the And unit"
+    (Select (And (True, Is_const 0), r))
+    (Select (Is_const 0, r));
+  check_same "cascaded selects merge"
+    (Select (Is_const 0, Select (Is_null 1, r)))
+    (Select (And (Is_null 1, Is_const 0), r));
+  check_same "Union is AC"
+    (Union (Union (r, Rel "S2"), r))
+    (Union (r, Union (Rel "S2", r)));
+  check_same "Inter commutes" (Inter (r, Rel "S2")) (Inter (Rel "S2", r));
+  check_same "Lit tuple order irrelevant"
+    (Lit (1, [ tup [ i 1 ]; tup [ i 2 ] ]))
+    (Lit (1, [ tup [ i 2 ]; tup [ i 1 ] ]))
+
+let test_fingerprint_distinctions () =
+  let open Algebra in
+  let open Condition in
+  let r = Rel "R" in
+  check_diff "Lt is not symmetric"
+    (Select (Lt (Col 0, Col 1), r))
+    (Select (Lt (Col 1, Col 0), r));
+  check_diff "Diff is ordered" (Diff (r, Rel "S2")) (Diff (Rel "S2", r));
+  check_diff "Product is ordered"
+    (Product (r, Rel "T"))
+    (Product (Rel "T", r));
+  check_diff "different relations" r (Rel "S2");
+  check_diff "projection columns matter"
+    (Project ([ 0 ], r))
+    (Project ([ 1 ], r))
+
+(* normalize must preserve certain-answer semantics: the fingerprint
+   equates queries only when their results agree on every database *)
+let prop_normalize_preserves_semantics =
+  QCheck2.Test.make ~count:300 ~name:"eval (normalize q) = eval q"
+    QCheck2.Gen.(pair (gen_db ()) (gen_query ~allow_division:true ()))
+    (fun (db, q) ->
+      Relation.equal (Eval.run db q) (Eval.run db (Planner.normalize q)))
+
+let prop_normalize_idempotent =
+  QCheck2.Test.make ~count:300 ~name:"normalize is idempotent"
+    (gen_query ~allow_division:true ())
+    (fun q ->
+      let n = Planner.normalize q in
+      n = Planner.normalize n)
+
+(* ------------------------------------------------------------------ *)
+(* Service integration                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let small_db =
+  Database.of_list test_schema
+    [ ("R", [ tup [ i 1; i 2 ]; tup [ i 2; nu 0 ] ]);
+      ("S", [ tup [ i 2; i 3 ] ]); ("T", [ tup [ i 1 ] ]); ("U", [] ) ]
+
+let binding ?(require_exact = false) c q =
+  { Service.cache = c;
+    key = "cert:" ^ Planner.fingerprint q;
+    deps = Algebra.relations q;
+    approx_deps = [ "R"; "S"; "T"; "U" ];
+    require_exact }
+
+let test_service_hit_path () =
+  let c = Cache.create ~capacity:8 () in
+  let q = Algebra.(Project ([ 0 ], Rel "R")) in
+  let executions = ref 0 in
+  let job ~pool ~guard =
+    incr executions;
+    Certainty.cert_with_nulls_ra ~pool ~guard small_db q
+  in
+  with_service base_cfg (fun svc ->
+      let r1 = Service.run svc ~cache:(binding c q) job in
+      let r2 = Service.run svc ~cache:(binding c q) job in
+      (match (r1, r2) with
+       | Service.Ok a, Service.Ok b ->
+         check_rel "hit is bit-identical" a b
+       | _ -> Alcotest.fail "expected two ok outcomes");
+      if not (Guard.fault_injection_active ()) then begin
+        Alcotest.(check int) "evaluated once" 1 !executions;
+        Alcotest.(check int) "1 hit" 1 (Cache.stats c).Cache.hits
+      end;
+      (* an alpha-equivalent query shares the entry *)
+      let q' = Algebra.(Project ([ 0 ], Select (Condition.True, Rel "R"))) in
+      (match Service.run svc ~cache:(binding c q') job with
+       | Service.Ok _ -> ()
+       | _ -> Alcotest.fail "equivalent query should hit");
+      if not (Guard.fault_injection_active ()) then
+        Alcotest.(check int) "still evaluated once" 1 !executions;
+      check_counter_invariant "hit path" svc)
+
+let test_service_invalidation () =
+  let c = Cache.create ~capacity:8 () in
+  let q = Algebra.Rel "R" in
+  let data = ref [ tup [ i 1; i 2 ] ] in
+  let job ~pool:_ ~guard:_ = Relation.of_list 2 !data in
+  with_service base_cfg (fun svc ->
+      (match Service.run svc ~cache:(binding c q) job with
+       | Service.Ok r -> Alcotest.(check int) "1 tuple" 1 (Relation.cardinal r)
+       | _ -> Alcotest.fail "expected ok");
+      (* update: mutate the data first, then bump the version *)
+      data := tup [ i 3; i 4 ] :: !data;
+      Cache.bump c "R";
+      (match Service.run svc ~cache:(binding c q) job with
+       | Service.Ok r ->
+         Alcotest.(check int) "fresh answer after bump" 2 (Relation.cardinal r)
+       | _ -> Alcotest.fail "expected ok");
+      check_counter_invariant "invalidation" svc)
+
+let test_service_degraded_never_exact () =
+  let c = Cache.create ~capacity:8 () in
+  let q = Algebra.(Project ([ 0 ], Rel "R")) in
+  let b = binding c q in
+  (* a job that always exhausts its budget, degrading to the fallback *)
+  let job ~pool:_ ~guard =
+    Guard.charge_exn guard 1_000_000;
+    Alcotest.fail "unreachable: budget must interrupt"
+  in
+  let fallback ~pool = Scheme_pm.certain_sub ~pool small_db q in
+  with_service base_cfg (fun svc ->
+      (match Service.run svc ~budget:10 ~fallback ~cache:b job with
+       | Service.Degraded _ -> ()
+       | o ->
+         Alcotest.fail
+           (Printf.sprintf "expected degraded, got %s" (Service.outcome_label o)));
+      (* the approximate entry must come back Degraded, never Ok *)
+      (match Service.run svc ~budget:10 ~fallback ~cache:b job with
+       | Service.Degraded _ -> ()
+       | Service.Ok _ -> Alcotest.fail "approximate entry upgraded to ok"
+       | o ->
+         Alcotest.fail
+           (Printf.sprintf "expected degraded, got %s" (Service.outcome_label o)));
+      (* a require_exact binding must bypass the approximate entry and
+         evaluate: with a real budget the exact path completes *)
+      let exact_job ~pool ~guard =
+        Certainty.cert_with_nulls_ra ~pool ~guard small_db q
+      in
+      (match
+         Service.run svc ~cache:(binding ~require_exact:true c q) exact_job
+       with
+       | Service.Ok _ -> ()
+       | o ->
+         Alcotest.fail
+           (Printf.sprintf "expected exact ok, got %s" (Service.outcome_label o)));
+      check_counter_invariant "degraded" svc)
+
+let test_service_hit_charges_no_budget () =
+  let c = Cache.create ~capacity:8 () in
+  let q = Algebra.(Product (Rel "R", Rel "S")) in
+  let job ~pool ~guard =
+    Certainty.cert_with_nulls_ra ~pool ~guard small_db q
+  in
+  with_service base_cfg (fun svc ->
+      (match Service.run svc ~cache:(binding c q) job with
+       | Service.Ok _ -> ()
+       | o ->
+         Alcotest.fail
+           (Printf.sprintf "warm-up failed: %s" (Service.outcome_label o)));
+      (* budget 0 would interrupt any evaluation; a hit never evaluates *)
+      match Service.run svc ~budget:0 ~cache:(binding c q) job with
+      | Service.Ok _ -> ()
+      | Service.Interrupted _ when Guard.fault_injection_active () ->
+        (* an injected cache.lookup fault forces the miss path, which
+           then hits the zero budget — still a sound outcome *)
+        ()
+      | o ->
+        Alcotest.fail
+          (Printf.sprintf "hit should cost zero budget, got %s"
+             (Service.outcome_label o)))
+
+(* ------------------------------------------------------------------ *)
+(* Differential: cached vs uncached under query/update interleavings   *)
+(* ------------------------------------------------------------------ *)
+
+type step = Query of Algebra.t | Update of string * Tuple.t
+
+let gen_step : step QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let upd =
+    let* name = oneofl [ "R"; "S"; "T"; "U" ] in
+    let k = if name = "R" || name = "S" then 2 else 1 in
+    let* t = gen_tuple ~null_rate:0.2 k in
+    return (Update (name, t))
+  in
+  let qry = map (fun q -> Query q) (gen_query ()) in
+  frequency [ (2, qry); (1, upd) ]
+
+(* toggle membership of the tuple: insert if absent, delete if present *)
+let apply_update db name t =
+  let r = Database.relation db name in
+  let r' =
+    if Relation.mem t r then
+      Relation.diff r (Relation.of_list (Relation.arity r) [ t ])
+    else Relation.add t r
+  in
+  Database.set_relation db name r'
+
+let prop_cached_equals_uncached =
+  QCheck2.Test.make ~count:60 ~name:"cached = uncached on interleavings"
+    QCheck2.Gen.(
+      pair (gen_db ()) (list_size (int_range 1 12) gen_step))
+    (fun (db0, steps) ->
+      let c = Cache.create ~capacity:8 () in
+      let db = ref db0 in
+      with_service base_cfg (fun svc ->
+          List.for_all
+            (fun step ->
+              match step with
+              | Update (name, t) ->
+                (* view first, versions second — the serve-mode order *)
+                db := apply_update !db name t;
+                Cache.bump c name;
+                true
+              | Query q ->
+                let reference = Certainty.cert_with_nulls_ra !db q in
+                let snapshot = !db in
+                let job ~pool ~guard =
+                  Certainty.cert_with_nulls_ra ~pool ~guard snapshot q
+                in
+                (match Service.run svc ~cache:(binding c q) job with
+                 | Service.Ok r -> Relation.equal r reference
+                 | _ -> false))
+            steps))
+
+(* ------------------------------------------------------------------ *)
+(* Incremental Datalog maintenance                                     *)
+(* ------------------------------------------------------------------ *)
+
+let graph_schema = Schema.of_list [ ("edge", [ "src"; "dst" ]) ]
+
+let graph edges = Database.of_list graph_schema [ ("edge", List.map tup edges) ]
+
+let tc = Dl.Eval.transitive_closure ~edge:"edge" ~path:"path"
+
+(* two strata of derived predicates on top of the closure *)
+let layered_program =
+  Dl.Parser.parse
+    "path(x,y) :- edge(x,y). path(x,z) :- edge(x,y), path(y,z).\n\
+     sym(x,y) :- path(x,y), path(y,x).\n\
+     insym(x) :- sym(x,y)."
+
+let check_matches_scratch name m =
+  let db = Dl.Eval.database m in
+  let program_idb = Dl.Eval.idb m in
+  List.iter
+    (fun (pred, live) ->
+      let scratch =
+        Dl.Eval.run db
+          (if List.mem_assoc "sym" program_idb then layered_program else tc)
+          pred
+      in
+      check_rel (Printf.sprintf "%s: %s matches from-scratch" name pred)
+        scratch live)
+    program_idb
+
+let test_incremental_insert () =
+  let m = Dl.Eval.materialize (graph [ [ i 1; i 2 ] ]) tc in
+  let changed = Dl.Eval.insert m "edge" [ tup [ i 2; i 3 ] ] in
+  Alcotest.(check (list string)) "edge and path changed" [ "edge"; "path" ]
+    (List.sort compare changed);
+  Alcotest.(check int) "3 paths" 3
+    (Relation.cardinal (Dl.Eval.idb_relation m "path"));
+  check_matches_scratch "insert" m;
+  (* duplicate insert is a no-op *)
+  Alcotest.(check (list string)) "no-op insert" []
+    (Dl.Eval.insert m "edge" [ tup [ i 2; i 3 ] ])
+
+let test_incremental_delete_rederivation () =
+  (* path(1,3) has two derivations: the direct edge and 1→2→3; deleting
+     the direct edge must keep it (DRed re-derivation), deleting a
+     bridge must drop the whole suffix *)
+  let m =
+    Dl.Eval.materialize
+      (graph [ [ i 1; i 2 ]; [ i 2; i 3 ]; [ i 1; i 3 ]; [ i 3; i 4 ] ])
+      tc
+  in
+  let changed = Dl.Eval.delete m "edge" [ tup [ i 1; i 3 ] ] in
+  Alcotest.(check (list string)) "only edge changed (path re-derived)"
+    [ "edge" ] changed;
+  Alcotest.(check bool) "1 still reaches 3" true
+    (Relation.mem (tup [ i 1; i 3 ]) (Dl.Eval.idb_relation m "path"));
+  check_matches_scratch "delete+rederive" m;
+  let changed = Dl.Eval.delete m "edge" [ tup [ i 2; i 3 ] ] in
+  Alcotest.(check (list string)) "bridge deletion cascades"
+    [ "edge"; "path" ] (List.sort compare changed);
+  Alcotest.(check bool) "1 no longer reaches 4" false
+    (Relation.mem (tup [ i 1; i 4 ]) (Dl.Eval.idb_relation m "path"));
+  check_matches_scratch "cascade delete" m;
+  (* deleting an absent tuple is a no-op *)
+  Alcotest.(check (list string)) "no-op delete" []
+    (Dl.Eval.delete m "edge" [ tup [ i 9; i 9 ] ])
+
+let test_incremental_cycle_delete () =
+  (* breaking a cycle exercises overdeletion through mutually-dependent
+     derivations: every path tuple depends on every edge *)
+  let m = Dl.Eval.materialize (graph [ [ i 1; i 2 ]; [ i 2; i 1 ] ]) tc in
+  Alcotest.(check int) "cycle closure" 4
+    (Relation.cardinal (Dl.Eval.idb_relation m "path"));
+  ignore (Dl.Eval.delete m "edge" [ tup [ i 2; i 1 ] ]);
+  Alcotest.(check int) "only the surviving edge's path" 1
+    (Relation.cardinal (Dl.Eval.idb_relation m "path"));
+  check_matches_scratch "cycle" m
+
+let test_incremental_layered () =
+  let m =
+    Dl.Eval.materialize
+      (graph [ [ i 1; i 2 ]; [ i 2; i 1 ]; [ i 2; i 3 ] ])
+      layered_program
+  in
+  check_matches_scratch "layered initial" m;
+  ignore (Dl.Eval.insert m "edge" [ tup [ i 3; i 1 ] ]);
+  check_matches_scratch "layered insert" m;
+  Alcotest.(check int) "everyone on the cycle is symmetric" 3
+    (Relation.cardinal (Dl.Eval.idb_relation m "insym"));
+  ignore (Dl.Eval.delete m "edge" [ tup [ i 2; i 1 ] ]);
+  check_matches_scratch "layered delete" m
+
+let test_incremental_errors () =
+  let m = Dl.Eval.materialize (graph [ [ i 1; i 2 ] ]) tc in
+  (match Dl.Eval.insert m "path" [ tup [ i 1; i 2 ] ] with
+   | _ -> Alcotest.fail "IDB insert accepted"
+   | exception Dl.Eval.Eval_error _ -> ());
+  (match Dl.Eval.insert m "edge" [ tup [ i 1 ] ] with
+   | _ -> Alcotest.fail "arity mismatch accepted"
+   | exception Dl.Eval.Eval_error _ -> ());
+  match Dl.Eval.delete m "nosuch" [ tup [ i 1; i 2 ] ] with
+  | _ -> Alcotest.fail "unknown relation accepted"
+  | exception Dl.Eval.Eval_error _ -> ()
+
+(* random graphs under random toggle sequences, nulls included *)
+let prop_incremental_matches_scratch =
+  let open QCheck2 in
+  let gen_edge =
+    Gen.(
+      map2
+        (fun a b -> tup [ a; b ])
+        (gen_value ~null_rate:0.2) (gen_value ~null_rate:0.2))
+  in
+  Test.make ~count:80 ~name:"incremental fixpoint = from-scratch"
+    Gen.(
+      pair
+        (list_size (int_range 0 5) gen_edge)
+        (list_size (int_range 1 8) gen_edge))
+    (fun (initial, updates) ->
+      let db0 = graph [] in
+      let db0 =
+        Database.set_relation db0 "edge" (Relation.of_list 2 initial)
+      in
+      let m = Dl.Eval.materialize db0 tc in
+      List.for_all
+        (fun t ->
+          let present =
+            Relation.mem t (Database.relation (Dl.Eval.database m) "edge")
+          in
+          let _ =
+            if present then Dl.Eval.delete m "edge" [ t ]
+            else Dl.Eval.insert m "edge" [ t ]
+          in
+          Relation.equal
+            (Dl.Eval.run (Dl.Eval.database m) tc "path")
+            (Dl.Eval.idb_relation m "path"))
+        updates)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection on cache.lookup                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_lookup_fault_is_miss () =
+  with_faults "cache.lookup:1.0:11" (fun () ->
+      let c = Cache.create ~capacity:4 () in
+      Cache.store c ~key:"q" ~snapshot:(snap c [ "R" ]) ~tag:Cache.Exact 1;
+      Alcotest.(check (option reject)) "fault degrades to miss" None
+        (Cache.lookup c "q");
+      Alcotest.(check int) "counted as miss" 1 (Cache.stats c).Cache.misses;
+      Alcotest.(check int) "entry untouched" 1 (Cache.stats c).Cache.entries);
+  (* faults cleared: the entry is served again *)
+  ()
+
+let test_service_correct_under_lookup_faults () =
+  with_faults "cache.lookup:0.5:13" (fun () ->
+      let c = Cache.create ~capacity:8 () in
+      let q = Algebra.(Project ([ 0 ], Rel "R")) in
+      let reference = Certainty.cert_with_nulls_ra small_db q in
+      let job ~pool ~guard =
+        Certainty.cert_with_nulls_ra ~pool ~guard small_db q
+      in
+      with_service base_cfg (fun svc ->
+          for k = 1 to 20 do
+            match Service.run svc ~cache:(binding c q) job with
+            | Service.Ok r ->
+              check_rel (Printf.sprintf "round %d bit-identical" k) reference r
+            | o ->
+              Alcotest.fail
+                (Printf.sprintf "round %d: %s" k (Service.outcome_label o))
+          done;
+          check_counter_invariant "lookup faults" svc))
+
+(* ------------------------------------------------------------------ *)
+(* Suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "cache"
+    [ ( "unit",
+        [ Alcotest.test_case "store/lookup roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "versioned invalidation" `Quick
+            test_stale_invalidation;
+          Alcotest.test_case "require_exact" `Quick test_require_exact;
+          Alcotest.test_case "clear and stats line" `Quick
+            test_clear_and_stats_line ] );
+      ( "fingerprint",
+        [ Alcotest.test_case "equivalences collapse" `Quick
+            test_fingerprint_equivalences;
+          Alcotest.test_case "distinctions persist" `Quick
+            test_fingerprint_distinctions ] );
+      qsuite "fingerprint-props"
+        [ prop_normalize_preserves_semantics; prop_normalize_idempotent ];
+      ( "service",
+        [ Alcotest.test_case "hit before admission" `Quick
+            test_service_hit_path;
+          Alcotest.test_case "bump invalidates" `Quick
+            test_service_invalidation;
+          Alcotest.test_case "approximate never exact" `Quick
+            test_service_degraded_never_exact;
+          Alcotest.test_case "hit charges no budget" `Quick
+            test_service_hit_charges_no_budget ] );
+      qsuite "differential" [ prop_cached_equals_uncached ];
+      ( "incremental",
+        [ Alcotest.test_case "insert propagates" `Quick
+            test_incremental_insert;
+          Alcotest.test_case "delete re-derives" `Quick
+            test_incremental_delete_rederivation;
+          Alcotest.test_case "cycle deletion" `Quick
+            test_incremental_cycle_delete;
+          Alcotest.test_case "layered program" `Quick test_incremental_layered;
+          Alcotest.test_case "update validation" `Quick
+            test_incremental_errors ] );
+      qsuite "incremental-props" [ prop_incremental_matches_scratch ];
+      ( "faults",
+        [ Alcotest.test_case "lookup fault is a miss" `Quick
+            test_lookup_fault_is_miss;
+          Alcotest.test_case "service sound under faults" `Quick
+            test_service_correct_under_lookup_faults ] ) ]

@@ -53,7 +53,26 @@ let wait_exit ?(timeout = 30.0) pid =
 let spawn ?(env = []) args =
   let in_r, in_w = Unix.pipe ~cloexec:true () in
   let out_r, out_w = Unix.pipe ~cloexec:true () in
-  let full_env = Array.append (Unix.environment ()) (Array.of_list env) in
+  (* getenv returns the first match, so an entry we mean as an override
+     must replace any inherited binding of the same variable (the CI
+     fault legs export INCDB_FAULT to the whole suite) *)
+  let overridden e =
+    List.exists
+      (fun o ->
+        match String.index_opt o '=' with
+        | None -> false
+        | Some i ->
+          let k = String.sub o 0 (i + 1) in
+          String.length e >= String.length k
+          && String.sub e 0 (String.length k) = k)
+      env
+  in
+  let inherited =
+    List.filter
+      (fun e -> not (overridden e))
+      (Array.to_list (Unix.environment ()))
+  in
+  let full_env = Array.of_list (env @ inherited) in
   let pid =
     Unix.create_process_env exe
       (Array.of_list (exe :: args))
@@ -134,8 +153,10 @@ let read_line_fd fd =
   in
   go ()
 
-let spawn_listen args =
-  let pid, stdin_w, stdout_r = spawn ([ "serve"; "--null-rate"; "1" ] @ args) in
+let spawn_listen ?(null_rate = "1") args =
+  let pid, stdin_w, stdout_r =
+    spawn ([ "serve"; "--null-rate"; null_rate ] @ args)
+  in
   Unix.close stdin_w;
   let banner = read_line_fd stdout_r in
   let port =
@@ -180,6 +201,71 @@ let test_listen_roundtrip () =
   Alcotest.(check bool) "drain summary printed" true
     (contains "-- drain:" rest && contains "invariant ok" rest)
 
+(* the update workload end to end: inserts/deletes over TCP change
+   later answers (per-connection ordering is guaranteed), repeated
+   queries hit the cache, #stats exposes the counters, and --datalog
+   IDB relations are maintained incrementally *)
+let test_listen_updates_and_cache () =
+  let pid, stdout_r, port =
+    spawn_listen ~null_rate:"0"
+      [ "--listen"; "127.0.0.1:0"; "--scale"; "2"; "--seed"; "1"; "--datalog";
+        "reach(x,y) :- Payments(x,y). reach(x,z) :- Payments(x,y), reach(y,z)." ]
+  in
+  let fd = connect port in
+  let ask n q expect =
+    send_fd fd (q ^ "\n");
+    let reply = read_line_fd fd in
+    Alcotest.(check bool)
+      (Printf.sprintf "[%d] %s, got %s" n expect reply)
+      true
+      (contains (Printf.sprintf "[%d] %s" n expect) reply)
+  in
+  ask 1 "SELECT * FROM reach" "ok (2 tuples)";
+  ask 2 "insert Payments(o1,o2)" "ok updated Payments,reach";
+  (* o1→o2 plus the transitive c1→o2 *)
+  ask 3 "SELECT * FROM reach" "ok (4 tuples)";
+  ask 4 "SELECT * FROM reach" "ok (4 tuples)";
+  send_fd fd "#stats\n";
+  let stats = read_line_fd fd in
+  Alcotest.(check bool) ("stats line, got " ^ stats) true
+    (contains "#stats hits=" stats && contains "stale=" stats);
+  (* under the CI fault leg every lookup may miss; the hit count is
+     only deterministic without injected faults *)
+  if Sys.getenv_opt "INCDB_FAULT" = None then
+    Alcotest.(check bool) ("repeat query hit the cache: " ^ stats) true
+      (contains "hits=1" stats);
+  ask 5 "delete Payments(o1,o2)" "ok updated Payments,reach";
+  ask 6 "SELECT * FROM reach" "ok (2 tuples)";
+  ask 7 "insert Payments(o1,o2)" "ok updated Payments,reach";
+  ask 8 "delete Payments(o9,o9)" "ok updated (no-op)";
+  ask 9 "insert nosuch(1)" "parse error:";
+  send_fd fd "#drain\n";
+  Alcotest.(check string) "drain ack" "#ok draining" (read_line_fd fd);
+  Unix.close fd;
+  let rest = read_all_fd stdout_r in
+  Unix.close stdout_r;
+  let code = wait_exit pid in
+  Alcotest.(check int) "clean exit" 0 code;
+  Alcotest.(check bool) "invariant held" true (contains "invariant ok" rest);
+  Alcotest.(check bool) "cache summary printed" true
+    (contains "-- cache: hits=" rest)
+
+let test_listen_no_cache () =
+  let pid, stdout_r, port =
+    spawn_listen [ "--listen"; "127.0.0.1:0"; "--no-cache" ]
+  in
+  let fd = connect port in
+  send_fd fd "#stats\n";
+  Alcotest.(check string) "stats disabled" "#stats cache disabled"
+    (read_line_fd fd);
+  send_fd fd "#drain\n";
+  Alcotest.(check string) "drain ack" "#ok draining" (read_line_fd fd);
+  Unix.close fd;
+  let rest = read_all_fd stdout_r in
+  Unix.close stdout_r;
+  ignore (wait_exit pid);
+  Alcotest.(check bool) "no cache summary" false (contains "-- cache:" rest)
+
 let test_listen_sigterm_drain () =
   let pid, stdout_r, port =
     spawn_listen [ "--listen"; "127.0.0.1:0"; "--drain-deadline"; "1" ]
@@ -215,5 +301,9 @@ let () =
       ( "listen",
         [ Alcotest.test_case "TCP round trip + #drain" `Quick
             test_listen_roundtrip;
+          Alcotest.test_case "updates, cache hits and #stats" `Quick
+            test_listen_updates_and_cache;
+          Alcotest.test_case "--no-cache disables #stats" `Quick
+            test_listen_no_cache;
           Alcotest.test_case "SIGTERM drains gracefully" `Quick
             test_listen_sigterm_drain ] ) ]

@@ -37,7 +37,7 @@ let base_cfg =
    anything else is a parse error *)
 let toy_handler line =
   match String.split_on_char ' ' (String.trim line) with
-  | [ "const"; x ] -> Ok { Server.run = (fun ~pool:_ ~guard:_ -> x); fallback = None }
+  | [ "const"; x ] -> Ok { Server.run = (fun ~pool:_ ~guard:_ -> x); fallback = None; cache = None }
   | [ "spin"; ms ] ->
     (match int_of_string_opt ms with
      | None -> Error "spin wants an integer"
@@ -51,11 +51,11 @@ let toy_handler line =
                  Domain.cpu_relax ()
                done;
                "spun");
-           fallback = None })
+           fallback = None; cache = None })
   | [ "fail" ] ->
     Ok
       { Server.run = (fun ~pool:_ ~guard:_ -> failwith "toy failure");
-        fallback = None }
+        fallback = None; cache = None }
   | _ -> Error "unknown verb"
 
 let with_server cfg handler f =
@@ -377,7 +377,7 @@ let test_loopback_differential () =
          Ok
            { Server.run =
                (fun ~pool ~guard -> render (Eval.run ~pool ~guard db q));
-             fallback = None }
+             fallback = None; cache = None }
        | _ -> Error "index out of range")
     | _ -> Error "expected q <i>"
   in
@@ -570,6 +570,72 @@ let test_wildcard_faults () =
   ()
 
 (* ------------------------------------------------------------------ *)
+(* semantic cache over sockets: hits, invalidation, #stats             *)
+(* ------------------------------------------------------------------ *)
+
+(* verbs:
+     cached X    evaluate (counted) under a cache binding keyed on X
+     touch R     bump relation R's version *)
+let cached_handler cache executions line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "cached"; x ] ->
+    Ok
+      { Server.run =
+          (fun ~pool:_ ~guard:_ ->
+            incr executions;
+            "val-" ^ x);
+        fallback = None;
+        cache =
+          Some
+            { Service.cache;
+              key = x;
+              deps = [ "R" ];
+              approx_deps = [ "R" ];
+              require_exact = false } }
+  | [ "touch"; r ] ->
+    Cache.bump cache r;
+    Ok
+      { Server.run = (fun ~pool:_ ~guard:_ -> "touched " ^ r);
+        fallback = None; cache = None }
+  | _ -> Error "unknown verb"
+
+let test_cached_jobs_and_stats () =
+  let cache = Cache.create ~capacity:8 () in
+  let executions = ref 0 in
+  with_server
+    { base_cfg with Server.stats = Some (fun () -> Cache.stats_line cache) }
+    (cached_handler cache executions)
+    (fun srv ->
+      let c = connect (Server.port srv) in
+      send c "cached a";
+      expect_line "miss evaluates" c (starts_with "[1] ok val-a");
+      send c "cached a";
+      expect_line "hit replays the line" c (starts_with "[2] ok val-a");
+      if not (Guard.fault_injection_active ()) then
+        Alcotest.(check int) "evaluated once" 1 !executions;
+      send c "touch R";
+      expect_line "touch ack" c (starts_with "[3] ok touched R");
+      send c "cached a";
+      expect_line "stale entry re-evaluates" c (starts_with "[4] ok val-a");
+      if not (Guard.fault_injection_active ()) then
+        Alcotest.(check int) "re-evaluated after bump" 2 !executions;
+      send c "#stats";
+      expect_line "stats line" c (fun l ->
+          starts_with "#stats hits=" l && contains "stale=" l);
+      close c;
+      let s = Service.counters (Server.service srv) in
+      Alcotest.(check int) "admitted = completed + shed + failed"
+        s.Service.admitted
+        (s.Service.completed + s.Service.shed + s.Service.failed))
+
+let test_stats_disabled () =
+  with_server base_cfg toy_handler (fun srv ->
+      let c = connect (Server.port srv) in
+      send c "#stats";
+      expect_line "stats without a hook" c (( = ) "#stats cache disabled");
+      close c)
+
+(* ------------------------------------------------------------------ *)
 (* suite                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -603,6 +669,11 @@ let () =
             test_drain_under_load;
           Alcotest.test_case "#drain directive acknowledged" `Quick
             test_drain_directive ] );
+      ( "cache",
+        [ Alcotest.test_case "cached jobs hit and invalidate" `Quick
+            test_cached_jobs_and_stats;
+          Alcotest.test_case "#stats without a hook" `Quick
+            test_stats_disabled ] );
       ( "chaos",
         [ Alcotest.test_case "slowloris + disconnects + quota storm" `Quick
             test_concurrent_chaos;
