@@ -680,6 +680,9 @@ let serve_cmd =
                         ^ (match cache with
                            | Some c -> Cache.stats_line c
                            | None -> "cache disabled")
+                        ^ (match (Service.config svc).Service.pool with
+                           | Some p -> " | " ^ Pool.stats_line p
+                           | None -> "")
                       else "#err unknown directive")))
            else begin
              incr lineno;
@@ -732,6 +735,9 @@ let serve_cmd =
       c.Service.shed c.Service.retried c.Service.failed;
     (match cache with
      | Some c -> Printf.printf "-- cache: %s\n%!" (Cache.stats_line c)
+     | None -> ());
+    (match (Service.config svc).Service.pool with
+     | Some p -> Printf.printf "-- %s\n%!" (Pool.stats_line p)
      | None -> ());
     if any_failed then raise (Invalid_argument "some queries failed")
   in
@@ -800,7 +806,21 @@ let serve_cmd =
           read_timeout;
           drain_deadline;
           client_quota = quota;
-          stats = Option.map (fun c () -> Cache.stats_line c) cache;
+          stats =
+            (* cache counters, then pool scheduler counters when the
+               service runs on a pool — one line, pipe-separated *)
+            (match (cache, svc_cfg.Service.pool) with
+             | None, None -> None
+             | _ ->
+               Some
+                 (fun () ->
+                   (match cache with
+                    | Some c -> Cache.stats_line c
+                    | None -> "cache disabled")
+                   ^
+                   match svc_cfg.Service.pool with
+                   | Some p -> " | " ^ Pool.stats_line p
+                   | None -> ""));
           service = svc_cfg }
         handler
     in
@@ -829,6 +849,9 @@ let serve_cmd =
       (if stats.Server.invariant_ok then "ok" else "VIOLATED");
     (match cache with
      | Some c -> Printf.printf "-- cache: %s\n%!" (Cache.stats_line c)
+     | None -> ());
+    (match svc_cfg.Service.pool with
+     | Some p -> Printf.printf "-- %s\n%!" (Pool.stats_line p)
      | None -> ());
     if not stats.Server.invariant_ok then
       raise (Invalid_argument "counter invariant violated at drain")

@@ -1,6 +1,13 @@
 type merge = [ `Sum | `Collapse ]
 
-let world_multiplicities ~merge db q tuple =
+(* One world's multiplicity per canonical valuation — embarrassingly
+   parallel: each world evaluates independently and the list order (and
+   so the min/max below) matches the sequential scan, making the sweep
+   bit-identical on every pool size and backend.  [~cutoff:1] because a
+   single world is already exponential work; [Bag_eval.run] takes its
+   own default pool, so under the work-stealing backend the per-world
+   joins fan out inside the sweep instead of degrading. *)
+let world_multiplicities ?(pool = Pool.auto ()) ?guard ~merge db q tuple =
   let query_consts = Algebra.consts q in
   let worlds = Certainty.canonical_worlds ~query_consts db in
   (* valuations must act on bags: tuples merged by the valuation combine
@@ -15,20 +22,20 @@ let world_multiplicities ~merge db q tuple =
       (fun name r acc -> (name, Bag_relation.of_relation r) :: acc)
       db []
   in
-  List.map
+  Pool.parallel_map ~cutoff:1 ?guard pool
     (fun (v, world) ->
       let bags = List.map (fun (name, b) -> (name, apply v b)) base_bags in
-      let answer = Bag_eval.run ~bags world q in
+      let answer = Bag_eval.run ?guard ~bags world q in
       Bag_relation.multiplicity (Valuation.apply_tuple v tuple) answer)
     worlds
 
-let box ?(merge = `Sum) db q tuple =
-  match world_multiplicities ~merge db q tuple with
+let box ?pool ?guard ?(merge = `Sum) db q tuple =
+  match world_multiplicities ?pool ?guard ~merge db q tuple with
   | [] -> assert false
   | m :: ms -> List.fold_left min m ms
 
-let diamond ?(merge = `Sum) db q tuple =
-  match world_multiplicities ~merge db q tuple with
+let diamond ?pool ?guard ?(merge = `Sum) db q tuple =
+  match world_multiplicities ?pool ?guard ~merge db q tuple with
   | [] -> assert false
   | m :: ms -> List.fold_left max m ms
 
@@ -38,4 +45,5 @@ let lower_bound db q =
 let upper_bound db q =
   Bag_eval.run db (Scheme_pm.translate_maybe (Database.schema db) q)
 
-let certain_multiplicity_one db q tuple = box db q tuple >= 1
+let certain_multiplicity_one ?pool ?guard db q tuple =
+  box ?pool ?guard db q tuple >= 1

@@ -20,12 +20,22 @@
 type merge = [ `Sum | `Collapse ]
 
 (** [box db q tuple] is □Q(D, ā): the guaranteed multiplicity.
+
+    [pool] (default {!Pool.auto}) spreads the per-world multiplicity
+    sweep across the pool — one task per canonical valuation, results
+    recombined in enumeration order, so the bounds are bit-identical to
+    [~pool:None] on every pool size and backend.  [guard] is checked at
+    every chunk boundary and inside each world's bag evaluation.
     @raise Bag_eval.Unsupported on division. *)
-val box : ?merge:merge -> Database.t -> Algebra.t -> Tuple.t -> int
+val box :
+  ?pool:Pool.t option -> ?guard:Guard.t -> ?merge:merge ->
+  Database.t -> Algebra.t -> Tuple.t -> int
 
 (** [diamond db q tuple] is ◇Q(D, ā): the maximal possible
-    multiplicity. *)
-val diamond : ?merge:merge -> Database.t -> Algebra.t -> Tuple.t -> int
+    multiplicity.  Parallelised like {!box}. *)
+val diamond :
+  ?pool:Pool.t option -> ?guard:Guard.t -> ?merge:merge ->
+  Database.t -> Algebra.t -> Tuple.t -> int
 
 (** [lower_bound db q] is the bag Q⁺(D): for every ā,
     #(ā, Q⁺(D)) ≤ □Q(D, ā). *)
@@ -37,4 +47,6 @@ val upper_bound : Database.t -> Algebra.t -> Bag_relation.t
 
 (** [certain_multiplicity_one db q tuple] holds iff □Q(D, ā) ≥ 1; under
     set semantics this says ā ∈ cert⊥(Q, D). *)
-val certain_multiplicity_one : Database.t -> Algebra.t -> Tuple.t -> bool
+val certain_multiplicity_one :
+  ?pool:Pool.t option -> ?guard:Guard.t ->
+  Database.t -> Algebra.t -> Tuple.t -> bool

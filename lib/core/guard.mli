@@ -79,6 +79,12 @@ val charge_exn : t -> int -> unit
     Sites currently instrumented:
     - ["pool.chunk"] — every chunk executed by {!Pool.run_chunks} (all
       parallel operators and combinators pass through it);
+    - ["pool.steal"] — the top of every steal sweep of the
+      work-stealing pool backend: a raise-mode fault abandons the
+      attempt before any victim deque is touched — the thief retries
+      or parks and the task is never lost (it stays queued for its
+      owner or another thief) — and a delay-mode fault stalls the
+      thief.  No-op on the Fifo backend, which never steals;
     - ["datalog.round"] — the top of every semi-naive round of
       [Incdb_datalog.Eval] (including the initial EDB round);
     - ["chase.round"] — every round of [Incdb_prob.Chase.chase_fds];

@@ -195,10 +195,12 @@ let poll ticket =
 
 (* Service workers are plain domains, NOT pool workers: envelopes must
    submit top-level parallel sections into the shared pool, so the DLS
-   worker flag stays down here.  Nested-submission degradation still
-   applies transitively — every pool chunk raises the flag for its own
-   duration (see Pool.run_chunks), including chunks of other queries
-   that this domain picks up while helping drain the shared queue. *)
+   worker flag stays down here.  Every pool chunk still raises the flag
+   for its own duration (see Pool.run_chunks) — including chunks of
+   other queries this domain picks up while helping the pool — which
+   under the Fifo pool backend degrades nested submission transitively,
+   and under the Steal backend only keeps guard attribution and
+   fault-injection draws consistent (nested sections fan out there). *)
 let worker_loop t () =
   let rec next () =
     Mutex.lock t.lock;

@@ -52,7 +52,15 @@ let post_final strategy ct =
   | Semi_eager | Lazy -> app (fun c -> ground_ctuple (propagate c))
   | Aware -> app aware_finalize
 
-let eval_gen ~post ~post_diff ~post_final ~schema ~base q =
+(* The Product/Inter/Diff cases below chunk their outer loop over the
+   left operand's ctuples across the pool; inner loops stay sequential
+   inside a chunk.  [Pool.parallel_map] preserves input order, so the
+   list handed to [Ctable.of_list] is exactly the sequential one and
+   results are bit-identical on every pool size and backend.  Under the
+   work-stealing backend the per-strategy fan-out of {!eval_all} and
+   these per-operator loops share the same pool and nest freely. *)
+let eval_gen ?(pool = Pool.auto ()) ?cutoff ?guard ~post ~post_diff
+    ~post_final ~schema ~base q =
   ignore (Algebra.arity schema q);
   let q = Incdb_certain.Classes.expand_division schema q in
   let rec go q =
@@ -76,47 +84,52 @@ let eval_gen ~post ~post_diff ~post_final ~schema ~base q =
     | Algebra.Product (q1, q2) ->
       let ct1 = go q1 and ct2 = go q2 in
       let k = Ctable.arity ct1 + Ctable.arity ct2 in
+      let rows2 = Ctable.to_list ct2 in
       let pairs =
-        List.concat_map
-          (fun (c1 : Ctable.ctuple) ->
-            List.map
-              (fun (c2 : Ctable.ctuple) ->
-                {
-                  Ctable.tuple = Tuple.concat c1.tuple c2.tuple;
-                  cond = Cond.And (c1.cond, c2.cond);
-                })
-              (Ctable.to_list ct2))
-          (Ctable.to_list ct1)
+        List.concat
+          (Pool.parallel_map ?cutoff ?guard pool
+             (fun (c1 : Ctable.ctuple) ->
+               List.map
+                 (fun (c2 : Ctable.ctuple) ->
+                   {
+                     Ctable.tuple = Tuple.concat c1.tuple c2.tuple;
+                     cond = Cond.And (c1.cond, c2.cond);
+                   })
+                 rows2)
+             (Ctable.to_list ct1))
       in
       post (Ctable.of_list k pairs)
     | Algebra.Union (q1, q2) -> post (Ctable.append (go q1) (go q2))
     | Algebra.Inter (q1, q2) ->
       let ct1 = go q1 and ct2 = go q2 in
       let k = Ctable.arity ct1 in
+      let rows2 = Ctable.to_list ct2 in
       let pairs =
-        List.concat_map
-          (fun (c1 : Ctable.ctuple) ->
-            List.filter_map
-              (fun (c2 : Ctable.ctuple) ->
-                if Tuple.unifiable c1.tuple c2.tuple then
-                  Some
-                    {
-                      Ctable.tuple = c1.tuple;
-                      cond =
-                        Cond.And
-                          ( Cond.And (c1.cond, c2.cond),
-                            Cond.tuple_eq c1.tuple c2.tuple );
-                    }
-                else None)
-              (Ctable.to_list ct2))
-          (Ctable.to_list ct1)
+        List.concat
+          (Pool.parallel_map ?cutoff ?guard pool
+             (fun (c1 : Ctable.ctuple) ->
+               List.filter_map
+                 (fun (c2 : Ctable.ctuple) ->
+                   if Tuple.unifiable c1.tuple c2.tuple then
+                     Some
+                       {
+                         Ctable.tuple = c1.tuple;
+                         cond =
+                           Cond.And
+                             ( Cond.And (c1.cond, c2.cond),
+                               Cond.tuple_eq c1.tuple c2.tuple );
+                       }
+                   else None)
+                 rows2)
+             (Ctable.to_list ct1))
       in
       post (Ctable.of_list k pairs)
     | Algebra.Diff (q1, q2) ->
       let ct1 = go q1 and ct2 = go q2 in
       let k = Ctable.arity ct1 in
+      let rows2 = Ctable.to_list ct2 in
       let subtracted =
-        List.map
+        Pool.parallel_map ?cutoff ?guard pool
           (fun (c1 : Ctable.ctuple) ->
             let guards =
               List.filter_map
@@ -126,7 +139,7 @@ let eval_gen ~post ~post_diff ~post_final ~schema ~base q =
                       (Cond.Not
                          (Cond.And (c2.cond, Cond.tuple_eq c1.tuple c2.tuple)))
                   else None)
-                (Ctable.to_list ct2)
+                rows2
             in
             let cond =
               List.fold_left (fun acc g -> Cond.And (acc, g)) c1.cond guards
@@ -145,26 +158,37 @@ let eval_gen ~post ~post_diff ~post_final ~schema ~base q =
 
 let db_base db name = Ctable.of_relation (Database.relation db name)
 
-let eval strategy db q =
-  eval_gen ~post:(post_each_op strategy) ~post_diff:(post_diff strategy)
-    ~post_final:(post_final strategy) ~schema:(Database.schema db)
-    ~base:(db_base db) q
+let eval ?pool ?cutoff ?guard strategy db q =
+  eval_gen ?pool ?cutoff ?guard ~post:(post_each_op strategy)
+    ~post_diff:(post_diff strategy) ~post_final:(post_final strategy)
+    ~schema:(Database.schema db) ~base:(db_base db) q
 
-let eval_cdb strategy cdb q =
-  eval_gen ~post:(post_each_op strategy) ~post_diff:(post_diff strategy)
-    ~post_final:(post_final strategy) ~schema:(Cdb.schema cdb)
-    ~base:(Cdb.ctable cdb) q
+let eval_cdb ?pool ?cutoff ?guard strategy cdb q =
+  eval_gen ?pool ?cutoff ?guard ~post:(post_each_op strategy)
+    ~post_diff:(post_diff strategy) ~post_final:(post_final strategy)
+    ~schema:(Cdb.schema cdb) ~base:(Cdb.ctable cdb) q
 
-let eval_symbolic db q =
+let eval_symbolic ?pool ?cutoff ?guard db q =
   let id ct = Ctable.normalize ct in
-  eval_gen ~post:id ~post_diff:id ~post_final:id ~schema:(Database.schema db)
-    ~base:(db_base db) q
+  eval_gen ?pool ?cutoff ?guard ~post:id ~post_diff:id ~post_final:id
+    ~schema:(Database.schema db) ~base:(db_base db) q
 
-let eval_symbolic_cdb cdb q =
+let eval_symbolic_cdb ?pool ?cutoff ?guard cdb q =
   let id ct = Ctable.normalize ct in
-  eval_gen ~post:id ~post_diff:id ~post_final:id ~schema:(Cdb.schema cdb)
-    ~base:(Cdb.ctable cdb) q
+  eval_gen ?pool ?cutoff ?guard ~post:id ~post_diff:id ~post_final:id
+    ~schema:(Cdb.schema cdb) ~base:(Cdb.ctable cdb) q
 
-let certain strategy db q = Ctable.certain (eval strategy db q)
+let certain ?pool ?cutoff ?guard strategy db q =
+  Ctable.certain (eval ?pool ?cutoff ?guard strategy db q)
 
-let possible strategy db q = Ctable.possible (eval strategy db q)
+let possible ?pool ?cutoff ?guard strategy db q =
+  Ctable.possible (eval ?pool ?cutoff ?guard strategy db q)
+
+(* All four strategies on one query: one parallel task per strategy.
+   Under the Fifo backend the inner per-operator loops of each [eval]
+   degrade to sequential inside their strategy task; under Steal they
+   fan out across the same pool.  Strategy order is preserved. *)
+let eval_all ?(pool = Pool.auto ()) ?cutoff ?guard db q =
+  Pool.parallel_map ~cutoff:1 ?guard pool
+    (fun strategy -> (strategy, eval ~pool ?cutoff ?guard strategy db q))
+    all_strategies

@@ -35,13 +35,48 @@ exception Unsupported of string
 
 (** [eval strategy db q] evaluates [q] conditionally.  Division is
     pre-expanded; [Dom]/[Anti_unify_join] are rejected.
+
+    [pool] (default {!Pool.auto}) chunks the outer ctuple loop of
+    every Product/Inter/Diff operator across the pool; chunk results
+    are recombined in input order, so evaluation is bit-identical to
+    [~pool:None] on every pool size and backend.  [cutoff] is the
+    operand size at or below which an operator stays sequential;
+    [guard] is checked at every chunk boundary.
     @raise Algebra.Type_error if [q] is ill-typed. *)
-val eval : strategy -> Database.t -> Algebra.t -> Ctable.t
+val eval :
+  ?pool:Pool.t option ->
+  ?cutoff:int ->
+  ?guard:Guard.t ->
+  strategy ->
+  Database.t ->
+  Algebra.t ->
+  Ctable.t
 
 (** [eval_cdb strategy cdb q] evaluates directly on a {e conditional}
     database — the native setting of [36]; input conditions are
     conjoined into the derived ones. *)
-val eval_cdb : strategy -> Cdb.t -> Algebra.t -> Ctable.t
+val eval_cdb :
+  ?pool:Pool.t option ->
+  ?cutoff:int ->
+  ?guard:Guard.t ->
+  strategy ->
+  Cdb.t ->
+  Algebra.t ->
+  Ctable.t
+
+(** [eval_all db q] evaluates [q] under all four strategies — one
+    parallel task per strategy, in [all_strategies] order.  Under the
+    work-stealing pool backend the per-operator parallelism of each
+    strategy's evaluation nests inside its strategy task; under the
+    Fifo backend the inner loops degrade to sequential.  Results are
+    bit-identical to four sequential {!eval} calls. *)
+val eval_all :
+  ?pool:Pool.t option ->
+  ?cutoff:int ->
+  ?guard:Guard.t ->
+  Database.t ->
+  Algebra.t ->
+  (strategy * Ctable.t) list
 
 (** [eval_symbolic db q] performs conditional evaluation with no
     grounding at all: the resulting c-table is an {e exact}
@@ -49,16 +84,24 @@ val eval_cdb : strategy -> Cdb.t -> Algebra.t -> Ctable.t
     representation system for relational algebra (Imieliński & Lipski),
     i.e. the c-table denotes Q(v(D)) in every world v.  Used as the
     reference point for the four approximating strategies. *)
-val eval_symbolic : Database.t -> Algebra.t -> Ctable.t
+val eval_symbolic :
+  ?pool:Pool.t option -> ?cutoff:int -> ?guard:Guard.t ->
+  Database.t -> Algebra.t -> Ctable.t
 
 (** [eval_symbolic_cdb cdb q] — symbolic (exact) evaluation on a
     conditional database: the result c-table denotes Q of the
     instantiated database in every world of [cdb]. *)
-val eval_symbolic_cdb : Cdb.t -> Algebra.t -> Ctable.t
+val eval_symbolic_cdb :
+  ?pool:Pool.t option -> ?cutoff:int -> ?guard:Guard.t ->
+  Cdb.t -> Algebra.t -> Ctable.t
 
 (** [certain strategy db q] is Eval⋆ₜ(Q, D): a sound under-approximation
     of cert⊥(Q, D). *)
-val certain : strategy -> Database.t -> Algebra.t -> Relation.t
+val certain :
+  ?pool:Pool.t option -> ?cutoff:int -> ?guard:Guard.t ->
+  strategy -> Database.t -> Algebra.t -> Relation.t
 
 (** [possible strategy db q] is Eval⋆ₚ(Q, D). *)
-val possible : strategy -> Database.t -> Algebra.t -> Relation.t
+val possible :
+  ?pool:Pool.t option -> ?cutoff:int -> ?guard:Guard.t ->
+  strategy -> Database.t -> Algebra.t -> Relation.t

@@ -10,32 +10,60 @@ let () =
       Some "Chase.Unsatisfiable (the FDs hold in no possible world)"
     | _ -> None)
 
-(* find one violated FD instance and return the pair of values to equate *)
-let find_violation db (fds : Constraints.fd list) =
+(* first violation of one FD with the outer tuple ranging over
+   [lo, hi): scanned in (t1, t2) order, so the result is the earliest
+   violating pair of the range *)
+let scan_range lhs rhs (tuples : Tuple.t array) lo hi =
+  let n = Array.length tuples in
   let found = ref None in
-  let check_fd ({ Constraints.fd_relation; lhs; rhs } : Constraints.fd) =
-    let r = Database.relation db fd_relation in
-    let tuples = Relation.to_list r in
-    List.iter
-      (fun t1 ->
-        List.iter
-          (fun t2 ->
-            if
-              Option.is_none !found
-              && Tuple.equal (Tuple.project lhs t1) (Tuple.project lhs t2)
-              && not (Tuple.equal (Tuple.project rhs t1) (Tuple.project rhs t2))
-            then begin
-              (* first differing rhs column *)
-              let col =
-                List.find (fun c -> not (Value.equal t1.(c) t2.(c))) rhs
-              in
-              found := Some (t1.(col), t2.(col))
-            end)
-          tuples)
-      tuples
-  in
-  List.iter check_fd fds;
+  (try
+     for i = lo to hi - 1 do
+       let t1 = tuples.(i) in
+       for j = 0 to n - 1 do
+         let t2 = tuples.(j) in
+         if
+           Tuple.equal (Tuple.project lhs t1) (Tuple.project lhs t2)
+           && not (Tuple.equal (Tuple.project rhs t1) (Tuple.project rhs t2))
+         then begin
+           (* first differing rhs column *)
+           let col =
+             List.find (fun c -> not (Value.equal t1.(c) t2.(c))) rhs
+           in
+           found := Some (t1.(col), t2.(col));
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
   !found
+
+(* Find one violated FD instance and return the pair of values to
+   equate.  The quadratic scan is the chase's hot loop, so it is
+   chunked over the outer tuple ranges and run on the pool; work items
+   are ordered (FD order, then outer-tuple order) and the first [Some]
+   in item order is returned, which is exactly the violation the
+   sequential scan finds — so the chase is bit-identical on every pool
+   configuration.  Each chunk may stop at its own first hit (early
+   exit never changes which item is first in order). *)
+let find_violation ?pool ?guard db (fds : Constraints.fd list) =
+  let work_of_fd ({ Constraints.fd_relation; lhs; rhs } : Constraints.fd) =
+    let r = Database.relation db fd_relation in
+    let tuples = Array.of_list (Relation.to_list r) in
+    let n = Array.length tuples in
+    let nchunks =
+      match pool with
+      | Some p -> max 1 (min n (4 * Pool.size p))
+      | None -> 1
+    in
+    List.init nchunks (fun i ->
+        let lo = i * n / nchunks and hi = (i + 1) * n / nchunks in
+        (lhs, rhs, tuples, lo, hi))
+  in
+  let items = List.concat_map work_of_fd fds in
+  Pool.parallel_map ~cutoff:1 ?guard pool
+    (fun (lhs, rhs, tuples, lo, hi) -> scan_range lhs rhs tuples lo hi)
+    items
+  |> List.find_map Fun.id
 
 let substitute_value n value x =
   if Value.equal x (Value.Null n) then value else x
@@ -57,17 +85,18 @@ let apply_subst subst tuple =
       | Value.Const _ -> x)
     tuple
 
-let chase_fds ?guard db fds =
+let chase_fds ?(pool = Pool.auto ()) ?guard db fds =
   let rec loop db subst steps =
     (* each step eliminates one null or fails; nulls are finite.  The
        violation scan is quadratic per round, so the guard is
-       re-checked between rounds; the round doubles as a fault-injection
+       re-checked between rounds (and by the pool at every chunk
+       boundary of the scan); the round doubles as a fault-injection
        site for the robustness tests *)
     Guard.check guard;
     Guard.inject "chase.round";
     if steps < 0 then Failed
     else
-      match find_violation db fds with
+      match find_violation ?pool ?guard db fds with
       | None -> Chased (db, subst)
       | Some (x, y) ->
         (match x, y with
@@ -84,7 +113,7 @@ let chase_fds ?guard db fds =
   let budget = List.length (Database.nulls db) + 1 in
   loop db [] budget
 
-let chase_exn ?guard db fds =
-  match chase_fds ?guard db fds with
+let chase_exn ?pool ?guard db fds =
+  match chase_fds ?pool ?guard db fds with
   | Chased (db, _) -> db
   | Failed -> raise Unsatisfiable

@@ -25,11 +25,20 @@ type result =
     outcome alongside {!Guard.Interrupt}. *)
 exception Unsatisfiable
 
-(** [chase_fds ?guard db fds] runs the chase to completion or failure.
-    [guard] (default: none) is re-checked before every chase round —
-    the violation scan is quadratic in the relation size — raising
+(** [chase_fds ?pool ?guard db fds] runs the chase to completion or
+    failure.  [pool] (default {!Pool.auto}) chunks each round's
+    quadratic violation scan across the pool by outer-tuple range; work
+    items stay ordered and the first violation in order is taken, so
+    the chase is bit-identical to [~pool:None] on every pool size and
+    backend.  [guard] (default: none) is re-checked before every chase
+    round and at every chunk boundary of the scan, raising
     [Guard.Interrupt] on a violated deadline/budget/cancellation. *)
-val chase_fds : ?guard:Guard.t -> Database.t -> Constraints.fd list -> result
+val chase_fds :
+  ?pool:Pool.t option ->
+  ?guard:Guard.t ->
+  Database.t ->
+  Constraints.fd list ->
+  result
 
 (** [apply_subst subst tuple] rewrites a tuple through the chase
     substitution. *)
@@ -37,4 +46,9 @@ val apply_subst : (int * Value.t) list -> Tuple.t -> Tuple.t
 
 (** [chase_exn db fds] is the chased database.
     @raise Unsatisfiable on chase failure. *)
-val chase_exn : ?guard:Guard.t -> Database.t -> Constraints.fd list -> Database.t
+val chase_exn :
+  ?pool:Pool.t option ->
+  ?guard:Guard.t ->
+  Database.t ->
+  Constraints.fd list ->
+  Database.t

@@ -42,12 +42,14 @@ let push_index tbl k v =
 (* ------------------------------------------------------------------ *)
 
 (* take the parallel path only when a pool is present, the input is
-   big enough to amortise chunking, and we are not already inside a
-   pool task (nested parallelism degrades to sequential) *)
+   big enough to amortise chunking, and nesting is safe: inside a
+   chunk of a Fifo-backend pool the operators degrade to sequential,
+   while the work-stealing backend lets a join inside a parallel
+   Datalog firing fan out across the same pool *)
 let wants_parallel pool n cutoff =
   match pool with
   | None -> false
-  | Some _ -> n >= !cutoff && not (Pool.in_worker ())
+  | Some p -> n >= !cutoff && not (Pool.nested_sequential p)
 
 (* [lo, hi) slices splitting [len] elements across the pool *)
 let slices pool len =

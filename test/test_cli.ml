@@ -256,8 +256,11 @@ let test_listen_no_cache () =
   in
   let fd = connect port in
   send_fd fd "#stats\n";
-  Alcotest.(check string) "stats disabled" "#stats cache disabled"
-    (read_line_fd fd);
+  (* pool scheduler counters may follow the cache part of the line
+     (machine-dependent: Pool.auto is None on a single-core host) *)
+  let stats = read_line_fd fd in
+  Alcotest.(check bool) "stats disabled" true
+    (String.starts_with ~prefix:"#stats cache disabled" stats);
   send_fd fd "#drain\n";
   Alcotest.(check string) "drain ack" "#ok draining" (read_line_fd fd);
   Unix.close fd;

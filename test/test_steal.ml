@@ -1,0 +1,390 @@
+(* The work-stealing pool backend (DESIGN.md §4h): backend selection,
+   scheduler statistics, the "pool.steal" fault site, shutdown ordering
+   on both backends (the PR 3 regression suite, parametrised), nested
+   parallelism actually distributing under Steal, and qcheck
+   differential suites for the three straggler paths parallelised in
+   the same PR — the chase, c-table strategy evaluation, and the □Q/◇Q
+   multiplicity sweeps — across pool sizes and backends. *)
+
+open Incdb_relational
+open Incdb_prob
+open Incdb_ctables
+open Incdb_certain
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* backend selection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_backend_of_string () =
+  let check s exp =
+    Alcotest.(check bool)
+      (Printf.sprintf "parse %S" s) true
+      (Pool.backend_of_string s = exp)
+  in
+  check "fifo" (Some Pool.Fifo);
+  check "steal" (Some Pool.Steal);
+  check " STEAL " (Some Pool.Steal);
+  check "Fifo" (Some Pool.Fifo);
+  check "" None;
+  check "workstealing" None;
+  check "42" None
+
+let test_env_backend () =
+  (* default_backend re-reads the environment on every call, so putenv
+     takes effect immediately; restore afterwards so later tests see
+     the configuration the suite started with *)
+  let original = Sys.getenv_opt "INCDB_POOL" in
+  Unix.putenv "INCDB_POOL" "fifo";
+  Alcotest.(check bool) "env fifo" true (Pool.default_backend () = Pool.Fifo);
+  let p = Pool.create ~size:2 () in
+  Alcotest.(check bool) "created fifo" true (Pool.backend p = Pool.Fifo);
+  Pool.shutdown p;
+  Unix.putenv "INCDB_POOL" "steal";
+  Alcotest.(check bool) "env steal" true (Pool.default_backend () = Pool.Steal);
+  Unix.putenv "INCDB_POOL" "nonsense";
+  (* unparseable: warns once on stderr, falls back to Steal *)
+  Alcotest.(check bool) "env garbage falls back to steal" true
+    (Pool.default_backend () = Pool.Steal);
+  Unix.putenv "INCDB_POOL" (Option.value original ~default:"steal")
+
+let both_backends = [ (Pool.Fifo, "fifo"); (Pool.Steal, "steal") ]
+
+let test_explicit_backends () =
+  List.iter
+    (fun (b, name) ->
+      let p = Pool.create ~backend:b ~size:4 () in
+      Alcotest.(check bool)
+        (name ^ " backend recorded") true
+        (Pool.backend p = b);
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        (name ^ " computes") (List.map succ xs)
+        (Pool.parallel_map ~cutoff:0 (Some p) succ xs);
+      let st = Pool.stats p in
+      Alcotest.(check bool) (name ^ " counts tasks") true (st.Pool.tasks > 0);
+      Alcotest.(check bool)
+        (name ^ " stats line") true
+        (String.starts_with
+           ~prefix:(Printf.sprintf "pool backend=%s size=4 tasks=" name)
+           (Pool.stats_line p));
+      Pool.shutdown p)
+    both_backends
+
+(* ------------------------------------------------------------------ *)
+(* the pool.steal fault site                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* With every steal attempt raising, thieves can never acquire work:
+   each parent must finish its sections entirely from its own deque.
+   Completing with full, correct results proves an abandoned steal
+   never loses or duplicates a task and never deadlocks the pool. *)
+let test_steal_fault_raise () =
+  let p = Pool.create ~backend:Pool.Steal ~size:4 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Guard.clear_faults ();
+      Pool.shutdown p)
+    (fun () ->
+      Alcotest.(check bool) "faults armed" true
+        (Guard.set_faults "pool.steal:1.0:7");
+      let xs = List.init 200 Fun.id in
+      for _ = 1 to 3 do
+        Alcotest.(check (list int))
+          "full results under 100% steal faults"
+          (List.map (fun x -> x * 3) xs)
+          (Pool.parallel_map ~cutoff:0 (Some p)
+             (fun x ->
+               if x mod 50 = 0 then Unix.sleepf 0.001;
+               x * 3)
+             xs)
+      done;
+      Guard.clear_faults ();
+      (* the pool is fully functional once the faults clear *)
+      Alcotest.(check (list int))
+        "recovers after faults" (List.map succ xs)
+        (Pool.parallel_map ~cutoff:0 (Some p) succ xs))
+
+let test_steal_fault_delay () =
+  let p = Pool.create ~backend:Pool.Steal ~size:4 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Guard.clear_faults ();
+      Pool.shutdown p)
+    (fun () ->
+      Alcotest.(check bool) "faults armed" true
+        (Guard.set_faults "pool.steal:0.5:42:delay=1");
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "identical under stalled thieves" (List.map succ xs)
+        (Pool.parallel_map ~cutoff:0 (Some p) succ xs))
+
+(* ------------------------------------------------------------------ *)
+(* shutdown ordering — the PR 3 regression suite on both backends      *)
+(* ------------------------------------------------------------------ *)
+
+let test_shutdown_executes_queued backend () =
+  let p = Pool.create ~backend ~size:4 () in
+  let started = Atomic.make 0 in
+  let d =
+    Domain.spawn (fun () ->
+        Pool.parallel_map ~cutoff:0 (Some p)
+          (fun x ->
+            Atomic.incr started;
+            Unix.sleepf 0.002;
+            x * 2)
+          (List.init 64 Fun.id))
+  in
+  (* wait until the section is visibly executing (chunks queued), then
+     shut down underneath it: every queued chunk must still execute —
+     by an exiting worker or by the shutdown caller's drain — so the
+     section completes with full results *)
+  while Atomic.get started < 3 do
+    Domain.cpu_relax ()
+  done;
+  Pool.shutdown p;
+  Alcotest.(check (list int))
+    "concurrent section completed despite shutdown"
+    (List.init 64 (fun x -> x * 2))
+    (Domain.join d)
+
+let test_shutdown_race backend () =
+  (* race submission against shutdown repeatedly: the section either
+     completes with correct results or is rejected with
+     Invalid_argument — it never hangs and never returns wrong data *)
+  for _ = 1 to 10 do
+    let p = Pool.create ~backend ~size:3 () in
+    let xs = List.init 32 Fun.id in
+    let d =
+      Domain.spawn (fun () ->
+          match Pool.parallel_map ~cutoff:0 (Some p) succ xs with
+          | ys -> ys = List.map succ xs
+          | exception Invalid_argument _ -> true)
+    in
+    Pool.shutdown p;
+    Alcotest.(check bool) "completed or rejected, never hung" true
+      (Domain.join d)
+  done
+
+let test_post_shutdown_raises backend () =
+  let p = Pool.create ~backend ~size:2 () in
+  Pool.shutdown p;
+  Alcotest.check_raises "submission after shutdown"
+    (Invalid_argument "Pool.run_chunks: pool is shut down") (fun () ->
+      ignore
+        (Pool.parallel_map ~cutoff:0 (Some p) Fun.id (List.init 8 Fun.id)))
+
+let test_pool_churn backend () =
+  (* create/use/shutdown many pools: leaked worker domains would
+     accumulate and deadlock or exhaust the runtime long before 10
+     iterations complete *)
+  let xs = List.init 40 Fun.id in
+  for _ = 1 to 10 do
+    let p = Pool.create ~backend ~size:3 () in
+    Alcotest.(check (list int))
+      "fresh pool computes" (List.map succ xs)
+      (Pool.parallel_map ~cutoff:0 (Some p) succ xs);
+    Pool.shutdown p
+  done
+
+(* ------------------------------------------------------------------ *)
+(* nested parallelism distributes under Steal, degrades under Fifo     *)
+(* ------------------------------------------------------------------ *)
+
+(* Two outer items, each mapping 32 slow inner items with cutoff 0, on
+   a size-4 pool: under Fifo the inner combinator sees the worker flag
+   and runs each outer item's inner work entirely on one domain; under
+   Steal the inner chunks are pushed to the executing domain's deque
+   and the two idle workers steal them, so at least one outer item's
+   inner work spreads over ≥ 2 domains. *)
+let inner_domain_spread backend =
+  let p = Pool.create ~backend ~size:4 () in
+  let lock = Mutex.create () in
+  let seen = ref [] in
+  let record outer =
+    let d = (Domain.self () :> int) in
+    Mutex.lock lock;
+    seen := (outer, d) :: !seen;
+    Mutex.unlock lock
+  in
+  let result =
+    Pool.parallel_map ~cutoff:0 (Some p)
+      (fun outer ->
+        Pool.parallel_map ~cutoff:0 (Some p)
+          (fun inner ->
+            record outer;
+            Unix.sleepf 0.001;
+            inner + (100 * outer))
+          (List.init 32 Fun.id))
+      [ 0; 1 ]
+  in
+  Pool.shutdown p;
+  Alcotest.(check (list (list int)))
+    "nested results correct"
+    [ List.init 32 Fun.id; List.init 32 (fun i -> i + 100) ]
+    result;
+  List.map
+    (fun outer ->
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (o, d) -> if o = outer then Some d else None)
+           !seen))
+    [ 0; 1 ]
+
+let test_nested_degrades_fifo () =
+  List.iter
+    (fun domains ->
+      Alcotest.(check int)
+        "fifo: each outer item's inner work stays on one domain" 1
+        (List.length domains))
+    (inner_domain_spread Pool.Fifo)
+
+let test_nested_distributes_steal () =
+  let spreads = inner_domain_spread Pool.Steal in
+  Alcotest.(check bool)
+    "steal: some outer item's inner work ran on >= 2 domains" true
+    (List.exists (fun ds -> List.length ds >= 2) spreads)
+
+(* ------------------------------------------------------------------ *)
+(* differential pools: sizes 1 and 4 on both backends                  *)
+(* ------------------------------------------------------------------ *)
+
+let diff_pools =
+  lazy
+    (List.concat_map
+       (fun (b, name) ->
+         List.map
+           (fun size ->
+             (Printf.sprintf "%s/%d" name size, Pool.create ~backend:b ~size ()))
+           [ 1; 4 ])
+       both_backends)
+
+let against_pools ~name check_one =
+  List.for_all
+    (fun (label, p) ->
+      check_one p
+      ||
+      (Printf.eprintf "%s: mismatch on pool %s\n%!" name label;
+       false))
+    (Lazy.force diff_pools)
+
+(* ------------------------------------------------------------------ *)
+(* chase differential                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let database_equal a b =
+  let dump db =
+    List.sort compare (Database.fold (fun n r acc -> (n, r) :: acc) db [])
+  in
+  List.length (dump a) = List.length (dump b)
+  && List.for_all2
+       (fun (n1, r1) (n2, r2) -> n1 = n2 && Relation.equal r1 r2)
+       (dump a) (dump b)
+
+let chase_result_equal a b =
+  match (a, b) with
+  | Chase.Failed, Chase.Failed -> true
+  | Chase.Chased (db1, s1), Chase.Chased (db2, s2) ->
+    s1 = s2 && database_equal db1 db2
+  | _ -> false
+
+let test_fds =
+  [ { Constraints.fd_relation = "R"; lhs = [ 0 ]; rhs = [ 1 ] };
+    { Constraints.fd_relation = "S"; lhs = [ 0 ]; rhs = [ 1 ] } ]
+
+let prop_chase_differential =
+  QCheck2.Test.make ~count:80
+    ~name:"chase: every pool size x backend bit-identical to sequential"
+    ~print:db_print
+    (gen_db ~null_rate:0.4 ~max_size:5 ())
+    (fun db ->
+      let reference = Chase.chase_fds ~pool:None db test_fds in
+      against_pools ~name:"chase" (fun p ->
+          chase_result_equal reference
+            (Chase.chase_fds ~pool:(Some p) db test_fds)))
+
+(* ------------------------------------------------------------------ *)
+(* ceval differential                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let eval_all_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (s1, c1) (s2, c2) ->
+         s1 = s2
+         && Ctable.arity c1 = Ctable.arity c2
+         && Ctable.to_list c1 = Ctable.to_list c2)
+       a b
+
+let prop_ceval_differential =
+  QCheck2.Test.make ~count:60
+    ~name:
+      "ceval: all four strategies bit-identical on every pool size x backend"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ()) (gen_query ~allow_division:true ()))
+    (fun (db, q) ->
+      let reference = Ceval.eval_all ~pool:None ~cutoff:0 db q in
+      against_pools ~name:"ceval" (fun p ->
+          eval_all_equal reference
+            (Ceval.eval_all ~pool:(Some p) ~cutoff:0 db q)))
+
+(* ------------------------------------------------------------------ *)
+(* bag_bounds differential                                             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_bag_bounds_differential =
+  QCheck2.Test.make ~count:30
+    ~name:"box/diamond sweeps bit-identical on every pool size x backend"
+    ~print:(fun (db, q) -> db_print db ^ "\n" ^ query_print q)
+    QCheck2.Gen.(pair (gen_db ~max_size:3 ()) (gen_query ~positive:true ()))
+    (fun (db, q) ->
+      let k = Algebra.arity test_schema q in
+      (* candidate tuples: a constant probe plus (up to two) possible
+         answers, to hit both zero and non-zero multiplicities *)
+      let probes =
+        Tuple.of_list (List.init k (fun _ -> Value.int 1))
+        :: (List.filteri (fun i _ -> i < 2)
+              (Relation.to_list (Eval.run ~pool:None db q)))
+      in
+      List.for_all
+        (fun t ->
+          let box_ref = Bag_bounds.box ~pool:None db q t in
+          let dia_ref = Bag_bounds.diamond ~pool:None db q t in
+          against_pools ~name:"bag_bounds" (fun p ->
+              Bag_bounds.box ~pool:(Some p) db q t = box_ref
+              && Bag_bounds.diamond ~pool:(Some p) db q t = dia_ref))
+        probes)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let backend_cases mk =
+  List.map
+    (fun (b, name) -> Alcotest.test_case name `Quick (mk b))
+    both_backends
+
+let () =
+  Alcotest.run "steal"
+    [ ( "backend",
+        [ Alcotest.test_case "backend_of_string" `Quick test_backend_of_string;
+          Alcotest.test_case "INCDB_POOL selection" `Quick test_env_backend;
+          Alcotest.test_case "explicit backends + stats" `Quick
+            test_explicit_backends ] );
+      ( "faults",
+        [ Alcotest.test_case "raise-mode steal faults lose no task" `Quick
+            test_steal_fault_raise;
+          Alcotest.test_case "delay-mode steal faults stay identical" `Quick
+            test_steal_fault_delay ] );
+      ("shutdown-queued", backend_cases test_shutdown_executes_queued);
+      ("shutdown-race", backend_cases test_shutdown_race);
+      ("shutdown-raises", backend_cases test_post_shutdown_raises);
+      ("churn", backend_cases test_pool_churn);
+      ( "nesting",
+        [ Alcotest.test_case "fifo degrades nested sections" `Quick
+            test_nested_degrades_fifo;
+          Alcotest.test_case "steal distributes nested sections" `Quick
+            test_nested_distributes_steal ] );
+      qsuite "chase-diff" [ prop_chase_differential ];
+      qsuite "ceval-diff" [ prop_ceval_differential ];
+      qsuite "bag-bounds-diff" [ prop_bag_bounds_differential ] ]
