@@ -375,6 +375,23 @@ let datalog_cmd =
 (* serve: shared mutable state for the update workload                 *)
 (* ------------------------------------------------------------------ *)
 
+(* What the write-ahead log persists (DESIGN.md §4i).  One [wal_record]
+   per accepted update, carrying the parsed tuple and the post-parse
+   fresh-null counter so replay re-allocates the same marked nulls; the
+   snapshot image is the base (EDB) database — IDB fixpoints and cache
+   contents are derived state, re-materialized on recovery. *)
+type wal_record = {
+  w_op : [ `Insert | `Delete ];
+  w_rel : string;
+  w_tuple : Tuple.t;
+  w_next_null : int;
+}
+
+type wal_image = {
+  s_base : Database.t;
+  s_next_null : int;
+}
+
 (* The database view the serve modes query.  Updates swap the view
    under the lock and only then bump the cache versions: a query that
    raced the update captured its version snapshot at submit time, so
@@ -386,6 +403,7 @@ type serve_state = {
   mutable view : Database.t;
   dl : Datalog.Eval.materialized option;
   next_null : int ref;  (* fresh marked nulls for inserted NULL cells *)
+  wal : (wal_record, wal_image) Wal.t option;  (* --data durability *)
 }
 
 let view_db st =
@@ -421,48 +439,122 @@ let parse_update_line line =
      | _ -> Some (Error (Printf.sprintf "expected %s REL(v1,...)" w)))
   | _ -> None
 
-let apply_update st ~bump op rel body =
-  let cells =
-    if String.trim body = "" then [] else String.split_on_char ',' body
-  in
-  let tuple =
-    Tuple.of_list (List.map (Csv_io.parse_value ~next_null:st.next_null) cells)
-  in
+(* The base (EDB) database behind the view: with --datalog the view
+   also holds derived IDB instances, which never enter the log or the
+   snapshot image. *)
+let base_db_unsafe st =
+  match st.dl with
+  | Some m -> Datalog.Eval.database m
+  | None -> st.view
+
+(* Force a snapshot now; requires [st.slock] held (the image must be a
+   consistent cut of the update stream). *)
+let snapshot_locked st =
+  match st.wal with
+  | None -> Error "no durable --data directory"
+  | Some w ->
+    let image =
+      { s_base = base_db_unsafe st; s_next_null = !(st.next_null) }
+    in
+    (match Wal.snapshot w image with
+     | s -> Ok s
+     | exception Wal.Wal_error msg -> Error msg
+     | exception Guard.Injected site -> Error ("injected fault at " ^ site))
+
+let snapshot_now st =
   Mutex.lock st.slock;
+  let r = snapshot_locked st in
+  Mutex.unlock st.slock;
+  r
+
+(* Log-before-ack: parse and fully validate the update, append it to
+   the WAL (when --data is armed), and only then apply it.  A WAL
+   failure — I/O error or an injected wal.append/wal.fsync fault —
+   escapes before anything is applied, with the frame already scrubbed
+   back out of the log, so the update is rejected whole: never applied,
+   never acknowledged, never resurrected by recovery.  Parsing runs
+   under the lock because [parse_value] allocates fresh marked nulls
+   from [st.next_null]; the counter is rolled back on every rejected or
+   no-op update so that exactly the *logged* records advance it — the
+   invariant replay relies on to re-allocate identical nulls. *)
+let apply_update st ~bump op rel body =
+  let opname = match op with `Insert -> "insert" | `Delete -> "delete" in
+  Mutex.lock st.slock;
+  let saved_next_null = !(st.next_null) in
   match
-    match st.dl with
-    | Some m ->
+    let cells =
+      if String.trim body = "" then [] else String.split_on_char ',' body
+    in
+    let tuple =
+      Tuple.of_list
+        (List.map (Csv_io.parse_value ~next_null:st.next_null) cells)
+    in
+    let current =
+      (match st.dl with
+       | Some m when Datalog.Eval.is_idb m rel ->
+         invalid_arg
+           (Printf.sprintf "%s %s: cannot update an IDB predicate" opname rel)
+       | _ -> ());
+      try Database.relation (base_db_unsafe st) rel
+      with Not_found -> invalid_arg ("unknown relation " ^ rel)
+    in
+    if Tuple.arity tuple <> Relation.arity current then
+      invalid_arg
+        (Printf.sprintf "%s %s: arity mismatch (expected %d, got %d)" opname
+           rel (Relation.arity current) (Tuple.arity tuple));
+    let noop =
+      match op with
+      | `Insert -> Relation.mem tuple current
+      | `Delete -> not (Relation.mem tuple current)
+    in
+    if noop then begin
+      st.next_null := saved_next_null;
+      []
+    end
+    else begin
+      (match st.wal with
+       | Some w ->
+         ignore
+           (Wal.append w
+              { w_op = op; w_rel = rel; w_tuple = tuple;
+                w_next_null = !(st.next_null) })
+       | None -> ());
       let changed =
-        match op with
-        | `Insert -> Datalog.Eval.insert m rel [ tuple ]
-        | `Delete -> Datalog.Eval.delete m rel [ tuple ]
+        match st.dl with
+        | Some m ->
+          let changed =
+            match op with
+            | `Insert -> Datalog.Eval.insert m rel [ tuple ]
+            | `Delete -> Datalog.Eval.delete m rel [ tuple ]
+          in
+          let live p =
+            match List.assoc_opt p (Datalog.Eval.idb m) with
+            | Some r -> r
+            | None -> Database.relation (Datalog.Eval.database m) p
+          in
+          List.iter
+            (fun p -> st.view <- Database.set_relation st.view p (live p))
+            changed;
+          changed
+        | None ->
+          let updated =
+            match op with
+            | `Insert -> Relation.add tuple current
+            | `Delete ->
+              Relation.diff current
+                (Relation.of_list (Relation.arity current) [ tuple ])
+          in
+          st.view <- Database.set_relation st.view rel updated;
+          [ rel ]
       in
-      let live p =
-        match List.assoc_opt p (Datalog.Eval.idb m) with
-        | Some r -> r
-        | None -> Database.relation (Datalog.Eval.database m) p
-      in
-      List.iter
-        (fun p -> st.view <- Database.set_relation st.view p (live p))
-        changed;
+      (* cadence-driven compaction; a failed attempt is counted in the
+         WAL stats but never fails the update — it is already durable
+         in the log *)
+      (match st.wal with
+       | Some w when Wal.snapshot_due w -> ignore (snapshot_locked st)
+       | _ -> ());
       changed
-    | None ->
-      let current =
-        try Database.relation st.view rel
-        with Not_found -> invalid_arg ("unknown relation " ^ rel)
-      in
-      let updated =
-        match op with
-        | `Insert -> Relation.add tuple current
-        | `Delete ->
-          Relation.diff current
-            (Relation.of_list (Relation.arity current) [ tuple ])
-      in
-      if Relation.equal updated current then []
-      else begin
-        st.view <- Database.set_relation st.view rel updated;
-        [ rel ]
-      end
+    end
   with
   | changed ->
     Mutex.unlock st.slock;
@@ -470,6 +562,17 @@ let apply_update st ~bump op rel body =
     List.iter bump changed;
     changed
   | exception e ->
+    (* Validation and WAL failures reject the update before any state
+       changed; roll the fresh-null counter back with it.  (A failure
+       *after* the WAL append can only come from an injected fault
+       inside the Datalog propagation, whose EDB delta is committed
+       first — the logged record still matches the base, and a restart
+       re-materializes the torn fixpoint from it.) *)
+    (match e with
+     | Invalid_argument _ | Wal.Wal_error _
+     | Guard.Injected ("wal.append" | "wal.fsync") ->
+       st.next_null := saved_next_null
+     | _ -> ());
     Mutex.unlock st.slock;
     raise e
 
@@ -609,6 +712,54 @@ let serve_cmd =
          & opt (some string) None
          & info [ "datalog" ] ~docv:"PROGRAM" ~doc)
   in
+  (* serve's --data doubles as the durability directory, so unlike the
+     read-only subcommands it may name a directory that does not exist
+     yet (created on first boot) *)
+  let serve_data_arg =
+    let doc =
+      "Durable data directory: .csv files in it (if any) seed the \
+       database, and every accepted insert/delete is written ahead to \
+       DIR/wal.log (see --fsync) with periodic snapshots to \
+       DIR/snapshot.img (see --snapshot-every and the #snapshot \
+       directive).  On startup the newest valid snapshot is loaded and \
+       the log tail replayed, so acknowledged updates survive a crash.  \
+       Created if missing.  Without this flag updates are in-memory \
+       only."
+    in
+    Arg.(value & opt (some string) None & info [ "data" ] ~docv:"DIR" ~doc)
+  in
+  let fsync_arg =
+    let doc =
+      "WAL fsync policy under --data: always (fsync every append — an \
+       acknowledged update survives power loss), never (leave flushing \
+       to the OS — survives SIGKILL, not power loss), or a positive \
+       integer N (fsync every N appends — at most N-1 acknowledged \
+       updates lost on power failure).  Defaults to \\$INCDB_FSYNC, or \
+       always."
+    in
+    let parse s =
+      match Wal.policy_of_string s with
+      | Some p -> Ok p
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown fsync policy %s (expected always, never, or a \
+                 positive integer)"
+                s))
+    in
+    let print ppf p = Format.pp_print_string ppf (Wal.policy_to_string p) in
+    Arg.(value
+         & opt (some (conv (parse, print))) None
+         & info [ "fsync" ] ~docv:"POLICY" ~doc)
+  in
+  let snapshot_every_arg =
+    let doc =
+      "Snapshot + compact the WAL automatically every K accepted \
+       updates (0 disables the cadence; #snapshot still forces one)."
+    in
+    Arg.(value & opt int 1024 & info [ "snapshot-every" ] ~docv:"K" ~doc)
+  in
   (* stdin mode: a printer domain awaits tickets in submission order and
      flushes each outcome line as soon as it resolves, so piped consumers
      see progress in real time while the reader keeps submitting.
@@ -616,6 +767,12 @@ let serve_cmd =
      stream see their effects before they are submitted. *)
   let serve_stdin schema ~all_rels st ~cache_cap svc =
     let cache = Option.map (fun cap -> Cache.create ~capacity:cap ()) cache_cap in
+    (* after a recovery the cached versions must not collide with any a
+       pre-crash process handed out: one atomic sweep bumps every base
+       relation, so lookups racing the recovery miss (see Cache.bump_all) *)
+    (match (cache, st.wal) with
+     | Some c, Some _ -> Cache.bump_all c all_rels
+     | _ -> ());
     let bump rel = Option.iter (fun c -> Cache.bump c rel) cache in
     let q = Queue.create () in
     let lock = Mutex.create () in
@@ -683,6 +840,13 @@ let serve_cmd =
                         ^ (match (Service.config svc).Service.pool with
                            | Some p -> " | " ^ Pool.stats_line p
                            | None -> "")
+                        ^ (match st.wal with
+                           | Some w -> " | " ^ Wal.stats_line w
+                           | None -> "")
+                      else if line = "#snapshot" then
+                        match snapshot_now st with
+                        | Ok s -> Printf.sprintf "#ok snapshot seq=%d" s
+                        | Error msg -> "#err snapshot: " ^ msg
                       else "#err unknown directive")))
            else begin
              incr lineno;
@@ -701,7 +865,18 @@ let serve_cmd =
                 | exception
                     ( Invalid_argument msg
                     | Datalog.Eval.Eval_error msg ) ->
-                  push (Some (`Text (Printf.sprintf "[%d] error: %s" n msg))))
+                  push (Some (`Text (Printf.sprintf "[%d] error: %s" n msg)))
+                | exception Wal.Wal_error msg ->
+                  push
+                    (Some
+                       (`Text (Printf.sprintf "[%d] failed (wal): %s" n msg)))
+                | exception
+                    Guard.Injected (("wal.append" | "wal.fsync") as site) ->
+                  push
+                    (Some
+                       (`Text
+                          (Printf.sprintf
+                             "[%d] failed (wal): injected fault at %s" n site))))
              | None ->
                match Sql.To_algebra.translate_string schema line with
                | exception
@@ -739,6 +914,11 @@ let serve_cmd =
     (match (Service.config svc).Service.pool with
      | Some p -> Printf.printf "-- %s\n%!" (Pool.stats_line p)
      | None -> ());
+    (match st.wal with
+     | Some w ->
+       Printf.printf "-- %s\n%!" (Wal.stats_line w);
+       Wal.close w
+     | None -> ());
     if any_failed then raise (Invalid_argument "some queries failed")
   in
   (* network mode: the Server owns the service; we render one-line
@@ -758,6 +938,9 @@ let serve_cmd =
     in
     (* the TCP cache stores rendered response payloads *)
     let cache = Option.map (fun cap -> Cache.create ~capacity:cap ()) cache_cap in
+    (match (cache, st.wal) with
+     | Some c, Some _ -> Cache.bump_all c all_rels
+     | _ -> ());
     let bump rel = Option.iter (fun c -> Cache.bump c rel) cache in
     let handler sql =
       match parse_update_line sql with
@@ -774,7 +957,22 @@ let serve_cmd =
                fallback = None;
                cache = None }
          | exception (Invalid_argument msg | Datalog.Eval.Eval_error msg) ->
-           Error msg)
+           Error msg
+         | exception ((Wal.Wal_error _) as e) ->
+           (* a job that re-raises: the rejection surfaces through the
+              service as "[n] failed: (wal) ..." — structured, counted
+              in the failed column, and never retried (Wal_error is not
+              a transient-fault class) *)
+           Result.Ok
+             { Server.run = (fun ~pool:_ ~guard:_ -> raise e);
+               fallback = None;
+               cache = None }
+         | exception Guard.Injected (("wal.append" | "wal.fsync") as site) ->
+           let e = Wal.Wal_error ("injected fault at " ^ site) in
+           Result.Ok
+             { Server.run = (fun ~pool:_ ~guard:_ -> raise e);
+               fallback = None;
+               cache = None })
       | None ->
       match Sql.To_algebra.translate_string schema sql with
       | exception
@@ -807,20 +1005,27 @@ let serve_cmd =
           drain_deadline;
           client_quota = quota;
           stats =
-            (* cache counters, then pool scheduler counters when the
-               service runs on a pool — one line, pipe-separated *)
-            (match (cache, svc_cfg.Service.pool) with
-             | None, None -> None
+            (* cache counters, then pool scheduler counters, then WAL
+               counters — one line, pipe-separated *)
+            (match (cache, svc_cfg.Service.pool, st.wal) with
+             | None, None, None -> None
              | _ ->
                Some
                  (fun () ->
                    (match cache with
                     | Some c -> Cache.stats_line c
                     | None -> "cache disabled")
+                   ^ (match svc_cfg.Service.pool with
+                      | Some p -> " | " ^ Pool.stats_line p
+                      | None -> "")
                    ^
-                   match svc_cfg.Service.pool with
-                   | Some p -> " | " ^ Pool.stats_line p
+                   match st.wal with
+                   | Some w -> " | " ^ Wal.stats_line w
                    | None -> ""));
+          snapshot =
+            (match st.wal with
+             | None -> None
+             | Some _ -> Some (fun () -> snapshot_now st));
           service = svc_cfg }
         handler
     in
@@ -853,14 +1058,80 @@ let serve_cmd =
     (match svc_cfg.Service.pool with
      | Some p -> Printf.printf "-- %s\n%!" (Pool.stats_line p)
      | None -> ());
+    (match st.wal with
+     | Some w ->
+       Printf.printf "-- %s\n%!" (Wal.stats_line w);
+       Wal.close w
+     | None -> ());
     if not stats.Server.invariant_ok then
       raise (Invalid_argument "counter invariant violated at drain")
   in
-  let run db_name data scale null_rate seed capacity shed workers retries
-      backoff deadline_ms budget listen max_conns max_line read_timeout
-      drain_deadline quota cache_size no_cache datalog =
+  let run db_name data scale null_rate seed fsync snapshot_every capacity
+      shed workers retries backoff deadline_ms budget listen max_conns
+      max_line read_timeout drain_deadline quota cache_size no_cache datalog =
     handle_errors (fun () ->
-        let schema0, db = load_db ?data db_name ~scale ~null_rate ~seed in
+        (* Seed precedence under --data DIR: any snapshot/log in DIR is
+           authoritative (it embeds its own schema); otherwise .csv
+           files in DIR seed the database; otherwise the built-in
+           -d/--scale workload does.  The seed is lazy so a snapshot
+           restart never pays for generating a workload it discards. *)
+        let dir_has_csvs dir =
+          match Sys.readdir dir with
+          | entries ->
+            Array.exists (fun e -> Filename.check_suffix e ".csv") entries
+          | exception Sys_error _ -> false
+        in
+        let csv_dir =
+          match data with Some d when dir_has_csvs d -> Some d | _ -> None
+        in
+        let seed_db =
+          lazy (snd (load_db ?data:csv_dir db_name ~scale ~null_rate ~seed))
+        in
+        let wal, db, next_null0 =
+          match data with
+          | None -> (None, Lazy.force seed_db, 10_000_000)
+          | Some dir ->
+            let w, r = Wal.open_dir ?fsync ~snapshot_every ~dir () in
+            let base0, nn0 =
+              match r.Wal.image with
+              | Some img -> (img.s_base, img.s_next_null)
+              | None -> (Lazy.force seed_db, 10_000_000)
+            in
+            let base, nn =
+              List.fold_left
+                (fun (db, _) rc ->
+                  let current =
+                    try Database.relation db rc.w_rel
+                    with Not_found ->
+                      invalid_arg
+                        (Printf.sprintf
+                           "recovery: log record for unknown relation %s \
+                            (does %s still hold the workload it was logged \
+                            against?)"
+                           rc.w_rel dir)
+                  in
+                  let updated =
+                    match rc.w_op with
+                    | `Insert -> Relation.add rc.w_tuple current
+                    | `Delete ->
+                      Relation.diff current
+                        (Relation.of_list (Relation.arity current)
+                           [ rc.w_tuple ])
+                  in
+                  (Database.set_relation db rc.w_rel updated, rc.w_next_null))
+                (base0, nn0) r.Wal.replayed
+            in
+            if r.Wal.image <> None || r.Wal.replayed <> [] then
+              Printf.eprintf
+                "incdb: recovered from %s: %s, %d log record(s) replayed\n%!"
+                dir
+                (match r.Wal.image with
+                 | Some _ -> "snapshot loaded"
+                 | None -> "no snapshot")
+                (List.length r.Wal.replayed);
+            (Some w, base, nn)
+        in
+        let schema0 = Database.schema db in
         let dl, schema, view =
           match datalog with
           | None -> (None, schema0, db)
@@ -893,7 +1164,8 @@ let serve_cmd =
           { slock = Mutex.create ();
             view;
             dl;
-            next_null = ref 10_000_000 }
+            next_null = ref next_null0;
+            wal }
         in
         let all_rels =
           List.map
@@ -927,11 +1199,12 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ db_arg $ data_arg $ scale_arg $ null_rate_arg $ seed_arg
-      $ capacity_arg $ shed_arg $ workers_arg $ retries_arg $ backoff_arg
-      $ deadline_arg $ budget_arg $ listen_arg $ max_conns_arg $ max_line_arg
-      $ read_timeout_arg $ drain_deadline_arg $ quota_arg $ cache_arg
-      $ no_cache_arg $ datalog_serve_arg)
+      const run $ db_arg $ serve_data_arg $ scale_arg $ null_rate_arg
+      $ seed_arg $ fsync_arg $ snapshot_every_arg $ capacity_arg $ shed_arg
+      $ workers_arg $ retries_arg $ backoff_arg $ deadline_arg $ budget_arg
+      $ listen_arg $ max_conns_arg $ max_line_arg $ read_timeout_arg
+      $ drain_deadline_arg $ quota_arg $ cache_arg $ no_cache_arg
+      $ datalog_serve_arg)
 
 let () =
   let doc = "certain answers over incomplete databases" in

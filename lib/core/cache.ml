@@ -66,6 +66,16 @@ let bump t rel =
   locked t (fun () ->
       Hashtbl.replace t.versions rel (version_unsafe t rel + 1))
 
+(* One atomic sweep for crash recovery: every relation's version moves
+   past anything a pre-crash entry could have snapshotted, and no
+   lookup can interleave between two relations' bumps and observe a
+   half-invalidated state. *)
+let bump_all t rels =
+  locked t (fun () ->
+      List.iter
+        (fun rel -> Hashtbl.replace t.versions rel (version_unsafe t rel + 1))
+        rels)
+
 let snapshot t deps =
   locked t (fun () ->
       Array.of_list (List.map (fun r -> (r, version_unsafe t r)) deps))

@@ -67,6 +67,14 @@ val version : 'a t -> string -> int
     their next lookup).  O(1). *)
 val bump : 'a t -> string -> unit
 
+(** [bump_all t rels] bumps every relation in [rels] under one lock
+    acquisition.  Used by crash recovery: after a snapshot/log replay
+    every pre-existing cache entry is suspect, and bumping all
+    versions in a single atomic sweep guarantees a lookup racing the
+    recovery either sees no entry or sees every version already
+    bumped — it can never be served a pre-crash answer. *)
+val bump_all : 'a t -> string list -> unit
+
 (** [snapshot t deps] captures the current versions of [deps]. *)
 val snapshot : 'a t -> string list -> snapshot
 

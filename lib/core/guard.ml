@@ -68,6 +68,37 @@ let charge_exn g n =
 let charge guard n = match guard with None -> () | Some g -> charge_exn g n
 
 (* ------------------------------------------------------------------ *)
+(* environment knobs                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One warn-once parser shared by every INCDB_* knob (INCDB_DOMAINS,
+   INCDB_POOL, INCDB_FAULT, INCDB_FSYNC, ...), so each unparseable
+   value warns exactly once per process no matter how many times the
+   knob is consulted. *)
+let knob_lock = Mutex.create ()
+let warned_knobs : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let env_knob ~name ~expected ~fallback ~parse ~default () =
+  match Sys.getenv_opt name with
+  | None -> default ()
+  | Some raw ->
+    (match parse raw with
+     | Some v -> v
+     | None ->
+       let first_time =
+         Mutex.lock knob_lock;
+         let fresh = not (Hashtbl.mem warned_knobs name) in
+         if fresh then Hashtbl.add warned_knobs name ();
+         Mutex.unlock knob_lock;
+         fresh
+       in
+       if first_time then
+         Printf.eprintf
+           "incdb: ignoring unparseable %s=%S (expected %s); using %s\n%!"
+           name raw expected fallback;
+       default ())
+
+(* ------------------------------------------------------------------ *)
 (* fault injection                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -147,17 +178,9 @@ let clear_faults () =
   Mutex.unlock config_lock
 
 let faults_of_env () =
-  match Sys.getenv_opt "INCDB_FAULT" with
-  | None -> []
-  | Some specs ->
-    (match parse_faults specs with
-     | Some faults -> faults
-     | None ->
-       Printf.eprintf
-         "incdb: ignoring unparseable INCDB_FAULT=%S (expected \
-          site:prob:seed[:delay=ms][,...])\n%!"
-         specs;
-       [])
+  env_knob ~name:"INCDB_FAULT"
+    ~expected:"site:prob:seed[:delay=ms][,...]" ~fallback:"no faults"
+    ~parse:parse_faults ~default:(fun () -> []) ()
 
 let current_faults () =
   Mutex.lock config_lock;

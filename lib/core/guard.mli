@@ -66,6 +66,25 @@ val charge : t option -> int -> unit
 
 val charge_exn : t -> int -> unit
 
+(** {1 Environment knobs}
+
+    One warn-once parser behind every [INCDB_*] environment knob
+    ([INCDB_DOMAINS], [INCDB_POOL], [INCDB_FAULT], [INCDB_FSYNC]).
+    [env_knob ~name ~expected ~fallback ~parse ~default ()] reads
+    [name] from the environment; an unset knob yields [default ()], a
+    parseable one yields the parsed value, and an unparseable one warns
+    exactly once per process on stderr — quoting the offending value,
+    the [expected] syntax, and the [fallback] description — then yields
+    [default ()]. *)
+val env_knob :
+  name:string ->
+  expected:string ->
+  fallback:string ->
+  parse:(string -> 'a option) ->
+  default:(unit -> 'a) ->
+  unit ->
+  'a
+
 (** {1 Fault injection}
 
     A deterministic fault layer for robustness testing: named sites in
@@ -100,6 +119,21 @@ val charge_exn : t -> int -> unit
       fault is swallowed by the cache and counted as a miss (a broken
       cache degrades to evaluation, never to a wrong answer), a
       delay-mode fault stalls the looking-up caller;
+    - ["wal.append"] — the top of every [Wal.append], before any bytes
+      reach the log: a raise-mode fault rejects the update (the frame
+      is never written, the update is never applied or acknowledged),
+      a delay-mode fault stalls the committer;
+    - ["wal.fsync"] — every policy-driven fsync inside [Wal.append]: a
+      raise-mode fault rolls the just-written frame back out of the
+      log (truncate to the pre-append offset) and rejects the update,
+      so the log never contains a record whose update was not
+      acknowledged; a delay-mode fault stalls the committer with the
+      frame already buffered;
+    - ["wal.snapshot"] — the top of every [Wal.snapshot]: a raise-mode
+      fault aborts the snapshot before the temp image is renamed (the
+      previous snapshot and the log are left intact — updates already
+      acknowledged stay durable), a delay-mode fault stalls the
+      snapshot writer;
     - ["*"] in a spec matches every site.
 
     Draws are from a seeded, mutex-protected [Random.State], so a given

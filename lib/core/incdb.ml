@@ -41,6 +41,7 @@ module Pool = Pool
 module Guard = Guard
 module Cache = Cache
 module Service = Service
+module Wal = Wal
 
 module Condition = Incdb_relational.Condition
 module Algebra = Incdb_relational.Algebra

@@ -32,20 +32,43 @@ let in_worker () = Domain.DLS.get worker_key
 let scan_cutoff = ref 2048
 let join_cutoff = ref 1024
 
+(* Steal-latency histogram: one bucket per decade of elapsed seconds
+   from the top of a steal sweep to acquisition of the stolen tasks.
+   Bucket upper bounds: 1µs, 10µs, 100µs, 1ms, 10ms, ∞.  Only the
+   steal backend's successful sweeps are timed; the fifo backend never
+   touches the array. *)
+let hist_buckets = 6
+
+let hist_bucket dt =
+  if dt < 1e-6 then 0
+  else if dt < 1e-5 then 1
+  else if dt < 1e-4 then 2
+  else if dt < 1e-3 then 3
+  else if dt < 1e-2 then 4
+  else 5
+
 type counters = {
   c_tasks : int Atomic.t;
   c_steals : int Atomic.t;
   c_failed_steals : int Atomic.t;
   c_parks : int Atomic.t;
+  c_steal_hist : int Atomic.t array;
 }
 
 let new_counters () =
   { c_tasks = Atomic.make 0;
     c_steals = Atomic.make 0;
     c_failed_steals = Atomic.make 0;
-    c_parks = Atomic.make 0 }
+    c_parks = Atomic.make 0;
+    c_steal_hist = Array.init hist_buckets (fun _ -> Atomic.make 0) }
 
-type stats = { tasks : int; steals : int; failed_steals : int; parks : int }
+type stats = {
+  tasks : int;
+  steals : int;
+  failed_steals : int;
+  parks : int;
+  steal_hist : int array;
+}
 
 (* ------------------------------------------------------------------ *)
 (* deques (steal backend)                                              *)
@@ -177,14 +200,26 @@ let stats pool =
   { tasks = Atomic.get c.c_tasks;
     steals = Atomic.get c.c_steals;
     failed_steals = Atomic.get c.c_failed_steals;
-    parks = Atomic.get c.c_parks }
+    parks = Atomic.get c.c_parks;
+    steal_hist = Array.map Atomic.get c.c_steal_hist }
+
+let steal_hist_line h =
+  Printf.sprintf "steal_lat=%d/%d/%d/%d/%d/%d"
+    h.(0) h.(1) h.(2) h.(3) h.(4) h.(5)
 
 let stats_line pool =
   let s = stats pool in
-  Printf.sprintf
-    "pool backend=%s size=%d tasks=%d steals=%d failed_steals=%d parks=%d"
-    (backend_name (backend pool))
-    pool.size s.tasks s.steals s.failed_steals s.parks
+  let base =
+    Printf.sprintf
+      "pool backend=%s size=%d tasks=%d steals=%d failed_steals=%d parks=%d"
+      (backend_name (backend pool))
+      pool.size s.tasks s.steals s.failed_steals s.parks
+  in
+  (* latency buckets (<1us/<10us/<100us/<1ms/<10ms/rest) only make
+     sense where steals happen *)
+  match backend pool with
+  | Fifo -> base
+  | Steal -> base ^ " " ^ steal_hist_line s.steal_hist
 
 (* Under [Fifo] any nested entry degrades to sequential (the
    deadlock-freedom argument needs chunks to never block on other
@@ -204,21 +239,10 @@ let domains_of_string s =
   | Some n when n >= 1 -> Some (min n 128)
   | Some _ | None -> None
 
-let warned_bad_domains = Atomic.make false
-
 let default_size () =
-  match Sys.getenv_opt "INCDB_DOMAINS" with
-  | Some s ->
-    (match domains_of_string s with
-     | Some n -> n
-     | None ->
-       if not (Atomic.exchange warned_bad_domains true) then
-         Printf.eprintf
-           "incdb: ignoring unparseable INCDB_DOMAINS=%S (expected a \
-            positive integer); using recommended_domain_count\n%!"
-           s;
-       Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
+  Guard.env_knob ~name:"INCDB_DOMAINS" ~expected:"a positive integer"
+    ~fallback:"recommended_domain_count" ~parse:domains_of_string
+    ~default:Domain.recommended_domain_count ()
 
 let backend_of_string s =
   match String.lowercase_ascii (String.trim s) with
@@ -226,21 +250,10 @@ let backend_of_string s =
   | "steal" -> Some Steal
   | _ -> None
 
-let warned_bad_backend = Atomic.make false
-
 let default_backend () =
-  match Sys.getenv_opt "INCDB_POOL" with
-  | None -> Steal
-  | Some s ->
-    (match backend_of_string s with
-     | Some b -> b
-     | None ->
-       if not (Atomic.exchange warned_bad_backend true) then
-         Printf.eprintf
-           "incdb: ignoring unparseable INCDB_POOL=%S (expected \
-            \"fifo\" or \"steal\"); using steal\n%!"
-           s;
-       Steal)
+  Guard.env_knob ~name:"INCDB_POOL" ~expected:"\"fifo\" or \"steal\""
+    ~fallback:"steal" ~parse:backend_of_string
+    ~default:(fun () -> Steal) ()
 
 (* ------------------------------------------------------------------ *)
 (* fifo backend                                                        *)
@@ -373,6 +386,7 @@ let try_steal s mine =
     Atomic.incr s.s_ctr.c_failed_steals;
     None
   | () ->
+    let t0 = Unix.gettimeofday () in
     let n = Array.length s.all_deques in
     let start = next_rand () mod n in
     let rec go i =
@@ -388,6 +402,10 @@ let try_steal s mine =
           | [] -> go (i + 1)
           | t :: rest ->
             Atomic.incr s.s_ctr.c_steals;
+            (* sweep-entry → acquisition: how long this thief hunted
+               (victim scan + deque lock waits) before finding work *)
+            let b = hist_bucket (Unix.gettimeofday () -. t0) in
+            Atomic.incr s.s_ctr.c_steal_hist.(b);
             List.iter (deque_push mine) rest;
             if rest <> [] then wake s (List.length rest);
             Some t

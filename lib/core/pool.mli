@@ -139,6 +139,12 @@ type stats = {
   parks : int;
       (** times a worker went to sleep waiting for work (on [Fifo]:
           waits on the shared-queue condition) *)
+  steal_hist : int array;
+      (** per-steal latency histogram over successful sweeps — elapsed
+          time from sweep entry to acquisition of the stolen tasks —
+          with six decade buckets: [<1µs], [<10µs], [<100µs], [<1ms],
+          [<10ms], and the rest.  All zeros on [Fifo], which never
+          steals and never pays for the timing. *)
 }
 
 (** Monotonic counters since pool creation.  Cheap (a few atomic
@@ -146,7 +152,9 @@ type stats = {
 val stats : t -> stats
 
 (** One-line rendering for [#stats]-style surfaces, e.g.
-    ["pool backend=steal size=4 tasks=123 steals=7 failed_steals=2 parks=11"]. *)
+    ["pool backend=steal size=4 tasks=123 steals=7 failed_steals=2 \
+      parks=11 steal_lat=5/2/0/0/0/0"] — the [steal_lat] buckets
+    ({!stats.steal_hist}) are appended on the steal backend only. *)
 val stats_line : t -> string
 
 (** {1 Tunable cutoffs}

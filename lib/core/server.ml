@@ -28,6 +28,7 @@ type config = {
   drain_deadline : float;
   client_quota : int option;
   stats : (unit -> string) option;
+  snapshot : (unit -> (int, string) result) option;
   service : Service.config;
 }
 
@@ -40,6 +41,7 @@ let default_config () =
     drain_deadline = 5.0;
     client_quota = Some 4;
     stats = None;
+    snapshot = None;
     service = Service.default_config () }
 
 type counters = {
@@ -275,6 +277,19 @@ let handle_directive t conn line =
     (match t.cfg.stats with
      | Some render -> send_line conn.fd ("#stats " ^ render ())
      | None -> send_line conn.fd "#stats cache disabled");
+    true
+  | [ "#snapshot" ] ->
+    (* runs on this connection's domain: the hook serialises against
+       the update path itself, and a slow snapshot stalls only this
+       client *)
+    (match t.cfg.snapshot with
+     | None -> send_line conn.fd "#err snapshot: no durable --data directory"
+     | Some hook ->
+       (match hook () with
+        | Ok s -> send_line conn.fd (Printf.sprintf "#ok snapshot seq=%d" s)
+        | Error msg -> send_line conn.fd ("#err snapshot: " ^ msg)
+        | exception e ->
+          send_line conn.fd ("#err snapshot: " ^ Printexc.to_string e)));
     true
   | _ ->
     send_line conn.fd "#err unknown directive";

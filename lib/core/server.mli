@@ -81,12 +81,19 @@ type config = {
       (** renders the [#stats] response body (the CLI wires
           [Cache.stats_line]); [None] answers ["#stats cache
           disabled"] *)
+  snapshot : (unit -> (int, string) result) option;
+      (** serves the [#snapshot] directive: force a durability
+          snapshot now, answering ["#ok snapshot seq=N"] on success
+          and ["#err snapshot: ..."] on failure.  The hook runs on the
+          requesting connection's domain (the CLI wires [Wal.snapshot]
+          under the serve-state lock); [None] — no [--data]
+          directory — answers with an error. *)
   service : Service.config;  (** the front door behind the listener *)
 }
 
 (** Loopback host, ephemeral port, 16 connections, 64 KiB lines, 10 s
-    read timeout, 5 s drain deadline, quota 4, no stats hook, and
-    {!Service.default_config}. *)
+    read timeout, 5 s drain deadline, quota 4, no stats or snapshot
+    hooks, and {!Service.default_config}. *)
 val default_config : unit -> config
 
 (** Monotone live counters (server level; see {!Service.counters} via

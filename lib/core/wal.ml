@@ -1,0 +1,397 @@
+(* Durability layer: append-only write-ahead log of CRC-checked,
+   length-prefixed frames, plus snapshot/compaction via temp-file +
+   fsync + atomic rename.  The serve layer appends one record per
+   accepted update *before* applying or acknowledging it
+   (log-before-ack), and on startup replays snapshot + log tail.
+   See DESIGN.md §4i. *)
+
+type fsync_policy = Always | Every of int | Never
+
+exception Wal_error of string
+
+let () =
+  Printexc.register_printer (function
+    | Wal_error msg -> Some ("(wal) " ^ msg)
+    | _ -> None)
+
+let wal_error fmt = Printf.ksprintf (fun msg -> raise (Wal_error msg)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE 802.3, the zlib polynomial)                            *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1)
+                else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let tbl = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := tbl.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ------------------------------------------------------------------ *)
+(* frames                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [u32-LE payload length][u32-LE CRC-32 of payload][payload]; the
+   payload marshals [(seq, value)].  The length cap rejects absurd
+   headers produced by corruption before any allocation happens. *)
+let header_bytes = 8
+let max_frame = 1 lsl 28 (* 256 MB *)
+
+let u32_of_int32 v = Int32.to_int v land 0xFFFFFFFF
+
+let make_frame payload =
+  let plen = String.length payload in
+  let b = Bytes.create (header_bytes + plen) in
+  Bytes.set_int32_le b 0 (Int32.of_int plen);
+  Bytes.set_int32_le b 4 (Int32.of_int (crc32 payload));
+  Bytes.blit_string payload 0 b header_bytes plen;
+  b
+
+(* ------------------------------------------------------------------ *)
+(* handle                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type ('r, 's) t = {
+  dir : string;
+  log_path : string;
+  img_path : string;
+  tmp_path : string;
+  fd : Unix.file_descr;  (* wal.log, O_APPEND *)
+  fsync : fsync_policy;
+  snapshot_every : int;
+  lock : Mutex.t;
+  mutable closed : bool;
+  mutable seq : int;  (* last sequence number assigned *)
+  mutable offset : int;  (* current log length in bytes *)
+  mutable unsynced : int;  (* appends since the last fsync *)
+  mutable since_rotation : int;  (* frames in the log file *)
+  mutable appends : int;
+  mutable fsyncs : int;
+  mutable snapshots : int;
+  mutable failed_snapshots : int;
+  replayed_count : int;
+  truncated_at_open : int;
+}
+
+type ('r, 's) recovery = {
+  image : 's option;
+  replayed : 'r list;
+  truncated_bytes : int;
+  skipped : int;
+}
+
+type stats = {
+  appends : int;
+  fsyncs : int;
+  snapshots : int;
+  failed_snapshots : int;
+  replayed : int;
+  truncated_bytes : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* policies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "always" -> Some Always
+  | "never" -> Some Never
+  | s ->
+    (match int_of_string_opt s with
+     | Some n when n >= 1 -> Some (Every n)
+     | Some _ | None -> None)
+
+let policy_to_string = function
+  | Always -> "always"
+  | Never -> "never"
+  | Every n -> string_of_int n
+
+let default_policy () =
+  Guard.env_knob ~name:"INCDB_FSYNC"
+    ~expected:"\"always\", \"never\", or a positive integer N (fsync \
+               every N appends)"
+    ~fallback:"always" ~parse:policy_of_string
+    ~default:(fun () -> Always) ()
+
+(* ------------------------------------------------------------------ *)
+(* low-level I/O                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    pos := !pos + Unix.write fd b !pos (len - !pos)
+  done
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Make a just-completed rename/truncate durable.  Best-effort: some
+   filesystems refuse fsync on a directory fd, and the data files
+   themselves are already synced. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+(* Longest valid frame prefix of the log: returns the [(seq, value)]
+   list in append order, the byte length of the valid prefix, and the
+   total file length.  Stops at the first short, oversized, CRC-bad,
+   or unmarshallable frame — everything before it is intact. *)
+let scan_log path =
+  if not (Sys.file_exists path) then ([], 0, 0)
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let len = in_channel_length ic in
+    let frames = ref [] in
+    let pos = ref 0 in
+    let ok = ref true in
+    while !ok && !pos < len do
+      if len - !pos < header_bytes then ok := false
+      else begin
+        seek_in ic !pos;
+        let hdr = really_input_string ic header_bytes in
+        let plen = u32_of_int32 (String.get_int32_le hdr 0) in
+        let crc = u32_of_int32 (String.get_int32_le hdr 4) in
+        if plen <= 0 || plen > max_frame || plen > len - !pos - header_bytes
+        then ok := false
+        else begin
+          let payload = really_input_string ic plen in
+          if crc32 payload <> crc then ok := false
+          else
+            match Marshal.from_string payload 0 with
+            | v ->
+              frames := v :: !frames;
+              pos := !pos + header_bytes + plen
+            | exception _ -> ok := false
+        end
+      end
+    done;
+    (List.rev !frames, !pos, len)
+  end
+
+(* The snapshot image is one frame.  Unlike the log tail it was fully
+   fsynced before the atomic rename promoted it, so corruption means
+   the storage lied — refuse to serve rather than silently drop
+   acknowledged updates. *)
+let read_snapshot path =
+  if not (Sys.file_exists path) then (None, 0)
+  else begin
+    let corrupt why = wal_error "corrupt snapshot image %s (%s)" path why in
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let len = in_channel_length ic in
+    if len < header_bytes then corrupt "short header";
+    let hdr = really_input_string ic header_bytes in
+    let plen = u32_of_int32 (String.get_int32_le hdr 0) in
+    let crc = u32_of_int32 (String.get_int32_le hdr 4) in
+    if plen <= 0 || plen > max_frame || plen <> len - header_bytes then
+      corrupt "bad length";
+    let payload = really_input_string ic plen in
+    if crc32 payload <> crc then corrupt "CRC mismatch";
+    match Marshal.from_string payload 0 with
+    | seq, image -> (Some image, seq)
+    | exception _ -> corrupt "unmarshal failure"
+  end
+
+(* ------------------------------------------------------------------ *)
+(* open / recover                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let open_dir ?fsync ?(snapshot_every = 0) ~dir () =
+  let fsync = match fsync with Some p -> p | None -> default_policy () in
+  (try mkdir_p dir
+   with Unix.Unix_error (e, _, _) ->
+     wal_error "cannot create %s: %s" dir (Unix.error_message e));
+  let log_path = Filename.concat dir "wal.log" in
+  let img_path = Filename.concat dir "snapshot.img" in
+  let tmp_path = Filename.concat dir "snapshot.tmp" in
+  (* a leftover temp image is an aborted snapshot: never promoted *)
+  (try Sys.remove tmp_path with Sys_error _ -> ());
+  let image, img_seq = read_snapshot img_path in
+  let frames, valid_len, file_len = scan_log log_path in
+  let truncated_bytes = file_len - valid_len in
+  if truncated_bytes > 0 then begin
+    Printf.eprintf
+      "incdb: wal %s: truncated %d trailing byte(s) (torn or corrupt \
+       frame at offset %d)\n%!"
+      log_path truncated_bytes valid_len;
+    try Unix.truncate log_path valid_len
+    with Unix.Unix_error (e, _, _) ->
+      wal_error "cannot truncate torn tail of %s: %s" log_path
+        (Unix.error_message e)
+  end;
+  (* frames at or below the snapshot's sequence number survive a crash
+     between the snapshot rename and the log rotation; skip them *)
+  let replay =
+    List.filter_map
+      (fun (s, r) -> if s > img_seq then Some r else None)
+      frames
+  in
+  let skipped = List.length frames - List.length replay in
+  let last_seq = List.fold_left (fun acc (s, _) -> max acc s) img_seq frames in
+  let fd =
+    try
+      Unix.openfile log_path
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    with Unix.Unix_error (e, _, _) ->
+      wal_error "cannot open %s: %s" log_path (Unix.error_message e)
+  in
+  let t =
+    { dir; log_path; img_path; tmp_path; fd; fsync; snapshot_every;
+      lock = Mutex.create (); closed = false; seq = last_seq;
+      offset = valid_len; unsynced = 0;
+      since_rotation = List.length frames; appends = 0; fsyncs = 0;
+      snapshots = 0; failed_snapshots = 0;
+      replayed_count = List.length replay;
+      truncated_at_open = truncated_bytes }
+  in
+  (t, { image; replayed = replay; truncated_bytes; skipped })
+
+(* ------------------------------------------------------------------ *)
+(* append                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fsync_log t =
+  Guard.inject "wal.fsync";
+  (try Unix.fsync t.fd
+   with Unix.Unix_error (e, _, _) ->
+     wal_error "fsync %s: %s" t.log_path (Unix.error_message e));
+  t.unsynced <- 0;
+  t.fsyncs <- t.fsyncs + 1
+
+let append t record =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  if t.closed then wal_error "append to closed log %s" t.log_path;
+  let off = t.offset in
+  let prev_unsynced = t.unsynced in
+  try
+    Guard.inject "wal.append";
+    let s = t.seq + 1 in
+    let frame = make_frame (Marshal.to_string (s, record) []) in
+    (try write_all t.fd frame
+     with Unix.Unix_error (e, _, _) ->
+       wal_error "append to %s: %s" t.log_path (Unix.error_message e));
+    t.offset <- off + Bytes.length frame;
+    t.unsynced <- prev_unsynced + 1;
+    (match t.fsync with
+     | Always -> fsync_log t
+     | Every n -> if t.unsynced >= n then fsync_log t
+     | Never -> ());
+    t.seq <- s;
+    t.appends <- t.appends + 1;
+    t.since_rotation <- t.since_rotation + 1;
+    s
+  with e ->
+    (* Log-before-ack also means nothing-but-acks in the log: scrub
+       the frame of a failed append back out, so recovery can never
+       resurrect an update that was rejected at the protocol level. *)
+    (try Unix.ftruncate t.fd off with Unix.Unix_error _ -> ());
+    t.offset <- off;
+    t.unsynced <- prev_unsynced;
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* snapshot / compaction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot t image =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  if t.closed then wal_error "snapshot on closed log %s" t.log_path;
+  try
+    Guard.inject "wal.snapshot";
+    let frame = make_frame (Marshal.to_string (t.seq, image) []) in
+    let fd =
+      try
+        Unix.openfile t.tmp_path
+          [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      with Unix.Unix_error (e, _, _) ->
+        wal_error "cannot open %s: %s" t.tmp_path (Unix.error_message e)
+    in
+    (try
+       write_all fd frame;
+       Unix.fsync fd;
+       Unix.close fd
+     with
+     | Unix.Unix_error (e, fn, _) ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       wal_error "snapshot write (%s): %s" fn (Unix.error_message e));
+    (* the image is durable; promote it atomically, then rotate the
+       log — every record it holds is now covered by the image *)
+    (try Unix.rename t.tmp_path t.img_path
+     with Unix.Unix_error (e, _, _) ->
+       wal_error "snapshot rename: %s" (Unix.error_message e));
+    fsync_dir t.dir;
+    (try
+       Unix.ftruncate t.fd 0;
+       Unix.fsync t.fd
+     with Unix.Unix_error (e, _, _) ->
+       wal_error "log rotation after snapshot: %s" (Unix.error_message e));
+    t.offset <- 0;
+    t.unsynced <- 0;
+    t.since_rotation <- 0;
+    t.snapshots <- t.snapshots + 1;
+    t.seq
+  with e ->
+    t.failed_snapshots <- t.failed_snapshots + 1;
+    (try Sys.remove t.tmp_path with Sys_error _ -> ());
+    raise e
+
+let snapshot_due t = t.snapshot_every > 0 && t.since_rotation >= t.snapshot_every
+
+let seq t = t.seq
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.fsync t.fd with Unix.Unix_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    { appends = t.appends; fsyncs = t.fsyncs; snapshots = t.snapshots;
+      failed_snapshots = t.failed_snapshots; replayed = t.replayed_count;
+      truncated_bytes = t.truncated_at_open }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let stats_line t =
+  let s = stats t in
+  Printf.sprintf
+    "wal seq=%d appends=%d fsyncs=%d snapshots=%d failed_snapshots=%d \
+     replayed=%d truncated_bytes=%d fsync_policy=%s"
+    (seq t) s.appends s.fsyncs s.snapshots s.failed_snapshots s.replayed
+    s.truncated_bytes
+    (policy_to_string t.fsync)

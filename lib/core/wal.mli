@@ -1,0 +1,150 @@
+(** Durability layer: append-only write-ahead log + snapshots
+    (DESIGN.md §4i).
+
+    The update workload opened in PR 6 ([insert]/[delete] protocol
+    lines) was purely in-memory: a crash lost every applied update.
+    [Wal] makes the serving stack crash-safe under a {e log-before-ack}
+    contract: the serve layer appends a record for every accepted
+    update {e before} applying or acknowledging it, and on startup
+    recovers by loading the newest valid snapshot and replaying the log
+    tail — so recovery is bit-identical to a process that never died.
+
+    The module is value-polymorphic: [('r, 's) t] logs caller-defined
+    records ['r] and snapshots caller-defined images ['s], both
+    serialised with [Marshal] inside this module.  The concrete types
+    (one record per [insert]/[delete], a database image) live in the
+    CLI driver, keeping [incdb.pool] independent of the relational
+    layer.
+
+    {2 On-disk format}
+
+    A log directory [DIR] holds:
+    - [DIR/wal.log] — a sequence of frames, each
+      [u32-LE payload length ∥ u32-LE CRC-32 of payload ∥ payload]
+      where the payload is the [Marshal]ling of [(seq, record)] and
+      [seq] increases by 1 per frame;
+    - [DIR/snapshot.img] — a single frame whose payload marshals
+      [(seq, image)]: the image covers every record with sequence
+      number ≤ [seq];
+    - [DIR/snapshot.tmp] — an in-progress snapshot; never read (it is
+      removed on open), and promoted to [snapshot.img] only by an
+      atomic [rename] after the image bytes are fsynced.
+
+    {2 Torn tails}
+
+    A crash can tear the last frame (short header, short payload) or
+    corrupt it (CRC mismatch, absurd length).  [open_dir] scans the
+    log, keeps the longest valid prefix, truncates the file at the
+    first bad frame with a once-per-open warning on stderr, and
+    reports the damage in {!recovery} — never a crash, never a wrong
+    record.  A corrupt [snapshot.img] is different: it was fully
+    fsynced before the rename, so damage means the storage itself
+    lied, and [open_dir] refuses to serve from it ({!Wal_error})
+    rather than silently dropping acknowledged updates.
+
+    {2 Fault sites}
+
+    ["wal.append"] fires before any bytes are written (a raise rejects
+    the update cleanly); ["wal.fsync"] fires at every policy-driven
+    fsync (a raise truncates the just-appended frame back out, so the
+    log never holds a record whose update was not acknowledged);
+    ["wal.snapshot"] fires before the temp image is written (a raise
+    aborts the snapshot, leaving the previous image and the log
+    intact).  Delay-mode faults stall the committer.  See
+    {!Guard.inject}. *)
+
+(** When appends reach the disk platter:
+    - [Always] — fsync after every append: an acknowledged update
+      survives power loss, at one fsync of latency per update;
+    - [Every n] — fsync once per [n] appends: bounded loss window of
+      at most [n-1] acknowledged updates on power loss (a plain
+      process crash loses nothing — the OS still has the bytes);
+    - [Never] — leave flushing to the OS: fastest, loses only on
+      power/kernel failure, never on SIGKILL. *)
+type fsync_policy = Always | Every of int | Never
+
+(** Structured failure of a durability operation (I/O error, corrupt
+    snapshot, injected fault surfaced by the append path).  The
+    registered printer renders it as ["(wal) <message>"]. *)
+exception Wal_error of string
+
+type ('r, 's) t
+
+(** What {!open_dir} found on disk. *)
+type ('r, 's) recovery = {
+  image : 's option;  (** newest valid snapshot image, if any *)
+  replayed : 'r list;
+      (** log-tail records newer than the snapshot, in append order *)
+  truncated_bytes : int;
+      (** bytes cut from a torn/corrupt log tail; [0] = clean log *)
+  skipped : int;
+      (** frames already covered by the snapshot (left over when a
+          crash lands between the snapshot rename and the log
+          rotation) — skipped during replay *)
+}
+
+(** [policy_of_string s] parses ["always"], ["never"], or a positive
+    integer [N] (meaning [Every N]); case-insensitive. *)
+val policy_of_string : string -> fsync_policy option
+
+val policy_to_string : fsync_policy -> string
+
+(** The policy used when {!open_dir} gets no [?fsync]: the
+    [INCDB_FSYNC] environment variable if parseable, otherwise
+    [Always].  Unparseable values warn once per process
+    ({!Guard.env_knob}). *)
+val default_policy : unit -> fsync_policy
+
+(** [open_dir ?fsync ?snapshot_every ~dir ()] opens (creating if
+    needed) the log directory and returns the handle plus everything
+    recovered from it.  [snapshot_every] (default [0] = never) arms
+    {!snapshot_due} after that many appends since the last rotation.
+    @raise Wal_error on I/O failure or a corrupt snapshot image. *)
+val open_dir :
+  ?fsync:fsync_policy -> ?snapshot_every:int -> dir:string -> unit ->
+  ('r, 's) t * ('r, 's) recovery
+
+(** [append t record] writes one frame and applies the fsync policy,
+    returning the record's sequence number.  On {e any} failure —
+    I/O error, injected ["wal.append"]/["wal.fsync"] fault — the log
+    is truncated back to its pre-append length before the exception
+    escapes, so the on-disk log always holds exactly the acknowledged
+    records.  Thread-safe.
+    @raise Wal_error on I/O failure.
+    @raise Guard.Injected from the two fault sites. *)
+val append : ('r, 's) t -> 'r -> int
+
+(** [snapshot t image] writes [image] (covering every record appended
+    so far) to a temp file, fsyncs it, atomically renames it over
+    [snapshot.img], and truncates the log to empty.  On failure the
+    previous snapshot and the full log are left intact and the attempt
+    is counted in {!stats.failed_snapshots}.  Returns the sequence
+    number the image covers.  Thread-safe.
+    @raise Wal_error on I/O failure.
+    @raise Guard.Injected from the ["wal.snapshot"] site. *)
+val snapshot : ('r, 's) t -> 's -> int
+
+(** [true] once [snapshot_every > 0] appends have accumulated since
+    the last rotation — the caller should {!snapshot} soon. *)
+val snapshot_due : ('r, 's) t -> bool
+
+(** Last sequence number assigned (snapshot-covered or appended). *)
+val seq : ('r, 's) t -> int
+
+val close : ('r, 's) t -> unit
+
+type stats = {
+  appends : int;  (** frames appended through this handle *)
+  fsyncs : int;  (** policy-driven fsyncs that completed *)
+  snapshots : int;  (** snapshots promoted (renamed) *)
+  failed_snapshots : int;  (** snapshot attempts aborted by a fault *)
+  replayed : int;  (** log-tail records recovered at {!open_dir} *)
+  truncated_bytes : int;  (** torn-tail bytes cut at {!open_dir} *)
+}
+
+val stats : ('r, 's) t -> stats
+
+(** One-line rendering for [#stats]-style surfaces, e.g.
+    ["wal seq=17 appends=12 fsyncs=12 snapshots=1 failed_snapshots=0 \
+      replayed=5 truncated_bytes=0 fsync_policy=always"]. *)
+val stats_line : ('r, 's) t -> string

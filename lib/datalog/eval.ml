@@ -391,6 +391,8 @@ let idb_relation m pred =
   | Some _ -> Hashtbl.find m.full pred
   | None -> eval_error "%s is not an IDB predicate of the program" pred
 
+let is_idb m pred = List.mem_assoc pred m.idb_arities
+
 (* reads the CURRENT state on every call — [m.db] is reassigned by
    updates, so this must not capture the database value *)
 let live_relation m p =

@@ -96,6 +96,12 @@ val idb : materialized -> (string * Relation.t) list
     @raise Eval_error if [pred] is not an IDB predicate. *)
 val idb_relation : materialized -> string -> Relation.t
 
+(** [is_idb m pred] — whether [pred] is derived by the program (and
+    therefore rejected by {!insert}/{!delete}).  Lets the serve layer
+    validate an update {e before} committing it to the write-ahead
+    log. *)
+val is_idb : materialized -> string -> bool
+
 (** [insert m pred tuples] adds [tuples] to base relation [pred] and
     propagates; returns the names of relations that changed (always
     including [pred] unless every tuple was already present, in which

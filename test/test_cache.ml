@@ -94,6 +94,31 @@ let test_stale_invalidation () =
   Alcotest.(check bool) "pre-update snapshot is stale" true
     (Cache.lookup c "qS2" = None)
 
+(* recovery invalidation: a serve process recovering a --data directory
+   must not serve results a pre-crash life stamped; [bump_all] bumps
+   every named relation in one locked sweep, so a lookup racing the
+   recovery can only miss *)
+let test_bump_all_recovery () =
+  let c = Cache.create ~capacity:8 () in
+  Cache.store c ~key:"qR" ~snapshot:(snap c [ "R" ]) ~tag:Cache.Exact 1;
+  Cache.store c ~key:"qS" ~snapshot:(snap c [ "S" ]) ~tag:Cache.Exact 2;
+  Cache.store c ~key:"qT" ~snapshot:(snap c [ "T" ]) ~tag:Cache.Exact 3;
+  let pre = snap c [ "R"; "S" ] in
+  Cache.bump_all c [ "R"; "S" ];
+  Alcotest.(check bool) "R entry stale" true (Cache.lookup c "qR" = None);
+  Alcotest.(check bool) "S entry stale" true (Cache.lookup c "qS" = None);
+  Alcotest.(check bool) "unlisted relation untouched" true
+    (Cache.lookup c "qT" <> None);
+  (* an entry stored against a pre-recovery snapshot never validates:
+     versions only grow *)
+  Cache.store c ~key:"qOld" ~snapshot:pre ~tag:Cache.Exact 4;
+  Alcotest.(check bool) "pre-recovery snapshot is dead" true
+    (Cache.lookup c "qOld" = None);
+  (* post-recovery snapshots behave normally *)
+  Cache.store c ~key:"qNew" ~snapshot:(snap c [ "R"; "S" ]) ~tag:Cache.Exact 5;
+  Alcotest.(check bool) "post-recovery entries live" true
+    (Cache.lookup c "qNew" <> None)
+
 let test_require_exact () =
   let c = Cache.create ~capacity:4 () in
   Cache.store c ~key:"q" ~snapshot:(snap c [ "R" ]) ~tag:Cache.Approximate 7;
@@ -552,6 +577,8 @@ let () =
           Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
           Alcotest.test_case "versioned invalidation" `Quick
             test_stale_invalidation;
+          Alcotest.test_case "bump_all recovery sweep" `Quick
+            test_bump_all_recovery;
           Alcotest.test_case "require_exact" `Quick test_require_exact;
           Alcotest.test_case "clear and stats line" `Quick
             test_clear_and_stats_line ] );

@@ -461,6 +461,36 @@ let prop_fallback_sound =
 (* ------------------------------------------------------------------ *)
 (* Suite                                                               *)
 (* ------------------------------------------------------------------ *)
+(* env_knob: the one warn-once parser behind every INCDB_* variable    *)
+(* ------------------------------------------------------------------ *)
+
+let test_env_knob () =
+  let knob () =
+    Guard.env_knob ~name:"INCDB_TEST_KNOB" ~expected:"a positive integer"
+      ~fallback:"7"
+      ~parse:(fun s ->
+        match int_of_string_opt s with
+        | Some n when n > 0 -> Some n
+        | _ -> None)
+      ~default:(fun () -> 7)
+      ()
+  in
+  let original = Sys.getenv_opt "INCDB_TEST_KNOB" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "INCDB_TEST_KNOB" (Option.value original ~default:""))
+    (fun () ->
+      Unix.putenv "INCDB_TEST_KNOB" "12";
+      Alcotest.(check int) "parseable value wins" 12 (knob ());
+      Unix.putenv "INCDB_TEST_KNOB" "banana";
+      (* warns once on stderr (quoting the offending value), then the
+         default; asserting the value here, the warn text in CI logs *)
+      Alcotest.(check int) "unparseable falls back" 7 (knob ());
+      Alcotest.(check int) "warn-once: second read is quiet" 7 (knob ());
+      Unix.putenv "INCDB_TEST_KNOB" "";
+      (* putenv cannot truly unset; an empty value is unparseable and
+         also lands on the default *)
+      Alcotest.(check int) "empty value falls back" 7 (knob ()))
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
@@ -475,7 +505,9 @@ let () =
         [ Alcotest.test_case "domains_of_string" `Quick
             test_domains_of_string;
           Alcotest.test_case "default_size fallbacks" `Quick
-            test_default_size_env ] );
+            test_default_size_env;
+          Alcotest.test_case "env_knob warn-once parser" `Quick
+            test_env_knob ] );
       ( "fault-injection",
         [ Alcotest.test_case "spec parsing" `Quick test_fault_parse;
           Alcotest.test_case "site matching" `Quick test_fault_site_match;

@@ -71,6 +71,53 @@ let test_explicit_backends () =
       Pool.shutdown p)
     both_backends
 
+(* steal-latency histogram: every successful steal lands in exactly one
+   decade bucket, the line rendering appears on the steal backend only,
+   and fifo pays nothing (all-zero buckets, no steal_lat in the line) *)
+let test_steal_latency_histogram () =
+  List.iter
+    (fun (b, name) ->
+      let p = Pool.create ~backend:b ~size:4 () in
+      (* enough uneven work that a steal pool actually steals *)
+      for _ = 1 to 5 do
+        ignore
+          (Pool.parallel_map ~cutoff:0 (Some p)
+             (fun x ->
+               if x mod 97 = 0 then Unix.sleepf 0.001;
+               x + 1)
+             (List.init 400 Fun.id))
+      done;
+      let st = Pool.stats p in
+      Alcotest.(check int)
+        (name ^ ": six buckets") 6
+        (Array.length st.Pool.steal_hist);
+      let total = Array.fold_left ( + ) 0 st.Pool.steal_hist in
+      (match b with
+       | Pool.Steal ->
+         Alcotest.(check int)
+           "every successful steal is in exactly one bucket" st.Pool.steals
+           total;
+         Alcotest.(check bool) "steal_lat rendered" true
+           (let line = Pool.stats_line p in
+            let n = String.length "steal_lat=" and h = String.length line in
+            let rec go i =
+              i + n <= h
+              && (String.sub line i n = "steal_lat=" || go (i + 1))
+            in
+            go 0)
+       | Pool.Fifo ->
+         Alcotest.(check int) "fifo never fills a bucket" 0 total;
+         Alcotest.(check bool) "no steal_lat on fifo" false
+           (let line = Pool.stats_line p in
+            let n = String.length "steal_lat=" and h = String.length line in
+            let rec go i =
+              i + n <= h
+              && (String.sub line i n = "steal_lat=" || go (i + 1))
+            in
+            go 0));
+      Pool.shutdown p)
+    both_backends
+
 (* ------------------------------------------------------------------ *)
 (* the pool.steal fault site                                           *)
 (* ------------------------------------------------------------------ *)
@@ -370,7 +417,9 @@ let () =
         [ Alcotest.test_case "backend_of_string" `Quick test_backend_of_string;
           Alcotest.test_case "INCDB_POOL selection" `Quick test_env_backend;
           Alcotest.test_case "explicit backends + stats" `Quick
-            test_explicit_backends ] );
+            test_explicit_backends;
+          Alcotest.test_case "steal-latency histogram" `Quick
+            test_steal_latency_histogram ] );
       ( "faults",
         [ Alcotest.test_case "raise-mode steal faults lose no task" `Quick
             test_steal_fault_raise;

@@ -1,0 +1,399 @@
+(* Unit tests for the durability layer (lib/core/wal.ml): frame
+   roundtrips, snapshot + log rotation, torn-tail truncation, CRC
+   corruption, fsync policies, the snapshot cadence, and the three
+   injected fault sites.  The crash-harness end-to-end tests (SIGKILL a
+   real serve process mid-storm) live in test_cli.ml. *)
+
+(* records and images are caller-defined; use simple concrete types *)
+type rcd = { op : string; key : int }
+
+let tmp_dir =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "incdb-wal-test-%d-%d" (Unix.getpid ()) !ctr)
+    in
+    (* a leftover from a previous run must not pollute recovery *)
+    (match Sys.readdir d with
+     | files -> Array.iter (fun f -> Sys.remove (Filename.concat d f)) files
+     | exception Sys_error _ -> ());
+    d
+
+let opened : (rcd, int list) Wal.t -> unit = ignore
+
+let file_size path = (Unix.stat path).Unix.st_size
+let log path = Filename.concat path "wal.log"
+
+let append_n w ~from n =
+  for i = from to from + n - 1 do
+    ignore (Wal.append w { op = "ins"; key = i })
+  done
+
+let keys recs = List.map (fun r -> r.key) recs
+
+(* ------------------------------------------------------------------ *)
+(* roundtrip and recovery                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip () =
+  let dir = tmp_dir () in
+  let w, r = Wal.open_dir ~dir () in
+  opened w;
+  Alcotest.(check bool) "fresh dir: no image" true (r.Wal.image = None);
+  Alcotest.(check (list int)) "fresh dir: no replay" [] (keys r.Wal.replayed);
+  Alcotest.(check int) "fresh dir: seq 0" 0 (Wal.seq w);
+  append_n w ~from:1 5;
+  Alcotest.(check int) "seq after 5 appends" 5 (Wal.seq w);
+  Wal.close w;
+  let w2, r2 = Wal.open_dir ~dir () in
+  opened w2;
+  Alcotest.(check (list int)) "replayed in append order" [ 1; 2; 3; 4; 5 ]
+    (keys r2.Wal.replayed);
+  Alcotest.(check int) "no torn bytes" 0 r2.Wal.truncated_bytes;
+  Alcotest.(check int) "no skipped frames" 0 r2.Wal.skipped;
+  Alcotest.(check int) "seq restored" 5 (Wal.seq w2);
+  (* appends continue the sequence *)
+  Alcotest.(check int) "next seq" 6 (Wal.append w2 { op = "ins"; key = 6 });
+  Wal.close w2
+
+let test_snapshot_rotation () =
+  let dir = tmp_dir () in
+  let w, _ = Wal.open_dir ~dir () in
+  append_n w ~from:1 3;
+  let covered = Wal.snapshot w [ 1; 2; 3 ] in
+  Alcotest.(check int) "snapshot covers the appended frames" 3 covered;
+  Alcotest.(check int) "log rotated to empty" 0 (file_size (log dir));
+  append_n w ~from:4 2;
+  Wal.close w;
+  let w2, r = Wal.open_dir ~dir () in
+  opened w2;
+  Alcotest.(check (option (list int))) "image recovered" (Some [ 1; 2; 3 ])
+    r.Wal.image;
+  Alcotest.(check (list int)) "only the tail replays" [ 4; 5 ]
+    (keys r.Wal.replayed);
+  Alcotest.(check int) "seq = snapshot + tail" 5 (Wal.seq w2);
+  Wal.close w2
+
+(* a crash between the snapshot rename and the log rotation leaves
+   frames the image already covers; they are skipped, not re-applied *)
+let test_skipped_frames () =
+  let dir = tmp_dir () in
+  let w, _ = Wal.open_dir ~dir () in
+  append_n w ~from:1 3;
+  (* preserve the pre-rotation log, then put it back after the
+     snapshot truncates it — exactly the torn interleaving *)
+  let saved = In_channel.with_open_bin (log dir) In_channel.input_all in
+  ignore (Wal.snapshot w [ 1; 2; 3 ]);
+  Wal.close w;
+  Out_channel.with_open_bin (log dir) (fun oc ->
+      Out_channel.output_string oc saved);
+  let w2, r = Wal.open_dir ~dir () in
+  opened w2;
+  Alcotest.(check (option (list int))) "image wins" (Some [ 1; 2; 3 ])
+    r.Wal.image;
+  Alcotest.(check (list int)) "covered frames not replayed" []
+    (keys r.Wal.replayed);
+  Alcotest.(check int) "three frames skipped" 3 r.Wal.skipped;
+  Alcotest.(check int) "seq from the image" 3 (Wal.seq w2);
+  Wal.close w2
+
+(* ------------------------------------------------------------------ *)
+(* torn tails and corruption                                           *)
+(* ------------------------------------------------------------------ *)
+
+let truncate_by path n =
+  let size = file_size path in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd (size - n);
+  Unix.close fd
+
+let test_torn_tail_truncated () =
+  let dir = tmp_dir () in
+  let w, _ = Wal.open_dir ~dir () in
+  append_n w ~from:1 3;
+  Wal.close w;
+  truncate_by (log dir) 3;
+  let w2, r = Wal.open_dir ~dir () in
+  opened w2;
+  Alcotest.(check (list int)) "exactly the torn frame lost" [ 1; 2 ]
+    (keys r.Wal.replayed);
+  Alcotest.(check bool) "damage reported" true (r.Wal.truncated_bytes > 0);
+  (* the file was physically truncated: a fresh append lands on a clean
+     boundary and a further reopen sees 1,2,9 *)
+  ignore (Wal.append w2 { op = "ins"; key = 9 });
+  Wal.close w2;
+  let w3, r3 = Wal.open_dir ~dir () in
+  opened w3;
+  Alcotest.(check (list int)) "append after truncation is clean" [ 1; 2; 9 ]
+    (keys r3.Wal.replayed);
+  Alcotest.(check int) "no damage on the reopen" 0 r3.Wal.truncated_bytes;
+  Wal.close w3
+
+let test_garbage_tail () =
+  let dir = tmp_dir () in
+  let w, _ = Wal.open_dir ~dir () in
+  append_n w ~from:1 4;
+  Wal.close w;
+  let fd = Unix.openfile (log dir) [ Unix.O_WRONLY; Unix.O_APPEND ] 0 in
+  ignore (Unix.write fd (Bytes.of_string "xyz") 0 3);
+  Unix.close fd;
+  let w2, r = Wal.open_dir ~dir () in
+  opened w2;
+  Alcotest.(check (list int)) "records intact" [ 1; 2; 3; 4 ]
+    (keys r.Wal.replayed);
+  Alcotest.(check int) "exactly the garbage cut" 3 r.Wal.truncated_bytes;
+  Wal.close w2
+
+let test_corrupt_middle_frame () =
+  let dir = tmp_dir () in
+  let w, _ = Wal.open_dir ~dir () in
+  ignore (Wal.append w { op = "ins"; key = 1 });
+  let first_len = file_size (log dir) in
+  append_n w ~from:2 2;
+  let total = file_size (log dir) in
+  Wal.close w;
+  (* flip one payload byte inside the second frame: CRC catches it and
+     recovery keeps only the valid prefix before it *)
+  let fd = Unix.openfile (log dir) [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd (first_len + 10) Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  ignore (Unix.lseek fd (first_len + 10) Unix.SEEK_SET);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  let w2, r = Wal.open_dir ~dir () in
+  opened w2;
+  Alcotest.(check (list int)) "longest valid prefix" [ 1 ]
+    (keys r.Wal.replayed);
+  Alcotest.(check int) "everything from the bad frame on is cut"
+    (total - first_len) r.Wal.truncated_bytes;
+  Wal.close w2
+
+let test_corrupt_snapshot_refused () =
+  let dir = tmp_dir () in
+  let w, _ = Wal.open_dir ~dir () in
+  append_n w ~from:1 2;
+  ignore (Wal.snapshot w [ 1; 2 ]);
+  Wal.close w;
+  let img = Filename.concat dir "snapshot.img" in
+  let fd = Unix.openfile img [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd 9 Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "\xde\xad") 0 2);
+  Unix.close fd;
+  (* a snapshot was fully fsynced before its rename: damage means the
+     storage lied, and serving the seed instead would silently drop
+     acknowledged updates — refuse instead *)
+  Alcotest.check_raises "corrupt snapshot is a hard error"
+    (Wal.Wal_error "") (fun () ->
+      try ignore (Wal.open_dir ~dir () : (rcd, int list) Wal.t * _)
+      with Wal.Wal_error _ -> raise (Wal.Wal_error ""))
+
+let test_snapshot_tmp_removed () =
+  let dir = tmp_dir () in
+  let w, _ = Wal.open_dir ~dir () in
+  append_n w ~from:1 2;
+  Wal.close w;
+  (* a crash mid-snapshot leaves snapshot.tmp; it must never be read *)
+  Out_channel.with_open_bin (Filename.concat dir "snapshot.tmp") (fun oc ->
+      Out_channel.output_string oc "half-written garbage");
+  let w2, r = Wal.open_dir ~dir () in
+  opened w2;
+  Alcotest.(check bool) "tmp never read as an image" true (r.Wal.image = None);
+  Alcotest.(check (list int)) "log intact" [ 1; 2 ] (keys r.Wal.replayed);
+  Alcotest.(check bool) "tmp removed" false
+    (Sys.file_exists (Filename.concat dir "snapshot.tmp"));
+  Wal.close w2
+
+(* ------------------------------------------------------------------ *)
+(* fsync policies and cadence                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_fsync_policies () =
+  let count policy n =
+    let dir = tmp_dir () in
+    let w, _ = Wal.open_dir ~fsync:policy ~dir () in
+    opened w;
+    append_n w ~from:1 n;
+    let s = Wal.stats w in
+    Wal.close w;
+    s.Wal.fsyncs
+  in
+  Alcotest.(check int) "always: one fsync per append" 7 (count Wal.Always 7);
+  Alcotest.(check int) "every 3: floor(7/3) fsyncs" 2 (count (Wal.Every 3) 7);
+  Alcotest.(check int) "never: zero fsyncs" 0 (count Wal.Never 7)
+
+let test_policy_of_string () =
+  let pol = Alcotest.testable (fun ppf p ->
+      Format.pp_print_string ppf (Wal.policy_to_string p)) ( = ) in
+  Alcotest.(check (option pol)) "always" (Some Wal.Always)
+    (Wal.policy_of_string "always");
+  Alcotest.(check (option pol)) "case-insensitive" (Some Wal.Always)
+    (Wal.policy_of_string "ALWAYS");
+  Alcotest.(check (option pol)) "never" (Some Wal.Never)
+    (Wal.policy_of_string "never");
+  Alcotest.(check (option pol)) "integer = every N" (Some (Wal.Every 64))
+    (Wal.policy_of_string "64");
+  Alcotest.(check (option pol)) "zero rejected" None (Wal.policy_of_string "0");
+  Alcotest.(check (option pol)) "negative rejected" None
+    (Wal.policy_of_string "-3");
+  Alcotest.(check (option pol)) "junk rejected" None
+    (Wal.policy_of_string "sometimes")
+
+let test_snapshot_due_cadence () =
+  let dir = tmp_dir () in
+  let w, _ = Wal.open_dir ~snapshot_every:2 ~dir () in
+  opened w;
+  Alcotest.(check bool) "fresh: not due" false (Wal.snapshot_due w);
+  ignore (Wal.append w { op = "ins"; key = 1 });
+  Alcotest.(check bool) "one append: not due" false (Wal.snapshot_due w);
+  ignore (Wal.append w { op = "ins"; key = 2 });
+  Alcotest.(check bool) "two appends: due" true (Wal.snapshot_due w);
+  ignore (Wal.snapshot w [ 1; 2 ]);
+  Alcotest.(check bool) "rotation resets the cadence" false
+    (Wal.snapshot_due w);
+  append_n w ~from:3 2;
+  Alcotest.(check bool) "due again" true (Wal.snapshot_due w);
+  Wal.close w;
+  let dir2 = tmp_dir () in
+  let w2, _ = Wal.open_dir ~dir:dir2 () in
+  opened w2;
+  append_n w2 ~from:1 50;
+  Alcotest.(check bool) "default cadence 0: never due" false
+    (Wal.snapshot_due w2);
+  Wal.close w2
+
+(* ------------------------------------------------------------------ *)
+(* fault sites                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let with_fault spec f =
+  Alcotest.(check bool) ("fault spec parses: " ^ spec) true
+    (Guard.set_faults spec);
+  Fun.protect ~finally:Guard.clear_faults f
+
+let test_fault_append () =
+  let dir = tmp_dir () in
+  let w, _ = Wal.open_dir ~dir () in
+  opened w;
+  append_n w ~from:1 2;
+  let size_before = file_size (log dir) in
+  with_fault "wal.append:1.0:1" (fun () ->
+      Alcotest.check_raises "append rejected before any bytes"
+        (Guard.Injected "wal.append") (fun () ->
+          ignore (Wal.append w { op = "ins"; key = 3 })));
+  Alcotest.(check int) "log untouched" size_before (file_size (log dir));
+  Alcotest.(check int) "seq not consumed" 2 (Wal.seq w);
+  (* the handle survives the fault *)
+  Alcotest.(check int) "next append continues the sequence" 3
+    (Wal.append w { op = "ins"; key = 3 });
+  Wal.close w;
+  let w2, r = Wal.open_dir ~dir () in
+  opened w2;
+  Alcotest.(check (list int)) "recovery sees only accepted records"
+    [ 1; 2; 3 ] (keys r.Wal.replayed);
+  Wal.close w2
+
+(* the fsync site fires with the frame already written: the failure
+   path must scrub it back out, or recovery would resurrect an update
+   that was never acknowledged *)
+let test_fault_fsync_rolls_back () =
+  let dir = tmp_dir () in
+  let w, _ = Wal.open_dir ~fsync:Wal.Always ~dir () in
+  opened w;
+  append_n w ~from:1 2;
+  let size_before = file_size (log dir) in
+  with_fault "wal.fsync:1.0:1" (fun () ->
+      Alcotest.check_raises "append rejected at the fsync"
+        (Guard.Injected "wal.fsync") (fun () ->
+          ignore (Wal.append w { op = "ins"; key = 3 })));
+  Alcotest.(check int) "frame truncated back out" size_before
+    (file_size (log dir));
+  ignore (Wal.append w { op = "ins"; key = 4 });
+  Wal.close w;
+  let w2, r = Wal.open_dir ~dir () in
+  opened w2;
+  Alcotest.(check (list int)) "the rejected record never recovers"
+    [ 1; 2; 4 ] (keys r.Wal.replayed);
+  Wal.close w2
+
+let test_fault_snapshot () =
+  let dir = tmp_dir () in
+  let w, _ = Wal.open_dir ~dir () in
+  opened w;
+  append_n w ~from:1 3;
+  with_fault "wal.snapshot:1.0:1" (fun () ->
+      Alcotest.check_raises "snapshot aborted" (Guard.Injected "wal.snapshot")
+        (fun () -> ignore (Wal.snapshot w [ 1; 2; 3 ])));
+  let s = Wal.stats w in
+  Alcotest.(check int) "failure counted" 1 s.Wal.failed_snapshots;
+  Alcotest.(check int) "nothing promoted" 0 s.Wal.snapshots;
+  Wal.close w;
+  let w2, r = Wal.open_dir ~dir () in
+  opened w2;
+  Alcotest.(check bool) "no image appeared" true (r.Wal.image = None);
+  Alcotest.(check (list int)) "log left intact" [ 1; 2; 3 ]
+    (keys r.Wal.replayed);
+  Wal.close w2
+
+let test_stats_line () =
+  let dir = tmp_dir () in
+  let w, _ = Wal.open_dir ~fsync:(Wal.Every 2) ~dir () in
+  opened w;
+  append_n w ~from:1 4;
+  let line = Wal.stats_line w in
+  let has needle =
+    Alcotest.(check bool) (needle ^ " in: " ^ line) true
+      (let n = String.length needle and h = String.length line in
+       let rec go i =
+         i + n <= h && (String.sub line i n = needle || go (i + 1))
+       in
+       go 0)
+  in
+  has "wal seq=4";
+  has "appends=4";
+  has "fsyncs=2";
+  has "fsync_policy=2";
+  Wal.close w
+
+(* ------------------------------------------------------------------ *)
+(* suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "wal"
+    [ ( "recovery",
+        [ Alcotest.test_case "append/close/reopen roundtrip" `Quick
+            test_roundtrip;
+          Alcotest.test_case "snapshot rotates the log" `Quick
+            test_snapshot_rotation;
+          Alcotest.test_case "snapshot-covered frames are skipped" `Quick
+            test_skipped_frames ] );
+      ( "corruption",
+        [ Alcotest.test_case "torn tail truncated at the bad frame" `Quick
+            test_torn_tail_truncated;
+          Alcotest.test_case "trailing garbage cut, records intact" `Quick
+            test_garbage_tail;
+          Alcotest.test_case "CRC catches a mid-file flip" `Quick
+            test_corrupt_middle_frame;
+          Alcotest.test_case "corrupt snapshot refused, not dropped" `Quick
+            test_corrupt_snapshot_refused;
+          Alcotest.test_case "leftover snapshot.tmp never read" `Quick
+            test_snapshot_tmp_removed ] );
+      ( "policies",
+        [ Alcotest.test_case "fsync always/every/never counts" `Quick
+            test_fsync_policies;
+          Alcotest.test_case "policy_of_string" `Quick test_policy_of_string;
+          Alcotest.test_case "snapshot_due cadence" `Quick
+            test_snapshot_due_cadence;
+          Alcotest.test_case "stats_line" `Quick test_stats_line ] );
+      ( "faults",
+        [ Alcotest.test_case "wal.append rejects before any bytes" `Quick
+            test_fault_append;
+          Alcotest.test_case "wal.fsync scrubs the torn frame" `Quick
+            test_fault_fsync_rolls_back;
+          Alcotest.test_case "wal.snapshot leaves prior state intact" `Quick
+            test_fault_snapshot ] ) ]
