@@ -34,7 +34,8 @@
      --json      write e15 to BENCH_PR1.json, e16 to BENCH_PR2.json,
                  e17 to BENCH_PR3.json, e18 to BENCH_PR4.json,
                  e19 to BENCH_PR5.json, e20 to BENCH_PR6.json,
-                 e21 to BENCH_PR7.json and e22 to BENCH_PR8.json
+                 e21 to BENCH_PR7.json, e22 to BENCH_PR8.json and
+                 e23 to BENCH_PR9.json
      --seed N    offset every workload generator seed by N
      --small     shrink e16-e22 workloads for CI smoke runs *)
 
@@ -1681,13 +1682,15 @@ let exp_e19 () =
     Algebra.Select
       (Condition.eq_col 1 2, Algebra.Product (Algebra.Rel "R", Algebra.Rel "S"))
   in
-  let handler line =
+  let handler ~stream:_ line =
     match String.trim line with
     | "join" ->
       Ok
         { Server.run =
             (fun ~pool ~guard ->
-              string_of_int (Relation.cardinal (Eval.run ~pool ~guard db join_q)));
+              Server.Line
+                (string_of_int
+                   (Relation.cardinal (Eval.run ~pool ~guard db join_q))));
           fallback = None; cache = None }
     | _ -> Error "unknown verb"
   in
@@ -1847,7 +1850,7 @@ let exp_e19 () =
      intersection empties — guarantees seconds of work with a
      Guard.check between rounds where cancellation lands *)
   let churn_rounds = if !bench_small then 200 else 2000 in
-  let cert_handler _line =
+  let cert_handler ~stream:_ _line =
     Ok
       { Server.run =
           (fun ~pool ~guard ->
@@ -1857,7 +1860,7 @@ let exp_e19 () =
               total :=
                 !total + Relation.cardinal (Eval.run ~pool ~guard db join_q)
             done;
-            string_of_int !total);
+            Server.Line (string_of_int !total));
         fallback = None; cache = None }
   in
   let srv =
@@ -2535,6 +2538,266 @@ let write_e22_json path =
   Printf.printf "\nwrote %s (%d measurements)\n" path (na + nr)
 
 (* ------------------------------------------------------------------ *)
+(* E23: streaming serving protocol — writer memory and byte fairness   *)
+(* ------------------------------------------------------------------ *)
+
+(* (mode, items, payload_bytes, heap_delta_mb) *)
+let e23_memory : (string * int * int * float) list ref = ref []
+
+(* (scenario, has_quota, ops, p50_ms, p99_ms, parks, bytes_out) *)
+let e23_fairness : (string * bool * int * float * float * int * int) list ref =
+  ref []
+
+(* read exactly one response off [fd] without retaining it: a single
+   line, or a framed stream up to its terminal marker.  Only the first
+   32 bytes of each line are kept (enough to classify the second
+   token), so the client side cannot confound the writer-memory
+   measurement. *)
+let e23_drain fd =
+  let chunk = Bytes.create 65536 in
+  let prefix = Buffer.create 32 in
+  let finished = ref false in
+  let classify () =
+    (match String.split_on_char ' ' (Buffer.contents prefix) with
+     | _ :: "stream" :: _ | _ :: "+" :: _ -> ()
+     | _ -> finished := true);
+    Buffer.clear prefix
+  in
+  while not !finished do
+    match Unix.read fd chunk 0 65536 with
+    | 0 -> finished := true
+    | n ->
+      for i = 0 to n - 1 do
+        let c = Bytes.get chunk i in
+        if c = '\n' then classify ()
+        else if Buffer.length prefix < 32 then Buffer.add_char prefix c
+      done
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> finished := true
+  done
+
+let e23_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 120.0;
+  fd
+
+let e23_send fd s =
+  let b = Bytes.of_string (s ^ "\n") in
+  try ignore (Unix.write fd b 0 (Bytes.length b))
+  with Unix.Unix_error (_, _, _) -> ()
+
+let exp_e23 () =
+  hr "E23: streaming serving — writer memory and byte-fairness tails";
+  let items = if !bench_small then 20_000 else 200_000 in
+  let item i = Printf.sprintf "%08d:%s;" i (String.make 54 'x') in
+  let item_bytes = String.length (item 0) in
+  let small_items = 10 in
+  let huge_items = if !bench_small then 20_000 else 100_000 in
+  let seq_of k = Seq.map item (Seq.take k (Seq.ints 0)) in
+  let stream_job k =
+    { Server.run = (fun ~pool:_ ~guard:_ -> Server.Stream (seq_of k));
+      fallback = None;
+      cache = None }
+  in
+  let handler ~stream:_ line =
+    match String.trim line with
+    | "stream" -> Ok (stream_job items)
+    | "line" ->
+      (* the pre-v2 shape: render the whole result, then write once *)
+      Ok
+        { Server.run =
+            (fun ~pool:_ ~guard:_ ->
+              let buf = Buffer.create 1024 in
+              for i = 0 to items - 1 do
+                Buffer.add_string buf (item i)
+              done;
+              Server.Line (Buffer.contents buf));
+          fallback = None;
+          cache = None }
+    | "small" -> Ok (stream_job small_items)
+    | "huge" -> Ok (stream_job huge_items)
+    | _ -> Error "unknown verb"
+  in
+  let mk_server ?byte_quota ?(workers = 2) () =
+    Server.create
+      { (Server.default_config ()) with
+        Server.max_connections = 32;
+        client_quota = None;
+        byte_quota;
+        drain_deadline = 2.0;
+        write_timeout = 30.0;
+        service =
+          { (Service.default_config ~pool:None ()) with
+            Service.workers;
+            max_retries = 0 } }
+      handler
+  in
+  (* -------- phase A: peak writer memory, stream vs render-then-write *)
+  let srv = mk_server () in
+  let port = Server.port srv in
+  let fd = e23_connect port in
+  (* warm with one full-size stream: the first large response pays
+     churn-driven major-heap expansion (frame strings, client read
+     buffers) that is not writer working set.  After it, the heap is
+     at its streaming steady state — a further stream should leave
+     the high-water mark unchanged, while the render-then-write path
+     must still grow it by the materialised payload *)
+  e23_send fd "stream";
+  e23_drain fd;
+  let heap_delta_mb f =
+    Gc.compact ();
+    let before = (Gc.quick_stat ()).Gc.top_heap_words in
+    f ();
+    let after = (Gc.quick_stat ()).Gc.top_heap_words in
+    float_of_int (max 0 (after - before))
+    *. float_of_int (Sys.word_size / 8)
+    /. 1e6
+  in
+  (* stream first: top_heap_words is a process-global high-water mark,
+     so the O(result) render must come after the O(frame) stream *)
+  let stream_mb = heap_delta_mb (fun () -> e23_send fd "stream"; e23_drain fd) in
+  let line_mb = heap_delta_mb (fun () -> e23_send fd "line"; e23_drain fd) in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Server.drain srv;
+  let stats = Server.wait srv in
+  assert stats.Server.invariant_ok;
+  let payload = items * item_bytes in
+  e23_memory :=
+    [ ("stream", items, payload, stream_mb); ("line", items, payload, line_mb) ];
+  Printf.printf
+    "writer memory for one %.1f MB response (%d items), process heap\n\
+     high-water delta:\n\n"
+    (float_of_int payload /. 1e6)
+    items;
+  Printf.printf "%10s %12s\n" "mode" "peak(MB)";
+  Printf.printf "%10s %12.2f\n" "stream" stream_mb;
+  Printf.printf "%10s %12.2f\n" "line" line_mb;
+  Printf.printf
+    "\nThe framed writer holds O(frame) = %d items at a time; the\n\
+     render-then-write path materialises the full payload (plus its\n\
+     growth copies) before the first byte leaves the process.\n\n"
+    (Server.default_config ()).Server.frame_items;
+  (* -------- phase B: victim tail latency under a greedy adversary ---- *)
+  let victim_ops = if !bench_small then 30 else 120 in
+  let quota =
+    { Server.burst = 16 * 1024;
+      rate = 64.0 *. 1024.0;
+      policy = Server.Throttle }
+  in
+  let scenarios =
+    [ ("no-adversary", None, false);
+      ("adversary", None, true);
+      ("adversary+throttle", Some quota, true) ]
+  in
+  Printf.printf
+    "victim lane: %d closed-loop 'small' streams while an adversary\n\
+     loops %.1f MB 'huge' streams on the same 2-worker service:\n\n"
+    victim_ops
+    (float_of_int (huge_items * item_bytes) /. 1e6);
+  Printf.printf "%20s %7s %9s %9s %7s\n" "scenario" "ops" "p50(ms)" "p99(ms)"
+    "parks";
+  List.iter
+    (fun (label, byte_quota, with_adversary) ->
+      let srv = mk_server ?byte_quota () in
+      let port = Server.port srv in
+      let stop = Atomic.make false in
+      let adversary =
+        if not with_adversary then None
+        else
+          Some
+            (let fd = e23_connect port in
+             ( fd,
+               Domain.spawn (fun () ->
+                   try
+                     while not (Atomic.get stop) do
+                       e23_send fd "huge";
+                       e23_drain fd
+                     done
+                   with _ -> ()) ))
+      in
+      (* let the adversary actually get a stream in flight *)
+      (if with_adversary then
+         let deadline = now () +. 2.0 in
+         while (Server.counters srv).Server.streams < 1 && now () < deadline do
+           Domain.cpu_relax ()
+         done);
+      let fd = e23_connect port in
+      let lats =
+        List.init victim_ops (fun _ ->
+            let t0 = now () in
+            e23_send fd "small";
+            e23_drain fd;
+            (now () -. t0) *. 1000.0)
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Atomic.set stop true;
+      (match adversary with
+       | Some (afd, d) ->
+         (* unblock a drain stuck mid-read, then collect the domain *)
+         (try Unix.shutdown afd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ());
+         Domain.join d;
+         (try Unix.close afd with Unix.Unix_error _ -> ())
+       | None -> ());
+      let c = Server.counters srv in
+      Server.drain srv;
+      let stats = Server.wait srv in
+      assert stats.Server.invariant_ok;
+      let p50 = percentile 0.50 lats and p99 = percentile 0.99 lats in
+      e23_fairness :=
+        (label, byte_quota <> None, victim_ops, p50, p99,
+         c.Server.throttle_parks, c.Server.bytes_out)
+        :: !e23_fairness;
+      Printf.printf "%20s %7d %9.2f %9.2f %7d\n" label victim_ops p50 p99
+        c.Server.throttle_parks)
+    scenarios;
+  Printf.printf
+    "\nWithout a byte quota the adversary's frames monopolise the workers\n\
+     and the wire, stretching the victims' p99; a Throttle byte bucket\n\
+     parks only the greedy writer between frames, so the victims' tail\n\
+     recovers while the adversary is slowed to its fair byte rate.\n"
+
+let write_e23_json path =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"e23\",\n";
+  Buffer.add_string buf
+    "  \"description\": \"streaming serving protocol v2: peak writer memory \
+     (framed stream vs render-then-write) and victim tail latency under a \
+     greedy-huge-result adversary with and without a Throttle byte \
+     quota\",\n";
+  Buffer.add_string buf "  \"memory\": [\n";
+  let n = List.length !e23_memory in
+  List.iteri
+    (fun i (mode, items, bytes, mb) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"mode\": \"%s\", \"items\": %d, \"payload_bytes\": %d, \
+            \"peak_heap_delta_mb\": %.3f}%s\n"
+           mode items bytes mb
+           (if i = n - 1 then "" else ",")))
+    !e23_memory;
+  Buffer.add_string buf "  ],\n  \"fairness\": [\n";
+  let rows = List.rev !e23_fairness in
+  let n = List.length rows in
+  List.iteri
+    (fun i (label, quota, ops, p50, p99, parks, bytes) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"scenario\": \"%s\", \"byte_quota\": %b, \"ops\": %d, \
+            \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"throttle_parks\": %d, \
+            \"bytes_out\": %d}%s\n"
+           label quota ops p50 p99 parks bytes
+           (if i = n - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d measurements)\n" path
+    (List.length !e23_memory + List.length rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -2647,7 +2910,7 @@ let experiments =
     ("e9", exp_e9); ("e10", exp_e10); ("e11", exp_e11); ("e12", exp_e12);
     ("e13", exp_e13); ("e14", exp_e14); ("e15", exp_e15); ("e16", exp_e16);
     ("e17", exp_e17); ("e18", exp_e18); ("e19", exp_e19); ("e20", exp_e20);
-    ("e21", exp_e21); ("e22", exp_e22); ("micro", micro) ]
+    ("e21", exp_e21); ("e22", exp_e22); ("e23", exp_e23); ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -2695,4 +2958,6 @@ let () =
     write_e20_json "BENCH_PR6.json";
   if !json && (!e22_append <> [] || !e22_recovery <> []) then
     write_e22_json "BENCH_PR8.json";
-  if !json && !e21_results <> [] then write_e21_json "BENCH_PR7.json"
+  if !json && !e21_results <> [] then write_e21_json "BENCH_PR7.json";
+  if !json && (!e23_memory <> [] || !e23_fairness <> []) then
+    write_e23_json "BENCH_PR9.json"

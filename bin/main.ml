@@ -580,11 +580,15 @@ let update_line_response = function
   | [] -> "updated (no-op)"
   | changed -> Printf.sprintf "updated %s" (String.concat "," changed)
 
-let cert_cache_binding cache ~all_rels q =
+(* [key_prefix] separates payload shapes sharing one cache: the TCP
+   server stores single-line payloads under "cert:" and streamed
+   payloads under "certs:", so a cached line never replays as a frame
+   sequence (or vice versa) when a client toggles #stream *)
+let cert_cache_binding ?(key_prefix = "cert:") cache ~all_rels q =
   Option.map
     (fun c ->
       { Service.cache = c;
-        key = "cert:" ^ Planner.fingerprint q;
+        key = key_prefix ^ Planner.fingerprint q;
         deps = Algebra.relations q;
         approx_deps = all_rels;
         require_exact = false })
@@ -667,10 +671,64 @@ let serve_cmd =
     Arg.(value & opt int (64 * 1024) & info [ "max-line" ] ~docv:"BYTES" ~doc)
   in
   let read_timeout_arg =
-    let doc = "Per-connection read/write timeout in seconds." in
+    let doc = "Per-connection read timeout in seconds." in
     Arg.(value
          & opt float 10.0
          & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let write_timeout_arg =
+    let doc =
+      "Per-connection write timeout in seconds: a reader that stalls a \
+       write longer than this is evicted (counted slow_evicted) instead \
+       of pinning its connection."
+    in
+    Arg.(value
+         & opt float 10.0
+         & info [ "write-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let frame_arg =
+    let doc =
+      "Maximum tuples per stream frame (#stream on): bounds the writer's \
+       working set and how far a response can run between guard checks."
+    in
+    Arg.(value & opt int 64 & info [ "frame" ] ~docv:"TUPLES" ~doc)
+  in
+  let byte_quota_arg =
+    let doc =
+      "Per-client written-byte budget: a token bucket of BYTES (burst) \
+       per #client id, refilled at --byte-rate.  Unlimited when omitted."
+    in
+    Arg.(value
+         & opt (some int) None
+         & info [ "byte-quota" ] ~docv:"BYTES" ~doc)
+  in
+  let byte_rate_arg =
+    let doc =
+      "Refill rate of the per-client byte bucket in bytes/second; \
+       defaults to the --byte-quota burst per second."
+    in
+    Arg.(value
+         & opt (some float) None
+         & info [ "byte-rate" ] ~docv:"BYTES/S" ~doc)
+  in
+  let byte_policy_arg =
+    let doc =
+      "What to do when a client's byte bucket runs dry: throttle (park \
+       the writer until it refills), shed (refuse queries and truncate \
+       streams as overloaded), or degrade (stop streams at the delivered \
+       prefix, reported and cached as a sound limit-K answer)."
+    in
+    let parse s =
+      match Server.byte_policy_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown byte policy %s" s))
+    in
+    let print ppf p =
+      Format.pp_print_string ppf (Server.byte_policy_to_string p)
+    in
+    Arg.(value
+         & opt (conv (parse, print)) Server.Throttle
+         & info [ "byte-policy" ] ~docv:"POLICY" ~doc)
   in
   let drain_deadline_arg =
     let doc =
@@ -792,6 +850,14 @@ let serve_cmd =
       Mutex.unlock lock;
       item
     in
+    (* response bytes written so far (newline included), mirroring the
+       TCP server's bytes_out counter so #stats carries a srv segment in
+       both modes; written by the printer domain, read by the reader *)
+    let stdout_bytes = Atomic.make 0 in
+    let emit line =
+      ignore (Atomic.fetch_and_add stdout_bytes (String.length line + 1));
+      Printf.printf "%s\n%!" line
+    in
     let printer () =
       let any_failed = ref false in
       let rec loop () =
@@ -799,25 +865,30 @@ let serve_cmd =
         | None -> !any_failed
         | Some item ->
           (match item with
-           | `Text line -> Printf.printf "%s\n%!" line
+           | `Text line -> emit line
            | `Outcome (n, ticket, t0) ->
              let outcome = Service.await ticket in
              let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
              (match outcome with
               | Service.Ok r ->
-                Printf.printf "[%d] ok (%d tuples) %.1fms\n%!" n
-                  (Relation.cardinal r) ms
+                emit
+                  (Printf.sprintf "[%d] ok (%d tuples) %.1fms" n
+                     (Relation.cardinal r) ms)
               | Service.Degraded r ->
-                Printf.printf
-                  "[%d] degraded (%d tuples, sound subset) %.1fms\n%!" n
-                  (Relation.cardinal r) ms
-              | Service.Overloaded -> Printf.printf "[%d] overloaded\n%!" n
+                emit
+                  (Printf.sprintf
+                     "[%d] degraded (%d tuples, sound subset) %.1fms" n
+                     (Relation.cardinal r) ms)
+              | Service.Overloaded ->
+                emit (Printf.sprintf "[%d] overloaded" n)
               | Service.Interrupted reason ->
-                Printf.printf "[%d] interrupted: %s\n%!" n
-                  (Guard.reason_to_string reason)
+                emit
+                  (Printf.sprintf "[%d] interrupted: %s" n
+                     (Guard.reason_to_string reason))
               | Service.Failed e ->
                 any_failed := true;
-                Printf.printf "[%d] failed: %s\n%!" n (Printexc.to_string e)));
+                emit
+                  (Printf.sprintf "[%d] failed: %s" n (Printexc.to_string e))));
           loop ()
       in
       loop ()
@@ -843,6 +914,8 @@ let serve_cmd =
                         ^ (match st.wal with
                            | Some w -> " | " ^ Wal.stats_line w
                            | None -> "")
+                        ^ Printf.sprintf " | srv bytes=%d"
+                            (Atomic.get stdout_bytes)
                       else if line = "#snapshot" then
                         match snapshot_now st with
                         | Ok s -> Printf.sprintf "#ok snapshot seq=%d" s
@@ -925,7 +998,8 @@ let serve_cmd =
      payloads (the protocol is line-oriented) and block in wait until a
      SIGTERM/SIGINT or a client #drain *)
   let serve_listen schema ~all_rels st ~cache_cap ~listen ~max_conns
-      ~max_line ~read_timeout ~drain_deadline ~quota svc_cfg =
+      ~max_line ~read_timeout ~write_timeout ~drain_deadline ~quota
+      ~byte_quota ~byte_rate ~byte_policy ~frame_items svc_cfg =
     let host, port =
       match String.rindex_opt listen ':' with
       | None -> invalid_arg ("--listen expects HOST:PORT, got " ^ listen)
@@ -942,7 +1016,14 @@ let serve_cmd =
      | Some c, Some _ -> Cache.bump_all c all_rels
      | _ -> ());
     let bump rel = Option.iter (fun c -> Cache.bump c rel) cache in
-    let handler sql =
+    (* a streamed answer renders each tuple as its own item; the
+       concatenation of the frames equals one "t1;t2;...;" listing, so a
+       fully-drained stream carries strictly more information than the
+       old "(%d tuples)" line while still being byte-deterministic *)
+    let tuples_seq r =
+      Seq.map (fun t -> Tuple.to_string t ^ ";") (List.to_seq (Relation.to_list r))
+    in
+    let handler ~stream sql =
       match parse_update_line sql with
       | Some (Error msg) -> Error msg
       | Some (Ok (op, rel, body)) ->
@@ -951,7 +1032,7 @@ let serve_cmd =
            synchronous request/response — see the update *)
         (match apply_update st ~bump op rel body with
          | changed ->
-           let payload = update_line_response changed in
+           let payload = Server.Line (update_line_response changed) in
            Result.Ok
              { Server.run = (fun ~pool:_ ~guard:_ -> payload);
                fallback = None;
@@ -979,6 +1060,23 @@ let serve_cmd =
           (Sql.Parser.Parse_error msg | Sql.Lexer.Lex_error msg
           | Sql.To_algebra.Unsupported msg) ->
         Error msg
+      | q when stream ->
+        (* streamed answers are cached under "certs:" keys, line answers
+           under "cert:" — a cached Line must never replay as a frame
+           sequence (and vice versa) when a client toggles #stream *)
+        Result.Ok
+          { Server.run =
+              (fun ~pool ~guard ->
+                let r =
+                  Certainty.cert_with_nulls_ra ~pool ~guard (view_db st) q
+                in
+                Server.Stream (tuples_seq r));
+            fallback =
+              Some
+                (fun ~pool ->
+                  let r = Scheme_pm.certain_sub ~pool (view_db st) q in
+                  Server.Stream (tuples_seq r));
+            cache = cert_cache_binding ~key_prefix:"certs:" cache ~all_rels q }
       | q ->
         Result.Ok
           { Server.run =
@@ -986,13 +1084,14 @@ let serve_cmd =
                 let r =
                   Certainty.cert_with_nulls_ra ~pool ~guard (view_db st) q
                 in
-                Printf.sprintf "(%d tuples)" (Relation.cardinal r));
+                Server.Line (Printf.sprintf "(%d tuples)" (Relation.cardinal r)));
             fallback =
               Some
                 (fun ~pool ->
                   let r = Scheme_pm.certain_sub ~pool (view_db st) q in
-                  Printf.sprintf "(%d tuples, sound subset)"
-                    (Relation.cardinal r));
+                  Server.Line
+                    (Printf.sprintf "(%d tuples, sound subset)"
+                       (Relation.cardinal r)));
             cache = cert_cache_binding cache ~all_rels q }
     in
     let server =
@@ -1002,8 +1101,17 @@ let serve_cmd =
           max_connections = max_conns;
           max_line;
           read_timeout;
+          write_timeout;
           drain_deadline;
           client_quota = quota;
+          byte_quota =
+            Option.map
+              (fun burst ->
+                { Server.burst;
+                  rate = Option.value byte_rate ~default:(float_of_int burst);
+                  policy = byte_policy })
+              byte_quota;
+          frame_items;
           stats =
             (* cache counters, then pool scheduler counters, then WAL
                counters — one line, pipe-separated *)
@@ -1049,6 +1157,11 @@ let serve_cmd =
       c.Server.queries c.Server.quota_shed s.Service.admitted
       s.Service.completed s.Service.degraded s.Service.shed s.Service.retried
       s.Service.failed;
+    Printf.printf
+      "-- streaming: %d streams, %d frames, %d bytes out; byte-shed %d, \
+       byte-degraded %d, parks %d, slow-evicted %d\n%!"
+      c.Server.streams c.Server.frames c.Server.bytes_out c.Server.byte_shed
+      c.Server.byte_degraded c.Server.throttle_parks c.Server.slow_evicted;
     Printf.printf "-- drain: %d forced cancels, %.1fms, invariant %s\n%!"
       stats.Server.forced_cancels stats.Server.drain_ms
       (if stats.Server.invariant_ok then "ok" else "VIOLATED");
@@ -1068,7 +1181,8 @@ let serve_cmd =
   in
   let run db_name data scale null_rate seed fsync snapshot_every capacity
       shed workers retries backoff deadline_ms budget listen max_conns
-      max_line read_timeout drain_deadline quota cache_size no_cache datalog =
+      max_line read_timeout write_timeout drain_deadline quota byte_quota
+      byte_rate byte_policy frame_items cache_size no_cache datalog =
     handle_errors (fun () ->
         (* Seed precedence under --data DIR: any snapshot/log in DIR is
            authoritative (it embeds its own schema); otherwise .csv
@@ -1186,7 +1300,8 @@ let serve_cmd =
         match listen with
         | Some listen ->
           serve_listen schema ~all_rels st ~cache_cap ~listen ~max_conns
-            ~max_line ~read_timeout ~drain_deadline ~quota svc_cfg
+            ~max_line ~read_timeout ~write_timeout ~drain_deadline ~quota
+            ~byte_quota ~byte_rate ~byte_policy ~frame_items svc_cfg
         | None ->
           serve_stdin schema ~all_rels st ~cache_cap (Service.create svc_cfg))
   in
@@ -1203,7 +1318,8 @@ let serve_cmd =
       $ seed_arg $ fsync_arg $ snapshot_every_arg $ capacity_arg $ shed_arg
       $ workers_arg $ retries_arg $ backoff_arg $ deadline_arg $ budget_arg
       $ listen_arg $ max_conns_arg $ max_line_arg $ read_timeout_arg
-      $ drain_deadline_arg $ quota_arg $ cache_arg $ no_cache_arg
+      $ write_timeout_arg $ drain_deadline_arg $ quota_arg $ byte_quota_arg
+      $ byte_rate_arg $ byte_policy_arg $ frame_arg $ cache_arg $ no_cache_arg
       $ datalog_serve_arg)
 
 let () =

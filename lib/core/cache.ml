@@ -3,9 +3,12 @@
    counters so an update invalidates exactly the entries that read the
    changed relations.  See DESIGN.md §4g. *)
 
-type tag = Exact | Approximate
+type tag = Exact | Approximate | Partial of int
 
-let tag_to_string = function Exact -> "exact" | Approximate -> "approximate"
+let tag_to_string = function
+  | Exact -> "exact"
+  | Approximate -> "approximate"
+  | Partial k -> Printf.sprintf "partial:%d" k
 
 type snapshot = (string * int) array
 
@@ -100,12 +103,31 @@ let rec evict_unsafe t =
        | Some _ | None -> ());
       evict_unsafe t
 
+(* requires t.lock held: is the entry still served under current
+   relation versions? *)
+let live_unsafe t e =
+  Array.for_all (fun (rel, v) -> version_unsafe t rel = v) e.snap
+
 let store t ~key ~snapshot ~tag v =
   locked t (fun () ->
-      let entry = { value = v; tag; snap = snapshot; stamp = 0 } in
-      Hashtbl.replace t.table key entry;
-      touch_unsafe t key entry;
-      evict_unsafe t)
+      (* never downgrade: an Approximate or Partial store must not
+         replace a live Exact entry for the same key (a truncated
+         stream prefix racing a completed exact evaluation would
+         otherwise erase the better answer) *)
+      let downgrade =
+        match tag with
+        | Exact -> false
+        | Approximate | Partial _ -> (
+          match Hashtbl.find_opt t.table key with
+          | Some e -> e.tag = Exact && live_unsafe t e
+          | None -> false)
+      in
+      if not downgrade then begin
+        let entry = { value = v; tag; snap = snapshot; stamp = 0 } in
+        Hashtbl.replace t.table key entry;
+        touch_unsafe t key entry;
+        evict_unsafe t
+      end)
 
 let lookup ?(require_exact = false) t key =
   (* the fault site runs outside the lock: a delay-mode fault stalls
@@ -121,18 +143,13 @@ let lookup ?(require_exact = false) t key =
           t.misses <- t.misses + 1;
           None
         | Some e ->
-          if
-            not
-              (Array.for_all
-                 (fun (rel, v) -> version_unsafe t rel = v)
-                 e.snap)
-          then begin
+          if not (live_unsafe t e) then begin
             Hashtbl.remove t.table key;
             t.stale <- t.stale + 1;
             t.misses <- t.misses + 1;
             None
           end
-          else if require_exact && e.tag = Approximate then begin
+          else if require_exact && e.tag <> Exact then begin
             t.misses <- t.misses + 1;
             None
           end

@@ -36,11 +36,15 @@
     answer), a delay-mode fault stalls the looking-up caller. *)
 
 (** How the cached value was produced.  [Approximate] marks a sound
-    under-approximation (the polynomial Q⁺ scheme); it is never
-    upgraded to [Exact] by a cache hit. *)
-type tag = Exact | Approximate
+    under-approximation (the polynomial Q⁺ scheme); [Partial k] marks
+    the first-[k]-items prefix of an answer whose streamed delivery
+    was truncated mid-response (byte-quota degrade, deadline, cancel)
+    — a cancelled prefix is a sound but incomplete answer, so it is
+    served like an approximate one and never as exact.  Neither tag
+    is ever upgraded to [Exact] by a cache hit. *)
+type tag = Exact | Approximate | Partial of int
 
-(** ["exact" | "approximate"]. *)
+(** ["exact" | "approximate" | "partial:<k>"]. *)
 val tag_to_string : tag -> string
 
 type 'a t
@@ -80,16 +84,20 @@ val snapshot : 'a t -> string list -> snapshot
 
 (** [store t ~key ~snapshot ~tag v] inserts or replaces the entry for
     [key].  The entry is served only while every relation in
-    [snapshot] still has its captured version. *)
+    [snapshot] still has its captured version.  Downgrades are
+    refused: an [Approximate] or [Partial] store is a no-op when a
+    {e live} [Exact] entry already holds the key, so a truncated
+    stream prefix can never erase a complete answer. *)
 val store : 'a t -> key:string -> snapshot:snapshot -> tag:tag -> 'a -> unit
 
 (** [lookup t key] — [Some (tag, v)] on a live entry, [None] on a
     miss.  A version mismatch drops the entry and counts it stale;
-    [~require_exact:true] additionally treats [Approximate] entries
-    as misses (without dropping them — an exact-only caller must not
-    evict the degraded answer other callers may still use).  A hit
-    refreshes the entry's LRU position.  Fires the ["cache.lookup"]
-    fault site (raise → miss, delay → stall). *)
+    [~require_exact:true] additionally treats [Approximate] and
+    [Partial] entries as misses (without dropping them — an
+    exact-only caller must not evict the degraded answer other
+    callers may still use).  A hit refreshes the entry's LRU
+    position.  Fires the ["cache.lookup"] fault site (raise → miss,
+    delay → stall). *)
 val lookup : ?require_exact:bool -> 'a t -> string -> (tag * 'a) option
 
 (** Number of live entries. *)

@@ -134,6 +134,12 @@ val env_knob :
       previous snapshot and the log are left intact — updates already
       acknowledged stay durable), a delay-mode fault stalls the
       snapshot writer;
+    - ["server.write"] — before every stream-frame write of
+      [Server]'s framed response protocol: a raise-mode fault fails
+      the frame mid-stream — the connection is torn down and the
+      streaming envelope settles as [Failed], so the quiescent
+      counter invariant still holds — and a delay-mode fault stalls
+      the writer inside the byte-fairness backpressure window;
     - ["*"] in a spec matches every site.
 
     Draws are from a seeded, mutex-protected [Random.State], so a given

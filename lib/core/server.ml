@@ -1,23 +1,45 @@
 (* Network serving layer: a stdlib-Unix TCP front end over Service.
-   Robustness layers (DESIGN.md §4f):
+   Robustness layers (DESIGN.md §4f, §4j):
      1. connection lifecycle — read/write deadlines, a max-line cap,
         a bounded connection count with structured "#busy" answers,
         and crash isolation per connection;
      2. per-client fairness quotas — a token bucket of in-flight
-        queries per client id, shed as overloaded before admission;
+        queries per client id, shed as overloaded before admission,
+        plus a token bucket of WRITTEN BYTES per client id with three
+        policies (throttle / shed / degrade);
      3. priority lanes — the #priority preamble maps onto
         Service.lane;
-     4. graceful drain — stop accepting, finish in-flight under a
+     4. streamed responses — results are written as bounded frames
+        with a guard check between frames, so deadlines, cancels and
+        #drain land mid-response with an explicit terminal marker;
+     5. graceful drain — stop accepting, finish in-flight under a
         deadline, then force-cancel via Service.drain/Guard.cancel,
         with counters proving the quiescent invariant at exit. *)
 
+type payload = Line of string | Stream of string Seq.t
+
 type job = {
-  run : pool:Pool.t option -> guard:Guard.t -> string;
-  fallback : (pool:Pool.t option -> string) option;
-  cache : string Service.cache_binding option;
+  run : pool:Pool.t option -> guard:Guard.t -> payload;
+  fallback : (pool:Pool.t option -> payload) option;
+  cache : payload Service.cache_binding option;
 }
 
-type handler = string -> (job, string) result
+type handler = stream:bool -> string -> (job, string) result
+
+type byte_policy = Throttle | Shed | Degrade
+
+let byte_policy_to_string = function
+  | Throttle -> "throttle"
+  | Shed -> "shed"
+  | Degrade -> "degrade"
+
+let byte_policy_of_string = function
+  | "throttle" -> Some Throttle
+  | "shed" -> Some Shed
+  | "degrade" -> Some Degrade
+  | _ -> None
+
+type byte_quota = { burst : int; rate : float; policy : byte_policy }
 
 type config = {
   host : string;
@@ -25,8 +47,11 @@ type config = {
   max_connections : int;
   max_line : int;
   read_timeout : float;
+  write_timeout : float;
   drain_deadline : float;
   client_quota : int option;
+  byte_quota : byte_quota option;
+  frame_items : int;
   stats : (unit -> string) option;
   snapshot : (unit -> (int, string) result) option;
   service : Service.config;
@@ -38,8 +63,11 @@ let default_config () =
     max_connections = 16;
     max_line = 64 * 1024;
     read_timeout = 10.0;
+    write_timeout = 10.0;
     drain_deadline = 5.0;
     client_quota = Some 4;
+    byte_quota = None;
+    frame_items = 64;
     stats = None;
     snapshot = None;
     service = Service.default_config () }
@@ -52,6 +80,13 @@ type counters = {
   oversized : int;
   timeouts : int;
   crashed : int;
+  streams : int;
+  frames : int;
+  bytes_out : int;
+  byte_shed : int;
+  byte_degraded : int;
+  throttle_parks : int;
+  slow_evicted : int;
 }
 
 type drain_stats = {
@@ -59,6 +94,12 @@ type drain_stats = {
   drain_ms : float;
   invariant_ok : bool;
 }
+
+(* per-client byte bucket: capacity [cap] (server burst unless lowered
+   by #bytes), refilled at the shared rate; tokens may go negative
+   (terminal markers debit unconditionally), which a Shed-policy
+   pre-admission check observes as exhaustion *)
+type bucket = { mutable tokens : float; mutable last : float; mutable cap : int }
 
 type t = {
   cfg : config;
@@ -73,6 +114,9 @@ type t = {
   conn_domains : (int, unit Domain.t) Hashtbl.t;
   mutable finished : int list;  (* handler domains ready to join *)
   quotas : (string, int) Hashtbl.t;  (* client id -> in-flight tokens *)
+  byte_lock : Mutex.t;  (* guards buckets and client_bytes *)
+  buckets : (string, bucket) Hashtbl.t;
+  client_bytes : (string, int) Hashtbl.t;  (* client id -> bytes written *)
   conn_next : int Atomic.t;
   mutable accept_domain : unit Domain.t option;
   c_accepted : int Atomic.t;
@@ -82,6 +126,13 @@ type t = {
   c_oversized : int Atomic.t;
   c_timeouts : int Atomic.t;
   c_crashed : int Atomic.t;
+  c_streams : int Atomic.t;
+  c_frames : int Atomic.t;
+  c_bytes_out : int Atomic.t;
+  c_byte_shed : int Atomic.t;
+  c_byte_degraded : int Atomic.t;
+  c_throttle_parks : int Atomic.t;
+  c_slow_evicted : int Atomic.t;
 }
 
 let port t = t.port
@@ -96,7 +147,14 @@ let counters t =
     quota_shed = Atomic.get t.c_quota_shed;
     oversized = Atomic.get t.c_oversized;
     timeouts = Atomic.get t.c_timeouts;
-    crashed = Atomic.get t.c_crashed }
+    crashed = Atomic.get t.c_crashed;
+    streams = Atomic.get t.c_streams;
+    frames = Atomic.get t.c_frames;
+    bytes_out = Atomic.get t.c_bytes_out;
+    byte_shed = Atomic.get t.c_byte_shed;
+    byte_degraded = Atomic.get t.c_byte_degraded;
+    throttle_parks = Atomic.get t.c_throttle_parks;
+    slow_evicted = Atomic.get t.c_slow_evicted }
 
 let now () = Unix.gettimeofday ()
 
@@ -105,9 +163,14 @@ let now () = Unix.gettimeofday ()
 (* ------------------------------------------------------------------ *)
 
 exception Client_gone
+exception Slow_reader
 
-(* write [s ^ "\n"] fully; SO_SNDTIMEO bounds each write, so a peer
-   that stops reading cannot park this connection forever *)
+(* write [s ^ "\n"] fully.  EINTR retries at the same offset; a write
+   of 0 bytes cannot make progress and is a hard connection error; an
+   EAGAIN/EWOULDBLOCK means SO_SNDTIMEO expired with the peer's window
+   still closed — a reader stalled past the write deadline, reported
+   distinctly so the caller can evict (and count) it rather than
+   mistake it for a disconnect *)
 let send_line fd s =
   let msg = Bytes.of_string (s ^ "\n") in
   let len = Bytes.length msg in
@@ -117,11 +180,13 @@ let send_line fd s =
       | 0 -> raise Client_gone
       | n -> go (off + n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        raise Slow_reader
       | exception Unix.Unix_error (_, _, _) -> raise Client_gone
   in
   go 0
 
-type read_result = Line of string | Timeout | Closed | Oversized
+type read_result = Rline of string | Timeout | Closed | Oversized
 
 (* per-connection receive state: bytes read but not yet consumed *)
 type rstate = { mutable pending : string }
@@ -146,7 +211,7 @@ let read_line ~max_line st fd =
   let rec go () =
     match take_line () with
     | Some line ->
-      if String.length line > max_line then Oversized else Line line
+      if String.length line > max_line then Oversized else Rline line
     | None ->
       if String.length st.pending > max_line then Oversized
       else begin
@@ -192,6 +257,129 @@ let quota_release t client =
     Mutex.unlock t.conn_lock
 
 (* ------------------------------------------------------------------ *)
+(* byte fairness: a token bucket of written bytes per client           *)
+(* ------------------------------------------------------------------ *)
+
+(* requires t.byte_lock held *)
+let bucket_for t q client =
+  match Hashtbl.find_opt t.buckets client with
+  | Some b -> b
+  | None ->
+    let b = { tokens = float_of_int q.burst; last = now (); cap = q.burst } in
+    Hashtbl.add t.buckets client b;
+    b
+
+(* requires t.byte_lock held *)
+let refill q b =
+  let tn = now () in
+  let dt = tn -. b.last in
+  if dt > 0.0 then begin
+    b.tokens <- Float.min (float_of_int b.cap) (b.tokens +. (q.rate *. dt));
+    b.last <- tn
+  end
+
+(* try to pay [n] bytes from the client's bucket; [`Wait d] = not
+   affordable for another [d] seconds (nothing debited) *)
+let byte_take t client n =
+  match t.cfg.byte_quota with
+  | None -> `Ok
+  | Some q ->
+    Mutex.lock t.byte_lock;
+    let b = bucket_for t q client in
+    refill q b;
+    let r =
+      if b.tokens >= float_of_int n then begin
+        b.tokens <- b.tokens -. float_of_int n;
+        `Ok
+      end
+      else `Wait ((float_of_int n -. b.tokens) /. q.rate)
+    in
+    Mutex.unlock t.byte_lock;
+    r
+
+(* unconditional debit (tokens may go negative): terminal markers and
+   protocol acks are never withheld, but they still consume quota *)
+let byte_debit t client n =
+  match t.cfg.byte_quota with
+  | None -> ()
+  | Some q ->
+    Mutex.lock t.byte_lock;
+    let b = bucket_for t q client in
+    refill q b;
+    b.tokens <- b.tokens -. float_of_int n;
+    Mutex.unlock t.byte_lock
+
+(* Shed-policy pre-admission check: an exhausted bucket sheds the
+   query before it costs an evaluation *)
+let byte_exhausted t client =
+  match t.cfg.byte_quota with
+  | None -> false
+  | Some q when q.policy <> Shed -> false
+  | Some q ->
+    Mutex.lock t.byte_lock;
+    let b = bucket_for t q client in
+    refill q b;
+    let r = b.tokens <= 0.0 in
+    Mutex.unlock t.byte_lock;
+    r
+
+(* lower (never raise) this client's bucket capacity; answers the
+   effective cap *)
+let byte_set_cap t client n =
+  match t.cfg.byte_quota with
+  | None -> None
+  | Some q ->
+    Mutex.lock t.byte_lock;
+    let b = bucket_for t q client in
+    refill q b;
+    b.cap <- max 64 (min q.burst n);
+    if b.tokens > float_of_int b.cap then b.tokens <- float_of_int b.cap;
+    let eff = b.cap in
+    Mutex.unlock t.byte_lock;
+    Some eff
+
+let byte_remaining t client =
+  match t.cfg.byte_quota with
+  | None -> None
+  | Some q ->
+    Mutex.lock t.byte_lock;
+    let b = bucket_for t q client in
+    refill q b;
+    let r = (b.cap, int_of_float (Float.max 0.0 b.tokens)) in
+    Mutex.unlock t.byte_lock;
+    Some r
+
+let record_bytes t client n =
+  ignore (Atomic.fetch_and_add t.c_bytes_out n);
+  Mutex.lock t.byte_lock;
+  Hashtbl.replace t.client_bytes client
+    (n + Option.value (Hashtbl.find_opt t.client_bytes client) ~default:0);
+  Mutex.unlock t.byte_lock
+
+let client_bytes t =
+  Mutex.lock t.byte_lock;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.client_bytes [] in
+  Mutex.unlock t.byte_lock;
+  List.sort compare l
+
+(* the "srv ..." segment of #stats: byte/stream counters plus the
+   per-client bytes-written map, next to the cache/pool/wal segments *)
+let stats_line t =
+  let c = counters t in
+  let per =
+    String.concat ","
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "%s=%d" (if k = "" then "anon" else k) v)
+         (client_bytes t))
+  in
+  Printf.sprintf
+    "bytes=%d streams=%d frames=%d byte_shed=%d byte_degraded=%d parks=%d \
+     slow_evicted=%d clients=[%s]"
+    c.bytes_out c.streams c.frames c.byte_shed c.byte_degraded
+    c.throttle_parks c.slow_evicted per
+
+(* ------------------------------------------------------------------ *)
 (* connection handler                                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -201,39 +389,267 @@ type conn = {
   mutable client : string;
   mutable lane : Service.lane;
   mutable lineno : int;
+  mutable stream : bool;  (* #stream on: results as framed streams *)
 }
 
-let outcome_line n ms = function
-  | Service.Ok s -> Printf.sprintf "[%d] ok %s %.1fms" n s ms
-  | Service.Degraded s -> Printf.sprintf "[%d] degraded %s %.1fms" n s ms
+(* every byte to an established peer flows through here *)
+let send t conn s =
+  send_line conn.fd s;
+  record_bytes t conn.client (String.length s + 1)
+
+(* pace a write of [n] bytes against the client's byte bucket.
+   [`Proceed] = affordable (debited); [`Over] = the Shed/Degrade
+   policy refuses to wait.  Under Throttle the writer parks right
+   here, in small guard-checked sleeps, so cancellation, deadline and
+   drain all land inside the backpressure window. *)
+let pace t conn ?guard n =
+  match t.cfg.byte_quota with
+  | None -> `Proceed
+  | Some q ->
+    let rec go parked =
+      match byte_take t conn.client n with
+      | `Ok -> `Proceed
+      | `Wait d -> (
+        match q.policy with
+        | Shed | Degrade -> `Over
+        | Throttle ->
+          if not parked then Atomic.incr t.c_throttle_parks;
+          (match guard with
+           | Some g -> Guard.check_exn g
+           | None ->
+             if Atomic.get t.draining then
+               raise (Guard.Interrupt Guard.Cancelled));
+          Unix.sleepf (Float.min d 0.02);
+          go true)
+    in
+    go false
+
+(* Finished deliveries carry no value (Ok/Degraded arrive as stream
+   handles), but render every constructor anyway *)
+let finished_line n ms = function
+  | Service.Ok (Line s) -> Printf.sprintf "[%d] ok %s %.1fms" n s ms
+  | Service.Degraded (Line s) -> Printf.sprintf "[%d] degraded %s %.1fms" n s ms
+  | Service.Ok (Stream _) | Service.Degraded (Stream _) ->
+    Printf.sprintf "[%d] failed: stream delivered without a handle" n
   | Service.Overloaded -> Printf.sprintf "[%d] overloaded" n
   | Service.Interrupted r ->
     Printf.sprintf "[%d] interrupted: %s" n (Guard.reason_to_string r)
   | Service.Failed e ->
     Printf.sprintf "[%d] failed: %s" n (Printexc.to_string e)
 
+(* mid-stream progress check: the handle's guard if it has one (its
+   deadline keeps ticking through the response; drain cancels it via
+   the in-flight table), the draining flag for guard-less cache-hit
+   replays *)
+let check_stream t g =
+  match g with
+  | Some g -> Guard.check_exn g
+  | None ->
+    if Atomic.get t.draining then raise (Guard.Interrupt Guard.Cancelled)
+
+(* Deliver one streaming handle and settle it with [finish] exactly
+   once, whatever happens: normal end, byte-policy truncation, guard
+   interrupt, injected write fault, peer disconnect, slow-reader
+   eviction.  Frame loop invariant: every response ends with exactly
+   one terminal line unless the connection itself is torn down. *)
+let deliver t conn n t0 ~release (h : payload Service.stream_handle) =
+  let bytes = ref 0 in
+  let sent = ref 0 in
+  let ms () = (now () -. t0) *. 1000.0 in
+  let finish_with o = h.finish ~bytes:!bytes o in
+  let write_raw s =
+    send_line conn.fd s;
+    let c = String.length s + 1 in
+    record_bytes t conn.client c;
+    bytes := !bytes + c
+  in
+  (* terminal markers and acks are never withheld by the bucket, but
+     they still debit it *)
+  let write_term s =
+    byte_debit t conn.client (String.length s + 1);
+    write_raw s
+  in
+  (* settle the envelope BEFORE its terminal line reaches the wire: a
+     client that has read a response's last line observes the counters
+     already moved (the quiescent invariant is checkable right after a
+     drained response).  If the write then fails, the once-only finish
+     makes the teardown path's defensive [Failed] a no-op.  [debit]
+     marks terminal lines that bypassed [pace]. *)
+  let settled_write ?(debit = false) s outcome =
+    let c = String.length s + 1 in
+    if debit then byte_debit t conn.client c;
+    bytes := !bytes + c;
+    finish_with outcome;
+    (* the in-flight quota token frees with the envelope, not after
+       the physical write: a client that reads the terminal line may
+       immediately reuse its token *)
+    release ();
+    send_line conn.fd s;
+    record_bytes t conn.client c
+  in
+  (* store rules: a fully drained exact answer is Exact, a fully
+     drained degraded (Q⁺) answer is Approximate, a truncated exact
+     prefix is Partial k (k > 0) — and a truncated *degraded* answer
+     is not cached at all (a prefix of an approximation has no clean
+     dependency story) *)
+  let store_full () =
+    if h.degraded then h.store Cache.Approximate h.value
+    else h.store Cache.Exact h.value
+  in
+  let store_prefix k = if k > 0 && not h.degraded then h.store (Cache.Partial k) h.value in
+  let body () =
+    match h.value with
+    | Line s ->
+      let verdict = if h.degraded then "degraded" else "ok" in
+      let line = Printf.sprintf "[%d] %s %s %.1fms" n verdict s (ms ()) in
+      (match pace t conn ?guard:h.guard (String.length line + 1) with
+       | `Proceed ->
+         store_full ();
+         settled_write line
+           (if h.degraded then Service.Degraded h.value else Service.Ok h.value)
+       | `Over ->
+         (* a single-line answer cannot be prefixed: Shed and Degrade
+            both refuse it whole *)
+         Atomic.incr t.c_byte_shed;
+         settled_write ~debit:true
+           (Printf.sprintf "[%d] overloaded (byte quota)" n)
+           Service.Overloaded)
+    | Stream seq ->
+      Atomic.incr t.c_streams;
+      write_term (Printf.sprintf "[%d] stream" n);
+      (* a Partial cache hit replays only its valid prefix *)
+      let seq = match h.prefix with Some k -> Seq.take k seq | None -> seq in
+      let policy =
+        match t.cfg.byte_quota with Some q -> q.policy | None -> Throttle
+      in
+      let finish_ok () =
+        (* a Partial replay drains only its cached prefix: repeat the
+           original truncation terminal so the client never mistakes it
+           for a complete answer; a full degraded (Q⁺) stream is marked
+           on its end line *)
+        let line =
+          match h.prefix with
+          | Some _ ->
+            Printf.sprintf "[%d] degraded: byte quota after %d" n !sent
+          | None ->
+            Printf.sprintf "[%d] end %d %.1fms%s" n !sent (ms ())
+              (if h.degraded then " degraded" else "")
+        in
+        store_full ();
+        settled_write ~debit:true line
+          (if h.degraded then Service.Degraded h.value else Service.Ok h.value)
+      in
+      let buf = Buffer.create 256 in
+      let rec frames seq =
+        check_stream t h.guard;
+        Buffer.clear buf;
+        let rec fill seq k =
+          if k >= t.cfg.frame_items then (k, `More seq)
+          else
+            match seq () with
+            | Seq.Nil -> (k, `End)
+            | Seq.Cons (item, rest) ->
+              Buffer.add_string buf item;
+              fill rest (k + 1)
+        in
+        let k, rest = fill seq 0 in
+        if k = 0 then finish_ok ()
+        else begin
+          let line = Printf.sprintf "[%d] + %s" n (Buffer.contents buf) in
+          match pace t conn ?guard:h.guard (String.length line + 1) with
+          | `Proceed ->
+            (* the mid-stream fault site: raise tears the connection
+               down between two frames, delay stalls the writer inside
+               the pacing window *)
+            Guard.inject "server.write";
+            write_raw line;
+            Atomic.incr t.c_frames;
+            sent := !sent + k;
+            (match rest with `More s -> frames s | `End -> finish_ok ())
+          | `Over -> (
+            match policy with
+            | Degrade ->
+              (* stop at a limit-K prefix, report it degraded, cache
+                 it Partial: mirrors the Q⁺ degradation contract *)
+              Atomic.incr t.c_byte_degraded;
+              store_prefix !sent;
+              settled_write ~debit:true
+                (Printf.sprintf "[%d] degraded: byte quota after %d" n !sent)
+                (Service.Degraded h.value)
+            | Shed | Throttle ->
+              Atomic.incr t.c_byte_shed;
+              settled_write ~debit:true
+                (Printf.sprintf "[%d] truncated: byte quota after %d" n !sent)
+                Service.Overloaded)
+        end
+      in
+      (match frames seq with
+       | () -> ()
+       | exception Guard.Interrupt (Guard.Cancelled as r) ->
+         settled_write ~debit:true
+           (Printf.sprintf "[%d] cancelled after %d" n !sent)
+           (Service.Interrupted r)
+       | exception Guard.Interrupt r ->
+         (* deadline (or a budget charged mid-render): sound prefix,
+            explicit truncation marker, Partial cache entry *)
+         store_prefix !sent;
+         settled_write ~debit:true
+           (Printf.sprintf "[%d] truncated: %s after %d" n
+              (Guard.reason_to_string r) !sent)
+           (Service.Interrupted r))
+  in
+  match body () with
+  | () -> ()
+  | exception e ->
+    (* connection-level failure (peer gone, slow reader, injected
+       write fault): no terminal line can be delivered; settle the
+       envelope as failed and let the connection tear down *)
+    finish_with (Service.Failed e);
+    raise e
+
 let handle_query t conn sql =
   conn.lineno <- conn.lineno + 1;
   let n = conn.lineno in
-  match t.handler sql with
-  | Error msg -> send_line conn.fd (Printf.sprintf "[%d] parse error: %s" n msg)
+  match t.handler ~stream:conn.stream sql with
+  | Error msg ->
+    send t conn (Printf.sprintf "[%d] parse error: %s" n msg)
   | Ok job ->
-    if not (quota_acquire t conn.client) then begin
+    if byte_exhausted t conn.client then begin
+      (* Shed policy, empty bucket: refuse before evaluation *)
+      Atomic.incr t.c_byte_shed;
+      send t conn (Printf.sprintf "[%d] overloaded (byte quota)" n)
+    end
+    else if not (quota_acquire t conn.client) then begin
       Atomic.incr t.c_quota_shed;
-      send_line conn.fd (Printf.sprintf "[%d] overloaded (client quota)" n)
+      send t conn (Printf.sprintf "[%d] overloaded (client quota)" n)
     end
     else begin
       Atomic.incr t.c_queries;
       let t0 = now () in
-      let outcome =
-        Fun.protect
-          ~finally:(fun () -> quota_release t conn.client)
-          (fun () ->
-            Service.run ~lane:conn.lane ?fallback:job.fallback
-              ?cache:job.cache t.svc
-              (fun ~pool ~guard -> job.run ~pool ~guard))
+      (* the in-flight quota token covers the whole delivery: a slow
+         streamed response still counts against its client.  It frees
+         when the envelope settles (idempotently — the Fun.protect is
+         the backstop for teardown paths that never reach a terminal
+         line) *)
+      let released = ref false in
+      let release () =
+        if not !released then begin
+          released := true;
+          quota_release t conn.client
+        end
       in
-      send_line conn.fd (outcome_line n ((now () -. t0) *. 1000.0) outcome)
+      Fun.protect ~finally:release (fun () ->
+          match
+            Service.run_stream ~lane:conn.lane ?fallback:job.fallback
+              ?cache:job.cache t.svc
+              (fun ~pool ~guard -> job.run ~pool ~guard)
+          with
+          | Service.Finished outcome ->
+            (* already counted at resolution: free the token before
+               the line announcing the outcome reaches the wire *)
+            release ();
+            send t conn (finished_line n ((now () -. t0) *. 1000.0) outcome)
+          | Service.Streaming h -> deliver t conn n t0 ~release h)
     end
 
 let split_words s =
@@ -244,60 +660,88 @@ let handle_directive t conn line =
   match split_words line with
   | [ "#client"; id ] ->
     conn.client <- id;
-    send_line conn.fd ("#ok client " ^ id);
+    send t conn ("#ok client " ^ id);
     true
   | [ "#priority"; p ] ->
     (match Service.lane_of_string p with
      | Some lane ->
        conn.lane <- lane;
-       send_line conn.fd ("#ok priority " ^ p);
+       send t conn ("#ok priority " ^ p);
        true
      | None ->
-       send_line conn.fd ("#err unknown priority " ^ p);
+       send t conn ("#err unknown priority " ^ p);
        true)
+  | [ "#stream"; ("on" | "off") as v ] ->
+    conn.stream <- v = "on";
+    send t conn ("#ok stream " ^ v);
+    true
+  | [ "#bytes" ] ->
+    (match byte_remaining t conn.client with
+     | None -> send t conn "#ok bytes budget=unlimited"
+     | Some (cap, remaining) ->
+       send t conn
+         (Printf.sprintf "#ok bytes budget=%d remaining=%d" cap remaining));
+    true
+  | [ "#bytes"; num ] ->
+    (match int_of_string_opt num with
+     | None ->
+       send t conn ("#err bytes: not a number: " ^ num);
+       true
+     | Some v -> (
+       match byte_set_cap t conn.client v with
+       | None ->
+         send t conn "#err bytes: no byte quota configured";
+         true
+       | Some eff ->
+         send t conn (Printf.sprintf "#ok bytes budget=%d" eff);
+         true))
   | [ "#drain" ] ->
     (* flag first: a client that has seen the ack may immediately
        observe the server as draining *)
     drain t;
-    send_line conn.fd "#ok draining";
+    send t conn "#ok draining";
     false
   | [ "#counters" ] ->
     let c = counters t in
     let s = Service.counters t.svc in
-    send_line conn.fd
+    send t conn
       (Printf.sprintf
          "#counters accepted=%d busy=%d queries=%d quota_shed=%d \
           oversized=%d timeouts=%d crashed=%d admitted=%d completed=%d \
-          degraded=%d shed=%d retried=%d failed=%d"
+          degraded=%d shed=%d retried=%d failed=%d streams=%d frames=%d \
+          bytes=%d byte_shed=%d byte_degraded=%d parks=%d slow_evicted=%d"
          c.accepted c.rejected_busy c.queries c.quota_shed c.oversized
          c.timeouts c.crashed s.Service.admitted s.Service.completed
-         s.Service.degraded s.Service.shed s.Service.retried s.Service.failed);
+         s.Service.degraded s.Service.shed s.Service.retried s.Service.failed
+         c.streams c.frames c.bytes_out c.byte_shed c.byte_degraded
+         c.throttle_parks c.slow_evicted);
     true
   | [ "#stats" ] ->
-    (match t.cfg.stats with
-     | Some render -> send_line conn.fd ("#stats " ^ render ())
-     | None -> send_line conn.fd "#stats cache disabled");
+    let body =
+      match t.cfg.stats with Some render -> render () | None -> "cache disabled"
+    in
+    send t conn ("#stats " ^ body ^ " | srv " ^ stats_line t);
     true
   | [ "#snapshot" ] ->
     (* runs on this connection's domain: the hook serialises against
        the update path itself, and a slow snapshot stalls only this
        client *)
     (match t.cfg.snapshot with
-     | None -> send_line conn.fd "#err snapshot: no durable --data directory"
+     | None -> send t conn "#err snapshot: no durable --data directory"
      | Some hook ->
        (match hook () with
-        | Ok s -> send_line conn.fd (Printf.sprintf "#ok snapshot seq=%d" s)
-        | Error msg -> send_line conn.fd ("#err snapshot: " ^ msg)
+        | Ok s -> send t conn (Printf.sprintf "#ok snapshot seq=%d" s)
+        | Error msg -> send t conn ("#err snapshot: " ^ msg)
         | exception e ->
-          send_line conn.fd ("#err snapshot: " ^ Printexc.to_string e)));
+          send t conn ("#err snapshot: " ^ Printexc.to_string e)));
     true
   | _ ->
-    send_line conn.fd "#err unknown directive";
+    send t conn "#err unknown directive";
     true
 
 let handle_conn t fd =
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.read_timeout;
-  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.read_timeout;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.write_timeout;
   (try Unix.setsockopt fd Unix.TCP_NODELAY true
    with Unix.Unix_error _ | Invalid_argument _ -> ());
   let conn =
@@ -305,21 +749,22 @@ let handle_conn t fd =
       rs = { pending = "" };
       client = "";
       lane = Service.Normal;
-      lineno = 0 }
+      lineno = 0;
+      stream = false }
   in
   let rec loop () =
-    if Atomic.get t.draining then send_line fd "#draining"
+    if Atomic.get t.draining then send t conn "#draining"
     else
       match read_line ~max_line:t.cfg.max_line conn.rs fd with
       | Closed -> ()
       | Timeout ->
         Atomic.incr t.c_timeouts;
-        send_line fd "#err read timeout"
+        send t conn "#err read timeout"
       | Oversized ->
         Atomic.incr t.c_oversized;
-        send_line fd
+        send t conn
           (Printf.sprintf "#err line too long (max %d bytes)" t.cfg.max_line)
-      | Line raw ->
+      | Rline raw ->
         let line = String.trim raw in
         if line = "" then loop ()
         else if line.[0] = '#' then begin
@@ -333,13 +778,14 @@ let handle_conn t fd =
   loop ()
 
 (* crash isolation: whatever happens inside [handle_conn] — a peer
-   disconnect mid-write, a handler exception, an injected fault that
-   escaped classification — ends this connection only, never the
-   accept loop *)
+   disconnect mid-write, a slow reader evicted at the write deadline,
+   a handler exception, an injected fault that escaped classification
+   — ends this connection only, never the accept loop *)
 let conn_main t id fd () =
   (match handle_conn t fd with
    | () -> ()
    | exception Client_gone -> ()
+   | exception Slow_reader -> Atomic.incr t.c_slow_evicted
    | exception _ -> Atomic.incr t.c_crashed);
   (try Unix.close fd with Unix.Unix_error _ -> ());
   Mutex.lock t.conn_lock;
@@ -392,7 +838,7 @@ let accept_loop t () =
              (try
                 Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
                 send_line fd "#draining"
-              with Client_gone | Unix.Unix_error _ -> ());
+              with Client_gone | Slow_reader | Unix.Unix_error _ -> ());
              (try Unix.close fd with Unix.Unix_error _ -> ())
            end
            else if Atomic.get t.live_conns >= t.cfg.max_connections then begin
@@ -402,7 +848,7 @@ let accept_loop t () =
              (try
                 Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.0;
                 send_line fd "#busy"
-              with Client_gone | Unix.Unix_error _ -> ());
+              with Client_gone | Slow_reader | Unix.Unix_error _ -> ());
              (try Unix.close fd with Unix.Unix_error _ -> ())
            end
            else begin
@@ -442,8 +888,15 @@ let create cfg handler =
       max_connections = max 1 cfg.max_connections;
       max_line = max 16 cfg.max_line;
       read_timeout = Float.max 0.01 cfg.read_timeout;
+      write_timeout = Float.max 0.01 cfg.write_timeout;
       drain_deadline = Float.max 0.0 cfg.drain_deadline;
-      client_quota = Option.map (max 1) cfg.client_quota }
+      client_quota = Option.map (max 1) cfg.client_quota;
+      frame_items = max 1 cfg.frame_items;
+      byte_quota =
+        Option.map
+          (fun q ->
+            { q with burst = max 64 q.burst; rate = Float.max 1.0 q.rate })
+          cfg.byte_quota }
   in
   (* a peer that disconnects mid-response turns write(2) into SIGPIPE;
      we want the EPIPE error (handled per connection), not the signal *)
@@ -475,6 +928,9 @@ let create cfg handler =
       conn_domains = Hashtbl.create 16;
       finished = [];
       quotas = Hashtbl.create 16;
+      byte_lock = Mutex.create ();
+      buckets = Hashtbl.create 16;
+      client_bytes = Hashtbl.create 16;
       conn_next = Atomic.make 0;
       accept_domain = None;
       c_accepted = Atomic.make 0;
@@ -483,7 +939,14 @@ let create cfg handler =
       c_quota_shed = Atomic.make 0;
       c_oversized = Atomic.make 0;
       c_timeouts = Atomic.make 0;
-      c_crashed = Atomic.make 0 }
+      c_crashed = Atomic.make 0;
+      c_streams = Atomic.make 0;
+      c_frames = Atomic.make 0;
+      c_bytes_out = Atomic.make 0;
+      c_byte_shed = Atomic.make 0;
+      c_byte_degraded = Atomic.make 0;
+      c_throttle_parks = Atomic.make 0;
+      c_slow_evicted = Atomic.make 0 }
   in
   t.accept_domain <- Some (Domain.spawn (accept_loop t));
   t
@@ -508,12 +971,15 @@ let wait t =
   let live () = Atomic.get t.live_conns > 0 in
   (* phase 1: let in-flight envelopes finish under the drain deadline *)
   sleep_while live (t0 +. t.cfg.drain_deadline);
-  (* phase 2: force-cancel whatever is still running *)
+  (* phase 2: force-cancel whatever is still running — including
+     streams mid-response, whose guards sit in the service's in-flight
+     table until their finish *)
   let forced = if live () then Service.drain t.svc else 0 in
-  (* phase 3: handlers unblock (cancelled outcomes, read timeouts) and
-     exit on the draining flag; a last-resort socket shutdown unwedges
-     any connection still stuck in IO *)
-  sleep_while live (now () +. t.cfg.read_timeout +. 1.0);
+  (* phase 3: handlers unblock (cancelled outcomes, read timeouts,
+     write deadlines) and exit on the draining flag; a last-resort
+     socket shutdown unwedges any connection still stuck in IO *)
+  sleep_while live
+    (now () +. Float.max t.cfg.read_timeout t.cfg.write_timeout +. 1.0);
   if live () then begin
     Mutex.lock t.conn_lock;
     Hashtbl.iter

@@ -1,68 +1,140 @@
 (** Network serving layer: a fair, prioritised, drain-safe TCP front
-    end over {!Service} (DESIGN.md §4f).
+    end over {!Service} (DESIGN.md §4f, §4j).
 
-    Certain-answer evaluation is coNP-hard in the worst case, so a
+    Certain-answer evaluation is coNP-hard in the worst case and its
+    answer sets can be astronomically larger than their inputs, so a
     listener facing real clients must assume peers are slow, greedy or
     crashing and still keep the shared pool fair.  The server speaks
     the newline-delimited protocol of [incdb serve] and multiplexes
     every connection over one {!Service}; robustness is layered:
 
     - {b connection lifecycle}: per-connection read/write deadlines
-      ([SO_RCVTIMEO]/[SO_SNDTIMEO], so slowloris peers and
-      stopped-reader peers are bounded), a max-line byte cap, a bounded
-      concurrent-connection count answered with a structured ["#busy"]
-      line when full, and crash isolation — one connection's exception
-      never reaches the accept loop;
+      ([SO_RCVTIMEO]/[SO_SNDTIMEO] — slowloris peers are bounded by
+      the read deadline, and a reader stalled past [write_timeout] is
+      {e evicted} and counted [slow_evicted]), a max-line byte cap, a
+      bounded concurrent-connection count answered with a structured
+      ["#busy"] line when full, and crash isolation — one connection's
+      exception never reaches the accept loop;
     - {b per-client fairness quotas}: a token bucket of in-flight
       queries per client (keyed by connection, overridable with the
       [#client <id>] preamble) sheds over-quota submissions as
       ["overloaded (client quota)"] {e before} they reach the service
-      admission queue, so no client occupies more than its share of the
-      workers;
+      admission queue, and a token bucket of {e written bytes} per
+      client ({!byte_quota}) bounds the one resource the query count
+      does not — response bandwidth;
     - {b priority lanes}: the [#priority high|normal|low] preamble
       selects the {!Service.lane} for subsequent queries;
+    - {b streamed responses}: after [#stream on], query results are
+      delivered as bounded frames with a guard check between frames
+      ({!Service.run_stream}), so a deadline, [Guard.cancel] or
+      [#drain] cancels {e mid-response} with an explicit terminal
+      marker — never a silently short result — and a peak writer
+      memory of O(frame), not O(result);
     - {b graceful drain}: {!drain} (wired to SIGTERM and the [#drain]
       directive) stops accepting, lets in-flight envelopes finish under
-      [drain_deadline], then force-cancels via {!Service.drain}; the
-      returned {!drain_stats} prove the quiescent invariant
-      [admitted = completed + shed + failed] held at exit.
+      [drain_deadline], then force-cancels via {!Service.drain} — this
+      reaches streams mid-response, whose guards stay registered until
+      delivery settles; the returned {!drain_stats} prove the quiescent
+      invariant [admitted = completed + shed + failed] held at exit.
 
     {2 Protocol}
 
     Requests are newline-delimited.  A line starting with [#] is a
-    directive ([#client <id>], [#priority <lane>], [#drain],
-    [#counters], [#stats] — the semantic-cache counters rendered by
-    the [stats] config hook, or ["#stats cache disabled"]); anything
-    else is handed to the request handler.
-    Every request line gets exactly one response line:
+    directive ([#client <id>], [#priority <lane>], [#stream on|off],
+    [#bytes \[<n>\]], [#drain], [#counters], [#snapshot], [#stats] —
+    the cache/pool/wal segments rendered by the [stats] config hook
+    followed by [" | srv "] and the server's own byte/stream counters
+    with the per-client bytes map); anything else is handed to the
+    request handler.
+
+    A single-line response is exactly one line:
     [[n] ok <payload> <ms>ms], [[n] degraded <payload> <ms>ms],
     [[n] overloaded], [[n] overloaded (client quota)],
-    [[n] interrupted: <reason>], [[n] failed: <msg>] or
-    [[n] parse error: <msg>], with [n] the per-connection request
-    number.  Connection-level events use [#]-prefixed lines:
-    ["#busy"], ["#draining"], ["#err read timeout"],
-    ["#err line too long (max N bytes)"].  Queries on one connection
-    are processed sequentially (pipeline by opening several
-    connections, which is also how a [#client] id spans quota across
-    connections). *)
+    [[n] overloaded (byte quota)], [[n] interrupted: <reason>],
+    [[n] failed: <msg>] or [[n] parse error: <msg>], with [n] the
+    per-connection request number.
+
+    A streamed response ({!Stream} payloads) is a framed sequence:
+
+    {v
+    [n] stream
+    [n] + <items>        (≤ frame_items items per frame)
+    [n] + <items>
+    [n] end <k> <ms>ms                      (all k items delivered)
+    v}
+
+    where the concatenation of the frame payloads is byte-identical
+    to the old fully-rendered response.  A fully drained {e degraded}
+    (Q⁺ fallback or [Approximate] cache hit) stream ends with
+    [[n] end <k> <ms>ms degraded] instead.  A stream that cannot
+    finish ends with exactly one terminal marker instead of [end]:
+    [[n] cancelled after <k>] (drain or [Guard.cancel]),
+    [[n] truncated: <reason> after <k>] (deadline, or byte quota
+    under the Shed policy), or [[n] degraded: byte quota after <k>]
+    (Degrade policy: the delivered prefix is a sound, limit-K answer,
+    cached as [Partial k] — never served as exact).  Connection-level
+    events use [#]-prefixed lines: ["#busy"], ["#draining"],
+    ["#err read timeout"], ["#err line too long (max N bytes)"].
+    Queries on one connection are processed sequentially (pipeline by
+    opening several connections, which is also how a [#client] id
+    spans quota across connections). *)
+
+(** What one request evaluates to: a single pre-rendered line, or a
+    sequence of pre-rendered items (each item carries its own
+    separator; no newlines) that the server packs into frames.  The
+    sequence must be persistent (safe to re-read) if it is to be
+    cached and replayed. *)
+type payload = Line of string | Stream of string Seq.t
 
 (** What the server runs for one request line: [run] executes under
-    the service's pool/guard envelope and renders a {e single-line}
-    result; [fallback] (optional) is the degraded answer on budget
-    exhaustion, as in {!Service.submit}; [cache] (optional) binds the
-    request to a semantic result cache of rendered response lines —
-    hits answer before admission, tagged outcomes are preserved
-    ([Exact] → [ok], [Approximate] → [degraded]). *)
+    the service's pool/guard envelope; [fallback] (optional) is the
+    degraded answer on budget exhaustion, as in {!Service.submit};
+    [cache] (optional) binds the request to a semantic result cache
+    of payloads — hits answer before admission, tagged outcomes are
+    preserved ([Exact] → [ok]/[end], [Approximate] → [degraded],
+    [Partial k] → a replay of the first [k] items ending in
+    [degraded: byte quota after k]'s terminal shape). *)
 type job = {
-  run : pool:Pool.t option -> guard:Guard.t -> string;
-  fallback : (pool:Pool.t option -> string) option;
-  cache : string Service.cache_binding option;
+  run : pool:Pool.t option -> guard:Guard.t -> payload;
+  fallback : (pool:Pool.t option -> payload) option;
+  cache : payload Service.cache_binding option;
 }
 
 (** Compiles one request line into a job, or an error message —
     keeping the server generic over the query language (the CLI wires
-    SQL certain-answer evaluation; tests wire toy jobs). *)
-type handler = string -> (job, string) result
+    SQL certain-answer evaluation; tests wire toy jobs).  [stream] is
+    the connection's [#stream] preference: handlers should produce
+    {!Stream} payloads only when it is on, so legacy clients keep
+    single-line responses. *)
+type handler = stream:bool -> string -> (job, string) result
+
+(** What to do when a client's byte bucket cannot afford the next
+    write. *)
+type byte_policy =
+  | Throttle
+      (** park the writer (in small guard-checked sleeps) until the
+          bucket refills: the client is slowed to its fair rate, and
+          cancellation/deadline/drain still land inside the pause *)
+  | Shed
+      (** refuse: an exhausted bucket sheds new queries pre-admission
+          as ["overloaded (byte quota)"], and truncates an in-flight
+          stream with ["truncated: byte quota after k"] *)
+  | Degrade
+      (** stop the stream at the delivered prefix and report it as a
+          degraded limit-K answer (["degraded: byte quota after k"]),
+          cached as [Partial k] — mirroring the Q⁺ degradation
+          contract *)
+
+val byte_policy_to_string : byte_policy -> string
+val byte_policy_of_string : string -> byte_policy option
+
+(** Per-client byte budget: a token bucket of [burst] bytes refilled
+    at [rate] bytes/second (clamped to ≥ 64 and ≥ 1.0), keyed by the
+    same client id as the query quota.  Every protocol line a client
+    receives debits its bucket; terminal markers and acks are never
+    withheld but still debit (possibly below zero).  A client may
+    lower — never raise — its own cap with [#bytes <n>]. *)
+type byte_quota = { burst : int; rate : float; policy : byte_policy }
 
 type config = {
   host : string;  (** bind address, e.g. ["127.0.0.1"] *)
@@ -70,17 +142,29 @@ type config = {
   max_connections : int;  (** concurrent connections (clamped ≥ 1) *)
   max_line : int;  (** request-line byte cap (clamped ≥ 16) *)
   read_timeout : float;
-      (** seconds a single read/write may block before the connection
-          is answered with a timeout error and closed *)
+      (** seconds a single read may block before the connection is
+          answered with a timeout error and closed *)
+  write_timeout : float;
+      (** seconds a single write may stall on a full peer window
+          before the reader is evicted ([slow_evicted]); bounds how
+          long a slow reader can pin its own connection domain — it
+          never pins anyone else's *)
   drain_deadline : float;
       (** seconds {!wait} lets in-flight queries finish before
           force-cancelling them *)
   client_quota : int option;
-      (** max in-flight queries per client id ([None] = unlimited) *)
+      (** max in-flight queries per client id ([None] = unlimited);
+          the token covers a streamed response until its terminal
+          line *)
+  byte_quota : byte_quota option;
+      (** per-client written-byte budget ([None] = unlimited) *)
+  frame_items : int;
+      (** max items per stream frame (clamped ≥ 1): bounds both the
+          frame's line length and the writer's working set *)
   stats : (unit -> string) option;
-      (** renders the [#stats] response body (the CLI wires
-          [Cache.stats_line]); [None] answers ["#stats cache
-          disabled"] *)
+      (** renders the cache/pool/wal segments of the [#stats]
+          response; the server appends its own [" | srv ..."] segment
+          either way.  [None] renders ["cache disabled"]. *)
   snapshot : (unit -> (int, string) result) option;
       (** serves the [#snapshot] directive: force a durability
           snapshot now, answering ["#ok snapshot seq=N"] on success
@@ -92,8 +176,9 @@ type config = {
 }
 
 (** Loopback host, ephemeral port, 16 connections, 64 KiB lines, 10 s
-    read timeout, 5 s drain deadline, quota 4, no stats or snapshot
-    hooks, and {!Service.default_config}. *)
+    read and write timeouts, 5 s drain deadline, quota 4, no byte
+    quota, 64-item frames, no stats or snapshot hooks, and
+    {!Service.default_config}. *)
 val default_config : unit -> config
 
 (** Monotone live counters (server level; see {!Service.counters} via
@@ -102,10 +187,25 @@ type counters = {
   accepted : int;  (** connections accepted (including busy-rejected) *)
   rejected_busy : int;  (** connections answered ["#busy"] *)
   queries : int;  (** request lines submitted to the service *)
-  quota_shed : int;  (** requests shed by the per-client quota *)
+  quota_shed : int;  (** requests shed by the per-client query quota *)
   oversized : int;  (** connections dropped over the line cap *)
   timeouts : int;  (** connections dropped on a read timeout *)
-  crashed : int;  (** connections ended by an unexpected exception *)
+  crashed : int;  (** connections ended by an unexpected exception
+                      (injected [server.write] faults included) *)
+  streams : int;  (** framed stream responses started *)
+  frames : int;  (** stream frames written *)
+  bytes_out : int;  (** total bytes written to established peers *)
+  byte_shed : int;
+      (** queries refused and streams truncated by the byte quota
+          under the Shed policy *)
+  byte_degraded : int;
+      (** streams downgraded to a limit-K prefix by the Degrade
+          policy *)
+  throttle_parks : int;
+      (** writer parks in the Throttle backpressure window *)
+  slow_evicted : int;
+      (** connections evicted because the peer stalled a write past
+          [write_timeout] *)
 }
 
 (** What {!wait} observed while draining. *)
@@ -124,6 +224,12 @@ type t
     and the service workers, and returns the running server.  Installs
     [Signal_ignore] for SIGPIPE (peer disconnects surface as [EPIPE]
     and end only their connection).
+
+    The ["server.write"] fault-injection site fires before every
+    stream-frame write: raise mode fails the frame — the connection is
+    torn down and the envelope settles as [Failed], counters staying
+    consistent — and delay mode stalls the writer inside the
+    backpressure window.
     @raise Invalid_argument if the host does not resolve.
     @raise Unix.Unix_error if the bind/listen fails. *)
 val create : config -> handler -> t
@@ -136,6 +242,12 @@ val service : t -> Service.t
 
 val counters : t -> counters
 
+(** The [" srv ..."] segment of the [#stats] line: byte/stream
+    counters plus the per-client bytes-written map, e.g.
+    ["bytes=512 streams=2 frames=9 byte_shed=0 byte_degraded=1 \
+      parks=3 slow_evicted=0 clients=[alice=384,anon=128]"]. *)
+val stats_line : t -> string
+
 (** [drain t] initiates a graceful drain: only sets an atomic flag, so
     it is safe to call from a signal handler.  The accept loop stops
     within its poll tick; {!wait} completes the drain.  Idempotent,
@@ -147,7 +259,9 @@ val draining : t -> bool
 (** [wait t] blocks until a drain is initiated (by {!drain}, SIGTERM
     wiring, or a client's [#drain]) and then completes it: joins the
     accept loop, waits up to [drain_deadline] for in-flight queries,
-    force-cancels the rest via {!Service.drain}, unwedges any
-    connection still stuck in IO, joins every connection domain, shuts
-    the service down and returns the {!drain_stats}.  Call once. *)
+    force-cancels the rest via {!Service.drain} (streams mid-response
+    included: their next frame check turns into a [cancelled after k]
+    terminal), unwedges any connection still stuck in IO, joins every
+    connection domain, shuts the service down and returns the
+    {!drain_stats}.  Call once. *)
 val wait : t -> drain_stats

@@ -70,6 +70,8 @@ type counters = {
   degraded : int;
   completed : int;
   failed : int;
+  streams : int;
+  stream_bytes : int;
 }
 
 type 'a ticket = {
@@ -77,6 +79,20 @@ type 'a ticket = {
   ticket_lock : Mutex.t;
   resolved : Condition.t;
 }
+
+(* streaming delivery: the evaluated value is handed to the caller
+   before its outcome is decided — the caller writes it out
+   incrementally and settles the envelope with [finish] *)
+type 'a stream_handle = {
+  value : 'a;
+  degraded : bool;
+  prefix : int option;
+  guard : Guard.t option;
+  store : Cache.tag -> 'a -> unit;
+  finish : ?bytes:int -> 'a outcome -> unit;
+}
+
+type 'a delivery = Finished of 'a outcome | Streaming of 'a stream_handle
 
 (* how a submission talks to the semantic result cache; see submit *)
 type 'a cache_binding = {
@@ -114,6 +130,8 @@ type t = {
   c_degraded : int Atomic.t;
   c_completed : int Atomic.t;
   c_failed : int Atomic.t;
+  c_streams : int Atomic.t;
+  c_stream_bytes : int Atomic.t;
 }
 
 let config t = t.cfg
@@ -138,7 +156,9 @@ let counters t =
     retried = Atomic.get t.c_retried;
     degraded = Atomic.get t.c_degraded;
     completed = Atomic.get t.c_completed;
-    failed = Atomic.get t.c_failed }
+    failed = Atomic.get t.c_failed;
+    streams = Atomic.get t.c_streams;
+    stream_bytes = Atomic.get t.c_stream_bytes }
 
 let pending t =
   Mutex.lock t.lock;
@@ -154,17 +174,22 @@ let pending_lane t lane =
 
 let draining t = Atomic.get t.draining
 
-(* counter bookkeeping and ticket resolution in one place, so the
-   quiescent invariant [admitted = completed + shed + failed] holds by
-   construction: every outcome lands in exactly one of the three *)
+(* counter bookkeeping in one place, so the quiescent invariant
+   [admitted = completed + shed + failed] holds by construction: every
+   outcome lands in exactly one of the three.  Ticket submissions
+   count here via [publish]; streaming deliveries count when the
+   caller settles the envelope with [finish]. *)
+let count_outcome t outcome =
+  match outcome with
+  | Overloaded -> Atomic.incr t.c_shed
+  | Failed _ -> Atomic.incr t.c_failed
+  | Degraded _ ->
+    Atomic.incr t.c_degraded;
+    Atomic.incr t.c_completed
+  | Ok _ | Interrupted _ -> Atomic.incr t.c_completed
+
 let publish t ticket outcome =
-  (match outcome with
-   | Overloaded -> Atomic.incr t.c_shed
-   | Failed _ -> Atomic.incr t.c_failed
-   | Degraded _ ->
-     Atomic.incr t.c_degraded;
-     Atomic.incr t.c_completed
-   | Ok _ | Interrupted _ -> Atomic.incr t.c_completed);
+  count_outcome t outcome;
   Mutex.lock ticket.ticket_lock;
   ticket.result <- Some outcome;
   Condition.broadcast ticket.resolved;
@@ -254,7 +279,9 @@ let create cfg =
       c_retried = Atomic.make 0;
       c_degraded = Atomic.make 0;
       c_completed = Atomic.make 0;
-      c_failed = Atomic.make 0 }
+      c_failed = Atomic.make 0;
+      c_streams = Atomic.make 0;
+      c_stream_bytes = Atomic.make 0 }
   in
   t.domains <- Array.init cfg.workers (fun _ -> Domain.spawn (worker_loop t));
   t
@@ -306,6 +333,80 @@ let drain t =
 (* submission: envelope construction + admission control               *)
 (* ------------------------------------------------------------------ *)
 
+(* Admission control shared by [submit] and [run_stream]: the
+   admission-path fault site, the capacity bound, and the shed
+   policies.  [`Faulted e] means the "service.admit" site raised —
+   the caller resolves its envelope as [Failed e] (counted admitted +
+   failed, so the quiescent invariant holds).  Otherwise the envelope
+   is admitted: either enqueued on its lane or resolved through
+   [shed_env] (which must count + resolve on its own). *)
+let admit_envelope t lane envelope =
+  match Guard.inject "service.admit" with
+  | exception (Guard.Injected _ as e) ->
+    Atomic.incr t.c_admitted;
+    `Faulted e
+  | () ->
+    let lane_q = t.queues.(lane_index lane) in
+    Mutex.lock t.lock;
+    if t.stopped then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Service.submit: service is shut down"
+    end;
+    Atomic.incr t.c_admitted;
+    let enqueue () =
+      Queue.push envelope lane_q;
+      Condition.signal t.work_available;
+      Mutex.unlock t.lock
+    in
+    (match t.cfg.capacity with
+     | None -> enqueue ()
+     | Some cap ->
+       if queued_unsafe t < cap then enqueue ()
+       else
+         match t.cfg.shed with
+         | Reject ->
+           Mutex.unlock t.lock;
+           envelope.shed_env ()
+         | Drop_oldest ->
+           (* evict from the lowest-priority lane first: the victim is
+              the oldest envelope of the lowest non-empty lane.  A
+              newcomer of strictly lower priority than everything queued
+              would itself be the victim — shed it instead of displacing
+              better-lane work.  Capacity is ≥ 1 and the queue is full,
+              so a victim lane exists; resolve the evicted ticket after
+              unlocking — it takes the ticket's own lock. *)
+           let victim_lane =
+             let rec go i =
+               if Queue.is_empty t.queues.(i) then go (i - 1) else i
+             in
+             go (Array.length t.queues - 1)
+           in
+           if lane_index lane > victim_lane then begin
+             Mutex.unlock t.lock;
+             envelope.shed_env ()
+           end
+           else begin
+             let evicted = Queue.pop t.queues.(victim_lane) in
+             enqueue ();
+             evicted.shed_env ()
+           end
+         | Block ->
+           let rec wait () =
+             if t.stopped then begin
+               Mutex.unlock t.lock;
+               (* shutdown overtook the blocked submission: resolve it
+                  as shed rather than leave the ticket dangling *)
+               envelope.shed_env ()
+             end
+             else if queued_unsafe t >= cap then begin
+               Condition.wait t.space_available t.lock;
+               wait ()
+             end
+             else enqueue ()
+           in
+           wait ());
+    `Enqueued
+
 let submit ?(lane = Normal) ?deadline_in ?budget ?max_retries ?fallback
     ?cache t job =
   let deadline_in =
@@ -339,7 +440,11 @@ let submit ?(lane = Normal) ?deadline_in ?budget ?max_retries ?fallback
     Atomic.incr t.c_admitted;
     Mutex.unlock t.lock;
     publish t ticket
-      (match tag with Cache.Exact -> Ok v | Cache.Approximate -> Degraded v);
+      (match tag with
+       | Cache.Exact -> Ok v
+       (* a Partial prefix is served degraded on the non-streaming
+          path too: sound, incomplete, never exact *)
+       | Cache.Approximate | Cache.Partial _ -> Degraded v);
     ticket
   | None ->
   (* miss: capture dependency versions NOW, before any worker can read
@@ -432,75 +537,217 @@ let submit ?(lane = Normal) ?deadline_in ?budget ?max_retries ?fallback
           publish t ticket outcome);
       shed_env = (fun () -> publish t ticket Overloaded) }
   in
-  (* the admission-path fault site: chaos tests point raise/delay
-     faults here to exercise the shed/response path itself.  A raise
-     resolves the ticket as [Failed] (counted admitted + failed, so
-     the quiescent invariant holds); a delay stalls the submitting
-     caller, simulating a slow admission layer. *)
-  match Guard.inject "service.admit" with
-  | exception (Guard.Injected _ as e) ->
-    Atomic.incr t.c_admitted;
-    publish t ticket (Failed e);
-    ticket
-  | () ->
-  let lane_q = t.queues.(lane_index lane) in
-  Mutex.lock t.lock;
-  if t.stopped then begin
-    Mutex.unlock t.lock;
-    invalid_arg "Service.submit: service is shut down"
-  end;
-  Atomic.incr t.c_admitted;
-  let enqueue () =
-    Queue.push envelope lane_q;
-    Condition.signal t.work_available;
-    Mutex.unlock t.lock
-  in
-  (match t.cfg.capacity with
-   | None -> enqueue ()
-   | Some cap ->
-     if queued_unsafe t < cap then enqueue ()
-     else
-       match t.cfg.shed with
-       | Reject ->
-         Mutex.unlock t.lock;
-         envelope.shed_env ()
-       | Drop_oldest ->
-         (* evict from the lowest-priority lane first: the victim is
-            the oldest envelope of the lowest non-empty lane.  A
-            newcomer of strictly lower priority than everything queued
-            would itself be the victim — shed it instead of displacing
-            better-lane work.  Capacity is ≥ 1 and the queue is full,
-            so a victim lane exists; resolve the evicted ticket after
-            unlocking — it takes the ticket's own lock. *)
-         let victim_lane =
-           let rec go i = if Queue.is_empty t.queues.(i) then go (i - 1) else i in
-           go (Array.length t.queues - 1)
-         in
-         if lane_index lane > victim_lane then begin
-           Mutex.unlock t.lock;
-           envelope.shed_env ()
-         end
-         else begin
-           let evicted = Queue.pop t.queues.(victim_lane) in
-           enqueue ();
-           evicted.shed_env ()
-         end
-       | Block ->
-         let rec wait () =
-           if t.stopped then begin
-             Mutex.unlock t.lock;
-             (* shutdown overtook the blocked submission: resolve it
-                as shed rather than leave the ticket dangling *)
-             envelope.shed_env ()
-           end
-           else if queued_unsafe t >= cap then begin
-             Condition.wait t.space_available t.lock;
-             wait ()
-           end
-           else enqueue ()
-         in
-         wait ());
+  (match admit_envelope t lane envelope with
+   | `Faulted e -> publish t ticket (Failed e)
+   | `Enqueued -> ());
   ticket
 
 let run ?lane ?deadline_in ?budget ?max_retries ?fallback ?cache t job =
   await (submit ?lane ?deadline_in ?budget ?max_retries ?fallback ?cache t job)
+
+(* ------------------------------------------------------------------ *)
+(* streaming delivery                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* [run_stream] mirrors [submit]'s admission, retry and degradation
+   pipeline, but on success the evaluated value is handed back as a
+   {!stream_handle} instead of a settled outcome: the worker is
+   released the moment evaluation finishes, the caller streams the
+   value out on its own domain (a slow reader never pins a service
+   worker), and the envelope's guard STAYS in the in-flight table
+   until [finish] — so [drain], a deadline, or [Guard.cancel] land
+   mid-response and the caller observes [Guard.Interrupt] at its next
+   frame-boundary check.  Counters for a streaming delivery move only
+   at [finish], so the quiescent invariant is judged on what was
+   actually delivered. *)
+let run_stream ?(lane = Normal) ?deadline_in ?budget ?max_retries ?fallback
+    ?cache t job =
+  let deadline_in =
+    match deadline_in with Some _ -> deadline_in | None -> t.cfg.deadline_in
+  in
+  let budget = match budget with Some _ -> budget | None -> t.cfg.budget in
+  let max_retries =
+    max 0 (Option.value max_retries ~default:t.cfg.max_retries)
+  in
+  (* one-shot settlement: exactly one [finish] per delivery moves the
+     counters; later calls are no-ops, so teardown paths may finish
+     defensively *)
+  let mk_finish ~unregister () =
+    let settled = Atomic.make false in
+    fun ?bytes outcome ->
+      if Atomic.compare_and_set settled false true then begin
+        (match bytes with
+         | Some b when b > 0 -> ignore (Atomic.fetch_and_add t.c_stream_bytes b)
+         | _ -> ());
+        unregister ();
+        count_outcome t outcome
+      end
+  in
+  let hit =
+    match cache with
+    | None -> None
+    | Some b -> Cache.lookup ~require_exact:b.require_exact b.cache b.key
+  in
+  match hit with
+  | Some (tag, v) ->
+    Mutex.lock t.lock;
+    if t.stopped then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Service.submit: service is shut down"
+    end;
+    Atomic.incr t.c_admitted;
+    Mutex.unlock t.lock;
+    Atomic.incr t.c_streams;
+    let degraded, prefix =
+      match tag with
+      | Cache.Exact -> (false, None)
+      | Cache.Approximate -> (true, None)
+      | Cache.Partial k -> (true, Some k)
+    in
+    Streaming
+      { value = v;
+        degraded;
+        prefix;
+        guard = None;
+        store = (fun _ _ -> ());
+        finish = mk_finish ~unregister:(fun () -> ()) () }
+  | None ->
+  let store_fn =
+    match cache with
+    | None -> fun _ _ -> ()
+    | Some b ->
+      (* capture dependency versions NOW, as in [submit]: an update
+         racing the evaluation leaves the stored entry already stale *)
+      let snap_exact = Cache.snapshot b.cache b.deps in
+      let snap_approx = Cache.snapshot b.cache b.approx_deps in
+      fun tag v ->
+        let snapshot =
+          match tag with
+          (* a Partial entry is a prefix of the exact answer, so it
+             depends on exactly the exact answer's relations *)
+          | Cache.Exact | Cache.Partial _ -> snap_exact
+          | Cache.Approximate -> snap_approx
+        in
+        Cache.store b.cache ~key:b.key ~snapshot ~tag v
+  in
+  let pool = t.cfg.pool in
+  let register guard =
+    let id = Atomic.fetch_and_add t.inflight_next 1 in
+    Mutex.lock t.inflight_lock;
+    Hashtbl.replace t.inflight id guard;
+    Mutex.unlock t.inflight_lock;
+    (* close the register/drain race, as in [submit] *)
+    if Atomic.get t.draining then Guard.cancel guard;
+    id
+  in
+  let unregister_id id () =
+    Mutex.lock t.inflight_lock;
+    Hashtbl.remove t.inflight id;
+    Mutex.unlock t.inflight_lock
+  in
+  (* degradation that still streams: the Q⁺ fallback value is
+     delivered through a FRESH cancel-only guard registered for the
+     streaming phase — the exhausted/expired guard would re-raise at
+     the first frame-boundary check, truncating the degraded answer
+     it just produced.  [drain] still lands: the fresh guard sits in
+     the in-flight table until [finish]. *)
+  let stream_fallback reason =
+    match fallback with
+    | None -> `Finished (Interrupted reason)
+    | Some f ->
+      (match f ~pool with
+       | v ->
+         let g = Guard.create () in
+         let id = register g in
+         `Streaming (v, true, id, g)
+       | exception e -> `Finished (Failed e))
+  in
+  let rec attempt n =
+    if Atomic.get t.draining then `Finished (Interrupted Guard.Cancelled)
+    else begin
+      let guard = Guard.create ?deadline_in ?budget () in
+      let id = register guard in
+      let unregister = unregister_id id in
+      let step =
+        match job ~pool ~guard with
+        (* success: the guard stays registered — deadline and drain
+           keep acting on the response until the caller finishes *)
+        | v -> `Streaming (v, false, id, guard)
+        | exception Guard.Interrupt (Guard.Budget _ as r) ->
+          unregister ();
+          stream_fallback r
+        | exception Guard.Interrupt Guard.Cancelled ->
+          unregister ();
+          `Finished (Interrupted Guard.Cancelled)
+        | exception Guard.Interrupt Guard.Deadline ->
+          unregister ();
+          `Transient `Deadline
+        | exception (Guard.Injected _ as e) ->
+          unregister ();
+          `Transient (`Fault e)
+        | exception e ->
+          unregister ();
+          `Finished (Failed e)
+      in
+      match step with
+      | (`Finished _ | `Streaming _) as r -> r
+      | `Transient kind ->
+        if n >= max_retries || Atomic.get t.draining then
+          match kind with
+          | `Deadline -> stream_fallback Guard.Deadline
+          | `Fault e -> `Finished (Failed e)
+        else begin
+          Atomic.incr t.c_retried;
+          let d = t.cfg.backoff_base *. (2.0 ** float_of_int n) in
+          if d > 0.0 then Unix.sleepf d;
+          attempt (n + 1)
+        end
+    end
+  in
+  let cell_lock = Mutex.create () in
+  let cell_cond = Condition.create () in
+  let cell = ref None in
+  let resolve d =
+    Mutex.lock cell_lock;
+    cell := Some d;
+    Condition.broadcast cell_cond;
+    Mutex.unlock cell_lock
+  in
+  let envelope =
+    { exec =
+        (fun () ->
+          match attempt 0 with
+          | `Finished outcome ->
+            count_outcome t outcome;
+            resolve (Finished outcome)
+          | `Streaming (v, degraded, id, guard) ->
+            Atomic.incr t.c_streams;
+            resolve
+              (Streaming
+                 { value = v;
+                   degraded;
+                   prefix = None;
+                   guard = Some guard;
+                   store = store_fn;
+                   finish = mk_finish ~unregister:(unregister_id id) () }));
+      shed_env =
+        (fun () ->
+          count_outcome t Overloaded;
+          resolve (Finished Overloaded)) }
+  in
+  (match admit_envelope t lane envelope with
+   | `Faulted e ->
+     count_outcome t (Failed e);
+     resolve (Finished (Failed e))
+   | `Enqueued -> ());
+  Mutex.lock cell_lock;
+  let rec wait () =
+    match !cell with
+    | Some d ->
+      Mutex.unlock cell_lock;
+      d
+    | None ->
+      Condition.wait cell_cond cell_lock;
+      wait ()
+  in
+  wait ()

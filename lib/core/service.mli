@@ -115,7 +115,15 @@ val outcome_to_string : ('a -> string) -> 'a outcome -> string
     [Interrupted] outcomes, [shed] counts [Overloaded] outcomes,
     [failed] counts [Failed] outcomes, [degraded ≤ completed] counts
     the [Degraded] subset, and [retried] counts individual retry
-    attempts (not submissions). *)
+    attempts (not submissions).
+
+    A {e streaming} delivery ({!run_stream}) counts [admitted] at
+    admission but moves its terminal counter only when the caller
+    settles it with [finish] — so at quiescence (every stream
+    finished) the same invariant holds over exactly what was
+    delivered.  [streams] counts deliveries handed back as
+    {!stream_handle}s (cache-hit replays included); [stream_bytes]
+    accumulates the bytes the callers reported via [finish]. *)
 type counters = {
   admitted : int;
   shed : int;
@@ -123,6 +131,8 @@ type counters = {
   degraded : int;
   completed : int;
   failed : int;
+  streams : int;
+  stream_bytes : int;
 }
 
 type t
@@ -225,6 +235,68 @@ val run :
   t ->
   (pool:Pool.t option -> guard:Guard.t -> 'a) ->
   'a outcome
+
+(** One streaming delivery in flight: the evaluated [value] plus the
+    obligations the caller takes on by accepting it.
+
+    - [degraded] — the value came from the Q⁺ [fallback] (budget
+      exhausted, or deadline after all retries) or from a
+      non-[Exact] cache entry; render it as degraded, never exact.
+    - [prefix] — [Some k] when the value is a cached [Partial k]
+      entry: only the first [k] items are valid, stop there.
+    - [guard] — the guard that stays registered in the service's
+      in-flight table until [finish]: poll it ([Guard.check]) between
+      frames so a deadline, [Guard.cancel], or {!drain} cancels the
+      response mid-stream.  [None] for cache-hit replays (check
+      {!draining} instead).
+    - [store] — write the delivered value back to the submission's
+      cache binding under a caller-chosen tag ([Exact] for a fully
+      drained exact answer, [Approximate] for a fully drained
+      degraded one, [Partial k] for a truncated prefix); snapshots
+      were captured at submit time.  No-op without a binding or on
+      cache hits.
+    - [finish] — settle the envelope: MUST be called exactly once
+      (later calls are ignored), with the outcome that describes what
+      the client actually received and optionally the bytes written.
+      Until then the service counts the query in flight and {!drain}
+      can reach its guard; afterwards the terminal counter moves. *)
+type 'a stream_handle = {
+  value : 'a;
+  degraded : bool;
+  prefix : int option;
+  guard : Guard.t option;
+  store : Cache.tag -> 'a -> unit;
+  finish : ?bytes:int -> 'a outcome -> unit;
+}
+
+(** How a {!run_stream} submission came back: settled like a ticket
+    ([Finished] — shed, cancelled, failed, or drained before
+    evaluation), or as a live stream the caller must [finish]. *)
+type 'a delivery = Finished of 'a outcome | Streaming of 'a stream_handle
+
+(** [run_stream t job] — [run], but on success the value is handed
+    back for {e incremental} delivery instead of a settled [Ok]: the
+    worker domain is released the moment evaluation finishes, the
+    caller streams the value out on its own domain (a slow reader
+    never pins a service worker), and the envelope's guard stays
+    cancellable until [finish].  Admission, lanes, retries, fallback
+    degradation, the cache fast path, and the ["service.admit"] fault
+    site behave exactly as in {!submit}; a degraded value streams
+    under a fresh cancel-only guard (the exhausted one would re-raise
+    at the first frame check).  Blocks until evaluation completes or
+    the submission settles.
+
+    @raise Invalid_argument if the service is shut down. *)
+val run_stream :
+  ?lane:lane ->
+  ?deadline_in:float ->
+  ?budget:int ->
+  ?max_retries:int ->
+  ?fallback:(pool:Pool.t option -> 'a) ->
+  ?cache:'a cache_binding ->
+  t ->
+  (pool:Pool.t option -> guard:Guard.t -> 'a) ->
+  'a delivery
 
 (** [drain t] puts the service in drain mode and force-cancels what is
     in flight: the draining flag makes every {e not-yet-started}

@@ -133,6 +133,42 @@ let test_require_exact () =
    | Some (Cache.Exact, 8) -> ()
    | _ -> Alcotest.fail "expected exact hit after exact store")
 
+(* the Partial k tag carries a limit-K prefix: replayable as a
+   degraded answer, never as exact, and never clobbering a live
+   exact entry *)
+let test_partial_tag () =
+  let c = Cache.create ~capacity:4 () in
+  Cache.store c ~key:"q" ~snapshot:(snap c [ "R" ]) ~tag:(Cache.Partial 5) 99;
+  (match Cache.lookup c "q" with
+   | Some (Cache.Partial 5, 99) -> ()
+   | _ -> Alcotest.fail "expected Partial 5 hit");
+  Alcotest.(check bool) "require_exact skips partial" true
+    (Cache.lookup ~require_exact:true c "q" = None);
+  Alcotest.(check string) "partial renders with its prefix length"
+    "partial:5"
+    (Cache.tag_to_string (Cache.Partial 5));
+  (* an exact store upgrades the prefix to the full answer *)
+  Cache.store c ~key:"q" ~snapshot:(snap c [ "R" ]) ~tag:Cache.Exact 100;
+  (match Cache.lookup ~require_exact:true c "q" with
+   | Some (Cache.Exact, 100) -> ()
+   | _ -> Alcotest.fail "expected exact hit after upgrade");
+  (* no downgrade: a Partial or Approximate store over a live Exact
+     entry is a no-op *)
+  Cache.store c ~key:"q" ~snapshot:(snap c [ "R" ]) ~tag:(Cache.Partial 3) 1;
+  (match Cache.lookup c "q" with
+   | Some (Cache.Exact, 100) -> ()
+   | _ -> Alcotest.fail "Partial must not clobber a live Exact entry");
+  Cache.store c ~key:"q" ~snapshot:(snap c [ "R" ]) ~tag:Cache.Approximate 2;
+  (match Cache.lookup c "q" with
+   | Some (Cache.Exact, 100) -> ()
+   | _ -> Alcotest.fail "Approximate must not clobber a live Exact entry");
+  (* ...but once the exact entry goes stale the guard lifts *)
+  Cache.bump c "R";
+  Cache.store c ~key:"q" ~snapshot:(snap c [ "R" ]) ~tag:(Cache.Partial 2) 3;
+  (match Cache.lookup c "q" with
+   | Some (Cache.Partial 2, 3) -> ()
+   | _ -> Alcotest.fail "stale exact must not block a fresh Partial store")
+
 let test_clear_and_stats_line () =
   let c = Cache.create ~capacity:4 () in
   Cache.store c ~key:"q" ~snapshot:(snap c []) ~tag:Cache.Exact 1;
@@ -580,6 +616,7 @@ let () =
           Alcotest.test_case "bump_all recovery sweep" `Quick
             test_bump_all_recovery;
           Alcotest.test_case "require_exact" `Quick test_require_exact;
+          Alcotest.test_case "partial tag" `Quick test_partial_tag;
           Alcotest.test_case "clear and stats line" `Quick
             test_clear_and_stats_line ] );
       ( "fingerprint",

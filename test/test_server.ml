@@ -31,13 +31,22 @@ let base_cfg =
 (* ------------------------------------------------------------------ *)
 
 (* verbs:
-     const X    reply X
-     spin MS    busy-poll the guard for MS milliseconds (cancellable)
-     fail       raise inside the job
+     const X          reply X (single line)
+     spin MS          busy-poll the guard for MS milliseconds (cancellable)
+     fail             raise inside the job
+     nums K           stream of K items "0;" "1;" ... (lazy)
+     numsline K       the same K items concatenated into one line
+     slowstream K MS  stream of K items, each taking MS ms to produce
+     rep K LEN        stream of K items of LEN 'x' bytes (plus ";")
    anything else is a parse error *)
-let toy_handler line =
+let nums_seq k = Seq.map (fun i -> string_of_int i ^ ";") (Seq.take k (Seq.ints 0))
+
+let toy_handler ~stream:_ line =
   match String.split_on_char ' ' (String.trim line) with
-  | [ "const"; x ] -> Ok { Server.run = (fun ~pool:_ ~guard:_ -> x); fallback = None; cache = None }
+  | [ "const"; x ] ->
+    Ok
+      { Server.run = (fun ~pool:_ ~guard:_ -> Server.Line x);
+        fallback = None; cache = None }
   | [ "spin"; ms ] ->
     (match int_of_string_opt ms with
      | None -> Error "spin wants an integer"
@@ -50,13 +59,76 @@ let toy_handler line =
                  Guard.check_exn guard;
                  Domain.cpu_relax ()
                done;
-               "spun");
+               Server.Line "spun");
            fallback = None; cache = None })
   | [ "fail" ] ->
     Ok
       { Server.run = (fun ~pool:_ ~guard:_ -> failwith "toy failure");
         fallback = None; cache = None }
+  | [ "nums"; k ] ->
+    (match int_of_string_opt k with
+     | None -> Error "nums wants an integer"
+     | Some k ->
+       Ok
+         { Server.run = (fun ~pool:_ ~guard:_ -> Server.Stream (nums_seq k));
+           fallback = None; cache = None })
+  | [ "numsline"; k ] ->
+    (match int_of_string_opt k with
+     | None -> Error "numsline wants an integer"
+     | Some k ->
+       Ok
+         { Server.run =
+             (fun ~pool:_ ~guard:_ ->
+               Server.Line (String.concat "" (List.of_seq (nums_seq k))));
+           fallback = None; cache = None })
+  | [ "slowstream"; k; ms ] ->
+    (match (int_of_string_opt k, int_of_string_opt ms) with
+     | Some k, Some ms ->
+       Ok
+         { Server.run =
+             (fun ~pool:_ ~guard:_ ->
+               Server.Stream
+                 (Seq.map
+                    (fun i ->
+                      Unix.sleepf (float_of_int ms /. 1000.0);
+                      string_of_int i ^ ";")
+                    (Seq.take k (Seq.ints 0))));
+           fallback = None; cache = None }
+     | _ -> Error "slowstream wants two integers")
+  | [ "rep"; k; len ] ->
+    (match (int_of_string_opt k, int_of_string_opt len) with
+     | Some k, Some len ->
+       let item = String.make len 'x' ^ ";" in
+       Ok
+         { Server.run =
+             (fun ~pool:_ ~guard:_ ->
+               Server.Stream (Seq.map (fun _ -> item) (Seq.take k (Seq.ints 0))));
+           fallback = None; cache = None }
+     | _ -> Error "rep wants two integers")
   | _ -> Error "unknown verb"
+
+(* quiescence helper: wait until every admitted envelope has settled,
+   then assert the ISSUE's invariant [admitted = completed + shed +
+   failed] — streaming deliveries settle at their terminal line, so
+   this is the post-condition of every cancellation path *)
+let assert_invariant name srv =
+  let svc = Server.service srv in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let settled s =
+    s.Service.completed + s.Service.shed + s.Service.failed
+    = s.Service.admitted
+  in
+  while
+    (not (settled (Service.counters svc)))
+    && Unix.gettimeofday () < deadline
+  do
+    Domain.cpu_relax ()
+  done;
+  let s = Service.counters svc in
+  Alcotest.(check int)
+    (name ^ ": admitted = completed + shed + failed")
+    s.Service.admitted
+    (s.Service.completed + s.Service.shed + s.Service.failed)
 
 let with_server cfg handler f =
   let srv = Server.create cfg handler in
@@ -368,7 +440,7 @@ let test_loopback_differential () =
     Array.map (fun (db, q) -> render (Eval.run ~pool:None db q)) cases
   in
   (* the handler indexes into the shared case table: "q <i>" *)
-  let handler line =
+  let handler ~stream:_ line =
     match String.split_on_char ' ' (String.trim line) with
     | [ "q"; i ] ->
       (match int_of_string_opt i with
@@ -376,7 +448,8 @@ let test_loopback_differential () =
          let db, q = cases.(i) in
          Ok
            { Server.run =
-               (fun ~pool ~guard -> render (Eval.run ~pool ~guard db q));
+               (fun ~pool ~guard ->
+                 Server.Line (render (Eval.run ~pool ~guard db q)));
              fallback = None; cache = None }
        | _ -> Error "index out of range")
     | _ -> Error "expected q <i>"
@@ -574,28 +647,42 @@ let test_wildcard_faults () =
 (* ------------------------------------------------------------------ *)
 
 (* verbs:
-     cached X    evaluate (counted) under a cache binding keyed on X
-     touch R     bump relation R's version *)
-let cached_handler cache executions line =
+     cached X     evaluate (counted) under a cache binding keyed on X
+     cstream X K  a cached stream of K items keyed on X
+     touch R      bump relation R's version *)
+let cached_handler cache executions ~stream:_ line =
+  let binding key =
+    Some
+      { Service.cache;
+        key;
+        deps = [ "R" ];
+        approx_deps = [ "R" ];
+        require_exact = false }
+  in
   match String.split_on_char ' ' (String.trim line) with
   | [ "cached"; x ] ->
     Ok
       { Server.run =
           (fun ~pool:_ ~guard:_ ->
             incr executions;
-            "val-" ^ x);
+            Server.Line ("val-" ^ x));
         fallback = None;
-        cache =
-          Some
-            { Service.cache;
-              key = x;
-              deps = [ "R" ];
-              approx_deps = [ "R" ];
-              require_exact = false } }
+        cache = binding x }
+  | [ "cstream"; x; k ] ->
+    (match int_of_string_opt k with
+     | None -> Error "cstream wants an integer"
+     | Some k ->
+       Ok
+         { Server.run =
+             (fun ~pool:_ ~guard:_ ->
+               incr executions;
+               Server.Stream (nums_seq k));
+           fallback = None;
+           cache = binding ("s:" ^ x) })
   | [ "touch"; r ] ->
     Cache.bump cache r;
     Ok
-      { Server.run = (fun ~pool:_ ~guard:_ -> "touched " ^ r);
+      { Server.run = (fun ~pool:_ ~guard:_ -> Server.Line ("touched " ^ r));
         fallback = None; cache = None }
   | _ -> Error "unknown verb"
 
@@ -632,8 +719,322 @@ let test_stats_disabled () =
   with_server base_cfg toy_handler (fun srv ->
       let c = connect (Server.port srv) in
       send c "#stats";
-      expect_line "stats without a hook" c (( = ) "#stats cache disabled");
+      expect_line "stats without a hook" c (fun l ->
+          starts_with "#stats cache disabled | srv bytes=" l
+          && contains "slow_evicted=" l);
       close c)
+
+(* ------------------------------------------------------------------ *)
+(* streaming protocol v2: frames, differential, cancellation,          *)
+(* backpressure, byte fairness                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* read one whole streamed response for request [n]: returns the
+   concatenated frame payloads and the terminal line *)
+let read_stream name c n =
+  let pre = Printf.sprintf "[%d] " n in
+  (match recv_line c with
+   | Some l when l = Printf.sprintf "[%d] stream" n -> ()
+   | other ->
+     Alcotest.fail
+       (Printf.sprintf "%s: expected stream preamble, got %s" name
+          (match other with Some l -> l | None -> "<closed>")));
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match recv_line c with
+    | None -> Alcotest.fail (name ^ ": connection closed mid-stream")
+    | Some l when starts_with (pre ^ "+ ") l ->
+      Buffer.add_string buf
+        (String.sub l (String.length pre + 2)
+           (String.length l - String.length pre - 2));
+      go ()
+    | Some l when starts_with pre l -> (Buffer.contents buf, l)
+    | Some l ->
+      Alcotest.fail (Printf.sprintf "%s: unexpected line %S" name l)
+  in
+  go ()
+
+let test_stream_roundtrip () =
+  with_server
+    { base_cfg with Server.frame_items = 4 }
+    toy_handler
+    (fun srv ->
+      let c = connect (Server.port srv) in
+      send c "#stream on";
+      expect_line "stream ack" c (( = ) "#ok stream on");
+      send c "#bytes";
+      expect_line "no byte quota" c (( = ) "#ok bytes budget=unlimited");
+      send c "nums 10";
+      let body, terminal = read_stream "roundtrip" c 1 in
+      Alcotest.(check string) "frames concatenate in order"
+        "0;1;2;3;4;5;6;7;8;9;" body;
+      Alcotest.(check bool)
+        (Printf.sprintf "end terminal (got %S)" terminal)
+        true
+        (starts_with "[1] end 10 " terminal);
+      (* 10 items in frames of 4: 3 frames *)
+      let cn = Server.counters srv in
+      Alcotest.(check int) "one stream" 1 cn.Server.streams;
+      Alcotest.(check int) "three frames" 3 cn.Server.frames;
+      Alcotest.(check bool) "bytes accounted" true (cn.Server.bytes_out > 0);
+      send c "#stream off";
+      expect_line "stream off ack" c (( = ) "#ok stream off");
+      close c;
+      assert_invariant "stream roundtrip" srv)
+
+(* a fully drained stream carries exactly the old rendered response *)
+let test_stream_differential () =
+  with_server
+    { base_cfg with Server.frame_items = 7 }
+    toy_handler
+    (fun srv ->
+      let c = connect (Server.port srv) in
+      send c "numsline 25";
+      let expected = String.concat "" (List.of_seq (nums_seq 25)) in
+      expect_line "line render" c (fun l ->
+          starts_with (Printf.sprintf "[1] ok %s " expected) l);
+      send c "nums 25";
+      let body, terminal = read_stream "differential" c 2 in
+      Alcotest.(check string)
+        "drained stream ≡ rendered response" expected body;
+      Alcotest.(check bool) "complete" true (starts_with "[2] end 25 " terminal);
+      close c;
+      assert_invariant "stream differential" srv)
+
+(* a reader that stops reading stalls only its own frame pacing; past
+   write_timeout it is evicted with counters intact, while a second
+   client is served the whole time *)
+let test_slow_reader_eviction () =
+  with_server
+    { base_cfg with
+      Server.write_timeout = 0.4;
+      client_quota = None;
+      service = { base_svc_cfg with Service.workers = 2 } }
+    toy_handler
+    (fun srv ->
+      let slow = connect (Server.port srv) in
+      (* shrink the receive window before the server starts writing,
+         then never read: the server's sends must fill the pipe *)
+      (try Unix.setsockopt_int slow.fd Unix.SO_RCVBUF 4096
+       with Unix.Unix_error _ -> ());
+      send slow "rep 65536 1024";
+      (* while the slow reader pins its own connection, others proceed *)
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      while
+        (Server.counters srv).Server.frames < 1
+        && Unix.gettimeofday () < deadline
+      do
+        Domain.cpu_relax ()
+      done;
+      let other = connect (Server.port srv) in
+      send other "const prompt";
+      expect_line "other client unaffected by the stalled writer" other
+        (starts_with "[1] ok prompt");
+      close other;
+      (* the stalled writer is evicted at the write deadline *)
+      let deadline = Unix.gettimeofday () +. 8.0 in
+      while
+        (Server.counters srv).Server.slow_evicted < 1
+        && Unix.gettimeofday () < deadline
+      do
+        Domain.cpu_relax ()
+      done;
+      Alcotest.(check bool) "slow reader evicted" true
+        ((Server.counters srv).Server.slow_evicted >= 1);
+      close slow;
+      assert_invariant "slow reader eviction" srv;
+      (* the eviction settled the envelope as failed, not completed *)
+      Alcotest.(check bool) "eviction counted as a failure" true
+        ((Service.counters (Server.service srv)).Service.failed >= 1))
+
+(* a client that vanishes mid-stream fails only its own envelope *)
+let test_disconnect_mid_stream () =
+  with_server base_cfg toy_handler (fun srv ->
+      let c = connect (Server.port srv) in
+      send c "slowstream 100 20";
+      (match recv_line c with
+       | Some "[1] stream" -> ()
+       | other ->
+         Alcotest.fail
+           ("expected stream preamble, got "
+           ^ match other with Some l -> l | None -> "<closed>"));
+      close c;
+      let c2 = connect (Server.port srv) in
+      send c2 "const alive";
+      expect_line "accept loop survives" c2 (starts_with "[1] ok alive");
+      close c2;
+      assert_invariant "disconnect mid-stream" srv)
+
+(* #drain reaches a stream mid-response: the client sees an explicit
+   cancelled terminal, never a silently short stream *)
+let test_drain_cancels_stream () =
+  let cfg =
+    { base_cfg with
+      Server.drain_deadline = 0.3;
+      client_quota = None;
+      frame_items = 1;
+      service = { base_svc_cfg with Service.workers = 2 } }
+  in
+  let srv = Server.create cfg toy_handler in
+  let c = connect (Server.port srv) in
+  send c "slowstream 1000 20";
+  (match recv_line c with
+   | Some "[1] stream" -> ()
+   | other ->
+     Alcotest.fail
+       ("expected stream preamble, got "
+       ^ match other with Some l -> l | None -> "<closed>"));
+  let c2 = connect (Server.port srv) in
+  send c2 "#drain";
+  expect_line "drain acked" c2 (( = ) "#ok draining");
+  let waiter = Domain.spawn (fun () -> Server.wait srv) in
+  (* skip remaining frames; the stream must end in a cancelled marker *)
+  let rec terminal () =
+    match recv_line c with
+    | None -> Alcotest.fail "connection closed without a terminal marker"
+    | Some l when starts_with "[1] + " l -> terminal ()
+    | Some l -> l
+  in
+  let t = terminal () in
+  Alcotest.(check bool)
+    (Printf.sprintf "cancelled terminal (got %S)" t)
+    true
+    (starts_with "[1] cancelled after " t);
+  close c;
+  close c2;
+  let stats = Domain.join waiter in
+  Alcotest.(check bool) "invariant held after mid-stream cancel" true
+    stats.Server.invariant_ok
+
+(* Shed: an exhausted byte bucket truncates the stream explicitly and
+   refuses the next query before admission *)
+let test_byte_shed () =
+  with_server
+    { base_cfg with
+      Server.frame_items = 8;
+      byte_quota =
+        Some { Server.burst = 256; rate = 1.0; policy = Server.Shed } }
+    toy_handler
+    (fun srv ->
+      let c = connect (Server.port srv) in
+      send c "nums 1000";
+      let body, terminal = read_stream "byte shed" c 1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "truncated terminal (got %S)" terminal)
+        true
+        (starts_with "[1] truncated: byte quota after " terminal);
+      Alcotest.(check bool) "a strict prefix was delivered" true
+        (String.length body < String.length
+           (String.concat "" (List.of_seq (nums_seq 1000))));
+      (* the bucket is dry (rate 1 B/s): the next query is refused
+         before it reaches the admission queue *)
+      send c "const more";
+      expect_line "pre-admission byte shed" c
+        (( = ) "[2] overloaded (byte quota)");
+      close c;
+      assert_invariant "byte shed" srv;
+      let cn = Server.counters srv in
+      Alcotest.(check bool) "byte sheds counted" true (cn.Server.byte_shed >= 2))
+
+(* Degrade: the stream stops at a limit-K prefix tagged degraded; the
+   Partial cache entry replays at most that prefix and never the full
+   answer, without re-executing the job *)
+let test_byte_degrade_partial_replay () =
+  let cache = Cache.create ~capacity:8 () in
+  let executions = ref 0 in
+  with_server
+    { base_cfg with
+      Server.frame_items = 8;
+      byte_quota =
+        Some { Server.burst = 256; rate = 400.0; policy = Server.Degrade } }
+    (cached_handler cache executions)
+    (fun srv ->
+      let c = connect (Server.port srv) in
+      send c "cstream a 1000";
+      let body, terminal = read_stream "byte degrade" c 1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "degraded terminal (got %S)" terminal)
+        true
+        (starts_with "[1] degraded: byte quota after " terminal);
+      let k = String.length body in
+      Alcotest.(check bool) "non-empty prefix" true (k > 0);
+      Alcotest.(check int) "evaluated once" 1 !executions;
+      (* replay: a cache hit on the Partial entry — the job must not
+         re-execute and the replay never exceeds the cached prefix *)
+      Unix.sleepf 0.3 (* let the bucket refill a little *);
+      send c "cstream a 1000";
+      let body2, terminal2 = read_stream "partial replay" c 2 in
+      Alcotest.(check int) "no re-execution on the Partial hit" 1 !executions;
+      Alcotest.(check bool)
+        (Printf.sprintf "replay terminal degraded (got %S)" terminal2)
+        true
+        (contains "degraded" terminal2 || contains "truncated" terminal2);
+      Alcotest.(check bool) "replay never exceeds the cached prefix" true
+        (String.length body2 <= k);
+      Alcotest.(check bool) "replay is a prefix of the original" true
+        (starts_with body2 body);
+      close c;
+      assert_invariant "byte degrade" srv;
+      Alcotest.(check bool) "degrades counted" true
+        ((Server.counters srv).Server.byte_degraded >= 1))
+
+(* Throttle: the writer parks until the bucket refills and the stream
+   still completes in full *)
+let test_byte_throttle () =
+  with_server
+    { base_cfg with
+      Server.frame_items = 16;
+      byte_quota =
+        Some { Server.burst = 256; rate = 4096.0; policy = Server.Throttle } }
+    toy_handler
+    (fun srv ->
+      let c = connect ~timeout:30.0 (Server.port srv) in
+      send c "nums 400";
+      let body, terminal = read_stream "throttle" c 1 in
+      Alcotest.(check string) "throttled stream still completes in full"
+        (String.concat "" (List.of_seq (nums_seq 400)))
+        body;
+      Alcotest.(check bool) "end terminal" true
+        (starts_with "[1] end 400 " terminal);
+      Alcotest.(check bool) "writer parked at least once" true
+        ((Server.counters srv).Server.throttle_parks >= 1);
+      close c;
+      assert_invariant "byte throttle" srv)
+
+(* a raise-mode server.write fault fails the frame mid-stream: the
+   connection is torn down and the envelope settles as failed *)
+let test_server_write_fault () =
+  Alcotest.(check bool) "spec parses" true
+    (Guard.set_faults "server.write:1.0:7");
+  Fun.protect ~finally:Guard.clear_faults (fun () ->
+      with_server base_cfg toy_handler (fun srv ->
+          let c = connect (Server.port srv) in
+          send c "nums 50";
+          (match recv_line c with
+           | Some "[1] stream" -> ()
+           | other ->
+             Alcotest.fail
+               ("expected stream preamble, got "
+               ^ match other with Some l -> l | None -> "<closed>"));
+          (* the first frame write faults: no terminal line can be
+             delivered, the connection is torn down instead *)
+          Alcotest.(check (option string))
+            "connection torn down mid-stream" None (recv_line c);
+          close c;
+          assert_invariant "server.write fault" srv;
+          let s = Service.counters (Server.service srv) in
+          Alcotest.(check bool) "envelope settled as failed" true
+            (s.Service.failed >= 1);
+          Alcotest.(check bool) "teardown counted" true
+            ((Server.counters srv).Server.crashed >= 1);
+          (* the accept loop survived; a clean client is served once
+             the faults are gone *)
+          Guard.clear_faults ();
+          let c2 = connect (Server.port srv) in
+          send c2 "const calm";
+          expect_line "served after the fault storm" c2
+            (starts_with "[1] ok calm");
+          close c2))
 
 (* ------------------------------------------------------------------ *)
 (* suite                                                               *)
@@ -674,8 +1075,28 @@ let () =
             test_cached_jobs_and_stats;
           Alcotest.test_case "#stats without a hook" `Quick
             test_stats_disabled ] );
+      ( "streaming",
+        [ Alcotest.test_case "framed round trip and #stream/#bytes" `Quick
+            test_stream_roundtrip;
+          Alcotest.test_case "drained stream ≡ rendered response" `Quick
+            test_stream_differential;
+          Alcotest.test_case "slow reader evicted, others proceed" `Slow
+            test_slow_reader_eviction;
+          Alcotest.test_case "disconnect mid-stream isolated" `Quick
+            test_disconnect_mid_stream;
+          Alcotest.test_case "#drain cancels a stream mid-response" `Quick
+            test_drain_cancels_stream ] );
+      ( "byte-fairness",
+        [ Alcotest.test_case "shed truncates and refuses pre-admission" `Quick
+            test_byte_shed;
+          Alcotest.test_case "degrade caches a Partial prefix" `Quick
+            test_byte_degrade_partial_replay;
+          Alcotest.test_case "throttle parks and completes" `Quick
+            test_byte_throttle ] );
       ( "chaos",
         [ Alcotest.test_case "slowloris + disconnects + quota storm" `Quick
             test_concurrent_chaos;
           Alcotest.test_case "wildcard raise faults stay structured" `Quick
-            test_wildcard_faults ] ) ]
+            test_wildcard_faults;
+          Alcotest.test_case "server.write raise fault tears down cleanly"
+            `Quick test_server_write_fault ] ) ]

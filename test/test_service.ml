@@ -713,6 +713,134 @@ let test_admit_fault_site () =
           check_counter_invariant "admit delay" svc))
 
 (* ------------------------------------------------------------------ *)
+(* streaming deliveries (run_stream)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_stream_ok_delivery () =
+  with_service base_cfg (fun svc ->
+      (match Service.run_stream svc (const_job 42) with
+       | Service.Streaming h ->
+         Alcotest.(check int) "value delivered" 42 h.Service.value;
+         Alcotest.(check bool) "exact, not degraded" false h.Service.degraded;
+         Alcotest.(check bool) "no prefix bound" true (h.Service.prefix = None);
+         Alcotest.(check bool) "live guard attached" true
+           (h.Service.guard <> None);
+         (* until finish, the envelope is in flight: no terminal
+            counter has moved *)
+         let mid = Service.counters svc in
+         Alcotest.(check int) "admitted before finish" 1 mid.Service.admitted;
+         Alcotest.(check int) "not yet completed" 0 mid.Service.completed;
+         h.Service.finish ~bytes:10 (Service.Ok 42);
+         (* finish is once-only: a second settlement is ignored *)
+         h.Service.finish (Service.Failed Exit)
+       | Service.Finished o ->
+         Alcotest.fail ("expected a stream, got " ^ Service.outcome_label o));
+      let c = Service.counters svc in
+      Alcotest.(check int) "completed on finish" 1 c.Service.completed;
+      Alcotest.(check int) "double finish did not fail" 0 c.Service.failed;
+      Alcotest.(check int) "stream counted" 1 c.Service.streams;
+      Alcotest.(check int) "delivered bytes accounted" 10
+        c.Service.stream_bytes;
+      check_counter_invariant "stream ok" svc)
+
+let test_stream_degraded_fallback () =
+  with_service base_cfg (fun svc ->
+      match
+        Service.run_stream svc ~budget:1
+          ~fallback:(fun ~pool:_ -> -1)
+          (fun ~pool:_ ~guard ->
+            Guard.charge_exn guard 100;
+            0)
+      with
+      | Service.Streaming h ->
+        Alcotest.(check int) "Q⁺ fallback value" (-1) h.Service.value;
+        Alcotest.(check bool) "marked degraded" true h.Service.degraded;
+        (* the exhausted guard was swapped for a fresh cancel-only
+           one: frame checks must not re-raise the budget interrupt *)
+        (match h.Service.guard with
+         | Some g -> Guard.check_exn g
+         | None -> Alcotest.fail "degraded stream should carry a guard");
+        h.Service.finish (Service.Degraded h.Service.value);
+        let c = Service.counters svc in
+        Alcotest.(check int) "degraded counted" 1 c.Service.degraded;
+        Alcotest.(check int) "stream counted" 1 c.Service.streams;
+        check_counter_invariant "stream degrade" svc
+      | Service.Finished o ->
+        Alcotest.fail
+          ("expected a degraded stream, got " ^ Service.outcome_label o))
+
+let test_stream_drain_reaches_handle () =
+  with_service { base_cfg with Service.workers = 1 } (fun svc ->
+      (match Service.run_stream svc (const_job 5) with
+       | Service.Streaming h ->
+         let g =
+           match h.Service.guard with
+           | Some g -> g
+           | None -> Alcotest.fail "expected a live guard"
+         in
+         Guard.check_exn g;
+         (* the guard stays registered until finish: drain reaches it
+            even though evaluation is long done *)
+         let forced = Service.drain svc in
+         Alcotest.(check bool) "drain forced the stream guard" true
+           (forced >= 1);
+         (match Guard.check_exn g with
+          | () -> Alcotest.fail "frame check should raise after drain"
+          | exception Guard.Interrupt Guard.Cancelled -> ());
+         h.Service.finish (Service.Interrupted Guard.Cancelled)
+       | Service.Finished o ->
+         Alcotest.fail ("expected a stream, got " ^ Service.outcome_label o));
+      check_counter_invariant "stream drain" svc)
+
+let test_stream_cache_hit () =
+  with_service base_cfg (fun svc ->
+      let cache = Cache.create ~capacity:8 () in
+      let binding key =
+        { Service.cache;
+          key;
+          deps = [ "R" ];
+          approx_deps = [];
+          require_exact = false }
+      in
+      let executions = Atomic.make 0 in
+      let job ~pool:_ ~guard:_ =
+        Atomic.incr executions;
+        7
+      in
+      let expect_stream name = function
+        | Service.Streaming h -> h
+        | Service.Finished o ->
+          Alcotest.fail
+            (name ^ ": expected a stream, got " ^ Service.outcome_label o)
+      in
+      (* miss: evaluate, then store the fully drained exact answer *)
+      let h = expect_stream "miss" (Service.run_stream svc ~cache:(binding "q") job) in
+      h.Service.store Cache.Exact h.Service.value;
+      h.Service.finish (Service.Ok h.Service.value);
+      (* hit: replayed without execution, guard-free *)
+      let h = expect_stream "hit" (Service.run_stream svc ~cache:(binding "q") job) in
+      Alcotest.(check int) "replayed value" 7 h.Service.value;
+      Alcotest.(check bool) "no guard on a replay" true (h.Service.guard = None);
+      Alcotest.(check bool) "exact replay not degraded" false
+        h.Service.degraded;
+      h.Service.finish (Service.Ok h.Service.value);
+      Alcotest.(check int) "hit skipped execution" 1 (Atomic.get executions);
+      (* a Partial entry replays as a degraded limit-K prefix *)
+      Cache.store cache ~key:"qp"
+        ~snapshot:(Cache.snapshot cache [ "R" ])
+        ~tag:(Cache.Partial 3) 9;
+      let h =
+        expect_stream "partial" (Service.run_stream svc ~cache:(binding "qp") job)
+      in
+      Alcotest.(check bool) "partial replay degraded" true h.Service.degraded;
+      Alcotest.(check bool) "prefix bound carried" true
+        (h.Service.prefix = Some 3);
+      h.Service.finish (Service.Degraded h.Service.value);
+      Alcotest.(check int) "partial hit skipped execution too" 1
+        (Atomic.get executions);
+      check_counter_invariant "stream cache" svc)
+
+(* ------------------------------------------------------------------ *)
 (* shutdown                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -780,6 +908,15 @@ let () =
             test_chunk_worker_flag;
           Alcotest.test_case "envelopes keep top-level parallelism" `Quick
             test_envelope_not_worker ] );
+      ( "streaming",
+        [ Alcotest.test_case "ok delivery settles once" `Quick
+            test_stream_ok_delivery;
+          Alcotest.test_case "budget exhaustion degrades the stream" `Quick
+            test_stream_degraded_fallback;
+          Alcotest.test_case "drain reaches an unfinished handle" `Quick
+            test_stream_drain_reaches_handle;
+          Alcotest.test_case "cache hits replay guard-free" `Quick
+            test_stream_cache_hit ] );
       ( "shutdown",
         [ Alcotest.test_case "drains the queue, then rejects" `Quick
             test_shutdown_completes_queue ] ) ]
