@@ -29,15 +29,17 @@
      e20  semantic result cache + incremental Datalog maintenance
      e21  work-stealing pool backend vs shared FIFO queue
      e22  durability: WAL append throughput + crash-recovery time
+     e23  streaming serving v2: writer memory + byte-fairness tails
+     e24  sharded scatter/gather: fleet speedup + hedged tail latency
 
    Flags:
      --json      write e15 to BENCH_PR1.json, e16 to BENCH_PR2.json,
                  e17 to BENCH_PR3.json, e18 to BENCH_PR4.json,
                  e19 to BENCH_PR5.json, e20 to BENCH_PR6.json,
-                 e21 to BENCH_PR7.json, e22 to BENCH_PR8.json and
-                 e23 to BENCH_PR9.json
+                 e21 to BENCH_PR7.json, e22 to BENCH_PR8.json,
+                 e23 to BENCH_PR9.json and e24 to BENCH_PR10.json
      --seed N    offset every workload generator seed by N
-     --small     shrink e16-e22 workloads for CI smoke runs *)
+     --small     shrink e16-e24 workloads for CI smoke runs *)
 
 open Incdb
 
@@ -2798,6 +2800,348 @@ let write_e23_json path =
     (List.length !e23_memory + List.length rows)
 
 (* ------------------------------------------------------------------ *)
+(* E24: sharded scatter/gather coordinator (DESIGN.md §4k)             *)
+(* ------------------------------------------------------------------ *)
+
+(* rows for --json: (route, shards (0 = single serve), ops, mean_ms) *)
+let e24_speedup : (string * int * int * float) list ref = ref []
+
+(* rows for --json: (scenario, hedged, ops, p50_ms, p99_ms, hedges) *)
+let e24_hedging : (string * bool * int * float * float * int) list ref =
+  ref []
+
+(* this experiment measures the real binary: partitioned `incdb serve`
+   worker processes behind an `incdb coord` scatter/gather layer, all
+   spawned from here and driven over stdin *)
+let e24_exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat Filename.parent_dir_name
+       (Filename.concat "bin" "main.exe"))
+
+let e24_spawn ?(env = []) args =
+  let in_r, in_w = Unix.pipe ~cloexec:true () in
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  let overridden e =
+    List.exists
+      (fun o ->
+        match String.index_opt o '=' with
+        | None -> false
+        | Some i ->
+          let k = String.sub o 0 (i + 1) in
+          String.length e >= String.length k
+          && String.sub e 0 (String.length k) = k)
+      env
+  in
+  let inherited =
+    List.filter
+      (fun e -> not (overridden e))
+      (Array.to_list (Unix.environment ()))
+  in
+  let pid =
+    Unix.create_process_env e24_exe
+      (Array.of_list (e24_exe :: args))
+      (Array.of_list (env @ inherited))
+      in_r out_w Unix.stderr
+  in
+  Unix.close in_r;
+  Unix.close out_w;
+  (pid, in_w, out_r)
+
+let e24_read_line fd =
+  let buf = Buffer.create 64 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> Buffer.contents buf
+    | _ ->
+      if Bytes.get b 0 = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Bytes.get b 0);
+        go ()
+      end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let e24_read_all fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let e24_reap pid = ignore (Unix.waitpid [] pid)
+
+(* one partitioned worker; ~[env] slows it down for the adversary runs *)
+let e24_spawn_shard ?env ~scale i n =
+  let pid, stdin_w, stdout_r =
+    e24_spawn ?env
+      [ "serve"; "--database"; "tpch"; "--scale"; string_of_int scale;
+        "--null-rate"; "0"; "--no-cache"; "--listen"; "127.0.0.1:0";
+        "--partition"; Printf.sprintf "%d/%d" i n ]
+  in
+  Unix.close stdin_w;
+  let banner = e24_read_line stdout_r in
+  match String.rindex_opt banner ':' with
+  | Some i ->
+    (match
+       int_of_string_opt
+         (String.sub banner (i + 1) (String.length banner - i - 1))
+     with
+     | Some port -> (pid, stdout_r, port)
+     | None -> failwith ("e24: unparsable banner: " ^ banner))
+  | None -> failwith ("e24: unparsable banner: " ^ banner)
+
+(* drive a coordinator (or a plain serve) session over stdin and
+   harvest the per-query latencies it reports on its outcome lines *)
+let e24_latencies_of out =
+  List.filter_map
+    (fun line ->
+      if String.length line > 0 && line.[0] = '[' then
+        match String.rindex_opt line ' ' with
+        | Some i ->
+          let tok = String.sub line (i + 1) (String.length line - i - 1) in
+          if
+            String.length tok > 2
+            && String.sub tok (String.length tok - 2) 2 = "ms"
+          then float_of_string_opt (String.sub tok 0 (String.length tok - 2))
+          else None
+        | None -> None
+      else None)
+    (String.split_on_char '\n' out)
+
+(* [pace] > 0 sends the input one line at a time with that many seconds
+   between lines, so each outcome's reported latency measures the RPC
+   rather than coordinator-side queue wait (queries are submitted
+   asynchronously, so a burst measures mostly queueing) *)
+let e24_session ?(pace = 0.0) args input =
+  let pid, stdin_w, stdout_r = e24_spawn args in
+  let write s =
+    ignore (Unix.write stdin_w (Bytes.of_string s) 0 (String.length s))
+  in
+  if pace <= 0.0 then write input
+  else
+    List.iter
+      (fun line ->
+        if line <> "" then begin
+          write (line ^ "\n");
+          Unix.sleepf pace
+        end)
+      (String.split_on_char '\n' input);
+  Unix.close stdin_w;
+  let out = e24_read_all stdout_r in
+  Unix.close stdout_r;
+  e24_reap pid;
+  out
+
+let exp_e24 () =
+  hr "E24: sharded scatter/gather — speedup and hedged tail latency";
+  let scale = if !bench_small then 6 else 40 in
+  let reps = if !bench_small then 10 else 40 in
+  (* the scatterable route: a positive-condition UCQ over the largest
+     relation, answered by the partition union of per-shard certain
+     answers; the gathered route: a join, shipped to the coordinator
+     and evaluated over the reassembled database *)
+  let scatter_q = "SELECT lorderkey FROM lineitem WHERE quantity = 7" in
+  let gather_q =
+    "SELECT O.orderkey FROM orders O, customer C WHERE O.ocustkey = \
+     C.custkey"
+  in
+  let script q = String.concat "" (List.init reps (fun _ -> q ^ "\n")) in
+  let mean = function
+    | [] -> 0.0
+    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  (* -------- phase A: answer-latency vs fleet size ------------------ *)
+  Printf.printf
+    "tpch scale %d, %d reps per route; per-query latency from the\n\
+     coordinator's own outcome lines:\n\n"
+    scale reps;
+  Printf.printf "%16s %7s %14s %14s\n" "deployment" "shards" "scatter(ms)"
+    "gather(ms)";
+  let serve_args =
+    [ "serve"; "--database"; "tpch"; "--scale"; string_of_int scale;
+      "--null-rate"; "0"; "--no-cache" ]
+  in
+  let single_scatter =
+    mean (e24_latencies_of (e24_session serve_args (script scatter_q)))
+  in
+  let single_gather =
+    mean (e24_latencies_of (e24_session serve_args (script gather_q)))
+  in
+  e24_speedup :=
+    [ ("scatter", 0, reps, single_scatter);
+      ("gather", 0, reps, single_gather) ];
+  Printf.printf "%16s %7s %14.2f %14.2f\n" "single serve" "-" single_scatter
+    single_gather;
+  List.iter
+    (fun n ->
+      let fleet = List.init n (fun i -> e24_spawn_shard ~scale i n) in
+      let addrs =
+        String.concat ","
+          (List.map
+             (fun (_, _, port) -> Printf.sprintf "127.0.0.1:%d" port)
+             fleet)
+      in
+      let coord_args =
+        [ "coord"; "--database"; "tpch"; "--scale"; string_of_int scale;
+          "--null-rate"; "0"; "--no-cache"; "--shards"; addrs ]
+      in
+      (* EOF ends the first session but leaves the fleet up; #drain in
+         the second fans out and takes the workers down with it *)
+      let scatter_ms =
+        mean (e24_latencies_of (e24_session coord_args (script scatter_q)))
+      in
+      let gather_ms =
+        mean
+          (e24_latencies_of
+             (e24_session coord_args (script gather_q ^ "#drain\n")))
+      in
+      List.iter
+        (fun (pid, fd, _) ->
+          e24_reap pid;
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        fleet;
+      e24_speedup :=
+        !e24_speedup
+        @ [ ("scatter", n, reps, scatter_ms); ("gather", n, reps, gather_ms) ];
+      Printf.printf "%16s %7d %14.2f %14.2f\n" "coord fleet" n scatter_ms
+        gather_ms)
+    [ 1; 2; 4 ];
+  Printf.printf
+    "\nScatter splits the per-shard evaluation N ways (union of\n\
+     per-partition certain answers); gather ships every base relation\n\
+     to the coordinator first, so it pays the single-process cost plus\n\
+     shipping — the split is the planner's shard_split fragment test.\n";
+  (* -------- phase B: tail latency under one slow shard ------------- *)
+  let hreps = if !bench_small then 16 else 40 in
+  (* the adversary: shard 0's primary sleeps on 10% of response writes
+     (a seeded injected delay), its replica is healthy.  The slowness
+     must be a minority of the mass: the hedge trigger is the latency
+     window's p50, so a shard that is slow most of the time drags its
+     own median up until the trigger never fires — hedging clips a
+     tail, it cannot fix a shard that is simply slow *)
+  let slow_env = [ "INCDB_FAULT=server.write:0.1:3:delay=50" ] in
+  let slow0 = e24_spawn_shard ~env:slow_env ~scale 0 2 in
+  let rep0 = e24_spawn_shard ~scale 0 2 in
+  let shard1 = e24_spawn_shard ~scale 1 2 in
+  let port_of (_, _, p) = Printf.sprintf "127.0.0.1:%d" p in
+  let base_args hedged =
+    [ "coord"; "--database"; "tpch"; "--scale"; string_of_int scale;
+      "--null-rate"; "0"; "--no-cache"; "--shards";
+      port_of slow0 ^ "," ^ port_of shard1; "--replicas";
+      port_of rep0 ^ ",-" ]
+    @ if hedged then [ "--hedge"; "0.5"; "--hedge-min"; "0.01" ] else []
+  in
+  let run hedged last =
+    let script =
+      String.concat "" (List.init hreps (fun _ -> scatter_q ^ "\n"))
+      ^ "#stats\n"
+      ^ (if last then "#drain\n" else "")
+    in
+    let out = e24_session ~pace:0.15 (base_args hedged) script in
+    let lat = e24_latencies_of out in
+    let hedges =
+      (* sum the hedges= counters of the "-- coord:" epilogue — the
+         #stats directive is answered synchronously in the read loop,
+         before the async queries resolve, so its counters run early *)
+      List.fold_left
+        (fun acc tok ->
+          match String.index_opt tok '=' with
+          | Some i when String.sub tok 0 i = "hedges" ->
+            acc
+            + Option.value ~default:0
+                (int_of_string_opt
+                   (String.sub tok (i + 1) (String.length tok - i - 1)))
+          | _ -> acc)
+        0
+        (List.concat_map (String.split_on_char ' ')
+           (List.filter
+              (fun l ->
+                String.length l >= 9 && String.sub l 0 9 = "-- coord:")
+              (String.split_on_char '\n' out)))
+    in
+    (percentile 0.50 lat, percentile 0.99 lat, hedges)
+  in
+  let p50_plain, p99_plain, _ = run false false in
+  (* warm the replica before the hedged run: its first query would
+     otherwise pay cold-start inside the measured hedge race *)
+  ignore
+    (e24_session
+       [ "coord"; "--database"; "tpch"; "--scale"; string_of_int scale;
+         "--null-rate"; "0"; "--no-cache"; "--shards";
+         port_of rep0 ^ "," ^ port_of shard1 ]
+       (scatter_q ^ "\n"));
+  let p50_hedged, p99_hedged, hedges = run true true in
+  List.iter
+    (fun (pid, fd, _) ->
+      e24_reap pid;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    [ slow0; rep0; shard1 ];
+  e24_hedging :=
+    [ ("slow-shard", false, hreps, p50_plain, p99_plain, 0);
+      ("slow-shard+hedge", true, hreps, p50_hedged, p99_hedged, hedges) ];
+  Printf.printf
+    "\none shard's primary sleeps 50 ms on 10%% of its response writes;\n\
+     %d scatter queries (paced, so latency is the RPC and not queue\n\
+     wait), with and without hedged reads to its replica:\n\n"
+    hreps;
+  Printf.printf "%20s %9s %9s %8s\n" "scenario" "p50(ms)" "p99(ms)" "hedges";
+  Printf.printf "%20s %9.1f %9.1f %8s\n" "slow shard" p50_plain p99_plain "-";
+  Printf.printf "%20s %9.1f %9.1f %8d\n" "slow shard + hedge" p50_hedged
+    p99_hedged hedges;
+  Printf.printf
+    "\nWithout hedging a scatter that lands on a delayed write waits\n\
+     out the slow primary; with --hedge the coordinator races the\n\
+     replica once the exchange crosses the shard's latency-window\n\
+     quantile, so the tail collapses toward the healthy path.\n"
+
+let write_e24_json path =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiment\": \"e24\",\n";
+  Buffer.add_string buf
+    "  \"description\": \"sharded scatter/gather coordinator: answer \
+     latency vs fleet size for the scatterable UCQ route and the gathered \
+     join route, and tail latency under one slow shard with and without \
+     hedged reads to a replica\",\n";
+  Buffer.add_string buf "  \"speedup\": [\n";
+  let n = List.length !e24_speedup in
+  List.iteri
+    (fun i (route, shards, ops, ms) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"route\": \"%s\", \"shards\": %d, \"ops\": %d, \
+            \"mean_ms\": %.3f}%s\n"
+           route shards ops ms
+           (if i = n - 1 then "" else ",")))
+    !e24_speedup;
+  Buffer.add_string buf "  ],\n  \"hedging\": [\n";
+  let n = List.length !e24_hedging in
+  List.iteri
+    (fun i (scenario, hedged, ops, p50, p99, hedges) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"scenario\": \"%s\", \"hedged\": %b, \"ops\": %d, \
+            \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"hedges\": %d}%s\n"
+           scenario hedged ops p50 p99 hedges
+           (if i = n - 1 then "" else ",")))
+    !e24_hedging;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d measurements)\n" path
+    (List.length !e24_speedup + List.length !e24_hedging)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -2910,7 +3254,8 @@ let experiments =
     ("e9", exp_e9); ("e10", exp_e10); ("e11", exp_e11); ("e12", exp_e12);
     ("e13", exp_e13); ("e14", exp_e14); ("e15", exp_e15); ("e16", exp_e16);
     ("e17", exp_e17); ("e18", exp_e18); ("e19", exp_e19); ("e20", exp_e20);
-    ("e21", exp_e21); ("e22", exp_e22); ("e23", exp_e23); ("micro", micro) ]
+    ("e21", exp_e21); ("e22", exp_e22); ("e23", exp_e23); ("e24", exp_e24);
+    ("micro", micro) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -2960,4 +3305,6 @@ let () =
     write_e22_json "BENCH_PR8.json";
   if !json && !e21_results <> [] then write_e21_json "BENCH_PR7.json";
   if !json && (!e23_memory <> [] || !e23_fairness <> []) then
-    write_e23_json "BENCH_PR9.json"
+    write_e23_json "BENCH_PR9.json";
+  if !json && (!e24_speedup <> [] || !e24_hedging <> []) then
+    write_e24_json "BENCH_PR10.json"

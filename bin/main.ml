@@ -13,6 +13,9 @@
                --listen — through the concurrent front door (admission
                control, priority lanes, per-client quotas, retries,
                degradation to Q+, graceful drain)
+     coord     scatter/gather front end over a fleet of serve
+               --partition workers (circuit breakers, hedged reads,
+               degraded partial answers)
 
    Databases: fig1 (the paper's bookstore, optionally with the
    Section 1 NULL), tpch (the TPC-H-mini workload at a given scale and
@@ -594,230 +597,253 @@ let cert_cache_binding ?(key_prefix = "cert:") cache ~all_rels q =
         require_exact = false })
     cache
 
+let capacity_arg =
+  let doc =
+    "Admission-queue capacity (queries waiting beyond the in-flight \
+     workers).  Unbounded when omitted."
+  in
+  Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"N" ~doc)
+
+let shed_arg =
+  let doc =
+    "What to do with a submission that finds the queue full: reject \
+     (answer it overloaded), drop-oldest (evict the oldest queued query), \
+     or block (wait for space)."
+  in
+  let parse = function
+    | "reject" -> Ok Service.Reject
+    | "drop-oldest" -> Ok Service.Drop_oldest
+    | "block" -> Ok Service.Block
+    | other -> Error (`Msg (Printf.sprintf "unknown shed policy %s" other))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with
+       | Service.Reject -> "reject"
+       | Service.Drop_oldest -> "drop-oldest"
+       | Service.Block -> "block")
+  in
+  Arg.(value
+       & opt (conv (parse, print)) Service.Reject
+       & info [ "shed" ] ~docv:"POLICY" ~doc)
+
+let workers_arg =
+  let doc = "Worker domains = maximum in-flight queries." in
+  Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry attempts after the first try, for transient failures \
+     (injected faults and deadline interrupts)."
+  in
+  Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+
+let backoff_arg =
+  let doc = "Backoff base in seconds: retry n sleeps base * 2^n." in
+  Arg.(value & opt float 0.05 & info [ "backoff" ] ~docv:"SECONDS" ~doc)
+
+let deadline_arg =
+  let doc = "Per-attempt deadline in milliseconds." in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
+
+let budget_arg =
+  let doc =
+    "Per-attempt tuple budget; a query that exhausts it degrades to the \
+     sound Q+ approximation instead of retrying."
+  in
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"TUPLES" ~doc)
+
+let listen_arg =
+  let doc =
+    "Serve over TCP instead of stdin: listen on HOST:PORT (PORT 0 picks \
+     an ephemeral port, printed on startup).  Clients speak the same \
+     newline-delimited protocol, plus the #client/#priority/#drain/\
+     #counters directives."
+  in
+  Arg.(value
+       & opt (some string) None
+       & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+
+let max_conns_arg =
+  let doc = "Maximum concurrent connections; extras get a #busy line." in
+  Arg.(value & opt int 16 & info [ "max-conns" ] ~docv:"N" ~doc)
+
+let max_line_arg =
+  let doc = "Maximum request-line length in bytes." in
+  Arg.(value & opt int (64 * 1024) & info [ "max-line" ] ~docv:"BYTES" ~doc)
+
+let read_timeout_arg =
+  let doc = "Per-connection read timeout in seconds." in
+  Arg.(value
+       & opt float 10.0
+       & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
+
+let write_timeout_arg =
+  let doc =
+    "Per-connection write timeout in seconds: a reader that stalls a \
+     write longer than this is evicted (counted slow_evicted) instead \
+     of pinning its connection."
+  in
+  Arg.(value
+       & opt float 10.0
+       & info [ "write-timeout" ] ~docv:"SECONDS" ~doc)
+
+let frame_arg =
+  let doc =
+    "Maximum tuples per stream frame (#stream on): bounds the writer's \
+     working set and how far a response can run between guard checks."
+  in
+  Arg.(value & opt int 64 & info [ "frame" ] ~docv:"TUPLES" ~doc)
+
+let byte_quota_arg =
+  let doc =
+    "Per-client written-byte budget: a token bucket of BYTES (burst) \
+     per #client id, refilled at --byte-rate.  Unlimited when omitted."
+  in
+  Arg.(value
+       & opt (some int) None
+       & info [ "byte-quota" ] ~docv:"BYTES" ~doc)
+
+let byte_rate_arg =
+  let doc =
+    "Refill rate of the per-client byte bucket in bytes/second; \
+     defaults to the --byte-quota burst per second."
+  in
+  Arg.(value
+       & opt (some float) None
+       & info [ "byte-rate" ] ~docv:"BYTES/S" ~doc)
+
+let byte_policy_arg =
+  let doc =
+    "What to do when a client's byte bucket runs dry: throttle (park \
+     the writer until it refills), shed (refuse queries and truncate \
+     streams as overloaded), or degrade (stop streams at the delivered \
+     prefix, reported and cached as a sound limit-K answer)."
+  in
+  let parse s =
+    match Server.byte_policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown byte policy %s" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf (Server.byte_policy_to_string p)
+  in
+  Arg.(value
+       & opt (conv (parse, print)) Server.Throttle
+       & info [ "byte-policy" ] ~docv:"POLICY" ~doc)
+
+let drain_deadline_arg =
+  let doc =
+    "Seconds a drain (SIGTERM or #drain) lets in-flight queries finish \
+     before force-cancelling them."
+  in
+  Arg.(value
+       & opt float 5.0
+       & info [ "drain-deadline" ] ~docv:"SECONDS" ~doc)
+
+let quota_arg =
+  let doc =
+    "Per-client in-flight query quota (clients keyed by connection or \
+     #client id); over-quota queries are shed as overloaded.  Unlimited \
+     when omitted."
+  in
+  Arg.(value & opt (some int) None & info [ "quota" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc =
+    "Semantic result cache capacity in entries: repeated queries (modulo \
+     plan canonicalization) answer from cache until an insert/delete \
+     touches one of their base relations."
+  in
+  Arg.(value & opt int 256 & info [ "cache" ] ~docv:"SIZE" ~doc)
+
+let no_cache_arg =
+  let doc = "Disable the semantic result cache." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let datalog_serve_arg =
+  let doc =
+    "Materialize this Datalog program over the database and maintain its \
+     fixpoint incrementally across insert/delete lines (semi-naive \
+     deltas for inserts, DRed overdelete/re-derive for deletes); every \
+     IDB predicate becomes a queryable relation."
+  in
+  Arg.(value
+       & opt (some string) None
+       & info [ "datalog" ] ~docv:"PROGRAM" ~doc)
+
+(* serve's --data doubles as the durability directory, so unlike the
+   read-only subcommands it may name a directory that does not exist
+   yet (created on first boot) *)
+let serve_data_arg =
+  let doc =
+    "Durable data directory: .csv files in it (if any) seed the \
+     database, and every accepted insert/delete is written ahead to \
+     DIR/wal.log (see --fsync) with periodic snapshots to \
+     DIR/snapshot.img (see --snapshot-every and the #snapshot \
+     directive).  On startup the newest valid snapshot is loaded and \
+     the log tail replayed, so acknowledged updates survive a crash.  \
+     Created if missing.  Without this flag updates are in-memory \
+     only."
+  in
+  Arg.(value & opt (some string) None & info [ "data" ] ~docv:"DIR" ~doc)
+
+let fsync_arg =
+  let doc =
+    "WAL fsync policy under --data: always (fsync every append — an \
+     acknowledged update survives power loss), never (leave flushing \
+     to the OS — survives SIGKILL, not power loss), or a positive \
+     integer N (fsync every N appends — at most N-1 acknowledged \
+     updates lost on power failure).  Defaults to \\$INCDB_FSYNC, or \
+     always."
+  in
+  let parse s =
+    match Wal.policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown fsync policy %s (expected always, never, or a \
+               positive integer)"
+              s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Wal.policy_to_string p) in
+  Arg.(value
+       & opt (some (conv (parse, print))) None
+       & info [ "fsync" ] ~docv:"POLICY" ~doc)
+
+let snapshot_every_arg =
+  let doc =
+    "Snapshot + compact the WAL automatically every K accepted \
+     updates (0 disables the cadence; #snapshot still forces one)."
+  in
+  Arg.(value & opt int 1024 & info [ "snapshot-every" ] ~docv:"K" ~doc)
+
+let partition_arg =
+  let doc =
+    "Keep only the I-th of N hash partitions of the seeded workload \
+     (0-based): a row r survives iff its owner shard — the FNV-1a hash \
+     of its CSV rendering mod N — is I.  Every worker of an incdb coord \
+     fleet loads the same deterministic workload under a distinct \
+     --partition I/N, so the partitions tile the database exactly.  \
+     Incompatible with --data and --datalog (durability and fixpoint \
+     maintenance are coordinator concerns)."
+  in
+  let parse s =
+    match String.split_on_char '/' s with
+    | [ i; n ] -> (
+      match (int_of_string_opt i, int_of_string_opt n) with
+      | Some i, Some n when n > 0 && i >= 0 && i < n -> Ok (i, n)
+      | _ -> Error (`Msg (Printf.sprintf "--partition expects I/N with 0 <= I < N, got %s" s)))
+    | _ -> Error (`Msg (Printf.sprintf "--partition expects I/N, got %s" s))
+  in
+  let print ppf (i, n) = Format.fprintf ppf "%d/%d" i n in
+  Arg.(value
+       & opt (some (conv (parse, print))) None
+       & info [ "partition" ] ~docv:"I/N" ~doc)
+
 let serve_cmd =
-  let capacity_arg =
-    let doc =
-      "Admission-queue capacity (queries waiting beyond the in-flight \
-       workers).  Unbounded when omitted."
-    in
-    Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"N" ~doc)
-  in
-  let shed_arg =
-    let doc =
-      "What to do with a submission that finds the queue full: reject \
-       (answer it overloaded), drop-oldest (evict the oldest queued query), \
-       or block (wait for space)."
-    in
-    let parse = function
-      | "reject" -> Ok Service.Reject
-      | "drop-oldest" -> Ok Service.Drop_oldest
-      | "block" -> Ok Service.Block
-      | other -> Error (`Msg (Printf.sprintf "unknown shed policy %s" other))
-    in
-    let print ppf p =
-      Format.pp_print_string ppf
-        (match p with
-         | Service.Reject -> "reject"
-         | Service.Drop_oldest -> "drop-oldest"
-         | Service.Block -> "block")
-    in
-    Arg.(value
-         & opt (conv (parse, print)) Service.Reject
-         & info [ "shed" ] ~docv:"POLICY" ~doc)
-  in
-  let workers_arg =
-    let doc = "Worker domains = maximum in-flight queries." in
-    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
-  in
-  let retries_arg =
-    let doc =
-      "Retry attempts after the first try, for transient failures \
-       (injected faults and deadline interrupts)."
-    in
-    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
-  in
-  let backoff_arg =
-    let doc = "Backoff base in seconds: retry n sleeps base * 2^n." in
-    Arg.(value & opt float 0.05 & info [ "backoff" ] ~docv:"SECONDS" ~doc)
-  in
-  let deadline_arg =
-    let doc = "Per-attempt deadline in milliseconds." in
-    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
-  in
-  let budget_arg =
-    let doc =
-      "Per-attempt tuple budget; a query that exhausts it degrades to the \
-       sound Q+ approximation instead of retrying."
-    in
-    Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"TUPLES" ~doc)
-  in
-  let listen_arg =
-    let doc =
-      "Serve over TCP instead of stdin: listen on HOST:PORT (PORT 0 picks \
-       an ephemeral port, printed on startup).  Clients speak the same \
-       newline-delimited protocol, plus the #client/#priority/#drain/\
-       #counters directives."
-    in
-    Arg.(value
-         & opt (some string) None
-         & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
-  in
-  let max_conns_arg =
-    let doc = "Maximum concurrent connections; extras get a #busy line." in
-    Arg.(value & opt int 16 & info [ "max-conns" ] ~docv:"N" ~doc)
-  in
-  let max_line_arg =
-    let doc = "Maximum request-line length in bytes." in
-    Arg.(value & opt int (64 * 1024) & info [ "max-line" ] ~docv:"BYTES" ~doc)
-  in
-  let read_timeout_arg =
-    let doc = "Per-connection read timeout in seconds." in
-    Arg.(value
-         & opt float 10.0
-         & info [ "read-timeout" ] ~docv:"SECONDS" ~doc)
-  in
-  let write_timeout_arg =
-    let doc =
-      "Per-connection write timeout in seconds: a reader that stalls a \
-       write longer than this is evicted (counted slow_evicted) instead \
-       of pinning its connection."
-    in
-    Arg.(value
-         & opt float 10.0
-         & info [ "write-timeout" ] ~docv:"SECONDS" ~doc)
-  in
-  let frame_arg =
-    let doc =
-      "Maximum tuples per stream frame (#stream on): bounds the writer's \
-       working set and how far a response can run between guard checks."
-    in
-    Arg.(value & opt int 64 & info [ "frame" ] ~docv:"TUPLES" ~doc)
-  in
-  let byte_quota_arg =
-    let doc =
-      "Per-client written-byte budget: a token bucket of BYTES (burst) \
-       per #client id, refilled at --byte-rate.  Unlimited when omitted."
-    in
-    Arg.(value
-         & opt (some int) None
-         & info [ "byte-quota" ] ~docv:"BYTES" ~doc)
-  in
-  let byte_rate_arg =
-    let doc =
-      "Refill rate of the per-client byte bucket in bytes/second; \
-       defaults to the --byte-quota burst per second."
-    in
-    Arg.(value
-         & opt (some float) None
-         & info [ "byte-rate" ] ~docv:"BYTES/S" ~doc)
-  in
-  let byte_policy_arg =
-    let doc =
-      "What to do when a client's byte bucket runs dry: throttle (park \
-       the writer until it refills), shed (refuse queries and truncate \
-       streams as overloaded), or degrade (stop streams at the delivered \
-       prefix, reported and cached as a sound limit-K answer)."
-    in
-    let parse s =
-      match Server.byte_policy_of_string s with
-      | Some p -> Ok p
-      | None -> Error (`Msg (Printf.sprintf "unknown byte policy %s" s))
-    in
-    let print ppf p =
-      Format.pp_print_string ppf (Server.byte_policy_to_string p)
-    in
-    Arg.(value
-         & opt (conv (parse, print)) Server.Throttle
-         & info [ "byte-policy" ] ~docv:"POLICY" ~doc)
-  in
-  let drain_deadline_arg =
-    let doc =
-      "Seconds a drain (SIGTERM or #drain) lets in-flight queries finish \
-       before force-cancelling them."
-    in
-    Arg.(value
-         & opt float 5.0
-         & info [ "drain-deadline" ] ~docv:"SECONDS" ~doc)
-  in
-  let quota_arg =
-    let doc =
-      "Per-client in-flight query quota (clients keyed by connection or \
-       #client id); over-quota queries are shed as overloaded.  Unlimited \
-       when omitted."
-    in
-    Arg.(value & opt (some int) None & info [ "quota" ] ~docv:"N" ~doc)
-  in
-  let cache_arg =
-    let doc =
-      "Semantic result cache capacity in entries: repeated queries (modulo \
-       plan canonicalization) answer from cache until an insert/delete \
-       touches one of their base relations."
-    in
-    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"SIZE" ~doc)
-  in
-  let no_cache_arg =
-    let doc = "Disable the semantic result cache." in
-    Arg.(value & flag & info [ "no-cache" ] ~doc)
-  in
-  let datalog_serve_arg =
-    let doc =
-      "Materialize this Datalog program over the database and maintain its \
-       fixpoint incrementally across insert/delete lines (semi-naive \
-       deltas for inserts, DRed overdelete/re-derive for deletes); every \
-       IDB predicate becomes a queryable relation."
-    in
-    Arg.(value
-         & opt (some string) None
-         & info [ "datalog" ] ~docv:"PROGRAM" ~doc)
-  in
-  (* serve's --data doubles as the durability directory, so unlike the
-     read-only subcommands it may name a directory that does not exist
-     yet (created on first boot) *)
-  let serve_data_arg =
-    let doc =
-      "Durable data directory: .csv files in it (if any) seed the \
-       database, and every accepted insert/delete is written ahead to \
-       DIR/wal.log (see --fsync) with periodic snapshots to \
-       DIR/snapshot.img (see --snapshot-every and the #snapshot \
-       directive).  On startup the newest valid snapshot is loaded and \
-       the log tail replayed, so acknowledged updates survive a crash.  \
-       Created if missing.  Without this flag updates are in-memory \
-       only."
-    in
-    Arg.(value & opt (some string) None & info [ "data" ] ~docv:"DIR" ~doc)
-  in
-  let fsync_arg =
-    let doc =
-      "WAL fsync policy under --data: always (fsync every append — an \
-       acknowledged update survives power loss), never (leave flushing \
-       to the OS — survives SIGKILL, not power loss), or a positive \
-       integer N (fsync every N appends — at most N-1 acknowledged \
-       updates lost on power failure).  Defaults to \\$INCDB_FSYNC, or \
-       always."
-    in
-    let parse s =
-      match Wal.policy_of_string s with
-      | Some p -> Ok p
-      | None ->
-        Error
-          (`Msg
-             (Printf.sprintf
-                "unknown fsync policy %s (expected always, never, or a \
-                 positive integer)"
-                s))
-    in
-    let print ppf p = Format.pp_print_string ppf (Wal.policy_to_string p) in
-    Arg.(value
-         & opt (some (conv (parse, print))) None
-         & info [ "fsync" ] ~docv:"POLICY" ~doc)
-  in
-  let snapshot_every_arg =
-    let doc =
-      "Snapshot + compact the WAL automatically every K accepted \
-       updates (0 disables the cadence; #snapshot still forces one)."
-    in
-    Arg.(value & opt int 1024 & info [ "snapshot-every" ] ~docv:"K" ~doc)
-  in
   (* stdin mode: a printer domain awaits tickets in submission order and
      flushes each outcome line as soon as it resolves, so piped consumers
      see progress in real time while the reader keeps submitting.
@@ -914,7 +940,14 @@ let serve_cmd =
                         ^ (match st.wal with
                            | Some w -> " | " ^ Wal.stats_line w
                            | None -> "")
-                        ^ Printf.sprintf " | srv bytes=%d"
+                        (* same srv segment shape as the TCP server's
+                           Server.stats_line, so #stats parses the same
+                           in both modes; stdin has no streaming or
+                           byte-accounting, so those counters are 0 *)
+                        ^ Printf.sprintf
+                            " | srv bytes=%d streams=0 frames=0 \
+                             byte_shed=0 byte_degraded=0 parks=0 \
+                             slow_evicted=0 clients=[]"
                             (Atomic.get stdout_bytes)
                       else if line = "#snapshot" then
                         match snapshot_now st with
@@ -1023,7 +1056,73 @@ let serve_cmd =
     let tuples_seq r =
       Seq.map (fun t -> Tuple.to_string t ^ ";") (List.to_seq (Relation.to_list r))
     in
+    (* the shard wire protocol (DESIGN.md §4k): "dump REL" streams the
+       raw rows of REL's local partition and "csv SQL" streams the
+       certain answer, both in CSV row syntax (Csv_io.format_row, so
+       marked nulls round-trip exactly).  The coordinator always turns
+       #stream on first — a Stream payload without a stream handle is a
+       protocol error the server reports on its own. *)
+    let csv_rows r =
+      Seq.map
+        (fun t -> Csv_io.format_row t ^ ";")
+        (List.to_seq (Relation.to_list r))
+    in
+    let wire_request sql =
+      let word, rest =
+        match String.index_opt sql ' ' with
+        | None -> (sql, "")
+        | Some i ->
+          ( String.sub sql 0 i,
+            String.trim
+              (String.sub sql (i + 1) (String.length sql - i - 1)) )
+      in
+      match word with
+      | "dump" ->
+        Some
+          (if rest = "" then Error "dump expects a relation name"
+           else
+             match Database.relation (view_db st) rest with
+             | exception Not_found -> Error ("unknown relation " ^ rest)
+             | _ ->
+               (* raw rows: never cached (the coordinator caches
+                  complete gathers itself) and no Q⁺ fallback — a dump
+                  is already the ground truth *)
+               Result.Ok
+                 { Server.run =
+                     (fun ~pool:_ ~guard ->
+                       Guard.check (Some guard);
+                       Server.Stream
+                         (csv_rows (Database.relation (view_db st) rest)));
+                   fallback = None;
+                   cache = None })
+      | "csv" ->
+        Some
+          (match Sql.To_algebra.translate_string schema rest with
+           | exception
+               (Sql.Parser.Parse_error msg | Sql.Lexer.Lex_error msg
+               | Sql.To_algebra.Unsupported msg) ->
+             Error msg
+           | q ->
+             Result.Ok
+               { Server.run =
+                   (fun ~pool ~guard ->
+                     Server.Stream
+                       (csv_rows
+                          (Certainty.cert_with_nulls_ra ~pool ~guard
+                             (view_db st) q)));
+                 fallback =
+                   Some
+                     (fun ~pool ->
+                       Server.Stream
+                         (csv_rows (Scheme_pm.certain_sub ~pool (view_db st) q)));
+                 cache =
+                   cert_cache_binding ~key_prefix:"certc:" cache ~all_rels q })
+      | _ -> None
+    in
     let handler ~stream sql =
+      match wire_request sql with
+      | Some r -> r
+      | None ->
       match parse_update_line sql with
       | Some (Error msg) -> Error msg
       | Some (Ok (op, rel, body)) ->
@@ -1134,6 +1233,7 @@ let serve_cmd =
             (match st.wal with
              | None -> None
              | Some _ -> Some (fun () -> snapshot_now st));
+          directives = [];
           service = svc_cfg }
         handler
     in
@@ -1182,7 +1282,7 @@ let serve_cmd =
   let run db_name data scale null_rate seed fsync snapshot_every capacity
       shed workers retries backoff deadline_ms budget listen max_conns
       max_line read_timeout write_timeout drain_deadline quota byte_quota
-      byte_rate byte_policy frame_items cache_size no_cache datalog =
+      byte_rate byte_policy frame_items cache_size no_cache datalog partition =
     handle_errors (fun () ->
         (* Seed precedence under --data DIR: any snapshot/log in DIR is
            authoritative (it embeds its own schema); otherwise .csv
@@ -1244,6 +1344,22 @@ let serve_cmd =
                  | None -> "no snapshot")
                 (List.length r.Wal.replayed);
             (Some w, base, nn)
+        in
+        let db =
+          match partition with
+          | None -> db
+          | Some (i, n) ->
+            if data <> None then
+              invalid_arg "--partition is incompatible with --data";
+            if datalog <> None then
+              invalid_arg "--partition is incompatible with --datalog";
+            Database.map_relations
+              (fun _ r ->
+                Relation.of_list (Relation.arity r)
+                  (List.filter
+                     (fun t -> Shard.owner ~shards:n (Csv_io.format_row t) = i)
+                     (Relation.to_list r)))
+              db
         in
         let schema0 = Database.schema db in
         let dl, schema, view =
@@ -1320,11 +1436,862 @@ let serve_cmd =
       $ listen_arg $ max_conns_arg $ max_line_arg $ read_timeout_arg
       $ write_timeout_arg $ drain_deadline_arg $ quota_arg $ byte_quota_arg
       $ byte_rate_arg $ byte_policy_arg $ frame_arg $ cache_arg $ no_cache_arg
+      $ datalog_serve_arg $ partition_arg)
+
+(* ------------------------------------------------------------------ *)
+(* coord: sharded scatter/gather front end (DESIGN.md §4k)             *)
+(* ------------------------------------------------------------------ *)
+
+(* terminal-line classifier for the worker wire protocol: a "[n] WORD"
+   response line whose WORD is neither "+" (a stream frame) nor
+   "stream" (the stream opener) settles the request, as do the #err/
+   #busy/#draining refusals; #ok directive acks do not. *)
+let terminal_response_line l =
+  let pfx p =
+    String.length l >= String.length p && String.sub l 0 (String.length p) = p
+  in
+  if l = "" then false
+  else if l.[0] = '#' then pfx "#err" || pfx "#busy" || pfx "#draining"
+  else if l.[0] <> '[' then false
+  else
+    match String.index_opt l ' ' with
+    | None -> false
+    | Some i ->
+      let rest = String.sub l (i + 1) (String.length l - i - 1) in
+      let word =
+        match String.index_opt rest ' ' with
+        | None -> rest
+        | Some j -> String.sub rest 0 j
+      in
+      word <> "+" && word <> "stream"
+
+type stream_leg = { lr_rows : Tuple.t list; lr_degraded : bool }
+
+(* decode one shard's response to a "#stream on" + csv/dump exchange:
+   collect the CSV rows out of the "+ " frames and whether the end line
+   carried the degraded marker; any refusal or failure terminal makes
+   the whole leg an error (the caller counts it against m of n) *)
+let parse_stream_leg lines =
+  let rows = ref [] and degraded = ref false and err = ref None in
+  List.iter
+    (fun l ->
+      if l <> "" && l.[0] = '[' then (
+        match String.index_opt l ' ' with
+        | None -> ()
+        | Some i ->
+          let rest = String.sub l (i + 1) (String.length l - i - 1) in
+          let word, tail =
+            match String.index_opt rest ' ' with
+            | None -> (rest, "")
+            | Some j ->
+              ( String.sub rest 0 j,
+                String.sub rest (j + 1) (String.length rest - j - 1) )
+          in
+          match word with
+          | "+" ->
+            let nn = ref 0 in
+            rows :=
+              List.rev_append
+                (List.rev_map (Csv_io.parse_row ~next_null:nn)
+                   (Csv_io.split_rows tail))
+                !rows
+          | "stream" -> ()
+          | "end" ->
+            if String.ends_with ~suffix:"degraded" tail then degraded := true
+          | "degraded" -> degraded := true
+          | "ok" -> ()
+          | _ -> if !err = None then err := Some l)
+      else if l <> "" && l.[0] = '#' then
+        let pfx p =
+          String.length l >= String.length p
+          && String.sub l 0 (String.length p) = p
+        in
+        if (pfx "#err" || pfx "#busy" || pfx "#draining") && !err = None then
+          err := Some l)
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None -> Ok { lr_rows = List.rev !rows; lr_degraded = !degraded }
+
+let coord_cmd =
+  let shards_arg =
+    let doc =
+      "Comma-separated worker addresses (HOST:PORT each): one incdb serve \
+       --listen --partition I/N process per entry, in partition order, all \
+       seeded with the same -d/--scale/--null-rate/--seed workload."
+    in
+    Arg.(required
+         & opt (some string) None
+         & info [ "shards" ] ~docv:"HOST:PORT,..." ~doc)
+  in
+  let replicas_arg =
+    let doc =
+      "Comma-separated replica addresses aligned with --shards (- for a \
+       shard without one): the target of hedged reads past the --hedge \
+       latency quantile."
+    in
+    Arg.(value
+         & opt (some string) None
+         & info [ "replicas" ] ~docv:"HOST:PORT|-,..." ~doc)
+  in
+  let connect_timeout_arg =
+    let doc = "Per-shard TCP connect deadline in seconds." in
+    Arg.(value & opt float 1.0 & info [ "connect-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let rpc_timeout_arg =
+    let doc = "Per-shard RPC deadline in seconds (connect + send + drain)." in
+    Arg.(value & opt float 10.0 & info [ "rpc-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let rpc_retries_arg =
+    let doc =
+      "Retry attempts per shard RPC after the first try (skipped once the \
+       shard's breaker opens)."
+    in
+    Arg.(value & opt int 1 & info [ "rpc-retries" ] ~docv:"N" ~doc)
+  in
+  let shard_backoff_arg =
+    let doc = "Shard retry backoff base in seconds: retry n sleeps base * 2^n." in
+    Arg.(value & opt float 0.05 & info [ "shard-backoff" ] ~docv:"SECONDS" ~doc)
+  in
+  let breaker_k_arg =
+    let doc =
+      "Consecutive failures that trip a shard's circuit breaker open; while \
+       open, calls fail fast without touching the network."
+    in
+    Arg.(value & opt int 3 & info [ "breaker-k" ] ~docv:"K" ~doc)
+  in
+  let breaker_cooldown_arg =
+    let doc =
+      "Seconds an open breaker waits before letting one half-open probe \
+       through; a successful probe re-closes it."
+    in
+    Arg.(value
+         & opt float 1.0
+         & info [ "breaker-cooldown" ] ~docv:"SECONDS" ~doc)
+  in
+  let hedge_arg =
+    let doc =
+      "Hedged reads: once a shard call outlives this quantile of its own \
+       recent latencies (e.g. 0.95), fire a second copy at the shard's \
+       --replicas entry and take whichever answers first.  Off when \
+       omitted."
+    in
+    Arg.(value & opt (some float) None & info [ "hedge" ] ~docv:"QUANTILE" ~doc)
+  in
+  let hedge_min_arg =
+    let doc =
+      "Floor in seconds under the --hedge trigger, so cold latency windows \
+       never hedge instantly."
+    in
+    Arg.(value & opt float 0.05 & info [ "hedge-min" ] ~docv:"SECONDS" ~doc)
+  in
+  let run db_name scale null_rate seed shards replicas connect_timeout
+      rpc_timeout rpc_retries shard_backoff breaker_k breaker_cooldown hedge
+      hedge_min capacity shed workers retries backoff deadline_ms budget
+      listen max_conns max_line read_timeout write_timeout drain_deadline
+      quota byte_quota byte_rate byte_policy frame_items cache_size no_cache
+      datalog =
+    handle_errors (fun () ->
+        let parse_addrs s = List.map String.trim (String.split_on_char ',' s) in
+        let primaries =
+          List.map
+            (fun a ->
+              match Shard.addr_of_string a with
+              | Ok addr -> addr
+              | Error msg -> invalid_arg ("--shards: " ^ msg))
+            (List.filter (fun a -> a <> "") (parse_addrs shards))
+        in
+        if primaries = [] then
+          invalid_arg "--shards expects at least one HOST:PORT";
+        let replicas =
+          match replicas with
+          | None -> List.map (fun _ -> None) primaries
+          | Some s ->
+            let rs = parse_addrs s in
+            if List.length rs <> List.length primaries then
+              invalid_arg
+                "--replicas must list one entry per shard (- for none)";
+            List.map
+              (fun a ->
+                if a = "-" then None
+                else
+                  match Shard.addr_of_string a with
+                  | Ok addr -> Some addr
+                  | Error msg -> invalid_arg ("--replicas: " ^ msg))
+              rs
+        in
+        let shard_cfg =
+          { Shard.connect_timeout;
+            rpc_timeout;
+            rpc_retries;
+            backoff_base = shard_backoff;
+            breaker_threshold = breaker_k;
+            breaker_cooldown;
+            hedge_quantile = hedge;
+            hedge_min }
+        in
+        (* the workers were seeded with this same deterministic workload;
+           regenerate it for its schema (and, under --datalog, the IDB
+           arities), then drop the instance — the coordinator holds no
+           base data of its own *)
+        let schema0, seed_db = load_db db_name ~scale ~null_rate ~seed in
+        let dl_program, schema =
+          match datalog with
+          | None -> (None, schema0)
+          | Some text -> (
+            match Datalog.Parser.parse text with
+            | exception Datalog.Parser.Parse_error msg ->
+              Format.eprintf "parse error: %s@." msg;
+              raise (Invalid_argument "invalid --datalog program")
+            | program ->
+              let m = Datalog.Eval.materialize seed_db program in
+              let schema =
+                List.fold_left
+                  (fun s (p, r) ->
+                    Schema.declare s p
+                      (List.init (Relation.arity r) (Printf.sprintf "c%d")))
+                  schema0 (Datalog.Eval.idb m)
+              in
+              (Some program, schema))
+        in
+        let edb_names =
+          List.map
+            (fun (d : Schema.relation_decl) -> d.name)
+            (Schema.relations schema0)
+        in
+        let idb_names =
+          List.filter
+            (fun r -> not (List.mem r edb_names))
+            (List.map
+               (fun (d : Schema.relation_decl) -> d.name)
+               (Schema.relations schema))
+        in
+        let all_rels = edb_names @ idb_names in
+        let cache_cap = if no_cache then None else Some cache_size in
+        (* clock protects the coordinator's fresh-null allocator (updates
+           mint marked nulls here, shards only echo them) and the dump
+           cache of complete gathers *)
+        let clock = Mutex.create () in
+        let next_null = ref 10_000_000 in
+        let dumps : (string, Tuple.t list) Hashtbl.t = Hashtbl.create 16 in
+        (* the semantic cache lives in the front end (its payload type is
+           the front end's); recovery and update invalidation reach it
+           through these hooks *)
+        let on_recover_hook = ref (fun () -> ()) in
+        let on_recover () =
+          (* a shard re-closing its breaker may hold rows our degraded
+             answers and partial gathers never saw: flush both caches so
+             nothing stale outlives the recovery *)
+          !on_recover_hook ();
+          Mutex.lock clock;
+          Hashtbl.reset dumps;
+          Mutex.unlock clock
+        in
+        let co =
+          Coord.create ~on_recover shard_cfg
+            (Array.of_list (List.combine primaries replicas))
+        in
+        let n_shards = Coord.size co in
+        let bump_dumps rel =
+          Mutex.lock clock;
+          Hashtbl.remove dumps rel;
+          Mutex.unlock clock
+        in
+        (* ---- gather tier ---------------------------------------- *)
+        let gather_rel ?guard rel =
+          let cached =
+            Mutex.lock clock;
+            let c = Hashtbl.find_opt dumps rel in
+            Mutex.unlock clock;
+            c
+          in
+          match cached with
+          | Some rows -> (rows, n_shards)
+          | None ->
+            let results =
+              Coord.scatter ?guard co
+                ~lines:(fun _ -> [ "#stream on"; "dump " ^ rel ])
+                ~terminal:terminal_response_line
+            in
+            let m = ref 0 and rows = ref [] in
+            Array.iter
+              (function
+                | Ok lines -> (
+                  match parse_stream_leg lines with
+                  | Ok leg when not leg.lr_degraded ->
+                    incr m;
+                    rows := List.rev_append leg.lr_rows !rows
+                  | Ok _ | Error _ -> ())
+                | Error _ -> ())
+              results;
+            if !m = n_shards then begin
+              (* only complete gathers are cached; a partial dump must
+                 be re-tried next query, never frozen in *)
+              Mutex.lock clock;
+              Hashtbl.replace dumps rel !rows;
+              Mutex.unlock clock
+            end;
+            (!rows, !m)
+        in
+        let gather_db ?guard rels =
+          let m_min = ref n_shards in
+          let bindings =
+            List.map
+              (fun r ->
+                let rows, m = gather_rel ?guard r in
+                if m < !m_min then m_min := m;
+                (r, rows))
+              rels
+          in
+          (Database.of_list schema0 bindings, !m_min)
+        in
+        let extend_datalog ?guard ~pool base =
+          match dl_program with
+          | None -> base
+          | Some program ->
+            let m = Datalog.Eval.materialize ~pool ?guard base program in
+            Database.of_list schema
+              (List.map
+                 (fun r -> (r, Relation.to_list (Database.relation base r)))
+                 edb_names
+               @ List.map
+                   (fun (p, r) -> (p, Relation.to_list r))
+                   (Datalog.Eval.idb m))
+        in
+        (* ---- scatter tier --------------------------------------- *)
+        let scatter_rows ?guard sql =
+          let results =
+            Coord.scatter ?guard co
+              ~lines:(fun _ -> [ "#stream on"; "csv " ^ sql ])
+              ~terminal:terminal_response_line
+          in
+          let m = ref 0 and rows = ref [] and deg = ref false in
+          Array.iter
+            (function
+              | Ok lines -> (
+                match parse_stream_leg lines with
+                | Ok leg ->
+                  incr m;
+                  if leg.lr_degraded then deg := true;
+                  rows := List.rev_append leg.lr_rows !rows
+                | Error _ -> ())
+              | Error _ -> ())
+            results;
+          (!rows, !m, !deg)
+        in
+        (* one query end to end.  Scatter-routed queries (the positive
+           tuple-at-a-time fragment, always monotone) take the union of
+           shard-local certain answers; everything else gathers the base
+           relations and evaluates here.  Partial fleets degrade only
+           when soundness survives: a monotone query over a subset
+           database under-approximates, a non-monotone one could
+           over-approximate and fails structurally instead.
+           @raise Failure when no sound answer exists *)
+        let coord_answer ?guard ~pool ~approx sql q =
+          let rels = Algebra.relations q in
+          let uses_idb = List.exists (fun r -> List.mem r idb_names) rels in
+          let route =
+            if uses_idb then Planner.Gather else Planner.shard_split q
+          in
+          match route with
+          | Planner.Scatter when not approx ->
+            let rows, m, deg = scatter_rows ?guard sql in
+            if m = 0 then
+              failwith
+                (Printf.sprintf "no shard answered (shards=0/%d)" n_shards);
+            let r = Relation.of_list (Algebra.arity schema q) rows in
+            (r, if m = n_shards && not deg then `Exact else `Partial m)
+          | Planner.Scatter | Planner.Gather ->
+            let needed =
+              if uses_idb then edb_names
+              else List.filter (fun r -> List.mem r edb_names) rels
+            in
+            let base, m = gather_db ?guard needed in
+            if m = 0 then
+              failwith
+                (Printf.sprintf "no shard answered (shards=0/%d)" n_shards);
+            if m < n_shards && not (Planner.monotone q) then
+              failwith
+                (Printf.sprintf
+                   "non-monotone query with shards down (shards=%d/%d): a \
+                    partial database could over-approximate its certain \
+                    answer"
+                   m n_shards);
+            let db = extend_datalog ?guard ~pool base in
+            let r =
+              if approx then Scheme_pm.certain_sub ~pool db q
+              else Certainty.cert_with_nulls_ra ~pool ?guard db q
+            in
+            (r, if m = n_shards then `Exact else `Partial m)
+        in
+        (* exact answers return plainly; a partial one is stashed and
+           routed through the Budget-interrupt → fallback path, so it
+           lands in the service's Degraded outcome column (the
+           admitted = completed + shed + failed invariant intact, the
+           cache storing it as approximate, the client told explicitly) *)
+        let degradable ~exact ~degraded sql q =
+          let stash = ref None in
+          let run ~pool ~guard =
+            match coord_answer ~guard ~pool ~approx:false sql q with
+            | r, `Exact -> exact r
+            | r, `Partial m ->
+              stash := Some (r, m);
+              raise (Guard.Interrupt (Guard.Budget { tuples = Relation.cardinal r }))
+          in
+          let fallback ~pool =
+            match !stash with
+            | Some (r, m) -> degraded r m
+            | None ->
+              (* a genuine guard trip mid-gather: unguarded best-effort
+                 Q⁺ re-evaluation, like every other fallback *)
+              let r, mark = coord_answer ~pool ~approx:true sql q in
+              degraded r (match mark with `Exact -> n_shards | `Partial m -> m)
+          in
+          (run, fallback)
+        in
+        let line_payload r = Printf.sprintf "(%d tuples)" (Relation.cardinal r) in
+        let line_degraded r m =
+          if m = n_shards then
+            (* the whole fleet answered; the subset came from worker-side
+               budget degradation — same contract as single-process Q⁺ *)
+            Printf.sprintf "(%d tuples, sound subset)" (Relation.cardinal r)
+          else
+            Printf.sprintf "(%d tuples, under-approximation, shards=%d/%d)"
+              (Relation.cardinal r) m n_shards
+        in
+        (* ---- update routing ------------------------------------- *)
+        let route_update ~bump op rel body =
+          let opname =
+            match op with `Insert -> "insert" | `Delete -> "delete"
+          in
+          Mutex.lock clock;
+          let saved = !next_null in
+          let reject e =
+            next_null := saved;
+            Mutex.unlock clock;
+            raise e
+          in
+          match
+            if List.mem rel idb_names then
+              invalid_arg
+                (Printf.sprintf "%s %s: cannot update an IDB predicate" opname
+                   rel);
+            let k =
+              try Schema.arity schema0 rel
+              with Not_found -> invalid_arg ("unknown relation " ^ rel)
+            in
+            let cells =
+              if String.trim body = "" then []
+              else String.split_on_char ',' body
+            in
+            let tuple =
+              Tuple.of_list (List.map (Csv_io.parse_value ~next_null) cells)
+            in
+            if Tuple.arity tuple <> k then
+              invalid_arg
+                (Printf.sprintf "%s %s: arity mismatch (expected %d, got %d)"
+                   opname rel k (Tuple.arity tuple));
+            tuple
+          with
+          | exception e -> reject e
+          | tuple -> (
+            (* the coordinator mints the marked nulls and renders the row,
+               so the owner shard — and a restarted successor — stores the
+               exact same labels; rejected updates roll the allocator
+               back, mirroring serve's log-before-ack discipline *)
+            let row = Csv_io.format_row tuple in
+            let owner = Shard.owner ~shards:n_shards row in
+            let line = Printf.sprintf "%s %s(%s)" opname rel row in
+            match
+              Shard.call
+                (Coord.shards co).(owner)
+                ~lines:[ line ] ~terminal:terminal_response_line
+            with
+            | Error e ->
+              reject
+                (Failure
+                   (Printf.sprintf
+                      "update owner shard %d/%d unavailable (%s): rejected \
+                       whole, not applied"
+                      owner n_shards (Shard.error_to_string e)))
+            | Ok lines -> (
+              match List.find_opt terminal_response_line lines with
+              | Some l when String.length l > 7 && String.sub l 0 7 = "[1] ok "
+                ->
+                let tail = String.sub l 7 (String.length l - 7) in
+                (* strip the worker's own timing token *)
+                let payload =
+                  match String.rindex_opt tail ' ' with
+                  | Some j
+                    when String.ends_with ~suffix:"ms"
+                           (String.sub tail (j + 1)
+                              (String.length tail - j - 1)) ->
+                    String.sub tail 0 j
+                  | _ -> tail
+                in
+                Mutex.unlock clock;
+                if payload <> "updated (no-op)" then bump rel;
+                payload
+              | Some l
+                when String.length l > 17
+                     && String.sub l 0 17 = "[1] parse error: " ->
+                reject
+                  (Invalid_argument
+                     (String.sub l 17 (String.length l - 17)))
+              | Some l ->
+                reject
+                  (Failure
+                     (Printf.sprintf "shard %d refused update: %s" owner l))
+              | None ->
+                reject
+                  (Failure
+                     (Printf.sprintf "shard %d: no terminal response" owner))))
+        in
+        let svc_cfg =
+          { Service.capacity;
+            shed;
+            workers;
+            max_retries = retries;
+            backoff_base = backoff;
+            deadline_in = Option.map (fun ms -> ms /. 1000.0) deadline_ms;
+            budget;
+            pool = Pool.auto () }
+        in
+        let stats_body ~cache_seg () =
+          cache_seg ()
+          ^ (match svc_cfg.Service.pool with
+             | Some p -> " | " ^ Pool.stats_line p
+             | None -> "")
+          ^ " | coord " ^ Coord.stats_line co
+        in
+        (* ---- stdin front end ------------------------------------ *)
+        let coord_stdin svc =
+          let cache =
+            Option.map (fun cap -> Cache.create ~capacity:cap ()) cache_cap
+          in
+          on_recover_hook :=
+            (fun () -> Option.iter (fun c -> Cache.bump_all c all_rels) cache);
+          let bump rel =
+            (* an EDB change can move any IDB fixpoint, so those versions
+               bump along with the touched relation *)
+            Option.iter
+              (fun c -> List.iter (Cache.bump c) (rel :: idb_names))
+              cache;
+            bump_dumps rel
+          in
+          let cache_seg () =
+            match cache with
+            | Some c -> Cache.stats_line c
+            | None -> "cache disabled"
+          in
+          let q = Queue.create () in
+          let lock = Mutex.create () in
+          let nonempty = Stdlib.Condition.create () in
+          let push item =
+            Mutex.lock lock;
+            Queue.push item q;
+            Stdlib.Condition.signal nonempty;
+            Mutex.unlock lock
+          in
+          let pop () =
+            Mutex.lock lock;
+            while Queue.is_empty q do
+              Stdlib.Condition.wait nonempty lock
+            done;
+            let item = Queue.pop q in
+            Mutex.unlock lock;
+            item
+          in
+          let stdout_bytes = Atomic.make 0 in
+          let emit line =
+            ignore (Atomic.fetch_and_add stdout_bytes (String.length line + 1));
+            Printf.printf "%s\n%!" line
+          in
+          let printer () =
+            let any_failed = ref false in
+            let rec loop () =
+              match pop () with
+              | None -> !any_failed
+              | Some item ->
+                (match item with
+                 | `Text line -> emit line
+                 | `Outcome (n, ticket, t0) -> (
+                   let outcome = Service.await ticket in
+                   let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+                   match outcome with
+                   | Service.Ok s ->
+                     emit (Printf.sprintf "[%d] ok %s %.1fms" n s ms)
+                   | Service.Degraded s ->
+                     emit (Printf.sprintf "[%d] degraded %s %.1fms" n s ms)
+                   | Service.Overloaded ->
+                     emit (Printf.sprintf "[%d] overloaded" n)
+                   | Service.Interrupted reason ->
+                     emit
+                       (Printf.sprintf "[%d] interrupted: %s" n
+                          (Guard.reason_to_string reason))
+                   | Service.Failed e ->
+                     any_failed := true;
+                     emit
+                       (Printf.sprintf "[%d] failed: %s" n
+                          (Printexc.to_string e))));
+                loop ()
+            in
+            loop ()
+          in
+          let printer_d = Domain.spawn printer in
+          let lineno = ref 0 in
+          let drain_requested = ref false in
+          (try
+             while true do
+               let line = String.trim (input_line stdin) in
+               if line <> "" then
+                 if line.[0] = '#' then (
+                   if line = "#stats" then
+                     push
+                       (Some
+                          (`Text
+                             ("#stats " ^ stats_body ~cache_seg ()
+                             ^ Printf.sprintf
+                                 " | srv bytes=%d streams=0 frames=0 \
+                                  byte_shed=0 byte_degraded=0 parks=0 \
+                                  slow_evicted=0 clients=[]"
+                                 (Atomic.get stdout_bytes))))
+                   else if line = "#health" then
+                     List.iter
+                       (fun l -> push (Some (`Text l)))
+                       (Coord.health_lines co)
+                   else if line = "#drain" then begin
+                     drain_requested := true;
+                     push (Some (`Text "#ok draining"));
+                     raise Exit
+                   end
+                   else push (Some (`Text "#err unknown directive")))
+                 else begin
+                   incr lineno;
+                   let n = !lineno in
+                   match parse_update_line line with
+                   | Some (Error msg) ->
+                     push
+                       (Some (`Text (Printf.sprintf "[%d] parse error: %s" n msg)))
+                   | Some (Ok (op, rel, body)) -> (
+                     match route_update ~bump op rel body with
+                     | payload ->
+                       push
+                         (Some (`Text (Printf.sprintf "[%d] ok %s" n payload)))
+                     | exception Invalid_argument msg ->
+                       push
+                         (Some (`Text (Printf.sprintf "[%d] error: %s" n msg)))
+                     | exception Failure msg ->
+                       push
+                         (Some (`Text (Printf.sprintf "[%d] failed: %s" n msg))))
+                   | None -> (
+                     match Sql.To_algebra.translate_string schema line with
+                     | exception
+                         (Sql.Parser.Parse_error msg | Sql.Lexer.Lex_error msg
+                         | Sql.To_algebra.Unsupported msg) ->
+                       push
+                         (Some
+                            (`Text (Printf.sprintf "[%d] parse error: %s" n msg)))
+                     | q ->
+                       let t0 = Unix.gettimeofday () in
+                       let run, fallback =
+                         degradable ~exact:line_payload ~degraded:line_degraded
+                           line q
+                       in
+                       let ticket =
+                         Service.submit svc
+                           ?cache:(cert_cache_binding cache ~all_rels q)
+                           ~fallback run
+                       in
+                       push (Some (`Outcome (n, ticket, t0))))
+                 end
+             done
+           with End_of_file | Exit -> ());
+          push None;
+          let any_failed = Domain.join printer_d in
+          Service.shutdown svc;
+          let c = Service.counters svc in
+          Printf.printf
+            "-- admitted %d, completed %d (%d degraded), shed %d, retried %d, \
+             failed %d\n%!"
+            c.Service.admitted c.Service.completed c.Service.degraded
+            c.Service.shed c.Service.retried c.Service.failed;
+          (match cache with
+           | Some c -> Printf.printf "-- cache: %s\n%!" (Cache.stats_line c)
+           | None -> ());
+          (match svc_cfg.Service.pool with
+           | Some p -> Printf.printf "-- %s\n%!" (Pool.stats_line p)
+           | None -> ());
+          Printf.printf "-- coord: %s\n%!" (Coord.stats_line co);
+          (* #drain propagates to the fleet; plain EOF leaves the workers
+             up for the next coordinator run *)
+          if !drain_requested then Coord.drain_fanout co;
+          if any_failed then raise (Invalid_argument "some queries failed")
+        in
+        (* ---- TCP front end -------------------------------------- *)
+        let coord_listen listen =
+          let host, port =
+            match String.rindex_opt listen ':' with
+            | None -> invalid_arg ("--listen expects HOST:PORT, got " ^ listen)
+            | Some i -> (
+              let host = String.sub listen 0 i in
+              let port_s =
+                String.sub listen (i + 1) (String.length listen - i - 1)
+              in
+              match int_of_string_opt port_s with
+              | Some p when p >= 0 && p < 65536 -> (host, p)
+              | _ -> invalid_arg ("--listen expects HOST:PORT, got " ^ listen))
+          in
+          let cache =
+            Option.map (fun cap -> Cache.create ~capacity:cap ()) cache_cap
+          in
+          on_recover_hook :=
+            (fun () -> Option.iter (fun c -> Cache.bump_all c all_rels) cache);
+          let bump rel =
+            Option.iter
+              (fun c -> List.iter (Cache.bump c) (rel :: idb_names))
+              cache;
+            bump_dumps rel
+          in
+          let cache_seg () =
+            match cache with
+            | Some c -> Cache.stats_line c
+            | None -> "cache disabled"
+          in
+          let tuples_seq r =
+            Seq.map
+              (fun t -> Tuple.to_string t ^ ";")
+              (List.to_seq (Relation.to_list r))
+          in
+          let handler ~stream sql =
+            match parse_update_line sql with
+            | Some (Error msg) -> Error msg
+            | Some (Ok (op, rel, body)) -> (
+              (* routed here in the connection domain, like serve: the
+                 synchronous request/response order of one connection
+                 sees its own updates *)
+              match route_update ~bump op rel body with
+              | payload ->
+                Result.Ok
+                  { Server.run = (fun ~pool:_ ~guard:_ -> Server.Line payload);
+                    fallback = None;
+                    cache = None }
+              | exception Invalid_argument msg -> Error msg
+              | exception (Failure _ as e) ->
+                Result.Ok
+                  { Server.run = (fun ~pool:_ ~guard:_ -> raise e);
+                    fallback = None;
+                    cache = None })
+            | None -> (
+              match Sql.To_algebra.translate_string schema sql with
+              | exception
+                  (Sql.Parser.Parse_error msg | Sql.Lexer.Lex_error msg
+                  | Sql.To_algebra.Unsupported msg) ->
+                Error msg
+              | q ->
+                let exact, degraded, key_prefix =
+                  if stream then
+                    ( (fun r -> Server.Stream (tuples_seq r)),
+                      (fun r _m -> Server.Stream (tuples_seq r)),
+                      "certs:" )
+                  else
+                    ( (fun r -> Server.Line (line_payload r)),
+                      (fun r m -> Server.Line (line_degraded r m)),
+                      "cert:" )
+                in
+                let run, fallback = degradable ~exact ~degraded sql q in
+                Result.Ok
+                  { Server.run;
+                    fallback = Some fallback;
+                    cache = cert_cache_binding ~key_prefix cache ~all_rels q })
+          in
+          let server =
+            Server.create
+              { Server.host;
+                port;
+                max_connections = max_conns;
+                max_line;
+                read_timeout;
+                write_timeout;
+                drain_deadline;
+                client_quota = quota;
+                byte_quota =
+                  Option.map
+                    (fun burst ->
+                      { Server.burst;
+                        rate =
+                          Option.value byte_rate
+                            ~default:(float_of_int burst);
+                        policy = byte_policy })
+                    byte_quota;
+                frame_items;
+                stats = Some (stats_body ~cache_seg);
+                snapshot = None;
+                directives =
+                  [ ("#health", fun () -> Coord.health_lines co) ];
+                service = svc_cfg }
+              handler
+          in
+          let on_signal _ = Server.drain server in
+          (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+           with Invalid_argument _ | Sys_error _ -> ());
+          (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+           with Invalid_argument _ | Sys_error _ -> ());
+          Printf.printf "listening on %s:%d\n%!" host (Server.port server);
+          let stats = Server.wait server in
+          (* coordinator shutdown propagates: fan #drain out to the
+             fleet once our own drain has settled *)
+          Coord.drain_fanout co;
+          let c = Server.counters server in
+          let s = Service.counters (Server.service server) in
+          Printf.printf
+            "-- connections: accepted %d, busy %d, oversized %d, timeouts %d, \
+             crashed %d\n%!"
+            c.Server.accepted c.Server.rejected_busy c.Server.oversized
+            c.Server.timeouts c.Server.crashed;
+          Printf.printf
+            "-- queries: %d submitted, quota-shed %d; admitted %d, completed \
+             %d (%d degraded), shed %d, retried %d, failed %d\n%!"
+            c.Server.queries c.Server.quota_shed s.Service.admitted
+            s.Service.completed s.Service.degraded s.Service.shed
+            s.Service.retried s.Service.failed;
+          Printf.printf "-- coord: %s\n%!" (Coord.stats_line co);
+          Printf.printf "-- drain: %d forced cancels, %.1fms, invariant %s\n%!"
+            stats.Server.forced_cancels stats.Server.drain_ms
+            (if stats.Server.invariant_ok then "ok" else "VIOLATED");
+          if not stats.Server.invariant_ok then
+            raise (Invalid_argument "counter invariant violated at drain")
+        in
+        match listen with
+        | Some listen -> coord_listen listen
+        | None -> coord_stdin (Service.create svc_cfg))
+  in
+  let doc =
+    "scatter/gather coordinator over a fleet of incdb serve --partition \
+     workers: UCQ-shaped certain-answer queries fan out shard-local and \
+     union (exact by genericity); other plans gather the base relations \
+     and evaluate at the coordinator.  Per-shard circuit breakers, \
+     deadlines, seeded backoff and optional hedged reads bound every \
+     failure; a partial fleet yields explicitly Degraded \
+     under-approximations for monotone queries and structured failures \
+     otherwise — never silent short answers"
+  in
+  Cmd.v (Cmd.info "coord" ~doc)
+    Term.(
+      const run $ db_arg $ scale_arg $ null_rate_arg $ seed_arg $ shards_arg
+      $ replicas_arg $ connect_timeout_arg $ rpc_timeout_arg $ rpc_retries_arg
+      $ shard_backoff_arg $ breaker_k_arg $ breaker_cooldown_arg $ hedge_arg
+      $ hedge_min_arg $ capacity_arg $ shed_arg $ workers_arg $ retries_arg
+      $ backoff_arg $ deadline_arg $ budget_arg $ listen_arg $ max_conns_arg
+      $ max_line_arg $ read_timeout_arg $ write_timeout_arg
+      $ drain_deadline_arg $ quota_arg $ byte_quota_arg $ byte_rate_arg
+      $ byte_policy_arg $ frame_arg $ cache_arg $ no_cache_arg
       $ datalog_serve_arg)
+
 
 let () =
   let doc = "certain answers over incomplete databases" in
   let info = Cmd.info "incdb" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval' (Cmd.group info [ demo_cmd; eval_cmd; compare_cmd; prob_cmd; classify_cmd; fo_cmd;
-          datalog_cmd; serve_cmd ]))
+          datalog_cmd; serve_cmd; coord_cmd ]))

@@ -1,0 +1,92 @@
+(* Scatter/gather over Shard clients.  See coord.mli. *)
+
+type t = { fleet : Shard.t array; cfg : Shard.config }
+
+let create ?on_recover cfg addrs =
+  { fleet =
+      Array.mapi
+        (fun i (primary, replica) ->
+          Shard.create ?replica ?on_recover cfg ~index:i primary)
+        addrs;
+    cfg }
+
+let shards t = t.fleet
+let size t = Array.length t.fleet
+
+let ok_count results =
+  Array.fold_left
+    (fun n r -> match r with Ok _ -> n + 1 | Error _ -> n)
+    0 results
+
+let scatter ?guard t ~lines ~terminal =
+  Guard.inject "shard.gather";
+  (* one domain per leg: N is small (a handful of worker processes),
+     and each leg is IO-bound inside Shard.call's select loop *)
+  let legs =
+    Array.mapi
+      (fun i s ->
+        Domain.spawn (fun () ->
+            match Shard.call ?guard s ~lines:(lines i) ~terminal with
+            | r -> `Done r
+            | exception Guard.Interrupt reason -> `Interrupted reason
+            | exception e -> `Done (Error (Shard.Rpc_failed (Printexc.to_string e)))))
+      t.fleet
+  in
+  let joined = Array.map Domain.join legs in
+  (* re-raise cancellation only once every leg has been joined, so no
+     socket or domain leaks past a drain *)
+  Array.iter
+    (function
+      | `Interrupted reason -> raise (Guard.Interrupt reason)
+      | `Done _ -> ())
+    joined;
+  Array.map (function `Done r -> r | `Interrupted _ -> assert false) joined
+
+let stats_line t =
+  Printf.sprintf "shards=%d %s" (size t)
+    (String.concat " "
+       (Array.to_list (Array.map Shard.stats_line t.fleet)))
+
+let health_lines t =
+  let n = size t in
+  let probes =
+    scatter t
+      ~lines:(fun _ -> [ "#counters" ])
+      ~terminal:(fun l -> String.length l > 0)
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i s ->
+         let verdict =
+           match probes.(i) with
+           | Ok _ -> "up"
+           | Error e -> Printf.sprintf "down (%s)" (Shard.error_to_string e)
+         in
+         Printf.sprintf "#health shard %d/%d %s %s breaker=%s" i n
+           (Shard.addr_to_string (Shard.address s))
+           verdict
+           (Shard.breaker_state_to_string (Shard.state s)))
+       t.fleet)
+
+let drain_fanout t =
+  (* shutdown-time best effort: injected gather faults or unreachable
+     shards must not fail the coordinator's own drain *)
+  (try
+     ignore
+       (scatter t
+          ~lines:(fun _ -> [ "#drain" ])
+          ~terminal:(fun l -> String.length l > 0))
+   with Guard.Injected _ | Guard.Interrupt _ -> ());
+  (* replicas are hedge targets, not scatter legs, so the fan-out above
+     never reaches an idle one — dial them directly, or a replica
+     worker outlives the coordinator it belonged to *)
+  Array.iter
+    (fun s ->
+      match Shard.replica s with
+      | None -> ()
+      | Some rep ->
+        ignore
+          (Shard.oneshot t.cfg rep
+             ~lines:[ "#drain" ]
+             ~terminal:(fun l -> String.length l > 0)))
+    t.fleet

@@ -1,0 +1,60 @@
+(** Scatter/gather fan-out over a fleet of {!Shard} clients
+    (DESIGN.md §4k).
+
+    A coordinator front end submits one query envelope per client
+    request (through the ordinary {!Service}/{!Server} tiers) and uses
+    this module to fan the shard RPCs out: {!scatter} runs one
+    {!Shard.call} per shard concurrently and returns the per-shard
+    results positionally — a tripped breaker, dead worker, or timeout
+    yields that shard's [Error] slot, never an exception and never a
+    hang, so the caller can count [m] of [n] successes and either
+    degrade (monotone queries: a missing shard's contribution only
+    shrinks a certain-answer set — the paper's sound-under-approximation
+    contract) or fail structurally.
+
+    The ["shard.gather"] fault site fires before any shard is
+    contacted; a cancelled guard ({!Service.drain} reaches it) aborts
+    the in-flight shard RPCs at their next select tick and re-raises
+    {!Guard.Interrupt} after every leg has been joined. *)
+
+type t
+
+(** [create cfg shards] — one {!Shard.t} per [(primary, replica)]
+    pair, indexed in order.  [on_recover] is threaded to every shard
+    (fires when its breaker closes after an open spell). *)
+val create :
+  ?on_recover:(unit -> unit) -> Shard.config ->
+  (Shard.addr * Shard.addr option) array -> t
+
+val shards : t -> Shard.t array
+
+(** Number of shards ([n] of the [shards=m/n] marker). *)
+val size : t -> int
+
+(** [scatter t ~lines ~terminal] sends [lines i] to shard [i] for all
+    [i] concurrently and waits for every leg.  Results are positional.
+    @raise Guard.Interrupt if [guard] was cancelled (after joining all
+    legs). *)
+val scatter :
+  ?guard:Guard.t ->
+  t ->
+  lines:(int -> string list) ->
+  terminal:(string -> bool) ->
+  (string list, Shard.error) result array
+
+(** The number of [Ok] slots. *)
+val ok_count : (string list, Shard.error) result array -> int
+
+(** The [coord ...] segment of [#stats]: shard count plus one
+    {!Shard.stats_line} block per shard. *)
+val stats_line : t -> string
+
+(** One [#health]-prefixed line per shard: index, address, a live
+    probe verdict ([up], or [down (...)]) and the breaker state.  The
+    probe is a real RPC through the breaker, so it doubles as the
+    half-open recovery probe for an open shard past its cooldown. *)
+val health_lines : t -> string list
+
+(** Best-effort [#drain] fan-out to every shard (coordinator shutdown
+    propagation); errors are ignored. *)
+val drain_fanout : t -> unit

@@ -121,13 +121,37 @@ type fault = {
   rng_lock : Mutex.t;  (* sites fire from several domains at once *)
 }
 
+(* A site pattern is an exact site name, the global "*", or a prefix
+   wildcard "prefix.*" (e.g. "shard.*", "wal.*").  A "*" anywhere else
+   is malformed and fails the whole spec, so the env_knob path warns
+   once instead of silently matching nothing. *)
+let valid_site_pattern site =
+  site <> ""
+  && (String.equal site "*"
+      || (not (String.contains site '*'))
+      || (String.length site > 2
+          && String.sub site (String.length site - 2) 2 = ".*"
+          && not
+               (String.contains
+                  (String.sub site 0 (String.length site - 2))
+                  '*')))
+
+let site_matches pat site =
+  String.equal pat site
+  || String.equal pat "*"
+  || (String.length pat >= 2
+      && String.sub pat (String.length pat - 2) 2 = ".*"
+      &&
+      let plen = String.length pat - 1 (* keep the dot *) in
+      String.length site >= plen && String.sub site 0 plen = String.sub pat 0 plen)
+
 (* "site:prob:seed" raises [Injected site] with probability [prob];
    "site:prob:seed:delay=ms" sleeps [ms] milliseconds instead *)
 let parse_fault spec =
   match String.split_on_char ':' (String.trim spec) with
   | [ site; prob; seed ] | [ site; prob; seed; "raise" ] ->
     (match (float_of_string_opt prob, int_of_string_opt seed) with
-     | Some p, Some s when p >= 0.0 && p <= 1.0 && site <> "" ->
+     | Some p, Some s when p >= 0.0 && p <= 1.0 && valid_site_pattern site ->
        Some
          { site; prob = p; mode = Raise;
            rng = Random.State.make [| s |]; rng_lock = Mutex.create () }
@@ -140,7 +164,7 @@ let parse_fault spec =
         float_of_string_opt ms)
      with
      | Some p, Some s, Some d
-       when p >= 0.0 && p <= 1.0 && d >= 0.0 && site <> "" ->
+       when p >= 0.0 && p <= 1.0 && d >= 0.0 && valid_site_pattern site ->
        Some
          { site; prob = p; mode = Delay (d /. 1000.0);
            rng = Random.State.make [| s |]; rng_lock = Mutex.create () }
@@ -203,7 +227,7 @@ let inject site =
   | faults ->
     List.iter
       (fun f ->
-        if String.equal f.site site || String.equal f.site "*" then begin
+        if site_matches f.site site then begin
           Mutex.lock f.rng_lock;
           let x = Random.State.float f.rng 1.0 in
           Mutex.unlock f.rng_lock;

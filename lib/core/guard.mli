@@ -140,7 +140,25 @@ val env_knob :
       streaming envelope settles as [Failed], so the quiescent
       counter invariant still holds — and a delay-mode fault stalls
       the writer inside the byte-fairness backpressure window;
-    - ["*"] in a spec matches every site.
+    - ["shard.connect"] — before every dial of a shard worker by
+      [Shard]'s per-shard client: a raise-mode fault is a structured
+      connect failure that feeds the shard's circuit breaker, a
+      delay-mode fault stalls the dialer inside its connect deadline;
+    - ["shard.rpc"] — after the connection is established, before the
+      request lines reach the shard: a raise-mode fault fails the
+      attempt (feeding the breaker and the retry/backoff loop), a
+      delay-mode fault stalls the RPC inside the hedging window, so a
+      configured hedged read fires to the replica;
+    - ["shard.gather"] — the top of every [Coord.scatter] fan-out: a
+      raise-mode fault fails the whole gather as a structured error
+      (the coordinator's service envelope retries or fails it — never
+      a silent short answer), a delay-mode fault stalls the
+      coordinator before any shard is contacted;
+    - ["*"] in a spec matches every site, and a ["prefix.*"] pattern
+      (e.g. ["shard.*"], ["wal.*"]) matches every site under that
+      dotted prefix.  A ["*"] anywhere else in a pattern is malformed
+      and rejects the whole spec — surfaced once per process through
+      the {!env_knob} warn-once path.
 
     Draws are from a seeded, mutex-protected [Random.State], so a given
     spec replays the same fault schedule for the same sequence of site

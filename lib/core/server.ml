@@ -54,6 +54,7 @@ type config = {
   frame_items : int;
   stats : (unit -> string) option;
   snapshot : (unit -> (int, string) result) option;
+  directives : (string * (unit -> string list)) list;
   service : Service.config;
 }
 
@@ -70,6 +71,7 @@ let default_config () =
     frame_items = 64;
     stats = None;
     snapshot = None;
+    directives = [];
     service = Service.default_config () }
 
 type counters = {
@@ -735,7 +737,18 @@ let handle_directive t conn line =
         | exception e ->
           send t conn ("#err snapshot: " ^ Printexc.to_string e)));
     true
-  | _ ->
+  | word :: _ -> (
+    (* extension directives from the config (the coordinator wires
+       #health here); each renders its own #-prefixed lines *)
+    match List.assoc_opt word t.cfg.directives with
+    | Some render ->
+      (try List.iter (fun l -> send t conn l) (render ())
+       with e -> send t conn ("#err " ^ String.sub word 1 (String.length word - 1) ^ ": " ^ Printexc.to_string e));
+      true
+    | None ->
+      send t conn "#err unknown directive";
+      true)
+  | [] ->
     send t conn "#err unknown directive";
     true
 

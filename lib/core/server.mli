@@ -172,13 +172,21 @@ type config = {
           requesting connection's domain (the CLI wires [Wal.snapshot]
           under the serve-state lock); [None] — no [--data]
           directory — answers with an error. *)
+  directives : (string * (unit -> string list)) list;
+      (** extension directives, keyed by their first word (e.g.
+          [("#health", render)]): an otherwise-unknown [#] line whose
+          first word matches runs the hook on the requesting
+          connection's domain and writes each returned line (providers
+          should [#]-prefix them, keeping non-directive lines
+          unambiguous for pipelined clients).  A raising hook answers
+          [#err <name>: ...] instead of crashing the connection. *)
   service : Service.config;  (** the front door behind the listener *)
 }
 
 (** Loopback host, ephemeral port, 16 connections, 64 KiB lines, 10 s
     read and write timeouts, 5 s drain deadline, quota 4, no byte
-    quota, 64-item frames, no stats or snapshot hooks, and
-    {!Service.default_config}. *)
+    quota, 64-item frames, no stats or snapshot hooks, no extension
+    directives, and {!Service.default_config}. *)
 val default_config : unit -> config
 
 (** Monotone live counters (server level; see {!Service.counters} via

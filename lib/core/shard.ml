@@ -1,0 +1,492 @@
+(* Per-shard client: bounded dials and RPCs over the newline protocol,
+   deterministic retry backoff, a circuit breaker, and hedged reads to
+   a replica.  See DESIGN.md §4k and shard.mli. *)
+
+type addr = { host : string; port : int }
+
+let addr_of_string s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "expected HOST:PORT, got %s" s)
+  | Some i ->
+    let host = String.sub s 0 i in
+    let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port_s with
+     | Some p when p >= 0 && p < 65536 && host <> "" -> Ok { host; port = p }
+     | _ -> Error (Printf.sprintf "expected HOST:PORT, got %s" s))
+
+let addr_to_string a = Printf.sprintf "%s:%d" a.host a.port
+
+(* ------------------------------------------------------------------ *)
+(* partitioning                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a over the row bytes.  [Hashtbl.hash] is not guaranteed stable
+   across processes or versions, and shard ownership must agree between
+   every worker and the coordinator without any handshake. *)
+let hash s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  Int64.to_int (Int64.shift_right_logical !h 2)
+
+let owner ~shards row =
+  if shards < 1 then invalid_arg "Shard.owner: shards < 1";
+  hash row mod shards
+
+(* ------------------------------------------------------------------ *)
+(* breaker + config                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type breaker_state = Closed | Open | Half_open
+
+let breaker_state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type config = {
+  connect_timeout : float;
+  rpc_timeout : float;
+  rpc_retries : int;
+  backoff_base : float;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  hedge_quantile : float option;
+  hedge_min : float;
+}
+
+let default_config () =
+  { connect_timeout = 1.0;
+    rpc_timeout = 10.0;
+    rpc_retries = 1;
+    backoff_base = 0.05;
+    breaker_threshold = 3;
+    breaker_cooldown = 1.0;
+    hedge_quantile = None;
+    hedge_min = 0.05 }
+
+type error =
+  | Breaker_open
+  | Unreachable of string
+  | Rpc_failed of string
+
+let error_to_string = function
+  | Breaker_open -> "breaker open"
+  | Unreachable msg -> "unreachable: " ^ msg
+  | Rpc_failed msg -> "rpc failed: " ^ msg
+
+type counters = {
+  rpcs : int;
+  failures : int;
+  hedges : int;
+  trips : int;
+  state : breaker_state;
+  consecutive : int;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+let window_size = 128
+
+type t = {
+  cfg : config;
+  idx : int;
+  primary : addr;
+  rep : addr option;
+  on_recover : (unit -> unit) option;
+  lock : Mutex.t;
+  mutable bstate : breaker_state;
+  mutable consec : int;
+  mutable opened_at : float;
+  mutable probing : bool;  (* a half-open probe is in flight *)
+  mutable rpcs : int;
+  mutable failures : int;
+  mutable hedges : int;
+  mutable trips : int;
+  window : float array;  (* successful RPC latencies, ms, ring buffer *)
+  mutable wlen : int;
+  mutable wpos : int;
+}
+
+let create ?replica ?on_recover cfg ~index addr =
+  { cfg =
+      { cfg with
+        connect_timeout = Float.max 0.01 cfg.connect_timeout;
+        rpc_timeout = Float.max 0.01 cfg.rpc_timeout;
+        rpc_retries = max 0 cfg.rpc_retries;
+        backoff_base = Float.max 0.0 cfg.backoff_base;
+        breaker_threshold = max 1 cfg.breaker_threshold;
+        breaker_cooldown = Float.max 0.0 cfg.breaker_cooldown };
+    idx = index;
+    primary = addr;
+    rep = replica;
+    on_recover;
+    lock = Mutex.create ();
+    bstate = Closed;
+    consec = 0;
+    opened_at = 0.0;
+    probing = false;
+    rpcs = 0;
+    failures = 0;
+    hedges = 0;
+    trips = 0;
+    window = Array.make window_size 0.0;
+    wlen = 0;
+    wpos = 0 }
+
+let address t = t.primary
+let replica t = t.rep
+let index t = t.idx
+
+let locked t f =
+  Mutex.lock t.lock;
+  let r = try f () with e -> Mutex.unlock t.lock; raise e in
+  Mutex.unlock t.lock;
+  r
+
+let state t = locked t (fun () -> t.bstate)
+
+(* nearest-rank percentile over the latency window; 0 when empty *)
+let percentile_locked t q =
+  if t.wlen = 0 then 0.0
+  else begin
+    let a = Array.sub t.window 0 t.wlen in
+    Array.sort compare a;
+    let i = int_of_float (q *. float_of_int (t.wlen - 1) +. 0.5) in
+    a.(max 0 (min (t.wlen - 1) i))
+  end
+
+let counters t =
+  locked t (fun () ->
+      { rpcs = t.rpcs;
+        failures = t.failures;
+        hedges = t.hedges;
+        trips = t.trips;
+        state = t.bstate;
+        consecutive = t.consec;
+        p50_ms = percentile_locked t 0.5;
+        p99_ms = percentile_locked t 0.99 })
+
+let stats_line t =
+  let c = counters t in
+  Printf.sprintf
+    "shard%d=%s state=%s consec=%d rpcs=%d failures=%d hedges=%d trips=%d \
+     p50=%.1fms p99=%.1fms"
+    t.idx (addr_to_string t.primary)
+    (breaker_state_to_string c.state)
+    c.consecutive c.rpcs c.failures c.hedges c.trips c.p50_ms c.p99_ms
+
+(* ----- breaker transitions ----- *)
+
+(* [`Pass probe] admits the call; [probe] records that this call holds
+   the single half-open probe slot and must release it. *)
+let admit t =
+  locked t (fun () ->
+      match t.bstate with
+      | Closed ->
+        t.rpcs <- t.rpcs + 1;
+        `Pass false
+      | Half_open ->
+        if t.probing then `Reject
+        else begin
+          t.probing <- true;
+          t.rpcs <- t.rpcs + 1;
+          `Pass true
+        end
+      | Open ->
+        if Unix.gettimeofday () -. t.opened_at >= t.cfg.breaker_cooldown
+        then begin
+          t.bstate <- Half_open;
+          t.probing <- true;
+          t.rpcs <- t.rpcs + 1;
+          `Pass true
+        end
+        else `Reject)
+
+let trip_locked t =
+  t.bstate <- Open;
+  t.opened_at <- Unix.gettimeofday ();
+  t.trips <- t.trips + 1;
+  t.probing <- false
+
+let on_failure t ~probe =
+  locked t (fun () ->
+      t.failures <- t.failures + 1;
+      t.consec <- t.consec + 1;
+      match t.bstate with
+      | Half_open -> trip_locked t
+      | Closed -> if t.consec >= t.cfg.breaker_threshold then trip_locked t
+      | Open -> if probe then t.probing <- false)
+
+let on_success t ~latency_ms =
+  let recovered =
+    locked t (fun () ->
+        let was = t.bstate in
+        t.bstate <- Closed;
+        t.consec <- 0;
+        t.probing <- false;
+        t.window.(t.wpos) <- latency_ms;
+        t.wpos <- (t.wpos + 1) mod window_size;
+        if t.wlen < window_size then t.wlen <- t.wlen + 1;
+        was <> Closed)
+  in
+  if recovered then Option.iter (fun f -> f ()) t.on_recover
+
+(* a guard interrupt abandons the call without judging the shard *)
+let on_abandon t ~probe =
+  if probe then locked t (fun () -> if t.probing then t.probing <- false)
+
+(* ------------------------------------------------------------------ *)
+(* one RPC attempt                                                     *)
+(* ------------------------------------------------------------------ *)
+
+exception Conn_fail of string  (* before the request reached the wire *)
+exception Attempt_fail of string  (* after *)
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found | Invalid_argument _ ->
+      raise (Conn_fail (Printf.sprintf "cannot resolve %s" host)))
+
+let connect_to ~timeout a =
+  Guard.inject "shard.connect";
+  let ip = resolve a.host in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.set_nonblock fd;
+    (try Unix.connect fd (Unix.ADDR_INET (ip, a.port)) with
+     | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+       match Unix.select [] [ fd ] [] timeout with
+       | _, [ _ ], _ -> (
+         match Unix.getsockopt_error fd with
+         | None -> ()
+         | Some err -> raise (Conn_fail (Unix.error_message err)))
+       | _ -> raise (Conn_fail "connect timeout")));
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (match e with
+     | Conn_fail _ -> raise e
+     | Unix.Unix_error (err, _, _) -> raise (Conn_fail (Unix.error_message err))
+     | e -> raise e)
+
+let send_all fd data ~deadline =
+  let len = String.length data in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd data off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then raise (Attempt_fail "rpc timeout (send)");
+        ignore (Unix.select [] [ fd ] [] (Float.min 0.05 remaining));
+        go off
+  in
+  go 0
+
+type chan = {
+  c_fd : Unix.file_descr;
+  mutable c_buf : string;  (* trailing partial line *)
+  mutable c_lines : string list;  (* complete lines, reversed *)
+  mutable c_done : bool;  (* terminal line seen *)
+  mutable c_dead : bool;  (* EOF or error before a terminal line *)
+}
+
+let read_step ~terminal c =
+  let buf = Bytes.create 8192 in
+  match Unix.read c.c_fd buf 0 (Bytes.length buf) with
+  | 0 -> c.c_dead <- true
+  | n ->
+    let rec go = function
+      | [] -> ()
+      | [ rest ] -> c.c_buf <- rest
+      | line :: tl ->
+        let line =
+          let len = String.length line in
+          if len > 0 && line.[len - 1] = '\r' then String.sub line 0 (len - 1)
+          else line
+        in
+        c.c_lines <- line :: c.c_lines;
+        if (not c.c_done) && terminal line then c.c_done <- true;
+        go tl
+    in
+    go (String.split_on_char '\n' (c.c_buf ^ Bytes.sub_string buf 0 n))
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> ()
+  | exception Unix.Unix_error (_, _, _) -> c.c_dead <- true
+
+(* seconds past which a hedged read fires, from the latency window *)
+let hedge_after t =
+  match t.cfg.hedge_quantile with
+  | None -> None
+  | Some q ->
+    let qms = locked t (fun () -> percentile_locked t q) in
+    Some (Float.max t.cfg.hedge_min (qms /. 1000.0))
+
+let attempt ?guard t ~lines ~terminal =
+  let start = Unix.gettimeofday () in
+  let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+  let primary = connect_to ~timeout:t.cfg.connect_timeout t.primary in
+  let chans =
+    ref [ { c_fd = primary; c_buf = ""; c_lines = []; c_done = false;
+            c_dead = false } ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+        !chans)
+    (fun () ->
+      Guard.inject "shard.rpc";
+      send_all primary payload ~deadline:(start +. t.cfg.rpc_timeout);
+      let deadline = start +. t.cfg.rpc_timeout in
+      let threshold = hedge_after t in
+      let hedged = ref false in
+      let fire_hedge rep =
+        hedged := true;
+        match connect_to ~timeout:t.cfg.connect_timeout rep with
+        | fd -> (
+          match send_all fd payload ~deadline with
+          | () ->
+            chans :=
+              { c_fd = fd; c_buf = ""; c_lines = []; c_done = false;
+                c_dead = false }
+              :: !chans;
+            locked t (fun () -> t.hedges <- t.hedges + 1)
+          | exception (Attempt_fail _ | Unix.Unix_error _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ()))
+        (* a failed hedge never fails the call — the primary leg is
+           still racing *)
+        | exception (Conn_fail _ | Guard.Injected _) -> ()
+      in
+      let rec loop () =
+        Guard.check guard;
+        let live = List.filter (fun c -> not c.c_dead) !chans in
+        (match (threshold, t.rep) with
+         | Some h, Some rep
+           when (not !hedged)
+                && (live = [] || Unix.gettimeofday () -. start >= h) ->
+           fire_hedge rep
+         | _ -> ());
+        let live = List.filter (fun c -> not c.c_dead) !chans in
+        if live = [] then raise (Attempt_fail "peer closed before terminal");
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then raise (Attempt_fail "rpc timeout");
+        let tick = Float.min 0.05 remaining in
+        (* a pending hedge must not sit out a full select tick: a
+           primary that stalls mid-response would otherwise pin the
+           loop in select past the hedge deadline *)
+        let tick =
+          match threshold with
+          | Some h when not !hedged ->
+            Float.min tick
+              (Float.max 0.001 (start +. h -. Unix.gettimeofday ()))
+          | _ -> tick
+        in
+        (match
+           Unix.select (List.map (fun c -> c.c_fd) live) [] [] tick
+         with
+         | readable, _, _ ->
+           List.iter
+             (fun c -> if List.mem c.c_fd readable then read_step ~terminal c)
+             live
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        match List.find_opt (fun c -> c.c_done) !chans with
+        | Some c -> List.rev c.c_lines
+        | None -> loop ()
+      in
+      loop ())
+
+(* raw single exchange against an arbitrary address: no breaker, no
+   retries, no hedging, no counters.  Shutdown propagation uses this to
+   reach replicas, which are hedge targets rather than scatter legs. *)
+let oneshot cfg addr ~lines ~terminal =
+  let payload = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+  match connect_to ~timeout:cfg.connect_timeout addr with
+  | exception Conn_fail msg -> Error (Unreachable msg)
+  | exception Guard.Injected site -> Error (Rpc_failed ("injected fault at " ^ site))
+  | fd ->
+    let c =
+      { c_fd = fd; c_buf = ""; c_lines = []; c_done = false; c_dead = false }
+    in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let deadline = Unix.gettimeofday () +. cfg.rpc_timeout in
+        match
+          send_all fd payload ~deadline;
+          let rec loop () =
+            if c.c_dead then raise (Attempt_fail "peer closed before terminal");
+            let remaining = deadline -. Unix.gettimeofday () in
+            if remaining <= 0.0 then raise (Attempt_fail "rpc timeout");
+            (match Unix.select [ fd ] [] [] (Float.min 0.05 remaining) with
+             | [ _ ], _, _ -> read_step ~terminal c
+             | _ -> ()
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            if c.c_done then List.rev c.c_lines else loop ()
+          in
+          loop ()
+        with
+        | ls -> Ok ls
+        | exception Attempt_fail msg -> Error (Rpc_failed msg)
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Rpc_failed (Unix.error_message e)))
+
+(* ------------------------------------------------------------------ *)
+(* the governed call                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* deterministic backoff, sliced so a cancelled guard lands promptly *)
+let backoff_sleep ?guard seconds =
+  let until = Unix.gettimeofday () +. seconds in
+  let rec go () =
+    Guard.check guard;
+    let remaining = until -. Unix.gettimeofday () in
+    if remaining > 0.0 then begin
+      Unix.sleepf (Float.min 0.05 remaining);
+      go ()
+    end
+  in
+  go ()
+
+let call ?guard t ~lines ~terminal =
+  match admit t with
+  | `Reject -> Error Breaker_open
+  | `Pass probe ->
+    let rec attempts n =
+      let start = Unix.gettimeofday () in
+      match attempt ?guard t ~lines ~terminal with
+      | ls ->
+        on_success t ~latency_ms:((Unix.gettimeofday () -. start) *. 1000.0);
+        Ok ls
+      | exception (Guard.Interrupt _ as e) ->
+        on_abandon t ~probe;
+        raise e
+      | exception e -> (
+        let err =
+          match e with
+          | Conn_fail msg -> Some (Unreachable msg)
+          | Attempt_fail msg -> Some (Rpc_failed msg)
+          | Guard.Injected site -> Some (Rpc_failed ("injected fault at " ^ site))
+          | _ -> None
+        in
+        match err with
+        | None ->
+          on_abandon t ~probe;
+          raise e
+        | Some err ->
+          on_failure t ~probe;
+          if n < t.cfg.rpc_retries && state t <> Open then begin
+            backoff_sleep ?guard (t.cfg.backoff_base *. (2.0 ** float_of_int n));
+            attempts (n + 1)
+          end
+          else Error err)
+    in
+    attempts 0

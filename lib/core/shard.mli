@@ -1,0 +1,164 @@
+(** Per-shard client for the scatter/gather coordinator (DESIGN.md
+    §4k).
+
+    One {!t} wraps one [incdb serve] worker process reachable over the
+    newline protocol: a primary address, an optional replica, and the
+    failure envelope that makes a dead or slow shard cost a bounded
+    amount instead of a hang per query —
+
+    - {b deadlines}: every dial is bounded by [connect_timeout] and
+      every request/response exchange by [rpc_timeout] (non-blocking
+      connect + a select loop, so a SYN-blackholed or stalled peer
+      cannot pin the caller);
+    - {b retries}: transient failures are retried up to [rpc_retries]
+      times with deterministic, jitter-free exponential backoff
+      ([backoff_base · 2ⁿ] seconds), so seeded fault schedules replay
+      identically;
+    - {b circuit breaker}: [breaker_threshold] consecutive failures
+      trip the shard [Closed → Open]; while open, calls fail fast with
+      {!Breaker_open} (no network IO), and after [breaker_cooldown]
+      seconds a single half-open probe is let through — success closes
+      the breaker, failure re-opens it.  A dead shard costs one
+      timeout, not one per query;
+    - {b hedged reads}: with [hedge_quantile] set and a replica
+      configured, an RPC that has not produced its terminal line
+      within [max(latency-quantile, hedge_min)] seconds dials the
+      replica and races both connections; the first terminal line
+      wins.  Latency is tracked in a sliding window per shard.
+
+    Fault sites ["shard.connect"] and ["shard.rpc"] (see {!Guard})
+    fire inside the attempt, so injected faults feed the breaker and
+    the retry loop exactly like real ones.
+
+    The module is generic over the protocol: requests are lines,
+    responses are lines, and the caller supplies the predicate that
+    recognises a terminal line.  SQL parsing and routing live in the
+    CLI.  All entry points are safe to call from several domains at
+    once (the breaker and counters are lock-protected; sockets are
+    per-call). *)
+
+type addr = { host : string; port : int }
+
+(** ["HOST:PORT"]. *)
+val addr_of_string : string -> (addr, string) result
+
+val addr_to_string : addr -> string
+
+(** {1 Partitioning}
+
+    Base relations are hash-partitioned by whole tuple: shard [i] owns
+    the tuples whose rendered row hashes to [i mod shards].  The hash
+    is FNV-1a over the row bytes — stable across processes and OCaml
+    versions (unlike [Hashtbl.hash]), so every [incdb serve
+    --partition i/n] worker and the coordinator agree on ownership
+    without shipping data. *)
+
+(** 62-bit positive FNV-1a of a string. *)
+val hash : string -> int
+
+(** [owner ~shards row] is the shard index owning [row]. *)
+val owner : shards:int -> string -> int
+
+(** {1 The failure envelope} *)
+
+type breaker_state = Closed | Open | Half_open
+
+val breaker_state_to_string : breaker_state -> string
+
+type config = {
+  connect_timeout : float;  (** seconds per dial (clamped ≥ 0.01) *)
+  rpc_timeout : float;
+      (** seconds from the first byte sent to the terminal line *)
+  rpc_retries : int;  (** retry attempts after the first try (≥ 0) *)
+  backoff_base : float;
+      (** seconds before retry [n] is [backoff_base · 2ⁿ]; [0.] for
+          jitter-free tests *)
+  breaker_threshold : int;
+      (** consecutive failures before the breaker opens (clamped ≥ 1) *)
+  breaker_cooldown : float;
+      (** seconds an open breaker waits before a half-open probe *)
+  hedge_quantile : float option;
+      (** latency quantile (0–1) past which a hedged read fires to the
+          replica; [None] disables hedging *)
+  hedge_min : float;
+      (** floor (seconds) under the quantile trigger, so an empty or
+          all-fast latency window never hedges instantly *)
+}
+
+(** 1 s connect, 10 s RPC, 1 retry, 50 ms backoff base, breaker at 3
+    consecutive failures with a 1 s cooldown, hedging off with a 50 ms
+    floor. *)
+val default_config : unit -> config
+
+type error =
+  | Breaker_open  (** failed fast: the breaker is open, no IO done *)
+  | Unreachable of string  (** connect failed or timed out *)
+  | Rpc_failed of string
+      (** the exchange failed after all retries: timeout, peer closed
+          before a terminal line, or an injected fault *)
+
+val error_to_string : error -> string
+
+(** Monotone counters plus the current breaker view. *)
+type counters = {
+  rpcs : int;  (** calls attempted (breaker-rejected ones excluded) *)
+  failures : int;  (** failed attempts (each retry counts) *)
+  hedges : int;  (** hedged reads fired *)
+  trips : int;  (** Closed/Half_open → Open transitions *)
+  state : breaker_state;
+  consecutive : int;  (** current consecutive-failure count *)
+  p50_ms : float;  (** latency window median (0 when empty) *)
+  p99_ms : float;
+}
+
+type t
+
+(** [create config ~index addr] — [index] is the shard's position in
+    the coordinator's shard list (it owns rows with
+    [owner ~shards = index]); [replica] is the hedge target.
+    [on_recover] fires whenever the breaker transitions back to
+    [Closed] after having been open (the coordinator uses it to drop
+    degraded cached answers that a recovered shard invalidates). *)
+val create :
+  ?replica:addr -> ?on_recover:(unit -> unit) -> config -> index:int ->
+  addr -> t
+
+val address : t -> addr
+val replica : t -> addr option
+val index : t -> int
+val state : t -> breaker_state
+val counters : t -> counters
+
+(** One [shardN=addr state=... consec=... rpcs=... failures=...
+    hedges=... trips=... p50=...ms p99=...ms] token block for the
+    [#stats] coord segment. *)
+val stats_line : t -> string
+
+(** [call t ~lines ~terminal] dials the shard, sends [lines] (newline
+    terminated) and reads response lines until [terminal] accepts one;
+    returns every line read (acks included, terminal last).  Applies
+    the full envelope: breaker, connect/RPC deadlines, retries with
+    backoff, and hedged reads.  [guard] is polled between select
+    ticks, so a cancelled or drained coordinator envelope abandons the
+    RPC promptly — {!Guard.Interrupt} propagates to the caller and
+    does not feed the breaker (the shard did nothing wrong). *)
+val call :
+  ?guard:Guard.t ->
+  t ->
+  lines:string list ->
+  terminal:(string -> bool) ->
+  (string list, error) result
+
+(** [oneshot config addr ~lines ~terminal] is a single raw exchange
+    against [addr] — one dial, one request, response lines until
+    [terminal] — with no breaker, no retries, no hedging and no
+    counter updates.  Deadlines still apply ([connect_timeout],
+    [rpc_timeout]).  The coordinator uses it to propagate [#drain] to
+    replicas at shutdown: replicas are hedge targets, not scatter
+    members, so {!call} never reaches an idle one. *)
+val oneshot :
+  config ->
+  addr ->
+  lines:string list ->
+  terminal:(string -> bool) ->
+  (string list, error) result

@@ -210,3 +210,37 @@ let save_dir path db =
         (Filename.concat path (decl.name ^ ".csv"))
         (relation_to_string decl.attributes r))
     (Schema.relations schema)
+
+(* ------------------------------------------------------------------ *)
+(* single-row wire helpers (the shard protocol, DESIGN.md §4k)         *)
+(* ------------------------------------------------------------------ *)
+
+let format_row t =
+  match Tuple.to_list t with
+  | [] -> "()"
+  | vs -> String.concat "," (List.map format_value vs)
+
+let parse_row ~next_null line =
+  if String.trim line = "()" then Tuple.empty
+  else Tuple.of_list (List.map (parse_value ~next_null) (split_line line))
+
+let split_rows s =
+  let n = String.length s in
+  let rows = ref [] in
+  let buf = Buffer.create 32 in
+  let in_quotes = ref false in
+  for i = 0 to n - 1 do
+    let c = s.[i] in
+    if c = '"' then begin
+      (* a "" escape toggles twice, landing back where it started *)
+      in_quotes := not !in_quotes;
+      Buffer.add_char buf c
+    end
+    else if c = ';' && not !in_quotes then begin
+      rows := Buffer.contents buf :: !rows;
+      Buffer.clear buf
+    end
+    else Buffer.add_char buf c
+  done;
+  if Buffer.length buf > 0 then rows := Buffer.contents buf :: !rows;
+  List.rev_map String.trim !rows |> List.rev |> List.filter (fun r -> r <> "")

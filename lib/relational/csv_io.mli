@@ -41,3 +41,16 @@ val load_dir : string -> Database.t
 (** [save_dir path db] writes one [.csv] per relation (creating the
     directory if needed). *)
 val save_dir : string -> Database.t -> unit
+
+(** [format_row t] renders one tuple as a single CSV line ({!format_value}
+    cells joined by commas; the empty tuple renders as ["()"]).  Used by
+    the shard wire protocol — {!parse_row} reads it back exactly. *)
+val format_row : Tuple.t -> string
+
+(** [parse_row ~next_null line] inverts {!format_row}. *)
+val parse_row : next_null:int ref -> string -> Tuple.t
+
+(** [split_rows s] splits a [;]-separated row list, honouring double
+    quotes (a [;] inside a quoted cell does not split); empty segments
+    are dropped. *)
+val split_rows : string -> string list

@@ -245,3 +245,70 @@ let compile ~rel_arity q =
       (Plan.Filter (conjoin conds, p1), k)
   in
   fst (compile_q q)
+
+(* ------------------------------------------------------------------ *)
+(* shard routing (DESIGN.md §4k)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A condition is [positive] when it is built only from equalities over
+   columns and constants with ∧/∨ — the selection fragment of UCQs, for
+   which naive evaluation is generic and exact on incomplete databases
+   (Theorem 4.4).  Is_null / Is_const / Neq / Lt / Le can distinguish
+   nulls from constants (or order them), so queries using them must be
+   evaluated against the complete gathered database. *)
+let rec positive_condition = function
+  | Condition.True | Condition.False | Condition.Eq _ -> true
+  | Condition.And (a, b) | Condition.Or (a, b) ->
+    positive_condition a && positive_condition b
+  | Condition.Is_const _ | Condition.Is_null _ | Condition.Neq _
+  | Condition.Lt _ | Condition.Le _ -> false
+
+let rec conditions_positive = function
+  | Algebra.Rel _ | Algebra.Lit _ | Algebra.Dom _ -> true
+  | Algebra.Select (c, q) -> positive_condition c && conditions_positive q
+  | Algebra.Project (_, q) -> conditions_positive q
+  | Algebra.Product (a, b) | Algebra.Union (a, b) | Algebra.Inter (a, b)
+  | Algebra.Diff (a, b) | Algebra.Division (a, b)
+  | Algebra.Anti_unify_join (a, b) ->
+    conditions_positive a && conditions_positive b
+
+(* [aligned q]: every tuple q produces on shard i is derived from base
+   tuples owned by shard i alone AND is itself a base tuple of some
+   relation (row-hash partitioning sends equal rows to equal shards).
+   Alignment is what makes ∩ distribute: a witness common to both sides
+   lives on the same shard for both.  Project destroys it (two distinct
+   rows on different shards can project to the same row), so Inter over
+   projections is NOT scatter-safe. *)
+let rec aligned = function
+  | Algebra.Rel _ -> true
+  | Algebra.Lit _ -> true (* literal is replicated verbatim on every shard *)
+  | Algebra.Select (_, q) -> aligned q
+  | Algebra.Union (a, b) -> aligned a && aligned b
+  | Algebra.Inter (a, b) -> aligned a && aligned b
+  | Algebra.Project _ | Algebra.Product _ | Algebra.Diff _
+  | Algebra.Division _ | Algebra.Anti_unify_join _ | Algebra.Dom _ -> false
+
+(* [scatterable q]: q(D) = ⋃_i q(D_i) for every row-hash partition
+   D = ⊎ D_i.  Tuple-at-a-time operators (σ, π, ∪) distribute over the
+   partition union; ∩ distributes only over aligned operands (above);
+   anything whose output can depend on tuples from two different shards
+   (×, −, ÷, anti-join, Dom) forces a gather. *)
+let rec scatterable = function
+  | Algebra.Rel _ | Algebra.Lit _ -> true
+  | Algebra.Select (_, q) | Algebra.Project (_, q) -> scatterable q
+  | Algebra.Union (a, b) -> scatterable a && scatterable b
+  | Algebra.Inter (a, b) -> aligned a && aligned b
+  | Algebra.Product _ | Algebra.Diff _ | Algebra.Division _
+  | Algebra.Anti_unify_join _ | Algebra.Dom _ -> false
+
+type shard_route = Scatter | Gather
+
+let shard_split q =
+  if scatterable q && conditions_positive q then Scatter else Gather
+
+let rec monotone = function
+  | Algebra.Rel _ | Algebra.Lit _ | Algebra.Dom _ -> true
+  | Algebra.Select (_, q) | Algebra.Project (_, q) -> monotone q
+  | Algebra.Union (a, b) | Algebra.Inter (a, b) | Algebra.Product (a, b) ->
+    monotone a && monotone b
+  | Algebra.Diff _ | Algebra.Division _ | Algebra.Anti_unify_join _ -> false

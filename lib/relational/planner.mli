@@ -39,3 +39,32 @@ val normalize : Algebra.t -> Algebra.t
     (e.g. ["cert:"]) so the same algebra under different semantics
     never collides. *)
 val fingerprint : Algebra.t -> string
+
+(** Where a query may run in a sharded deployment (DESIGN.md §4k). *)
+type shard_route =
+  | Scatter
+      (** [q(D) = ⋃_i q(D_i)] for every row-hash partition [D = ⊎ D_i]:
+          run shard-local and union the certain answers.  Holds for the
+          positive tuple-at-a-time fragment — σ (with positive
+          conditions), π, ∪, and ∩ over alignment-preserving operands
+          (base relations, replicated literals, and σ/∪/∩ thereof; a
+          projection destroys alignment, so [Inter] over projections
+          gathers).  On these UCQ-shaped plans naive evaluation is also
+          generic and exact (Theorem 4.4), so shard-local certain
+          answers are safe to union. *)
+  | Gather
+      (** The query inspects tuples from more than one shard at once
+          (×, −, ÷, anti-unification join, [Dom]) or uses a
+          non-positive condition ([Is_null]/[Is_const]/[Neq]/[Lt]/[Le]):
+          the coordinator must gather the base relations and evaluate
+          the plan against the complete database. *)
+
+(** Classify [q] for scatter/gather execution. *)
+val shard_split : Algebra.t -> shard_route
+
+(** [monotone q] holds iff [q] has no −, ÷ or anti-unification join.
+    For monotone [q] the certain answers are monotone in the database,
+    so a gather missing some shards still yields a sound
+    under-approximation ([Degraded]); non-monotone queries must fail
+    instead (a subset database can over-approximate their answer). *)
+val monotone : Algebra.t -> bool

@@ -122,7 +122,8 @@ let test_fault_parse () =
       Alcotest.(check bool) "active" true (Guard.fault_injection_active ());
       Guard.clear_faults ())
     [ "pool.chunk:1.0:42"; "pool.chunk:0.5:7:raise"; "*:0.25:3:delay=2";
-      "a:0:1 , b:1:2"; "s:0.5:1:delay=0" ];
+      "a:0:1 , b:1:2"; "s:0.5:1:delay=0"; "shard.*:1.0:1";
+      "wal.*:0.5:2:delay=1"; "shard.*:0.3:4:raise" ];
   List.iter
     (fun spec ->
       Alcotest.(check bool)
@@ -130,7 +131,12 @@ let test_fault_parse () =
         false (Guard.set_faults spec))
     [ ""; "pool.chunk"; "pool.chunk:0.5"; "pool.chunk:2.0:1";
       "pool.chunk:-0.1:1"; "pool.chunk:0.5:x"; ":0.5:1"; "s:0.5:1:delay=-3";
-      "s:0.5:1:delay="; "s:0.5:1:explode"; "a:1.0:1,bogus" ];
+      "s:0.5:1:delay="; "s:0.5:1:explode"; "a:1.0:1,bogus";
+      (* the only wildcards are "*" and a "prefix.*" suffix: a star in
+         the middle, a bare ".*", or a star-bearing prefix is malformed
+         and must fail the whole spec, never silently match nothing *)
+      "sha*rd:1.0:1"; "*.rpc:1.0:1"; ".*:1.0:1"; "shard.*x:1.0:1";
+      "sh*ard.*:1.0:1" ];
   Alcotest.(check bool) "inactive after clear" false
     (Guard.fault_injection_active ());
   (* no faults configured: inject is a no-op at any site *)
@@ -142,7 +148,30 @@ let test_fault_site_match () =
       Guard.inject "pool.chunk");
   with_faults "*:1.0:1" (fun () ->
       Alcotest.check_raises "wildcard matches every site"
-        (Guard.Injected "anywhere") (fun () -> Guard.inject "anywhere"))
+        (Guard.Injected "anywhere") (fun () -> Guard.inject "anywhere"));
+  (* "prefix.*" covers every site under the prefix and nothing else *)
+  with_faults "shard.*:1.0:1" (fun () ->
+      Alcotest.check_raises "shard.* matches shard.rpc"
+        (Guard.Injected "shard.rpc") (fun () -> Guard.inject "shard.rpc");
+      Alcotest.check_raises "shard.* matches shard.connect"
+        (Guard.Injected "shard.connect")
+        (fun () -> Guard.inject "shard.connect");
+      Alcotest.check_raises "shard.* matches shard.gather"
+        (Guard.Injected "shard.gather")
+        (fun () -> Guard.inject "shard.gather");
+      (* sibling subsystems stay quiet, and the prefix must stop at
+         the dot: "shardling.rpc" is not under "shard." *)
+      Guard.inject "wal.append";
+      Guard.inject "shardling.rpc");
+  with_faults "wal.*:1.0:1" (fun () ->
+      Alcotest.check_raises "wal.* matches wal.fsync"
+        (Guard.Injected "wal.fsync") (fun () -> Guard.inject "wal.fsync");
+      Guard.inject "shard.rpc");
+  (* an exact site spec still matches only itself *)
+  with_faults "shard.rpc:1.0:1" (fun () ->
+      Alcotest.check_raises "exact site fires" (Guard.Injected "shard.rpc")
+        (fun () -> Guard.inject "shard.rpc");
+      Guard.inject "shard.gather")
 
 let fire_pattern spec n =
   Alcotest.(check bool) "parses" true (Guard.set_faults spec);

@@ -505,6 +505,89 @@ let prop_guarded_certainty =
         pools)
 
 (* ------------------------------------------------------------------ *)
+(* Shard routing: the scatter/gather split and monotonicity (§4k)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Scatter is sound only for the UCQ fragment where naive evaluation
+   distributes over a partition union: positive conditions, and ∩ only
+   over alignment-preserving operands (π destroys alignment, so a
+   shard could miss an intersection witness split across shards). *)
+let test_shard_split () =
+  let open Algebra in
+  let check_route name expect q =
+    Alcotest.(check string) name
+      (match expect with Planner.Scatter -> "scatter" | Gather -> "gather")
+      (match Planner.shard_split q with
+       | Planner.Scatter -> "scatter"
+       | Gather -> "gather")
+  in
+  let scatterable =
+    [ ("base relation", Rel "R");
+      ("positive select", Select (Condition.eq_const 0 (Value.Int 1), Rel "R"));
+      ( "disjunctive positive select",
+        Select
+          ( Condition.Or (Condition.eq_const 0 (Value.Str "a"),
+                          Condition.eq_col 0 1),
+            Rel "R" ) );
+      ("project", Project ([ 0 ], Rel "R"));
+      ("union", Union (Rel "R", Rel "S"));
+      ("select under union",
+       Union (Select (Condition.True, Rel "R"), Rel "S"));
+      ("aligned inter", Inter (Rel "R", Select (Condition.True, Rel "S"))) ]
+  in
+  List.iter (fun (n, q) -> check_route n Planner.Scatter q) scatterable;
+  (* every scatterable query must also be monotone: the coordinator
+     degrades a partial scatter to an under-approximation, which is
+     only sound if missing tuples can only shrink the answer *)
+  List.iter
+    (fun (n, q) ->
+      Alcotest.(check bool) (n ^ " is monotone") true (Planner.monotone q))
+    scatterable;
+  List.iter
+    (fun (n, q) -> check_route n Planner.Gather q)
+    [ ("product", Product (Rel "R", Rel "S"));
+      ("difference", Diff (Rel "R", Rel "S"));
+      ("division", Division (Rel "R", Rel "S"));
+      ("anti-unify semijoin", Anti_unify_join (Rel "R", Rel "S"));
+      ("dom", Dom 1);
+      ( "inter over projections",
+        Inter (Project ([ 0 ], Rel "R"), Project ([ 1 ], Rel "S")) );
+      ( "disequality select",
+        Select (Condition.neq_const 0 (Value.Int 1), Rel "R") );
+      ("null test select", Select (Condition.Is_null 0, Rel "R"));
+      ("const test select", Select (Condition.Is_const 0, Rel "R"));
+      ( "order select",
+        Select (Condition.Lt (Condition.Col 0, Condition.Lit (Value.Int 5)),
+                Rel "R") );
+      ( "negative condition below union",
+        Union (Rel "R", Select (Condition.Is_null 0, Rel "S")) );
+      ("product under project", Project ([ 0 ], Product (Rel "R", Rel "S")))
+    ]
+
+let test_shard_monotone () =
+  let open Algebra in
+  List.iter
+    (fun (n, q) ->
+      Alcotest.(check bool) n true (Planner.monotone q))
+    [ ("base relation", Rel "R");
+      ( "disequality select",
+        Select (Condition.neq_const 0 (Value.Int 1), Rel "R") );
+      ("product", Product (Rel "R", Rel "S"));
+      ("inter", Inter (Rel "R", Rel "S"));
+      ("dom", Dom 2);
+      ("project over product", Project ([ 0 ], Product (Rel "R", Rel "S"))) ];
+  List.iter
+    (fun (n, q) ->
+      Alcotest.(check bool) n false (Planner.monotone q))
+    [ ("difference", Diff (Rel "R", Rel "S"));
+      ("division", Division (Rel "R", Rel "S"));
+      ("anti-unify semijoin", Anti_unify_join (Rel "R", Rel "S"));
+      ( "difference below union",
+        Union (Rel "R", Diff (Rel "S", Rel "T")) );
+      ( "division below select",
+        Select (Condition.True, Division (Rel "R", Rel "S")) ) ]
+
+(* ------------------------------------------------------------------ *)
 (* Suite                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -521,6 +604,9 @@ let () =
             test_anti_unify_direct;
           Alcotest.test_case "shared subplans" `Quick test_shared_subplan;
           Alcotest.test_case "memoized Dom" `Quick test_dom_memoized ] );
+      ( "shard-routing",
+        [ Alcotest.test_case "scatter/gather split" `Quick test_shard_split;
+          Alcotest.test_case "monotonicity" `Quick test_shard_monotone ] );
       ( "pool",
         [ Alcotest.test_case "basics" `Quick test_pool_basics;
           Alcotest.test_case "map and fold" `Quick test_pool_map_fold;

@@ -642,6 +642,92 @@ let test_wildcard_faults () =
   (* drain with the faults cleared: the invariant survived the storm *)
   ()
 
+(* simultaneous faults at admission and on the write path, over a
+   workload mixing Line and Stream payloads: whatever the combination
+   does, a query id never gets two terminal lines (an answer after a
+   shed, a second verdict after a teardown), and once the storm clears
+   the service is quiescent with admitted = completed + shed + failed *)
+let test_mixed_faults_terminal_discipline () =
+  Alcotest.(check bool) "spec parses" true
+    (Guard.set_faults "service.admit:0.3:5,server.write:0.3:6");
+  Fun.protect ~finally:Guard.clear_faults (fun () ->
+      with_server
+        { base_cfg with Server.client_quota = None }
+        toy_handler
+        (fun srv ->
+          let queries_per_client = 8 in
+          (* a terminal line is "[n] word" with word neither a stream
+             preamble nor a frame: same classification as the
+             coordinator's gather loop *)
+          let terminal_id line =
+            if String.length line > 1 && line.[0] = '[' then
+              match String.index_opt line ']' with
+              | Some i when i + 2 < String.length line ->
+                let id = int_of_string_opt (String.sub line 1 (i - 1)) in
+                let rest =
+                  String.sub line (i + 2) (String.length line - i - 2)
+                in
+                let word =
+                  match String.index_opt rest ' ' with
+                  | Some j -> String.sub rest 0 j
+                  | None -> rest
+                in
+                if word = "+" || word = "stream" then None else id
+              | _ -> None
+            else None
+          in
+          let run_client k =
+            let c = connect ~timeout:3.0 (Server.port srv) in
+            for i = 1 to k do
+              send c (if i mod 2 = 0 then "nums 3" else "const x")
+            done;
+            (* drain whatever the server delivers before the faults
+               tear the connection down (write faults close it) *)
+            let terminals = Hashtbl.create 16 in
+            (try
+               let rec go () =
+                 match recv_line c with
+                 | None -> ()
+                 | Some line ->
+                   (match terminal_id line with
+                    | Some id ->
+                      Hashtbl.replace terminals id
+                        (1
+                        + Option.value ~default:0
+                            (Hashtbl.find_opt terminals id))
+                    | None -> ());
+                   go ()
+               in
+               go ()
+             with Client_timeout -> ());
+            close c;
+            terminals
+          in
+          let tallies =
+            List.map Domain.join
+              (List.init 3 (fun _ ->
+                   Domain.spawn (fun () -> run_client queries_per_client)))
+          in
+          List.iter
+            (fun terminals ->
+              Hashtbl.iter
+                (fun id count ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "query %d: exactly one terminal line" id)
+                    1 count;
+                  Alcotest.(check bool) "ids stay within the workload" true
+                    (id >= 1 && id <= queries_per_client))
+                terminals)
+            tallies;
+          (* the storm is over: the invariant must have survived it *)
+          Guard.clear_faults ();
+          assert_invariant "mixed faults" srv;
+          (* and the accept loop still serves a clean client *)
+          let c = connect (Server.port srv) in
+          send c "const calm";
+          expect_line "served after the storm" c (starts_with "[1] ok calm");
+          close c))
+
 (* ------------------------------------------------------------------ *)
 (* semantic cache over sockets: hits, invalidation, #stats             *)
 (* ------------------------------------------------------------------ *)
@@ -1099,4 +1185,7 @@ let () =
           Alcotest.test_case "wildcard raise faults stay structured" `Quick
             test_wildcard_faults;
           Alcotest.test_case "server.write raise fault tears down cleanly"
-            `Quick test_server_write_fault ] ) ]
+            `Quick test_server_write_fault;
+          Alcotest.test_case
+            "admit+write faults: one terminal line per query" `Quick
+            test_mixed_faults_terminal_discipline ] ) ]

@@ -1,0 +1,542 @@
+(* Tests for the sharded scatter/gather coordinator (DESIGN.md §4k):
+   the stable partitioning hash, the per-shard circuit breaker against
+   dead and recovering listeners, differential runs of `incdb coord`
+   over N partitioned workers against the single-process baseline, a
+   SIGKILL-mid-storm chaos run asserting the degraded-answer contract
+   and the admission invariant, and #drain fan-out. *)
+
+(* ------------------------------------------------------------------ *)
+(* partitioning units                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a must be stable across processes and versions — shard
+   ownership is agreed by hash, never negotiated.  Golden values pin
+   the algorithm (64-bit FNV-1a shifted into 62 positive bits). *)
+let test_hash_stable () =
+  List.iter
+    (fun (s, expect) ->
+      Alcotest.(check int) (Printf.sprintf "hash %S" s) expect (Shard.hash s))
+    [ ("", 3673995259836664009);
+      ("o1,Big Data,30", 4181671835321285877);
+      ("abc", 4163552043846358482) ];
+  Alcotest.(check int) "deterministic" (Shard.hash "row") (Shard.hash "row");
+  Alcotest.(check bool) "positive" true (Shard.hash "anything" >= 0)
+
+let test_owner () =
+  let rows = List.init 200 (fun i -> Printf.sprintf "r%d,v%d" i (i * 7)) in
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "one shard is the identity partition" 0
+        (Shard.owner ~shards:1 row);
+      let o = Shard.owner ~shards:4 row in
+      Alcotest.(check bool) "owner in range" true (o >= 0 && o < 4);
+      Alcotest.(check int) "owner is hash mod shards" (Shard.hash row mod 4) o)
+    rows;
+  (* FNV-1a spreads: no shard of 4 may own nothing out of 200 rows *)
+  let counts = Array.make 4 0 in
+  List.iter
+    (fun row ->
+      let o = Shard.owner ~shards:4 row in
+      counts.(o) <- counts.(o) + 1)
+    rows;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d owns some rows" i)
+        true (c > 0))
+    counts
+
+let test_addr_parse () =
+  (match Shard.addr_of_string "127.0.0.1:8080" with
+   | Ok a ->
+     Alcotest.(check string) "host" "127.0.0.1" a.Shard.host;
+     Alcotest.(check int) "port" 8080 a.Shard.port;
+     Alcotest.(check string) "round trip" "127.0.0.1:8080"
+       (Shard.addr_to_string a)
+   | Error e -> Alcotest.fail ("valid address rejected: " ^ e));
+  List.iter
+    (fun s ->
+      match Shard.addr_of_string s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "invalid address %S accepted" s)
+      | Error _ -> ())
+    [ "nohost"; "h:"; "h:notaport"; ":80"; "h:70000" ]
+
+(* ------------------------------------------------------------------ *)
+(* circuit breaker against a dead, then recovering, listener           *)
+(* ------------------------------------------------------------------ *)
+
+(* bind-and-release: gives a loopback port that refuses connections
+   until we re-bind it for the recovery phase *)
+let free_port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  Unix.close sock;
+  port
+
+(* a one-verb server: read a line, answer "pong", close.  Shutdown
+   dials the listener itself — closing the fd from another domain does
+   not wake a blocked accept(2). *)
+let tiny_server port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock 8;
+  let stopping = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          match Unix.accept sock with
+          | fd, _ ->
+            if Atomic.get stopping then
+              (try Unix.close fd with _ -> ())
+            else begin
+              (try
+                 let b = Bytes.create 256 in
+                 ignore (Unix.read fd b 0 256);
+                 ignore (Unix.write fd (Bytes.of_string "pong\n") 0 5)
+               with _ -> ());
+              (try Unix.close fd with _ -> ());
+              loop ()
+            end
+          | exception _ -> ()
+        in
+        loop ())
+  in
+  let stop () =
+    Atomic.set stopping true;
+    (try
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+        with _ -> ());
+       try Unix.close fd with _ -> ()
+     with _ -> ());
+    Domain.join d;
+    try Unix.close sock with _ -> ()
+  in
+  stop
+
+let breaker_cfg =
+  { (Shard.default_config ()) with
+    Shard.connect_timeout = 0.3;
+    rpc_timeout = 1.0;
+    rpc_retries = 0;
+    backoff_base = 0.0;
+    breaker_threshold = 3;
+    breaker_cooldown = 0.2 }
+
+let test_breaker_lifecycle () =
+  let port = free_port () in
+  let recovered = ref false in
+  let t =
+    Shard.create breaker_cfg ~index:0
+      ~on_recover:(fun () -> recovered := true)
+      { Shard.host = "127.0.0.1"; port }
+  in
+  let ping () =
+    Shard.call t ~lines:[ "ping" ] ~terminal:(fun l -> l = "pong")
+  in
+  (* k consecutive failures trip Closed -> Open *)
+  for i = 1 to 3 do
+    match ping () with
+    | Error (Shard.Unreachable _ | Shard.Rpc_failed _) -> ()
+    | Error Shard.Breaker_open ->
+      Alcotest.fail (Printf.sprintf "breaker open before threshold (call %d)" i)
+    | Ok _ -> Alcotest.fail "dead port answered"
+  done;
+  Alcotest.(check string) "open after k failures" "open"
+    (Shard.breaker_state_to_string (Shard.state t));
+  let c = Shard.counters t in
+  Alcotest.(check int) "one trip" 1 c.Shard.trips;
+  Alcotest.(check int) "consecutive failures tracked" 3 c.Shard.consecutive;
+  (* while open: fail fast, no network IO (rpcs does not move) *)
+  (match ping () with
+   | Error Shard.Breaker_open -> ()
+   | Error e ->
+     Alcotest.fail ("expected Breaker_open, got " ^ Shard.error_to_string e)
+   | Ok _ -> Alcotest.fail "open breaker let a call through");
+  Alcotest.(check int) "fail-fast does no IO" c.Shard.rpcs
+    (Shard.counters t).Shard.rpcs;
+  (* recovery: after the cooldown one half-open probe goes through and
+     a healthy listener closes the breaker, firing on_recover *)
+  let stop = tiny_server port in
+  Fun.protect ~finally:stop (fun () ->
+      Unix.sleepf (breaker_cfg.Shard.breaker_cooldown +. 0.1);
+      (match ping () with
+       | Ok lines ->
+         Alcotest.(check bool) "probe saw the terminal line" true
+           (List.mem "pong" lines)
+       | Error e ->
+         Alcotest.fail ("half-open probe failed: " ^ Shard.error_to_string e));
+      Alcotest.(check string) "closed after recovery" "closed"
+        (Shard.breaker_state_to_string (Shard.state t));
+      Alcotest.(check bool) "on_recover fired" true !recovered)
+
+(* ------------------------------------------------------------------ *)
+(* process harness (mirrors test_cli.ml: spawn the real binary)        *)
+(* ------------------------------------------------------------------ *)
+
+let exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat Filename.parent_dir_name
+       (Filename.concat "bin" "main.exe"))
+
+let read_all_fd fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let wait_exit ?(timeout = 30.0) pid =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if Unix.gettimeofday () > deadline then begin
+        Unix.kill pid Sys.sigkill;
+        ignore (Unix.waitpid [] pid);
+        Alcotest.fail "child did not exit before the deadline"
+      end
+      else begin
+        Unix.sleepf 0.02;
+        go ()
+      end
+    | _, Unix.WEXITED code -> code
+    | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) ->
+      Alcotest.fail (Printf.sprintf "child killed by signal %d" s)
+  in
+  go ()
+
+(* the SIGKILLed chaos shard: reap without judging how it died *)
+let reap pid = ignore (Unix.waitpid [] pid)
+
+let spawn args =
+  let in_r, in_w = Unix.pipe ~cloexec:true () in
+  let out_r, out_w = Unix.pipe ~cloexec:true () in
+  let pid =
+    Unix.create_process exe
+      (Array.of_list (exe :: args))
+      in_r out_w Unix.stderr
+  in
+  Unix.close in_r;
+  Unix.close out_w;
+  (pid, in_w, out_r)
+
+let write_nc fd s = ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s))
+
+let write_stdin fd s =
+  write_nc fd s;
+  Unix.close fd
+
+let contains needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let read_line_fd fd =
+  let buf = Buffer.create 64 in
+  let b = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd b 0 1 with
+    | 0 -> Buffer.contents buf
+    | _ ->
+      if Bytes.get b 0 = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Bytes.get b 0);
+        go ()
+      end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* one partitioned worker of an n-shard fleet, port picked by the OS *)
+let spawn_shard i n =
+  let pid, stdin_w, stdout_r =
+    spawn
+      [ "serve"; "--null-rate"; "1"; "--listen"; "127.0.0.1:0"; "--partition";
+        Printf.sprintf "%d/%d" i n ]
+  in
+  Unix.close stdin_w;
+  let banner = read_line_fd stdout_r in
+  let port =
+    match String.rindex_opt banner ':' with
+    | Some i ->
+      (match
+         int_of_string_opt
+           (String.sub banner (i + 1) (String.length banner - i - 1))
+       with
+       | Some p -> p
+       | None -> Alcotest.fail ("unparsable banner: " ^ banner))
+    | None -> Alcotest.fail ("unparsable banner: " ^ banner)
+  in
+  (pid, stdout_r, port)
+
+(* "[1] ok (3 tuples) 47.0ms" -> "[1] ok (3 tuples) Xms": latency is
+   the only token allowed to differ between fleet and baseline *)
+let norm_ms line =
+  let is_ms tok =
+    String.length tok > 2
+    && String.sub tok (String.length tok - 2) 2 = "ms"
+    && String.for_all
+         (fun c -> (c >= '0' && c <= '9') || c = '.')
+         (String.sub tok 0 (String.length tok - 2))
+  in
+  String.concat " "
+    (List.map
+       (fun tok -> if is_ms tok then "Xms" else tok)
+       (String.split_on_char ' ' line))
+
+let query_lines out =
+  List.sort compare
+    (List.filter_map
+       (fun l ->
+         if String.length l > 0 && l.[0] = '[' then Some (norm_ms l) else None)
+       (String.split_on_char '\n' out))
+
+(* the mixed workload: scatterable selects, a gathered join, a
+   non-monotone NOT IN, a routed insert/delete pair, and repeats of
+   the first query across versions (cache path).  Updates apply
+   synchronously in the read loop while queries resolve on worker
+   domains, so each update phase is paced behind a short sleep to keep
+   the interleaving — and hence the differential — deterministic.
+   #drain last: the coordinator fans it out, so the whole fleet exits
+   with the run. *)
+let workload =
+  [ "SELECT title FROM Orders\n\
+     SELECT oid FROM Orders WHERE price = 30\n\
+     SELECT O.oid FROM Orders O, Payments P WHERE O.oid = P.oid\n\
+     SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)\n";
+    "insert Orders(o9,Fresh,41)\nSELECT title FROM Orders\n";
+    "delete Orders(o9,Fresh,41)\nSELECT title FROM Orders\n";
+    "#drain\n" ]
+
+let feed_paced stdin_w chunks =
+  List.iteri
+    (fun i chunk ->
+      if i > 0 then Unix.sleepf 0.5;
+      write_nc stdin_w chunk)
+    chunks;
+  Unix.close stdin_w
+
+let run_serve_baseline () =
+  let pid, stdin_w, stdout_r = spawn [ "serve"; "--null-rate"; "1" ] in
+  feed_paced stdin_w workload;
+  let out = read_all_fd stdout_r in
+  Unix.close stdout_r;
+  let code = wait_exit pid in
+  Alcotest.(check int) "baseline exits cleanly" 0 code;
+  out
+
+(* certain answers distribute over the partition union: N healthy
+   shards behind the coordinator must be answer-identical to one
+   process holding the whole database, for every route (scatter,
+   gather, updates, cache hits) *)
+let test_differential () =
+  let baseline = query_lines (run_serve_baseline ()) in
+  Alcotest.(check bool) "baseline returned query lines" true
+    (List.length baseline > 0);
+  List.iter
+    (fun n ->
+      let fleet = List.init n (fun i -> spawn_shard i n) in
+      let addrs =
+        String.concat ","
+          (List.map (fun (_, _, port) -> Printf.sprintf "127.0.0.1:%d" port)
+             fleet)
+      in
+      let pid, stdin_w, stdout_r =
+        spawn [ "coord"; "--null-rate"; "1"; "--shards"; addrs ]
+      in
+      feed_paced stdin_w workload;
+      let out = read_all_fd stdout_r in
+      Unix.close stdout_r;
+      let code = wait_exit pid in
+      Alcotest.(check int)
+        (Printf.sprintf "coordinator over %d shards exits cleanly" n)
+        0 code;
+      Alcotest.(check (list string))
+        (Printf.sprintf "N=%d bit-identical to single process" n)
+        baseline (query_lines out);
+      (* #drain fanned out: every worker exits on its own *)
+      List.iter
+        (fun (spid, sout, _) ->
+          let scode = wait_exit spid in
+          Unix.close sout;
+          Alcotest.(check int)
+            (Printf.sprintf "N=%d shard drained by fan-out" n)
+            0 scode)
+        fleet)
+    [ 1; 2; 4 ]
+
+(* coordinator shutdown reaches the whole fleet: #drain must also land
+   on replicas, which are hedge targets rather than scatter legs — a
+   replica left running would outlive the coordinator it belonged to *)
+let test_drain_replica () =
+  let primary = spawn_shard 0 1 in
+  let replica = spawn_shard 0 1 in
+  let _, _, pport = primary and _, _, rport = replica in
+  let pid, stdin_w, stdout_r =
+    spawn
+      [ "coord"; "--null-rate"; "1"; "--shards";
+        Printf.sprintf "127.0.0.1:%d" pport; "--replicas";
+        Printf.sprintf "127.0.0.1:%d" rport ]
+  in
+  feed_paced stdin_w [ "SELECT title FROM Orders\n"; "#drain\n" ];
+  let out = read_all_fd stdout_r in
+  Unix.close stdout_r;
+  let code = wait_exit pid in
+  Alcotest.(check int) "coordinator exits cleanly" 0 code;
+  Alcotest.(check bool) "query answered" true (contains "[1] ok" out);
+  List.iter
+    (fun (spid, sout, _) ->
+      let scode = wait_exit spid in
+      Unix.close sout;
+      Alcotest.(check int) "worker drained by fan-out" 0 scode)
+    [ primary; replica ]
+
+(* ------------------------------------------------------------------ *)
+(* chaos: SIGKILL a shard mid-storm                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* the coordinator must keep every promise with a corpse in the fleet:
+   one terminal line per query, monotone answers degraded with an
+   explicit shards=m/n marker, non-monotone queries refused loudly,
+   the breaker open in #stats, the dead shard visible in #health, and
+   admitted = completed + shed + failed at exit *)
+let test_chaos_sigkill () =
+  let n = 3 in
+  let fleet = List.init n (fun i -> spawn_shard i n) in
+  let addrs =
+    String.concat ","
+      (List.map (fun (_, _, port) -> Printf.sprintf "127.0.0.1:%d" port) fleet)
+  in
+  let pid, stdin_w, stdout_r =
+    spawn
+      [ "coord"; "--null-rate"; "1"; "--shards"; addrs; "--breaker-k"; "1";
+        "--breaker-cooldown"; "30"; "--connect-timeout"; "0.25";
+        "--rpc-timeout"; "2"; "--rpc-retries"; "0"; "--no-cache" ]
+  in
+  (* one healthy query, then the kill, then the storm; #stats/#health
+     only once the storm has resolved, so the breaker state they show
+     is the settled one *)
+  write_nc stdin_w "SELECT title FROM Orders\n";
+  Unix.sleepf 1.0;
+  let victim_pid, victim_out, _ = List.nth fleet 0 in
+  Unix.kill victim_pid Sys.sigkill;
+  write_nc stdin_w
+    "SELECT title FROM Orders\n\
+     SELECT oid FROM Orders WHERE price = 30\n\
+     SELECT O.oid FROM Orders O, Payments P WHERE O.oid = P.oid\n\
+     SELECT oid FROM Orders WHERE oid NOT IN (SELECT oid FROM Payments)\n";
+  Unix.sleepf 1.5;
+  write_stdin stdin_w "#stats\n#health\n#drain\n";
+  let out = read_all_fd stdout_r in
+  Unix.close stdout_r;
+  let code = wait_exit pid in
+  (* the non-monotone query resolves Failed, which flips the exit code
+     — but the process exits, it never hangs *)
+  Alcotest.(check int) "exit code reports the failure" 1 code;
+  let lines = String.split_on_char '\n' out in
+  (* exactly one terminal line per query, dead shard or not *)
+  for q = 1 to 5 do
+    let prefix = Printf.sprintf "[%d] " q in
+    let terminals =
+      List.length
+        (List.filter
+           (fun l ->
+             String.length l >= String.length prefix
+             && String.sub l 0 (String.length prefix) = prefix)
+           lines)
+    in
+    Alcotest.(check int)
+      (Printf.sprintf "query %d got exactly one terminal line" q)
+      1 terminals
+  done;
+  Alcotest.(check bool) ("pre-kill query exact, got: " ^ out) true
+    (contains "[1] ok (3 tuples)" out);
+  (* monotone queries degrade to explicit under-approximations *)
+  Alcotest.(check bool) "degraded answers carry the shards=m/n marker" true
+    (contains "under-approximation, shards=2/3" out);
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "query %d never silently short" q)
+        true
+        (contains (Printf.sprintf "[%d] ok" q) out
+        || contains (Printf.sprintf "[%d] degraded" q) out
+        || contains (Printf.sprintf "[%d] failed:" q) out))
+    [ 2; 3; 4 ];
+  (* the non-monotone query is refused, not under-answered *)
+  Alcotest.(check bool) "non-monotone query fails loudly" true
+    (contains "non-monotone query with shards down (shards=2/3)" out);
+  (* observability: breaker open in #stats, corpse in #health *)
+  Alcotest.(check bool) "#stats shows an open breaker" true
+    (contains "state=open" out);
+  Alcotest.(check bool) "#stats counts the trip" true (contains "trips=1" out);
+  Alcotest.(check bool) "#health reports the dead shard" true
+    (contains "down" out);
+  (* the admission invariant survived the storm *)
+  let invariant_ok =
+    List.exists
+      (fun l ->
+        match
+          Scanf.sscanf l
+            "-- admitted %d, completed %d (%d degraded), shed %d, retried \
+             %d, failed %d"
+            (fun a c _ s _ f -> (a, c, s, f))
+        with
+        | a, c, s, f -> a = c + s + f
+        | exception Scanf.Scan_failure _ | exception Failure _
+        | exception End_of_file ->
+          false)
+      lines
+  in
+  Alcotest.(check bool) ("admitted = completed + shed + failed in: " ^ out)
+    true invariant_ok;
+  (* survivors drain via fan-out; the victim is reaped as-killed *)
+  reap victim_pid;
+  Unix.close victim_out;
+  List.iteri
+    (fun i (spid, sout, _) ->
+      if i > 0 then begin
+        let scode = wait_exit spid in
+        Unix.close sout;
+        Alcotest.(check int)
+          (Printf.sprintf "survivor shard %d drained" i)
+          0 scode
+      end)
+    fleet
+
+(* ------------------------------------------------------------------ *)
+(* suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "shard"
+    [ ( "units",
+        [ Alcotest.test_case "hash is stable" `Quick test_hash_stable;
+          Alcotest.test_case "ownership" `Quick test_owner;
+          Alcotest.test_case "address parsing" `Quick test_addr_parse ] );
+      ( "breaker",
+        [ Alcotest.test_case "trip, fail fast, probe, recover" `Quick
+            test_breaker_lifecycle ] );
+      ( "coordinator",
+        [ Alcotest.test_case "differential vs single process N=1,2,4" `Slow
+            test_differential;
+          Alcotest.test_case "#drain fans out to replicas" `Slow
+            test_drain_replica;
+          Alcotest.test_case "SIGKILL a shard mid-storm" `Slow
+            test_chaos_sigkill ] ) ]
